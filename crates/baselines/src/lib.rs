@@ -1,0 +1,22 @@
+//! Baseline engines for the evaluation (Section 8):
+//!
+//! * [`GfRvEngine`] — GF-RV: row store (interpreted attribute layout,
+//!   8-byte IDs) + Volcano tuple-at-a-time processor; the system the paper
+//!   starts from and the architectural analog of Neo4j/Memgraph.
+//! * [`GfCvEngine`] — GF-CV: columnar storage + Volcano processor; isolates
+//!   the list-based processor's contribution (Section 8.6).
+//! * [`RelEngine`] — block-based hash joins over edge tables with no
+//!   adjacency index and no pk seek; the MonetDB/Vertica stand-in for the
+//!   Section 8.7 system comparison (see DESIGN.md §3).
+//!
+//! All engines execute the same [`gfcl_core::plan::LogicalPlan`].
+
+pub mod cv;
+pub mod eval;
+pub mod relational;
+pub mod rv;
+pub mod volcano;
+
+pub use cv::GfCvEngine;
+pub use relational::RelEngine;
+pub use rv::GfRvEngine;

@@ -1,0 +1,271 @@
+//! The relational baseline: a block-based processor executing graph
+//! queries as **hash joins over edge tables**, the MonetDB/Vertica analog
+//! of Section 8.7 (see DESIGN.md §3 substitutions).
+//!
+//! Architectural differences from the graph engines, mirroring the paper's
+//! analysis:
+//!
+//! * no adjacency-list index is used for joins: every `Extend` step scans
+//!   the *entire* edge table of the label and builds a hash table, then
+//!   probes the accumulated intermediate result — efficient for
+//!   unselective star joins, wasteful for selective path queries;
+//! * no primary-key seek: a `p.id = X` predicate is a full scan + filter
+//!   of the vertex table (the paper: "this join is performed using merge
+//!   or hash joins, which requires scanning both Person and Knows
+//!   tables");
+//! * intermediate results are fully materialized flat columns — no
+//!   factorization, so n-n joins multiply the intermediate size.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gfcl_common::{Direction, Error, LabelId, Result, Value};
+use gfcl_core::engine::{Engine, QueryOutput};
+use gfcl_core::plan::{LogicalPlan, PlanReturn, PlanStep};
+use gfcl_storage::{AdjIndex, Catalog, ColumnarGraph};
+
+use crate::eval::holds;
+
+/// Flat columnar intermediate result.
+struct Inter {
+    n: usize,
+    nodes: Vec<Option<Vec<u64>>>,
+    edges: Vec<Option<EdgeCols>>,
+    slots: Vec<Option<Vec<Value>>>,
+}
+
+/// Per-edge binding columns (enough to read edge properties later).
+struct EdgeCols {
+    dir: Direction,
+    from: Vec<u64>,
+    token: Vec<Option<u64>>,
+}
+
+impl Inter {
+    fn new(plan: &LogicalPlan) -> Inter {
+        Inter {
+            n: 0,
+            nodes: vec![None; plan.nodes.len()],
+            edges: plan.edges.iter().map(|_| None).collect(),
+            slots: vec![None; plan.slots.len()],
+        }
+    }
+
+    /// Keep only the rows at `keep` (gather compaction).
+    fn gather(&mut self, keep: &[usize]) {
+        for col in self.nodes.iter_mut().flatten() {
+            *col = keep.iter().map(|&i| col[i]).collect();
+        }
+        for ec in self.edges.iter_mut().flatten() {
+            ec.from = keep.iter().map(|&i| ec.from[i]).collect();
+            ec.token = keep.iter().map(|&i| ec.token[i]).collect();
+        }
+        for col in self.slots.iter_mut().flatten() {
+            *col = keep.iter().map(|&i| col[i].clone()).collect();
+        }
+        self.n = keep.len();
+    }
+}
+
+/// The relational engine over columnar tables.
+pub struct RelEngine {
+    graph: Arc<ColumnarGraph>,
+}
+
+impl RelEngine {
+    pub fn new(graph: Arc<ColumnarGraph>) -> Self {
+        RelEngine { graph }
+    }
+
+    /// Scan the full edge table of `(elabel, dir)` into a hash table keyed
+    /// by the `dir`-side endpoint. This is the per-join full-table-scan
+    /// cost that adjacency indexes avoid.
+    fn build_edge_hash(
+        &self,
+        elabel: LabelId,
+        dir: Direction,
+    ) -> HashMap<u64, Vec<(u64, Option<u64>)>> {
+        let g = &self.graph;
+        let from_label = g.catalog().edge_label(elabel).from_label(dir);
+        let n_from = g.vertex_count(from_label) as u64;
+        let mut table: HashMap<u64, Vec<(u64, Option<u64>)>> = HashMap::new();
+        match g.adj(elabel, dir) {
+            AdjIndex::Csr(csr) => {
+                for v in 0..n_from {
+                    for (pos, nbr) in csr.iter_list(v) {
+                        table.entry(v).or_default().push((nbr, Some(pos)));
+                    }
+                }
+            }
+            AdjIndex::SingleCard(s) => {
+                for v in 0..n_from {
+                    if let Some(nbr) = s.nbr(v) {
+                        table.entry(v).or_default().push((nbr, None));
+                    }
+                }
+            }
+        }
+        table
+    }
+}
+
+impl Engine for RelEngine {
+    fn name(&self) -> &'static str {
+        "REL"
+    }
+
+    fn catalog(&self) -> &Catalog {
+        self.graph.catalog()
+    }
+
+    fn run_plan(&self, plan: &LogicalPlan) -> Result<QueryOutput> {
+        let g = &self.graph;
+        let mut it = Inter::new(plan);
+
+        for step in &plan.steps {
+            match step {
+                PlanStep::ScanAll { node } => {
+                    let label = plan.nodes[*node].label;
+                    let col: Vec<u64> = (0..g.vertex_count(label) as u64).collect();
+                    it.n = col.len();
+                    it.nodes[*node] = Some(col);
+                }
+                PlanStep::ScanPk { node, key } => {
+                    // No index: scan the vertex table comparing keys.
+                    let label = plan.nodes[*node].label;
+                    let pk_prop = g
+                        .catalog()
+                        .vertex_label(label)
+                        .primary_key
+                        .ok_or_else(|| Error::Plan("pk seek without pk".into()))?;
+                    let col = g.vertex_prop(label, pk_prop);
+                    let matches: Vec<u64> = (0..g.vertex_count(label))
+                        .filter(|&v| col.get_i64(v) == Some(*key))
+                        .map(|v| v as u64)
+                        .collect();
+                    it.n = matches.len();
+                    it.nodes[*node] = Some(matches);
+                }
+                PlanStep::Extend { edge, edge_label, dir, from, to, .. } => {
+                    let hash = self.build_edge_hash(*edge_label, *dir);
+                    let probe =
+                        it.nodes[*from].as_ref().ok_or_else(|| Error::Plan("unbound from".into()))?;
+                    // Probe: one output row per (input row, matching edge).
+                    let mut keep: Vec<usize> = Vec::new();
+                    let mut nbrs: Vec<u64> = Vec::new();
+                    let mut froms: Vec<u64> = Vec::new();
+                    let mut tokens: Vec<Option<u64>> = Vec::new();
+                    for (row, &v) in probe.iter().enumerate() {
+                        if let Some(matches) = hash.get(&v) {
+                            for &(nbr, token) in matches {
+                                keep.push(row);
+                                nbrs.push(nbr);
+                                froms.push(v);
+                                tokens.push(token);
+                            }
+                        }
+                    }
+                    it.gather(&keep);
+                    it.nodes[*to] = Some(nbrs);
+                    it.edges[*edge] = Some(EdgeCols { dir: *dir, from: froms, token: tokens });
+                }
+                PlanStep::NodeProp { node, prop, slot } => {
+                    let label = plan.nodes[*node].label;
+                    let col = g.vertex_prop(label, *prop);
+                    let offs =
+                        it.nodes[*node].as_ref().ok_or_else(|| Error::Plan("unbound node".into()))?;
+                    it.slots[*slot] =
+                        Some(offs.iter().map(|&v| col.value(v as usize)).collect());
+                }
+                PlanStep::EdgeProp { edge, prop, slot } => {
+                    let elabel = plan.edges[*edge].label;
+                    let ec = it.edges[*edge]
+                        .as_ref()
+                        .ok_or_else(|| Error::Plan("unbound edge".into()))?;
+                    let mut vals = Vec::with_capacity(it.n);
+                    for i in 0..it.n {
+                        vals.push(
+                            g.read_edge_prop(elabel, ec.dir, ec.from[i], ec.token[i], *prop)
+                                .unwrap_or(Value::Null),
+                        );
+                    }
+                    it.slots[*slot] = Some(vals);
+                }
+                PlanStep::Filter { expr } => {
+                    let mut keep = Vec::with_capacity(it.n);
+                    for i in 0..it.n {
+                        let slots = &it.slots;
+                        let read = |s: usize| -> Value {
+                            slots[s].as_ref().map_or(Value::Null, |c| c[i].clone())
+                        };
+                        if holds(expr, &read) {
+                            keep.push(i);
+                        }
+                    }
+                    it.gather(&keep);
+                }
+            }
+        }
+
+        match &plan.ret {
+            PlanReturn::CountStar => Ok(QueryOutput::Count(it.n as u64)),
+            PlanReturn::Props(slots) => {
+                let mut rows = Vec::with_capacity(it.n);
+                for i in 0..it.n {
+                    rows.push(
+                        slots
+                            .iter()
+                            .map(|&s| {
+                                it.slots[s].as_ref().map_or(Value::Null, |c| c[i].clone())
+                            })
+                            .collect(),
+                    );
+                }
+                Ok(QueryOutput::Rows { header: plan.header.clone(), rows })
+            }
+            PlanReturn::Sum(slot) => {
+                let col = it.slots[*slot].as_ref().ok_or_else(|| Error::Plan("unfilled".into()))?;
+                let mut sum_i: i128 = 0;
+                let mut sum_f = 0.0f64;
+                let mut float = false;
+                for v in col {
+                    match v {
+                        Value::Int64(x) | Value::Date(x) => sum_i += *x as i128,
+                        Value::Float64(x) => {
+                            float = true;
+                            sum_f += x;
+                        }
+                        _ => {}
+                    }
+                }
+                let value =
+                    if float { Value::Float64(sum_f) } else { Value::Int64(sum_i as i64) };
+                Ok(QueryOutput::Agg { name: plan.header[0].clone(), value })
+            }
+            PlanReturn::Min(slot) | PlanReturn::Max(slot) => {
+                let want_min = matches!(plan.ret, PlanReturn::Min(_));
+                let col = it.slots[*slot].as_ref().ok_or_else(|| Error::Plan("unfilled".into()))?;
+                let mut best = Value::Null;
+                for v in col {
+                    if v.is_null() {
+                        continue;
+                    }
+                    let replace = match best.compare(v) {
+                        None => best.is_null(),
+                        Some(ord) => {
+                            if want_min {
+                                ord == std::cmp::Ordering::Greater
+                            } else {
+                                ord == std::cmp::Ordering::Less
+                            }
+                        }
+                    };
+                    if replace {
+                        best = v.clone();
+                    }
+                }
+                Ok(QueryOutput::Agg { name: plan.header[0].clone(), value: best })
+            }
+        }
+    }
+}

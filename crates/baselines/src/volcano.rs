@@ -1,0 +1,276 @@
+//! Generic Volcano-style tuple-at-a-time executor (Section 6's baseline).
+//!
+//! One partial-match tuple flows through an operator chain via `next()`
+//! calls, exactly as in GraphflowDB's original processor (and Neo4j /
+//! Memgraph): values are produced one at a time, properties are read into
+//! the tuple as [`Value`]s, and every primitive computation pays an
+//! iterator-call round trip. The executor is generic over
+//! [`VolcanoStorage`], so the same processor runs on the row store (GF-RV)
+//! and on columnar storage (GF-CV), isolating processing gains from storage
+//! gains as in Section 8.6.
+
+use gfcl_common::{Direction, Error, LabelId, Result, Value};
+use gfcl_core::engine::QueryOutput;
+use gfcl_core::plan::{LogicalPlan, PlanExpr, PlanReturn, PlanStep};
+use gfcl_storage::Catalog;
+
+use crate::eval::holds;
+
+/// Storage interface of the Volcano engines.
+pub trait VolcanoStorage {
+    fn catalog(&self) -> &Catalog;
+    fn vertex_count(&self, label: LabelId) -> usize;
+    fn lookup_pk(&self, label: LabelId, key: i64) -> Option<u64>;
+    /// The adjacency list of `from` when traversing `(elabel, dir)`.
+    fn adj_list(&self, elabel: LabelId, dir: Direction, from: u64) -> AdjList;
+    /// Neighbour offset and edge token at CSR position `pos`.
+    fn csr_entry(&self, elabel: LabelId, dir: Direction, pos: u64) -> (u64, u64);
+    fn vertex_prop(&self, label: LabelId, off: u64, prop: usize) -> Value;
+    /// Edge property via the tuple's edge slot.
+    fn edge_prop(&self, elabel: LabelId, dir: Direction, slot: EdgeSlot, prop: usize) -> Value;
+}
+
+/// Adjacency of one vertex.
+pub enum AdjList {
+    /// CSR positions `start..start+len`.
+    Csr { start: u64, len: u64 },
+    /// Single-cardinality vertex-column adjacency: at most one neighbour.
+    Single(Option<u64>),
+}
+
+/// The edge binding stored in a tuple: the traversal source plus a
+/// storage-specific token (CSR position or row edge ID; `None` for
+/// vertex-column single-cardinality edges).
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeSlot {
+    pub from: u64,
+    pub token: Option<u64>,
+}
+
+/// The single partial-match tuple flowing through the pipeline.
+pub struct Tuple {
+    pub nodes: Vec<u64>,
+    pub edges: Vec<EdgeSlot>,
+    pub slots: Vec<Value>,
+}
+
+enum VOp {
+    ScanAll { node: usize, next: u64, total: u64 },
+    ScanPk { label: LabelId, node: usize, key: i64, done: bool },
+    Extend {
+        elabel: LabelId,
+        dir: Direction,
+        from: usize,
+        to: usize,
+        edge: usize,
+        /// Remaining CSR range, or a pending single neighbour.
+        state: ExtendState,
+    },
+    ReadNodeProp { label: LabelId, node: usize, prop: usize, slot: usize },
+    ReadEdgeProp { elabel: LabelId, dir: Direction, edge: usize, prop: usize, slot: usize },
+    Filter { expr: PlanExpr },
+}
+
+enum ExtendState {
+    Idle,
+    Csr { pos: u64, end: u64 },
+}
+
+fn vpull<S: VolcanoStorage>(ops: &mut [VOp], s: &S, t: &mut Tuple) -> Result<bool> {
+    let (op, children) = ops.split_last_mut().expect("non-empty pipeline");
+    match op {
+        VOp::ScanAll { node, next, total, .. } => {
+            if *next >= *total {
+                return Ok(false);
+            }
+            t.nodes[*node] = *next;
+            *next += 1;
+            Ok(true)
+        }
+        VOp::ScanPk { label, node, key, done } => {
+            if *done {
+                return Ok(false);
+            }
+            *done = true;
+            match s.lookup_pk(*label, *key) {
+                Some(off) => {
+                    t.nodes[*node] = off;
+                    Ok(true)
+                }
+                None => Ok(false),
+            }
+        }
+        VOp::Extend { elabel, dir, from, to, edge, state } => loop {
+            if let ExtendState::Csr { pos, end } = state {
+                if pos < end {
+                    let (nbr, token) = s.csr_entry(*elabel, *dir, *pos);
+                    t.nodes[*to] = nbr;
+                    t.edges[*edge] = EdgeSlot { from: t.nodes[*from], token: Some(token) };
+                    *pos += 1;
+                    return Ok(true);
+                }
+                *state = ExtendState::Idle;
+            }
+            if !vpull(children, s, t)? {
+                return Ok(false);
+            }
+            match s.adj_list(*elabel, *dir, t.nodes[*from]) {
+                AdjList::Csr { start, len } => {
+                    *state = ExtendState::Csr { pos: start, end: start + len };
+                }
+                AdjList::Single(Some(nbr)) => {
+                    t.nodes[*to] = nbr;
+                    t.edges[*edge] = EdgeSlot { from: t.nodes[*from], token: None };
+                    return Ok(true);
+                }
+                AdjList::Single(None) => {}
+            }
+        },
+        VOp::ReadNodeProp { label, node, prop, slot } => {
+            if !vpull(children, s, t)? {
+                return Ok(false);
+            }
+            t.slots[*slot] = s.vertex_prop(*label, t.nodes[*node], *prop);
+            Ok(true)
+        }
+        VOp::ReadEdgeProp { elabel, dir, edge, prop, slot } => {
+            if !vpull(children, s, t)? {
+                return Ok(false);
+            }
+            t.slots[*slot] = s.edge_prop(*elabel, *dir, t.edges[*edge], *prop);
+            Ok(true)
+        }
+        VOp::Filter { expr } => loop {
+            if !vpull(children, s, t)? {
+                return Ok(false);
+            }
+            let slots = &t.slots;
+            if holds(expr, &|i| slots[i].clone()) {
+                return Ok(true);
+            }
+        },
+    }
+}
+
+/// Execute a logical plan tuple-at-a-time over `storage`.
+pub fn execute<S: VolcanoStorage>(storage: &S, plan: &LogicalPlan) -> Result<QueryOutput> {
+    let mut ops: Vec<VOp> = Vec::with_capacity(plan.steps.len());
+    // Direction of each bound edge (needed by property reads).
+    let mut edge_dir: Vec<Option<Direction>> = vec![None; plan.edges.len()];
+    for step in &plan.steps {
+        match step {
+            PlanStep::ScanAll { node } => {
+                let label = plan.nodes[*node].label;
+                ops.push(VOp::ScanAll {
+                    node: *node,
+                    next: 0,
+                    total: storage.vertex_count(label) as u64,
+                });
+            }
+            PlanStep::ScanPk { node, key } => {
+                ops.push(VOp::ScanPk {
+                    label: plan.nodes[*node].label,
+                    node: *node,
+                    key: *key,
+                    done: false,
+                });
+            }
+            PlanStep::Extend { edge, edge_label, dir, from, to, .. } => {
+                edge_dir[*edge] = Some(*dir);
+                ops.push(VOp::Extend {
+                    elabel: *edge_label,
+                    dir: *dir,
+                    from: *from,
+                    to: *to,
+                    edge: *edge,
+                    state: ExtendState::Idle,
+                });
+            }
+            PlanStep::NodeProp { node, prop, slot } => {
+                ops.push(VOp::ReadNodeProp {
+                    label: plan.nodes[*node].label,
+                    node: *node,
+                    prop: *prop,
+                    slot: *slot,
+                });
+            }
+            PlanStep::EdgeProp { edge, prop, slot } => {
+                let dir = edge_dir[*edge]
+                    .ok_or_else(|| Error::Plan("edge property read before extend".into()))?;
+                ops.push(VOp::ReadEdgeProp {
+                    elabel: plan.edges[*edge].label,
+                    dir,
+                    edge: *edge,
+                    prop: *prop,
+                    slot: *slot,
+                });
+            }
+            PlanStep::Filter { expr } => ops.push(VOp::Filter { expr: expr.clone() }),
+        }
+    }
+
+    let mut t = Tuple {
+        nodes: vec![0; plan.nodes.len()],
+        edges: vec![EdgeSlot { from: 0, token: None }; plan.edges.len()],
+        slots: vec![Value::Null; plan.slots.len()],
+    };
+
+    match &plan.ret {
+        PlanReturn::CountStar => {
+            let mut n = 0u64;
+            while vpull(&mut ops, storage, &mut t)? {
+                n += 1;
+            }
+            Ok(QueryOutput::Count(n))
+        }
+        PlanReturn::Props(slots) => {
+            let mut rows = Vec::new();
+            while vpull(&mut ops, storage, &mut t)? {
+                rows.push(slots.iter().map(|&s| t.slots[s].clone()).collect());
+            }
+            Ok(QueryOutput::Rows { header: plan.header.clone(), rows })
+        }
+        PlanReturn::Sum(slot) => {
+            let mut sum_i: i128 = 0;
+            let mut sum_f: f64 = 0.0;
+            let mut float = false;
+            while vpull(&mut ops, storage, &mut t)? {
+                match &t.slots[*slot] {
+                    Value::Int64(v) | Value::Date(v) => sum_i += *v as i128,
+                    Value::Float64(v) => {
+                        float = true;
+                        sum_f += v;
+                    }
+                    _ => {}
+                }
+            }
+            let value =
+                if float { Value::Float64(sum_f) } else { Value::Int64(sum_i as i64) };
+            Ok(QueryOutput::Agg { name: plan.header[0].clone(), value })
+        }
+        PlanReturn::Min(slot) | PlanReturn::Max(slot) => {
+            let want_min = matches!(plan.ret, PlanReturn::Min(_));
+            let mut best = Value::Null;
+            while vpull(&mut ops, storage, &mut t)? {
+                let v = t.slots[*slot].clone();
+                if v.is_null() {
+                    continue;
+                }
+                let replace = match best.compare(&v) {
+                    None => best.is_null(),
+                    Some(ord) => {
+                        if want_min {
+                            ord == std::cmp::Ordering::Greater
+                        } else {
+                            ord == std::cmp::Ordering::Less
+                        }
+                    }
+                };
+                if replace {
+                    best = v;
+                }
+            }
+            Ok(QueryOutput::Agg { name: plan.header[0].clone(), value: best })
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Invariant 6 (DESIGN.md): all four engines return identical results on
+//! the same logical queries — counts, row multisets, and aggregates — over
+//! both hand-built and generated graphs, under multiple storage
+//! configurations.
+
+use std::sync::Arc;
+
+use gfcl_baselines::{GfCvEngine, GfRvEngine, RelEngine};
+use gfcl_core::query::{
+    col, contains, eq, ge, gt, lit, lt, starts_with, PatternQuery,
+};
+use gfcl_core::{Engine, GfClEngine};
+use gfcl_datagen::{MovieParams, PowerLawParams, SocialParams};
+use gfcl_storage::{ColumnarGraph, EdgePropLayout, RawGraph, RowGraph, StorageConfig};
+
+/// All four engines over one raw graph.
+fn engines(raw: &RawGraph, cfg: StorageConfig) -> Vec<Box<dyn Engine>> {
+    let col_graph = Arc::new(ColumnarGraph::build(raw, cfg).unwrap());
+    let row_graph = Arc::new(RowGraph::build(raw).unwrap());
+    vec![
+        Box::new(GfClEngine::new(col_graph.clone())),
+        Box::new(GfCvEngine::new(col_graph.clone())),
+        Box::new(GfRvEngine::new(row_graph)),
+        Box::new(RelEngine::new(col_graph)),
+    ]
+}
+
+fn assert_all_agree(raw: &RawGraph, cfg: StorageConfig, queries: &[(&str, PatternQuery)]) {
+    let engines = engines(raw, cfg);
+    for (name, q) in queries {
+        let mut outputs = Vec::new();
+        for e in &engines {
+            let out = e
+                .execute(q)
+                .unwrap_or_else(|err| panic!("{name} failed on {}: {err}", e.name()));
+            outputs.push((e.name(), out.canonical()));
+        }
+        let reference = &outputs[0].1;
+        for (ename, o) in &outputs[1..] {
+            assert_eq!(
+                o, reference,
+                "query {name}: {ename} disagrees with {}",
+                outputs[0].0
+            );
+        }
+    }
+}
+
+fn example_queries() -> Vec<(&'static str, PatternQuery)> {
+    vec![
+        (
+            "workat-filter",
+            PatternQuery::builder()
+                .node("a", "PERSON")
+                .node("b", "ORG")
+                .edge("e", "WORKAT", "a", "b")
+                .filter(gt(col("a", "age"), lit(22)))
+                .filter(lt(col("b", "estd"), lit(2015)))
+                .returns(&[("a", "name"), ("b", "name")])
+                .build(),
+        ),
+        (
+            "two-hop-count",
+            PatternQuery::builder()
+                .node("a", "PERSON")
+                .node("b", "PERSON")
+                .node("c", "PERSON")
+                .edge("e1", "FOLLOWS", "a", "b")
+                .edge("e2", "FOLLOWS", "b", "c")
+                .filter(gt(col("e2", "since"), col("e1", "since")))
+                .returns_count()
+                .build(),
+        ),
+        (
+            "path-into-single-card",
+            PatternQuery::builder()
+                .node("a", "PERSON")
+                .node("b", "PERSON")
+                .node("o", "ORG")
+                .edge("e1", "FOLLOWS", "a", "b")
+                .edge("e2", "STUDYAT", "b", "o")
+                .filter(gt(col("e2", "doj"), lit(2014)))
+                .returns(&[("a", "name"), ("o", "name")])
+                .build(),
+        ),
+        (
+            "string-contains",
+            PatternQuery::builder()
+                .node("a", "PERSON")
+                .node("b", "PERSON")
+                .edge("e", "FOLLOWS", "a", "b")
+                .filter(contains("a", "name", "e"))
+                .returns_count()
+                .build(),
+        ),
+        (
+            "sum-agg",
+            PatternQuery::builder()
+                .node("a", "PERSON")
+                .node("b", "PERSON")
+                .edge("e", "FOLLOWS", "a", "b")
+                .returns_sum("a", "age")
+                .build(),
+        ),
+        (
+            "min-max",
+            PatternQuery::builder()
+                .node("a", "PERSON")
+                .node("b", "PERSON")
+                .edge("e", "FOLLOWS", "a", "b")
+                .returns_max("e", "since")
+                .build(),
+        ),
+    ]
+}
+
+#[test]
+fn example_graph_all_configs() {
+    let raw = RawGraph::example();
+    let mut configs: Vec<StorageConfig> =
+        StorageConfig::ladder().into_iter().map(|(_, c)| c).collect();
+    configs.push(StorageConfig {
+        edge_prop_layout: EdgePropLayout::EdgeColumns,
+        ..StorageConfig::default()
+    });
+    configs.push(StorageConfig {
+        edge_prop_layout: EdgePropLayout::DoubleIndexed,
+        ..StorageConfig::default()
+    });
+    configs.push(StorageConfig { single_card_in_vcols: false, ..StorageConfig::default() });
+    for cfg in configs {
+        assert_all_agree(&raw, cfg, &example_queries());
+    }
+}
+
+#[test]
+fn social_graph_queries() {
+    let raw = gfcl_datagen::generate_social(SocialParams::scale(80));
+    let queries = vec![
+        (
+            "friends-of-friends",
+            PatternQuery::builder()
+                .node("p", "Person")
+                .node("f", "Person")
+                .node("ff", "Person")
+                .edge("k1", "knows", "p", "f")
+                .edge("k2", "knows", "f", "ff")
+                .filter(eq(col("p", "id"), lit(7)))
+                .returns(&[("ff", "id")])
+                .build(),
+        ),
+        (
+            "comment-likes-date-filter",
+            PatternQuery::builder()
+                .node("p", "Person")
+                .node("c", "Comment")
+                .edge("l", "likes", "p", "c")
+                .filter(lt(col("l", "date"), lit(1_400_000_000)))
+                .filter(ge(col("c", "length"), lit(100)))
+                .returns_count()
+                .build(),
+        ),
+        (
+            "reply-path-backward",
+            PatternQuery::builder()
+                .node("c", "Comment")
+                .node("po", "Post")
+                .node("f", "Forum")
+                .edge("r", "replyOf", "c", "po")
+                .edge("ct", "containerOf", "f", "po")
+                .start_at("c")
+                .returns_count()
+                .build(),
+        ),
+        (
+            "work-study-star",
+            PatternQuery::builder()
+                .node("p", "Person")
+                .node("o1", "Organisation")
+                .node("o2", "Organisation")
+                .edge("w", "workAt", "p", "o1")
+                .edge("s", "studyAt", "p", "o2")
+                .filter(lt(col("w", "year"), lit(2016)))
+                .returns_count()
+                .build(),
+        ),
+        (
+            "located-in-place-name",
+            PatternQuery::builder()
+                .node("p", "Person")
+                .node("pl", "Place")
+                .edge("loc", "personIsLocatedIn", "p", "pl")
+                .filter(eq(col("pl", "name"), lit("India")))
+                .returns_count()
+                .build(),
+        ),
+    ];
+    assert_all_agree(&raw, StorageConfig::default(), &queries);
+    assert_all_agree(&raw, StorageConfig::cols(), &queries);
+}
+
+#[test]
+fn movie_graph_star_queries() {
+    let raw = gfcl_datagen::generate_movies(MovieParams::scale(150));
+    let queries = vec![
+        (
+            "job-like-2a",
+            PatternQuery::builder()
+                .node("t", "title")
+                .node("cn", "company_name")
+                .node("k", "keyword")
+                .edge("mc", "movie_companies", "t", "cn")
+                .edge("mk", "movie_keyword", "t", "k")
+                .filter(eq(col("cn", "country_code"), lit("[de]")))
+                .filter(eq(col("k", "keyword"), lit("character-name-in-title")))
+                .returns_count()
+                .build(),
+        ),
+        (
+            "job-like-note-contains",
+            PatternQuery::builder()
+                .node("t", "title")
+                .node("cn", "company_name")
+                .edge("mc", "movie_companies", "t", "cn")
+                .filter(eq(col("mc", "company_type"), lit("production company")))
+                .filter(contains("mc", "note", "(co-production)"))
+                .returns_count()
+                .build(),
+        ),
+        (
+            "cast-star-with-satellite",
+            PatternQuery::builder()
+                .node("t", "title")
+                .node("n", "name")
+                .node("mi", "movie_info")
+                .edge("ci", "cast_info", "t", "n")
+                .edge("hmi", "has_movie_info", "t", "mi")
+                .filter(eq(col("mi", "info_type"), lit("genres")))
+                .filter(eq(col("mi", "info"), lit("Horror")))
+                .filter(eq(col("n", "gender"), lit("m")))
+                .returns_count()
+                .build(),
+        ),
+        (
+            "rating-string-range",
+            PatternQuery::builder()
+                .node("t", "title")
+                .node("mii", "mov_info_2")
+                .edge("h2", "has_mov_info_2", "t", "mii")
+                .filter(eq(col("mii", "info_type"), lit("rating")))
+                .filter(gt(col("mii", "info"), lit("8.0")))
+                .filter(gt(col("t", "production_year"), lit(2000)))
+                .returns_count()
+                .build(),
+        ),
+        (
+            "person-info-starts-with",
+            PatternQuery::builder()
+                .node("n", "name")
+                .node("pi", "person_info")
+                .edge("hpi", "has_person_info", "n", "pi")
+                .filter(starts_with("n", "name", "Downey"))
+                .filter(eq(col("pi", "info_type"), lit("trivia")))
+                .returns_count()
+                .build(),
+        ),
+    ];
+    assert_all_agree(&raw, StorageConfig::default(), &queries);
+}
+
+#[test]
+fn powerlaw_khop_counts() {
+    let raw = gfcl_datagen::generate_powerlaw(PowerLawParams { nodes: 300, avg_degree: 6.0, exponent: 1.8, seed: 42 });
+    let one_hop = PatternQuery::builder()
+        .node("a", "NODE")
+        .node("b", "NODE")
+        .edge("e", "LINK", "a", "b")
+        .filter(gt(col("e", "ts"), lit(1_350_000_000)))
+        .returns_count()
+        .build();
+    let two_hop = PatternQuery::builder()
+        .node("a", "NODE")
+        .node("b", "NODE")
+        .node("c", "NODE")
+        .edge("e1", "LINK", "a", "b")
+        .edge("e2", "LINK", "b", "c")
+        .filter(gt(col("e2", "ts"), col("e1", "ts")))
+        .returns_count()
+        .build();
+    assert_all_agree(
+        &raw,
+        StorageConfig::default(),
+        &[("1-hop", one_hop.clone()), ("2-hop", two_hop.clone())],
+    );
+    // Edge-column and double-indexed layouts agree too (Section 8.3 setup).
+    for layout in [EdgePropLayout::EdgeColumns, EdgePropLayout::DoubleIndexed] {
+        assert_all_agree(
+            &raw,
+            StorageConfig { edge_prop_layout: layout, ..StorageConfig::default() },
+            &[("1-hop", one_hop.clone()), ("2-hop", two_hop.clone())],
+        );
+    }
+}

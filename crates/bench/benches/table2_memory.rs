@@ -1,0 +1,75 @@
+//! Table 2: memory reduction from applying each storage optimization
+//! step-by-step, starting from the row store (GF-RV) and ending at GF-CL.
+//!
+//! Paper (Table 2a, LDBC100): total 102.56 GB -> 43.54 GB (2.36x), with
+//! per-step factors +1.25x (COLS), +1.21x (NEW-IDS), +1.45x (0-SUPR),
+//! +1.07x (NULL). Table 2b (IMDb): 7.57 GB -> 3.72 GB (2.03x).
+//! Absolute sizes differ (synthetic data, Rust value sizes); the *factors*
+//! and their per-component distribution are the reproduction target.
+
+use gfcl_bench::{banner, TextTable};
+use gfcl_common::human_bytes;
+use gfcl_storage::{ColumnarGraph, MemoryBreakdown, RawGraph, RowGraph, StorageConfig};
+
+fn breakdowns(raw: &RawGraph) -> Vec<(String, MemoryBreakdown)> {
+    let mut out = Vec::new();
+    out.push(("GF-RV".to_owned(), RowGraph::build(raw).unwrap().memory_breakdown()));
+    for (name, cfg) in StorageConfig::ladder() {
+        let g = ColumnarGraph::build(raw, cfg).unwrap();
+        out.push((name.to_owned(), g.memory_breakdown()));
+    }
+    out
+}
+
+fn component<'a>(b: &'a MemoryBreakdown, comp: &str) -> usize {
+    match comp {
+        "Vertex Props" => b.vertex_props,
+        "Edge Props" => b.edge_props,
+        "Fwd Adj. Lists" => b.fwd_adj,
+        "Bwd Adj. Lists" => b.bwd_adj,
+        _ => b.total(),
+    }
+}
+
+fn print_dataset(title: &str, raw: &RawGraph, paper_total: &str) {
+    println!("--- {title} ---");
+    println!(
+        "{} vertices, {} edges   (paper total reduction: {paper_total})",
+        raw.total_vertices(),
+        raw.total_edges()
+    );
+    let steps = breakdowns(raw);
+    let mut table = TextTable::new(vec![
+        "component".to_owned(),
+        "GF-RV".to_owned(),
+        "+COLS".to_owned(),
+        "+NEW-IDS".to_owned(),
+        "+0-SUPR".to_owned(),
+        "+NULL".to_owned(),
+        "GF-CL total factor".to_owned(),
+    ]);
+    for comp in ["Vertex Props", "Edge Props", "Fwd Adj. Lists", "Bwd Adj. Lists", "Total"] {
+        let sizes: Vec<usize> = steps.iter().map(|(_, b)| component(b, comp)).collect();
+        let mut cells = vec![comp.to_owned()];
+        for (i, &s) in sizes.iter().enumerate() {
+            if i == 0 {
+                cells.push(human_bytes(s));
+            } else {
+                let step = sizes[i - 1] as f64 / s.max(1) as f64;
+                cells.push(format!("{} (+{:.2}x)", human_bytes(s), step));
+            }
+        }
+        cells.push(format!("{:.2}x", sizes[0] as f64 / sizes[sizes.len() - 1].max(1) as f64));
+        table.row(cells);
+    }
+    table.print();
+    println!();
+}
+
+fn main() {
+    banner("Table 2: memory reductions per optimization step", "Tables 2a and 2b, Section 8.2");
+    let social = gfcl_bench::social(2_000);
+    print_dataset("LDBC-like social network (Table 2a analog)", &social, "2.36x");
+    let movies = gfcl_bench::movies(4_000);
+    print_dataset("IMDb-like movie database (Table 2b analog)", &movies, "2.03x");
+}

@@ -1,0 +1,405 @@
+//! A typed column: physical values + a [`NullMap`].
+//!
+//! Columns are the unit of storage for vertex properties ("vertex columns",
+//! Section 4.1.2), edge property pages (Section 4.2) and edge columns. A
+//! column with a *compressed* NULL layout stores only its non-NULL values,
+//! densely; the [`NullMap`] translates logical to physical positions in
+//! constant time (for the Jacobson layout).
+
+use gfcl_common::{DataType, Error, MemoryUsage, Result, Value};
+
+use crate::dictionary::Dictionary;
+use crate::nulls::{NullKind, NullMap};
+use crate::uint_array::UIntArray;
+
+/// Physical value storage of a column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// `Int64` and `Date` values.
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Bool(Vec<bool>),
+    /// Dictionary-encoded strings: fixed-length codes into `dict`.
+    Str { dict: Dictionary, codes: UIntArray },
+}
+
+/// An immutable typed column with pluggable NULL compression.
+#[derive(Debug, Clone)]
+pub struct Column {
+    dtype: DataType,
+    data: ColumnData,
+    nulls: NullMap,
+}
+
+impl Column {
+    /// Build from `Option<i64>` values (dtype `Int64` or `Date`).
+    pub fn from_i64(dtype: DataType, values: &[Option<i64>], kind: NullKind) -> Column {
+        debug_assert!(matches!(dtype, DataType::Int64 | DataType::Date));
+        let valid: Vec<bool> = values.iter().map(Option::is_some).collect();
+        let nulls = NullMap::build(&valid, kind);
+        let data = if nulls.is_dense() {
+            values.iter().map(|v| v.unwrap_or(0)).collect()
+        } else {
+            // `flatten()` hides the size hint; collect + shrink so memory
+            // accounting reflects the actual non-NULL count.
+            let mut d: Vec<_> = values.iter().flatten().copied().collect();
+            d.shrink_to_fit();
+            d
+        };
+        Column { dtype, data: ColumnData::I64(data), nulls }
+    }
+
+    /// Build from `Option<f64>` values.
+    pub fn from_f64(values: &[Option<f64>], kind: NullKind) -> Column {
+        let valid: Vec<bool> = values.iter().map(Option::is_some).collect();
+        let nulls = NullMap::build(&valid, kind);
+        let data = if nulls.is_dense() {
+            values.iter().map(|v| v.unwrap_or(0.0)).collect()
+        } else {
+            // `flatten()` hides the size hint; collect + shrink so memory
+            // accounting reflects the actual non-NULL count.
+            let mut d: Vec<_> = values.iter().flatten().copied().collect();
+            d.shrink_to_fit();
+            d
+        };
+        Column { dtype: DataType::Float64, data: ColumnData::F64(data), nulls }
+    }
+
+    /// Build from `Option<bool>` values.
+    pub fn from_bool(values: &[Option<bool>], kind: NullKind) -> Column {
+        let valid: Vec<bool> = values.iter().map(Option::is_some).collect();
+        let nulls = NullMap::build(&valid, kind);
+        let data = if nulls.is_dense() {
+            values.iter().map(|v| v.unwrap_or(false)).collect()
+        } else {
+            // `flatten()` hides the size hint; collect + shrink so memory
+            // accounting reflects the actual non-NULL count.
+            let mut d: Vec<_> = values.iter().flatten().copied().collect();
+            d.shrink_to_fit();
+            d
+        };
+        Column { dtype: DataType::Bool, data: ColumnData::Bool(data), nulls }
+    }
+
+    /// Build a dictionary-encoded string column. With `suppress = true` the
+    /// code array uses `⌈log2(z)/8⌉`-byte codes; otherwise 8-byte codes
+    /// (the pre-compression configurations of Table 2).
+    pub fn from_str<S: AsRef<str>>(
+        values: &[Option<S>],
+        kind: NullKind,
+        suppress: bool,
+    ) -> Column {
+        let valid: Vec<bool> = values.iter().map(Option::is_some).collect();
+        let nulls = NullMap::build(&valid, kind);
+        let mut dict = Dictionary::new();
+        let mut raw_codes: Vec<u64> = Vec::new();
+        if nulls.is_dense() {
+            for v in values {
+                let code = match v {
+                    Some(s) => dict.intern(s.as_ref()) as u64,
+                    None => 0,
+                };
+                raw_codes.push(code);
+            }
+            // Ensure code 0 exists even if every value is NULL.
+            if dict.is_empty() {
+                dict.intern("");
+            }
+        } else {
+            for v in values.iter().flatten() {
+                raw_codes.push(dict.intern(v.as_ref()) as u64);
+            }
+            if dict.is_empty() {
+                dict.intern("");
+            }
+        }
+        let max_code = (dict.len() as u64).saturating_sub(1);
+        let codes = if suppress {
+            let mut arr = UIntArray::with_capacity_for(max_code, raw_codes.len());
+            for c in &raw_codes {
+                arr.push(*c);
+            }
+            arr
+        } else {
+            UIntArray::U64(raw_codes)
+        };
+        Column { dtype: DataType::String, data: ColumnData::Str { dict, codes }, nulls }
+    }
+
+    /// Build from dynamically-typed values.
+    pub fn from_values(dtype: DataType, values: &[Value], kind: NullKind) -> Result<Column> {
+        match dtype {
+            DataType::Int64 | DataType::Date => {
+                let opts: Vec<Option<i64>> = values.iter().map(Value::as_i64).collect();
+                Ok(Column::from_i64(dtype, &opts, kind))
+            }
+            DataType::Float64 => {
+                let opts: Vec<Option<f64>> = values.iter().map(Value::as_f64).collect();
+                Ok(Column::from_f64(&opts, kind))
+            }
+            DataType::Bool => {
+                let opts: Vec<Option<bool>> = values.iter().map(Value::as_bool).collect();
+                Ok(Column::from_bool(&opts, kind))
+            }
+            DataType::String => {
+                let opts: Vec<Option<&str>> = values.iter().map(Value::as_str).collect();
+                Ok(Column::from_str(&opts, kind, true))
+            }
+        }
+    }
+
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    pub fn len(&self) -> usize {
+        self.nulls.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        !self.nulls.is_valid(i)
+    }
+
+    /// Read an `Int64`/`Date` value.
+    #[inline]
+    pub fn get_i64(&self, i: usize) -> Option<i64> {
+        match &self.data {
+            ColumnData::I64(v) => self.nulls.physical(i).map(|p| v[p]),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    pub fn get_f64(&self, i: usize) -> Option<f64> {
+        match &self.data {
+            ColumnData::F64(v) => self.nulls.physical(i).map(|p| v[p]),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    pub fn get_bool(&self, i: usize) -> Option<bool> {
+        match &self.data {
+            ColumnData::Bool(v) => self.nulls.physical(i).map(|p| v[p]),
+            _ => None,
+        }
+    }
+
+    /// Read a dictionary code (string columns only).
+    #[inline]
+    pub fn get_code(&self, i: usize) -> Option<u64> {
+        match &self.data {
+            ColumnData::Str { codes, .. } => self.nulls.physical(i).map(|p| codes.get(p)),
+            _ => None,
+        }
+    }
+
+    /// Read and decode a string value.
+    #[inline]
+    pub fn get_str(&self, i: usize) -> Option<&str> {
+        match &self.data {
+            ColumnData::Str { dict, codes } => {
+                self.nulls.physical(i).map(|p| dict.decode(codes.get(p)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Read as a dynamically-typed [`Value`].
+    pub fn value(&self, i: usize) -> Value {
+        match &self.data {
+            ColumnData::I64(_) => match self.get_i64(i) {
+                Some(v) if self.dtype == DataType::Date => Value::Date(v),
+                Some(v) => Value::Int64(v),
+                None => Value::Null,
+            },
+            ColumnData::F64(_) => self.get_f64(i).map_or(Value::Null, Value::Float64),
+            ColumnData::Bool(_) => self.get_bool(i).map_or(Value::Null, Value::Bool),
+            ColumnData::Str { .. } => {
+                self.get_str(i).map_or(Value::Null, |s| Value::String(s.to_owned()))
+            }
+        }
+    }
+
+    /// The dictionary, for string columns (predicate pre-evaluation).
+    pub fn dictionary(&self) -> Option<&Dictionary> {
+        match &self.data {
+            ColumnData::Str { dict, .. } => Some(dict),
+            _ => None,
+        }
+    }
+
+    pub fn null_map(&self) -> &NullMap {
+        &self.nulls
+    }
+
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Heap bytes of the physical values (excluding the NULL structure).
+    pub fn data_bytes(&self) -> usize {
+        match &self.data {
+            ColumnData::I64(v) => v.memory_bytes(),
+            ColumnData::F64(v) => v.memory_bytes(),
+            ColumnData::Bool(v) => v.memory_bytes(),
+            ColumnData::Str { dict, codes } => dict.memory_bytes() + codes.memory_bytes(),
+        }
+    }
+
+    /// Heap bytes of the NULL secondary structure.
+    pub fn null_overhead_bytes(&self) -> usize {
+        self.nulls.overhead_bytes()
+    }
+}
+
+impl MemoryUsage for Column {
+    fn memory_bytes(&self) -> usize {
+        self.data_bytes() + self.null_overhead_bytes()
+    }
+}
+
+/// Incremental builder accumulating dynamically-typed values.
+#[derive(Debug, Clone)]
+pub struct ColumnBuilder {
+    dtype: DataType,
+    values: Vec<Value>,
+}
+
+impl ColumnBuilder {
+    pub fn new(dtype: DataType) -> Self {
+        ColumnBuilder { dtype, values: Vec::new() }
+    }
+
+    pub fn push(&mut self, v: Value) -> Result<()> {
+        if let Some(dt) = v.data_type() {
+            let compatible = dt == self.dtype
+                || (dt == DataType::Int64 && self.dtype == DataType::Date)
+                || (dt == DataType::Date && self.dtype == DataType::Int64);
+            if !compatible {
+                return Err(Error::TypeMismatch {
+                    expected: self.dtype.to_string(),
+                    found: dt.to_string(),
+                });
+            }
+        }
+        self.values.push(v);
+        Ok(())
+    }
+
+    pub fn push_null(&mut self) {
+        self.values.push(Value::Null);
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn build(self, kind: NullKind) -> Result<Column> {
+        Column::from_values(self.dtype, &self.values, kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank::RankParams;
+
+    fn kinds() -> Vec<NullKind> {
+        vec![
+            NullKind::Uncompressed,
+            NullKind::Sparse,
+            NullKind::Ranges,
+            NullKind::Vanilla,
+            NullKind::Jacobson(RankParams::default()),
+        ]
+    }
+
+    #[test]
+    fn i64_column_roundtrip_all_layouts() {
+        let values: Vec<Option<i64>> =
+            (0..300).map(|i| if i % 4 == 0 { None } else { Some(i * 11) }).collect();
+        for kind in kinds() {
+            let col = Column::from_i64(DataType::Int64, &values, kind);
+            assert_eq!(col.len(), values.len());
+            for (i, v) in values.iter().enumerate() {
+                assert_eq!(col.get_i64(i), *v, "{kind:?} at {i}");
+                assert_eq!(col.is_null(i), v.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn date_column_values() {
+        let col = Column::from_i64(DataType::Date, &[Some(100), None], NullKind::Uncompressed);
+        assert_eq!(col.value(0), Value::Date(100));
+        assert_eq!(col.value(1), Value::Null);
+    }
+
+    #[test]
+    fn string_column_dictionary_encoding() {
+        let values = vec![Some("de"), Some("us"), None, Some("de"), Some("fr")];
+        for kind in kinds() {
+            let col = Column::from_str(&values, kind, true);
+            assert_eq!(col.get_str(0), Some("de"));
+            assert_eq!(col.get_str(2), None);
+            assert_eq!(col.get_str(3), Some("de"));
+            assert_eq!(col.get_code(0), col.get_code(3), "same string, same code");
+            assert_ne!(col.get_code(0), col.get_code(4));
+            let dict = col.dictionary().unwrap();
+            assert_eq!(dict.len(), 3);
+            assert_eq!(dict.code_width_bytes(), 1);
+        }
+    }
+
+    #[test]
+    fn compressed_layout_stores_only_non_nulls() {
+        let values: Vec<Option<i64>> =
+            (0..1000).map(|i| if i % 10 == 0 { Some(i) } else { None }).collect();
+        let dense = Column::from_i64(DataType::Int64, &values, NullKind::Uncompressed);
+        let sparse = Column::from_i64(DataType::Int64, &values, NullKind::Sparse);
+        assert!(sparse.data_bytes() < dense.data_bytes() / 5);
+    }
+
+    #[test]
+    fn f64_and_bool_columns() {
+        let f = Column::from_f64(&[Some(1.5), None, Some(-2.0)], NullKind::jacobson_default());
+        assert_eq!(f.get_f64(0), Some(1.5));
+        assert_eq!(f.get_f64(1), None);
+        assert_eq!(f.value(2), Value::Float64(-2.0));
+        let b = Column::from_bool(&[Some(true), None], NullKind::Uncompressed);
+        assert_eq!(b.get_bool(0), Some(true));
+        assert_eq!(b.get_bool(1), None);
+        // Wrong-type accessor returns None rather than panicking.
+        assert_eq!(b.get_i64(0), None);
+    }
+
+    #[test]
+    fn builder_enforces_types() {
+        let mut b = ColumnBuilder::new(DataType::Int64);
+        b.push(Value::Int64(1)).unwrap();
+        b.push_null();
+        assert!(b.push(Value::String("no".into())).is_err());
+        let col = b.build(NullKind::Uncompressed).unwrap();
+        assert_eq!(col.len(), 2);
+        assert_eq!(col.get_i64(0), Some(1));
+        assert_eq!(col.get_i64(1), None);
+    }
+
+    #[test]
+    fn all_null_string_column() {
+        let values: Vec<Option<&str>> = vec![None, None];
+        let col = Column::from_str(&values, NullKind::jacobson_default(), true);
+        assert_eq!(col.get_str(0), None);
+        assert_eq!(col.get_str(1), None);
+    }
+}

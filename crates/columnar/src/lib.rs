@@ -1,0 +1,36 @@
+//! Columnar primitives and compression for the `gfcl` graph DBMS
+//! (Sections 4.1 and 5 of the paper).
+//!
+//! Desideratum 2 drives every design here: because GDBMS access patterns mix
+//! short sequential runs (adjacency lists) with random accesses (vertex
+//! properties), **decompressing an arbitrary element of a compressed block
+//! must take constant time**. All schemes in this crate are therefore
+//! fixed-length-code schemes:
+//!
+//! * [`UIntArray`] — leading-0 suppression: unsigned integers stored in the
+//!   narrowest of 1/2/4/8-byte codes that fits the maximum value.
+//! * [`Dictionary`] — fixed-length dictionary encoding of categorical
+//!   strings into `⌈log2(z)/8⌉`-byte codes, with predicate evaluation over
+//!   the dictionary (evaluate once per distinct value).
+//! * [`JacobsonRank`] — a simplified Jacobson bit-vector index giving
+//!   constant-time rank queries over a NULL bitmap (Figure 7).
+//! * [`NullMap`] — the design space of NULL-compression layouts from Abadi
+//!   plus the paper's Jacobson-enhanced layout, all behind one API that maps
+//!   logical positions to physical positions in a dense non-NULL array.
+//! * [`Column`] — a typed column combining physical values with a
+//!   [`NullMap`]; the building block for vertex columns, edge columns and
+//!   property pages.
+
+pub mod bitmap;
+pub mod column;
+pub mod dictionary;
+pub mod nulls;
+pub mod rank;
+pub mod uint_array;
+
+pub use bitmap::Bitmap;
+pub use column::{Column, ColumnBuilder, ColumnData};
+pub use dictionary::Dictionary;
+pub use nulls::{NullKind, NullMap};
+pub use rank::{JacobsonRank, RankParams};
+pub use uint_array::UIntArray;

@@ -1,0 +1,376 @@
+//! NULL / empty-list compression layouts (Section 5.3).
+//!
+//! All compressed layouts follow Abadi's design: non-NULL elements are
+//! stored **densely** in a values array, and a secondary structure maps a
+//! logical position to the physical position of its value (its *rank*).
+//! [`NullMap`] is that secondary structure, with five interchangeable
+//! layouts:
+//!
+//! | Layout          | Source                   | `physical(p)` cost     |
+//! |-----------------|--------------------------|------------------------|
+//! | `AllValid`      | no NULLs at all          | O(1), identity         |
+//! | `Uncompressed`  | values kept at all slots | O(1), identity         |
+//! | `Sparse`        | Abadi #1 (>90% NULL)     | O(log n) binary search |
+//! | `Ranges`        | Abadi #2 (dense runs)    | O(log r) binary search |
+//! | `Vanilla`       | Abadi #3 (1 bit/elem)    | **O(p)** linear rank   |
+//! | `Jacobson`      | paper's #3 + rank index  | O(1), 2 bits/elem      |
+//!
+//! The same structure compresses empty adjacency lists in CSRs (a vertex
+//! with an empty list is a "NULL" CSR entry) — Section 8.4.
+
+use gfcl_common::MemoryUsage;
+
+use crate::bitmap::Bitmap;
+use crate::rank::{JacobsonRank, RankParams};
+use crate::uint_array::UIntArray;
+
+/// Which NULL layout to build (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NullKind {
+    /// Assert no NULLs; zero overhead.
+    None,
+    /// Keep values at every slot plus a validity bitmap; no compression.
+    Uncompressed,
+    /// Abadi #1: sorted list of non-NULL positions.
+    Sparse,
+    /// Abadi #2: (start, length) runs of non-NULL positions.
+    Ranges,
+    /// Abadi #3: bit string, rank computed by scanning (slow baseline).
+    Vanilla,
+    /// Abadi #3 + Jacobson rank index: the paper's J-NULL.
+    Jacobson(RankParams),
+}
+
+impl NullKind {
+    /// The paper's default configuration: Jacobson with `m = c = 16`.
+    pub fn jacobson_default() -> Self {
+        NullKind::Jacobson(RankParams::default())
+    }
+}
+
+/// Secondary structure mapping logical column positions to physical
+/// positions in a dense non-NULL values array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NullMap {
+    AllValid {
+        len: usize,
+    },
+    Uncompressed {
+        valid: Bitmap,
+        n_valid: usize,
+    },
+    Sparse {
+        len: usize,
+        /// Sorted logical positions of the non-NULL values.
+        positions: UIntArray,
+    },
+    Ranges {
+        len: usize,
+        /// Start of each maximal non-NULL run (sorted).
+        starts: UIntArray,
+        /// Length of each run.
+        run_lens: UIntArray,
+        /// Number of non-NULL values before each run.
+        prefix: UIntArray,
+        n_valid: usize,
+    },
+    Vanilla {
+        bits: Bitmap,
+        n_valid: usize,
+    },
+    Jacobson {
+        bits: Bitmap,
+        rank: JacobsonRank,
+    },
+}
+
+impl NullMap {
+    /// Build the chosen layout from a validity slice.
+    pub fn build(valid: &[bool], kind: NullKind) -> NullMap {
+        match kind {
+            NullKind::None => {
+                debug_assert!(valid.iter().all(|&v| v), "NullKind::None requires all-valid data");
+                NullMap::AllValid { len: valid.len() }
+            }
+            NullKind::Uncompressed => NullMap::Uncompressed {
+                valid: Bitmap::from_bools(valid),
+                n_valid: valid.iter().filter(|&&v| v).count(),
+            },
+            NullKind::Sparse => {
+                let pos: Vec<u64> =
+                    valid.iter().enumerate().filter(|(_, &v)| v).map(|(i, _)| i as u64).collect();
+                NullMap::Sparse { len: valid.len(), positions: UIntArray::from_values(&pos, true) }
+            }
+            NullKind::Ranges => {
+                let mut starts = Vec::new();
+                let mut run_lens = Vec::new();
+                let mut prefix = Vec::new();
+                let mut n_valid = 0u64;
+                let mut i = 0usize;
+                while i < valid.len() {
+                    if valid[i] {
+                        let start = i;
+                        while i < valid.len() && valid[i] {
+                            i += 1;
+                        }
+                        starts.push(start as u64);
+                        run_lens.push((i - start) as u64);
+                        prefix.push(n_valid);
+                        n_valid += (i - start) as u64;
+                    } else {
+                        i += 1;
+                    }
+                }
+                NullMap::Ranges {
+                    len: valid.len(),
+                    starts: UIntArray::from_values(&starts, true),
+                    run_lens: UIntArray::from_values(&run_lens, true),
+                    prefix: UIntArray::from_values(&prefix, true),
+                    n_valid: n_valid as usize,
+                }
+            }
+            NullKind::Vanilla => NullMap::Vanilla {
+                bits: Bitmap::from_bools(valid),
+                n_valid: valid.iter().filter(|&&v| v).count(),
+            },
+            NullKind::Jacobson(params) => {
+                let bits = Bitmap::from_bools(valid);
+                let rank = JacobsonRank::build(&bits, params);
+                NullMap::Jacobson { bits, rank }
+            }
+        }
+    }
+
+    /// Logical length of the column.
+    pub fn len(&self) -> usize {
+        match self {
+            NullMap::AllValid { len } => *len,
+            NullMap::Uncompressed { valid, .. } => valid.len(),
+            NullMap::Sparse { len, .. } => *len,
+            NullMap::Ranges { len, .. } => *len,
+            NullMap::Vanilla { bits, .. } => bits.len(),
+            NullMap::Jacobson { bits, .. } => bits.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of non-NULL positions.
+    pub fn count_valid(&self) -> usize {
+        match self {
+            NullMap::AllValid { len } => *len,
+            NullMap::Uncompressed { n_valid, .. } => *n_valid,
+            NullMap::Sparse { positions, .. } => positions.len(),
+            NullMap::Ranges { n_valid, .. } => *n_valid,
+            NullMap::Vanilla { n_valid, .. } => *n_valid,
+            NullMap::Jacobson { rank, .. } => rank.count_ones(),
+        }
+    }
+
+    /// Is position `i` non-NULL?
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        match self {
+            NullMap::AllValid { .. } => true,
+            NullMap::Uncompressed { valid, .. } => valid.get(i),
+            NullMap::Sparse { positions, .. } => {
+                binary_search_uint(positions, i as u64).is_some()
+            }
+            NullMap::Ranges { starts, run_lens, .. } => {
+                range_lookup(starts, run_lens, i as u64).is_some()
+            }
+            NullMap::Vanilla { bits, .. } => bits.get(i),
+            NullMap::Jacobson { bits, .. } => bits.get(i),
+        }
+    }
+
+    /// Physical position of logical position `i` in the dense values array,
+    /// or `None` if `i` is NULL. For `AllValid`/`Uncompressed` (dense data)
+    /// the physical position equals the logical position.
+    #[inline]
+    pub fn physical(&self, i: usize) -> Option<usize> {
+        match self {
+            NullMap::AllValid { .. } => Some(i),
+            NullMap::Uncompressed { valid, .. } => valid.get(i).then_some(i),
+            NullMap::Sparse { positions, .. } => binary_search_uint(positions, i as u64),
+            NullMap::Ranges { starts, run_lens, prefix, .. } => {
+                range_lookup(starts, run_lens, i as u64)
+                    .map(|(run, delta)| prefix.get(run) as usize + delta)
+            }
+            NullMap::Vanilla { bits, .. } => {
+                // Deliberately linear: the vanilla baseline of Figure 10.
+                bits.get(i).then(|| bits.rank_scan(i))
+            }
+            NullMap::Jacobson { bits, rank } => bits.get(i).then(|| rank.rank(bits, i)),
+        }
+    }
+
+    /// `true` if values are stored at every slot (physical == logical).
+    pub fn is_dense(&self) -> bool {
+        matches!(self, NullMap::AllValid { .. } | NullMap::Uncompressed { .. })
+    }
+
+    /// Bytes of the secondary structure only (the Figure 10 / Table 8
+    /// "overhead" number: bit strings + prefix sums + positions).
+    pub fn overhead_bytes(&self) -> usize {
+        match self {
+            NullMap::AllValid { .. } => 0,
+            NullMap::Uncompressed { valid, .. } => valid.memory_bytes(),
+            NullMap::Sparse { positions, .. } => positions.memory_bytes(),
+            NullMap::Ranges { starts, run_lens, prefix, .. } => {
+                starts.memory_bytes() + run_lens.memory_bytes() + prefix.memory_bytes()
+            }
+            NullMap::Vanilla { bits, .. } => bits.memory_bytes(),
+            NullMap::Jacobson { bits, rank } => bits.memory_bytes() + rank.overhead_bytes(),
+        }
+    }
+}
+
+impl MemoryUsage for NullMap {
+    fn memory_bytes(&self) -> usize {
+        self.overhead_bytes()
+    }
+}
+
+/// Binary search for `target` in a sorted `UIntArray`; returns its index.
+#[inline]
+fn binary_search_uint(arr: &UIntArray, target: u64) -> Option<usize> {
+    let mut lo = 0usize;
+    let mut hi = arr.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let v = arr.get(mid);
+        if v < target {
+            lo = mid + 1;
+        } else if v > target {
+            hi = mid;
+        } else {
+            return Some(mid);
+        }
+    }
+    None
+}
+
+/// Find the run containing `target`; returns `(run index, offset in run)`.
+#[inline]
+fn range_lookup(starts: &UIntArray, run_lens: &UIntArray, target: u64) -> Option<(usize, usize)> {
+    if starts.is_empty() {
+        return None;
+    }
+    // Largest run with start <= target.
+    let mut lo = 0usize;
+    let mut hi = starts.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if starts.get(mid) <= target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo == 0 {
+        return None;
+    }
+    let run = lo - 1;
+    let delta = target - starts.get(run);
+    (delta < run_lens.get(run)).then_some((run, delta as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kinds() -> Vec<NullKind> {
+        vec![
+            NullKind::Uncompressed,
+            NullKind::Sparse,
+            NullKind::Ranges,
+            NullKind::Vanilla,
+            NullKind::jacobson_default(),
+            NullKind::Jacobson(RankParams::new(8, 8).unwrap()),
+        ]
+    }
+
+    fn reference_physical(valid: &[bool], i: usize) -> Option<usize> {
+        if !valid[i] {
+            return None;
+        }
+        Some(valid[..i].iter().filter(|&&v| v).count())
+    }
+
+    #[test]
+    fn layouts_agree_on_physical_positions() {
+        let patterns: Vec<Vec<bool>> = vec![
+            (0..500).map(|i| i % 3 != 0).collect(),         // ~66% dense
+            (0..500).map(|i| i % 17 == 0).collect(),        // sparse
+            (0..500).map(|i| (i / 50) % 2 == 0).collect(),  // runs
+            vec![true; 100],
+            vec![false; 100],
+        ];
+        for valid in &patterns {
+            for kind in all_kinds() {
+                let map = NullMap::build(valid, kind);
+                assert_eq!(map.len(), valid.len());
+                assert_eq!(
+                    map.count_valid(),
+                    valid.iter().filter(|&&v| v).count(),
+                    "{kind:?}"
+                );
+                for i in 0..valid.len() {
+                    assert_eq!(map.is_valid(i), valid[i], "{kind:?} is_valid({i})");
+                    let expected = if map.is_dense() {
+                        valid[i].then_some(i)
+                    } else {
+                        reference_physical(valid, i)
+                    };
+                    assert_eq!(map.physical(i), expected, "{kind:?} physical({i})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_valid_has_zero_overhead() {
+        let map = NullMap::build(&vec![true; 1000], NullKind::None);
+        assert_eq!(map.overhead_bytes(), 0);
+        assert!(map.is_dense());
+        assert_eq!(map.physical(999), Some(999));
+    }
+
+    #[test]
+    fn jacobson_overhead_is_about_two_bits_per_element() {
+        let valid: Vec<bool> = (0..64 * 1024).map(|i| i % 2 == 0).collect();
+        let map = NullMap::build(&valid, NullKind::jacobson_default());
+        let bits = map.overhead_bytes() * 8;
+        let per_elem = bits as f64 / valid.len() as f64;
+        assert!((1.9..2.3).contains(&per_elem), "got {per_elem} bits/elem");
+    }
+
+    #[test]
+    fn vanilla_overhead_is_about_one_bit_per_element() {
+        let valid: Vec<bool> = (0..64 * 1024).map(|i| i % 2 == 0).collect();
+        let map = NullMap::build(&valid, NullKind::Vanilla);
+        let per_elem = (map.overhead_bytes() * 8) as f64 / valid.len() as f64;
+        assert!((0.9..1.1).contains(&per_elem), "got {per_elem} bits/elem");
+    }
+
+    #[test]
+    fn sparse_is_compact_for_very_sparse_columns() {
+        let valid: Vec<bool> = (0..10_000).map(|i| i % 100 == 0).collect();
+        let sparse = NullMap::build(&valid, NullKind::Sparse);
+        let vanilla = NullMap::build(&valid, NullKind::Vanilla);
+        assert!(sparse.overhead_bytes() < vanilla.overhead_bytes());
+    }
+
+    #[test]
+    fn empty_column() {
+        for kind in all_kinds() {
+            let map = NullMap::build(&[], kind);
+            assert_eq!(map.len(), 0);
+            assert!(map.is_empty());
+            assert_eq!(map.count_valid(), 0);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Fixed-width unsigned integer arrays with leading-0 suppression
+//! (Section 5.1 of the paper).
+//!
+//! Adjacency lists store small factored ID components — label-level vertex
+//! offsets and page-level positional offsets — whose maxima are known at
+//! build time. Storing them in the narrowest byte width that fits the
+//! maximum (`⌈log2(max)/8⌉` bytes, rounded to a power of two for aligned
+//! access) is the paper's fixed-length variant of leading-0 suppression:
+//! compression with **no decompression loop** — a single widening load per
+//! element (Desideratum 2).
+
+use gfcl_common::MemoryUsage;
+
+/// An immutable-after-build array of `u64` values stored in 1, 2, 4 or
+/// 8-byte codes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UIntArray {
+    U8(Vec<u8>),
+    U16(Vec<u16>),
+    U32(Vec<u32>),
+    U64(Vec<u64>),
+}
+
+impl UIntArray {
+    /// Choose the narrowest width that can hold `max_value`.
+    pub fn width_for(max_value: u64) -> usize {
+        if max_value <= u8::MAX as u64 {
+            1
+        } else if max_value <= u16::MAX as u64 {
+            2
+        } else if max_value <= u32::MAX as u64 {
+            4
+        } else {
+            8
+        }
+    }
+
+    /// An empty array sized for values up to `max_value`.
+    pub fn with_capacity_for(max_value: u64, cap: usize) -> Self {
+        match Self::width_for(max_value) {
+            1 => UIntArray::U8(Vec::with_capacity(cap)),
+            2 => UIntArray::U16(Vec::with_capacity(cap)),
+            4 => UIntArray::U32(Vec::with_capacity(cap)),
+            _ => UIntArray::U64(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Build from values, suppressing leading zeros based on the maximum
+    /// value present. With `suppress = false` the full 8-byte representation
+    /// is kept (the `GF-RV`/pre-`+0-SUPR` configurations of Table 2).
+    pub fn from_values(values: &[u64], suppress: bool) -> Self {
+        let max = if suppress { values.iter().copied().max().unwrap_or(0) } else { u64::MAX };
+        let mut arr = Self::with_capacity_for(max, values.len());
+        for &v in values {
+            arr.push(v);
+        }
+        arr
+    }
+
+    /// Append a value. Panics in debug builds if it does not fit the width.
+    #[inline]
+    pub fn push(&mut self, v: u64) {
+        match self {
+            UIntArray::U8(d) => {
+                debug_assert!(v <= u8::MAX as u64);
+                d.push(v as u8);
+            }
+            UIntArray::U16(d) => {
+                debug_assert!(v <= u16::MAX as u64);
+                d.push(v as u16);
+            }
+            UIntArray::U32(d) => {
+                debug_assert!(v <= u32::MAX as u64);
+                d.push(v as u32);
+            }
+            UIntArray::U64(d) => d.push(v),
+        }
+    }
+
+    /// Constant-time random access (a single widening load).
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        match self {
+            UIntArray::U8(d) => d[i] as u64,
+            UIntArray::U16(d) => d[i] as u64,
+            UIntArray::U32(d) => d[i] as u64,
+            UIntArray::U64(d) => d[i],
+        }
+    }
+
+    /// Overwrite position `i`. The value must fit the established width.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: u64) {
+        match self {
+            UIntArray::U8(d) => {
+                debug_assert!(v <= u8::MAX as u64);
+                d[i] = v as u8;
+            }
+            UIntArray::U16(d) => {
+                debug_assert!(v <= u16::MAX as u64);
+                d[i] = v as u16;
+            }
+            UIntArray::U32(d) => {
+                debug_assert!(v <= u32::MAX as u64);
+                d[i] = v as u32;
+            }
+            UIntArray::U64(d) => d[i] = v,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            UIntArray::U8(d) => d.len(),
+            UIntArray::U16(d) => d.len(),
+            UIntArray::U32(d) => d.len(),
+            UIntArray::U64(d) => d.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Code width in bytes.
+    pub fn width_bytes(&self) -> usize {
+        match self {
+            UIntArray::U8(_) => 1,
+            UIntArray::U16(_) => 2,
+            UIntArray::U32(_) => 4,
+            UIntArray::U64(_) => 8,
+        }
+    }
+
+    /// Iterate all values widened to `u64`.
+    pub fn iter(&self) -> UIntArrayIter<'_> {
+        UIntArrayIter { arr: self, pos: 0 }
+    }
+
+    /// Shrink backing storage to fit (called at the end of builds).
+    pub fn shrink_to_fit(&mut self) {
+        match self {
+            UIntArray::U8(d) => d.shrink_to_fit(),
+            UIntArray::U16(d) => d.shrink_to_fit(),
+            UIntArray::U32(d) => d.shrink_to_fit(),
+            UIntArray::U64(d) => d.shrink_to_fit(),
+        }
+    }
+}
+
+/// Iterator over a [`UIntArray`], yielding `u64`.
+pub struct UIntArrayIter<'a> {
+    arr: &'a UIntArray,
+    pos: usize,
+}
+
+impl Iterator for UIntArrayIter<'_> {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        if self.pos < self.arr.len() {
+            let v = self.arr.get(self.pos);
+            self.pos += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.arr.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for UIntArrayIter<'_> {}
+
+impl MemoryUsage for UIntArray {
+    fn memory_bytes(&self) -> usize {
+        match self {
+            UIntArray::U8(d) => d.memory_bytes(),
+            UIntArray::U16(d) => d.memory_bytes(),
+            UIntArray::U32(d) => d.memory_bytes(),
+            UIntArray::U64(d) => d.memory_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_selection() {
+        assert_eq!(UIntArray::width_for(0), 1);
+        assert_eq!(UIntArray::width_for(255), 1);
+        assert_eq!(UIntArray::width_for(256), 2);
+        assert_eq!(UIntArray::width_for(65_535), 2);
+        assert_eq!(UIntArray::width_for(65_536), 4);
+        assert_eq!(UIntArray::width_for(u32::MAX as u64), 4);
+        assert_eq!(UIntArray::width_for(u32::MAX as u64 + 1), 8);
+    }
+
+    #[test]
+    fn roundtrip_all_widths() {
+        for max in [200u64, 60_000, 4_000_000_000, u64::MAX / 2] {
+            let values: Vec<u64> = (0..100).map(|i| (i * 37) % (max + 1)).collect();
+            let arr = UIntArray::from_values(&values, true);
+            assert_eq!(arr.len(), values.len());
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(arr.get(i), v);
+            }
+            let collected: Vec<u64> = arr.iter().collect();
+            assert_eq!(collected, values);
+        }
+    }
+
+    #[test]
+    fn no_suppression_keeps_u64() {
+        let arr = UIntArray::from_values(&[1, 2, 3], false);
+        assert_eq!(arr.width_bytes(), 8);
+        let arr = UIntArray::from_values(&[1, 2, 3], true);
+        assert_eq!(arr.width_bytes(), 1);
+    }
+
+    #[test]
+    fn memory_is_proportional_to_width() {
+        let values: Vec<u64> = (0..1000).collect();
+        let narrow = UIntArray::from_values(&values, true); // fits u16
+        let wide = UIntArray::from_values(&values, false);
+        assert_eq!(narrow.width_bytes(), 2);
+        assert!(wide.memory_bytes() >= 4 * narrow.memory_bytes() - 64);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut arr = UIntArray::from_values(&[5, 6, 7], true);
+        arr.set(1, 200);
+        assert_eq!(arr.get(1), 200);
+    }
+}

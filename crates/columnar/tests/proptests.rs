@@ -1,0 +1,112 @@
+//! Property-based tests for the columnar compression invariants
+//! (DESIGN.md §5, invariants 1–3).
+
+use gfcl_columnar::{Bitmap, Column, JacobsonRank, NullKind, NullMap, RankParams, UIntArray};
+use gfcl_common::DataType;
+use proptest::prelude::*;
+
+fn null_kinds() -> Vec<NullKind> {
+    vec![
+        NullKind::Uncompressed,
+        NullKind::Sparse,
+        NullKind::Ranges,
+        NullKind::Vanilla,
+        NullKind::Jacobson(RankParams::default()),
+        NullKind::Jacobson(RankParams::new(8, 8).unwrap()),
+        NullKind::Jacobson(RankParams::new(4, 16).unwrap()),
+    ]
+}
+
+proptest! {
+    /// Invariant 1: UIntArray round-trips any u64 values at any width.
+    #[test]
+    fn uint_array_roundtrip(values in proptest::collection::vec(any::<u64>(), 0..300),
+                            shift in 0u32..56) {
+        // Scale values down so different widths get exercised.
+        let scaled: Vec<u64> = values.iter().map(|v| v >> shift).collect();
+        let arr = UIntArray::from_values(&scaled, true);
+        prop_assert_eq!(arr.len(), scaled.len());
+        for (i, &v) in scaled.iter().enumerate() {
+            prop_assert_eq!(arr.get(i), v);
+        }
+        let wide = UIntArray::from_values(&scaled, false);
+        prop_assert_eq!(wide.width_bytes(), 8);
+        for (i, &v) in scaled.iter().enumerate() {
+            prop_assert_eq!(wide.get(i), v);
+        }
+    }
+
+    /// Invariant 2: Jacobson rank equals the naive popcount for every
+    /// position, every parameterization.
+    #[test]
+    fn jacobson_rank_matches_naive(bits in proptest::collection::vec(any::<bool>(), 0..2000)) {
+        let bm = Bitmap::from_bools(&bits);
+        for (c, m) in [(16u32, 16u32), (8, 8), (8, 16), (16, 8), (4, 8)] {
+            let idx = JacobsonRank::build(&bm, RankParams::new(c, m).unwrap());
+            let mut naive = 0usize;
+            for (i, &b) in bits.iter().enumerate() {
+                prop_assert_eq!(idx.rank(&bm, i), naive, "c={} m={} i={}", c, m, i);
+                if b { naive += 1; }
+            }
+            prop_assert_eq!(idx.count_ones(), naive);
+        }
+    }
+
+    /// Invariant 2 (bis): rank_scan agrees with Jacobson rank.
+    #[test]
+    fn rank_scan_agrees_with_jacobson(bits in proptest::collection::vec(any::<bool>(), 1..1500)) {
+        let bm = Bitmap::from_bools(&bits);
+        let idx = JacobsonRank::build(&bm, RankParams::default());
+        for i in 0..bits.len() {
+            prop_assert_eq!(bm.rank_scan(i), idx.rank(&bm, i));
+        }
+    }
+
+    /// Invariant 3: every NULL layout agrees with the uncompressed column.
+    #[test]
+    fn null_layouts_agree(values in proptest::collection::vec(
+        proptest::option::weighted(0.6, any::<i64>()), 0..500)) {
+        let reference = Column::from_i64(DataType::Int64, &values, NullKind::Uncompressed);
+        for kind in null_kinds() {
+            let col = Column::from_i64(DataType::Int64, &values, kind);
+            prop_assert_eq!(col.len(), reference.len());
+            for i in 0..values.len() {
+                prop_assert_eq!(col.get_i64(i), reference.get_i64(i));
+                prop_assert_eq!(col.is_null(i), reference.is_null(i));
+            }
+        }
+    }
+
+    /// Invariant 3 for strings: dictionary encoding + every NULL layout
+    /// round-trips string columns.
+    #[test]
+    fn string_columns_roundtrip(values in proptest::collection::vec(
+        proptest::option::weighted(0.7, "[a-e]{0,4}"), 0..200)) {
+        for kind in null_kinds() {
+            let col = Column::from_str(&values, kind, true);
+            for (i, v) in values.iter().enumerate() {
+                prop_assert_eq!(col.get_str(i), v.as_deref());
+            }
+        }
+    }
+
+    /// NullMap::physical is a bijection between valid logical positions and
+    /// 0..count_valid, in order.
+    #[test]
+    fn physical_positions_are_dense_and_ordered(valid in proptest::collection::vec(any::<bool>(), 0..600)) {
+        for kind in [NullKind::Sparse, NullKind::Ranges, NullKind::Vanilla,
+                     NullKind::jacobson_default()] {
+            let map = NullMap::build(&valid, kind);
+            let mut expected = 0usize;
+            for (i, &v) in valid.iter().enumerate() {
+                if v {
+                    prop_assert_eq!(map.physical(i), Some(expected));
+                    expected += 1;
+                } else {
+                    prop_assert_eq!(map.physical(i), None);
+                }
+            }
+            prop_assert_eq!(map.count_valid(), expected);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type shared by storage, planner and engines.
+
+use std::fmt;
+
+/// All errors surfaced by the `gfcl` crates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A vertex or edge label name not present in the catalog.
+    UnknownLabel(String),
+    /// A property name not defined for the given label.
+    UnknownProperty { label: String, property: String },
+    /// A value or expression had an unexpected type.
+    TypeMismatch { expected: String, found: String },
+    /// Query could not be planned (e.g. disconnected pattern, cycle).
+    Plan(String),
+    /// Runtime failure during execution.
+    Exec(String),
+    /// Invalid argument to a storage structure or builder.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownLabel(l) => write!(f, "unknown label: {l}"),
+            Error::UnknownProperty { label, property } => {
+                write!(f, "unknown property {property} on label {label}")
+            }
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            Error::Plan(m) => write!(f, "planning error: {m}"),
+            Error::Exec(m) => write!(f, "execution error: {m}"),
+            Error::Invalid(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across all `gfcl` crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::UnknownProperty { label: "PERSON".into(), property: "agee".into() };
+        assert!(e.to_string().contains("agee"));
+        assert!(e.to_string().contains("PERSON"));
+        let e = Error::TypeMismatch { expected: "INT64".into(), found: "STRING".into() };
+        assert!(e.to_string().contains("INT64"));
+    }
+}

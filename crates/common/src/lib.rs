@@ -1,0 +1,22 @@
+//! Shared foundation types for the `gfcl` graph DBMS.
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! * [`DataType`] / [`Value`] — the property type system of the property
+//!   graph model (Section 2 of the paper).
+//! * [`VertexId`] / [`EdgeId`] — the paper's vertex and edge ID schemes
+//!   (Section 4): a vertex is `(label, label-level positional offset)`, an
+//!   n-n edge is `(edge label, source vertex, page-level positional offset)`.
+//! * [`MemoryUsage`] — exact heap accounting, used by the memory-reduction
+//!   experiments (Table 2) so reported sizes are measurements.
+//! * [`Error`] / [`Result`] — the error type shared by storage and engines.
+
+pub mod error;
+pub mod ids;
+pub mod mem;
+pub mod types;
+
+pub use error::{Error, Result};
+pub use ids::{Direction, EdgeId, LabelId, VertexId, VertexOffset};
+pub use mem::{human_bytes, MemoryUsage};
+pub use types::{DataType, Value};

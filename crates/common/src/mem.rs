@@ -1,0 +1,96 @@
+//! Exact heap-memory accounting.
+//!
+//! Table 2 of the paper reports the memory of each storage component under
+//! each optimization step. To reproduce it as a *measurement* rather than an
+//! estimate, every storage structure implements [`MemoryUsage`] and reports
+//! the heap bytes it owns (capacity, not length, for growable containers —
+//! matching what the allocator actually holds).
+
+/// Heap bytes owned by a value (excluding the inline `size_of::<Self>()`
+/// footprint, which callers add when relevant).
+pub trait MemoryUsage {
+    fn memory_bytes(&self) -> usize;
+}
+
+impl<T: Copy> MemoryUsage for Vec<T> {
+    fn memory_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: Copy> MemoryUsage for Box<[T]> {
+    fn memory_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl MemoryUsage for String {
+    fn memory_bytes(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<T: MemoryUsage> MemoryUsage for Option<T> {
+    fn memory_bytes(&self) -> usize {
+        self.as_ref().map_or(0, MemoryUsage::memory_bytes)
+    }
+}
+
+/// Heap bytes of a `Vec<String>`: the spine plus every string's buffer.
+pub fn vec_string_bytes(v: &[String]) -> usize {
+    std::mem::size_of_val(v) + v.iter().map(String::capacity).sum::<usize>()
+}
+
+/// Render a byte count as a human-readable string (`1.23 GB`, `456.7 MB`,
+/// `12.3 KB`, `87 B`), used by the bench harnesses when printing tables.
+pub fn human_bytes(bytes: usize) -> String {
+    const KB: f64 = 1024.0;
+    const MB: f64 = 1024.0 * 1024.0;
+    const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+    let b = bytes as f64;
+    if b >= GB {
+        format!("{:.2} GB", b / GB)
+    } else if b >= MB {
+        format!("{:.2} MB", b / MB)
+    } else if b >= KB {
+        format!("{:.2} KB", b / KB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_accounts_capacity() {
+        let mut v: Vec<u64> = Vec::with_capacity(16);
+        v.push(1);
+        assert_eq!(v.memory_bytes(), 16 * 8);
+    }
+
+    #[test]
+    fn boxed_slice_accounts_len() {
+        let b: Box<[u32]> = vec![1, 2, 3].into_boxed_slice();
+        assert_eq!(b.memory_bytes(), 12);
+    }
+
+    #[test]
+    fn option_and_strings() {
+        let s = String::from("hello");
+        assert!(s.memory_bytes() >= 5);
+        let o: Option<Vec<u8>> = None;
+        assert_eq!(o.memory_bytes(), 0);
+        let strings = vec![String::from("ab"), String::from("cdef")];
+        assert!(vec_string_bytes(&strings) >= 2 * std::mem::size_of::<String>() + 6);
+    }
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.00 KB");
+        assert!(human_bytes(3 * 1024 * 1024).starts_with("3.00 MB"));
+        assert!(human_bytes(5 * 1024 * 1024 * 1024).starts_with("5.00 GB"));
+    }
+}

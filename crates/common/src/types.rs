@@ -1,0 +1,224 @@
+//! The property type system: [`DataType`] and [`Value`].
+//!
+//! The paper's datasets use four property types: integers (LDBC edge
+//! properties are all 4-byte ints; we use `i64` uniformly), doubles, strings
+//! (dominant in IMDb), and dates (stored as an `i64` timestamp, as LDBC's
+//! `creationDate`). Booleans are included for completeness.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of a structured vertex or edge property (Guideline 3: label
+/// determines properties and their datatypes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE-754 float.
+    Float64,
+    /// Boolean.
+    Bool,
+    /// Date/time stored as an `i64` timestamp (seconds or days; the unit is
+    /// dataset-defined and opaque to the engine).
+    Date,
+    /// UTF-8 string; columnar storage dictionary-encodes these.
+    String,
+}
+
+impl DataType {
+    /// Width in bytes of the *uncompressed* fixed-length physical
+    /// representation, used for memory estimates of row layouts. Strings
+    /// report the pointer width; their heap bytes are accounted separately.
+    pub fn fixed_width(self) -> usize {
+        match self {
+            DataType::Int64 | DataType::Float64 | DataType::Date => 8,
+            DataType::Bool => 1,
+            DataType::String => 8,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int64 => "INT64",
+            DataType::Float64 => "DOUBLE",
+            DataType::Bool => "BOOL",
+            DataType::Date => "DATE",
+            DataType::String => "STRING",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically-typed property value.
+///
+/// `Value` is the interchange representation used by the row store
+/// (interpreted attribute layout), data generators, and query results.
+/// Columnar storage never materializes `Value`s on the hot path; it works on
+/// typed columns directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL-style NULL / missing property.
+    Null,
+    Int64(i64),
+    Float64(f64),
+    Bool(bool),
+    /// Date as i64 timestamp.
+    Date(i64),
+    String(String),
+}
+
+impl Value {
+    /// The [`DataType`] of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int64(_) => Some(DataType::Int64),
+            Value::Float64(_) => Some(DataType::Float64),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Date(_) => Some(DataType::Date),
+            Value::String(_) => Some(DataType::String),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int64(v) | Value::Date(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float64(v) => Some(*v),
+            Value::Int64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Three-valued-logic comparison: returns `None` if either side is NULL
+    /// or the types are incomparable (SQL semantics: the predicate evaluates
+    /// to UNKNOWN and the tuple is filtered out).
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int64(a), Value::Int64(b)) => Some(a.cmp(b)),
+            (Value::Date(a), Value::Date(b)) => Some(a.cmp(b)),
+            (Value::Int64(a), Value::Date(b)) | (Value::Date(a), Value::Int64(b)) => {
+                Some(a.cmp(b))
+            }
+            (Value::Float64(a), Value::Float64(b)) => a.partial_cmp(b),
+            (Value::Int64(a), Value::Float64(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float64(a), Value::Int64(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::String(a), Value::String(b)) => Some(a.as_str().cmp(b.as_str())),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Date(v) => write!(f, "date({v})"),
+            Value::String(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_widths() {
+        assert_eq!(DataType::Int64.fixed_width(), 8);
+        assert_eq!(DataType::Bool.fixed_width(), 1);
+        assert_eq!(DataType::String.fixed_width(), 8);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int64(7).as_i64(), Some(7));
+        assert_eq!(Value::Date(7).as_i64(), Some(7));
+        assert_eq!(Value::Float64(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::Int64(2).as_f64(), Some(2.0));
+        assert_eq!(Value::String("x".into()).as_str(), Some("x"));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.compare(&Value::Int64(1)), None);
+        assert_eq!(Value::Int64(1).compare(&Value::Null), None);
+    }
+
+    #[test]
+    fn cross_numeric_comparisons() {
+        use Ordering::*;
+        assert_eq!(Value::Int64(1).compare(&Value::Float64(1.5)), Some(Less));
+        assert_eq!(Value::Float64(2.5).compare(&Value::Int64(2)), Some(Greater));
+        assert_eq!(Value::Int64(3).compare(&Value::Date(3)), Some(Equal));
+        assert_eq!(
+            Value::String("abc".into()).compare(&Value::String("abd".into())),
+            Some(Less)
+        );
+        // Incomparable types evaluate to UNKNOWN, not a panic.
+        assert_eq!(Value::Bool(true).compare(&Value::Int64(1)), None);
+    }
+}

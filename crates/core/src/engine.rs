@@ -1,0 +1,118 @@
+//! The [`Engine`] abstraction and the GF-CL engine (columnar storage +
+//! list-based processor).
+//!
+//! All four engines of the evaluation (GF-CL here; GF-RV, GF-CV and the
+//! relational baseline in `gfcl-baselines`) execute the same
+//! [`LogicalPlan`], so benchmark comparisons isolate storage/processor
+//! design, not planning differences.
+
+use std::sync::Arc;
+
+use gfcl_common::{Result, Value};
+use gfcl_storage::{Catalog, ColumnarGraph};
+
+use crate::exec;
+use crate::plan::{plan, LogicalPlan};
+use crate::query::PatternQuery;
+
+/// The result of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// `COUNT(*)`.
+    Count(u64),
+    /// Materialized projection rows.
+    Rows { header: Vec<String>, rows: Vec<Vec<Value>> },
+    /// A single aggregate value.
+    Agg { name: String, value: Value },
+}
+
+impl QueryOutput {
+    /// Number of result rows (the count itself for `Count`).
+    pub fn cardinality(&self) -> u64 {
+        match self {
+            QueryOutput::Count(n) => *n,
+            QueryOutput::Rows { rows, .. } => rows.len() as u64,
+            QueryOutput::Agg { .. } => 1,
+        }
+    }
+
+    /// The count, if this is a `Count` output.
+    pub fn as_count(&self) -> Option<u64> {
+        match self {
+            QueryOutput::Count(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// A canonical, order-insensitive fingerprint used by the cross-engine
+    /// equivalence tests: engines may emit rows in different orders.
+    pub fn canonical(&self) -> String {
+        match self {
+            QueryOutput::Count(n) => format!("count:{n}"),
+            QueryOutput::Agg { name, value } => format!("agg:{name}={value}"),
+            QueryOutput::Rows { header, rows } => {
+                let mut lines: Vec<String> = rows
+                    .iter()
+                    .map(|r| {
+                        r.iter().map(ToString::to_string).collect::<Vec<_>>().join("|")
+                    })
+                    .collect();
+                lines.sort_unstable();
+                format!("rows[{}]:{}", header.join(","), lines.join(";"))
+            }
+        }
+    }
+}
+
+/// A query execution engine over some storage layout.
+pub trait Engine {
+    /// Short name used in benchmark tables ("GF-CL", "GF-RV", ...).
+    fn name(&self) -> &'static str;
+
+    /// The catalog queries are planned against.
+    fn catalog(&self) -> &Catalog;
+
+    /// Execute a pre-planned logical plan.
+    fn run_plan(&self, plan: &LogicalPlan) -> Result<QueryOutput>;
+
+    /// Plan and execute a query.
+    fn execute(&self, q: &PatternQuery) -> Result<QueryOutput> {
+        let p = plan(q, self.catalog())?;
+        self.run_plan(&p)
+    }
+
+    /// Plan a query against this engine's catalog (exposed so benchmarks
+    /// can plan once and time `run_plan` alone).
+    fn plan(&self, q: &PatternQuery) -> Result<LogicalPlan> {
+        plan(q, self.catalog())
+    }
+}
+
+/// GF-CL: columnar storage + list-based processor (the paper's system).
+pub struct GfClEngine {
+    graph: Arc<ColumnarGraph>,
+}
+
+impl GfClEngine {
+    pub fn new(graph: Arc<ColumnarGraph>) -> Self {
+        GfClEngine { graph }
+    }
+
+    pub fn graph(&self) -> &ColumnarGraph {
+        &self.graph
+    }
+}
+
+impl Engine for GfClEngine {
+    fn name(&self) -> &'static str {
+        "GF-CL"
+    }
+
+    fn catalog(&self) -> &Catalog {
+        self.graph.catalog()
+    }
+
+    fn run_plan(&self, plan: &LogicalPlan) -> Result<QueryOutput> {
+        exec::execute(&self.graph, plan)
+    }
+}

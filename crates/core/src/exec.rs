@@ -1,0 +1,776 @@
+//! The list-based processor: physical operators and the pipeline driver
+//! (Section 6.2).
+//!
+//! Operators pull chunk *states* from their child: each state is one
+//! configuration of the intermediate chunk's list groups (flattened
+//! positions + filled blocks) representing a set of tuples. The operators:
+//!
+//! * `ScanAll` / `ScanPk` — fill the first group with up to 1024 vertex
+//!   offsets (the paper's default morsel).
+//! * `ListExtend` — n-side joins over a CSR: flattens its source group
+//!   (iterating its selected positions across calls) and fills the output
+//!   group with **zero-copy views** of the current vertex's adjacency list.
+//! * `ColumnExtend` — single-cardinality joins via vertex columns: appends
+//!   neighbour blocks to the *same* group (no new factor is needed because
+//!   each tuple extends to at most one neighbour); missing edges unselect.
+//! * `ReadNodeProp` / `ReadEdgeProp` — vectorized property reads in list
+//!   order (Desideratum 1). Edge reads resolve through
+//!   [`gfcl_storage::EdgePropRead`], so the same operator exercises
+//!   property pages, edge columns, and double-indexed layouts.
+//! * `Filter` — evaluates a compiled predicate over the (single) unflat
+//!   group among its inputs, broadcasting flat operands, and ANDs the
+//!   result into the group's selection mask.
+//!
+//! The sinks implement the Section 6.2 aggregation-on-compressed-data
+//! trick: `COUNT(*)` multiplies group contributions without ever
+//! enumerating tuples.
+
+use gfcl_columnar::Column;
+use gfcl_common::{DataType, Direction, Error, LabelId, Result, Value};
+use gfcl_storage::{AdjIndex, ColumnarGraph};
+
+use crate::chunk::{Chunk, NodeData, ValueVector, VecRef};
+use crate::engine::QueryOutput;
+use crate::plan::{LogicalPlan, PlanReturn, PlanStep};
+use crate::pred::{compile_pred, CPred, EvalCtx};
+
+/// Default scan morsel size (the paper's block size for scans).
+pub const SCAN_MORSEL: usize = 1024;
+
+/// A physical operator. `ops[i]`'s child is `ops[i-1]`; `ops[0]` is a scan.
+enum Op {
+    ScanAll {
+        label: LabelId,
+        out: VecRef,
+        next: u64,
+        total: u64,
+    },
+    ScanPk {
+        label: LabelId,
+        key: i64,
+        out: VecRef,
+        done: bool,
+    },
+    ListExtend {
+        label: LabelId,
+        dir: Direction,
+        nbr_label: LabelId,
+        from: VecRef,
+        out_group: usize,
+        /// A chunk state is held from the child and being iterated.
+        active: bool,
+        /// This op flattens the source group (it arrived unflat).
+        owns_iter: bool,
+        pos: i64,
+        single_shot_done: bool,
+    },
+    ColumnExtend {
+        label: LabelId,
+        dir: Direction,
+        nbr_label: LabelId,
+        from: VecRef,
+        node_out: VecRef,
+    },
+    ReadNodeProp {
+        node: VecRef,
+        out: VecRef,
+        label: LabelId,
+        prop: usize,
+        dtype: DataType,
+    },
+    ReadEdgeProp {
+        edge: VecRef,
+        out: VecRef,
+        prop: usize,
+        dtype: DataType,
+    },
+    Filter {
+        pred: CPred,
+        mask: Vec<bool>,
+    },
+}
+
+/// Pull the next chunk state through `ops`.
+fn pull(ops: &mut [Op], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool> {
+    let (op, children) = ops.split_last_mut().expect("pipeline has at least a scan");
+    match op {
+        Op::ScanAll { label, out, next, total } => {
+            if *next >= *total {
+                return Ok(false);
+            }
+            let end = (*next + SCAN_MORSEL as u64).min(*total);
+            let vals: Vec<u64> = (*next..end).collect();
+            *next = end;
+            let group = &mut chunk.groups[out.group];
+            group.reset(vals.len());
+            group.vectors[out.vec] = ValueVector::Node { label: *label, data: NodeData::Owned(vals) };
+            Ok(true)
+        }
+        Op::ScanPk { label, key, out, done } => {
+            if *done {
+                return Ok(false);
+            }
+            *done = true;
+            match g.lookup_pk(*label, *key) {
+                Some(off) => {
+                    let group = &mut chunk.groups[out.group];
+                    group.reset(1);
+                    group.vectors[out.vec] =
+                        ValueVector::Node { label: *label, data: NodeData::Owned(vec![off]) };
+                    Ok(true)
+                }
+                None => Ok(false),
+            }
+        }
+        Op::ListExtend {
+            label,
+            dir,
+            nbr_label,
+            from,
+            out_group,
+            active,
+            owns_iter,
+            pos,
+            single_shot_done,
+        } => {
+            loop {
+                if !*active {
+                    if !pull(children, g, chunk)? {
+                        return Ok(false);
+                    }
+                    *active = true;
+                    *owns_iter = !chunk.groups[from.group].is_flat();
+                    *pos = -1;
+                    *single_shot_done = false;
+                }
+                // Advance to the next selected source position.
+                let src_idx = if *owns_iter {
+                    let fg = &mut chunk.groups[from.group];
+                    let mut p = *pos + 1;
+                    while (p as usize) < fg.len && !fg.selected(p as usize) {
+                        p += 1;
+                    }
+                    if (p as usize) < fg.len {
+                        *pos = p;
+                        fg.cur_idx = p;
+                        Some(p as usize)
+                    } else {
+                        None
+                    }
+                } else if *single_shot_done {
+                    None
+                } else {
+                    *single_shot_done = true;
+                    Some(chunk.groups[from.group].cur_idx as usize)
+                };
+                let Some(i) = src_idx else {
+                    *active = false;
+                    continue;
+                };
+                let src = chunk.groups[from.group].vectors[from.vec].node_offset(g, i);
+                let csr = match g.adj(*label, *dir) {
+                    AdjIndex::Csr(c) => c,
+                    AdjIndex::SingleCard(_) => {
+                        return Err(Error::Exec("ListExtend over vertex-column adjacency".into()))
+                    }
+                };
+                let (start, len) = csr.list(src);
+                if len == 0 {
+                    continue; // empty list: tuple produces no matches
+                }
+                let og = &mut chunk.groups[*out_group];
+                og.reset(len);
+                og.vectors[0] = ValueVector::Node {
+                    label: *nbr_label,
+                    data: NodeData::AdjView { label: *label, dir: *dir, start },
+                };
+                og.vectors[1] =
+                    ValueVector::EdgeList { label: *label, dir: *dir, from: src, start };
+                return Ok(true);
+            }
+        }
+        Op::ColumnExtend { label, dir, nbr_label, from, node_out } => loop {
+            if !pull(children, g, chunk)? {
+                return Ok(false);
+            }
+            let adj = match g.adj(*label, *dir) {
+                AdjIndex::SingleCard(s) => s,
+                AdjIndex::Csr(_) => {
+                    return Err(Error::Exec("ColumnExtend over CSR adjacency".into()))
+                }
+            };
+            let n = chunk.groups[from.group].len;
+            // Reuse the output allocation across fills.
+            let mut vals = match std::mem::replace(
+                &mut chunk.groups[node_out.group].vectors[node_out.vec],
+                ValueVector::Empty,
+            ) {
+                ValueVector::Node { data: NodeData::Owned(mut v), .. } => {
+                    v.clear();
+                    v
+                }
+                _ => Vec::with_capacity(n),
+            };
+            let mut mask = vec![true; n];
+            let mut any_missing = false;
+            for i in 0..n {
+                let off = chunk.groups[from.group].vectors[from.vec].node_offset(g, i);
+                match adj.nbr(off) {
+                    Some(nb) => vals.push(nb),
+                    None => {
+                        vals.push(0);
+                        mask[i] = false;
+                        any_missing = true;
+                    }
+                }
+            }
+            chunk.groups[node_out.group].vectors[node_out.vec] =
+                ValueVector::Node { label: *nbr_label, data: NodeData::Owned(vals) };
+            let fg = &mut chunk.groups[from.group];
+            if any_missing {
+                fg.and_mask(&mask);
+            }
+            if fg.is_flat() {
+                if fg.selected(fg.cur_idx as usize) {
+                    return Ok(true);
+                }
+            } else if fg.sel_count > 0 {
+                return Ok(true);
+            }
+            // Current tuple(s) all died: pull the next state.
+        },
+        Op::ReadNodeProp { node, out, label, prop, dtype } => {
+            if !pull(children, g, chunk)? {
+                return Ok(false);
+            }
+            let n = chunk.groups[node.group].len;
+            let col = g.vertex_prop(*label, *prop);
+            let reuse = std::mem::replace(
+                &mut chunk.groups[out.group].vectors[out.vec],
+                ValueVector::Empty,
+            );
+            let node_vec = &chunk.groups[node.group].vectors[node.vec];
+            let filled = fill_vector(col, n, *dtype, reuse, |i| node_vec.node_offset(g, i));
+            chunk.groups[out.group].vectors[out.vec] = filled;
+            Ok(true)
+        }
+        Op::ReadEdgeProp { edge, out, prop, dtype } => {
+            if !pull(children, g, chunk)? {
+                return Ok(false);
+            }
+            let n = chunk.groups[edge.group].len;
+            let reuse = std::mem::replace(
+                &mut chunk.groups[out.group].vectors[out.vec],
+                ValueVector::Empty,
+            );
+            let filled = match &chunk.groups[edge.group].vectors[edge.vec] {
+                ValueVector::EdgeList { label, dir, from, start } => {
+                    let read = g.edge_prop_read(*label, *dir, *prop)?;
+                    let (label, dir, from, start) = (*label, *dir, *from, *start);
+                    // Resolve per edge: sequential for the indexed
+                    // direction, constant-time random otherwise.
+                    let col_probe = g.resolve_edge_prop(read, label, dir, from, Some(start)).0;
+                    fill_vector(col_probe, n, *dtype, reuse, |i| {
+                        g.resolve_edge_prop(read, label, dir, from, Some(start + i as u64)).1
+                    })
+                }
+                ValueVector::SingleEdge { label, dir, from_vec, nbr_vec } => {
+                    let read = g.edge_prop_read(*label, *dir, *prop)?;
+                    let (col, endpoint_is_nbr) = match read {
+                        gfcl_storage::EdgePropRead::ByVertex { col, endpoint_is_nbr } => {
+                            (col, endpoint_is_nbr)
+                        }
+                        _ => {
+                            return Err(Error::Exec(
+                                "single-cardinality edge must read props via vertex columns"
+                                    .into(),
+                            ))
+                        }
+                    };
+                    let src_vec = if endpoint_is_nbr { *nbr_vec } else { *from_vec };
+                    let vecs = &chunk.groups[edge.group].vectors;
+                    fill_vector(col, n, *dtype, reuse, |i| vecs[src_vec].node_offset(g, i))
+                }
+                _ => return Err(Error::Exec("edge property read on non-edge vector".into())),
+            };
+            chunk.groups[out.group].vectors[out.vec] = filled;
+            Ok(true)
+        }
+        Op::Filter { pred, mask } => loop {
+            if !pull(children, g, chunk)? {
+                return Ok(false);
+            }
+            // Find the unflat group among the predicate's inputs.
+            let mut target: Option<usize> = None;
+            let mut multi = false;
+            for r in pred.vec_refs() {
+                if !chunk.groups[r.group].is_flat() {
+                    if target.is_some() && target != Some(r.group) {
+                        multi = true;
+                    }
+                    target = Some(r.group);
+                }
+            }
+            if multi {
+                return Err(Error::Exec(
+                    "filter spans two unflat list groups; the planner must flatten one first"
+                        .into(),
+                ));
+            }
+            match target {
+                None => {
+                    // All operands flat: keep/drop the single current tuple.
+                    let ctx = EvalCtx { chunk, target: usize::MAX, pos: 0 };
+                    if pred.holds(&ctx) {
+                        return Ok(true);
+                    }
+                }
+                Some(tg) => {
+                    let len = chunk.groups[tg].len;
+                    mask.clear();
+                    for p in 0..len {
+                        let keep = chunk.groups[tg].selected(p)
+                            && pred.holds(&EvalCtx { chunk, target: tg, pos: p });
+                        mask.push(keep);
+                    }
+                    let group = &mut chunk.groups[tg];
+                    group.and_mask(mask);
+                    if group.sel_count > 0 {
+                        return Ok(true);
+                    }
+                }
+            }
+        },
+    }
+}
+
+/// Vectorized read of `col` at positions given by `idx(i)` into a typed
+/// block, reusing `reuse`'s allocation when the shapes match. String
+/// columns stay dictionary-encoded ([`ValueVector::Code`]); decoding is
+/// deferred to the sink (late materialization).
+fn fill_vector(
+    col: &Column,
+    n: usize,
+    dtype: DataType,
+    reuse: ValueVector,
+    idx: impl Fn(usize) -> u64,
+) -> ValueVector {
+    match col.dtype() {
+        DataType::Int64 | DataType::Date => {
+            let (mut vals, mut valid) = match reuse {
+                ValueVector::I64 { mut vals, mut valid, .. } => {
+                    vals.clear();
+                    valid.clear();
+                    (vals, valid)
+                }
+                _ => (Vec::with_capacity(n), Vec::with_capacity(n)),
+            };
+            for i in 0..n {
+                match col.get_i64(idx(i) as usize) {
+                    Some(v) => {
+                        vals.push(v);
+                        valid.push(true);
+                    }
+                    None => {
+                        vals.push(0);
+                        valid.push(false);
+                    }
+                }
+            }
+            ValueVector::I64 { vals, valid, date: dtype == DataType::Date }
+        }
+        DataType::Float64 => {
+            let mut vals = Vec::with_capacity(n);
+            let mut valid = Vec::with_capacity(n);
+            for i in 0..n {
+                match col.get_f64(idx(i) as usize) {
+                    Some(v) => {
+                        vals.push(v);
+                        valid.push(true);
+                    }
+                    None => {
+                        vals.push(0.0);
+                        valid.push(false);
+                    }
+                }
+            }
+            ValueVector::F64 { vals, valid }
+        }
+        DataType::Bool => {
+            let mut vals = Vec::with_capacity(n);
+            let mut valid = Vec::with_capacity(n);
+            for i in 0..n {
+                match col.get_bool(idx(i) as usize) {
+                    Some(v) => {
+                        vals.push(v);
+                        valid.push(true);
+                    }
+                    None => {
+                        vals.push(false);
+                        valid.push(false);
+                    }
+                }
+            }
+            ValueVector::Bool { vals, valid }
+        }
+        DataType::String => {
+            let (mut vals, mut valid) = match reuse {
+                ValueVector::Code { mut vals, mut valid } => {
+                    vals.clear();
+                    valid.clear();
+                    (vals, valid)
+                }
+                _ => (Vec::with_capacity(n), Vec::with_capacity(n)),
+            };
+            for i in 0..n {
+                match col.get_code(idx(i) as usize) {
+                    Some(v) => {
+                        vals.push(v);
+                        valid.push(true);
+                    }
+                    None => {
+                        vals.push(0);
+                        valid.push(false);
+                    }
+                }
+            }
+            ValueVector::Code { vals, valid }
+        }
+    }
+}
+
+/// Read position `idx` of a block as a [`Value`] (row materialization).
+/// `col` provides the dictionary for decoding string codes.
+fn vector_value(v: &ValueVector, idx: usize, col: Option<&Column>) -> Value {
+    match v {
+        ValueVector::I64 { vals, valid, date } => {
+            if valid[idx] {
+                if *date {
+                    Value::Date(vals[idx])
+                } else {
+                    Value::Int64(vals[idx])
+                }
+            } else {
+                Value::Null
+            }
+        }
+        ValueVector::F64 { vals, valid } => {
+            if valid[idx] {
+                Value::Float64(vals[idx])
+            } else {
+                Value::Null
+            }
+        }
+        ValueVector::Bool { vals, valid } => {
+            if valid[idx] {
+                Value::Bool(vals[idx])
+            } else {
+                Value::Null
+            }
+        }
+        ValueVector::Code { vals, valid } => {
+            if valid[idx] {
+                let dict = col
+                    .and_then(Column::dictionary)
+                    .expect("string slot has a dictionary-backed column");
+                Value::String(dict.decode(vals[idx]).to_owned())
+            } else {
+                Value::Null
+            }
+        }
+        _ => panic!("vector_value on non-scalar vector"),
+    }
+}
+
+/// Execute a logical plan on the columnar graph with the list-based
+/// processor.
+pub fn execute(g: &ColumnarGraph, plan: &LogicalPlan) -> Result<QueryOutput> {
+    // ---- Physical compilation ----
+    let mut group_vectors: Vec<Vec<ValueVector>> = Vec::new();
+    let mut node_locs: Vec<Option<VecRef>> = vec![None; plan.nodes.len()];
+    #[derive(Clone, Copy)]
+    struct EdgeBinding {
+        vref: VecRef,
+    }
+    let mut edge_locs: Vec<Option<EdgeBinding>> = vec![None; plan.edges.len()];
+    let mut slot_refs: Vec<VecRef> = vec![VecRef { group: usize::MAX, vec: 0 }; plan.slots.len()];
+    let mut slot_cols: Vec<Option<&Column>> = vec![None; plan.slots.len()];
+    let mut ops: Vec<Op> = Vec::with_capacity(plan.steps.len());
+
+    for step in &plan.steps {
+        match step {
+            PlanStep::ScanAll { node } => {
+                let label = plan.nodes[*node].label;
+                group_vectors.push(vec![ValueVector::Empty]);
+                let out = VecRef { group: 0, vec: 0 };
+                node_locs[*node] = Some(out);
+                ops.push(Op::ScanAll {
+                    label,
+                    out,
+                    next: 0,
+                    total: g.vertex_count(label) as u64,
+                });
+            }
+            PlanStep::ScanPk { node, key } => {
+                let label = plan.nodes[*node].label;
+                group_vectors.push(vec![ValueVector::Empty]);
+                let out = VecRef { group: 0, vec: 0 };
+                node_locs[*node] = Some(out);
+                ops.push(Op::ScanPk { label, key: *key, out, done: false });
+            }
+            PlanStep::Extend { edge, edge_label, dir, from, to, .. } => {
+                let from_ref = node_locs[*from].ok_or_else(|| Error::Plan("unbound from".into()))?;
+                let nbr_label = g.catalog().edge_label(*edge_label).nbr_label(*dir);
+                match g.adj(*edge_label, *dir) {
+                    AdjIndex::Csr(_) => {
+                        let out_group = group_vectors.len();
+                        group_vectors.push(vec![ValueVector::Empty, ValueVector::Empty]);
+                        node_locs[*to] = Some(VecRef { group: out_group, vec: 0 });
+                        edge_locs[*edge] =
+                            Some(EdgeBinding { vref: VecRef { group: out_group, vec: 1 } });
+                        ops.push(Op::ListExtend {
+                            label: *edge_label,
+                            dir: *dir,
+                            nbr_label,
+                            from: from_ref,
+                            out_group,
+                            active: false,
+                            owns_iter: false,
+                            pos: -1,
+                            single_shot_done: false,
+                        });
+                    }
+                    AdjIndex::SingleCard(_) => {
+                        let gidx = from_ref.group;
+                        let nv = group_vectors[gidx].len();
+                        group_vectors[gidx].push(ValueVector::Empty);
+                        let ev = group_vectors[gidx].len();
+                        group_vectors[gidx].push(ValueVector::SingleEdge {
+                            label: *edge_label,
+                            dir: *dir,
+                            from_vec: from_ref.vec,
+                            nbr_vec: nv,
+                        });
+                        node_locs[*to] = Some(VecRef { group: gidx, vec: nv });
+                        edge_locs[*edge] =
+                            Some(EdgeBinding { vref: VecRef { group: gidx, vec: ev } });
+                        ops.push(Op::ColumnExtend {
+                            label: *edge_label,
+                            dir: *dir,
+                            nbr_label,
+                            from: from_ref,
+                            node_out: VecRef { group: gidx, vec: nv },
+                        });
+                    }
+                }
+            }
+            PlanStep::NodeProp { node, prop, slot } => {
+                let nref = node_locs[*node].ok_or_else(|| Error::Plan("unbound node".into()))?;
+                let label = plan.nodes[*node].label;
+                let out = VecRef { group: nref.group, vec: group_vectors[nref.group].len() };
+                group_vectors[nref.group].push(ValueVector::Empty);
+                slot_refs[*slot] = out;
+                slot_cols[*slot] = Some(g.vertex_prop(label, *prop));
+                let def = &plan.slots[*slot];
+                ops.push(Op::ReadNodeProp {
+                    node: nref,
+                    out,
+                    label,
+                    prop: *prop,
+                    dtype: def.dtype,
+                });
+            }
+            PlanStep::EdgeProp { edge, prop, slot } => {
+                let eb = edge_locs[*edge].ok_or_else(|| Error::Plan("unbound edge".into()))?;
+                let elabel = plan.edges[*edge].label;
+                // The column backing this slot (for dictionary compile):
+                // resolve through any direction — property columns are
+                // shared across directions except DoubleIndexed, where
+                // dictionaries are built from the same data.
+                let dir = match &group_vectors[eb.vref.group][eb.vref.vec] {
+                    ValueVector::SingleEdge { dir, .. } => *dir,
+                    _ => {
+                        // EdgeList direction is known from the Extend step
+                        // that produced it; find it in ops order.
+                        plan.steps
+                            .iter()
+                            .find_map(|s| match s {
+                                PlanStep::Extend { edge: e2, dir, .. } if e2 == edge => Some(*dir),
+                                _ => None,
+                            })
+                            .ok_or_else(|| Error::Plan("edge prop before extend".into()))?
+                    }
+                };
+                let read = g.edge_prop_read(elabel, dir, *prop)?;
+                let col: &Column = match read {
+                    gfcl_storage::EdgePropRead::ByPosition(c)
+                    | gfcl_storage::EdgePropRead::ByEdgeId(c)
+                    | gfcl_storage::EdgePropRead::ByPageOffset { col: c, .. }
+                    | gfcl_storage::EdgePropRead::ByVertex { col: c, .. } => c,
+                };
+                let out = VecRef { group: eb.vref.group, vec: group_vectors[eb.vref.group].len() };
+                group_vectors[eb.vref.group].push(ValueVector::Empty);
+                slot_refs[*slot] = out;
+                slot_cols[*slot] = Some(col);
+                let def = &plan.slots[*slot];
+                ops.push(Op::ReadEdgeProp {
+                    edge: eb.vref,
+                    out,
+                    prop: *prop,
+                    dtype: def.dtype,
+                });
+            }
+            PlanStep::Filter { expr } => {
+                let pred = compile_pred(expr, &plan.slots, &slot_refs, &slot_cols)?;
+                ops.push(Op::Filter { pred, mask: Vec::new() });
+            }
+        }
+    }
+
+    // Assemble the chunk from the collected group shapes.
+    let mut chunk = Chunk::new(&group_vectors.iter().map(Vec::len).collect::<Vec<_>>());
+    for (gi, vecs) in group_vectors.into_iter().enumerate() {
+        chunk.groups[gi].vectors = vecs;
+    }
+
+    // ---- Sinks ----
+    match &plan.ret {
+        PlanReturn::CountStar => {
+            let mut count: u64 = 0;
+            while pull(&mut ops, g, &mut chunk)? {
+                count += chunk.tuple_count();
+            }
+            Ok(QueryOutput::Count(count))
+        }
+        PlanReturn::Sum(slot) => {
+            let r = slot_refs[*slot];
+            let dtype = plan.slots[*slot].dtype;
+            let mut sum_i: i128 = 0;
+            let mut sum_f: f64 = 0.0;
+            while pull(&mut ops, g, &mut chunk)? {
+                let group = &chunk.groups[r.group];
+                let mult = chunk.tuple_count_excluding(r.group);
+                let mut add = |idx: usize| match &group.vectors[r.vec] {
+                    ValueVector::I64 { vals, valid, .. } if valid[idx] => {
+                        sum_i += vals[idx] as i128 * mult as i128;
+                    }
+                    ValueVector::F64 { vals, valid } if valid[idx] => {
+                        sum_f += vals[idx] * mult as f64;
+                    }
+                    _ => {}
+                };
+                if group.is_flat() {
+                    add(group.cur_idx as usize);
+                } else {
+                    for idx in group.iter_selected() {
+                        add(idx);
+                    }
+                }
+            }
+            let value = match dtype {
+                DataType::Float64 => Value::Float64(sum_f),
+                _ => Value::Int64(sum_i as i64),
+            };
+            Ok(QueryOutput::Agg { name: plan.header[0].clone(), value })
+        }
+        PlanReturn::Min(slot) | PlanReturn::Max(slot) => {
+            let want_min = matches!(plan.ret, PlanReturn::Min(_));
+            let r = slot_refs[*slot];
+            let r_col = slot_cols[*slot];
+            let mut best: Value = Value::Null;
+            while pull(&mut ops, g, &mut chunk)? {
+                let group = &chunk.groups[r.group];
+                let mut consider = |idx: usize| {
+                    let v = vector_value(&group.vectors[r.vec], idx, r_col);
+                    if v.is_null() {
+                        return;
+                    }
+                    let replace = match best.compare(&v) {
+                        None => best.is_null(),
+                        Some(ord) => {
+                            if want_min {
+                                ord == std::cmp::Ordering::Greater
+                            } else {
+                                ord == std::cmp::Ordering::Less
+                            }
+                        }
+                    };
+                    if replace {
+                        best = v;
+                    }
+                };
+                if group.is_flat() {
+                    consider(group.cur_idx as usize);
+                } else {
+                    for idx in group.iter_selected() {
+                        consider(idx);
+                    }
+                }
+            }
+            Ok(QueryOutput::Agg { name: plan.header[0].clone(), value: best })
+        }
+        PlanReturn::Props(slots) => {
+            let refs: Vec<(VecRef, Option<&Column>)> =
+                slots.iter().map(|&s| (slot_refs[s], slot_cols[s])).collect();
+            let mut rows: Vec<Vec<Value>> = Vec::new();
+            while pull(&mut ops, g, &mut chunk)? {
+                enumerate_rows(&chunk, &refs, &mut rows);
+            }
+            Ok(QueryOutput::Rows { header: plan.header.clone(), rows })
+        }
+    }
+}
+
+/// Enumerate the Cartesian product of the chunk's groups, materializing the
+/// referenced slots for each represented tuple (decoding string codes
+/// through their columns' dictionaries — late materialization).
+fn enumerate_rows(
+    chunk: &Chunk,
+    refs: &[(VecRef, Option<&Column>)],
+    rows: &mut Vec<Vec<Value>>,
+) {
+    // Positions per group: flat groups are fixed at cur_idx.
+    let n_groups = chunk.groups.len();
+    let mut positions = vec![0usize; n_groups];
+    // Candidate position lists per group.
+    let per_group: Vec<Vec<usize>> = chunk
+        .groups
+        .iter()
+        .map(|gr| {
+            if gr.is_flat() {
+                vec![gr.cur_idx as usize]
+            } else {
+                gr.iter_selected().collect()
+            }
+        })
+        .collect();
+    if per_group.iter().any(Vec::is_empty) {
+        return;
+    }
+    let mut cursor = vec![0usize; n_groups];
+    loop {
+        for gi in 0..n_groups {
+            positions[gi] = per_group[gi][cursor[gi]];
+        }
+        rows.push(
+            refs.iter()
+                .map(|(r, col)| {
+                    vector_value(&chunk.groups[r.group].vectors[r.vec], positions[r.group], *col)
+                })
+                .collect(),
+        );
+        // Odometer increment.
+        let mut gi = n_groups;
+        loop {
+            if gi == 0 {
+                return;
+            }
+            gi -= 1;
+            cursor[gi] += 1;
+            if cursor[gi] < per_group[gi].len() {
+                break;
+            }
+            cursor[gi] = 0;
+        }
+    }
+}

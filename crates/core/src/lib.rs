@@ -1,0 +1,25 @@
+//! `gfcl-core` — the paper's primary contribution: the **list-based
+//! processor** (LBP, Section 6) and the query front-end shared by every
+//! engine in the evaluation.
+//!
+//! * [`query`] — the logical query model (acyclic MATCH patterns,
+//!   conjunctive predicates, COUNT/projection/aggregate returns);
+//! * [`plan`] — the left-deep planner resolving queries against a catalog;
+//! * [`chunk`] — factorized intermediate results: value vectors, list
+//!   groups with flat/unflat state, intermediate chunks;
+//! * [`pred`] — compiled vectorized predicates (string predicates run on
+//!   dictionary codes);
+//! * [`exec`] — the LBP operators (Scan, ListExtend, ColumnExtend,
+//!   property readers, Filter) and factorized aggregation sinks;
+//! * [`engine`] — the [`Engine`] trait and [`GfClEngine`].
+
+pub mod chunk;
+pub mod engine;
+pub mod exec;
+pub mod plan;
+pub mod pred;
+pub mod query;
+
+pub use engine::{Engine, GfClEngine, QueryOutput};
+pub use plan::{plan as plan_query, LogicalPlan, PlanReturn, PlanStep};
+pub use query::{PatternQuery, ReturnSpec};

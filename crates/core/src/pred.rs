@@ -1,0 +1,493 @@
+//! Compiled vectorized predicates.
+//!
+//! [`PlanExpr`]s are compiled once per query execution into [`CPred`]s that
+//! evaluate directly over chunk vectors. Two columnar techniques from the
+//! paper apply here:
+//!
+//! * **String predicates run on compressed data**: any predicate comparing
+//!   a dictionary-encoded string slot with constants (`=`, `<`, `CONTAINS`,
+//!   `STARTS WITH`, `IN`, ...) is pre-evaluated once per *distinct* value
+//!   against the column's dictionary, producing a bitmap over codes; the
+//!   per-row check is then a single bit probe (Section 5.1).
+//! * **Flat/list operand mixing** (Section 6.2): a binary expression's
+//!   operands may live in a flattened group (a single value) or in the
+//!   unflat target group (a block); evaluation broadcasts flat operands.
+//!
+//! NULL semantics are SQL's three-valued logic: comparisons with NULL are
+//! UNKNOWN, and only tuples whose predicate is TRUE survive.
+
+use gfcl_columnar::{Bitmap, Column};
+use gfcl_common::{DataType, Error, Result, Value};
+
+use crate::chunk::{Chunk, ValueVector, VecRef};
+use crate::plan::{PlanExpr, PlanScalar, SlotDef};
+use crate::query::{CmpOp, StrOp};
+
+/// An i64 operand: a slot block or a constant.
+#[derive(Debug, Clone, Copy)]
+pub enum I64Operand {
+    Slot(VecRef),
+    Const(i64),
+}
+
+/// An f64 operand, possibly promoting an integer slot.
+#[derive(Debug, Clone, Copy)]
+pub enum F64Operand {
+    F64Slot(VecRef),
+    I64Slot(VecRef),
+    Const(f64),
+}
+
+/// A compiled predicate.
+#[derive(Debug, Clone)]
+pub enum CPred {
+    Const(bool),
+    CmpI64 { op: CmpOp, lhs: I64Operand, rhs: I64Operand },
+    CmpF64 { op: CmpOp, lhs: F64Operand, rhs: F64Operand },
+    BoolEq { slot: VecRef, expected: bool },
+    /// String predicate pre-evaluated over the dictionary: true iff the
+    /// row's code is set in the bitmap.
+    CodeIn { slot: VecRef, set: Bitmap },
+    I64In { slot: VecRef, set: Vec<i64> },
+    And(Vec<CPred>),
+    Or(Vec<CPred>),
+    Not(Box<CPred>),
+}
+
+/// Evaluation position: the target group is indexed by `pos`; every other
+/// (flat) group contributes the value at its `cur_idx`.
+pub struct EvalCtx<'c> {
+    pub chunk: &'c Chunk,
+    /// Group whose positions are being scanned (`usize::MAX` = all flat).
+    pub target: usize,
+    pub pos: usize,
+}
+
+impl EvalCtx<'_> {
+    #[inline]
+    fn index_of(&self, r: VecRef) -> usize {
+        if r.group == self.target {
+            self.pos
+        } else {
+            let g = &self.chunk.groups[r.group];
+            debug_assert!(g.is_flat(), "non-target group must be flattened");
+            g.cur_idx as usize
+        }
+    }
+
+    #[inline]
+    fn read_i64(&self, r: VecRef) -> Option<i64> {
+        let idx = self.index_of(r);
+        match &self.chunk.groups[r.group].vectors[r.vec] {
+            ValueVector::I64 { vals, valid, .. } => valid[idx].then(|| vals[idx]),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn read_f64(&self, r: VecRef) -> Option<f64> {
+        let idx = self.index_of(r);
+        match &self.chunk.groups[r.group].vectors[r.vec] {
+            ValueVector::F64 { vals, valid } => valid[idx].then(|| vals[idx]),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn read_bool(&self, r: VecRef) -> Option<bool> {
+        let idx = self.index_of(r);
+        match &self.chunk.groups[r.group].vectors[r.vec] {
+            ValueVector::Bool { vals, valid } => valid[idx].then(|| vals[idx]),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn read_code(&self, r: VecRef) -> Option<u64> {
+        let idx = self.index_of(r);
+        match &self.chunk.groups[r.group].vectors[r.vec] {
+            ValueVector::Code { vals, valid } => valid[idx].then(|| vals[idx]),
+            _ => None,
+        }
+    }
+}
+
+#[inline]
+fn cmp_holds<T: PartialOrd>(op: CmpOp, a: T, b: T) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+impl CPred {
+    /// Three-valued evaluation at one position. `None` = UNKNOWN.
+    pub fn eval(&self, ctx: &EvalCtx<'_>) -> Option<bool> {
+        match self {
+            CPred::Const(b) => Some(*b),
+            CPred::CmpI64 { op, lhs, rhs } => {
+                let a = match lhs {
+                    I64Operand::Slot(r) => ctx.read_i64(*r)?,
+                    I64Operand::Const(k) => *k,
+                };
+                let b = match rhs {
+                    I64Operand::Slot(r) => ctx.read_i64(*r)?,
+                    I64Operand::Const(k) => *k,
+                };
+                Some(cmp_holds(*op, a, b))
+            }
+            CPred::CmpF64 { op, lhs, rhs } => {
+                let read = |o: &F64Operand| -> Option<f64> {
+                    match o {
+                        F64Operand::F64Slot(r) => ctx.read_f64(*r),
+                        F64Operand::I64Slot(r) => ctx.read_i64(*r).map(|v| v as f64),
+                        F64Operand::Const(k) => Some(*k),
+                    }
+                };
+                Some(cmp_holds(*op, read(lhs)?, read(rhs)?))
+            }
+            CPred::BoolEq { slot, expected } => Some(ctx.read_bool(*slot)? == *expected),
+            CPred::CodeIn { slot, set } => Some(set.get(ctx.read_code(*slot)? as usize)),
+            CPred::I64In { slot, set } => {
+                let v = ctx.read_i64(*slot)?;
+                Some(set.binary_search(&v).is_ok())
+            }
+            CPred::And(es) => {
+                let mut unknown = false;
+                for e in es {
+                    match e.eval(ctx) {
+                        Some(false) => return Some(false),
+                        None => unknown = true,
+                        Some(true) => {}
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(true)
+                }
+            }
+            CPred::Or(es) => {
+                let mut unknown = false;
+                for e in es {
+                    match e.eval(ctx) {
+                        Some(true) => return Some(true),
+                        None => unknown = true,
+                        Some(false) => {}
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            CPred::Not(e) => e.eval(ctx).map(|b| !b),
+        }
+    }
+
+    /// TRUE-only convenience: UNKNOWN filters the tuple out.
+    #[inline]
+    pub fn holds(&self, ctx: &EvalCtx<'_>) -> bool {
+        self.eval(ctx) == Some(true)
+    }
+
+    /// All slots (as vector refs) this predicate touches.
+    pub fn vec_refs(&self) -> Vec<VecRef> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs(&self, out: &mut Vec<VecRef>) {
+        match self {
+            CPred::Const(_) => {}
+            CPred::CmpI64 { lhs, rhs, .. } => {
+                if let I64Operand::Slot(r) = lhs {
+                    out.push(*r);
+                }
+                if let I64Operand::Slot(r) = rhs {
+                    out.push(*r);
+                }
+            }
+            CPred::CmpF64 { lhs, rhs, .. } => {
+                for o in [lhs, rhs] {
+                    match o {
+                        F64Operand::F64Slot(r) | F64Operand::I64Slot(r) => out.push(*r),
+                        F64Operand::Const(_) => {}
+                    }
+                }
+            }
+            CPred::BoolEq { slot, .. }
+            | CPred::CodeIn { slot, .. }
+            | CPred::I64In { slot, .. } => out.push(*slot),
+            CPred::And(es) | CPred::Or(es) => es.iter().for_each(|e| e.collect_refs(out)),
+            CPred::Not(e) => e.collect_refs(out),
+        }
+    }
+}
+
+/// Compile a resolved plan expression. `slot_refs[slot]` locates each
+/// slot's vector; `slot_cols[slot]` is the storage column it reads (for
+/// dictionary pre-evaluation).
+pub fn compile_pred(
+    expr: &PlanExpr,
+    slot_defs: &[SlotDef],
+    slot_refs: &[VecRef],
+    slot_cols: &[Option<&Column>],
+) -> Result<CPred> {
+    let c = Compiler { slot_defs, slot_refs, slot_cols };
+    c.compile(expr)
+}
+
+struct Compiler<'a> {
+    slot_defs: &'a [SlotDef],
+    slot_refs: &'a [VecRef],
+    slot_cols: &'a [Option<&'a Column>],
+}
+
+impl Compiler<'_> {
+    fn compile(&self, e: &PlanExpr) -> Result<CPred> {
+        match e {
+            PlanExpr::And(es) => {
+                Ok(CPred::And(es.iter().map(|e| self.compile(e)).collect::<Result<_>>()?))
+            }
+            PlanExpr::Or(es) => {
+                Ok(CPred::Or(es.iter().map(|e| self.compile(e)).collect::<Result<_>>()?))
+            }
+            PlanExpr::Not(inner) => Ok(CPred::Not(Box::new(self.compile(inner)?))),
+            PlanExpr::StrMatch { op, slot, pattern } => {
+                let dict = self.dict_of(*slot)?;
+                let set = match op {
+                    StrOp::Contains => dict.matching_codes(|s| s.contains(pattern.as_str())),
+                    StrOp::StartsWith => dict.matching_codes(|s| s.starts_with(pattern.as_str())),
+                    StrOp::EndsWith => dict.matching_codes(|s| s.ends_with(pattern.as_str())),
+                };
+                Ok(CPred::CodeIn { slot: self.slot_refs[*slot], set })
+            }
+            PlanExpr::InSet { slot, values } => match self.slot_defs[*slot].dtype {
+                DataType::String => {
+                    let needles: Vec<&str> = values.iter().filter_map(Value::as_str).collect();
+                    let dict = self.dict_of(*slot)?;
+                    let set = dict.matching_codes(|s| needles.contains(&s));
+                    Ok(CPred::CodeIn { slot: self.slot_refs[*slot], set })
+                }
+                DataType::Int64 | DataType::Date => {
+                    let mut set: Vec<i64> = values.iter().filter_map(Value::as_i64).collect();
+                    set.sort_unstable();
+                    set.dedup();
+                    Ok(CPred::I64In { slot: self.slot_refs[*slot], set })
+                }
+                t => Err(Error::TypeMismatch {
+                    expected: "STRING or INT64 for IN".into(),
+                    found: t.to_string(),
+                }),
+            },
+            PlanExpr::Cmp { op, lhs, rhs } => self.compile_cmp(*op, lhs, rhs),
+        }
+    }
+
+    fn compile_cmp(&self, op: CmpOp, lhs: &PlanScalar, rhs: &PlanScalar) -> Result<CPred> {
+        use PlanScalar::*;
+        let stype = |s: &PlanScalar| -> Option<DataType> {
+            match s {
+                Slot(i) => Some(self.slot_defs[*i].dtype),
+                Const(v) => v.data_type(),
+            }
+        };
+        let lt = stype(lhs);
+        let rt = stype(rhs);
+        // NULL constant: comparison is always UNKNOWN.
+        if lt.is_none() || rt.is_none() {
+            return Ok(CPred::And(vec![CPred::Const(true), CPred::Const(false)]));
+        }
+        let (lt, rt) = (lt.unwrap(), rt.unwrap());
+
+        // String comparisons become dictionary bitmaps.
+        if lt == DataType::String || rt == DataType::String {
+            return match (lhs, rhs) {
+                (Slot(s), Const(c)) => self.string_cmp(*s, op, c),
+                (Const(c), Slot(s)) => self.string_cmp(*s, flip(op), c),
+                (Slot(_), Slot(_)) => Err(Error::Plan(
+                    "string comparisons between two variables are not supported \
+                     (dictionaries are per-column)"
+                        .into(),
+                )),
+                (Const(a), Const(b)) => {
+                    Ok(CPred::Const(a.compare(b).map(|o| cmp_holds_ord(op, o)) == Some(true)))
+                }
+            };
+        }
+
+        // Bool equality.
+        if lt == DataType::Bool || rt == DataType::Bool {
+            return match (op, lhs, rhs) {
+                (CmpOp::Eq | CmpOp::Ne, Slot(s), Const(c)) | (CmpOp::Eq | CmpOp::Ne, Const(c), Slot(s)) => {
+                    let expected = c.as_bool().ok_or_else(|| Error::TypeMismatch {
+                        expected: "BOOL".into(),
+                        found: "non-bool".into(),
+                    })?;
+                    let p = CPred::BoolEq { slot: self.slot_refs[*s], expected };
+                    Ok(if op == CmpOp::Ne { CPred::Not(Box::new(p)) } else { p })
+                }
+                _ => Err(Error::Plan("unsupported boolean comparison".into())),
+            };
+        }
+
+        // Float if either side is a float; else integer/date.
+        let is_float = lt == DataType::Float64 || rt == DataType::Float64;
+        if is_float {
+            let f_operand = |s: &PlanScalar| -> Result<F64Operand> {
+                Ok(match s {
+                    Slot(i) => match self.slot_defs[*i].dtype {
+                        DataType::Float64 => F64Operand::F64Slot(self.slot_refs[*i]),
+                        _ => F64Operand::I64Slot(self.slot_refs[*i]),
+                    },
+                    Const(v) => F64Operand::Const(v.as_f64().ok_or_else(|| {
+                        Error::TypeMismatch { expected: "numeric".into(), found: v.to_string() }
+                    })?),
+                })
+            };
+            return Ok(CPred::CmpF64 { op, lhs: f_operand(lhs)?, rhs: f_operand(rhs)? });
+        }
+        let i_operand = |s: &PlanScalar| -> Result<I64Operand> {
+            Ok(match s {
+                Slot(i) => I64Operand::Slot(self.slot_refs[*i]),
+                Const(v) => I64Operand::Const(v.as_i64().ok_or_else(|| Error::TypeMismatch {
+                    expected: "INT64/DATE".into(),
+                    found: v.to_string(),
+                })?),
+            })
+        };
+        Ok(CPred::CmpI64 { op, lhs: i_operand(lhs)?, rhs: i_operand(rhs)? })
+    }
+
+    fn string_cmp(&self, slot: usize, op: CmpOp, konst: &Value) -> Result<CPred> {
+        let needle = konst.as_str().ok_or_else(|| Error::TypeMismatch {
+            expected: "STRING".into(),
+            found: konst.to_string(),
+        })?;
+        let dict = self.dict_of(slot)?;
+        let set = dict.matching_codes(|s| cmp_holds_ord(op, s.cmp(needle)));
+        Ok(CPred::CodeIn { slot: self.slot_refs[slot], set })
+    }
+
+    fn dict_of(&self, slot: usize) -> Result<&gfcl_columnar::Dictionary> {
+        self.slot_cols[slot]
+            .and_then(Column::dictionary)
+            .ok_or_else(|| Error::TypeMismatch {
+                expected: "STRING column".into(),
+                found: self.slot_defs[slot].dtype.to_string(),
+            })
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        o => o,
+    }
+}
+
+fn cmp_holds_ord(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{Chunk, ListGroup, ValueVector};
+
+    fn chunk_with(vals: Vec<i64>, valid: Vec<bool>) -> Chunk {
+        let mut g = ListGroup::new(1);
+        g.reset(vals.len());
+        g.vectors[0] = ValueVector::I64 { vals, valid, date: false };
+        Chunk { groups: vec![g] }
+    }
+
+    #[test]
+    fn i64_comparison_with_nulls() {
+        let chunk = chunk_with(vec![5, 10, 0], vec![true, true, false]);
+        let p = CPred::CmpI64 {
+            op: CmpOp::Gt,
+            lhs: I64Operand::Slot(VecRef { group: 0, vec: 0 }),
+            rhs: I64Operand::Const(6),
+        };
+        let at = |pos| p.eval(&EvalCtx { chunk: &chunk, target: 0, pos });
+        assert_eq!(at(0), Some(false));
+        assert_eq!(at(1), Some(true));
+        assert_eq!(at(2), None, "NULL comparison is UNKNOWN");
+        assert!(!p.holds(&EvalCtx { chunk: &chunk, target: 0, pos: 2 }));
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let chunk = chunk_with(vec![0], vec![false]); // NULL slot
+        let r = VecRef { group: 0, vec: 0 };
+        let unknown = CPred::CmpI64 {
+            op: CmpOp::Eq,
+            lhs: I64Operand::Slot(r),
+            rhs: I64Operand::Const(0),
+        };
+        let t = CPred::Const(true);
+        let f = CPred::Const(false);
+        let ctx = EvalCtx { chunk: &chunk, target: 0, pos: 0 };
+        assert_eq!(CPred::And(vec![unknown.clone(), f.clone()]).eval(&ctx), Some(false));
+        assert_eq!(CPred::And(vec![unknown.clone(), t.clone()]).eval(&ctx), None);
+        assert_eq!(CPred::Or(vec![unknown.clone(), t]).eval(&ctx), Some(true));
+        assert_eq!(CPred::Or(vec![unknown.clone(), f]).eval(&ctx), None);
+        assert_eq!(CPred::Not(Box::new(unknown)).eval(&ctx), None);
+    }
+
+    #[test]
+    fn flat_group_broadcast() {
+        // Group 0 flat at idx 1, group 1 is the target.
+        let mut g0 = ListGroup::new(1);
+        g0.reset(3);
+        g0.vectors[0] =
+            ValueVector::I64 { vals: vec![100, 200, 300], valid: vec![true; 3], date: false };
+        g0.cur_idx = 1;
+        let mut g1 = ListGroup::new(1);
+        g1.reset(2);
+        g1.vectors[0] = ValueVector::I64 { vals: vec![150, 250], valid: vec![true; 2], date: false };
+        let chunk = Chunk { groups: vec![g0, g1] };
+        // g1.val > g0.val (flat broadcast of 200)
+        let p = CPred::CmpI64 {
+            op: CmpOp::Gt,
+            lhs: I64Operand::Slot(VecRef { group: 1, vec: 0 }),
+            rhs: I64Operand::Slot(VecRef { group: 0, vec: 0 }),
+        };
+        assert_eq!(p.eval(&EvalCtx { chunk: &chunk, target: 1, pos: 0 }), Some(false));
+        assert_eq!(p.eval(&EvalCtx { chunk: &chunk, target: 1, pos: 1 }), Some(true));
+    }
+
+    #[test]
+    fn code_in_bitmap() {
+        let mut g = ListGroup::new(1);
+        g.reset(3);
+        g.vectors[0] =
+            ValueVector::Code { vals: vec![0, 1, 2], valid: vec![true, true, false] };
+        let chunk = Chunk { groups: vec![g] };
+        let set = Bitmap::from_bools(&[true, false, true]);
+        let p = CPred::CodeIn { slot: VecRef { group: 0, vec: 0 }, set };
+        let at = |pos| p.eval(&EvalCtx { chunk: &chunk, target: 0, pos });
+        assert_eq!(at(0), Some(true));
+        assert_eq!(at(1), Some(false));
+        assert_eq!(at(2), None);
+    }
+}

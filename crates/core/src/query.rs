@@ -1,0 +1,411 @@
+//! The logical query model: acyclic `MATCH` patterns with conjunctive
+//! predicates and a return clause (Section 2).
+//!
+//! This is the query language GraphflowDB's prototype supports —
+//! select-project-join over fixed-length subgraph patterns plus a limited
+//! form of aggregation — and it is shared by all four engines so that every
+//! benchmark runs the *same logical query* under different storage and
+//! processing designs.
+//!
+//! ```
+//! use gfcl_core::query::{PatternQuery, col, lit, gt, lt};
+//!
+//! // MATCH (a:PERSON)-[e:WORKAT]->(b:ORG)
+//! // WHERE a.age > 22 AND b.estd < 2015 RETURN *
+//! let q = PatternQuery::builder()
+//!     .node("a", "PERSON")
+//!     .node("b", "ORG")
+//!     .edge("e", "WORKAT", "a", "b")
+//!     .filter(gt(col("a", "age"), lit(22)))
+//!     .filter(lt(col("b", "estd"), lit(2015)))
+//!     .returns_count()
+//!     .build();
+//! assert_eq!(q.nodes.len(), 2);
+//! ```
+
+use gfcl_common::Value;
+
+/// A node variable in the pattern.
+#[derive(Debug, Clone)]
+pub struct NodePattern {
+    pub var: String,
+    pub label: String,
+}
+
+/// An edge in the pattern, written in the edge label's canonical direction:
+/// `from` must match the label's source and `to` its destination. The
+/// planner decides the *traversal* direction.
+#[derive(Debug, Clone)]
+pub struct EdgePattern {
+    pub var: Option<String>,
+    pub label: String,
+    /// Index into [`PatternQuery::nodes`].
+    pub from: usize,
+    pub to: usize,
+}
+
+/// Reference to a property of a pattern variable (node or edge).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropRef {
+    pub var: String,
+    pub prop: String,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// String predicates against a constant pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrOp {
+    Contains,
+    StartsWith,
+    EndsWith,
+}
+
+/// A boolean expression over pattern variables.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Comparison between two scalar operands.
+    Cmp { op: CmpOp, lhs: Scalar, rhs: Scalar },
+    /// String match of a property against a constant pattern.
+    StrMatch { op: StrOp, prop: PropRef, pattern: String },
+    /// Property value ∈ set of constants.
+    InSet { prop: PropRef, values: Vec<Value> },
+    And(Vec<Expr>),
+    Or(Vec<Expr>),
+    Not(Box<Expr>),
+}
+
+/// A scalar operand: a property reference or a constant.
+#[derive(Debug, Clone)]
+pub enum Scalar {
+    Prop(PropRef),
+    Const(Value),
+}
+
+impl Expr {
+    /// All property references in this expression.
+    pub fn prop_refs(&self) -> Vec<&PropRef> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs<'a>(&'a self, out: &mut Vec<&'a PropRef>) {
+        match self {
+            Expr::Cmp { lhs, rhs, .. } => {
+                if let Scalar::Prop(p) = lhs {
+                    out.push(p);
+                }
+                if let Scalar::Prop(p) = rhs {
+                    out.push(p);
+                }
+            }
+            Expr::StrMatch { prop, .. } => out.push(prop),
+            Expr::InSet { prop, .. } => out.push(prop),
+            Expr::And(es) | Expr::Or(es) => {
+                for e in es {
+                    e.collect_refs(out);
+                }
+            }
+            Expr::Not(e) => e.collect_refs(out),
+        }
+    }
+}
+
+/// What the query returns.
+#[derive(Debug, Clone)]
+pub enum ReturnSpec {
+    /// `RETURN COUNT(*)` — the factorized fast path of Section 6.2.
+    CountStar,
+    /// `RETURN a.x, b.y, ...` — materialized rows.
+    Props(Vec<PropRef>),
+    /// `RETURN SUM(x.p)` over all matches (with multiplicity).
+    Sum(PropRef),
+    /// `RETURN MIN(x.p)`.
+    Min(PropRef),
+    /// `RETURN MAX(x.p)`.
+    Max(PropRef),
+}
+
+/// Planner hints: a start variable and/or an explicit edge order, used by
+/// the benchmarks to force the forward/backward plans of Section 8.3.
+#[derive(Debug, Clone, Default)]
+pub struct PlanHints {
+    pub start: Option<String>,
+    /// Order in which pattern edges should be joined (indexes into
+    /// [`PatternQuery::edges`]).
+    pub edge_order: Option<Vec<usize>>,
+}
+
+/// A complete logical query.
+#[derive(Debug, Clone)]
+pub struct PatternQuery {
+    pub nodes: Vec<NodePattern>,
+    pub edges: Vec<EdgePattern>,
+    /// Conjunctive predicates (`WHERE c1 AND c2 AND ...`).
+    pub predicates: Vec<Expr>,
+    pub ret: ReturnSpec,
+    pub hints: PlanHints,
+}
+
+impl PatternQuery {
+    pub fn builder() -> QueryBuilder {
+        QueryBuilder::default()
+    }
+
+    /// Index of a node variable.
+    pub fn node_idx(&self, var: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.var == var)
+    }
+
+    /// Index of an edge variable.
+    pub fn edge_idx(&self, var: &str) -> Option<usize> {
+        self.edges.iter().position(|e| e.var.as_deref() == Some(var))
+    }
+}
+
+/// Fluent builder for [`PatternQuery`].
+#[derive(Debug, Default)]
+pub struct QueryBuilder {
+    nodes: Vec<NodePattern>,
+    edges: Vec<EdgePattern>,
+    predicates: Vec<Expr>,
+    ret: Option<ReturnSpec>,
+    hints: PlanHints,
+}
+
+impl QueryBuilder {
+    /// Declare a node variable with its label.
+    pub fn node(mut self, var: &str, label: &str) -> Self {
+        assert!(
+            !self.nodes.iter().any(|n| n.var == var),
+            "duplicate node variable {var}"
+        );
+        self.nodes.push(NodePattern { var: var.into(), label: label.into() });
+        self
+    }
+
+    /// Declare an edge `(from)-[var:label]->(to)` between declared nodes.
+    pub fn edge(mut self, var: &str, label: &str, from: &str, to: &str) -> Self {
+        let f = self.node_pos(from);
+        let t = self.node_pos(to);
+        self.edges.push(EdgePattern {
+            var: (!var.is_empty()).then(|| var.to_owned()),
+            label: label.into(),
+            from: f,
+            to: t,
+        });
+        self
+    }
+
+    /// Anonymous edge.
+    pub fn edge_anon(self, label: &str, from: &str, to: &str) -> Self {
+        self.edge("", label, from, to)
+    }
+
+    fn node_pos(&self, var: &str) -> usize {
+        self.nodes
+            .iter()
+            .position(|n| n.var == var)
+            .unwrap_or_else(|| panic!("edge references undeclared node variable {var}"))
+    }
+
+    /// Add a conjunct to the WHERE clause.
+    pub fn filter(mut self, e: Expr) -> Self {
+        self.predicates.push(e);
+        self
+    }
+
+    pub fn returns_count(mut self) -> Self {
+        self.ret = Some(ReturnSpec::CountStar);
+        self
+    }
+
+    /// `RETURN var.prop, ...`
+    pub fn returns(mut self, props: &[(&str, &str)]) -> Self {
+        self.ret = Some(ReturnSpec::Props(
+            props.iter().map(|(v, p)| PropRef { var: (*v).into(), prop: (*p).into() }).collect(),
+        ));
+        self
+    }
+
+    pub fn returns_sum(mut self, var: &str, prop: &str) -> Self {
+        self.ret = Some(ReturnSpec::Sum(PropRef { var: var.into(), prop: prop.into() }));
+        self
+    }
+
+    pub fn returns_min(mut self, var: &str, prop: &str) -> Self {
+        self.ret = Some(ReturnSpec::Min(PropRef { var: var.into(), prop: prop.into() }));
+        self
+    }
+
+    pub fn returns_max(mut self, var: &str, prop: &str) -> Self {
+        self.ret = Some(ReturnSpec::Max(PropRef { var: var.into(), prop: prop.into() }));
+        self
+    }
+
+    /// Force the planner to start matching at `var`.
+    pub fn start_at(mut self, var: &str) -> Self {
+        self.hints.start = Some(var.into());
+        self
+    }
+
+    /// Force an explicit edge join order.
+    pub fn edge_order(mut self, order: Vec<usize>) -> Self {
+        self.hints.edge_order = Some(order);
+        self
+    }
+
+    pub fn build(self) -> PatternQuery {
+        PatternQuery {
+            nodes: self.nodes,
+            edges: self.edges,
+            predicates: self.predicates,
+            ret: self.ret.unwrap_or(ReturnSpec::CountStar),
+            hints: self.hints,
+        }
+    }
+}
+
+// ---- Expression helper constructors ----
+
+/// `var.prop` operand.
+pub fn col(var: &str, prop: &str) -> Scalar {
+    Scalar::Prop(PropRef { var: var.into(), prop: prop.into() })
+}
+
+/// Constant operand.
+pub fn lit(v: impl Into<Value>) -> Scalar {
+    Scalar::Const(v.into())
+}
+
+/// Date-typed constant operand (plain `i64` literals become `Int64`).
+pub fn lit_date(ts: i64) -> Scalar {
+    Scalar::Const(Value::Date(ts))
+}
+
+macro_rules! cmp_fn {
+    ($name:ident, $op:ident) => {
+        #[doc = concat!("`lhs ", stringify!($op), " rhs` comparison.")]
+        pub fn $name(lhs: Scalar, rhs: Scalar) -> Expr {
+            Expr::Cmp { op: CmpOp::$op, lhs, rhs }
+        }
+    };
+}
+cmp_fn!(eq, Eq);
+cmp_fn!(ne, Ne);
+cmp_fn!(lt, Lt);
+cmp_fn!(le, Le);
+cmp_fn!(gt, Gt);
+cmp_fn!(ge, Ge);
+
+/// `var.prop CONTAINS pattern`.
+pub fn contains(var: &str, prop: &str, pattern: &str) -> Expr {
+    Expr::StrMatch {
+        op: StrOp::Contains,
+        prop: PropRef { var: var.into(), prop: prop.into() },
+        pattern: pattern.into(),
+    }
+}
+
+/// `var.prop STARTS WITH pattern`.
+pub fn starts_with(var: &str, prop: &str, pattern: &str) -> Expr {
+    Expr::StrMatch {
+        op: StrOp::StartsWith,
+        prop: PropRef { var: var.into(), prop: prop.into() },
+        pattern: pattern.into(),
+    }
+}
+
+/// `var.prop ENDS WITH pattern`.
+pub fn ends_with(var: &str, prop: &str, pattern: &str) -> Expr {
+    Expr::StrMatch {
+        op: StrOp::EndsWith,
+        prop: PropRef { var: var.into(), prop: prop.into() },
+        pattern: pattern.into(),
+    }
+}
+
+/// `var.prop IN (values...)`.
+pub fn in_set(var: &str, prop: &str, values: &[&str]) -> Expr {
+    Expr::InSet {
+        prop: PropRef { var: var.into(), prop: prop.into() },
+        values: values.iter().map(|s| Value::String((*s).to_owned())).collect(),
+    }
+}
+
+/// Conjunction.
+pub fn and(es: Vec<Expr>) -> Expr {
+    Expr::And(es)
+}
+
+/// Disjunction.
+pub fn or(es: Vec<Expr>) -> Expr {
+    Expr::Or(es)
+}
+
+/// Negation.
+pub fn not(e: Expr) -> Expr {
+    Expr::Not(Box::new(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_pattern() {
+        let q = PatternQuery::builder()
+            .node("a", "PERSON")
+            .node("b", "PERSON")
+            .node("c", "ORG")
+            .edge("e1", "FOLLOWS", "a", "b")
+            .edge_anon("WORKAT", "b", "c")
+            .filter(gt(col("a", "age"), lit(50)))
+            .returns(&[("b", "name")])
+            .start_at("a")
+            .build();
+        assert_eq!(q.nodes.len(), 3);
+        assert_eq!(q.edges.len(), 2);
+        assert_eq!(q.edges[0].var.as_deref(), Some("e1"));
+        assert!(q.edges[1].var.is_none());
+        assert_eq!(q.node_idx("c"), Some(2));
+        assert_eq!(q.edge_idx("e1"), Some(0));
+        assert_eq!(q.hints.start.as_deref(), Some("a"));
+        assert!(matches!(q.ret, ReturnSpec::Props(_)));
+    }
+
+    #[test]
+    fn prop_refs_collected_recursively() {
+        let e = and(vec![
+            gt(col("a", "x"), lit(1)),
+            or(vec![contains("b", "s", "foo"), not(eq(col("c", "y"), col("d", "z")))]),
+        ]);
+        let refs = e.prop_refs();
+        let vars: Vec<&str> = refs.iter().map(|r| r.var.as_str()).collect();
+        assert_eq!(vars, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared node variable")]
+    fn edge_to_unknown_node_panics() {
+        let _ = PatternQuery::builder().node("a", "X").edge("e", "E", "a", "missing");
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3i64), Value::Int64(3));
+        assert_eq!(Value::from("s"), Value::String("s".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(1.5f64), Value::Float64(1.5));
+    }
+}

@@ -1,0 +1,580 @@
+//! IMDb/JOB-like movie database generator.
+//!
+//! Substitute for the IMDb dataset converted to a property graph as the
+//! paper describes (Section 8.1): entity tables become vertices,
+//! relationship tables become n-n edges, denormalized type/info tables
+//! become 1-n satellites. Preserves what the experiments exercise:
+//!
+//! * string-heavy edge properties (`movie_companies.note`,
+//!   `cast_info.note/role/name`) with >50% NULLs on most of them —
+//!   driving the Table 2b `+NULL` savings and the 3.14x edge-prop factor;
+//! * star-join topology around `TITLE` — where LBP's factorized
+//!   intermediate results shine (Section 8.7.2);
+//! * the categorical constants the 33 JOB-like queries filter on.
+
+use gfcl_common::DataType::*;
+use gfcl_storage::{Cardinality, Catalog, PropertyDef, RawGraph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::util::{maybe, pick_skewed, shuffle_edges, Zipf};
+
+/// Scale parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MovieParams {
+    pub titles: usize,
+    pub seed: u64,
+}
+
+impl MovieParams {
+    pub fn scale(titles: usize) -> MovieParams {
+        MovieParams { titles, seed: 0x1BDB }
+    }
+}
+
+/// Label names of the generated schema, for query builders.
+pub mod labels {
+    pub const TITLE: &str = "title";
+    pub const NAME: &str = "name";
+    pub const COMPANY_NAME: &str = "company_name";
+    pub const KEYWORD: &str = "keyword";
+    pub const MOVIE_INFO: &str = "movie_info";
+    pub const MOV_INFO_2: &str = "mov_info_2";
+    pub const PERSON_INFO: &str = "person_info";
+    pub const AKA_NAME: &str = "aka_name";
+    pub const COMPLETE_CAST: &str = "complete_cast";
+
+    pub const MOVIE_COMPANIES: &str = "movie_companies";
+    pub const MOVIE_KEYWORD: &str = "movie_keyword";
+    pub const HAS_MOVIE_INFO: &str = "has_movie_info";
+    pub const HAS_MOV_INFO_2: &str = "has_mov_info_2";
+    pub const CAST_INFO: &str = "cast_info";
+    pub const MOVIE_LINK: &str = "movie_link";
+    pub const HAS_AKA_NAME: &str = "has_aka_name";
+    pub const HAS_PERSON_INFO: &str = "has_person_info";
+    pub const HAS_COMPLETE_CAST: &str = "has_complete_cast";
+}
+
+const KINDS: &[&str] = &["movie", "tv series", "episode", "video game"];
+const COUNTRY_CODES: &[&str] = &["[us]", "[de]", "[jp]", "[gb]", "[fr]", "[ru]", "[in]", "[pl]"];
+const KEYWORDS: &[&str] = &[
+    "character-name-in-title",
+    "sequel",
+    "murder",
+    "superhero",
+    "marvel-cinematic-universe",
+    "hero",
+    "computer-animation",
+    "blood",
+    "revenge",
+    "love",
+];
+const GENRES: &[&str] = &["Drama", "Comedy", "Horror", "Action", "Thriller"];
+const COUNTRIES: &[&str] = &["USA", "Germany", "Sweden", "Japan", "France", "India"];
+const INFO_TYPES: &[&str] = &["genres", "countries", "release dates", "budget", "languages"];
+const INFO2_TYPES: &[&str] = &["rating", "votes", "top 250 rank"];
+const PI_TYPES: &[&str] = &["mini biography", "trivia", "quotes"];
+const LINK_TYPES: &[&str] = &["follows", "followedBy", "features", "remake of"];
+const COMPANY_TYPES: &[&str] = &["production company", "distributor"];
+const ROLES: &[&str] = &["actor", "actress", "director", "producer", "writer"];
+const MC_NOTES: &[&str] = &[
+    "(co-production)",
+    "(theatrical) (France)",
+    "(2006) (worldwide)",
+    "(2008) (USA) (theatrical)",
+    "(Japan) (TV)",
+    "(worldwide) (all media)",
+    "(presents)",
+];
+const CI_NOTES: &[&str] = &[
+    "(voice)",
+    "(voice: English version)",
+    "(uncredited)",
+    "(uncredited) (voice)",
+    "(as himself)",
+    "(archive footage)",
+];
+const CHAR_NAMES: &[&str] =
+    &["Tony Stark", "Queen", "Batman", "The Woman", "Policeman", "Doctor", "Mother"];
+const NAME_PARTS: &[&str] =
+    &["Downey", "Timothy", "Angela", "Yoko", "Anders", "Brigitte", "Chen", "Boehm", "Marta"];
+
+/// Generate the movie database.
+pub fn generate(p: MovieParams) -> RawGraph {
+    use labels::*;
+    let mut cat = Catalog::new();
+    let title = cat
+        .add_vertex_label(
+            TITLE,
+            vec![
+                PropertyDef::new("id", Int64),
+                PropertyDef::new("title", String),
+                PropertyDef::new("kind", String),
+                PropertyDef::new("production_year", Int64),
+                PropertyDef::new("episode_nr", Int64),
+            ],
+        )
+        .unwrap();
+    let name = cat
+        .add_vertex_label(
+            NAME,
+            vec![
+                PropertyDef::new("id", Int64),
+                PropertyDef::new("name", String),
+                PropertyDef::new("gender", String),
+                PropertyDef::new("name_pcode_cf", String),
+            ],
+        )
+        .unwrap();
+    let company = cat
+        .add_vertex_label(
+            COMPANY_NAME,
+            vec![
+                PropertyDef::new("id", Int64),
+                PropertyDef::new("name", String),
+                PropertyDef::new("country_code", String),
+            ],
+        )
+        .unwrap();
+    let keyword = cat
+        .add_vertex_label(
+            KEYWORD,
+            vec![PropertyDef::new("id", Int64), PropertyDef::new("keyword", String)],
+        )
+        .unwrap();
+    let movie_info = cat
+        .add_vertex_label(
+            MOVIE_INFO,
+            vec![
+                PropertyDef::new("id", Int64),
+                PropertyDef::new("info_type", String),
+                PropertyDef::new("info", String),
+                PropertyDef::new("note", String),
+            ],
+        )
+        .unwrap();
+    let mov_info_2 = cat
+        .add_vertex_label(
+            MOV_INFO_2,
+            vec![
+                PropertyDef::new("id", Int64),
+                PropertyDef::new("info_type", String),
+                PropertyDef::new("info", String),
+            ],
+        )
+        .unwrap();
+    let person_info = cat
+        .add_vertex_label(
+            PERSON_INFO,
+            vec![
+                PropertyDef::new("id", Int64),
+                PropertyDef::new("info_type", String),
+                PropertyDef::new("info", String),
+                PropertyDef::new("note", String),
+            ],
+        )
+        .unwrap();
+    let aka_name = cat
+        .add_vertex_label(
+            AKA_NAME,
+            vec![PropertyDef::new("id", Int64), PropertyDef::new("name", String)],
+        )
+        .unwrap();
+    let complete_cast = cat
+        .add_vertex_label(
+            COMPLETE_CAST,
+            vec![
+                PropertyDef::new("id", Int64),
+                PropertyDef::new("subject", String),
+                PropertyDef::new("status", String),
+            ],
+        )
+        .unwrap();
+    for l in [title, name, company, keyword, movie_info, mov_info_2, person_info, aka_name, complete_cast] {
+        cat.set_primary_key(l, "id").unwrap();
+    }
+
+    use Cardinality::*;
+    let movie_companies = cat
+        .add_edge_label(
+            MOVIE_COMPANIES,
+            title,
+            company,
+            ManyMany,
+            vec![PropertyDef::new("company_type", String), PropertyDef::new("note", String)],
+        )
+        .unwrap();
+    let movie_keyword =
+        cat.add_edge_label(MOVIE_KEYWORD, title, keyword, ManyMany, vec![]).unwrap();
+    let has_movie_info =
+        cat.add_edge_label(HAS_MOVIE_INFO, title, movie_info, OneMany, vec![]).unwrap();
+    let has_mov_info_2 =
+        cat.add_edge_label(HAS_MOV_INFO_2, title, mov_info_2, OneMany, vec![]).unwrap();
+    let cast_info = cat
+        .add_edge_label(
+            CAST_INFO,
+            title,
+            name,
+            ManyMany,
+            vec![
+                PropertyDef::new("note", String),
+                PropertyDef::new("role", String),
+                PropertyDef::new("name", String),
+                PropertyDef::new("nr_order", Int64),
+            ],
+        )
+        .unwrap();
+    let movie_link = cat
+        .add_edge_label(
+            MOVIE_LINK,
+            title,
+            title,
+            ManyMany,
+            vec![PropertyDef::new("link_type", String)],
+        )
+        .unwrap();
+    let has_aka_name = cat.add_edge_label(HAS_AKA_NAME, name, aka_name, OneMany, vec![]).unwrap();
+    let has_person_info =
+        cat.add_edge_label(HAS_PERSON_INFO, name, person_info, OneMany, vec![]).unwrap();
+    let has_complete_cast =
+        cat.add_edge_label(HAS_COMPLETE_CAST, title, complete_cast, OneMany, vec![]).unwrap();
+
+    let mut raw = RawGraph::new(cat);
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+
+    let n_title = p.titles;
+    let n_name = p.titles * 2;
+    let n_company = (p.titles / 10).max(20);
+    let n_keyword = (p.titles / 20).max(KEYWORDS.len() * 4);
+    let n_mi = p.titles * 3;
+    let n_mi2 = p.titles * 2;
+    let n_pi = n_name / 2;
+    let n_aka = n_name / 2;
+    let n_cc = p.titles / 2;
+
+    // ---- Vertices ----
+    {
+        let t = &mut raw.vertices[title as usize];
+        t.count = n_title;
+        for v in 0..n_title {
+            t.props[0].push_i64(v as i64);
+            if v == 0 {
+                t.props[1].push_str("Shrek 2");
+            } else {
+                t.props[1].push_str(format!("Movie number {v}"));
+            }
+            t.props[2].push_str(*pick_skewed(KINDS, &mut rng));
+            match maybe(&mut rng, 0.05, ()) {
+                Some(()) => t.props[3].push_i64(rng.gen_range(1930..2021)),
+                None => t.props[3].push_null(),
+            }
+            match maybe(&mut rng, 0.7, ()) {
+                Some(()) => t.props[4].push_i64(rng.gen_range(0..200)),
+                None => t.props[4].push_null(),
+            }
+        }
+    }
+    {
+        let t = &mut raw.vertices[name as usize];
+        t.count = n_name;
+        for v in 0..n_name {
+            t.props[0].push_i64(v as i64);
+            let a = NAME_PARTS[v % NAME_PARTS.len()];
+            let b = NAME_PARTS[(v * 7 + 3) % NAME_PARTS.len()];
+            t.props[1].push_str(format!("{b}, {a}"));
+            match maybe(&mut rng, 0.2, ()) {
+                Some(()) => t.props[2].push_str(if rng.gen_bool(0.6) { "m" } else { "f" }),
+                None => t.props[2].push_null(),
+            }
+            match maybe(&mut rng, 0.3, ()) {
+                Some(()) => {
+                    let c = (b'A' + (rng.gen_range(0u8..26))) as char;
+                    t.props[3].push_str(format!("{c}{}", rng.gen_range(100..999)))
+                }
+                None => t.props[3].push_null(),
+            }
+        }
+    }
+    {
+        let t = &mut raw.vertices[company as usize];
+        t.count = n_company;
+        for v in 0..n_company {
+            t.props[0].push_i64(v as i64);
+            if v % 3 == 0 {
+                t.props[1].push_str(format!("Film Studio {v}"));
+            } else {
+                t.props[1].push_str(format!("Pictures {v}"));
+            }
+            t.props[2].push_str(*pick_skewed(COUNTRY_CODES, &mut rng));
+        }
+    }
+    {
+        let t = &mut raw.vertices[keyword as usize];
+        t.count = n_keyword;
+        for v in 0..n_keyword {
+            t.props[0].push_i64(v as i64);
+            if v < KEYWORDS.len() {
+                t.props[1].push_str(KEYWORDS[v]);
+            } else {
+                t.props[1].push_str(format!("keyword-{v}"));
+            }
+        }
+    }
+    {
+        let t = &mut raw.vertices[movie_info as usize];
+        t.count = n_mi;
+        for v in 0..n_mi {
+            t.props[0].push_i64(v as i64);
+            let ty = *pick_skewed(INFO_TYPES, &mut rng);
+            t.props[1].push_str(ty);
+            let info = match ty {
+                "genres" => (*pick_skewed(GENRES, &mut rng)).to_string(),
+                "countries" => (*pick_skewed(COUNTRIES, &mut rng)).to_string(),
+                "release dates" => format!(
+                    "{}: {}",
+                    ["USA", "Japan", "Germany", "Sweden"][v % 4],
+                    1990 + (v % 30)
+                ),
+                "budget" => format!("${}", rng.gen_range(100_000..200_000_000)),
+                _ => (*pick_skewed(LANGUAGES_MI, &mut rng)).to_string(),
+            };
+            t.props[2].push_str(info);
+            match maybe(&mut rng, 0.8, ()) {
+                Some(()) => t.props[3].push_str(if rng.gen_bool(0.3) {
+                    "(internet)".to_string()
+                } else {
+                    format!("note {}", v % 17)
+                }),
+                None => t.props[3].push_null(),
+            }
+        }
+    }
+    {
+        let t = &mut raw.vertices[mov_info_2 as usize];
+        t.count = n_mi2;
+        for v in 0..n_mi2 {
+            t.props[0].push_i64(v as i64);
+            let ty = *pick_skewed(INFO2_TYPES, &mut rng);
+            t.props[1].push_str(ty);
+            let info = match ty {
+                "rating" => format!("{}.{}", rng.gen_range(1..10), rng.gen_range(0..10)),
+                "votes" => format!("{}", rng.gen_range(10..2_000_000)),
+                _ => format!("{}", rng.gen_range(1..251)),
+            };
+            t.props[2].push_str(info);
+        }
+    }
+    {
+        let t = &mut raw.vertices[person_info as usize];
+        t.count = n_pi;
+        for v in 0..n_pi {
+            t.props[0].push_i64(v as i64);
+            t.props[1].push_str(*pick_skewed(PI_TYPES, &mut rng));
+            t.props[2].push_str(format!("biographical text {}", v % 1001));
+            match maybe(&mut rng, 0.7, ()) {
+                Some(()) => t.props[3].push_str(if v % 19 == 0 {
+                    "Volker Boehm".to_string()
+                } else {
+                    format!("editor {}", v % 13)
+                }),
+                None => t.props[3].push_null(),
+            }
+        }
+    }
+    {
+        let t = &mut raw.vertices[aka_name as usize];
+        t.count = n_aka;
+        for v in 0..n_aka {
+            t.props[0].push_i64(v as i64);
+            let a = NAME_PARTS[(v * 3 + 1) % NAME_PARTS.len()];
+            t.props[1].push_str(format!("{a} a.k.a. {}", v % 29));
+        }
+    }
+    {
+        let t = &mut raw.vertices[complete_cast as usize];
+        t.count = n_cc;
+        for v in 0..n_cc {
+            t.props[0].push_i64(v as i64);
+            t.props[1].push_str(if rng.gen_bool(0.6) { "cast" } else { "crew" });
+            t.props[2].push_str(
+                ["complete", "complete+verified", "partial"][rng.gen_range(0..3usize)],
+            );
+        }
+    }
+
+    // ---- Edges ----
+    // movie_companies: 1..4 per title, string props, NULL-heavy note.
+    {
+        let t = &mut raw.edges[movie_companies as usize];
+        for m in 0..n_title as u64 {
+            for _ in 0..rng.gen_range(1..5) {
+                t.src.push(m);
+                t.dst.push(rng.gen_range(0..n_company as u64));
+                t.props[0].push_str(*pick_skewed(COMPANY_TYPES, &mut rng));
+                match maybe(&mut rng, 0.55, ()) {
+                    Some(()) => t.props[1].push_str(*pick_skewed(MC_NOTES, &mut rng)),
+                    None => t.props[1].push_null(),
+                }
+            }
+        }
+    }
+    // movie_keyword: 2..6 per title, no props.
+    {
+        let t = &mut raw.edges[movie_keyword as usize];
+        let kw_zipf = Zipf::new(n_keyword, 1.1);
+        for m in 0..n_title as u64 {
+            for _ in 0..rng.gen_range(2..7) {
+                t.src.push(m);
+                t.dst.push((kw_zipf.sample(&mut rng) - 1) as u64);
+            }
+        }
+    }
+    // 1-n satellites: each info row belongs to one uniformly random parent.
+    for (elabel, n_rows, n_parents) in [
+        (has_movie_info, n_mi, n_title),
+        (has_mov_info_2, n_mi2, n_title),
+        (has_complete_cast, n_cc, n_title),
+    ] {
+        let t = &mut raw.edges[elabel as usize];
+        for r in 0..n_rows as u64 {
+            t.src.push(rng.gen_range(0..n_parents as u64));
+            t.dst.push(r);
+        }
+    }
+    for (elabel, n_rows, n_parents) in
+        [(has_aka_name, n_aka, n_name), (has_person_info, n_pi, n_name)]
+    {
+        let t = &mut raw.edges[elabel as usize];
+        for r in 0..n_rows as u64 {
+            t.src.push(rng.gen_range(0..n_parents as u64));
+            t.dst.push(r);
+        }
+    }
+    // cast_info: power-law cast sizes, 4 NULL-heavy props.
+    {
+        let t = &mut raw.edges[cast_info as usize];
+        let zipf = Zipf::new(60, 1.4);
+        for m in 0..n_title as u64 {
+            let cast = zipf.sample(&mut rng);
+            for i in 0..cast {
+                t.src.push(m);
+                t.dst.push(rng.gen_range(0..n_name as u64));
+                match maybe(&mut rng, 0.6, ()) {
+                    Some(()) => t.props[0].push_str(*pick_skewed(CI_NOTES, &mut rng)),
+                    None => t.props[0].push_null(),
+                }
+                match maybe(&mut rng, 0.3, ()) {
+                    Some(()) => t.props[1].push_str(*pick_skewed(ROLES, &mut rng)),
+                    None => t.props[1].push_null(),
+                }
+                match maybe(&mut rng, 0.7, ()) {
+                    Some(()) => t.props[2].push_str(*pick_skewed(CHAR_NAMES, &mut rng)),
+                    None => t.props[2].push_null(),
+                }
+                match maybe(&mut rng, 0.6, ()) {
+                    Some(()) => t.props[3].push_i64(i as i64),
+                    None => t.props[3].push_null(),
+                }
+            }
+        }
+    }
+    // movie_link: ~10% of titles link to 1-2 others.
+    {
+        let t = &mut raw.edges[movie_link as usize];
+        for m in 0..n_title as u64 {
+            if rng.gen_bool(0.1) {
+                for _ in 0..rng.gen_range(1..3) {
+                    let mut d = rng.gen_range(0..n_title as u64);
+                    if d == m {
+                        d = (d + 1) % n_title as u64;
+                    }
+                    t.src.push(m);
+                    t.dst.push(d);
+                    t.props[0].push_str(*pick_skewed(LINK_TYPES, &mut rng));
+                }
+            }
+        }
+    }
+
+    // Relationship tables in IMDb are keyed by their own row ids, not
+    // clustered by movie: shuffle into arrival order.
+    for e in [movie_companies, movie_keyword, cast_info, movie_link] {
+        shuffle_edges(&mut raw.edges[e as usize], &mut rng);
+    }
+
+    raw.validate().expect("generated movie db is consistent");
+    raw
+}
+
+const LANGUAGES_MI: &[&str] = &["English", "German", "Japanese", "French"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RawGraph {
+        generate(MovieParams::scale(300))
+    }
+
+    #[test]
+    fn schema_shape() {
+        let g = small();
+        assert_eq!(g.catalog.vertex_label_count(), 9);
+        assert_eq!(g.catalog.edge_label_count(), 9);
+        // String-heavy edge properties.
+        let string_props = g
+            .catalog
+            .edge_labels()
+            .iter()
+            .flat_map(|e| &e.properties)
+            .filter(|p| p.dtype == gfcl_common::DataType::String)
+            .count();
+        assert!(string_props >= 5, "IMDb-like: string edge props (got {string_props})");
+    }
+
+    #[test]
+    fn null_heavy_edge_properties() {
+        let g = small();
+        let ci = g.catalog.edge_label_id(labels::CAST_INFO).unwrap();
+        // note and character-name are >50% NULL, as in IMDb.
+        assert!(g.edges[ci as usize].props[0].null_fraction() > 0.5);
+        assert!(g.edges[ci as usize].props[2].null_fraction() > 0.5);
+        let mc = g.catalog.edge_label_id(labels::MOVIE_COMPANIES).unwrap();
+        assert!(g.edges[mc as usize].props[1].null_fraction() > 0.4);
+    }
+
+    #[test]
+    fn satellites_are_one_to_n() {
+        let g = small();
+        for name in [labels::HAS_MOVIE_INFO, labels::HAS_MOV_INFO_2, labels::HAS_AKA_NAME] {
+            let e = g.catalog.edge_label_id(name).unwrap();
+            let def = g.catalog.edge_label(e);
+            assert_eq!(def.cardinality, Cardinality::OneMany, "{name}");
+            // Every satellite row has exactly one parent.
+            assert_eq!(g.edges[e as usize].len(), g.vertices[def.dst as usize].count);
+        }
+    }
+
+    #[test]
+    fn constants_for_job_queries_exist() {
+        let g = small();
+        let kw = g.catalog.vertex_label_id(labels::KEYWORD).unwrap();
+        if let gfcl_storage::PropData::Str(words) = &g.vertices[kw as usize].props[1] {
+            for needle in ["character-name-in-title", "sequel", "murder"] {
+                assert!(words.iter().any(|w| w.as_deref() == Some(needle)), "{needle}");
+            }
+        }
+        // Shrek 2 exists for JOB 29a.
+        if let gfcl_storage::PropData::Str(titles) = &g.vertices[0].props[1] {
+            assert_eq!(titles[0].as_deref(), Some("Shrek 2"));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generate(MovieParams::scale(100));
+        let b = generate(MovieParams::scale(100));
+        assert_eq!(a.total_edges(), b.total_edges());
+        assert_eq!(a.edges[4].src, b.edges[4].src);
+    }
+}

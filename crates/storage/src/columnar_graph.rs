@@ -1,0 +1,909 @@
+//! [`ColumnarGraph`]: the assembled columnar storage layer (Section 4).
+//!
+//! Built from a [`RawGraph`] under a [`StorageConfig`], it holds:
+//!
+//! * vertex property columns per label (Section 4.1.2),
+//! * forward/backward adjacency indexes per edge label — CSRs for n-n
+//!   labels, vertex columns ([`SingleCardAdj`]) for single-cardinality
+//!   labels (Table 1),
+//! * edge property stores per label ([`EdgePropStore`]): single-indexed
+//!   property pages by default, with edge-column and double-indexed
+//!   baselines for the Section 8.3 experiments,
+//! * a primary-key hash index per vertex label (the constant-time vertex
+//!   seek every native GDBMS provides).
+
+use std::collections::HashMap;
+
+use gfcl_columnar::{Column, NullKind, UIntArray};
+use gfcl_common::{DataType, Direction, Error, LabelId, MemoryUsage, Result, Value};
+
+use crate::catalog::Catalog;
+use crate::config::{EdgePropLayout, StorageConfig};
+use crate::csr::{Csr, CsrOptions};
+use crate::edge_store::EdgePropStore;
+use crate::pages::PropertyPages;
+use crate::raw::{PropData, RawGraph};
+use crate::single_card::SingleCardAdj;
+
+/// Adjacency index of one (edge label, direction).
+#[derive(Debug, Clone)]
+pub enum AdjIndex {
+    Csr(Csr),
+    SingleCard(SingleCardAdj),
+}
+
+impl AdjIndex {
+    pub fn as_csr(&self) -> Option<&Csr> {
+        match self {
+            AdjIndex::Csr(c) => Some(c),
+            AdjIndex::SingleCard(_) => None,
+        }
+    }
+
+    pub fn as_single(&self) -> Option<&SingleCardAdj> {
+        match self {
+            AdjIndex::SingleCard(s) => Some(s),
+            AdjIndex::Csr(_) => None,
+        }
+    }
+
+    /// Degree of `v` in this direction.
+    pub fn degree(&self, v: u64) -> usize {
+        match self {
+            AdjIndex::Csr(c) => c.degree(v),
+            AdjIndex::SingleCard(s) => s.nbr(v).is_some() as usize,
+        }
+    }
+
+    fn adjacency_bytes(&self) -> usize {
+        match self {
+            AdjIndex::Csr(c) => c.memory_bytes(),
+            AdjIndex::SingleCard(s) => s.adjacency_bytes(),
+        }
+    }
+}
+
+/// How to read one edge property during a traversal of `(label, dir)`.
+/// Resolved once per operator, then applied per edge in a tight loop.
+#[derive(Debug, Clone, Copy)]
+pub enum EdgePropRead<'g> {
+    /// `flat = csr position` — the sequential indexed-direction read of
+    /// property pages and of double-indexed CSRs.
+    ByPosition(&'g Column),
+    /// `flat = pages.flat_index(src, page_offset)` where `page_offset` is
+    /// the stored edge-ID component and `src` is the edge's indexed-side
+    /// vertex (the traversal neighbour when walking the opposite
+    /// direction).
+    ByPageOffset { pages: &'g PropertyPages, col: &'g Column, nbr_is_src: bool },
+    /// `flat = stored edge ID` — edge columns and the old (pre-`NEW-IDS`)
+    /// ID scheme: a random access per edge.
+    ByEdgeId(&'g Column),
+    /// Single-cardinality label: read the vertex column of the single
+    /// endpoint (`from` itself, or the neighbour if `endpoint_is_nbr`).
+    ByVertex { col: &'g Column, endpoint_is_nbr: bool },
+}
+
+/// Per-label memory of the four Table 2 components.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryBreakdown {
+    pub vertex_props: usize,
+    pub edge_props: usize,
+    pub fwd_adj: usize,
+    pub bwd_adj: usize,
+}
+
+impl MemoryBreakdown {
+    pub fn total(&self) -> usize {
+        self.vertex_props + self.edge_props + self.fwd_adj + self.bwd_adj
+    }
+}
+
+/// The read-optimized columnar graph database.
+#[derive(Debug, Clone)]
+pub struct ColumnarGraph {
+    catalog: Catalog,
+    config: StorageConfig,
+    vertex_counts: Vec<usize>,
+    edge_counts: Vec<usize>,
+    vertex_props: Vec<Vec<Column>>,
+    fwd: Vec<AdjIndex>,
+    bwd: Vec<AdjIndex>,
+    edge_props: Vec<EdgePropStore>,
+    pk: Vec<Option<HashMap<i64, u64>>>,
+}
+
+impl ColumnarGraph {
+    /// Build from a raw graph under `config`.
+    pub fn build(raw: &RawGraph, config: StorageConfig) -> Result<ColumnarGraph> {
+        raw.validate()?;
+        let catalog = raw.catalog.clone();
+        let vertex_counts: Vec<usize> = raw.vertices.iter().map(|t| t.count).collect();
+        let edge_counts: Vec<usize> = raw.edges.iter().map(|t| t.len()).collect();
+
+        // Vertex property columns.
+        let mut vertex_props = Vec::with_capacity(raw.vertices.len());
+        for (lid, table) in raw.vertices.iter().enumerate() {
+            let def = catalog.vertex_label(lid as LabelId);
+            let mut cols = Vec::with_capacity(table.props.len());
+            for (j, prop) in table.props.iter().enumerate() {
+                cols.push(prop_to_column(prop, def.properties[j].dtype, &config));
+            }
+            vertex_props.push(cols);
+        }
+
+        // Adjacency indexes and edge property stores.
+        let mut fwd = Vec::with_capacity(raw.edges.len());
+        let mut bwd = Vec::with_capacity(raw.edges.len());
+        let mut edge_props = Vec::with_capacity(raw.edges.len());
+        for (eid, table) in raw.edges.iter().enumerate() {
+            let def = catalog.edge_label(eid as LabelId);
+            let n_src = vertex_counts[def.src as usize];
+            let n_dst = vertex_counts[def.dst as usize];
+            let single_fwd = def.cardinality.is_single(Direction::Fwd) && config.single_card_in_vcols;
+            let single_bwd = def.cardinality.is_single(Direction::Bwd) && config.single_card_in_vcols;
+
+            if single_fwd || single_bwd {
+                let prop_side = def.cardinality.property_side().expect("single-card label");
+                let (f, b) = build_single_card(table, def.src, def.dst, n_src, n_dst, prop_side, &catalog.edge_label(eid as LabelId).properties, &config, single_fwd, single_bwd)?;
+                fwd.push(f);
+                bwd.push(b);
+                edge_props.push(if def.properties.is_empty() {
+                    EdgePropStore::None
+                } else {
+                    EdgePropStore::InVertexColumns
+                });
+            } else {
+                let (f, b, store) = build_nn(
+                    table,
+                    n_src,
+                    n_dst,
+                    &catalog.edge_label(eid as LabelId).properties,
+                    &config,
+                    eid as u64,
+                )?;
+                fwd.push(AdjIndex::Csr(f));
+                bwd.push(AdjIndex::Csr(b));
+                edge_props.push(store);
+            }
+        }
+
+        // Primary-key hash indexes.
+        let mut pk = Vec::with_capacity(raw.vertices.len());
+        for (lid, cols) in vertex_props.iter().enumerate() {
+            let def = catalog.vertex_label(lid as LabelId);
+            pk.push(match def.primary_key {
+                Some(j) => {
+                    let col = &cols[j];
+                    let mut map = HashMap::with_capacity(col.len());
+                    for v in 0..col.len() {
+                        if let Some(key) = col.get_i64(v) {
+                            if map.insert(key, v as u64).is_some() {
+                                return Err(Error::Invalid(format!(
+                                    "duplicate primary key {key} in {}",
+                                    def.name
+                                )));
+                            }
+                        }
+                    }
+                    Some(map)
+                }
+                None => None,
+            });
+        }
+
+        Ok(ColumnarGraph {
+            catalog,
+            config,
+            vertex_counts,
+            edge_counts,
+            vertex_props,
+            fwd,
+            bwd,
+            edge_props,
+            pk,
+        })
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn config(&self) -> &StorageConfig {
+        &self.config
+    }
+
+    pub fn vertex_count(&self, label: LabelId) -> usize {
+        self.vertex_counts[label as usize]
+    }
+
+    pub fn edge_count(&self, label: LabelId) -> usize {
+        self.edge_counts[label as usize]
+    }
+
+    pub fn vertex_prop(&self, label: LabelId, prop: usize) -> &Column {
+        &self.vertex_props[label as usize][prop]
+    }
+
+    /// Adjacency index of `(label, dir)`.
+    pub fn adj(&self, label: LabelId, dir: Direction) -> &AdjIndex {
+        match dir {
+            Direction::Fwd => &self.fwd[label as usize],
+            Direction::Bwd => &self.bwd[label as usize],
+        }
+    }
+
+    pub fn edge_prop_store(&self, label: LabelId) -> &EdgePropStore {
+        &self.edge_props[label as usize]
+    }
+
+    /// Constant-time primary-key seek.
+    pub fn lookup_pk(&self, label: LabelId, key: i64) -> Option<u64> {
+        self.pk[label as usize].as_ref()?.get(&key).copied()
+    }
+
+    /// Resolve the access path for edge property `prop` when traversing
+    /// `(label, dir)` (see [`EdgePropRead`]).
+    pub fn edge_prop_read(&self, label: LabelId, dir: Direction, prop: usize) -> Result<EdgePropRead<'_>> {
+        let def = self.catalog.edge_label(label);
+        match &self.edge_props[label as usize] {
+            EdgePropStore::None => Err(Error::Exec(format!(
+                "edge label {} has no properties",
+                def.name
+            ))),
+            EdgePropStore::Pages(pp) => {
+                if self.config.new_ids {
+                    // Both directions resolve through (indexed-side vertex,
+                    // page-level positional offset). Forward reads touch one
+                    // small page per list (close-by memory, Desideratum 1);
+                    // backward reads are constant-time random accesses.
+                    Ok(EdgePropRead::ByPageOffset {
+                        pages: pp,
+                        col: pp.prop(prop),
+                        nbr_is_src: dir == Direction::Bwd,
+                    })
+                } else {
+                    // Old ID scheme: stored 8-byte global edge IDs index the
+                    // flat property storage directly.
+                    Ok(EdgePropRead::ByEdgeId(pp.prop(prop)))
+                }
+            }
+            EdgePropStore::Columns { props } => Ok(EdgePropRead::ByEdgeId(&props[prop])),
+            EdgePropStore::DoubleIndexed { fwd, bwd } => Ok(EdgePropRead::ByPosition(match dir {
+                Direction::Fwd => &fwd[prop],
+                Direction::Bwd => &bwd[prop],
+            })),
+            EdgePropStore::InVertexColumns => {
+                let prop_side = def.cardinality.property_side().expect("single-card");
+                let adj = self.adj(label, prop_side);
+                let col = adj
+                    .as_single()
+                    .expect("property side of a single-card label is a vertex column")
+                    .prop(prop);
+                Ok(EdgePropRead::ByVertex { col, endpoint_is_nbr: dir != prop_side })
+            }
+        }
+    }
+
+    /// Scalar edge-property read for tuple-at-a-time engines: `from` is the
+    /// traversal source vertex, `csr_pos` its CSR position (`None` for
+    /// single-cardinality traversals).
+    pub fn read_edge_prop(
+        &self,
+        label: LabelId,
+        dir: Direction,
+        from: u64,
+        csr_pos: Option<u64>,
+        prop: usize,
+    ) -> Result<Value> {
+        let read = self.edge_prop_read(label, dir, prop)?;
+        let (col, flat) = self.resolve_edge_prop(read, label, dir, from, csr_pos);
+        Ok(col.value(flat as usize))
+    }
+
+    /// Resolve an [`EdgePropRead`] to `(column, flat index)` for one edge.
+    #[inline]
+    pub fn resolve_edge_prop<'g>(
+        &'g self,
+        read: EdgePropRead<'g>,
+        label: LabelId,
+        dir: Direction,
+        from: u64,
+        csr_pos: Option<u64>,
+    ) -> (&'g Column, u64) {
+        match read {
+            EdgePropRead::ByPosition(col) => (col, csr_pos.expect("CSR traversal")),
+            EdgePropRead::ByEdgeId(col) => {
+                let csr = self.adj(label, dir).as_csr().expect("CSR traversal");
+                (col, csr.edge_id_at(csr_pos.expect("CSR traversal")))
+            }
+            EdgePropRead::ByPageOffset { pages, col, nbr_is_src } => {
+                let csr = self.adj(label, dir).as_csr().expect("CSR traversal");
+                let pos = csr_pos.expect("CSR traversal");
+                let src = if nbr_is_src { csr.nbr_at(pos) } else { from };
+                (col, pages.flat_index(src, csr.edge_id_at(pos)))
+            }
+            EdgePropRead::ByVertex { col, endpoint_is_nbr } => {
+                let endpoint = if endpoint_is_nbr {
+                    match self.adj(label, dir) {
+                        AdjIndex::Csr(c) => c.nbr_at(csr_pos.expect("CSR traversal")),
+                        AdjIndex::SingleCard(s) => {
+                            s.nbr(from).expect("edge exists for traversed vertex")
+                        }
+                    }
+                } else {
+                    from
+                };
+                (col, endpoint)
+            }
+        }
+    }
+
+    /// Memory of one edge label's storage, split as
+    /// `(fwd adjacency, bwd adjacency, edge properties)` — used by the
+    /// Table 4 experiment to report per-label costs.
+    pub fn edge_label_memory(&self, label: LabelId) -> (usize, usize, usize) {
+        let fwd = self.fwd[label as usize].adjacency_bytes();
+        let bwd = self.bwd[label as usize].adjacency_bytes();
+        let mut props = self.edge_props[label as usize].memory_bytes();
+        for adj in [&self.fwd[label as usize], &self.bwd[label as usize]] {
+            if let AdjIndex::SingleCard(s) = adj {
+                props += s.props_bytes();
+            }
+        }
+        (fwd, bwd, props)
+    }
+
+    /// Memory of the four Table 2 components.
+    pub fn memory_breakdown(&self) -> MemoryBreakdown {
+        let vertex_props = self
+            .vertex_props
+            .iter()
+            .flat_map(|cols| cols.iter())
+            .map(Column::memory_bytes)
+            .sum();
+        let mut edge_props: usize = self.edge_props.iter().map(EdgePropStore::memory_bytes).sum();
+        // Single-cardinality edge properties live inside the SingleCardAdj
+        // vertex columns; count them as edge properties, per Table 2.
+        for adj in self.fwd.iter().chain(&self.bwd) {
+            if let AdjIndex::SingleCard(s) = adj {
+                edge_props += s.props_bytes();
+            }
+        }
+        let fwd_adj = self.fwd.iter().map(AdjIndex::adjacency_bytes).sum();
+        let bwd_adj = self.bwd.iter().map(AdjIndex::adjacency_bytes).sum();
+        MemoryBreakdown { vertex_props, edge_props, fwd_adj, bwd_adj }
+    }
+}
+
+/// NULL layout for a column with/without NULLs under `config`.
+fn pick_kind(has_nulls: bool, config: &StorageConfig) -> NullKind {
+    if !has_nulls {
+        NullKind::None
+    } else if config.null_compress {
+        config.null_kind
+    } else {
+        NullKind::Uncompressed
+    }
+}
+
+/// Convert a raw property column (identity order).
+fn prop_to_column(prop: &PropData, dtype: DataType, config: &StorageConfig) -> Column {
+    let kind = pick_kind(prop.null_fraction() > 0.0, config);
+    match prop {
+        PropData::I64(v) => Column::from_i64(dtype, v, kind),
+        PropData::F64(v) => Column::from_f64(v, kind),
+        PropData::Bool(v) => Column::from_bool(v, kind),
+        PropData::Str(v) => {
+            let refs: Vec<Option<&str>> = v.iter().map(|s| s.as_deref()).collect();
+            Column::from_str(&refs, kind, true)
+        }
+    }
+}
+
+/// Gather a raw property column into a new order: `out[p] = prop[order[p]]`.
+fn gather_column(prop: &PropData, dtype: DataType, order: &[u64], config: &StorageConfig) -> Column {
+    match prop {
+        PropData::I64(v) => {
+            let g: Vec<Option<i64>> = order.iter().map(|&i| v[i as usize]).collect();
+            Column::from_i64(dtype, &g, pick_kind(g.iter().any(Option::is_none), config))
+        }
+        PropData::F64(v) => {
+            let g: Vec<Option<f64>> = order.iter().map(|&i| v[i as usize]).collect();
+            Column::from_f64(&g, pick_kind(g.iter().any(Option::is_none), config))
+        }
+        PropData::Bool(v) => {
+            let g: Vec<Option<bool>> = order.iter().map(|&i| v[i as usize]).collect();
+            Column::from_bool(&g, pick_kind(g.iter().any(Option::is_none), config))
+        }
+        PropData::Str(v) => {
+            let g: Vec<Option<&str>> = order.iter().map(|&i| v[i as usize].as_deref()).collect();
+            Column::from_str(&g, pick_kind(g.iter().any(Option::is_none), config), true)
+        }
+    }
+}
+
+/// Scatter a raw property column to vertex slots: `out[keys[i]] = prop[i]`.
+fn scatter_column(
+    prop: &PropData,
+    dtype: DataType,
+    keys: &[u64],
+    n: usize,
+    config: &StorageConfig,
+) -> Column {
+    match prop {
+        PropData::I64(v) => {
+            let mut out: Vec<Option<i64>> = vec![None; n];
+            for (i, &k) in keys.iter().enumerate() {
+                out[k as usize] = v[i];
+            }
+            Column::from_i64(dtype, &out, pick_kind(out.iter().any(Option::is_none), config))
+        }
+        PropData::F64(v) => {
+            let mut out: Vec<Option<f64>> = vec![None; n];
+            for (i, &k) in keys.iter().enumerate() {
+                out[k as usize] = v[i];
+            }
+            Column::from_f64(&out, pick_kind(out.iter().any(Option::is_none), config))
+        }
+        PropData::Bool(v) => {
+            let mut out: Vec<Option<bool>> = vec![None; n];
+            for (i, &k) in keys.iter().enumerate() {
+                out[k as usize] = v[i];
+            }
+            Column::from_bool(&out, pick_kind(out.iter().any(Option::is_none), config))
+        }
+        PropData::Str(v) => {
+            let mut out: Vec<Option<&str>> = vec![None; n];
+            for (i, &k) in keys.iter().enumerate() {
+                out[k as usize] = v[i].as_deref();
+            }
+            Column::from_str(&out, pick_kind(out.iter().any(Option::is_none), config), true)
+        }
+    }
+}
+
+/// Deterministic pseudo-random permutation of `0..n` (edge-column baseline:
+/// "edges are given random edge IDs").
+fn pseudo_shuffle(n: usize, seed: u64) -> Vec<u64> {
+    let mut v: Vec<u64> = (0..n as u64).collect();
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_single_card(
+    table: &crate::raw::EdgeTable,
+    _src_label: LabelId,
+    _dst_label: LabelId,
+    n_src: usize,
+    n_dst: usize,
+    prop_side: Direction,
+    prop_defs: &[crate::catalog::PropertyDef],
+    config: &StorageConfig,
+    single_fwd: bool,
+    single_bwd: bool,
+) -> Result<(AdjIndex, AdjIndex)> {
+    let kind = pick_kind(true, config); // absent edges are NULLs
+    let build_side = |from: &[u64], nbrs: &[u64], n_from: usize, with_props: bool| {
+        let mut opt: Vec<Option<u64>> = vec![None; n_from];
+        for (i, &f) in from.iter().enumerate() {
+            opt[f as usize] = Some(nbrs[i]);
+        }
+        let props = if with_props {
+            prop_defs
+                .iter()
+                .enumerate()
+                .map(|(j, def)| scatter_column(&table.props[j], def.dtype, from, n_from, config))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        SingleCardAdj::build(&opt, kind, config.zero_suppress, props)
+    };
+
+    let fwd: AdjIndex = if single_fwd {
+        AdjIndex::SingleCard(build_side(&table.src, &table.dst, n_src, prop_side == Direction::Fwd))
+    } else {
+        // n-side of a 1-n label: plain CSR without edge IDs (decision tree:
+        // single cardinality => no positional offsets).
+        let opts = CsrOptions {
+            zero_suppress: config.zero_suppress,
+            compress_empty: config.null_compress.then_some(config.null_kind),
+        };
+        let (csr, _) = Csr::build(n_src, &table.src, &table.dst, opts);
+        AdjIndex::Csr(csr)
+    };
+    let bwd: AdjIndex = if single_bwd {
+        AdjIndex::SingleCard(build_side(&table.dst, &table.src, n_dst, prop_side == Direction::Bwd))
+    } else {
+        let opts = CsrOptions {
+            zero_suppress: config.zero_suppress,
+            compress_empty: config.null_compress.then_some(config.null_kind),
+        };
+        let (csr, _) = Csr::build(n_dst, &table.dst, &table.src, opts);
+        AdjIndex::Csr(csr)
+    };
+    Ok((fwd, bwd))
+}
+
+fn build_nn(
+    table: &crate::raw::EdgeTable,
+    n_src: usize,
+    n_dst: usize,
+    prop_defs: &[crate::catalog::PropertyDef],
+    config: &StorageConfig,
+    label_seed: u64,
+) -> Result<(Csr, Csr, EdgePropStore)> {
+    let opts = CsrOptions {
+        zero_suppress: config.zero_suppress,
+        compress_empty: config.null_compress.then_some(config.null_kind),
+    };
+    let (mut fwd, perm_f) = Csr::build(n_src, &table.src, &table.dst, opts);
+    let (mut bwd, perm_b) = Csr::build(n_dst, &table.dst, &table.src, opts);
+    let m = table.len();
+    let has_props = !prop_defs.is_empty();
+
+    // Old ID scheme: 8-byte global edge IDs stored for EVERY edge in both
+    // directions, properties or not.
+    if !config.new_ids {
+        if !has_props {
+            // Global IDs are the input edge indexes.
+            let fwd_ids: Vec<u64> = perm_f.clone();
+            let bwd_ids: Vec<u64> = perm_b.clone();
+            fwd.set_edge_ids(UIntArray::from_values(&fwd_ids, config.zero_suppress));
+            bwd.set_edge_ids(UIntArray::from_values(&bwd_ids, config.zero_suppress));
+            return Ok((fwd, bwd, EdgePropStore::None));
+        }
+        // Properties live in page-grouped flat storage; the stored global
+        // IDs are the flat positions.
+        let assign = crate::pages::assign_insertion_order(pages_k(config), n_src, &table.src);
+        let cols = prop_defs
+            .iter()
+            .enumerate()
+            .map(|(j, def)| {
+                scatter_column(&table.props[j], def.dtype, &assign.flat_of_input, m, config)
+            })
+            .collect();
+        let pp = PropertyPages::from_assignment(pages_k(config), &assign, cols);
+        let fwd_ids: Vec<u64> =
+            perm_f.iter().map(|&i| assign.flat_of_input[i as usize]).collect();
+        let bwd_ids: Vec<u64> =
+            perm_b.iter().map(|&i| assign.flat_of_input[i as usize]).collect();
+        fwd.set_edge_ids(UIntArray::from_values(&fwd_ids, config.zero_suppress));
+        bwd.set_edge_ids(UIntArray::from_values(&bwd_ids, config.zero_suppress));
+        return Ok((fwd, bwd, EdgePropStore::Pages(pp)));
+    }
+
+    // New ID scheme, Figure 6 decision tree: no properties => no edge IDs.
+    if !has_props {
+        return Ok((fwd, bwd, EdgePropStore::None));
+    }
+
+    match config.edge_prop_layout {
+        EdgePropLayout::Pages { k } => {
+            // Pages fill in edge-insertion order: within a page the k lists
+            // interleave but stay in close-by memory (Section 4.2).
+            let assign = crate::pages::assign_insertion_order(k, n_src, &table.src);
+            let cols = prop_defs
+                .iter()
+                .enumerate()
+                .map(|(j, def)| {
+                    scatter_column(&table.props[j], def.dtype, &assign.flat_of_input, m, config)
+                })
+                .collect();
+            let pp = PropertyPages::from_assignment(k, &assign, cols);
+            // Page-level positional offsets, stored in both directions.
+            let fwd_offs: Vec<u64> =
+                perm_f.iter().map(|&i| assign.slot_of_input[i as usize]).collect();
+            let bwd_offs: Vec<u64> =
+                perm_b.iter().map(|&i| assign.slot_of_input[i as usize]).collect();
+            fwd.set_edge_ids(UIntArray::from_values(&fwd_offs, config.zero_suppress));
+            bwd.set_edge_ids(UIntArray::from_values(&bwd_offs, config.zero_suppress));
+            Ok((fwd, bwd, EdgePropStore::Pages(pp)))
+        }
+        EdgePropLayout::EdgeColumns => {
+            let rid = pseudo_shuffle(m, 0xC0FFEE ^ label_seed);
+            let props = prop_defs
+                .iter()
+                .enumerate()
+                .map(|(j, def)| scatter_column(&table.props[j], def.dtype, &rid, m, config))
+                .collect();
+            let fwd_ids: Vec<u64> = perm_f.iter().map(|&i| rid[i as usize]).collect();
+            let bwd_ids: Vec<u64> = perm_b.iter().map(|&i| rid[i as usize]).collect();
+            fwd.set_edge_ids(UIntArray::from_values(&fwd_ids, config.zero_suppress));
+            bwd.set_edge_ids(UIntArray::from_values(&bwd_ids, config.zero_suppress));
+            Ok((fwd, bwd, EdgePropStore::Columns { props }))
+        }
+        EdgePropLayout::DoubleIndexed => {
+            let fwd_cols = prop_defs
+                .iter()
+                .enumerate()
+                .map(|(j, def)| gather_column(&table.props[j], def.dtype, &perm_f, config))
+                .collect();
+            let bwd_cols = prop_defs
+                .iter()
+                .enumerate()
+                .map(|(j, def)| gather_column(&table.props[j], def.dtype, &perm_b, config))
+                .collect();
+            Ok((fwd, bwd, EdgePropStore::DoubleIndexed { fwd: fwd_cols, bwd: bwd_cols }))
+        }
+    }
+}
+
+fn pages_k(config: &StorageConfig) -> usize {
+    match config.edge_prop_layout {
+        EdgePropLayout::Pages { k } => k,
+        _ => EdgePropLayout::DEFAULT_K,
+    }
+}
+
+impl MemoryUsage for ColumnarGraph {
+    fn memory_bytes(&self) -> usize {
+        self.memory_breakdown().total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::RawGraph;
+
+    fn configs() -> Vec<StorageConfig> {
+        let mut v: Vec<StorageConfig> =
+            StorageConfig::ladder().into_iter().map(|(_, c)| c).collect();
+        v.push(StorageConfig {
+            edge_prop_layout: EdgePropLayout::EdgeColumns,
+            ..StorageConfig::default()
+        });
+        v.push(StorageConfig {
+            edge_prop_layout: EdgePropLayout::DoubleIndexed,
+            ..StorageConfig::default()
+        });
+        v.push(StorageConfig { single_card_in_vcols: false, ..StorageConfig::default() });
+        v.push(StorageConfig {
+            edge_prop_layout: EdgePropLayout::Pages { k: 2 },
+            ..StorageConfig::default()
+        });
+        v
+    }
+
+    /// Collect (src, dst, since) triples through forward traversal.
+    fn follows_triples(g: &ColumnarGraph) -> Vec<(u64, u64, i64)> {
+        let follows = g.catalog().edge_label_id("FOLLOWS").unwrap();
+        let csr = g.adj(follows, Direction::Fwd).as_csr().unwrap();
+        let mut out = Vec::new();
+        for v in 0..g.vertex_count(0) as u64 {
+            for (pos, nbr) in csr.iter_list(v) {
+                let since = g
+                    .read_edge_prop(follows, Direction::Fwd, v, Some(pos), 0)
+                    .unwrap()
+                    .as_i64()
+                    .unwrap();
+                out.push((v, nbr, since));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn expected_follows() -> Vec<(u64, u64, i64)> {
+        let mut v = vec![
+            (0u64, 1u64, 2003i64),
+            (1, 2, 2009),
+            (0, 3, 1999),
+            (1, 3, 2006),
+            (2, 3, 2015),
+            (3, 1, 2012),
+            (2, 1, 1992),
+            (2, 0, 2011),
+        ];
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn forward_traversal_all_configs() {
+        let raw = RawGraph::example();
+        for cfg in configs() {
+            let g = ColumnarGraph::build(&raw, cfg).unwrap();
+            assert_eq!(follows_triples(&g), expected_follows(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn backward_traversal_reads_same_properties() {
+        let raw = RawGraph::example();
+        for cfg in configs() {
+            let g = ColumnarGraph::build(&raw, cfg).unwrap();
+            let follows = g.catalog().edge_label_id("FOLLOWS").unwrap();
+            let csr = g.adj(follows, Direction::Bwd).as_csr().unwrap();
+            let mut out = Vec::new();
+            for v in 0..g.vertex_count(0) as u64 {
+                for (pos, nbr) in csr.iter_list(v) {
+                    let since = g
+                        .read_edge_prop(follows, Direction::Bwd, v, Some(pos), 0)
+                        .unwrap()
+                        .as_i64()
+                        .unwrap();
+                    out.push((nbr, v, since)); // (src, dst, prop)
+                }
+            }
+            out.sort_unstable();
+            assert_eq!(out, expected_follows(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn single_cardinality_edges_in_vertex_columns() {
+        let raw = RawGraph::example();
+        let g = ColumnarGraph::build(&raw, StorageConfig::default()).unwrap();
+        let workat = g.catalog().edge_label_id("WORKAT").unwrap();
+        let adj = g.adj(workat, Direction::Fwd).as_single().unwrap();
+        assert_eq!(adj.nbr(0), Some(0)); // alice -> UW
+        assert_eq!(adj.nbr(1), Some(1)); // bob -> UofT
+        assert_eq!(adj.nbr(2), None); // peter doesn't work
+        // doj readable from both directions.
+        assert_eq!(
+            g.read_edge_prop(workat, Direction::Fwd, 0, None, 0).unwrap(),
+            Value::Int64(2006)
+        );
+        let bwd = g.adj(workat, Direction::Bwd).as_csr().unwrap();
+        let (pos, nbr) = bwd.iter_list(1).next().unwrap(); // UofT's workers
+        assert_eq!(nbr, 1); // bob
+        assert_eq!(
+            g.read_edge_prop(workat, Direction::Bwd, 1, Some(pos), 0).unwrap(),
+            Value::Int64(1980)
+        );
+    }
+
+    #[test]
+    fn single_card_disabled_falls_back_to_csr() {
+        let raw = RawGraph::example();
+        let cfg = StorageConfig { single_card_in_vcols: false, ..StorageConfig::default() };
+        let g = ColumnarGraph::build(&raw, cfg).unwrap();
+        let workat = g.catalog().edge_label_id("WORKAT").unwrap();
+        let csr = g.adj(workat, Direction::Fwd).as_csr().unwrap();
+        assert_eq!(csr.degree(0), 1);
+        let (pos, nbr) = csr.iter_list(0).next().unwrap();
+        assert_eq!(nbr, 0);
+        assert_eq!(
+            g.read_edge_prop(workat, Direction::Fwd, 0, Some(pos), 0).unwrap(),
+            Value::Int64(2006)
+        );
+    }
+
+    #[test]
+    fn vertex_props_and_pk() {
+        let raw = RawGraph::example();
+        let g = ColumnarGraph::build(&raw, StorageConfig::default()).unwrap();
+        let person = g.catalog().vertex_label_id("PERSON").unwrap();
+        assert_eq!(g.vertex_prop(person, 0).get_str(1), Some("bob"));
+        assert_eq!(g.vertex_prop(person, 1).get_i64(2), Some(17));
+        assert_eq!(g.vertex_count(person), 4);
+    }
+
+    /// A larger sparse graph where each ladder step has something to save:
+    /// 5000 vertices, one sparse property, one n-n label with a property
+    /// and one property-less n-n label, both with many empty lists.
+    fn sparse_raw() -> RawGraph {
+        use crate::catalog::{Cardinality, PropertyDef};
+        let mut cat = Catalog::new();
+        let node = cat
+            .add_vertex_label("NODE", vec![PropertyDef::new("ts", DataType::Int64)])
+            .unwrap();
+        let rel = cat
+            .add_edge_label(
+                "REL",
+                node,
+                node,
+                Cardinality::ManyMany,
+                vec![PropertyDef::new("w", DataType::Int64)],
+            )
+            .unwrap();
+        let link = cat.add_edge_label("LINK", node, node, Cardinality::ManyMany, vec![]).unwrap();
+        let mut raw = RawGraph::new(cat);
+        let n = 5000usize;
+        raw.vertices[node as usize].count = n;
+        for v in 0..n {
+            if v % 5 == 0 {
+                raw.vertices[node as usize].props[0].push_i64(v as i64);
+            } else {
+                raw.vertices[node as usize].props[0].push_null();
+            }
+        }
+        for (eid, stride) in [(rel, 7usize), (link, 11usize)] {
+            let t = &mut raw.edges[eid as usize];
+            for v in (0..n).step_by(stride) {
+                for d in 1..4u64 {
+                    t.src.push(v as u64);
+                    t.dst.push((v as u64 * 31 + d * 97) % n as u64);
+                    if eid == rel {
+                        t.props[0].push_i64((v as i64) * 3 + d as i64);
+                    }
+                }
+            }
+        }
+        raw.validate().unwrap();
+        raw
+    }
+
+    #[test]
+    fn memory_ladder_is_monotone_decreasing() {
+        let raw = sparse_raw();
+        let mut last = usize::MAX;
+        for (name, cfg) in StorageConfig::ladder() {
+            let g = ColumnarGraph::build(&raw, cfg).unwrap();
+            let total = g.memory_breakdown().total();
+            assert!(total <= last, "{name} should not increase memory ({total} > {last})");
+            last = total;
+        }
+        // And the full config should beat the row store.
+        let row = crate::row_graph::RowGraph::build(&raw).unwrap();
+        assert!(row.memory_breakdown().total() > last);
+    }
+
+    #[test]
+    fn traversals_agree_on_sparse_graph_across_configs() {
+        let raw = sparse_raw();
+        let reference = ColumnarGraph::build(&raw, StorageConfig::cols()).unwrap();
+        let rel = reference.catalog().edge_label_id("REL").unwrap();
+        for cfg in configs() {
+            let g = ColumnarGraph::build(&raw, cfg).unwrap();
+            for dir in [Direction::Fwd, Direction::Bwd] {
+                let a = reference.adj(rel, dir).as_csr().unwrap();
+                let b = g.adj(rel, dir).as_csr().unwrap();
+                for v in (0..5000u64).step_by(137) {
+                    let mut la: Vec<(u64, i64)> = a
+                        .iter_list(v)
+                        .map(|(pos, nbr)| {
+                            let w = reference
+                                .read_edge_prop(rel, dir, v, Some(pos), 0)
+                                .unwrap()
+                                .as_i64()
+                                .unwrap();
+                            (nbr, w)
+                        })
+                        .collect();
+                    let mut lb: Vec<(u64, i64)> = b
+                        .iter_list(v)
+                        .map(|(pos, nbr)| {
+                            let w = g
+                                .read_edge_prop(rel, dir, v, Some(pos), 0)
+                                .unwrap()
+                                .as_i64()
+                                .unwrap();
+                            (nbr, w)
+                        })
+                        .collect();
+                    la.sort_unstable();
+                    lb.sort_unstable();
+                    assert_eq!(la, lb, "{cfg:?} {dir} v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut raw = RawGraph::example();
+        let mut cat = raw.catalog.clone();
+        // Make `age` a pk and introduce a duplicate.
+        cat.set_primary_key(0, "age").unwrap();
+        raw.catalog = cat;
+        if let crate::raw::PropData::I64(v) = &mut raw.vertices[0].props[1] {
+            v[0] = Some(54); // same as bob
+        }
+        assert!(ColumnarGraph::build(&raw, StorageConfig::default()).is_err());
+    }
+}

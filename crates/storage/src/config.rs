@@ -1,0 +1,137 @@
+//! [`StorageConfig`]: the ablation knobs of Table 2 and Sections 8.3/8.4.
+//!
+//! The memory-reduction experiment starts from the row store (GF-RV) and
+//! applies one optimization at a time; each `+STEP` column of Table 2 is a
+//! `StorageConfig` preset here. The property-page experiments of Table 3
+//! toggle [`EdgePropLayout`], and the single-cardinality experiments of
+//! Table 4 toggle [`StorageConfig::single_card_in_vcols`].
+
+use gfcl_columnar::NullKind;
+
+/// How n-n edge properties are stored (Section 4.2 design space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgePropLayout {
+    /// The paper's single-indexed property pages: `k` adjacency lists per
+    /// page, sequential reads forward, constant-time random reads backward.
+    Pages { k: usize },
+    /// Baseline: one flat column per property indexed by a randomly assigned
+    /// dense edge ID ("the order would be determined by the sequence of edge
+    /// insertions and deletions").
+    EdgeColumns,
+    /// Baseline: properties duplicated in forward *and* backward list order;
+    /// sequential both ways, double the storage.
+    DoubleIndexed,
+}
+
+impl EdgePropLayout {
+    /// The paper's default page size.
+    pub const DEFAULT_K: usize = 128;
+
+    pub fn pages_default() -> Self {
+        EdgePropLayout::Pages { k: Self::DEFAULT_K }
+    }
+}
+
+/// Configuration of a [`crate::ColumnarGraph`] build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageConfig {
+    /// Use the paper's factored ID schemes (Section 5.2): neighbour labels
+    /// and edge labels omitted, page-level positional offsets, offsets
+    /// dropped entirely for property-less and single-cardinality labels
+    /// (Figure 6). When `false`, adjacency lists store 8-byte global
+    /// neighbour IDs and 8-byte global edge IDs for every edge — the
+    /// `+COLS` configuration.
+    pub new_ids: bool,
+    /// Leading-0 suppression of ID components (Section 5.1): store each
+    /// adjacency-list component in the narrowest byte width that fits its
+    /// maximum value. The `+0-SUPR` step.
+    pub zero_suppress: bool,
+    /// NULL-compress sparse vertex/edge property columns and empty
+    /// adjacency lists with `null_kind`. The `+NULL` step.
+    pub null_compress: bool,
+    /// Layout used when `null_compress` is set.
+    pub null_kind: NullKind,
+    /// Store single-cardinality edges (and their properties) in vertex
+    /// columns instead of CSRs (Section 4.1.2; Table 4 ablation).
+    pub single_card_in_vcols: bool,
+    /// n-n edge property layout (Table 3 / Section 8.3 ablation).
+    pub edge_prop_layout: EdgePropLayout,
+}
+
+impl Default for StorageConfig {
+    /// The full GF-CL configuration (`+NULL` column of Table 2).
+    fn default() -> Self {
+        StorageConfig {
+            new_ids: true,
+            zero_suppress: true,
+            null_compress: true,
+            null_kind: NullKind::jacobson_default(),
+            single_card_in_vcols: true,
+            edge_prop_layout: EdgePropLayout::pages_default(),
+        }
+    }
+}
+
+impl StorageConfig {
+    /// `+COLS`: columnar properties and vertex-column single-cardinality
+    /// edges, but the old 8-byte ID scheme and no compression.
+    pub fn cols() -> Self {
+        StorageConfig {
+            new_ids: false,
+            zero_suppress: false,
+            null_compress: false,
+            ..StorageConfig::default()
+        }
+    }
+
+    /// `+NEW-IDS`: factored vertex/edge ID schemes on top of `+COLS`.
+    pub fn new_ids() -> Self {
+        StorageConfig { zero_suppress: false, null_compress: false, ..StorageConfig::default() }
+    }
+
+    /// `+0-SUPR`: leading-0 suppression on top of `+NEW-IDS`.
+    pub fn zero_supr() -> Self {
+        StorageConfig { null_compress: false, ..StorageConfig::default() }
+    }
+
+    /// `+NULL` — the complete GF-CL storage (same as `default()`).
+    pub fn full() -> Self {
+        StorageConfig::default()
+    }
+
+    /// The Table 2 ladder in order, with the paper's column names.
+    pub fn ladder() -> Vec<(&'static str, StorageConfig)> {
+        vec![
+            ("+COLS", StorageConfig::cols()),
+            ("+NEW-IDS", StorageConfig::new_ids()),
+            ("+0-SUPR", StorageConfig::zero_supr()),
+            ("+NULL", StorageConfig::full()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone_in_features() {
+        let ladder = StorageConfig::ladder();
+        assert_eq!(ladder.len(), 4);
+        let flags =
+            |c: &StorageConfig| [c.new_ids, c.zero_suppress, c.null_compress].map(|b| b as u8);
+        for w in ladder.windows(2) {
+            let a = flags(&w[0].1);
+            let b = flags(&w[1].1);
+            assert!(a.iter().zip(&b).all(|(x, y)| x <= y), "each step only adds features");
+        }
+        assert_eq!(ladder[3].1, StorageConfig::default());
+    }
+
+    #[test]
+    fn default_is_full_gfcl() {
+        let c = StorageConfig::default();
+        assert!(c.new_ids && c.zero_suppress && c.null_compress && c.single_card_in_vcols);
+        assert_eq!(c.edge_prop_layout, EdgePropLayout::Pages { k: 128 });
+    }
+}

@@ -1,0 +1,74 @@
+//! Per-label storage of n-n edge properties: the Section 4.2 design space.
+
+use gfcl_columnar::Column;
+use gfcl_common::MemoryUsage;
+
+use crate::pages::PropertyPages;
+
+/// How one edge label's properties are physically stored.
+#[derive(Debug, Clone)]
+pub enum EdgePropStore {
+    /// The label has no properties — nothing is stored at all (one of the
+    /// big wins over the row store, which keeps a pointer per edge).
+    None,
+    /// Single-indexed property pages (the paper's design).
+    Pages(PropertyPages),
+    /// Flat columns indexed by a randomly-assigned dense edge ID
+    /// (baseline "edge columns").
+    Columns { props: Vec<Column> },
+    /// Properties duplicated in forward and backward list order
+    /// (baseline "double-indexed property CSRs").
+    DoubleIndexed { fwd: Vec<Column>, bwd: Vec<Column> },
+    /// Single-cardinality label: properties live in the
+    /// [`crate::single_card::SingleCardAdj`] vertex columns; their bytes are
+    /// accounted there.
+    InVertexColumns,
+}
+
+impl EdgePropStore {
+    pub fn n_props(&self) -> usize {
+        match self {
+            EdgePropStore::None | EdgePropStore::InVertexColumns => 0,
+            EdgePropStore::Pages(p) => p.n_props(),
+            EdgePropStore::Columns { props } => props.len(),
+            EdgePropStore::DoubleIndexed { fwd, .. } => fwd.len(),
+        }
+    }
+}
+
+impl MemoryUsage for EdgePropStore {
+    fn memory_bytes(&self) -> usize {
+        match self {
+            EdgePropStore::None | EdgePropStore::InVertexColumns => 0,
+            EdgePropStore::Pages(p) => p.memory_bytes(),
+            EdgePropStore::Columns { props } => props.iter().map(Column::memory_bytes).sum(),
+            EdgePropStore::DoubleIndexed { fwd, bwd } => {
+                fwd.iter().chain(bwd).map(Column::memory_bytes).sum()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfcl_columnar::NullKind;
+    use gfcl_common::DataType;
+
+    #[test]
+    fn double_indexed_costs_twice_columns() {
+        let values: Vec<Option<i64>> = (0..1000).map(Some).collect();
+        let col = Column::from_i64(DataType::Int64, &values, NullKind::None);
+        let single = EdgePropStore::Columns { props: vec![col.clone()] };
+        let double = EdgePropStore::DoubleIndexed { fwd: vec![col.clone()], bwd: vec![col] };
+        assert_eq!(double.memory_bytes(), 2 * single.memory_bytes());
+        assert_eq!(single.n_props(), 1);
+        assert_eq!(double.n_props(), 1);
+    }
+
+    #[test]
+    fn none_is_free() {
+        assert_eq!(EdgePropStore::None.memory_bytes(), 0);
+        assert_eq!(EdgePropStore::InVertexColumns.memory_bytes(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Graph storage for the `gfcl` graph DBMS: the paper's columnar layout
+//! (Section 4) and the row-oriented GF-RV baseline it is compared against.
+//!
+//! Layered as:
+//!
+//! * [`catalog`] — labels, structured properties, cardinality constraints;
+//! * [`raw`] — the storage-agnostic [`RawGraph`] interchange format;
+//! * [`csr`] / [`pages`] / [`single_card`] / [`edge_store`] — the columnar
+//!   building blocks: factored-ID CSRs, single-indexed property pages,
+//!   vertex-column single-cardinality edges, and the edge-property design
+//!   space;
+//! * [`columnar_graph`] — the assembled [`ColumnarGraph`], configurable
+//!   through [`StorageConfig`] to reproduce every ablation in the paper;
+//! * [`row_graph`] — the interpreted-attribute-layout [`RowGraph`] (GF-RV).
+
+pub mod catalog;
+pub mod columnar_graph;
+pub mod config;
+pub mod csr;
+pub mod edge_store;
+pub mod mutation;
+pub mod pages;
+pub mod raw;
+pub mod row_graph;
+pub mod single_card;
+
+pub use catalog::{Cardinality, Catalog, EdgeLabelDef, PropertyDef, VertexLabelDef};
+pub use columnar_graph::{AdjIndex, ColumnarGraph, EdgePropRead, MemoryBreakdown};
+pub use config::{EdgePropLayout, StorageConfig};
+pub use csr::{Csr, CsrOptions};
+pub use edge_store::EdgePropStore;
+pub use mutation::{MutableAdjacency, MutablePage, OffsetRecycler};
+pub use pages::PropertyPages;
+pub use raw::{EdgeTable, PropData, RawGraph, VertexTable};
+pub use row_graph::{PropEntry, RowCsr, RowGraph};
+pub use single_card::SingleCardAdj;

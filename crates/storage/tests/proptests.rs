@@ -1,0 +1,125 @@
+//! Property-based tests of the storage invariants (DESIGN.md §5,
+//! invariants 4, 5 and 8).
+
+use gfcl_columnar::NullKind;
+use gfcl_storage::mutation::MutableAdjacency;
+use gfcl_storage::pages::assign_insertion_order;
+use gfcl_storage::{Csr, CsrOptions};
+use proptest::prelude::*;
+
+/// Random edge lists over a small vertex set.
+fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(u64, u64)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n as u64, 0..n as u64), 0..200),
+        )
+    })
+}
+
+proptest! {
+    /// Invariant 4: flattening all CSR adjacency lists reproduces the exact
+    /// multiset of input edges, under every empty-list layout, and the
+    /// forward and backward CSRs are transposes of each other.
+    #[test]
+    fn csr_roundtrips_and_transposes((n, edges) in edges_strategy()) {
+        let src: Vec<u64> = edges.iter().map(|e| e.0).collect();
+        let dst: Vec<u64> = edges.iter().map(|e| e.1).collect();
+        for compress in [None, Some(NullKind::jacobson_default()), Some(NullKind::Sparse),
+                         Some(NullKind::Uncompressed)] {
+            let opts = CsrOptions { zero_suppress: true, compress_empty: compress };
+            let (fwd, _) = Csr::build(n, &src, &dst, opts);
+            let (bwd, _) = Csr::build(n, &dst, &src, opts);
+
+            let mut expected: Vec<(u64, u64)> = edges.clone();
+            expected.sort_unstable();
+            let mut from_fwd = Vec::new();
+            for v in 0..n as u64 {
+                for (_, nb) in fwd.iter_list(v) {
+                    from_fwd.push((v, nb));
+                }
+            }
+            from_fwd.sort_unstable();
+            prop_assert_eq!(&from_fwd, &expected);
+
+            let mut from_bwd = Vec::new();
+            for v in 0..n as u64 {
+                for (_, nb) in bwd.iter_list(v) {
+                    from_bwd.push((nb, v)); // transpose back
+                }
+            }
+            from_bwd.sort_unstable();
+            prop_assert_eq!(&from_bwd, &expected);
+
+            // Degrees consistent with the multiset.
+            for v in 0..n as u64 {
+                prop_assert_eq!(fwd.degree(v), src.iter().filter(|&&s| s == v).count());
+                prop_assert_eq!(bwd.degree(v), dst.iter().filter(|&&d| d == v).count());
+            }
+        }
+    }
+
+    /// Invariant 5 (page geometry): insertion-order page assignment is a
+    /// bijection between edges and flat slots; flat = page_start + slot;
+    /// slots never exceed the max page offset; pages partition the range.
+    #[test]
+    fn page_assignment_is_consistent((n, edges) in edges_strategy(), k in 1usize..16) {
+        let src: Vec<u64> = edges.iter().map(|e| e.0).collect();
+        let a = assign_insertion_order(k, n, &src);
+        // Bijection: all flat indices distinct and dense in 0..m.
+        let mut flats = a.flat_of_input.clone();
+        flats.sort_unstable();
+        let expected: Vec<u64> = (0..src.len() as u64).collect();
+        prop_assert_eq!(flats, expected);
+        // flat = page_start[page] + slot, slot bounded by max page size.
+        for (i, &s) in src.iter().enumerate() {
+            let page = s as usize / k;
+            prop_assert_eq!(
+                a.flat_of_input[i],
+                a.page_starts[page] + a.slot_of_input[i]
+            );
+            prop_assert!(a.slot_of_input[i] < a.max_page_size.max(1));
+            // Within the page's range.
+            prop_assert!(a.flat_of_input[i] < a.page_starts[page + 1]);
+        }
+        // Page starts are monotone.
+        prop_assert!(a.page_starts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Invariant 8: a mutable adjacency subjected to random inserts and
+    /// deletes matches a naive model, and gaps never exceed deletions.
+    #[test]
+    fn mutable_adjacency_matches_model(
+        ops in proptest::collection::vec((0u64..8, 0u64..20, any::<bool>()), 0..120),
+        k in 1usize..8,
+    ) {
+        let mut adj = MutableAdjacency::new(8, k);
+        let mut model: Vec<Vec<(u64, i64)>> = vec![Vec::new(); 8];
+        let mut deletions = 0usize;
+        for (i, (src, dst, is_insert)) in ops.into_iter().enumerate() {
+            if is_insert {
+                // Model disallows parallel edges for determinism.
+                if !model[src as usize].iter().any(|&(d, _)| d == dst) {
+                    adj.insert_edge(src, dst, i as i64);
+                    model[src as usize].push((dst, i as i64));
+                }
+            } else {
+                let in_model = model[src as usize].iter().position(|&(d, _)| d == dst);
+                let deleted = adj.delete_edge(src, dst);
+                prop_assert_eq!(deleted, in_model.is_some());
+                if let Some(p) = in_model {
+                    model[src as usize].swap_remove(p);
+                    deletions += 1;
+                }
+            }
+        }
+        for v in 0..8u64 {
+            let mut got = adj.list(v);
+            got.sort_unstable();
+            let mut want = model[v as usize].clone();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "vertex {}", v);
+        }
+        prop_assert!(adj.total_gaps() <= deletions);
+    }
+}

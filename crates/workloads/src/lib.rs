@@ -1,0 +1,10 @@
+//! Benchmark workloads (Section 8): the LDBC-like IS/IC suites, the 33
+//! JOB-like star-join queries, and the k-hop microbenchmark generators used
+//! by Tables 3–5 and Figure 12.
+
+pub mod job;
+pub mod khop;
+pub mod ldbc;
+
+pub use khop::{khop, khop_propless, khop_propless_dir, KhopMode};
+pub use ldbc::LdbcParams;

@@ -1,0 +1,87 @@
+//! # gfcl — Columnar Storage and List-based Processing for Graph DBMSs
+//!
+//! A Rust reproduction of Gupta, Mhedhbi & Salihoglu, *"Columnar Storage
+//! and List-based Processing for Graph Database Management Systems"*
+//! (PVLDB 14(11), 2021) — the GraphflowDB columnar techniques that later
+//! became the foundation of Kùzu.
+//!
+//! The library is an in-memory property-graph DBMS with four interchangeable
+//! engines over two storage layouts:
+//!
+//! | Engine | Storage | Processor |
+//! |--------|---------|-----------|
+//! | [`GfClEngine`] | columnar | list-based processor (the paper's system) |
+//! | [`GfCvEngine`] | columnar | Volcano tuple-at-a-time |
+//! | [`GfRvEngine`] | row-oriented | Volcano tuple-at-a-time |
+//! | [`RelEngine`]  | columnar tables | block-based hash joins |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gfcl::{ColumnarGraph, Engine, GfClEngine, RawGraph, StorageConfig};
+//! use gfcl::query::{col, gt, lit, lt, PatternQuery};
+//!
+//! // The paper's Figure 1 running example graph.
+//! let raw = RawGraph::example();
+//! let graph = Arc::new(ColumnarGraph::build(&raw, StorageConfig::default()).unwrap());
+//! let engine = GfClEngine::new(graph);
+//!
+//! // Example 1 of the paper:
+//! // MATCH (a:PERSON)-[e:WORKAT]->(b:ORG)
+//! // WHERE a.age > 22 AND b.estd < 2015 RETURN *
+//! let q = PatternQuery::builder()
+//!     .node("a", "PERSON")
+//!     .node("b", "ORG")
+//!     .edge("e", "WORKAT", "a", "b")
+//!     .filter(gt(col("a", "age"), lit(22)))
+//!     .filter(lt(col("b", "estd"), lit(2015)))
+//!     .returns(&[("a", "name"), ("b", "name")])
+//!     .build();
+//! let out = engine.execute(&q).unwrap();
+//! assert_eq!(out.cardinality(), 2); // alice->UW, bob->UofT
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use gfcl_baselines::{GfCvEngine, GfRvEngine, RelEngine};
+pub use gfcl_common::{
+    human_bytes, DataType, Direction, EdgeId, Error, LabelId, MemoryUsage, Result, Value, VertexId,
+};
+pub use gfcl_core::{Engine, GfClEngine, LogicalPlan, PatternQuery, QueryOutput};
+pub use gfcl_storage::{
+    Cardinality, Catalog, ColumnarGraph, EdgePropLayout, MemoryBreakdown, PropertyDef, RawGraph,
+    RowGraph, StorageConfig,
+};
+
+/// Columnar primitives: leading-0 suppression, dictionary encoding,
+/// Jacobson-indexed NULL compression.
+pub mod columnar {
+    pub use gfcl_columnar::*;
+}
+
+/// The query model: pattern builders and expression helpers.
+pub mod query {
+    pub use gfcl_core::query::*;
+}
+
+/// The logical planner.
+pub mod plan {
+    pub use gfcl_core::plan::*;
+}
+
+/// Synthetic dataset generators (LDBC-like, IMDb-like, power-law).
+pub mod datagen {
+    pub use gfcl_datagen::*;
+}
+
+/// Benchmark workloads (LDBC IS/IC, JOB, k-hop microbenchmarks).
+pub mod workloads {
+    pub use gfcl_workloads::*;
+}
+
+/// Storage internals (CSRs, property pages, vertex columns, row store).
+pub mod storage {
+    pub use gfcl_storage::*;
+}
