@@ -82,7 +82,7 @@ pub fn generate(params: PowerLawParams) -> RawGraph {
             }
             t.src.push(v);
             t.dst.push(d);
-            t.props[0].push_i64(base_ts + rng.gen_range(0..200_000_000));
+            t.props[0].push_i64(base_ts + rng.gen_range(0..200_000_000i64));
         }
     }
     // KONECT edge files are ordered by crawl time, not by source vertex.

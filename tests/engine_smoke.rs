@@ -1,0 +1,59 @@
+//! Workspace smoke test: all four engines construct from the Figure-1
+//! example graph and agree — cardinality and canonical result set — on the
+//! paper's Example 1 query. This is the cheapest possible "is the whole
+//! stack wired together" check; the deeper equivalence suites live in
+//! `crates/baselines/tests/`.
+
+use std::sync::Arc;
+
+use gfcl::query::{col, gt, lit, lt, PatternQuery};
+use gfcl::{
+    ColumnarGraph, Engine, GfClEngine, GfCvEngine, GfRvEngine, RawGraph, RelEngine, RowGraph,
+    StorageConfig,
+};
+
+fn example_1() -> PatternQuery {
+    // MATCH (a:PERSON)-[e:WORKAT]->(b:ORG)
+    // WHERE a.age > 22 AND b.estd < 2015 RETURN a.name, b.name
+    PatternQuery::builder()
+        .node("a", "PERSON")
+        .node("b", "ORG")
+        .edge("e", "WORKAT", "a", "b")
+        .filter(gt(col("a", "age"), lit(22)))
+        .filter(lt(col("b", "estd"), lit(2015)))
+        .returns(&[("a", "name"), ("b", "name")])
+        .build()
+}
+
+#[test]
+fn all_four_engines_construct_and_agree_on_figure_1() {
+    let raw = RawGraph::example();
+    let colg = Arc::new(ColumnarGraph::build(&raw, StorageConfig::default()).unwrap());
+    let rowg = Arc::new(RowGraph::build(&raw).unwrap());
+
+    let engines: Vec<Box<dyn Engine>> = vec![
+        Box::new(GfClEngine::new(colg.clone())),
+        Box::new(GfCvEngine::new(colg.clone())),
+        Box::new(GfRvEngine::new(rowg)),
+        Box::new(RelEngine::new(colg)),
+    ];
+
+    let q = example_1();
+    let outputs: Vec<_> = engines
+        .iter()
+        .map(|e| (e.name().to_owned(), e.execute(&q).unwrap()))
+        .collect();
+
+    for (name, out) in &outputs {
+        assert_eq!(out.cardinality(), 2, "{name}: expected alice->UW and bob->UofT");
+    }
+    let reference = outputs[0].1.canonical();
+    for (name, out) in &outputs[1..] {
+        assert_eq!(
+            out.canonical(),
+            reference,
+            "{name} disagrees with {} on Example 1",
+            outputs[0].0
+        );
+    }
+}

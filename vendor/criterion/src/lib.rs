@@ -1,0 +1,270 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so this workspace vendors the
+//! API surface its benches use — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros (`harness = false`
+//! targets provide their own `main`) — plus a few adjacent conveniences
+//! (`iter_batched`, `bench_with_input`, `BenchmarkId`, `Throughput`) so
+//! future benches written against the real criterion idiom compile unchanged.
+//!
+//! Measurement model: warm up briefly, then run timed batches until
+//! `measurement_time` elapses (default 300 ms per benchmark) and report the
+//! minimum per-iteration time — the low-noise point estimate. No statistics,
+//! plots, or baselines; good enough to compare orders of magnitude and to
+//! keep every bench target compiling and runnable.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_time: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted for compatibility; this stub sizes batches by time alone.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.measurement_time, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.measurement_time, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.measurement_time,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct Bencher {
+    /// Filled in by `iter`: (iterations, elapsed) of the best batch.
+    best_ns_per_iter: f64,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: grow the batch until it takes
+        // at least ~1 ms, so Instant overhead stays negligible.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+
+        let deadline = Instant::now() + self.measurement_time;
+        let mut best = f64::INFINITY;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < best {
+                best = ns;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.best_ns_per_iter = best;
+    }
+
+    /// Like [`iter`](Bencher::iter) but with per-input setup outside the
+    /// timed region. Uses the same grow-the-batch-until-~1ms calibration so
+    /// timer overhead stays amortized even for nanosecond-scale routines.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut batch: usize = 1;
+        loop {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(f(input));
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+
+        let deadline = Instant::now() + self.measurement_time;
+        let mut best = f64::INFINITY;
+        loop {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(f(input));
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < best {
+                best = ns;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.best_ns_per_iter = best;
+    }
+}
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, measurement_time: Duration, f: &mut F) {
+    let mut b = Bencher { best_ns_per_iter: f64::NAN, measurement_time };
+    f(&mut b);
+    let ns = b.best_ns_per_iter;
+    let human = if ns.is_nan() {
+        "no iter() call".to_owned()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s/iter", ns / 1_000_000_000.0)
+    };
+    println!("bench {id:<60} {human}");
+}
+
+/// `criterion_group!(name, target, ...)` — plain and `config =` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_addition(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("mul", |b| b.iter(|| black_box(2u64) * black_box(3)));
+        g.finish();
+    }
+
+    #[test]
+    fn smoke() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        bench_addition(&mut c);
+    }
+}

@@ -1,0 +1,739 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access, so this workspace vendors the
+//! subset of proptest its property tests use — the [`strategy::Strategy`]
+//! trait with `prop_map`/`prop_flat_map`, range / tuple / `Just` / `any` /
+//! string-pattern strategies, `collection::vec`, `option::{of, weighted}`,
+//! the [`proptest!`] macro, and a deterministic case runner — plus a few
+//! adjacent conveniences (`prop_filter`, `prop_oneof!`, `boxed()`,
+//! `prop_assert_ne!`) so future tests written against the real proptest
+//! idiom compile unchanged.
+//!
+//! Deliberate simplifications versus the real crate:
+//! - **No shrinking.** A failing case panics with the generated inputs
+//!   (captured by `prop_assert_*`'s message) and the case number.
+//! - **Deterministic seeding.** Case `i` of every test derives its RNG from
+//!   a fixed base seed and `i`, so failures reproduce without a persistence
+//!   file. Set `PROPTEST_BASE_SEED` to explore different input sets.
+//! - String strategies support the pattern subset `[class]{lo,hi}` plus
+//!   literals and `? * + {n}` quantifiers, which covers this workspace.
+
+pub mod test_runner {
+    /// Mirror of `proptest::test_runner::Config` — only `cases` matters here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default is 256; property tests in this workspace are
+            // O(n^2)-ish per case, so keep CI snappy while still sampling
+            // broadly. Override per-test with `with_cases`.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic per-case RNG: a thin wrapper over the vendored
+    /// `rand::rngs::SmallRng` (the real proptest also drives its value
+    /// trees from a `rand` RNG).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: rand::rngs::SmallRng,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            use rand::SeedableRng;
+            TestRng { inner: rand::rngs::SmallRng::seed_from_u64(seed) }
+        }
+
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            use rand::RngCore;
+            self.inner.next_u64()
+        }
+
+        /// Uniform sample from any range `rand` can sample. All range-based
+        /// strategies delegate here so the sampling logic (span widening,
+        /// bias handling) lives in one place: the vendored `rand` crate.
+        #[inline]
+        pub fn gen_range<T, R: rand::SampleRange<T>>(&mut self, range: R) -> T {
+            use rand::Rng;
+            self.inner.gen_range(range)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be nonzero.
+        #[inline]
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.gen_range(0..n)
+        }
+
+        /// Uniform in `[0, 1)`.
+        #[inline]
+        pub fn unit_f64(&mut self) -> f64 {
+            use rand::Rng;
+            self.inner.gen::<f64>()
+        }
+    }
+
+    fn base_seed() -> u64 {
+        match std::env::var("PROPTEST_BASE_SEED") {
+            Ok(s) => {
+                let t = s.trim();
+                let parsed = match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => t.parse(),
+                };
+                // Loud failure: silently substituting the default would make
+                // a pasted reproduction seed run a different input set.
+                parsed.unwrap_or_else(|e| {
+                    panic!("PROPTEST_BASE_SEED={s:?} is not a decimal or 0x-hex u64: {e}")
+                })
+            }
+            Err(_) => 0xC0FF_EE00_D15E_A5E5,
+        }
+    }
+
+    /// Run `body` once per case with a per-case deterministic RNG.
+    pub fn run<F: FnMut(&mut TestRng)>(config: &ProptestConfig, mut body: F) {
+        let base = base_seed();
+        for case in 0..config.cases as u64 {
+            // SplitMix the (base, case) pair into a well-spread seed.
+            let mut rng = TestRng::from_seed(
+                base.wrapping_add(case.wrapping_mul(0xA076_1D64_78BD_642F)),
+            );
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                body(&mut rng)
+            }));
+            if let Err(payload) = result {
+                eprintln!(
+                    "proptest: failing case {case} of {} (base seed {base:#x})",
+                    config.cases
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Value-generation strategy. Unlike the real proptest there is no value
+    /// tree / shrinking; `sample` draws a fresh value.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f, whence }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy { inner: std::rc::Rc::new(self) }
+        }
+    }
+
+    /// References to strategies are strategies, mirroring the real crate's
+    /// `impl Strategy for &S`.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn DynStrategy<T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { inner: self.inner.clone() }
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn dyn_sample(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_sample(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.inner.dyn_sample(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+        whence: &'static str,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter '{}' rejected 1000 consecutive samples", self.whence);
+        }
+    }
+
+    // Range strategies delegate to the vendored rand crate's samplers so the
+    // subtle span/bias logic exists in exactly one place.
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+    /// `&str` strategies interpret a regex-like pattern; see [`crate::string`].
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::string::sample_pattern(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::string::sample_pattern(self, rng)
+        }
+    }
+
+    /// Marker for `any::<T>()`.
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any_strategy<T: crate::arbitrary::Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::test_runner::TestRng;
+
+    /// Full-domain value generation for `any::<T>()`.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Bias towards small magnitudes and boundary values the
+                    // way proptest's integer strategies do, so edge cases
+                    // (0, MAX, small counts) actually get exercised.
+                    match rng.below(8) {
+                        0 => 0 as $t,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        3 | 4 => (rng.below(256) as i64 - 128) as $t,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            match rng.below(4) {
+                0 => 0.0,
+                1 => (rng.below(2000) as f64 - 1000.0) / 10.0,
+                _ => loop {
+                    // Rejection-sample the full bit space for finite floats
+                    // (non-finite patterns are ~0.05% of draws).
+                    let v = f64::from_bits(rng.next_u64());
+                    if v.is_finite() {
+                        break v;
+                    }
+                },
+            }
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> crate::strategy::Any<T> {
+        crate::strategy::any_strategy::<T>()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Anything that can describe a vec length: a fixed size or a range.
+    pub trait IntoSizeRange {
+        /// (lo, hi) half-open.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        assert!(lo < hi, "empty vec size range");
+        VecStrategy { element, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.hi - self.lo) as u64;
+            let len = self.lo + if span > 0 { rng.below(span) as usize } else { 0 };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+        some_probability: f64,
+    }
+
+    /// `Some` with probability 0.5 (the real crate's default).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner, some_probability: 0.5 }
+    }
+
+    /// `Some` with the given probability.
+    pub fn weighted<S: Strategy>(some_probability: f64, inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner, some_probability }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.unit_f64() < self.some_probability {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    /// Sample a string from a regex-like pattern. Supported syntax: literal
+    /// chars, `[a-z0-9_]` classes (ranges and singletons), and the
+    /// quantifiers `{n}`, `{lo,hi}`, `?`, `*`, `+` (the unbounded ones cap
+    /// at 8 repetitions). This covers the patterns used in this workspace;
+    /// anything fancier panics loudly rather than silently misbehaving.
+    pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // 1. Parse one atom into its alphabet.
+            let alphabet: Vec<char> = match chars[i] {
+                '[' => {
+                    assert!(
+                        chars.get(i + 1) != Some(&'^'),
+                        "negated classes [^...] are unsupported in {pattern:?}"
+                    );
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                        + i;
+                    let mut alpha = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j], chars[j + 2]);
+                            assert!(lo <= hi, "bad class range in {pattern:?}");
+                            for c in lo..=hi {
+                                alpha.push(c);
+                            }
+                            j += 3;
+                        } else {
+                            alpha.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    assert!(!alpha.is_empty(), "empty class in {pattern:?}");
+                    i = close + 1;
+                    alpha
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                    i += 2;
+                    vec![c]
+                }
+                c if "(){}*+?|.".contains(c) => {
+                    panic!("unsupported pattern syntax {c:?} in {pattern:?}")
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+
+            // 2. Parse an optional quantifier.
+            let (lo, hi) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        let (lo, hi) = match body.split_once(',') {
+                            Some((a, b)) => (
+                                a.trim().parse().expect("bad quantifier"),
+                                b.trim().parse::<usize>().expect("bad quantifier"),
+                            ),
+                            None => {
+                                let n = body.trim().parse().expect("bad quantifier");
+                                (n, n)
+                            }
+                        };
+                        assert!(lo <= hi, "bad quantifier {{{body}}} in {pattern:?}: lo > hi");
+                        (lo, hi)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+
+            // 3. Emit.
+            let span = (hi - lo + 1) as u64;
+            let reps = lo + rng.below(span) as usize;
+            for _ in 0..reps {
+                let k = rng.below(alphabet.len() as u64) as usize;
+                out.push(alphabet[k]);
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// `prop_assert!` — in this stub, assertions panic (no shrinking pass to
+/// feed an `Err` back into), which the runner reports with the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::__oneof_impl(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}
+
+#[doc(hidden)]
+pub fn __oneof_impl<T: 'static>(
+    choices: Vec<strategy::BoxedStrategy<T>>,
+) -> impl strategy::Strategy<Value = T> {
+    use strategy::Strategy;
+    (0usize..choices.len()).prop_flat_map(move |i| choices[i].clone())
+}
+
+/// The `proptest!` macro: wraps each `fn name(pat in strategy, ...) { .. }`
+/// into a deterministic multi-case test.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run(&__config, |__rng| {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 2usize..40, y in -20i64..20) {
+            prop_assert!((2..40).contains(&x));
+            prop_assert!((-20..20).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(any::<u64>(), 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+        }
+
+        #[test]
+        fn fixed_len_vec(v in crate::collection::vec(any::<bool>(), 5usize)) {
+            prop_assert_eq!(v.len(), 5);
+        }
+
+        #[test]
+        fn string_pattern(s in "[a-e]{0,4}") {
+            prop_assert!(s.len() <= 4);
+            prop_assert!(s.chars().all(|c| ('a'..='e').contains(&c)));
+        }
+
+        #[test]
+        fn flat_map_tuples((n, v) in (1usize..10).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(0..n as u64, n))
+        })) {
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&x| (x as usize) < n));
+        }
+
+        #[test]
+        fn options_weighted(v in crate::collection::vec(
+            crate::option::weighted(1.0, 0i64..5), 4usize)) {
+            prop_assert!(v.iter().all(|o| o.is_some()));
+        }
+    }
+
+    #[test]
+    fn config_cases_respected() {
+        let mut count = 0;
+        crate::test_runner::run(
+            &crate::test_runner::ProptestConfig::with_cases(24),
+            |_rng| count += 1,
+        );
+        assert_eq!(count, 24);
+    }
+}
