@@ -1,0 +1,65 @@
+//! Morsel-driven scaling: the parallel list-based processor vs the serial
+//! path on k-hop COUNT(*) and FILTER queries, at 1/2/4/8 workers.
+//!
+//! Not a paper table — the paper evaluates GF-CL single-threaded — but the
+//! scaling sanity check for the morsel-driven driver: COUNT(*) k-hops are
+//! embarrassingly parallel over scan morsels, so 4 workers should deliver
+//! well over the 1.5x acceptance bar on any multi-core host.
+
+use std::sync::Arc;
+
+use gfcl_bench::{banner, fmt_factor, fmt_ms, time_plan, TextTable};
+use gfcl_core::{Engine, ExecOptions, GfClEngine};
+use gfcl_storage::{ColumnarGraph, StorageConfig};
+use gfcl_workloads::{khop, KhopMode};
+
+fn main() {
+    banner(
+        "Parallel scaling: morsel-driven GF-CL vs serial GF-CL",
+        "not in the paper - k-hop COUNT(*)/FILTER speedup at 1/2/4/8 workers",
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host parallelism: {cores} logical cores\n");
+
+    let datasets = [
+        ("FLICKR-like", gfcl_bench::flickr(60_000), "NODE", "LINK", "ts"),
+        ("LDBC-like", gfcl_bench::social_knows_heavy(30_000), "Person", "knows", "date"),
+    ];
+    let thread_counts = [1usize, 2, 4, 8];
+
+    let mut table = TextTable::new(vec![
+        "dataset", "query", "serial", "2 thr", "4 thr", "8 thr", "4-thr x",
+    ]);
+
+    for (name, raw, node, edge, prop) in &datasets {
+        let graph = Arc::new(ColumnarGraph::build(raw, StorageConfig::default()).unwrap());
+        for (mode_name, mode, hops) in [
+            ("2-hop COUNT(*)", KhopMode::CountStar, 2),
+            ("3-hop COUNT(*)", KhopMode::CountStar, 3),
+            ("2-hop FILTER", KhopMode::LastEdgeGt(1_440_000_000), 2),
+        ] {
+            let q = khop(node, edge, prop, hops, mode, false);
+            let mut times = Vec::new();
+            let mut counts = Vec::new();
+            for &t in &thread_counts {
+                let engine = GfClEngine::with_options(graph.clone(), ExecOptions::with_threads(t));
+                let plan = engine.plan(&q).unwrap();
+                let (secs, card) = time_plan(&engine, &plan);
+                times.push(secs);
+                counts.push(card);
+            }
+            gfcl_bench::assert_same_count(mode_name, &counts);
+            table.row(vec![
+                (*name).to_owned(),
+                mode_name.to_owned(),
+                fmt_ms(times[0]),
+                fmt_ms(times[1]),
+                fmt_ms(times[2]),
+                fmt_ms(times[3]),
+                fmt_factor(times[0], times[2]),
+            ]);
+        }
+    }
+    table.print();
+    println!("\n(x columns are serial time / 4-thread time; > 1 means the parallel path wins)");
+}

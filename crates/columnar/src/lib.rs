@@ -34,3 +34,15 @@ pub use dictionary::Dictionary;
 pub use nulls::{NullKind, NullMap};
 pub use rank::{JacobsonRank, RankParams};
 pub use uint_array::UIntArray;
+
+// Columns and their compression structures are read concurrently by the
+// parallel list-based processor; keep them `Send + Sync` by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Bitmap>();
+    assert_send_sync::<Column>();
+    assert_send_sync::<Dictionary>();
+    assert_send_sync::<NullMap>();
+    assert_send_sync::<JacobsonRank>();
+    assert_send_sync::<UIntArray>();
+};

@@ -15,6 +15,9 @@ pub enum Error {
     Plan(String),
     /// Runtime failure during execution.
     Exec(String),
+    /// A storage layout cannot serve the requested access path (e.g. an
+    /// edge property read against a CSR whose layout omitted edge IDs).
+    Storage(String),
     /// Invalid argument to a storage structure or builder.
     Invalid(String),
 }
@@ -31,6 +34,7 @@ impl fmt::Display for Error {
             }
             Error::Plan(m) => write!(f, "planning error: {m}"),
             Error::Exec(m) => write!(f, "execution error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
             Error::Invalid(m) => write!(f, "invalid argument: {m}"),
         }
     }

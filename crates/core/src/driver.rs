@@ -1,0 +1,314 @@
+//! The pipeline driver: morsel-driven (optionally parallel) execution of a
+//! compiled [`LogicalPlan`] and the factorized aggregation sinks of
+//! Section 6.2.
+//!
+//! The paper evaluates the list-based processor single-threaded; this
+//! module adds intra-query parallelism in the style of morsel-driven
+//! scheduling (Leis et al., SIGMOD 2014), which composes naturally with
+//! the LBP because scans already produce independent
+//! [`SCAN_MORSEL`]-sized vertex ranges:
+//!
+//! * a shared [`ScanCursor`] hands out disjoint `[next, next + 1024)`
+//!   vertex ranges with one `fetch_add` per morsel;
+//! * each worker owns a **private pipeline** — operators, intermediate
+//!   [`crate::chunk::Chunk`], and compiled predicates — instantiated from
+//!   the shared plan by [`crate::exec::compile`], so no intermediate state
+//!   is ever shared;
+//! * each worker folds its chunk states into a private [`Partial`] sink
+//!   (count, sum, min/max, or rows);
+//! * the partials merge at the scope barrier, in worker-index order, into
+//!   the final [`QueryOutput`].
+//!
+//! Workers run under [`std::thread::scope`], so the graph and plan are
+//! borrowed, not `Arc`-ed, and a worker's `Result` propagates at the
+//! barrier. With `threads = 1` no thread is spawned and the single
+//! pipeline observes exactly the serial morsel sequence, keeping output
+//! bit-identical to the historical serial executor.
+//!
+//! Integer `SUM` accumulates in `i128` and **saturates** to the `i64`
+//! domain on overflow instead of silently truncating.
+
+use std::sync::Arc;
+
+use gfcl_columnar::Column;
+use gfcl_common::{DataType, Result, Value};
+use gfcl_storage::ColumnarGraph;
+
+use crate::chunk::VecRef;
+use crate::engine::QueryOutput;
+use crate::exec::{compile, enumerate_rows, vector_value, Pipeline, ScanCursor, SCAN_MORSEL};
+use crate::plan::{LogicalPlan, PlanReturn};
+
+/// Execution options for the list-based processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Number of worker pipelines. `1` (the default) runs the historical
+    /// serial path on the calling thread; `n > 1` spawns `n` scoped
+    /// workers that partition the scan morsel-by-morsel.
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { threads: 1 }
+    }
+}
+
+impl ExecOptions {
+    /// Serial execution (one pipeline on the calling thread).
+    pub fn serial() -> ExecOptions {
+        ExecOptions { threads: 1 }
+    }
+
+    /// Parallel execution with `threads` workers (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> ExecOptions {
+        ExecOptions { threads: threads.max(1) }
+    }
+
+    /// Read the worker count from `GFCL_THREADS` (unset, empty, or
+    /// unparsable ⇒ serial). This is how CI drives the whole test suite
+    /// through the parallel path without touching call sites.
+    pub fn from_env() -> ExecOptions {
+        let threads = std::env::var("GFCL_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(1);
+        ExecOptions::with_threads(threads)
+    }
+}
+
+/// One worker's private sink state. Merging partials is associative and
+/// performed in worker-index order, so results are deterministic for a
+/// fixed thread count (and for all integer aggregates, for *any* thread
+/// count).
+enum Partial {
+    Count(u64),
+    Sum { ints: i128, floats: f64 },
+    Best(Value),
+    Rows(Vec<Vec<Value>>),
+}
+
+/// Execute a logical plan on the columnar graph with the list-based
+/// processor (serial — one pipeline, the paper's configuration).
+pub fn execute(g: &ColumnarGraph, plan: &LogicalPlan) -> Result<QueryOutput> {
+    execute_with(g, plan, &ExecOptions::serial())
+}
+
+/// Execute a logical plan with `opts.threads` morsel-driven workers.
+pub fn execute_with(
+    g: &ColumnarGraph,
+    plan: &LogicalPlan,
+    opts: &ExecOptions,
+) -> Result<QueryOutput> {
+    let threads = opts.threads.max(1);
+    let cursor = Arc::new(ScanCursor::for_plan(g, plan)?);
+    // Never spawn more workers than there are morsels to hand out.
+    let max_useful = (cursor.total() as usize).div_ceil(SCAN_MORSEL).max(1);
+    let threads = threads.min(max_useful);
+
+    if threads == 1 {
+        let mut pipeline = compile(g, plan, &cursor)?;
+        let partial = drive(g, plan, &mut pipeline)?;
+        return finish(plan, vec![partial]);
+    }
+
+    let partials: Vec<Result<Partial>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = Arc::clone(&cursor);
+                scope.spawn(move || {
+                    let mut pipeline = compile(g, plan, &cursor)?;
+                    drive(g, plan, &mut pipeline)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("LBP worker panicked")).collect()
+    });
+    let partials = partials.into_iter().collect::<Result<Vec<_>>>()?;
+    finish(plan, partials)
+}
+
+/// Should `candidate` replace `best` for a MIN (`want_min`) / MAX fold?
+fn improves(best: &Value, candidate: &Value, want_min: bool) -> bool {
+    if candidate.is_null() {
+        return false;
+    }
+    match best.compare(candidate) {
+        None => best.is_null(),
+        Some(ord) => {
+            if want_min {
+                ord == std::cmp::Ordering::Greater
+            } else {
+                ord == std::cmp::Ordering::Less
+            }
+        }
+    }
+}
+
+/// Drain one pipeline into a [`Partial`] sink.
+fn drive(g: &ColumnarGraph, plan: &LogicalPlan, pipe: &mut Pipeline<'_>) -> Result<Partial> {
+    use crate::chunk::ValueVector;
+    match &plan.ret {
+        PlanReturn::CountStar => {
+            let mut count: u64 = 0;
+            while pipe.next_state(g)? {
+                count += pipe.chunk.tuple_count();
+            }
+            Ok(Partial::Count(count))
+        }
+        PlanReturn::Sum(slot) => {
+            let r = pipe.slot_refs[*slot];
+            let mut sum_i: i128 = 0;
+            let mut sum_f: f64 = 0.0;
+            while pipe.next_state(g)? {
+                let group = &pipe.chunk.groups[r.group];
+                let mult = pipe.chunk.tuple_count_excluding(r.group);
+                let mut add = |idx: usize| match &group.vectors[r.vec] {
+                    ValueVector::I64 { vals, valid, .. } if valid[idx] => {
+                        sum_i += vals[idx] as i128 * mult as i128;
+                    }
+                    ValueVector::F64 { vals, valid } if valid[idx] => {
+                        sum_f += vals[idx] * mult as f64;
+                    }
+                    _ => {}
+                };
+                if group.is_flat() {
+                    add(group.cur_idx as usize);
+                } else {
+                    for idx in group.iter_selected() {
+                        add(idx);
+                    }
+                }
+            }
+            Ok(Partial::Sum { ints: sum_i, floats: sum_f })
+        }
+        PlanReturn::Min(slot) | PlanReturn::Max(slot) => {
+            let want_min = matches!(plan.ret, PlanReturn::Min(_));
+            let r = pipe.slot_refs[*slot];
+            let r_col = pipe.slot_cols[*slot];
+            let mut best: Value = Value::Null;
+            while pipe.next_state(g)? {
+                let group = &pipe.chunk.groups[r.group];
+                let mut consider = |idx: usize| {
+                    let v = vector_value(&group.vectors[r.vec], idx, r_col);
+                    if improves(&best, &v, want_min) {
+                        best = v;
+                    }
+                };
+                if group.is_flat() {
+                    consider(group.cur_idx as usize);
+                } else {
+                    for idx in group.iter_selected() {
+                        consider(idx);
+                    }
+                }
+            }
+            Ok(Partial::Best(best))
+        }
+        PlanReturn::Props(slots) => {
+            let refs: Vec<(VecRef, Option<&Column>)> =
+                slots.iter().map(|&s| (pipe.slot_refs[s], pipe.slot_cols[s])).collect();
+            let mut rows: Vec<Vec<Value>> = Vec::new();
+            while pipe.next_state(g)? {
+                enumerate_rows(&pipe.chunk, &refs, &mut rows);
+            }
+            Ok(Partial::Rows(rows))
+        }
+    }
+}
+
+/// Merge worker partials (in worker-index order) into the final output.
+fn finish(plan: &LogicalPlan, partials: Vec<Partial>) -> Result<QueryOutput> {
+    match &plan.ret {
+        PlanReturn::CountStar => {
+            let mut count: u64 = 0;
+            for p in partials {
+                if let Partial::Count(c) = p {
+                    count += c;
+                }
+            }
+            Ok(QueryOutput::Count(count))
+        }
+        PlanReturn::Sum(slot) => {
+            let dtype = plan.slots[*slot].dtype;
+            let mut sum_i: i128 = 0;
+            let mut sum_f: f64 = 0.0;
+            for p in partials {
+                if let Partial::Sum { ints, floats } = p {
+                    sum_i = sum_i.saturating_add(ints);
+                    sum_f += floats;
+                }
+            }
+            let value = match dtype {
+                DataType::Float64 => Value::Float64(sum_f),
+                // Saturate rather than truncate: `SUM` of in-domain i64
+                // values can exceed i64, and `as i64` would wrap silently.
+                _ => Value::Int64(clamp_i128(sum_i)),
+            };
+            Ok(QueryOutput::Agg { name: plan.header[0].clone(), value })
+        }
+        PlanReturn::Min(_) | PlanReturn::Max(_) => {
+            let want_min = matches!(plan.ret, PlanReturn::Min(_));
+            let mut best: Value = Value::Null;
+            for p in partials {
+                if let Partial::Best(v) = p {
+                    if improves(&best, &v, want_min) {
+                        best = v;
+                    }
+                }
+            }
+            Ok(QueryOutput::Agg { name: plan.header[0].clone(), value: best })
+        }
+        PlanReturn::Props(_) => {
+            let mut rows: Vec<Vec<Value>> = Vec::new();
+            for p in partials {
+                if let Partial::Rows(r) = p {
+                    rows.extend(r);
+                }
+            }
+            Ok(QueryOutput::Rows { header: plan.header.clone(), rows })
+        }
+    }
+}
+
+/// Saturating `i128 → i64` conversion.
+fn clamp_i128(v: i128) -> i64 {
+    if v > i64::MAX as i128 {
+        i64::MAX
+    } else if v < i64::MIN as i128 {
+        i64::MIN
+    } else {
+        v as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_options_defaults_and_env() {
+        assert_eq!(ExecOptions::default().threads, 1);
+        assert_eq!(ExecOptions::serial().threads, 1);
+        assert_eq!(ExecOptions::with_threads(0).threads, 1, "clamped");
+        assert_eq!(ExecOptions::with_threads(8).threads, 8);
+    }
+
+    #[test]
+    fn i128_clamp_saturates() {
+        assert_eq!(clamp_i128(i64::MAX as i128 + 1), i64::MAX);
+        assert_eq!(clamp_i128(i64::MIN as i128 - 1), i64::MIN);
+        assert_eq!(clamp_i128(-7), -7);
+    }
+
+    #[test]
+    fn improves_follows_min_max_semantics() {
+        let (a, b) = (Value::Int64(3), Value::Int64(5));
+        assert!(improves(&Value::Null, &a, true));
+        assert!(improves(&Value::Null, &a, false));
+        assert!(!improves(&a, &Value::Null, true));
+        assert!(improves(&b, &a, true), "3 beats 5 for MIN");
+        assert!(improves(&a, &b, false), "5 beats 3 for MAX");
+        assert!(!improves(&a, &b, true));
+    }
+}

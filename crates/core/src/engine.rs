@@ -11,7 +11,7 @@ use std::sync::Arc;
 use gfcl_common::{Result, Value};
 use gfcl_storage::{Catalog, ColumnarGraph};
 
-use crate::exec;
+use crate::driver::{self, ExecOptions};
 use crate::plan::{plan, LogicalPlan};
 use crate::query::PatternQuery;
 
@@ -75,10 +75,26 @@ pub trait Engine {
     /// Execute a pre-planned logical plan.
     fn run_plan(&self, plan: &LogicalPlan) -> Result<QueryOutput>;
 
+    /// Execute a pre-planned logical plan under explicit [`ExecOptions`].
+    ///
+    /// The default implementation ignores the options and runs the
+    /// engine's native (serial) path — only engines with intra-query
+    /// parallelism ([`GfClEngine`]) override this.
+    fn run_plan_with(&self, plan: &LogicalPlan, opts: &ExecOptions) -> Result<QueryOutput> {
+        let _ = opts;
+        self.run_plan(plan)
+    }
+
     /// Plan and execute a query.
     fn execute(&self, q: &PatternQuery) -> Result<QueryOutput> {
         let p = plan(q, self.catalog())?;
         self.run_plan(&p)
+    }
+
+    /// Plan and execute a query under explicit [`ExecOptions`].
+    fn execute_with(&self, q: &PatternQuery, opts: &ExecOptions) -> Result<QueryOutput> {
+        let p = plan(q, self.catalog())?;
+        self.run_plan_with(&p, opts)
     }
 
     /// Plan a query against this engine's catalog (exposed so benchmarks
@@ -88,18 +104,33 @@ pub trait Engine {
     }
 }
 
-/// GF-CL: columnar storage + list-based processor (the paper's system).
+/// GF-CL: columnar storage + list-based processor (the paper's system),
+/// optionally with morsel-driven intra-query parallelism.
 pub struct GfClEngine {
     graph: Arc<ColumnarGraph>,
+    opts: ExecOptions,
 }
 
 impl GfClEngine {
+    /// Engine with options from the environment ([`ExecOptions::from_env`]:
+    /// `GFCL_THREADS` workers, serial when unset — the paper's
+    /// configuration and bit-identical to the historical executor).
     pub fn new(graph: Arc<ColumnarGraph>) -> Self {
-        GfClEngine { graph }
+        GfClEngine::with_options(graph, ExecOptions::from_env())
+    }
+
+    /// Engine with explicit execution options.
+    pub fn with_options(graph: Arc<ColumnarGraph>, opts: ExecOptions) -> Self {
+        GfClEngine { graph, opts }
     }
 
     pub fn graph(&self) -> &ColumnarGraph {
         &self.graph
+    }
+
+    /// The options every `run_plan`/`execute` call uses.
+    pub fn options(&self) -> &ExecOptions {
+        &self.opts
     }
 }
 
@@ -113,6 +144,10 @@ impl Engine for GfClEngine {
     }
 
     fn run_plan(&self, plan: &LogicalPlan) -> Result<QueryOutput> {
-        exec::execute(&self.graph, plan)
+        driver::execute_with(&self.graph, plan, &self.opts)
+    }
+
+    fn run_plan_with(&self, plan: &LogicalPlan, opts: &ExecOptions) -> Result<QueryOutput> {
+        driver::execute_with(&self.graph, plan, opts)
     }
 }

@@ -1,12 +1,21 @@
-//! The list-based processor: physical operators and the pipeline driver
+//! The list-based processor: physical operators and plan compilation
 //! (Section 6.2).
+//!
+//! This module owns the *static* half of execution: compiling a
+//! [`LogicalPlan`] into a [`Pipeline`] of physical operators plus the
+//! intermediate [`Chunk`] they fill. The *dynamic* half — driving one or
+//! more pipelines to completion and merging their sink states — lives in
+//! [`crate::driver`], which instantiates one `Pipeline` per worker thread
+//! from the same plan (morsel-driven parallelism).
 //!
 //! Operators pull chunk *states* from their child: each state is one
 //! configuration of the intermediate chunk's list groups (flattened
 //! positions + filled blocks) representing a set of tuples. The operators:
 //!
-//! * `ScanAll` / `ScanPk` — fill the first group with up to 1024 vertex
-//!   offsets (the paper's default morsel).
+//! * `ScanAll` / `ScanPk` — claim `[next, next + 1024)` vertex ranges (the
+//!   paper's default morsel) from a shared atomic [`ScanCursor`], so
+//!   multiple pipelines over the same plan partition the scan without
+//!   coordination beyond one `fetch_add` per morsel.
 //! * `ListExtend` — n-side joins over a CSR: flattens its source group
 //!   (iterating its selected positions across calls) and fills the output
 //!   group with **zero-copy views** of the current vertex's adjacency list.
@@ -21,35 +30,91 @@
 //!   group among its inputs, broadcasting flat operands, and ANDs the
 //!   result into the group's selection mask.
 //!
-//! The sinks implement the Section 6.2 aggregation-on-compressed-data
-//! trick: `COUNT(*)` multiplies group contributions without ever
-//! enumerating tuples.
+//! The sinks (in [`crate::driver`]) implement the Section 6.2
+//! aggregation-on-compressed-data trick: `COUNT(*)` multiplies group
+//! contributions without ever enumerating tuples.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use gfcl_columnar::Column;
 use gfcl_common::{DataType, Direction, Error, LabelId, Result, Value};
 use gfcl_storage::{AdjIndex, ColumnarGraph};
 
 use crate::chunk::{Chunk, NodeData, ValueVector, VecRef};
-use crate::engine::QueryOutput;
-use crate::plan::{LogicalPlan, PlanReturn, PlanStep};
+use crate::plan::{LogicalPlan, PlanStep};
 use crate::pred::{compile_pred, CPred, EvalCtx};
 
-/// Default scan morsel size (the paper's block size for scans).
+// Re-export the driver entry points here so `exec::execute` keeps working
+// as the canonical "run a plan on the columnar graph" call.
+pub use crate::driver::{execute, execute_with, ExecOptions};
+
+/// Default scan morsel size (the paper's block size for scans, and the unit
+/// of work handed to each parallel pipeline).
 pub const SCAN_MORSEL: usize = 1024;
+
+/// The shared scan cursor: hands out disjoint `[start, end)` vertex-offset
+/// morsels to however many pipelines pull from it. One `fetch_add` per
+/// morsel is the only cross-worker synchronization in the whole executor —
+/// everything downstream of the scan is thread-private.
+///
+/// A single pipeline pulling from a fresh cursor sees exactly the morsel
+/// sequence the serial executor produced (`[0, 1024)`, `[1024, 2048)`, …),
+/// which keeps `threads = 1` bit-identical to the historical serial path.
+#[derive(Debug)]
+pub struct ScanCursor {
+    next: AtomicU64,
+    total: u64,
+}
+
+impl ScanCursor {
+    /// A cursor over `total` scan positions.
+    pub fn new(total: u64) -> ScanCursor {
+        ScanCursor { next: AtomicU64::new(0), total }
+    }
+
+    /// Cursor sized for `plan`'s scan step (`ScanPk` is a single morsel).
+    pub fn for_plan(g: &ColumnarGraph, plan: &LogicalPlan) -> Result<ScanCursor> {
+        match plan.steps.first() {
+            Some(PlanStep::ScanAll { node }) => {
+                Ok(ScanCursor::new(g.vertex_count(plan.nodes[*node].label) as u64))
+            }
+            Some(PlanStep::ScanPk { .. }) => Ok(ScanCursor::new(1)),
+            _ => Err(Error::Plan("plan does not start with a scan".into())),
+        }
+    }
+
+    /// Claim the next morsel of up to `morsel` positions. Returns `None`
+    /// once the scan is exhausted.
+    #[inline]
+    pub fn claim(&self, morsel: u64) -> Option<(u64, u64)> {
+        debug_assert!(morsel > 0);
+        let start = self.next.fetch_add(morsel, Ordering::Relaxed);
+        if start >= self.total {
+            None
+        } else {
+            Some((start, (start + morsel).min(self.total)))
+        }
+    }
+
+    /// Total number of scan positions this cursor covers.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
 
 /// A physical operator. `ops[i]`'s child is `ops[i-1]`; `ops[0]` is a scan.
 enum Op {
     ScanAll {
         label: LabelId,
         out: VecRef,
-        next: u64,
-        total: u64,
+        cursor: Arc<ScanCursor>,
     },
     ScanPk {
         label: LabelId,
         key: i64,
         out: VecRef,
-        done: bool,
+        cursor: Arc<ScanCursor>,
     },
     ListExtend {
         label: LabelId,
@@ -94,23 +159,20 @@ enum Op {
 fn pull(ops: &mut [Op], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool> {
     let (op, children) = ops.split_last_mut().expect("pipeline has at least a scan");
     match op {
-        Op::ScanAll { label, out, next, total } => {
-            if *next >= *total {
+        Op::ScanAll { label, out, cursor } => {
+            let Some((start, end)) = cursor.claim(SCAN_MORSEL as u64) else {
                 return Ok(false);
-            }
-            let end = (*next + SCAN_MORSEL as u64).min(*total);
-            let vals: Vec<u64> = (*next..end).collect();
-            *next = end;
+            };
+            let vals: Vec<u64> = (start..end).collect();
             let group = &mut chunk.groups[out.group];
             group.reset(vals.len());
             group.vectors[out.vec] = ValueVector::Node { label: *label, data: NodeData::Owned(vals) };
             Ok(true)
         }
-        Op::ScanPk { label, key, out, done } => {
-            if *done {
+        Op::ScanPk { label, key, out, cursor } => {
+            if cursor.claim(1).is_none() {
                 return Ok(false);
             }
-            *done = true;
             match g.lookup_pk(*label, *key) {
                 Some(off) => {
                     let group = &mut chunk.groups[out.group];
@@ -441,7 +503,7 @@ fn fill_vector(
 
 /// Read position `idx` of a block as a [`Value`] (row materialization).
 /// `col` provides the dictionary for decoding string codes.
-fn vector_value(v: &ValueVector, idx: usize, col: Option<&Column>) -> Value {
+pub(crate) fn vector_value(v: &ValueVector, idx: usize, col: Option<&Column>) -> Value {
     match v {
         ValueVector::I64 { vals, valid, date } => {
             if valid[idx] {
@@ -482,10 +544,33 @@ fn vector_value(v: &ValueVector, idx: usize, col: Option<&Column>) -> Value {
     }
 }
 
-/// Execute a logical plan on the columnar graph with the list-based
-/// processor.
-pub fn execute(g: &ColumnarGraph, plan: &LogicalPlan) -> Result<QueryOutput> {
-    // ---- Physical compilation ----
+/// One compiled operator pipeline plus the chunk it fills: the thread-
+/// private execution state of one worker. Any number of pipelines can be
+/// compiled from the same [`LogicalPlan`]; pipelines sharing a
+/// [`ScanCursor`] partition the scan between them.
+pub(crate) struct Pipeline<'g> {
+    ops: Vec<Op>,
+    pub(crate) chunk: Chunk,
+    /// Vector location of each plan slot.
+    pub(crate) slot_refs: Vec<VecRef>,
+    /// Storage column backing each slot (dictionary decode at the sink).
+    pub(crate) slot_cols: Vec<Option<&'g Column>>,
+}
+
+impl<'g> Pipeline<'g> {
+    /// Pull the next chunk state through the pipeline. `false` = drained.
+    pub(crate) fn next_state(&mut self, g: &ColumnarGraph) -> Result<bool> {
+        pull(&mut self.ops, g, &mut self.chunk)
+    }
+}
+
+/// Compile `plan` into a [`Pipeline`] whose scan pulls morsels from
+/// `cursor` (physical compilation).
+pub(crate) fn compile<'g>(
+    g: &'g ColumnarGraph,
+    plan: &LogicalPlan,
+    cursor: &Arc<ScanCursor>,
+) -> Result<Pipeline<'g>> {
     let mut group_vectors: Vec<Vec<ValueVector>> = Vec::new();
     let mut node_locs: Vec<Option<VecRef>> = vec![None; plan.nodes.len()];
     #[derive(Clone, Copy)]
@@ -504,19 +589,14 @@ pub fn execute(g: &ColumnarGraph, plan: &LogicalPlan) -> Result<QueryOutput> {
                 group_vectors.push(vec![ValueVector::Empty]);
                 let out = VecRef { group: 0, vec: 0 };
                 node_locs[*node] = Some(out);
-                ops.push(Op::ScanAll {
-                    label,
-                    out,
-                    next: 0,
-                    total: g.vertex_count(label) as u64,
-                });
+                ops.push(Op::ScanAll { label, out, cursor: Arc::clone(cursor) });
             }
             PlanStep::ScanPk { node, key } => {
                 let label = plan.nodes[*node].label;
                 group_vectors.push(vec![ValueVector::Empty]);
                 let out = VecRef { group: 0, vec: 0 };
                 node_locs[*node] = Some(out);
-                ops.push(Op::ScanPk { label, key: *key, out, done: false });
+                ops.push(Op::ScanPk { label, key: *key, out, cursor: Arc::clone(cursor) });
             }
             PlanStep::Extend { edge, edge_label, dir, from, to, .. } => {
                 let from_ref = node_locs[*from].ok_or_else(|| Error::Plan("unbound from".into()))?;
@@ -633,98 +713,13 @@ pub fn execute(g: &ColumnarGraph, plan: &LogicalPlan) -> Result<QueryOutput> {
         chunk.groups[gi].vectors = vecs;
     }
 
-    // ---- Sinks ----
-    match &plan.ret {
-        PlanReturn::CountStar => {
-            let mut count: u64 = 0;
-            while pull(&mut ops, g, &mut chunk)? {
-                count += chunk.tuple_count();
-            }
-            Ok(QueryOutput::Count(count))
-        }
-        PlanReturn::Sum(slot) => {
-            let r = slot_refs[*slot];
-            let dtype = plan.slots[*slot].dtype;
-            let mut sum_i: i128 = 0;
-            let mut sum_f: f64 = 0.0;
-            while pull(&mut ops, g, &mut chunk)? {
-                let group = &chunk.groups[r.group];
-                let mult = chunk.tuple_count_excluding(r.group);
-                let mut add = |idx: usize| match &group.vectors[r.vec] {
-                    ValueVector::I64 { vals, valid, .. } if valid[idx] => {
-                        sum_i += vals[idx] as i128 * mult as i128;
-                    }
-                    ValueVector::F64 { vals, valid } if valid[idx] => {
-                        sum_f += vals[idx] * mult as f64;
-                    }
-                    _ => {}
-                };
-                if group.is_flat() {
-                    add(group.cur_idx as usize);
-                } else {
-                    for idx in group.iter_selected() {
-                        add(idx);
-                    }
-                }
-            }
-            let value = match dtype {
-                DataType::Float64 => Value::Float64(sum_f),
-                _ => Value::Int64(sum_i as i64),
-            };
-            Ok(QueryOutput::Agg { name: plan.header[0].clone(), value })
-        }
-        PlanReturn::Min(slot) | PlanReturn::Max(slot) => {
-            let want_min = matches!(plan.ret, PlanReturn::Min(_));
-            let r = slot_refs[*slot];
-            let r_col = slot_cols[*slot];
-            let mut best: Value = Value::Null;
-            while pull(&mut ops, g, &mut chunk)? {
-                let group = &chunk.groups[r.group];
-                let mut consider = |idx: usize| {
-                    let v = vector_value(&group.vectors[r.vec], idx, r_col);
-                    if v.is_null() {
-                        return;
-                    }
-                    let replace = match best.compare(&v) {
-                        None => best.is_null(),
-                        Some(ord) => {
-                            if want_min {
-                                ord == std::cmp::Ordering::Greater
-                            } else {
-                                ord == std::cmp::Ordering::Less
-                            }
-                        }
-                    };
-                    if replace {
-                        best = v;
-                    }
-                };
-                if group.is_flat() {
-                    consider(group.cur_idx as usize);
-                } else {
-                    for idx in group.iter_selected() {
-                        consider(idx);
-                    }
-                }
-            }
-            Ok(QueryOutput::Agg { name: plan.header[0].clone(), value: best })
-        }
-        PlanReturn::Props(slots) => {
-            let refs: Vec<(VecRef, Option<&Column>)> =
-                slots.iter().map(|&s| (slot_refs[s], slot_cols[s])).collect();
-            let mut rows: Vec<Vec<Value>> = Vec::new();
-            while pull(&mut ops, g, &mut chunk)? {
-                enumerate_rows(&chunk, &refs, &mut rows);
-            }
-            Ok(QueryOutput::Rows { header: plan.header.clone(), rows })
-        }
-    }
+    Ok(Pipeline { ops, chunk, slot_refs, slot_cols })
 }
 
 /// Enumerate the Cartesian product of the chunk's groups, materializing the
 /// referenced slots for each represented tuple (decoding string codes
 /// through their columns' dictionaries — late materialization).
-fn enumerate_rows(
+pub(crate) fn enumerate_rows(
     chunk: &Chunk,
     refs: &[(VecRef, Option<&Column>)],
     rows: &mut Vec<Vec<Value>>,
@@ -772,5 +767,57 @@ fn enumerate_rows(
             }
             cursor[gi] = 0;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_hands_out_serial_morsel_sequence() {
+        let c = ScanCursor::new(2500);
+        assert_eq!(c.claim(SCAN_MORSEL as u64), Some((0, 1024)));
+        assert_eq!(c.claim(SCAN_MORSEL as u64), Some((1024, 2048)));
+        assert_eq!(c.claim(SCAN_MORSEL as u64), Some((2048, 2500)));
+        assert_eq!(c.claim(SCAN_MORSEL as u64), None);
+        assert_eq!(c.claim(SCAN_MORSEL as u64), None, "stays drained");
+    }
+
+    #[test]
+    fn cursor_partitions_exactly_under_concurrency() {
+        let total = 10_000u64;
+        let c = ScanCursor::new(total);
+        let ranges: Vec<(u64, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut got = Vec::new();
+                        while let Some(r) = c.claim(64) {
+                            got.push(r);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let mut ranges = ranges;
+        ranges.sort_unstable();
+        // Disjoint, gap-free cover of [0, total).
+        let mut expect = 0;
+        for (s, e) in ranges {
+            assert_eq!(s, expect);
+            assert!(e > s && e <= total);
+            expect = e;
+        }
+        assert_eq!(expect, total);
+    }
+
+    #[test]
+    fn single_morsel_cursor_fires_once() {
+        let c = ScanCursor::new(1);
+        assert_eq!(c.claim(1), Some((0, 1)));
+        assert_eq!(c.claim(1), None);
     }
 }

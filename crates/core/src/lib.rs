@@ -10,16 +10,32 @@
 //! * [`pred`] — compiled vectorized predicates (string predicates run on
 //!   dictionary codes);
 //! * [`exec`] — the LBP operators (Scan, ListExtend, ColumnExtend,
-//!   property readers, Filter) and factorized aggregation sinks;
+//!   property readers, Filter) and per-worker pipeline compilation;
+//! * [`driver`] — the morsel-driven pipeline driver: [`ExecOptions`],
+//!   parallel workers over a shared scan cursor, and the factorized
+//!   aggregation sinks with their partial-state merge;
 //! * [`engine`] — the [`Engine`] trait and [`GfClEngine`].
 
 pub mod chunk;
+pub mod driver;
 pub mod engine;
 pub mod exec;
 pub mod plan;
 pub mod pred;
 pub mod query;
 
+pub use driver::ExecOptions;
 pub use engine::{Engine, GfClEngine, QueryOutput};
 pub use plan::{plan as plan_query, LogicalPlan, PlanReturn, PlanStep};
 pub use query::{PatternQuery, ReturnSpec};
+
+// The morsel-driven driver shares these between scoped worker threads by
+// reference; keep them `Send + Sync` by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<LogicalPlan>();
+    assert_send_sync::<PatternQuery>();
+    assert_send_sync::<QueryOutput>();
+    assert_send_sync::<ExecOptions>();
+    assert_send_sync::<exec::ScanCursor>();
+};

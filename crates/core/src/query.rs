@@ -23,7 +23,7 @@
 //! assert_eq!(q.nodes.len(), 2);
 //! ```
 
-use gfcl_common::Value;
+use gfcl_common::{Error, Result, Value};
 
 /// A node variable in the pattern.
 #[derive(Debug, Clone)]
@@ -173,36 +173,44 @@ impl PatternQuery {
     }
 }
 
+/// An edge awaiting endpoint resolution: the builder records endpoint
+/// *names* and resolves them to node indexes at build time, so malformed
+/// patterns surface as [`Error::Plan`] from [`QueryBuilder::try_build`]
+/// instead of panicking mid-construction.
+#[derive(Debug, Clone)]
+struct PendingEdge {
+    var: Option<String>,
+    label: String,
+    from: String,
+    to: String,
+}
+
 /// Fluent builder for [`PatternQuery`].
 #[derive(Debug, Default)]
 pub struct QueryBuilder {
     nodes: Vec<NodePattern>,
-    edges: Vec<EdgePattern>,
+    edges: Vec<PendingEdge>,
     predicates: Vec<Expr>,
     ret: Option<ReturnSpec>,
     hints: PlanHints,
 }
 
 impl QueryBuilder {
-    /// Declare a node variable with its label.
+    /// Declare a node variable with its label. Duplicate variables are
+    /// reported by [`QueryBuilder::try_build`].
     pub fn node(mut self, var: &str, label: &str) -> Self {
-        assert!(
-            !self.nodes.iter().any(|n| n.var == var),
-            "duplicate node variable {var}"
-        );
         self.nodes.push(NodePattern { var: var.into(), label: label.into() });
         self
     }
 
     /// Declare an edge `(from)-[var:label]->(to)` between declared nodes.
+    /// Undeclared endpoints are reported by [`QueryBuilder::try_build`].
     pub fn edge(mut self, var: &str, label: &str, from: &str, to: &str) -> Self {
-        let f = self.node_pos(from);
-        let t = self.node_pos(to);
-        self.edges.push(EdgePattern {
+        self.edges.push(PendingEdge {
             var: (!var.is_empty()).then(|| var.to_owned()),
             label: label.into(),
-            from: f,
-            to: t,
+            from: from.into(),
+            to: to.into(),
         });
         self
     }
@@ -210,13 +218,6 @@ impl QueryBuilder {
     /// Anonymous edge.
     pub fn edge_anon(self, label: &str, from: &str, to: &str) -> Self {
         self.edge("", label, from, to)
-    }
-
-    fn node_pos(&self, var: &str) -> usize {
-        self.nodes
-            .iter()
-            .position(|n| n.var == var)
-            .unwrap_or_else(|| panic!("edge references undeclared node variable {var}"))
     }
 
     /// Add a conjunct to the WHERE clause.
@@ -265,14 +266,42 @@ impl QueryBuilder {
         self
     }
 
-    pub fn build(self) -> PatternQuery {
-        PatternQuery {
+    /// Build the query, validating the pattern: duplicate node variables
+    /// and edges referencing undeclared nodes return [`Error::Plan`].
+    pub fn try_build(self) -> Result<PatternQuery> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if self.nodes[..i].iter().any(|m| m.var == n.var) {
+                return Err(Error::Plan(format!("duplicate node variable {}", n.var)));
+            }
+        }
+        let pos_of = |var: &str| -> Result<usize> {
+            self.nodes.iter().position(|n| n.var == var).ok_or_else(|| {
+                Error::Plan(format!("edge references undeclared node variable {var}"))
+            })
+        };
+        let mut edges = Vec::with_capacity(self.edges.len());
+        for e in &self.edges {
+            edges.push(EdgePattern {
+                var: e.var.clone(),
+                label: e.label.clone(),
+                from: pos_of(&e.from)?,
+                to: pos_of(&e.to)?,
+            });
+        }
+        Ok(PatternQuery {
             nodes: self.nodes,
-            edges: self.edges,
+            edges,
             predicates: self.predicates,
             ret: self.ret.unwrap_or(ReturnSpec::CountStar),
             hints: self.hints,
-        }
+        })
+    }
+
+    /// Infallible convenience over [`QueryBuilder::try_build`] for
+    /// hand-written (statically well-formed) patterns. Panics with the
+    /// underlying [`Error::Plan`] message on a malformed pattern.
+    pub fn build(self) -> PatternQuery {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -396,9 +425,30 @@ mod tests {
     }
 
     #[test]
+    fn edge_to_unknown_node_is_a_plan_error() {
+        // Regression: this used to panic inside `.edge(...)`; the fallible
+        // build path reports it as Error::Plan instead.
+        let err = PatternQuery::builder()
+            .node("a", "X")
+            .edge("e", "E", "a", "missing")
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Plan(_)), "{err:?}");
+        assert!(err.to_string().contains("undeclared node variable missing"));
+    }
+
+    #[test]
+    fn duplicate_node_variable_is_a_plan_error() {
+        let err =
+            PatternQuery::builder().node("a", "X").node("a", "Y").try_build().unwrap_err();
+        assert!(matches!(err, Error::Plan(_)), "{err:?}");
+        assert!(err.to_string().contains("duplicate node variable a"));
+    }
+
+    #[test]
     #[should_panic(expected = "undeclared node variable")]
-    fn edge_to_unknown_node_panics() {
-        let _ = PatternQuery::builder().node("a", "X").edge("e", "E", "a", "missing");
+    fn infallible_build_panics_with_the_plan_error() {
+        let _ = PatternQuery::builder().node("a", "X").edge("e", "E", "a", "missing").build();
     }
 
     #[test]

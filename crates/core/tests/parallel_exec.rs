@@ -1,0 +1,135 @@
+//! Morsel-driven parallel execution: serial/parallel agreement on the
+//! GF-CL engine and the saturating `SUM` sink.
+
+use std::sync::Arc;
+
+use gfcl_common::DataType;
+use gfcl_core::query::{col, gt, lit, PatternQuery, QueryBuilder};
+use gfcl_core::{Engine, ExecOptions, GfClEngine, QueryOutput};
+use gfcl_datagen::PowerLawParams;
+use gfcl_storage::{Catalog, ColumnarGraph, PropertyDef, RawGraph, StorageConfig};
+
+fn powerlaw_graph(nodes: usize) -> Arc<ColumnarGraph> {
+    let raw = gfcl_datagen::generate_powerlaw(PowerLawParams {
+        nodes,
+        avg_degree: 6.0,
+        exponent: 1.8,
+        seed: 11,
+    });
+    Arc::new(ColumnarGraph::build(&raw, StorageConfig::default()).unwrap())
+}
+
+fn queries() -> Vec<(&'static str, PatternQuery)> {
+    let count = PatternQuery::builder()
+        .node("a", "NODE")
+        .node("b", "NODE")
+        .node("c", "NODE")
+        .edge("e1", "LINK", "a", "b")
+        .edge("e2", "LINK", "b", "c")
+        .returns_count()
+        .build();
+    let filtered = PatternQuery::builder()
+        .node("a", "NODE")
+        .node("b", "NODE")
+        .node("c", "NODE")
+        .edge("e1", "LINK", "a", "b")
+        .edge("e2", "LINK", "b", "c")
+        .filter(gt(col("e2", "ts"), col("e1", "ts")))
+        .returns_count()
+        .build();
+    let rows = PatternQuery::builder()
+        .node("a", "NODE")
+        .node("b", "NODE")
+        .edge("e", "LINK", "a", "b")
+        .filter(gt(col("e", "ts"), lit(1_400_000_000)))
+        .returns(&[("a", "id"), ("b", "id")])
+        .build();
+    let sum = PatternQuery::builder()
+        .node("a", "NODE")
+        .node("b", "NODE")
+        .edge("e", "LINK", "a", "b")
+        .returns_sum("b", "id")
+        .build();
+    let agg = PatternQuery::builder()
+        .node("a", "NODE")
+        .node("b", "NODE")
+        .edge("e", "LINK", "a", "b")
+        .returns_max("e", "ts")
+        .build();
+    vec![
+        ("2-hop-count", count),
+        ("2-hop-chain-filter", filtered),
+        ("1-hop-rows", rows),
+        ("1-hop-sum", sum),
+        ("1-hop-max", agg),
+    ]
+}
+
+#[test]
+fn serial_and_parallel_agree_on_powerlaw() {
+    // > 4 morsels of 1024, so 4 workers genuinely share the scan.
+    let graph = powerlaw_graph(5000);
+    let serial = GfClEngine::with_options(graph.clone(), ExecOptions::serial());
+    for threads in [2, 4, 7] {
+        let par = GfClEngine::with_options(graph.clone(), ExecOptions::with_threads(threads));
+        for (name, q) in queries() {
+            let a = serial.execute(&q).unwrap().canonical();
+            let b = par.execute(&q).unwrap().canonical();
+            assert_eq!(a, b, "{name} at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn more_workers_than_morsels_is_fine() {
+    // 600 vertices = one morsel; 4 workers must not double-count.
+    let graph = powerlaw_graph(600);
+    let q = PatternQuery::builder()
+        .node("a", "NODE")
+        .node("b", "NODE")
+        .edge("e", "LINK", "a", "b")
+        .returns_count()
+        .build();
+    let serial = GfClEngine::with_options(graph.clone(), ExecOptions::serial());
+    let par = GfClEngine::with_options(graph, ExecOptions::with_threads(4));
+    assert_eq!(serial.execute(&q).unwrap(), par.execute(&q).unwrap());
+}
+
+/// A single-label graph whose `x` property holds values near `i64::MAX`.
+fn huge_value_graph(values: &[i64]) -> Arc<ColumnarGraph> {
+    let mut cat = Catalog::new();
+    let a = cat
+        .add_vertex_label("A", vec![PropertyDef::new("x", DataType::Int64)])
+        .unwrap();
+    let mut raw = RawGraph::new(cat);
+    raw.vertices[a as usize].count = values.len();
+    for &v in values {
+        raw.vertices[a as usize].props[0].push_i64(v);
+    }
+    raw.validate().unwrap();
+    Arc::new(ColumnarGraph::build(&raw, StorageConfig::default()).unwrap())
+}
+
+fn sum_x(graph: Arc<ColumnarGraph>, threads: usize) -> i64 {
+    let engine = GfClEngine::with_options(graph, ExecOptions::with_threads(threads));
+    let q = QueryBuilder::default().node("a", "A").returns_sum("a", "x").build();
+    match engine.execute(&q).unwrap() {
+        QueryOutput::Agg { value, .. } => value.as_i64().unwrap(),
+        other => panic!("expected aggregate, got {other:?}"),
+    }
+}
+
+#[test]
+fn sum_saturates_instead_of_truncating() {
+    // Regression: the i128 accumulator used to be cast with `as i64`,
+    // wrapping 2 * (i64::MAX - 1) to -4. It must saturate.
+    for threads in [1, 4] {
+        let g = huge_value_graph(&[i64::MAX - 1, i64::MAX - 1]);
+        assert_eq!(sum_x(g, threads), i64::MAX, "positive saturation, {threads} threads");
+        let g = huge_value_graph(&[i64::MIN + 1, i64::MIN + 1]);
+        assert_eq!(sum_x(g, threads), i64::MIN, "negative saturation, {threads} threads");
+        // In-domain sums are exact.
+        let g = huge_value_graph(&[i64::MAX - 10, 7, -3]);
+        assert_eq!(sum_x(g, threads), i64::MAX - 6);
+    }
+}

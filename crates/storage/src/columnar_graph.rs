@@ -241,6 +241,29 @@ impl ColumnarGraph {
         self.pk[label as usize].as_ref()?.get(&key).copied()
     }
 
+    /// Validate that `(label, dir)` can serve an access path that reads
+    /// the stored edge-ID component: the adjacency must be a CSR *and* the
+    /// Figure 6 decision tree must have kept its edge-ID array. Checked
+    /// once at [`EdgePropRead`] resolution so per-edge reads never panic on
+    /// a layout that omitted the IDs.
+    fn require_edge_ids(&self, label: LabelId, dir: Direction) -> Result<()> {
+        let def = self.catalog.edge_label(label);
+        let csr = self.adj(label, dir).as_csr().ok_or_else(|| {
+            Error::Storage(format!(
+                "edge label {} has no CSR in direction {dir}; cannot resolve edge IDs",
+                def.name
+            ))
+        })?;
+        if !csr.has_edge_ids() {
+            return Err(Error::Storage(format!(
+                "edge IDs not stored for label {} in direction {dir}: this layout cannot \
+                 resolve edge property reads",
+                def.name
+            )));
+        }
+        Ok(())
+    }
+
     /// Resolve the access path for edge property `prop` when traversing
     /// `(label, dir)` (see [`EdgePropRead`]).
     pub fn edge_prop_read(&self, label: LabelId, dir: Direction, prop: usize) -> Result<EdgePropRead<'_>> {
@@ -251,6 +274,7 @@ impl ColumnarGraph {
                 def.name
             ))),
             EdgePropStore::Pages(pp) => {
+                self.require_edge_ids(label, dir)?;
                 if self.config.new_ids {
                     // Both directions resolve through (indexed-side vertex,
                     // page-level positional offset). Forward reads touch one
@@ -267,7 +291,10 @@ impl ColumnarGraph {
                     Ok(EdgePropRead::ByEdgeId(pp.prop(prop)))
                 }
             }
-            EdgePropStore::Columns { props } => Ok(EdgePropRead::ByEdgeId(&props[prop])),
+            EdgePropStore::Columns { props } => {
+                self.require_edge_ids(label, dir)?;
+                Ok(EdgePropRead::ByEdgeId(&props[prop]))
+            }
             EdgePropStore::DoubleIndexed { fwd, bwd } => Ok(EdgePropRead::ByPosition(match dir {
                 Direction::Fwd => &fwd[prop],
                 Direction::Bwd => &bwd[prop],
@@ -892,6 +919,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn missing_edge_ids_surface_a_storage_error() {
+        // Regression: resolving an edge property read against a CSR whose
+        // layout omitted the edge-ID array used to panic per edge inside
+        // `Csr::edge_id_at`; it must fail at resolution with Error::Storage.
+        let raw = RawGraph::example();
+        let mut g = ColumnarGraph::build(&raw, StorageConfig::default()).unwrap();
+        let follows = g.catalog().edge_label_id("FOLLOWS").unwrap();
+        let t = &raw.edges[follows as usize];
+        let (bare, _) = Csr::build(g.vertex_count(0), &t.src, &t.dst, CsrOptions::default());
+        assert!(!bare.has_edge_ids());
+        g.fwd[follows as usize] = AdjIndex::Csr(bare);
+        let err = g.edge_prop_read(follows, Direction::Fwd, 0).unwrap_err();
+        assert!(matches!(err, Error::Storage(_)), "{err:?}");
+        assert!(err.to_string().contains("edge IDs not stored"));
+        // The untouched backward direction still resolves.
+        assert!(g.edge_prop_read(follows, Direction::Bwd, 0).is_ok());
     }
 
     #[test]

@@ -165,11 +165,21 @@ impl Csr {
         self.nbr.get(pos as usize)
     }
 
+    /// Edge ID component at CSR position `pos`, or `None` when the
+    /// decision tree omitted the array.
+    #[inline]
+    pub fn try_edge_id_at(&self, pos: u64) -> Option<u64> {
+        Some(self.edge_ids.as_ref()?.get(pos as usize))
+    }
+
     /// Edge ID component at CSR position `pos`. Panics if the decision tree
-    /// omitted the array (callers must consult [`Csr::has_edge_ids`]).
+    /// omitted the array — callers must consult [`Csr::has_edge_ids`].
+    /// Query paths validate this once, when the access path is resolved in
+    /// `ColumnarGraph::edge_prop_read`, and surface
+    /// [`gfcl_common::Error::Storage`] instead of panicking per edge.
     #[inline]
     pub fn edge_id_at(&self, pos: u64) -> u64 {
-        self.edge_ids.as_ref().expect("edge ids not stored for this label").get(pos as usize)
+        self.try_edge_id_at(pos).expect("edge ids not stored for this label")
     }
 
     pub fn has_edge_ids(&self) -> bool {
@@ -290,6 +300,7 @@ mod tests {
         let (n, from, nbr) = sample_edges();
         let (mut csr, _) = Csr::build(n, &from, &nbr, CsrOptions::default());
         assert!(!csr.has_edge_ids());
+        assert_eq!(csr.try_edge_id_at(0), None, "omitted array is not a panic");
         let ids: Vec<u64> = (0..8).map(|i| i * 3).collect();
         csr.set_edge_ids(UIntArray::from_values(&ids, true));
         assert!(csr.has_edge_ids());

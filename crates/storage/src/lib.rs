@@ -34,3 +34,21 @@ pub use pages::PropertyPages;
 pub use raw::{EdgeTable, PropData, RawGraph, VertexTable};
 pub use row_graph::{PropEntry, RowCsr, RowGraph};
 pub use single_card::SingleCardAdj;
+
+// Storage is read-only at query time and shared by reference across the
+// morsel-driven workers of the list-based processor, so every query-facing
+// structure must stay `Send + Sync` (no interior mutability). These
+// assertions turn a regression into a compile error at the crate boundary.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Catalog>();
+    assert_send_sync::<ColumnarGraph>();
+    assert_send_sync::<Csr>();
+    assert_send_sync::<PropertyPages>();
+    assert_send_sync::<SingleCardAdj>();
+    assert_send_sync::<EdgePropStore>();
+    assert_send_sync::<AdjIndex>();
+    assert_send_sync::<RowGraph>();
+    assert_send_sync::<StorageConfig>();
+    assert_send_sync::<EdgePropRead<'_>>();
+};

@@ -1,0 +1,224 @@
+//! Serial-vs-parallel equivalence of the list-based processor: for every
+//! LDBC-like, JOB-like, and k-hop workload query, GF-CL at `threads = 1`
+//! must produce the same canonical output as GF-CL at `threads = N`
+//! (N = `GFCL_THREADS`, default 4), plus a proptest over random graphs.
+//!
+//! This is the safety net for the morsel-driven driver: the scan cursor
+//! partitions work nondeterministically between workers, so any missing
+//! per-worker state isolation or a non-associative sink merge shows up
+//! here as a canonical-output mismatch.
+
+use std::sync::Arc;
+
+use gfcl_core::query::{col, ge, gt, lit, lt, PatternQuery, QueryBuilder};
+use gfcl_core::{Engine, ExecOptions, GfClEngine};
+use gfcl_datagen::{MovieParams, PowerLawParams, SocialParams};
+use gfcl_storage::{
+    Cardinality, Catalog, ColumnarGraph, PropertyDef, RawGraph, StorageConfig,
+};
+use gfcl_workloads::ldbc::{self, LdbcParams};
+use gfcl_workloads::{job, khop, KhopMode};
+use proptest::prelude::*;
+
+/// Parallel worker count under test: `GFCL_THREADS`, default 4.
+fn par_threads() -> usize {
+    std::env::var("GFCL_THREADS").ok().and_then(|s| s.trim().parse().ok()).unwrap_or(4)
+}
+
+fn assert_serial_parallel_agree(raw: &RawGraph, queries: &[(String, PatternQuery)]) {
+    let graph = Arc::new(ColumnarGraph::build(raw, StorageConfig::default()).unwrap());
+    let serial = GfClEngine::with_options(graph.clone(), ExecOptions::serial());
+    let parallel =
+        GfClEngine::with_options(graph, ExecOptions::with_threads(par_threads()));
+    for (name, q) in queries {
+        let s = serial
+            .execute(q)
+            .unwrap_or_else(|e| panic!("{name} failed serial: {e}"))
+            .canonical();
+        let p = parallel
+            .execute(q)
+            .unwrap_or_else(|e| panic!("{name} failed parallel: {e}"))
+            .canonical();
+        assert_eq!(s, p, "{name}: threads=1 vs threads={}", par_threads());
+    }
+}
+
+#[test]
+fn ldbc_queries_agree() {
+    let persons = 120;
+    let raw = gfcl_datagen::generate_social(SocialParams::scale(persons));
+    let params = LdbcParams::for_scale(persons);
+    assert_serial_parallel_agree(&raw, &ldbc::all_queries(&params));
+}
+
+#[test]
+fn job_queries_agree() {
+    let raw = gfcl_datagen::generate_movies(MovieParams::scale(150));
+    assert_serial_parallel_agree(&raw, &job::all_queries());
+}
+
+#[test]
+fn khop_queries_agree() {
+    let raw = gfcl_datagen::generate_powerlaw(PowerLawParams {
+        nodes: 3000,
+        avg_degree: 5.0,
+        exponent: 1.8,
+        seed: 17,
+    });
+    let mut queries = Vec::new();
+    for hops in 1..=3 {
+        for (mode_name, mode) in [
+            ("count", KhopMode::CountStar),
+            ("filter", KhopMode::LastEdgeGt(1_400_000_000)),
+            ("chain", KhopMode::Chain(1_350_000_000)),
+        ] {
+            for backward in [false, true] {
+                queries.push((
+                    format!("khop-{hops}-{mode_name}-bwd={backward}"),
+                    khop("NODE", "LINK", "ts", hops, mode, backward),
+                ));
+            }
+        }
+    }
+    assert_serial_parallel_agree(&raw, &queries);
+}
+
+// ---- Randomized graphs ----
+
+/// A random single-pair-of-labels graph exercising n-n and n-1 edges.
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    n_a: usize,
+    n_b: usize,
+    ab: Vec<(u64, u64, i64)>,
+    single: Vec<Option<(u64, i64)>>,
+    a_props: Vec<Option<i64>>,
+    b_props: Vec<Option<i64>>,
+}
+
+fn graph_strategy() -> impl Strategy<Value = RandomGraph> {
+    (2usize..40, 2usize..40)
+        .prop_flat_map(|(n_a, n_b)| {
+            let ab = proptest::collection::vec(
+                (0..n_a as u64, 0..n_b as u64, -30i64..30),
+                0..120,
+            );
+            let single = proptest::collection::vec(
+                proptest::option::of((0..n_b as u64, -30i64..30)),
+                n_a,
+            );
+            let a_props =
+                proptest::collection::vec(proptest::option::weighted(0.85, -50i64..50), n_a);
+            let b_props =
+                proptest::collection::vec(proptest::option::weighted(0.85, -50i64..50), n_b);
+            (Just(n_a), Just(n_b), ab, single, a_props, b_props)
+        })
+        .prop_map(|(n_a, n_b, ab, single, a_props, b_props)| RandomGraph {
+            n_a,
+            n_b,
+            ab,
+            single,
+            a_props,
+            b_props,
+        })
+}
+
+fn to_raw(g: &RandomGraph) -> RawGraph {
+    let mut cat = Catalog::new();
+    let a = cat.add_vertex_label("A", vec![PropertyDef::new("x", gfcl_common::DataType::Int64)]).unwrap();
+    let b = cat.add_vertex_label("B", vec![PropertyDef::new("y", gfcl_common::DataType::Int64)]).unwrap();
+    let ab = cat
+        .add_edge_label(
+            "AB",
+            a,
+            b,
+            Cardinality::ManyMany,
+            vec![PropertyDef::new("w", gfcl_common::DataType::Int64)],
+        )
+        .unwrap();
+    let sg = cat
+        .add_edge_label(
+            "SINGLE",
+            a,
+            b,
+            Cardinality::ManyOne,
+            vec![PropertyDef::new("w", gfcl_common::DataType::Int64)],
+        )
+        .unwrap();
+    let mut raw = RawGraph::new(cat);
+    raw.vertices[a as usize].count = g.n_a;
+    for v in &g.a_props {
+        match v {
+            Some(x) => raw.vertices[a as usize].props[0].push_i64(*x),
+            None => raw.vertices[a as usize].props[0].push_null(),
+        }
+    }
+    raw.vertices[b as usize].count = g.n_b;
+    for v in &g.b_props {
+        match v {
+            Some(y) => raw.vertices[b as usize].props[0].push_i64(*y),
+            None => raw.vertices[b as usize].props[0].push_null(),
+        }
+    }
+    for &(s, d, w) in &g.ab {
+        let t = &mut raw.edges[ab as usize];
+        t.src.push(s);
+        t.dst.push(d);
+        t.props[0].push_i64(w);
+    }
+    for (s, e) in g.single.iter().enumerate() {
+        if let Some((d, w)) = e {
+            let t = &mut raw.edges[sg as usize];
+            t.src.push(s as u64);
+            t.dst.push(*d);
+            t.props[0].push_i64(*w);
+        }
+    }
+    raw.validate().unwrap();
+    raw
+}
+
+fn random_queries(t: i64) -> Vec<(String, PatternQuery)> {
+    let count = QueryBuilder::default()
+        .node("a", "A")
+        .node("b", "B")
+        .edge("e", "AB", "a", "b")
+        .filter(gt(col("e", "w"), lit(t)))
+        .returns_count()
+        .build();
+    let rows = QueryBuilder::default()
+        .node("a", "A")
+        .node("b", "B")
+        .edge("e", "AB", "a", "b")
+        .filter(ge(col("a", "x"), lit(t)))
+        .returns(&[("a", "x"), ("b", "y")])
+        .build();
+    let single = QueryBuilder::default()
+        .node("a", "A")
+        .node("b", "B")
+        .edge("s", "SINGLE", "a", "b")
+        .filter(lt(col("s", "w"), lit(t)))
+        .returns_sum("a", "x")
+        .build();
+    let agg = QueryBuilder::default()
+        .node("a", "A")
+        .node("b", "B")
+        .edge("e", "AB", "a", "b")
+        .returns_min("e", "w")
+        .build();
+    vec![
+        ("count".into(), count),
+        ("rows".into(), rows),
+        ("single-sum".into(), single),
+        ("min".into(), agg),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn parallel_agrees_on_random_graphs(g in graph_strategy(), t in -30i64..30) {
+        let raw = to_raw(&g);
+        assert_serial_parallel_agree(&raw, &random_queries(t));
+    }
+}

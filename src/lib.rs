@@ -49,7 +49,7 @@ pub use gfcl_baselines::{GfCvEngine, GfRvEngine, RelEngine};
 pub use gfcl_common::{
     human_bytes, DataType, Direction, EdgeId, Error, LabelId, MemoryUsage, Result, Value, VertexId,
 };
-pub use gfcl_core::{Engine, GfClEngine, LogicalPlan, PatternQuery, QueryOutput};
+pub use gfcl_core::{Engine, ExecOptions, GfClEngine, LogicalPlan, PatternQuery, QueryOutput};
 pub use gfcl_storage::{
     Cardinality, Catalog, ColumnarGraph, EdgePropLayout, MemoryBreakdown, PropertyDef, RawGraph,
     RowGraph, StorageConfig,
