@@ -12,9 +12,9 @@
 //!   vertex ranges with one `fetch_add` per morsel;
 //! * each worker owns a **private pipeline** — operators, intermediate
 //!   [`crate::chunk::Chunk`], and compiled predicates — instantiated from
-//!   the shared plan by [`crate::exec::compile`], so no intermediate state
+//!   the shared plan by `crate::exec::compile`, so no intermediate state
 //!   is ever shared;
-//! * each worker folds its chunk states into a private [`Partial`] sink
+//! * each worker folds its chunk states into a private `Partial` sink
 //!   (count, sum, min/max, or rows);
 //! * the partials merge at the scope barrier, in worker-index order, into
 //!   the final [`QueryOutput`].

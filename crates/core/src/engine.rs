@@ -102,6 +102,36 @@ pub trait Engine {
     fn plan(&self, q: &PatternQuery) -> Result<LogicalPlan> {
         plan(q, self.catalog())
     }
+
+    /// Render the plan this engine would execute for `q` as EXPLAIN text:
+    /// the chosen extend order and its provenance (statistics, hints, or
+    /// declaration order), per-step cardinality estimates when the catalog
+    /// carries statistics, and the physical operator each extend compiles
+    /// to (`ListExtend` vs `ColumnExtend`, with flatten points).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use gfcl_core::{Engine, GfClEngine};
+    /// use gfcl_core::query::{col, gt, lit, PatternQuery};
+    /// use gfcl_storage::{ColumnarGraph, RawGraph, StorageConfig};
+    ///
+    /// let graph = ColumnarGraph::build(&RawGraph::example(), StorageConfig::default()).unwrap();
+    /// let engine = GfClEngine::new(Arc::new(graph));
+    /// let q = PatternQuery::builder()
+    ///     .node("a", "PERSON")
+    ///     .node("b", "ORG")
+    ///     .edge("e", "WORKAT", "a", "b")
+    ///     .filter(gt(col("a", "age"), lit(22)))
+    ///     .returns_count()
+    ///     .build();
+    /// let text = engine.explain(&q).unwrap();
+    /// assert!(text.contains("EXTEND"), "{text}");
+    /// assert!(text.contains("order: statistics"), "{text}");
+    /// ```
+    fn explain(&self, q: &PatternQuery) -> Result<String> {
+        let p = plan(q, self.catalog())?;
+        Ok(crate::optimize::render_explain(&p, self.catalog()))
+    }
 }
 
 /// GF-CL: columnar storage + list-based processor (the paper's system),

@@ -2,7 +2,7 @@
 //! (Section 6.2).
 //!
 //! This module owns the *static* half of execution: compiling a
-//! [`LogicalPlan`] into a [`Pipeline`] of physical operators plus the
+//! [`LogicalPlan`] into a `Pipeline` of physical operators plus the
 //! intermediate [`Chunk`] they fill. The *dynamic* half — driving one or
 //! more pipelines to completion and merging their sink states — lives in
 //! [`crate::driver`], which instantiates one `Pipeline` per worker thread

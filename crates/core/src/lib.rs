@@ -5,6 +5,8 @@
 //! * [`query`] — the logical query model (acyclic MATCH patterns,
 //!   conjunctive predicates, COUNT/projection/aggregate returns);
 //! * [`plan`] — the left-deep planner resolving queries against a catalog;
+//! * [`optimize`] — the statistics-driven join orderer (cost-based start
+//!   node and extend order) and the `EXPLAIN` renderer;
 //! * [`chunk`] — factorized intermediate results: value vectors, list
 //!   groups with flat/unflat state, intermediate chunks;
 //! * [`pred`] — compiled vectorized predicates (string predicates run on
@@ -20,13 +22,15 @@ pub mod chunk;
 pub mod driver;
 pub mod engine;
 pub mod exec;
+pub mod optimize;
 pub mod plan;
 pub mod pred;
 pub mod query;
 
 pub use driver::ExecOptions;
 pub use engine::{Engine, GfClEngine, QueryOutput};
-pub use plan::{plan as plan_query, LogicalPlan, PlanReturn, PlanStep};
+pub use optimize::render_explain;
+pub use plan::{plan as plan_query, LogicalPlan, OrderSource, PlanReturn, PlanStep};
 pub use query::{PatternQuery, ReturnSpec};
 
 // The morsel-driven driver shares these between scoped worker threads by

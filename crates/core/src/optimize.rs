@@ -1,0 +1,879 @@
+//! The statistics-driven join orderer and the EXPLAIN renderer.
+//!
+//! The paper's evaluation hand-picks "the best left-deep plan, which was
+//! obvious in most cases" (Section 8.7). A system serving arbitrary queries
+//! has to pick that plan itself: a pattern written in an unlucky edge order
+//! can blow up intermediate list groups by orders of magnitude. This module
+//! closes the gap with a classic textbook design specialized to the
+//! list-based processor:
+//!
+//! * **Cost model** — a plan's cost is the sum of its estimated
+//!   intermediate tuple counts. A scan contributes the label's vertex count
+//!   (1 for a primary-key seek); each extend multiplies the running
+//!   cardinality by the average degree of `(edge label, direction)` from
+//!   [`gfcl_storage::Stats`] — which is ≤ 1 for single-cardinality edges,
+//!   reflecting their 1:1 `ColumnExtend` — and by the selectivity of every
+//!   predicate that becomes evaluable at that point.
+//! * **Selectivity** — equality predicates use `1/NDV` from the
+//!   per-property statistics, ranges use the integer min/max when known
+//!   (else 1/3), string matches use a fixed 0.1, `IN` uses `k/NDV`;
+//!   conjunction/disjunction/negation combine the usual way, and every
+//!   comparison is discounted by the column's NULL fraction.
+//! * **Enumeration** — all connected left-deep orders over every candidate
+//!   start node, exhaustively up to [`EXHAUSTIVE_EDGES`] edges (with
+//!   branch-and-bound pruning), greedy with one-step lookahead above.
+//! * **Executability** — the LBP's `Filter` operator cannot evaluate a
+//!   predicate spanning two *unflat* list groups (see
+//!   [`crate::exec`]); candidate orders that would require one are
+//!   rejected during enumeration, and `check_executable` re-verifies the
+//!   final plan (including hinted ones) at plan time instead of failing
+//!   mid-query.
+//!
+//! The same machinery renders `EXPLAIN` output ([`render_explain`]): the
+//! chosen order with per-step cardinality estimates, the physical operator
+//! each extend compiles to (`ListExtend` vs `ColumnExtend`) and the flatten
+//! points where a factorized group collapses.
+
+use std::fmt::Write as _;
+
+use gfcl_common::{Direction, Error, Result, Value};
+use gfcl_storage::{Catalog, PropStats, Stats};
+
+use crate::plan::{
+    LogicalPlan, OrderSource, PlanEdge, PlanExpr, PlanNode, PlanReturn, PlanScalar, PlanStep,
+    SlotDef, SlotSource,
+};
+use crate::query::{CmpOp, StrOp};
+
+/// Patterns with at most this many edges are ordered by exhaustive
+/// enumeration; larger ones fall back to greedy with one-step lookahead.
+pub const EXHAUSTIVE_EDGES: usize = 6;
+
+/// Default selectivity of a range predicate when no min/max is known.
+const RANGE_SEL: f64 = 1.0 / 3.0;
+/// Default selectivity of a string match predicate.
+const STR_MATCH_SEL: f64 = 0.1;
+/// NDV assumed for a property with no statistics.
+const DEFAULT_NDV: f64 = 10.0;
+/// Selectivities never drop below this (avoids zero-cost plans).
+const MIN_SEL: f64 = 1e-9;
+
+/// One extend: `(edge index, traversal direction, from node, to node)`.
+pub(crate) type ExtendSeq = Vec<(usize, Direction, usize, usize)>;
+
+/// The orderer's decision: a start node and a connected extend sequence.
+pub(crate) struct Ordering {
+    pub start: usize,
+    pub seq: ExtendSeq,
+}
+
+// ---- Selectivity estimation ----------------------------------------------
+
+/// Statistics of the property behind a slot (`None` when the catalog has no
+/// stats).
+fn slot_stats<'a>(
+    slot: &SlotDef,
+    nodes: &[PlanNode],
+    edges: &[PlanEdge],
+    catalog: &'a Catalog,
+) -> Option<&'a PropStats> {
+    let stats = catalog.stats()?;
+    Some(match slot.source {
+        SlotSource::NodeProp { node, prop } => &stats.vertex(nodes[node].label).props[prop],
+        SlotSource::EdgeProp { edge, prop } => &stats.edge(edges[edge].label).props[prop],
+    })
+}
+
+/// Mirror a comparison so the slot ends up on the left-hand side.
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq | CmpOp::Ne => op,
+    }
+}
+
+/// Fraction of the `[min, max]` integer domain admitted by `slot op c`.
+fn range_fraction(ps: &PropStats, op: CmpOp, c: i64) -> Option<f64> {
+    let (min, max) = (ps.min_i64?, ps.max_i64?);
+    if max < min {
+        return None;
+    }
+    let span = (max as i128 - min as i128 + 1) as f64;
+    let frac = match op {
+        CmpOp::Lt => (c as i128 - min as i128) as f64 / span,
+        CmpOp::Le => (c as i128 - min as i128 + 1) as f64 / span,
+        CmpOp::Gt => (max as i128 - c as i128) as f64 / span,
+        CmpOp::Ge => (max as i128 - c as i128 + 1) as f64 / span,
+        CmpOp::Eq | CmpOp::Ne => return None,
+    };
+    Some(frac.clamp(0.0, 1.0))
+}
+
+/// Selectivity of `slot op const`.
+fn cmp_const_sel(
+    op: CmpOp,
+    slot: &SlotDef,
+    c: &Value,
+    nodes: &[PlanNode],
+    edges: &[PlanEdge],
+    catalog: &Catalog,
+) -> f64 {
+    let Some(ps) = slot_stats(slot, nodes, edges, catalog) else {
+        return match op {
+            CmpOp::Eq => 1.0 / DEFAULT_NDV,
+            CmpOp::Ne => 1.0 - 1.0 / DEFAULT_NDV,
+            _ => RANGE_SEL,
+        };
+    };
+    let notnull = 1.0 - ps.null_fraction;
+    let ndv = (ps.ndv as f64).max(1.0);
+    match op {
+        CmpOp::Eq => notnull / ndv,
+        CmpOp::Ne => notnull * (1.0 - 1.0 / ndv),
+        _ => {
+            let frac = c
+                .as_i64()
+                .and_then(|k| range_fraction(ps, op, k))
+                .unwrap_or(RANGE_SEL);
+            notnull * frac
+        }
+    }
+}
+
+/// Estimated selectivity of a resolved predicate in `[MIN_SEL, 1]`.
+pub(crate) fn selectivity(
+    e: &PlanExpr,
+    slots: &[SlotDef],
+    nodes: &[PlanNode],
+    edges: &[PlanEdge],
+    catalog: &Catalog,
+) -> f64 {
+    let sel = match e {
+        PlanExpr::Cmp { op, lhs, rhs } => match (lhs, rhs) {
+            (PlanScalar::Slot(s), PlanScalar::Const(c)) => {
+                cmp_const_sel(*op, &slots[*s], c, nodes, edges, catalog)
+            }
+            (PlanScalar::Const(c), PlanScalar::Slot(s)) => {
+                cmp_const_sel(flip(*op), &slots[*s], c, nodes, edges, catalog)
+            }
+            (PlanScalar::Slot(a), PlanScalar::Slot(b)) => {
+                let ndv = |s: &usize| {
+                    slot_stats(&slots[*s], nodes, edges, catalog)
+                        .map_or(DEFAULT_NDV, |ps| (ps.ndv as f64).max(1.0))
+                };
+                match op {
+                    CmpOp::Eq => 1.0 / ndv(a).max(ndv(b)),
+                    CmpOp::Ne => 1.0 - 1.0 / ndv(a).max(ndv(b)),
+                    _ => RANGE_SEL,
+                }
+            }
+            (PlanScalar::Const(_), PlanScalar::Const(_)) => 1.0,
+        },
+        PlanExpr::StrMatch { slot, .. } => {
+            let notnull = slot_stats(&slots[*slot], nodes, edges, catalog)
+                .map_or(1.0, |ps| 1.0 - ps.null_fraction);
+            notnull * STR_MATCH_SEL
+        }
+        PlanExpr::InSet { slot, values } => {
+            let ps = slot_stats(&slots[*slot], nodes, edges, catalog);
+            let ndv = ps.map_or(DEFAULT_NDV, |p| (p.ndv as f64).max(1.0));
+            let notnull = ps.map_or(1.0, |p| 1.0 - p.null_fraction);
+            notnull * (values.len() as f64 / ndv).min(1.0)
+        }
+        PlanExpr::And(es) => es
+            .iter()
+            .map(|e| selectivity(e, slots, nodes, edges, catalog))
+            .product(),
+        PlanExpr::Or(es) => {
+            1.0 - es
+                .iter()
+                .map(|e| 1.0 - selectivity(e, slots, nodes, edges, catalog))
+                .product::<f64>()
+        }
+        PlanExpr::Not(inner) => 1.0 - selectivity(inner, slots, nodes, edges, catalog),
+    };
+    sel.clamp(MIN_SEL, 1.0)
+}
+
+// ---- Predicate analysis ---------------------------------------------------
+
+/// What the orderer needs to know about one predicate: which pattern
+/// variables it touches and how selective it is.
+pub(crate) struct PredInfo {
+    /// Distinct pattern-node indexes referenced, sorted.
+    pub node_srcs: Vec<usize>,
+    /// Distinct pattern-edge indexes referenced, sorted.
+    pub edge_srcs: Vec<usize>,
+    pub sel: f64,
+}
+
+impl PredInfo {
+    fn source_count(&self) -> usize {
+        self.node_srcs.len() + self.edge_srcs.len()
+    }
+}
+
+/// Analyze resolved predicates for the orderer.
+pub(crate) fn pred_infos(
+    preds: &[PlanExpr],
+    slots: &[SlotDef],
+    nodes: &[PlanNode],
+    edges: &[PlanEdge],
+    catalog: &Catalog,
+) -> Vec<PredInfo> {
+    preds
+        .iter()
+        .map(|p| {
+            let mut node_srcs = Vec::new();
+            let mut edge_srcs = Vec::new();
+            for s in p.slots() {
+                match slots[s].source {
+                    SlotSource::NodeProp { node, .. } => node_srcs.push(node),
+                    SlotSource::EdgeProp { edge, .. } => edge_srcs.push(edge),
+                }
+            }
+            node_srcs.sort_unstable();
+            node_srcs.dedup();
+            edge_srcs.sort_unstable();
+            edge_srcs.dedup();
+            PredInfo { node_srcs, edge_srcs, sel: selectivity(p, slots, nodes, edges, catalog) }
+        })
+        .collect()
+}
+
+// ---- Order enumeration ----------------------------------------------------
+
+/// A predicate spanning more than one pattern variable, applied by the cost
+/// model when its last source becomes bound.
+struct MultiPred {
+    nodes: Vec<usize>,
+    edges: Vec<usize>,
+    sel: f64,
+}
+
+/// Shared context of one ordering run.
+struct Cost<'a> {
+    nodes: &'a [PlanNode],
+    edges: &'a [PlanEdge],
+    catalog: &'a Catalog,
+    stats: &'a Stats,
+    /// Product of single-variable predicate selectivities per node / edge.
+    node_sel: Vec<f64>,
+    edge_sel: Vec<f64>,
+    multi: Vec<MultiPred>,
+    pk_node: Option<usize>,
+}
+
+/// The incremental state of one candidate order: bound variables, the list
+/// group each variable lives in (mirroring [`crate::exec::compile`]),
+/// running cardinality and accumulated cost.
+#[derive(Clone)]
+struct SimState {
+    bound_node: Vec<bool>,
+    done_edge: Vec<bool>,
+    /// List-group placement of every bound variable, shared with the
+    /// hinted-order executability check so both mirror [`crate::exec`].
+    groups: GroupSim,
+    multi_applied: Vec<bool>,
+    card: f64,
+    cost: f64,
+    seq: ExtendSeq,
+}
+
+impl<'a> Cost<'a> {
+    fn new(
+        nodes: &'a [PlanNode],
+        edges: &'a [PlanEdge],
+        catalog: &'a Catalog,
+        stats: &'a Stats,
+        preds: &[PredInfo],
+        pk_node: Option<usize>,
+    ) -> Cost<'a> {
+        let mut node_sel = vec![1.0; nodes.len()];
+        let mut edge_sel = vec![1.0; edges.len()];
+        let mut multi = Vec::new();
+        for p in preds {
+            match (p.source_count(), p.node_srcs.first(), p.edge_srcs.first()) {
+                (0, _, _) => {} // constant predicate: irrelevant to ordering
+                (1, Some(&n), _) => node_sel[n] *= p.sel,
+                (1, _, Some(&e)) => edge_sel[e] *= p.sel,
+                _ => multi.push(MultiPred {
+                    nodes: p.node_srcs.clone(),
+                    edges: p.edge_srcs.clone(),
+                    sel: p.sel,
+                }),
+            }
+        }
+        Cost { nodes, edges, catalog, stats, node_sel, edge_sel, multi, pk_node }
+    }
+
+    fn start_state(&self, start: usize) -> SimState {
+        let vcount = self.stats.vertex(self.nodes[start].label).count as f64;
+        let card = vcount * self.node_sel[start];
+        let mut groups = GroupSim::new(self.nodes.len(), self.edges.len());
+        groups.scan(start);
+        SimState {
+            bound_node: {
+                let mut b = vec![false; self.nodes.len()];
+                b[start] = true;
+                b
+            },
+            done_edge: vec![false; self.edges.len()],
+            groups,
+            multi_applied: vec![false; self.multi.len()],
+            card,
+            // A pk seek replaces the scan with a constant-time lookup.
+            cost: if self.pk_node == Some(start) { 1.0 } else { vcount },
+            seq: Vec::with_capacity(self.edges.len()),
+        }
+    }
+
+    /// Extend `st` along edge `ei`. Returns `false` when the step is not a
+    /// valid frontier extension or would make a multi-variable predicate
+    /// span two unflat list groups (not executable by the LBP).
+    fn apply(&self, st: &mut SimState, ei: usize) -> bool {
+        let e = &self.edges[ei];
+        let (dir, from, to) = match (st.bound_node[e.from], st.bound_node[e.to]) {
+            (true, false) => (Direction::Fwd, e.from, e.to),
+            (false, true) => (Direction::Bwd, e.to, e.from),
+            _ => return false, // cycle or disconnected
+        };
+        let single = self.catalog.edge_label(e.label).cardinality.is_single(dir);
+        st.groups.extend(ei, from, to, single);
+        st.bound_node[to] = true;
+        st.done_edge[ei] = true;
+        st.card *= self.stats.avg_degree(e.label, dir);
+        // The extend materializes its full fan-out before any predicate
+        // prunes it: charge the pre-filter cardinality, then discount.
+        st.cost += st.card;
+        st.card *= self.edge_sel[ei] * self.node_sel[to];
+        for (mi, m) in self.multi.iter().enumerate() {
+            if st.multi_applied[mi]
+                || !m.nodes.iter().all(|&n| st.bound_node[n])
+                || !m.edges.iter().all(|&x| st.done_edge[x])
+            {
+                continue;
+            }
+            let mut groups: Vec<usize> = m
+                .nodes
+                .iter()
+                .map(|&n| st.groups.group_of_node[n])
+                .chain(m.edges.iter().map(|&x| st.groups.group_of_edge[x]))
+                .filter(|&g| st.groups.unflat[g])
+                .collect();
+            groups.sort_unstable();
+            groups.dedup();
+            if groups.len() >= 2 {
+                return false; // Filter would span two unflat groups
+            }
+            st.multi_applied[mi] = true;
+            st.card *= m.sel;
+        }
+        st.seq.push((ei, dir, from, to));
+        true
+    }
+
+    /// Exhaustive DFS over connected orders with branch-and-bound pruning.
+    fn dfs(&self, st: SimState, best: &mut Option<SimState>) {
+        if let Some(b) = best {
+            if st.cost >= b.cost {
+                return;
+            }
+        }
+        if st.seq.len() == self.edges.len() {
+            *best = Some(st);
+            return;
+        }
+        for ei in 0..self.edges.len() {
+            if st.done_edge[ei] {
+                continue;
+            }
+            let e = &self.edges[ei];
+            if st.bound_node[e.from] == st.bound_node[e.to] {
+                continue; // not a frontier edge (or closes a cycle)
+            }
+            let mut next = st.clone();
+            if self.apply(&mut next, ei) {
+                self.dfs(next, best);
+            }
+        }
+    }
+
+    /// Frontier edge indexes of `st`.
+    fn frontier(&self, st: &SimState) -> Vec<usize> {
+        (0..self.edges.len())
+            .filter(|&ei| {
+                !st.done_edge[ei]
+                    && (st.bound_node[self.edges[ei].from] != st.bound_node[self.edges[ei].to])
+            })
+            .collect()
+    }
+
+    /// Greedy construction with one-step lookahead, for large patterns.
+    fn greedy(&self, start: usize) -> Option<SimState> {
+        let mut st = self.start_state(start);
+        while st.seq.len() < self.edges.len() {
+            let mut choice: Option<(f64, SimState)> = None;
+            for ei in self.frontier(&st) {
+                let mut cand = st.clone();
+                if !self.apply(&mut cand, ei) {
+                    continue;
+                }
+                // Lookahead: the cheapest valid continuation after `ei`.
+                let mut look = f64::INFINITY;
+                let mut extensible = cand.seq.len() == self.edges.len();
+                for ej in self.frontier(&cand) {
+                    let mut two = cand.clone();
+                    if self.apply(&mut two, ej) {
+                        extensible = true;
+                        look = look.min(two.card);
+                    }
+                }
+                if !extensible {
+                    continue; // dead end (executability)
+                }
+                let key = cand.card + if look.is_finite() { look } else { 0.0 };
+                if choice.as_ref().is_none_or(|(k, _)| key < *k) {
+                    choice = Some((key, cand));
+                }
+            }
+            st = choice?.1;
+        }
+        Some(st)
+    }
+}
+
+/// Choose a start node and extend order minimizing the estimated sum of
+/// intermediate cardinalities. Returns `None` when the catalog carries no
+/// statistics, the pattern has no edges, or no connected executable order
+/// exists (cyclic / disconnected patterns — the caller's declaration-order
+/// fallback reports those with the established error messages).
+pub(crate) fn choose_order(
+    nodes: &[PlanNode],
+    edges: &[PlanEdge],
+    catalog: &Catalog,
+    preds: &[PredInfo],
+    pk_node: Option<usize>,
+    fixed_start: Option<usize>,
+) -> Option<Ordering> {
+    let stats = catalog.stats()?;
+    if edges.is_empty() {
+        return None;
+    }
+    let cost = Cost::new(nodes, edges, catalog, stats, preds, pk_node);
+    let starts: Vec<usize> = match fixed_start {
+        Some(s) => vec![s],
+        None => (0..nodes.len()).collect(),
+    };
+    let mut best: Option<SimState> = None;
+    for &start in &starts {
+        if edges.len() <= EXHAUSTIVE_EDGES {
+            cost.dfs(cost.start_state(start), &mut best);
+        } else if let Some(st) = cost.greedy(start) {
+            if best.as_ref().is_none_or(|b| st.cost < b.cost) {
+                best = Some(st);
+            }
+        }
+    }
+    // Greedy cannot backtrack: a pattern whose multi-variable predicates
+    // dead-end every one-step-lookahead path from every start would fall
+    // back to declaration order — the exact failure mode this module
+    // exists to prevent. Rescue moderately sized patterns with the
+    // exhaustive search (8! orders per start at most, pruned).
+    if best.is_none() && edges.len() > EXHAUSTIVE_EDGES && edges.len() <= EXHAUSTIVE_EDGES + 2 {
+        for &start in &starts {
+            cost.dfs(cost.start_state(start), &mut best);
+        }
+    }
+    best.map(|st| Ordering { start: st.seq.first().map_or(starts[0], |&(_, _, from, _)| from), seq: st.seq })
+}
+
+// ---- Per-step estimates and plan-time executability -----------------------
+
+/// Estimated cardinality after each plan step (`None` per step when the
+/// catalog has no statistics). Scans set the running estimate, extends
+/// multiply it by the average degree, filters by their selectivity;
+/// property reads carry it through unchanged.
+pub(crate) fn estimate_steps(
+    steps: &[PlanStep],
+    nodes: &[PlanNode],
+    edges: &[PlanEdge],
+    slots: &[SlotDef],
+    catalog: &Catalog,
+) -> Vec<Option<f64>> {
+    let Some(stats) = catalog.stats() else {
+        return vec![None; steps.len()];
+    };
+    let mut card = 0.0f64;
+    steps
+        .iter()
+        .map(|s| {
+            match s {
+                PlanStep::ScanAll { node } => {
+                    card = stats.vertex(nodes[*node].label).count as f64;
+                }
+                PlanStep::ScanPk { .. } => card = 1.0,
+                PlanStep::Extend { edge_label, dir, .. } => {
+                    card *= stats.avg_degree(*edge_label, *dir);
+                }
+                PlanStep::Filter { expr } => {
+                    card *= selectivity(expr, slots, nodes, edges, catalog);
+                }
+                PlanStep::NodeProp { .. } | PlanStep::EdgeProp { .. } => {}
+            }
+            Some(card)
+        })
+        .collect()
+}
+
+/// Tracks which list group every pattern variable's vectors land in when
+/// [`crate::exec::compile`] lowers the plan, and which groups are still
+/// unflat. `Extend` over a CSR (`single == false`) compiles to a
+/// `ListExtend`, which flattens its source group and opens a new one;
+/// single-cardinality extends compile to `ColumnExtend` and stay in place.
+#[derive(Clone)]
+struct GroupSim {
+    group_of_node: Vec<usize>,
+    group_of_edge: Vec<usize>,
+    unflat: Vec<bool>,
+}
+
+impl GroupSim {
+    fn new(n_nodes: usize, n_edges: usize) -> GroupSim {
+        GroupSim {
+            group_of_node: vec![usize::MAX; n_nodes],
+            group_of_edge: vec![usize::MAX; n_edges],
+            unflat: vec![true], // group 0 = the scan group
+        }
+    }
+
+    fn scan(&mut self, node: usize) {
+        self.group_of_node[node] = 0;
+    }
+
+    /// Apply an extend; returns `true` when it flattens its source group
+    /// (a `ListExtend` whose source was still unflat).
+    fn extend(&mut self, edge: usize, from: usize, to: usize, single: bool) -> bool {
+        if single {
+            let g = self.group_of_node[from];
+            self.group_of_node[to] = g;
+            self.group_of_edge[edge] = g;
+            false
+        } else {
+            let src = self.group_of_node[from];
+            let flattens = self.unflat[src];
+            self.unflat[src] = false;
+            self.unflat.push(true);
+            let g = self.unflat.len() - 1;
+            self.group_of_node[to] = g;
+            self.group_of_edge[edge] = g;
+            flattens
+        }
+    }
+
+    /// Group of the variable behind a slot.
+    fn group_of_slot(&self, def: &SlotDef) -> usize {
+        match def.source {
+            SlotSource::NodeProp { node, .. } => self.group_of_node[node],
+            SlotSource::EdgeProp { edge, .. } => self.group_of_edge[edge],
+        }
+    }
+}
+
+/// Verify that every `Filter` step touches at most one unflat list group —
+/// the invariant [`crate::exec`]'s `Filter` operator enforces at runtime.
+/// Orders chosen by the optimizer satisfy this by construction; hinted
+/// orders are checked here so a bad `edge_order` fails at plan time with
+/// [`Error::Plan`] instead of mid-query.
+pub(crate) fn check_executable(plan: &LogicalPlan) -> Result<()> {
+    let mut sim = GroupSim::new(plan.nodes.len(), plan.edges.len());
+    for step in &plan.steps {
+        match step {
+            PlanStep::ScanAll { node } | PlanStep::ScanPk { node, .. } => sim.scan(*node),
+            PlanStep::Extend { edge, from, to, single, .. } => {
+                sim.extend(*edge, *from, *to, *single);
+            }
+            PlanStep::NodeProp { .. } | PlanStep::EdgeProp { .. } => {}
+            PlanStep::Filter { expr } => {
+                let mut groups: Vec<usize> = expr
+                    .slots()
+                    .iter()
+                    .map(|&s| sim.group_of_slot(&plan.slots[s]))
+                    .filter(|&g| sim.unflat[g])
+                    .collect();
+                groups.sort_unstable();
+                groups.dedup();
+                if groups.len() >= 2 {
+                    return Err(Error::Plan(format!(
+                        "edge order is not executable: predicate ({}) would span two unflat \
+                         list groups, which the list-based processor cannot evaluate; use a \
+                         different edge order (e.g. via edge_order hints)",
+                        expr_str(expr, &plan.slots)
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---- EXPLAIN rendering ----------------------------------------------------
+
+fn op_str(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "<>",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+fn scalar_str(s: &PlanScalar, slots: &[SlotDef]) -> String {
+    match s {
+        PlanScalar::Slot(i) => slots[*i].name.clone(),
+        PlanScalar::Const(v) => v.to_string(),
+    }
+}
+
+/// Human-readable rendering of a resolved predicate.
+pub(crate) fn expr_str(e: &PlanExpr, slots: &[SlotDef]) -> String {
+    match e {
+        PlanExpr::Cmp { op, lhs, rhs } => {
+            format!("{} {} {}", scalar_str(lhs, slots), op_str(*op), scalar_str(rhs, slots))
+        }
+        PlanExpr::StrMatch { op, slot, pattern } => {
+            let kw = match op {
+                StrOp::Contains => "CONTAINS",
+                StrOp::StartsWith => "STARTS WITH",
+                StrOp::EndsWith => "ENDS WITH",
+            };
+            format!("{} {kw} \"{pattern}\"", slots[*slot].name)
+        }
+        PlanExpr::InSet { slot, values } => {
+            let vals: Vec<String> = values.iter().map(ToString::to_string).collect();
+            format!("{} IN ({})", slots[*slot].name, vals.join(", "))
+        }
+        PlanExpr::And(es) => es
+            .iter()
+            .map(|e| format!("({})", expr_str(e, slots)))
+            .collect::<Vec<_>>()
+            .join(" AND "),
+        PlanExpr::Or(es) => es
+            .iter()
+            .map(|e| format!("({})", expr_str(e, slots)))
+            .collect::<Vec<_>>()
+            .join(" OR "),
+        PlanExpr::Not(inner) => format!("NOT ({})", expr_str(inner, slots)),
+    }
+}
+
+/// Compact estimate formatting: one decimal below 10, integral above.
+fn fmt_est(x: f64) -> String {
+    if x >= 9.95 {
+        format!("~{x:.0}")
+    } else {
+        format!("~{x:.1}")
+    }
+}
+
+/// Render a plan as EXPLAIN text: order provenance, each step with its
+/// physical operator and flatten points, and per-step cardinality
+/// estimates when statistics are available.
+pub fn render_explain(plan: &LogicalPlan, catalog: &Catalog) -> String {
+    let mut out = String::new();
+    let source = match plan.order_source {
+        OrderSource::Hints => "order: hints",
+        OrderSource::Stats => "order: statistics",
+        OrderSource::Declaration => "order: declaration",
+    };
+    let _ = writeln!(
+        out,
+        "QUERY PLAN  ({} nodes, {} edges; {source})",
+        plan.nodes.len(),
+        plan.edges.len()
+    );
+    let mut sim = GroupSim::new(plan.nodes.len(), plan.edges.len());
+    for (i, step) in plan.steps.iter().enumerate() {
+        let desc = match step {
+            PlanStep::ScanAll { node } => {
+                sim.scan(*node);
+                let n = &plan.nodes[*node];
+                format!(
+                    "SCAN      ({}:{})",
+                    n.var,
+                    catalog.vertex_label(n.label).name
+                )
+            }
+            PlanStep::ScanPk { node, key } => {
+                sim.scan(*node);
+                let n = &plan.nodes[*node];
+                let def = catalog.vertex_label(n.label);
+                let pk = def
+                    .primary_key
+                    .map_or("pk", |i| def.properties[i].name.as_str());
+                format!("SCAN_PK   ({}:{}) {}.{pk} = {key}", n.var, def.name, n.var)
+            }
+            PlanStep::Extend { edge, edge_label, dir, from, to, single } => {
+                let flattens = sim.extend(*edge, *from, *to, *single);
+                let label = &catalog.edge_label(*edge_label).name;
+                let evar = plan.edges[*edge]
+                    .var
+                    .as_deref()
+                    .map_or_else(String::new, ToOwned::to_owned);
+                let (fv, tv) = (&plan.nodes[*from].var, &plan.nodes[*to].var);
+                let arrow = match dir {
+                    Direction::Fwd => format!("({fv})-[{evar}:{label}]->({tv})"),
+                    Direction::Bwd => format!("({fv})<-[{evar}:{label}]-({tv})"),
+                };
+                let op = if *single { "ColumnExtend" } else { "ListExtend" };
+                let flat = if flattens { format!(", flattens ({fv})") } else { String::new() };
+                format!("EXTEND    {arrow}  [{op}{flat}]")
+            }
+            PlanStep::NodeProp { slot, .. } | PlanStep::EdgeProp { slot, .. } => {
+                format!("PROP      {} -> ${slot}", plan.slots[*slot].name)
+            }
+            PlanStep::Filter { expr } => {
+                format!("FILTER    {}", expr_str(expr, &plan.slots))
+            }
+        };
+        let line = match plan.step_cards[i] {
+            Some(est) => format!("{:>2}. {desc:<58} est {}", i + 1, fmt_est(est)),
+            None => format!("{:>2}. {desc}", i + 1),
+        };
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    let ret = match &plan.ret {
+        PlanReturn::CountStar => "COUNT(*)".to_owned(),
+        PlanReturn::Props(ids) => ids
+            .iter()
+            .map(|&s| plan.slots[s].name.clone())
+            .collect::<Vec<_>>()
+            .join(", "),
+        PlanReturn::Sum(s) => format!("SUM({})", plan.slots[*s].name),
+        PlanReturn::Min(s) => format!("MIN({})", plan.slots[*s].name),
+        PlanReturn::Max(s) => format!("MAX({})", plan.slots[*s].name),
+    };
+    let _ = writeln!(out, "    RETURN    {ret}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{plan, PlanStep};
+    use crate::query::{col, eq, ge, gt, lit, PatternQuery};
+    use gfcl_storage::{ColumnarGraph, RawGraph, StorageConfig};
+
+    fn catalog_with_stats() -> Catalog {
+        ColumnarGraph::build(&RawGraph::example(), StorageConfig::default())
+            .unwrap()
+            .catalog()
+            .clone()
+    }
+
+    /// Plan a single-node query and return the selectivity of its filter.
+    fn filter_sel(cat: &Catalog, q: &PatternQuery) -> f64 {
+        let p = plan(q, cat).unwrap();
+        let expr = p
+            .steps
+            .iter()
+            .find_map(|s| match s {
+                PlanStep::Filter { expr } => Some(expr.clone()),
+                _ => None,
+            })
+            .expect("query has a filter");
+        selectivity(&expr, &p.slots, &p.nodes, &p.edges, cat)
+    }
+
+    #[test]
+    fn equality_uses_ndv_and_ranges_use_min_max() {
+        let cat = catalog_with_stats();
+        // PERSON.age has 4 distinct values in [17, 54].
+        let eq_q = PatternQuery::builder()
+            .node("a", "PERSON")
+            .filter(eq(col("a", "age"), lit(45)))
+            .returns_count()
+            .build();
+        assert!((filter_sel(&cat, &eq_q) - 0.25).abs() < 1e-12);
+        // age >= 17 covers the whole domain; age > 54 none of it.
+        let all = PatternQuery::builder()
+            .node("a", "PERSON")
+            .filter(ge(col("a", "age"), lit(17)))
+            .returns_count()
+            .build();
+        assert!((filter_sel(&cat, &all) - 1.0).abs() < 1e-12);
+        let none = PatternQuery::builder()
+            .node("a", "PERSON")
+            .filter(gt(col("a", "age"), lit(54)))
+            .returns_count()
+            .build();
+        assert!(filter_sel(&cat, &none) <= MIN_SEL * 1.001);
+    }
+
+    #[test]
+    fn string_and_slot_slot_predicates_get_default_selectivities() {
+        let cat = catalog_with_stats();
+        let q = PatternQuery::builder()
+            .node("a", "PERSON")
+            .filter(crate::query::contains("a", "name", "li"))
+            .returns_count()
+            .build();
+        assert!((filter_sel(&cat, &q) - STR_MATCH_SEL).abs() < 1e-12);
+        // e2.since > e1.since: a slot-slot range comparison.
+        let q = PatternQuery::builder()
+            .node("a", "PERSON")
+            .node("b", "PERSON")
+            .node("c", "PERSON")
+            .edge("e1", "FOLLOWS", "a", "b")
+            .edge("e2", "FOLLOWS", "b", "c")
+            .filter(gt(col("e2", "since"), col("e1", "since")))
+            .returns_count()
+            .build();
+        assert!((filter_sel(&cat, &q) - RANGE_SEL).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimates_multiply_degrees_along_the_plan() {
+        let cat = catalog_with_stats();
+        // FOLLOWS 1-hop COUNT(*): scan 4 persons, extend by avg degree 2.
+        let q = PatternQuery::builder()
+            .node("a", "PERSON")
+            .node("b", "PERSON")
+            .edge("e", "FOLLOWS", "a", "b")
+            .returns_count()
+            .build();
+        let p = plan(&q, &cat).unwrap();
+        assert_eq!(p.step_cards[0], Some(4.0));
+        assert_eq!(*p.step_cards.last().unwrap(), Some(8.0));
+    }
+
+    #[test]
+    fn explain_renders_operators_flatten_points_and_estimates() {
+        let cat = catalog_with_stats();
+        let q = PatternQuery::builder()
+            .node("a", "PERSON")
+            .node("b", "PERSON")
+            .node("c", "ORG")
+            .edge("e1", "FOLLOWS", "a", "b")
+            .edge("e2", "WORKAT", "b", "c")
+            .filter(gt(col("a", "age"), lit(50)))
+            .returns_count()
+            .start_at("a")
+            .edge_order(vec![0, 1])
+            .build();
+        let p = plan(&q, &cat).unwrap();
+        let text = render_explain(&p, &cat);
+        assert!(text.contains("order: hints"), "{text}");
+        assert!(text.contains("SCAN      (a:PERSON)"), "{text}");
+        assert!(text.contains("[ListExtend, flattens (a)]"), "{text}");
+        assert!(text.contains("[ColumnExtend]"), "{text}");
+        assert!(text.contains("FILTER    a.age > 50"), "{text}");
+        assert!(text.contains("est ~"), "{text}");
+        assert!(text.contains("RETURN    COUNT(*)"), "{text}");
+    }
+}

@@ -2,17 +2,20 @@
 //! a linear, left-deep [`LogicalPlan`] shared by all four engines.
 //!
 //! The paper hand-picks "the best left-deep plan, which was obvious in most
-//! cases" (Section 8.7): start from an equality-filtered vertex when the
-//! query has one (LDBC path queries start from a vertex ID) and extend
-//! outward, reading properties as soon as their variable is bound and
-//! applying each filter at the earliest step where all of its inputs are
-//! bound. This module implements exactly that policy, plus hints to force
-//! specific orders for the microbenchmarks (forward vs backward plans of
-//! Section 8.3).
+//! cases" (Section 8.7). This module goes further: when the catalog carries
+//! build-time [`gfcl_storage::Stats`], the [`crate::optimize`] cost model
+//! picks the start node and extend order itself; hints remain an override
+//! (`edge_order` is honored verbatim, after full validation), and a catalog
+//! without statistics falls back to the paper's policy — start from an
+//! equality-filtered vertex when the query has one and extend outward in
+//! declaration order. In every case properties are read as soon as their
+//! variable is bound and each filter is applied at the earliest step where
+//! all of its inputs are bound.
 
 use gfcl_common::{DataType, Direction, Error, LabelId, Result, Value};
 use gfcl_storage::Catalog;
 
+use crate::optimize;
 use crate::query::{
     CmpOp, Expr, PatternQuery, PropRef, ReturnSpec, Scalar, StrOp,
 };
@@ -140,6 +143,18 @@ pub struct PlanEdge {
     pub to: usize,
 }
 
+/// How the extend order of a plan was chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderSource {
+    /// An explicit `edge_order` hint, honored verbatim.
+    Hints,
+    /// The cost-based orderer over catalog statistics
+    /// ([`crate::optimize`]).
+    Stats,
+    /// Declaration order (no statistics, no hints — the paper's policy).
+    Declaration,
+}
+
 /// The linear left-deep logical plan.
 #[derive(Debug, Clone)]
 pub struct LogicalPlan {
@@ -150,6 +165,11 @@ pub struct LogicalPlan {
     pub ret: PlanReturn,
     /// Header names for row outputs.
     pub header: Vec<String>,
+    /// How the extend order was chosen.
+    pub order_source: OrderSource,
+    /// Estimated cardinality after each step, parallel to `steps`
+    /// (`None` when the catalog carries no statistics).
+    pub step_cards: Vec<Option<f64>>,
 }
 
 /// Plan `query` against `catalog`.
@@ -215,94 +235,69 @@ impl Planner<'_> {
             }
         }
 
-        // Choose the start node: hint > pk-seek > smallest label.
-        let start = if let Some(var) = &q.hints.start {
-            q.node_idx(var).ok_or_else(|| Error::Plan(format!("unknown start variable {var}")))?
-        } else if let Some((node, _, _)) = pk_seek {
-            node
+        // Resolve an explicit start hint early so unknown variables error
+        // on every path.
+        let hint_start = match &q.hints.start {
+            Some(var) => Some(
+                q.node_idx(var)
+                    .ok_or_else(|| Error::Plan(format!("unknown start variable {var}")))?,
+            ),
+            None => None,
+        };
+
+        // Order the edges. Three sources, in precedence order:
+        //   1. an `edge_order` hint — validated, then honored verbatim;
+        //   2. the cost-based orderer, when the catalog carries statistics;
+        //   3. declaration order (first-incident-to-bound), the paper's
+        //      hand-picked-plan policy.
+        let (start, extend_seq, order_source) = if let Some(o) = &q.hints.edge_order {
+            validate_edge_order(o, edges.len())?;
+            let start = match (hint_start, pk_seek) {
+                (Some(s), _) => s,
+                (None, Some((node, _, _)))
+                    if o.first()
+                        .is_none_or(|&e0| edges[e0].from == node || edges[e0].to == node) =>
+                {
+                    node
+                }
+                (None, _) => o.first().map_or(0, |&e0| edges[e0].from),
+            };
+            let seq = self.bind_hinted(start, o, &nodes, &edges)?;
+            (start, seq, OrderSource::Hints)
         } else {
-            0
+            // Resolve predicates against scratch slots for the cost model
+            // (also surfaces unknown-variable/property errors early).
+            let mut scratch_slots: Vec<SlotDef> = Vec::new();
+            let scratch_preds: Vec<PlanExpr> = q
+                .predicates
+                .iter()
+                .map(|p| self.resolve_expr(p, &nodes, &edges, &mut scratch_slots))
+                .collect::<Result<_>>()?;
+            let preds =
+                optimize::pred_infos(&scratch_preds, &scratch_slots, &nodes, &edges, self.catalog);
+            let chosen = optimize::choose_order(
+                &nodes,
+                &edges,
+                self.catalog,
+                &preds,
+                pk_seek.map(|(n, _, _)| n),
+                hint_start,
+            );
+            match chosen {
+                Some(o) => (o.start, o.seq, OrderSource::Stats),
+                None => {
+                    let start = hint_start.or(pk_seek.map(|(n, _, _)| n)).unwrap_or(0);
+                    let seq = self.bind_declaration(start, &nodes, &edges)?;
+                    (start, seq, OrderSource::Declaration)
+                }
+            }
         };
         // Only use the seek if it is on the start node.
         let pk_seek = pk_seek.filter(|&(node, _, _)| node == start);
 
-        // Order the edges: hinted order, else first-incident-to-bound in
-        // declaration order (queries are written in a sensible left-deep
-        // order, matching the paper's hand-picked plans).
-        let order: Vec<usize> = match &q.hints.edge_order {
-            Some(o) => {
-                if o.len() != edges.len() {
-                    return Err(Error::Plan("edge_order must mention every edge once".into()));
-                }
-                o.clone()
-            }
-            None => (0..edges.len()).collect(),
-        };
-
-        let mut bound = vec![false; nodes.len()];
-        bound[start] = true;
-        let mut extend_seq: Vec<(usize, Direction, usize, usize)> = Vec::new(); // (edge, dir, from, to)
-        let mut remaining: Vec<usize> = order;
-        while !remaining.is_empty() {
-            let pos = remaining
-                .iter()
-                .position(|&ei| bound[edges[ei].from] || bound[edges[ei].to])
-                .ok_or_else(|| Error::Plan("pattern is disconnected".into()))?;
-            let ei = remaining.remove(pos);
-            let e = &edges[ei];
-            let (dir, from, to) = if bound[e.from] {
-                (Direction::Fwd, e.from, e.to)
-            } else {
-                (Direction::Bwd, e.to, e.from)
-            };
-            if bound[to] {
-                return Err(Error::Plan(format!(
-                    "cyclic pattern at edge {} — only acyclic (tree) patterns are supported; \
-                     GraphflowDB handles cycles via worst-case-optimal joins [Mhedhbi & \
-                     Salihoglu 2019], which are outside this paper's scope",
-                    e.var.as_deref().unwrap_or(&q.edges[ei].label)
-                )));
-            }
-            bound[to] = true;
-            extend_seq.push((ei, dir, from, to));
-        }
-
         // Slot assignment: every distinct PropRef used in predicates or
         // returns gets one slot.
         let mut slots: Vec<SlotDef> = Vec::new();
-        let mut slot_of = |pref: &PropRef,
-                           for_return: bool,
-                           slots: &mut Vec<SlotDef>|
-         -> Result<SlotId> {
-            let source = if let Some(node) = q.node_idx(&pref.var) {
-                let prop = self.catalog.vertex_prop_idx(nodes[node].label, &pref.prop)?;
-                SlotSource::NodeProp { node, prop }
-            } else if let Some(edge) = q.edge_idx(&pref.var) {
-                let prop = self.catalog.edge_prop_idx(edges[edge].label, &pref.prop)?;
-                SlotSource::EdgeProp { edge, prop }
-            } else {
-                return Err(Error::Plan(format!("unknown variable {}", pref.var)));
-            };
-            if let Some(i) = slots.iter().position(|s| s.source == source) {
-                slots[i].for_return |= for_return;
-                return Ok(i);
-            }
-            let dtype = match source {
-                SlotSource::NodeProp { node, prop } => {
-                    self.catalog.vertex_label(nodes[node].label).properties[prop].dtype
-                }
-                SlotSource::EdgeProp { edge, prop } => {
-                    self.catalog.edge_label(edges[edge].label).properties[prop].dtype
-                }
-            };
-            slots.push(SlotDef {
-                source,
-                dtype,
-                for_return,
-                name: format!("{}.{}", pref.var, pref.prop),
-            });
-            Ok(slots.len() - 1)
-        };
 
         // Resolve predicates (skipping the one consumed by the pk seek).
         let mut resolved_preds: Vec<PlanExpr> = Vec::new();
@@ -310,7 +305,7 @@ impl Planner<'_> {
             if pk_seek.map(|(_, _, skip)| skip) == Some(pi) {
                 continue;
             }
-            resolved_preds.push(self.resolve_expr(pred, &mut slots, &mut slot_of)?);
+            resolved_preds.push(self.resolve_expr(pred, &nodes, &edges, &mut slots)?);
         }
 
         // Return clause.
@@ -320,21 +315,21 @@ impl Planner<'_> {
                 let mut ids = Vec::with_capacity(ps.len());
                 let mut header = Vec::with_capacity(ps.len());
                 for p in ps {
-                    ids.push(slot_of(p, true, &mut slots)?);
+                    ids.push(self.slot_of(p, true, &nodes, &edges, &mut slots)?);
                     header.push(format!("{}.{}", p.var, p.prop));
                 }
                 (PlanReturn::Props(ids), header)
             }
             ReturnSpec::Sum(p) => {
-                let s = slot_of(p, false, &mut slots)?;
+                let s = self.slot_of(p, false, &nodes, &edges, &mut slots)?;
                 (PlanReturn::Sum(s), vec![format!("sum({}.{})", p.var, p.prop)])
             }
             ReturnSpec::Min(p) => {
-                let s = slot_of(p, false, &mut slots)?;
+                let s = self.slot_of(p, false, &nodes, &edges, &mut slots)?;
                 (PlanReturn::Min(s), vec![format!("min({}.{})", p.var, p.prop)])
             }
             ReturnSpec::Max(p) => {
-                let s = slot_of(p, false, &mut slots)?;
+                let s = self.slot_of(p, false, &nodes, &edges, &mut slots)?;
                 (PlanReturn::Max(s), vec![format!("max({}.{})", p.var, p.prop)])
             }
         };
@@ -405,37 +400,154 @@ impl Planner<'_> {
             )));
         }
 
-        Ok(LogicalPlan { nodes, edges, slots, steps, ret, header })
+        let step_cards = optimize::estimate_steps(&steps, &nodes, &edges, &slots, self.catalog);
+        let plan = LogicalPlan { nodes, edges, slots, steps, ret, header, order_source, step_cards };
+        // Reject plans whose order would make a filter span two unflat
+        // list groups at plan time instead of mid-query. Reachable through
+        // edge_order hints and through the declaration-order fallback;
+        // optimizer-chosen orders are executable by construction.
+        optimize::check_executable(&plan)?;
+        Ok(plan)
+    }
+
+    /// Bind a hinted edge order verbatim: every edge must touch a bound
+    /// node when its turn comes (the hint is *not* reinterpreted).
+    fn bind_hinted(
+        &self,
+        start: usize,
+        order: &[usize],
+        nodes: &[PlanNode],
+        edges: &[PlanEdge],
+    ) -> Result<Vec<(usize, Direction, usize, usize)>> {
+        let mut bound = vec![false; nodes.len()];
+        bound[start] = true;
+        let mut seq = Vec::with_capacity(order.len());
+        for (pos, &ei) in order.iter().enumerate() {
+            let e = &edges[ei];
+            let (dir, from, to) = match (bound[e.from], bound[e.to]) {
+                (true, true) => return Err(cycle_error(e, self.catalog)),
+                (true, false) => (Direction::Fwd, e.from, e.to),
+                (false, true) => (Direction::Bwd, e.to, e.from),
+                (false, false) => {
+                    return Err(Error::Plan(format!(
+                        "edge_order is not connected: edge {ei} (at position {pos}) touches \
+                         no bound node variable"
+                    )))
+                }
+            };
+            bound[to] = true;
+            seq.push((ei, dir, from, to));
+        }
+        Ok(seq)
+    }
+
+    /// Declaration-order binding (first incident edge wins), the paper's
+    /// hand-picked-plan policy and the fallback when no statistics exist.
+    fn bind_declaration(
+        &self,
+        start: usize,
+        nodes: &[PlanNode],
+        edges: &[PlanEdge],
+    ) -> Result<Vec<(usize, Direction, usize, usize)>> {
+        let mut bound = vec![false; nodes.len()];
+        bound[start] = true;
+        let mut seq = Vec::with_capacity(edges.len());
+        let mut remaining: Vec<usize> = (0..edges.len()).collect();
+        while !remaining.is_empty() {
+            let pos = remaining
+                .iter()
+                .position(|&ei| bound[edges[ei].from] || bound[edges[ei].to])
+                .ok_or_else(|| Error::Plan("pattern is disconnected".into()))?;
+            let ei = remaining.remove(pos);
+            let e = &edges[ei];
+            let (dir, from, to) = if bound[e.from] {
+                (Direction::Fwd, e.from, e.to)
+            } else {
+                (Direction::Bwd, e.to, e.from)
+            };
+            if bound[to] {
+                return Err(cycle_error(e, self.catalog));
+            }
+            bound[to] = true;
+            seq.push((ei, dir, from, to));
+        }
+        Ok(seq)
+    }
+
+    /// Resolve a property reference to its slot, allocating one if needed.
+    fn slot_of(
+        &self,
+        pref: &PropRef,
+        for_return: bool,
+        nodes: &[PlanNode],
+        edges: &[PlanEdge],
+        slots: &mut Vec<SlotDef>,
+    ) -> Result<SlotId> {
+        let q = self.query;
+        let source = if let Some(node) = q.node_idx(&pref.var) {
+            let prop = self.catalog.vertex_prop_idx(nodes[node].label, &pref.prop)?;
+            SlotSource::NodeProp { node, prop }
+        } else if let Some(edge) = q.edge_idx(&pref.var) {
+            let prop = self.catalog.edge_prop_idx(edges[edge].label, &pref.prop)?;
+            SlotSource::EdgeProp { edge, prop }
+        } else {
+            return Err(Error::Plan(format!("unknown variable {}", pref.var)));
+        };
+        if let Some(i) = slots.iter().position(|s| s.source == source) {
+            slots[i].for_return |= for_return;
+            return Ok(i);
+        }
+        let dtype = match source {
+            SlotSource::NodeProp { node, prop } => {
+                self.catalog.vertex_label(nodes[node].label).properties[prop].dtype
+            }
+            SlotSource::EdgeProp { edge, prop } => {
+                self.catalog.edge_label(edges[edge].label).properties[prop].dtype
+            }
+        };
+        slots.push(SlotDef {
+            source,
+            dtype,
+            for_return,
+            name: format!("{}.{}", pref.var, pref.prop),
+        });
+        Ok(slots.len() - 1)
     }
 
     fn resolve_expr(
         &self,
         e: &Expr,
+        nodes: &[PlanNode],
+        edges: &[PlanEdge],
         slots: &mut Vec<SlotDef>,
-        slot_of: &mut impl FnMut(&PropRef, bool, &mut Vec<SlotDef>) -> Result<SlotId>,
     ) -> Result<PlanExpr> {
         Ok(match e {
             Expr::Cmp { op, lhs, rhs } => PlanExpr::Cmp {
                 op: *op,
-                lhs: self.resolve_scalar(lhs, slots, slot_of)?,
-                rhs: self.resolve_scalar(rhs, slots, slot_of)?,
+                lhs: self.resolve_scalar(lhs, nodes, edges, slots)?,
+                rhs: self.resolve_scalar(rhs, nodes, edges, slots)?,
             },
             Expr::StrMatch { op, prop, pattern } => PlanExpr::StrMatch {
                 op: *op,
-                slot: slot_of(prop, false, slots)?,
+                slot: self.slot_of(prop, false, nodes, edges, slots)?,
                 pattern: pattern.clone(),
             },
-            Expr::InSet { prop, values } => {
-                PlanExpr::InSet { slot: slot_of(prop, false, slots)?, values: values.clone() }
-            }
+            Expr::InSet { prop, values } => PlanExpr::InSet {
+                slot: self.slot_of(prop, false, nodes, edges, slots)?,
+                values: values.clone(),
+            },
             Expr::And(es) => PlanExpr::And(
-                es.iter().map(|e| self.resolve_expr(e, slots, slot_of)).collect::<Result<_>>()?,
+                es.iter()
+                    .map(|e| self.resolve_expr(e, nodes, edges, slots))
+                    .collect::<Result<_>>()?,
             ),
             Expr::Or(es) => PlanExpr::Or(
-                es.iter().map(|e| self.resolve_expr(e, slots, slot_of)).collect::<Result<_>>()?,
+                es.iter()
+                    .map(|e| self.resolve_expr(e, nodes, edges, slots))
+                    .collect::<Result<_>>()?,
             ),
             Expr::Not(inner) => {
-                PlanExpr::Not(Box::new(self.resolve_expr(inner, slots, slot_of)?))
+                PlanExpr::Not(Box::new(self.resolve_expr(inner, nodes, edges, slots)?))
             }
         })
     }
@@ -443,14 +555,54 @@ impl Planner<'_> {
     fn resolve_scalar(
         &self,
         s: &Scalar,
+        nodes: &[PlanNode],
+        edges: &[PlanEdge],
         slots: &mut Vec<SlotDef>,
-        slot_of: &mut impl FnMut(&PropRef, bool, &mut Vec<SlotDef>) -> Result<SlotId>,
     ) -> Result<PlanScalar> {
         Ok(match s {
-            Scalar::Prop(p) => PlanScalar::Slot(slot_of(p, false, slots)?),
+            Scalar::Prop(p) => PlanScalar::Slot(self.slot_of(p, false, nodes, edges, slots)?),
             Scalar::Const(c) => PlanScalar::Const(c.clone()),
         })
     }
+}
+
+/// The cyclic-pattern rejection shared by all binding paths. Anonymous
+/// edges are identified by their label name, as before the orderer rework.
+fn cycle_error(e: &PlanEdge, catalog: &Catalog) -> Error {
+    let label = &catalog.edge_label(e.label).name;
+    Error::Plan(format!(
+        "cyclic pattern at edge {} — only acyclic (tree) patterns are supported; \
+         GraphflowDB handles cycles via worst-case-optimal joins [Mhedhbi & \
+         Salihoglu 2019], which are outside this paper's scope",
+        e.var.as_deref().unwrap_or(label)
+    ))
+}
+
+/// Validate an `edge_order` hint: it must be a permutation of
+/// `0..edges.len()`. Duplicate or out-of-range indexes previously slipped
+/// through a length-only check and panicked later at `edges[ei]`; they are
+/// now reported as [`Error::Plan`] naming the offending index.
+fn validate_edge_order(order: &[usize], n_edges: usize) -> Result<()> {
+    if order.len() != n_edges {
+        return Err(Error::Plan(format!(
+            "edge_order must mention every edge exactly once: got {} entries for {} edges",
+            order.len(),
+            n_edges
+        )));
+    }
+    let mut seen = vec![false; n_edges];
+    for &ei in order {
+        if ei >= n_edges {
+            return Err(Error::Plan(format!(
+                "edge_order index {ei} is out of range: the pattern has {n_edges} edges"
+            )));
+        }
+        if seen[ei] {
+            return Err(Error::Plan(format!("edge_order mentions edge {ei} more than once")));
+        }
+        seen[ei] = true;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -567,6 +719,133 @@ mod tests {
             .filter(|s| matches!(s, PlanStep::NodeProp { .. }))
             .count();
         assert_eq!(n_reads, 1, "shared slot is read once");
+    }
+
+    /// Catalog with build-time statistics (the optimizer's precondition).
+    fn catalog_with_stats() -> Catalog {
+        use gfcl_storage::{ColumnarGraph, StorageConfig};
+        ColumnarGraph::build(&RawGraph::example(), StorageConfig::default())
+            .unwrap()
+            .catalog()
+            .clone()
+    }
+
+    #[test]
+    fn edge_order_with_duplicate_index_is_a_plan_error() {
+        // Regression: a duplicate index passed the length-only check and
+        // panicked later at `edges[ei]` bookkeeping; it must be a plan
+        // error naming the offending index.
+        let mut q = two_hop();
+        q.hints.edge_order = Some(vec![0, 0]);
+        let err = plan(&q, &catalog()).unwrap_err();
+        assert!(matches!(err, Error::Plan(_)), "{err:?}");
+        assert!(err.to_string().contains("edge 0 more than once"), "{err}");
+    }
+
+    #[test]
+    fn edge_order_with_out_of_range_index_is_a_plan_error() {
+        let mut q = two_hop();
+        q.hints.edge_order = Some(vec![0, 5]);
+        let err = plan(&q, &catalog()).unwrap_err();
+        assert!(matches!(err, Error::Plan(_)), "{err:?}");
+        assert!(err.to_string().contains("index 5 is out of range"), "{err}");
+        // Wrong length is still rejected.
+        let mut q = two_hop();
+        q.hints.edge_order = Some(vec![0]);
+        let err = plan(&q, &catalog()).unwrap_err();
+        assert!(err.to_string().contains("every edge exactly once"), "{err}");
+    }
+
+    #[test]
+    fn disconnected_edge_order_is_a_plan_error() {
+        // Start at `a`; hinting e2 (b->c) first leaves it with no bound
+        // endpoint, and the hint is honored verbatim rather than reordered.
+        let mut q = two_hop();
+        q.hints.start = Some("a".into());
+        q.hints.edge_order = Some(vec![1, 0]);
+        let err = plan(&q, &catalog()).unwrap_err();
+        assert!(err.to_string().contains("not connected"), "{err}");
+    }
+
+    #[test]
+    fn optimizer_starts_from_the_selective_end() {
+        // 2-hop FOLLOWS chain with an equality filter on the far end: with
+        // statistics, the planner starts there and traverses backward.
+        let cat = catalog_with_stats();
+        let q = PatternQuery::builder()
+            .node("a", "PERSON")
+            .node("b", "PERSON")
+            .node("c", "PERSON")
+            .edge("e1", "FOLLOWS", "a", "b")
+            .edge("e2", "FOLLOWS", "b", "c")
+            .filter(crate::query::eq(col("c", "age"), lit(17)))
+            .returns_count()
+            .build();
+        let p = plan(&q, &cat).unwrap();
+        assert_eq!(p.order_source, OrderSource::Stats);
+        assert!(matches!(p.steps[0], PlanStep::ScanAll { node: 2 }), "{:?}", p.steps[0]);
+        let dirs: Vec<Direction> = p
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                PlanStep::Extend { dir, .. } => Some(*dir),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dirs, vec![Direction::Bwd, Direction::Bwd]);
+        // Estimates are attached to every step.
+        assert!(p.step_cards.iter().all(Option::is_some));
+        // Without statistics the same query starts at `a` in declaration
+        // order (the paper's policy), with no estimates.
+        let p = plan(&q, &catalog()).unwrap();
+        assert_eq!(p.order_source, OrderSource::Declaration);
+        assert!(matches!(p.steps[0], PlanStep::ScanAll { node: 0 }));
+        assert!(p.step_cards.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn optimizer_respects_a_start_hint() {
+        let cat = catalog_with_stats();
+        let q = PatternQuery::builder()
+            .node("a", "PERSON")
+            .node("b", "PERSON")
+            .node("c", "PERSON")
+            .edge("e1", "FOLLOWS", "a", "b")
+            .edge("e2", "FOLLOWS", "b", "c")
+            .filter(crate::query::eq(col("c", "age"), lit(17)))
+            .returns_count()
+            .start_at("a")
+            .build();
+        let p = plan(&q, &cat).unwrap();
+        assert_eq!(p.order_source, OrderSource::Stats);
+        assert!(matches!(p.steps[0], PlanStep::ScanAll { node: 0 }));
+    }
+
+    #[test]
+    fn inexecutable_hinted_order_is_rejected_at_plan_time() {
+        // Chain predicate e2.since > e1.since: starting in the middle and
+        // extending both ways leaves e1 and e2 in two different unflat list
+        // groups when the filter becomes evaluable — the LBP cannot run
+        // that, and the planner must say so before execution starts.
+        let q = PatternQuery::builder()
+            .node("a", "PERSON")
+            .node("b", "PERSON")
+            .node("c", "PERSON")
+            .edge("e1", "FOLLOWS", "a", "b")
+            .edge("e2", "FOLLOWS", "b", "c")
+            .filter(gt(col("e2", "since"), col("e1", "since")))
+            .returns_count()
+            .start_at("b")
+            .edge_order(vec![1, 0])
+            .build();
+        let err = plan(&q, &catalog()).unwrap_err();
+        assert!(matches!(err, Error::Plan(_)), "{err:?}");
+        assert!(err.to_string().contains("unflat"), "{err}");
+        // The optimizer, by contrast, never picks such an order.
+        let mut q = q;
+        q.hints = Default::default();
+        let p = plan(&q, &catalog_with_stats()).unwrap();
+        assert_eq!(p.order_source, OrderSource::Stats);
     }
 
     #[test]

@@ -12,6 +12,8 @@ use std::collections::HashMap;
 
 use gfcl_common::{DataType, Direction, Error, LabelId, Result};
 
+use crate::stats::Stats;
+
 /// A structured property: name + datatype (structure point (ii)).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PropertyDef {
@@ -121,6 +123,11 @@ pub struct Catalog {
     edge_labels: Vec<EdgeLabelDef>,
     vertex_by_name: HashMap<String, LabelId>,
     edge_by_name: HashMap<String, LabelId>,
+    /// Graph statistics, populated by the storage builds
+    /// ([`crate::ColumnarGraph::build`] / [`crate::RowGraph::build`]) from
+    /// the raw data. `None` for a bare schema-only catalog, in which case
+    /// the planner falls back to declaration-order joins.
+    stats: Option<Stats>,
 }
 
 impl Catalog {
@@ -226,6 +233,16 @@ impl Catalog {
             .iter()
             .position(|p| p.name == prop)
             .ok_or_else(|| Error::UnknownProperty { label: def.name.clone(), property: prop.into() })
+    }
+
+    /// Attach build-time graph statistics (see [`Stats::collect`]).
+    pub fn set_stats(&mut self, stats: Stats) {
+        self.stats = Some(stats);
+    }
+
+    /// Graph statistics, if a storage build attached them.
+    pub fn stats(&self) -> Option<&Stats> {
+        self.stats.as_ref()
     }
 
     pub fn vertex_labels(&self) -> &[VertexLabelDef] {

@@ -116,7 +116,10 @@ impl ColumnarGraph {
     /// Build from a raw graph under `config`.
     pub fn build(raw: &RawGraph, config: StorageConfig) -> Result<ColumnarGraph> {
         raw.validate()?;
-        let catalog = raw.catalog.clone();
+        let mut catalog = raw.catalog.clone();
+        // Statistics are deterministic in the raw data, so every engine
+        // built from the same RawGraph plans with identical stats.
+        catalog.set_stats(crate::stats::Stats::collect(raw));
         let vertex_counts: Vec<usize> = raw.vertices.iter().map(|t| t.count).collect();
         let edge_counts: Vec<usize> = raw.edges.iter().map(|t| t.len()).collect();
 

@@ -3,7 +3,8 @@
 //!
 //! Layered as:
 //!
-//! * [`catalog`] — labels, structured properties, cardinality constraints;
+//! * [`catalog`] — labels, structured properties, cardinality constraints,
+//!   plus the build-time [`stats`] the join orderer consumes;
 //! * [`raw`] — the storage-agnostic [`RawGraph`] interchange format;
 //! * [`csr`] / [`pages`] / [`single_card`] / [`edge_store`] — the columnar
 //!   building blocks: factored-ID CSRs, single-indexed property pages,
@@ -23,6 +24,7 @@ pub mod pages;
 pub mod raw;
 pub mod row_graph;
 pub mod single_card;
+pub mod stats;
 
 pub use catalog::{Cardinality, Catalog, EdgeLabelDef, PropertyDef, VertexLabelDef};
 pub use columnar_graph::{AdjIndex, ColumnarGraph, EdgePropRead, MemoryBreakdown};
@@ -34,6 +36,7 @@ pub use pages::PropertyPages;
 pub use raw::{EdgeTable, PropData, RawGraph, VertexTable};
 pub use row_graph::{PropEntry, RowCsr, RowGraph};
 pub use single_card::SingleCardAdj;
+pub use stats::{EdgeLabelStats, PropStats, Stats, VertexLabelStats};
 
 // Storage is read-only at query time and shared by reference across the
 // morsel-driven workers of the list-based processor, so every query-facing
@@ -51,4 +54,5 @@ const _: () = {
     assert_send_sync::<RowGraph>();
     assert_send_sync::<StorageConfig>();
     assert_send_sync::<EdgePropRead<'_>>();
+    assert_send_sync::<Stats>();
 };

@@ -121,7 +121,10 @@ pub struct RowGraph {
 impl RowGraph {
     pub fn build(raw: &RawGraph) -> Result<RowGraph> {
         raw.validate()?;
-        let catalog = raw.catalog.clone();
+        let mut catalog = raw.catalog.clone();
+        // Same statistics as the columnar build: both engines must pick the
+        // same join orders for the cross-engine comparisons to be fair.
+        catalog.set_stats(crate::stats::Stats::collect(raw));
         let vertex_counts: Vec<usize> = raw.vertices.iter().map(|t| t.count).collect();
         let edge_counts: Vec<usize> = raw.edges.iter().map(|t| t.len()).collect();
         let mut label_base = Vec::with_capacity(vertex_counts.len());

@@ -1,0 +1,102 @@
+//! `Engine::explain` snapshots for every workload query.
+//!
+//! The rendered plan — chosen order, operators, flatten points, and
+//! per-step cardinality estimates — is pinned against checked-in snapshot
+//! files under `tests/snapshots/`. Dataset generation is seeded, and
+//! statistics are exact, so the output is fully deterministic; any change
+//! to the optimizer's cost model, tie-breaking, or rendering shows up as a
+//! reviewable snapshot diff.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```sh
+//! GFCL_BLESS=1 cargo test -p gfcl_workloads --test explain_snapshots
+//! ```
+
+use std::sync::Arc;
+
+use gfcl_core::{Engine, GfClEngine, PatternQuery};
+use gfcl_datagen::{MovieParams, PowerLawParams, SocialParams};
+use gfcl_storage::{ColumnarGraph, RawGraph, StorageConfig};
+use gfcl_workloads::ldbc::{self, LdbcParams};
+use gfcl_workloads::{job, khop, KhopMode};
+
+fn render_suite(raw: &RawGraph, queries: &[(String, PatternQuery)]) -> String {
+    let graph = Arc::new(ColumnarGraph::build(raw, StorageConfig::default()).unwrap());
+    let engine = GfClEngine::new(graph);
+    let mut out = String::new();
+    for (name, q) in queries {
+        out.push_str(&format!("== {name} ==\n"));
+        out.push_str(
+            &engine.explain(q).unwrap_or_else(|e| panic!("{name} failed to explain: {e}")),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+fn assert_snapshot(file: &str, actual: &str) {
+    let path = format!("{}/tests/snapshots/{file}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("GFCL_BLESS").is_some() {
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("cannot bless {path}: {e}"));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("cannot read snapshot {path}: {e}; run with GFCL_BLESS=1 to create it")
+    });
+    if expected != actual {
+        // Show the first diverging line for a readable failure.
+        let diverge = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| expected.lines().count().min(actual.lines().count()));
+        panic!(
+            "EXPLAIN snapshot {file} changed at line {}: \n  expected: {:?}\n  actual:   {:?}\n\
+             If intentional, re-bless with GFCL_BLESS=1 and review the diff.",
+            diverge + 1,
+            expected.lines().nth(diverge).unwrap_or(""),
+            actual.lines().nth(diverge).unwrap_or(""),
+        );
+    }
+}
+
+#[test]
+fn ldbc_explain_snapshots() {
+    let persons = 80;
+    let raw = gfcl_datagen::generate_social(SocialParams::scale(persons));
+    let params = LdbcParams::for_scale(persons);
+    assert_snapshot("ldbc.explain.txt", &render_suite(&raw, &ldbc::all_queries(&params)));
+}
+
+#[test]
+fn job_explain_snapshots() {
+    let raw = gfcl_datagen::generate_movies(MovieParams::scale(80));
+    assert_snapshot("job.explain.txt", &render_suite(&raw, &job::all_queries()));
+}
+
+#[test]
+fn khop_explain_snapshots() {
+    let raw = gfcl_datagen::generate_powerlaw(PowerLawParams {
+        nodes: 1000,
+        avg_degree: 5.0,
+        exponent: 1.8,
+        seed: 7,
+    });
+    let mut queries = Vec::new();
+    for hops in 1..=3 {
+        for (mode_name, mode) in [
+            ("count", KhopMode::CountStar),
+            ("filter", KhopMode::LastEdgeGt(1_400_000_000)),
+            ("chain", KhopMode::Chain(1_350_000_000)),
+        ] {
+            for backward in [false, true] {
+                queries.push((
+                    format!("khop-{hops}-{mode_name}-bwd={backward}"),
+                    khop("NODE", "LINK", "ts", hops, mode, backward),
+                ));
+            }
+        }
+    }
+    assert_snapshot("khop.explain.txt", &render_suite(&raw, &queries));
+}

@@ -1,0 +1,143 @@
+//! Plan-order invariance: for every workload query, every *valid* edge
+//! permutation forced through `edge_order` hints must produce exactly the
+//! canonical result of the optimizer's plan, under both `threads = 1` and
+//! `threads = 4`.
+//!
+//! "Valid" means the planner accepts the order: permutations that are not
+//! connected from the chosen start, or that would make a filter span two
+//! unflat list groups (which the list-based processor cannot evaluate), are
+//! rejected at plan time with `Error::Plan` and skipped here — that
+//! rejection path is itself part of what this suite exercises. Patterns
+//! with at most 5 edges try all `n!` permutations; larger patterns try 24
+//! deterministically sampled ones.
+
+use std::sync::Arc;
+
+use gfcl_common::Error;
+use gfcl_core::{Engine, ExecOptions, GfClEngine, PatternQuery};
+use gfcl_datagen::{MovieParams, PowerLawParams, SocialParams};
+use gfcl_storage::{ColumnarGraph, RawGraph, StorageConfig};
+use gfcl_workloads::ldbc::{self, LdbcParams};
+use gfcl_workloads::{job, khop, KhopMode};
+
+/// All permutations of `0..n` (n ≤ 5 keeps this at ≤ 120).
+fn all_perms(n: usize) -> Vec<Vec<usize>> {
+    fn rec(cur: &mut Vec<usize>, used: &mut Vec<bool>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == used.len() {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..used.len() {
+            if !used[i] {
+                used[i] = true;
+                cur.push(i);
+                rec(cur, used, out);
+                cur.pop();
+                used[i] = false;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(&mut Vec::new(), &mut vec![false; n], &mut out);
+    out
+}
+
+/// `k` deterministic Fisher–Yates shuffles of `0..n` from a fixed seed.
+fn sampled_perms(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    (0..k)
+        .map(|_| {
+            let mut p: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                p.swap(i, next() % (i + 1));
+            }
+            p
+        })
+        .collect()
+}
+
+fn check_invariance(raw: &RawGraph, queries: &[(String, PatternQuery)]) {
+    let graph = Arc::new(ColumnarGraph::build(raw, StorageConfig::default()).unwrap());
+    let serial = GfClEngine::with_options(Arc::clone(&graph), ExecOptions::serial());
+    let parallel = GfClEngine::with_options(graph, ExecOptions::with_threads(4));
+    for (qi, (name, q)) in queries.iter().enumerate() {
+        let reference = serial
+            .execute(q)
+            .unwrap_or_else(|e| panic!("{name}: optimizer plan failed: {e}"))
+            .canonical();
+        let par_ref = parallel.execute(q).unwrap().canonical();
+        assert_eq!(reference, par_ref, "{name}: optimizer plan, threads=1 vs threads=4");
+
+        let n = q.edges.len();
+        if n == 0 {
+            continue;
+        }
+        let perms = if n <= 5 {
+            all_perms(n)
+        } else {
+            sampled_perms(n, 24, 0xC0FFEE ^ (qi as u64))
+        };
+        let mut valid = 0usize;
+        for perm in &perms {
+            let mut hinted = q.clone();
+            hinted.hints.edge_order = Some(perm.clone());
+            let out = match serial.execute(&hinted) {
+                Ok(o) => o.canonical(),
+                // Not connected from the chosen start, or not executable by
+                // the LBP — rejected at plan time, by design.
+                Err(Error::Plan(_)) => continue,
+                Err(e) => panic!("{name} perm {perm:?}: unexpected error {e}"),
+            };
+            valid += 1;
+            assert_eq!(out, reference, "{name} perm {perm:?} (threads=1)");
+            let pout = parallel
+                .execute(&hinted)
+                .unwrap_or_else(|e| panic!("{name} perm {perm:?} parallel: {e}"))
+                .canonical();
+            assert_eq!(pout, reference, "{name} perm {perm:?} (threads=4)");
+        }
+        assert!(valid > 0, "{name}: no valid edge permutation out of {}", perms.len());
+    }
+}
+
+#[test]
+fn ldbc_results_are_invariant_under_edge_order() {
+    let persons = 60;
+    let raw = gfcl_datagen::generate_social(SocialParams::scale(persons));
+    let params = LdbcParams::for_scale(persons);
+    check_invariance(&raw, &ldbc::all_queries(&params));
+}
+
+#[test]
+fn job_results_are_invariant_under_edge_order() {
+    let raw = gfcl_datagen::generate_movies(MovieParams::scale(60));
+    check_invariance(&raw, &job::all_queries());
+}
+
+#[test]
+fn khop_results_are_invariant_under_edge_order() {
+    let raw = gfcl_datagen::generate_powerlaw(PowerLawParams {
+        nodes: 600,
+        avg_degree: 4.0,
+        exponent: 1.8,
+        seed: 11,
+    });
+    let mut queries = Vec::new();
+    for hops in 1..=3 {
+        for (mode_name, mode) in
+            [("count", KhopMode::CountStar), ("chain", KhopMode::Chain(1_350_000_000))]
+        {
+            for backward in [false, true] {
+                queries.push((
+                    format!("khop-{hops}-{mode_name}-bwd={backward}"),
+                    khop("NODE", "LINK", "ts", hops, mode, backward),
+                ));
+            }
+        }
+    }
+    check_invariance(&raw, &queries);
+}

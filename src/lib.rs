@@ -42,14 +42,61 @@
 //! assert_eq!(out.cardinality(), 2); // alice->UW, bob->UofT
 //! ```
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-vs-measured record of every table and figure.
+//! ## Query planning and EXPLAIN
+//!
+//! Storage builds collect [`storage::Stats`] (counts, degrees,
+//! per-property NDV/min/max) into the catalog; with statistics present the
+//! planner picks the join order by cost instead of declaration order, and
+//! [`Engine::explain`] shows the decision:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gfcl::{ColumnarGraph, Engine, GfClEngine, RawGraph, StorageConfig};
+//! use gfcl::query::{col, eq, lit, PatternQuery};
+//!
+//! let raw = RawGraph::example();
+//! let graph = Arc::new(ColumnarGraph::build(&raw, StorageConfig::default()).unwrap());
+//! let engine = GfClEngine::new(graph);
+//!
+//! // A 2-hop chain with a selective filter on the far end: the optimizer
+//! // starts there and traverses backward.
+//! let q = PatternQuery::builder()
+//!     .node("a", "PERSON")
+//!     .node("b", "PERSON")
+//!     .node("c", "PERSON")
+//!     .edge("e1", "FOLLOWS", "a", "b")
+//!     .edge("e2", "FOLLOWS", "b", "c")
+//!     .filter(eq(col("c", "age"), lit(17)))
+//!     .returns_count()
+//!     .build();
+//! let text = engine.explain(&q).unwrap();
+//! assert!(text.contains("order: statistics"));
+//! assert!(text.contains("SCAN      (c:PERSON)"), "{text}");
+//! assert!(text.contains("[ListExtend"), "{text}");
+//! assert!(text.contains("est ~"), "{text}");
+//! ```
+//!
+//! See `ARCHITECTURE.md` for the paper-section → module map, `DESIGN.md`
+//! for the system inventory and `EXPERIMENTS.md` for the paper-vs-measured
+//! record of every table and figure.
 
+/// The three baseline engines of the evaluation (Section 8): GF-CV
+/// (columnar + Volcano), GF-RV (row store + Volcano) and the relational
+/// hash-join stand-in.
 pub use gfcl_baselines::{GfCvEngine, GfRvEngine, RelEngine};
+/// Foundation vocabulary shared by every crate: property values and types,
+/// IDs, directions, errors, and exact memory accounting.
 pub use gfcl_common::{
     human_bytes, DataType, Direction, EdgeId, Error, LabelId, MemoryUsage, Result, Value, VertexId,
 };
-pub use gfcl_core::{Engine, ExecOptions, GfClEngine, LogicalPlan, PatternQuery, QueryOutput};
+/// The query front-end and the paper's engine: [`PatternQuery`] +
+/// [`Engine`] (with `execute`/`explain`), the list-based [`GfClEngine`],
+/// plans, and execution options for morsel-driven parallelism.
+pub use gfcl_core::{
+    Engine, ExecOptions, GfClEngine, LogicalPlan, OrderSource, PatternQuery, QueryOutput,
+};
+/// The storage layer: catalogs (with build-time [`storage::Stats`]), the
+/// [`RawGraph`] interchange format, and the columnar / row graph builds.
 pub use gfcl_storage::{
     Cardinality, Catalog, ColumnarGraph, EdgePropLayout, MemoryBreakdown, PropertyDef, RawGraph,
     RowGraph, StorageConfig,
@@ -69,6 +116,11 @@ pub mod query {
 /// The logical planner.
 pub mod plan {
     pub use gfcl_core::plan::*;
+}
+
+/// The statistics-driven join orderer and the EXPLAIN renderer.
+pub mod optimize {
+    pub use gfcl_core::optimize::*;
 }
 
 /// Synthetic dataset generators (LDBC-like, IMDb-like, power-law).
