@@ -52,9 +52,7 @@ impl VolcanoStorage for CvStore<'_> {
     }
 
     fn edge_prop(&self, elabel: LabelId, dir: Direction, slot: EdgeSlot, prop: usize) -> Value {
-        self.g
-            .read_edge_prop(elabel, dir, slot.from, slot.token, prop)
-            .unwrap_or(Value::Null)
+        self.g.read_edge_prop(elabel, dir, slot.from, slot.token, prop).unwrap_or(Value::Null)
     }
 }
 

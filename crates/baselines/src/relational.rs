@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use gfcl_common::{Direction, Error, LabelId, Result, Value};
+use gfcl_core::agg::{self, GroupTable};
 use gfcl_core::engine::{Engine, QueryOutput};
 use gfcl_core::plan::{LogicalPlan, PlanReturn, PlanStep};
 use gfcl_storage::{AdjIndex, Catalog, ColumnarGraph};
@@ -148,8 +149,9 @@ impl Engine for RelEngine {
                 }
                 PlanStep::Extend { edge, edge_label, dir, from, to, .. } => {
                     let hash = self.build_edge_hash(*edge_label, *dir);
-                    let probe =
-                        it.nodes[*from].as_ref().ok_or_else(|| Error::Plan("unbound from".into()))?;
+                    let probe = it.nodes[*from]
+                        .as_ref()
+                        .ok_or_else(|| Error::Plan("unbound from".into()))?;
                     // Probe: one output row per (input row, matching edge).
                     let mut keep: Vec<usize> = Vec::new();
                     let mut nbrs: Vec<u64> = Vec::new();
@@ -172,10 +174,10 @@ impl Engine for RelEngine {
                 PlanStep::NodeProp { node, prop, slot } => {
                     let label = plan.nodes[*node].label;
                     let col = g.vertex_prop(label, *prop);
-                    let offs =
-                        it.nodes[*node].as_ref().ok_or_else(|| Error::Plan("unbound node".into()))?;
-                    it.slots[*slot] =
-                        Some(offs.iter().map(|&v| col.value(v as usize)).collect());
+                    let offs = it.nodes[*node]
+                        .as_ref()
+                        .ok_or_else(|| Error::Plan("unbound node".into()))?;
+                    it.slots[*slot] = Some(offs.iter().map(|&v| col.value(v as usize)).collect());
                 }
                 PlanStep::EdgeProp { edge, prop, slot } => {
                     let elabel = plan.edges[*edge].label;
@@ -215,13 +217,27 @@ impl Engine for RelEngine {
                     rows.push(
                         slots
                             .iter()
-                            .map(|&s| {
-                                it.slots[s].as_ref().map_or(Value::Null, |c| c[i].clone())
-                            })
+                            .map(|&s| it.slots[s].as_ref().map_or(Value::Null, |c| c[i].clone()))
                             .collect(),
                     );
                 }
+                let rows = agg::finalize_rows(plan, rows);
                 Ok(QueryOutput::Rows { header: plan.header.clone(), rows })
+            }
+            PlanReturn::GroupBy { keys, aggs } => {
+                // Fold the flat materialized intermediate row-by-row into
+                // the shared group table (hash-aggregate analog).
+                let read = |s: usize, i: usize| -> Value {
+                    it.slots[s].as_ref().map_or(Value::Null, |c| c[i].clone())
+                };
+                let mut table = GroupTable::new(aggs);
+                for i in 0..it.n {
+                    let key: Vec<Value> = keys.iter().map(|&s| read(s, i)).collect();
+                    let vals: Vec<Option<Value>> =
+                        aggs.iter().map(|a| a.slot.map(|s| read(s, i))).collect();
+                    table.add_tuple(key, &vals);
+                }
+                Ok(table.into_output(plan))
             }
             PlanReturn::Sum(slot) => {
                 let col = it.slots[*slot].as_ref().ok_or_else(|| Error::Plan("unfilled".into()))?;
@@ -238,8 +254,11 @@ impl Engine for RelEngine {
                         _ => {}
                     }
                 }
-                let value =
-                    if float { Value::Float64(sum_f) } else { Value::Int64(sum_i as i64) };
+                let value = if float {
+                    Value::Float64(sum_f)
+                } else {
+                    Value::Int64(agg::clamp_i128(sum_i))
+                };
                 Ok(QueryOutput::Agg { name: plan.header[0].clone(), value })
             }
             PlanReturn::Min(slot) | PlanReturn::Max(slot) => {

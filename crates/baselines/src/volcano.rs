@@ -10,6 +10,7 @@
 //! gains as in Section 8.6.
 
 use gfcl_common::{Direction, Error, LabelId, Result, Value};
+use gfcl_core::agg::{self, GroupTable};
 use gfcl_core::engine::QueryOutput;
 use gfcl_core::plan::{LogicalPlan, PlanExpr, PlanReturn, PlanStep};
 use gfcl_storage::Catalog;
@@ -55,8 +56,17 @@ pub struct Tuple {
 }
 
 enum VOp {
-    ScanAll { node: usize, next: u64, total: u64 },
-    ScanPk { label: LabelId, node: usize, key: i64, done: bool },
+    ScanAll {
+        node: usize,
+        next: u64,
+        total: u64,
+    },
+    ScanPk {
+        label: LabelId,
+        node: usize,
+        key: i64,
+        done: bool,
+    },
     Extend {
         elabel: LabelId,
         dir: Direction,
@@ -66,9 +76,22 @@ enum VOp {
         /// Remaining CSR range, or a pending single neighbour.
         state: ExtendState,
     },
-    ReadNodeProp { label: LabelId, node: usize, prop: usize, slot: usize },
-    ReadEdgeProp { elabel: LabelId, dir: Direction, edge: usize, prop: usize, slot: usize },
-    Filter { expr: PlanExpr },
+    ReadNodeProp {
+        label: LabelId,
+        node: usize,
+        prop: usize,
+        slot: usize,
+    },
+    ReadEdgeProp {
+        elabel: LabelId,
+        dir: Direction,
+        edge: usize,
+        prop: usize,
+        slot: usize,
+    },
+    Filter {
+        expr: PlanExpr,
+    },
 }
 
 enum ExtendState {
@@ -228,7 +251,20 @@ pub fn execute<S: VolcanoStorage>(storage: &S, plan: &LogicalPlan) -> Result<Que
             while vpull(&mut ops, storage, &mut t)? {
                 rows.push(slots.iter().map(|&s| t.slots[s].clone()).collect());
             }
+            let rows = agg::finalize_rows(plan, rows);
             Ok(QueryOutput::Rows { header: plan.header.clone(), rows })
+        }
+        PlanReturn::GroupBy { keys, aggs } => {
+            // The naive reference: enumerate every tuple, fold it into the
+            // shared group table with multiplicity 1.
+            let mut table = GroupTable::new(aggs);
+            while vpull(&mut ops, storage, &mut t)? {
+                let key: Vec<Value> = keys.iter().map(|&s| t.slots[s].clone()).collect();
+                let vals: Vec<Option<Value>> =
+                    aggs.iter().map(|a| a.slot.map(|s| t.slots[s].clone())).collect();
+                table.add_tuple(key, &vals);
+            }
+            Ok(table.into_output(plan))
         }
         PlanReturn::Sum(slot) => {
             let mut sum_i: i128 = 0;
@@ -245,7 +281,7 @@ pub fn execute<S: VolcanoStorage>(storage: &S, plan: &LogicalPlan) -> Result<Que
                 }
             }
             let value =
-                if float { Value::Float64(sum_f) } else { Value::Int64(sum_i as i64) };
+                if float { Value::Float64(sum_f) } else { Value::Int64(agg::clamp_i128(sum_i)) };
             Ok(QueryOutput::Agg { name: plan.header[0].clone(), value })
         }
         PlanReturn::Min(slot) | PlanReturn::Max(slot) => {

@@ -6,9 +6,7 @@
 use std::sync::Arc;
 
 use gfcl_baselines::{GfCvEngine, GfRvEngine, RelEngine};
-use gfcl_core::query::{
-    col, contains, eq, ge, gt, lit, lt, starts_with, PatternQuery,
-};
+use gfcl_core::query::{col, contains, eq, ge, gt, lit, lt, starts_with, PatternQuery};
 use gfcl_core::{Engine, GfClEngine};
 use gfcl_datagen::{MovieParams, PowerLawParams, SocialParams};
 use gfcl_storage::{ColumnarGraph, EdgePropLayout, RawGraph, RowGraph, StorageConfig};
@@ -30,18 +28,13 @@ fn assert_all_agree(raw: &RawGraph, cfg: StorageConfig, queries: &[(&str, Patter
     for (name, q) in queries {
         let mut outputs = Vec::new();
         for e in &engines {
-            let out = e
-                .execute(q)
-                .unwrap_or_else(|err| panic!("{name} failed on {}: {err}", e.name()));
+            let out =
+                e.execute(q).unwrap_or_else(|err| panic!("{name} failed on {}: {err}", e.name()));
             outputs.push((e.name(), out.canonical()));
         }
         let reference = &outputs[0].1;
         for (ename, o) in &outputs[1..] {
-            assert_eq!(
-                o, reference,
-                "query {name}: {ename} disagrees with {}",
-                outputs[0].0
-            );
+            assert_eq!(o, reference, "query {name}: {ename} disagrees with {}", outputs[0].0);
         }
     }
 }
@@ -270,7 +263,12 @@ fn movie_graph_star_queries() {
 
 #[test]
 fn powerlaw_khop_counts() {
-    let raw = gfcl_datagen::generate_powerlaw(PowerLawParams { nodes: 300, avg_degree: 6.0, exponent: 1.8, seed: 42 });
+    let raw = gfcl_datagen::generate_powerlaw(PowerLawParams {
+        nodes: 300,
+        avg_degree: 6.0,
+        exponent: 1.8,
+        seed: 42,
+    });
     let one_hop = PatternQuery::builder()
         .node("a", "NODE")
         .node("b", "NODE")
@@ -299,5 +297,48 @@ fn powerlaw_khop_counts() {
             StorageConfig { edge_prop_layout: layout, ..StorageConfig::default() },
             &[("1-hop", one_hop.clone()), ("2-hop", two_hop.clone())],
         );
+    }
+}
+
+#[test]
+fn sum_overflow_saturates_identically_on_every_engine() {
+    // Regression: the baselines' whole-result SUM used to truncate the i128
+    // accumulator with `as i64`, wrapping where GF-CL saturates.
+    use gfcl_common::{DataType, Value};
+    use gfcl_storage::{Catalog, PropertyDef};
+
+    let mut cat = Catalog::new();
+    let a = cat.add_vertex_label("A", vec![PropertyDef::new("x", DataType::Int64)]).unwrap();
+    let mut raw = RawGraph::new(cat);
+    raw.vertices[a as usize].count = 2;
+    raw.vertices[a as usize].props[0].push_i64(i64::MAX - 1);
+    raw.vertices[a as usize].props[0].push_i64(i64::MAX - 1);
+    raw.validate().unwrap();
+
+    let q = PatternQuery::builder().node("a", "A").returns_sum("a", "x").build();
+    for e in engines(&raw, StorageConfig::default()) {
+        match e.execute(&q).unwrap() {
+            gfcl_core::QueryOutput::Agg { value, .. } => {
+                assert_eq!(value, Value::Int64(i64::MAX), "{} must saturate", e.name());
+            }
+            other => panic!("{}: expected aggregate, got {other:?}", e.name()),
+        }
+    }
+}
+
+#[test]
+fn empty_whole_result_aggregate_is_one_row_on_every_engine() {
+    // SQL: an aggregate without GROUP BY returns one row over an empty
+    // match set; all engines share the seeded keyless group.
+    use gfcl_core::query::Agg;
+    let raw = RawGraph::example();
+    let q = PatternQuery::builder()
+        .node("a", "PERSON")
+        .filter(gt(col("a", "age"), lit(100)))
+        .returns_agg(vec![Agg::count_star(), Agg::sum("a", "age"), Agg::min("a", "age")])
+        .build();
+    let reference = "rows[count(*),sum(a.age),min(a.age)]:0|NULL|NULL";
+    for e in engines(&raw, StorageConfig::default()) {
+        assert_eq!(e.execute(&q).unwrap().canonical(), reference, "{}", e.name());
     }
 }

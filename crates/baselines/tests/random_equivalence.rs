@@ -5,10 +5,10 @@
 
 use std::sync::Arc;
 
-use gfcl_core::query::{col, ge, gt, le, lit, lt, PatternQuery, QueryBuilder};
-use gfcl_core::{Engine, GfClEngine};
 use gfcl_baselines::{GfCvEngine, GfRvEngine, RelEngine};
 use gfcl_common::DataType;
+use gfcl_core::query::{col, ge, gt, le, lit, lt, PatternQuery, QueryBuilder};
+use gfcl_core::{Engine, GfClEngine};
 use gfcl_storage::{
     Cardinality, Catalog, ColumnarGraph, EdgePropLayout, PropertyDef, RawGraph, RowGraph,
     StorageConfig,
@@ -33,18 +33,10 @@ struct RandomGraph {
 fn graph_strategy() -> impl Strategy<Value = RandomGraph> {
     (2usize..12, 2usize..12)
         .prop_flat_map(|(n_a, n_b)| {
-            let ab = proptest::collection::vec(
-                (0..n_a as u64, 0..n_b as u64, -20i64..20),
-                0..60,
-            );
-            let aa = proptest::collection::vec(
-                (0..n_a as u64, 0..n_a as u64, -20i64..20),
-                0..40,
-            );
-            let single = proptest::collection::vec(
-                proptest::option::of((0..n_b as u64, -20i64..20)),
-                n_a,
-            );
+            let ab = proptest::collection::vec((0..n_a as u64, 0..n_b as u64, -20i64..20), 0..60);
+            let aa = proptest::collection::vec((0..n_a as u64, 0..n_a as u64, -20i64..20), 0..40);
+            let single =
+                proptest::collection::vec(proptest::option::of((0..n_b as u64, -20i64..20)), n_a);
             let a_props =
                 proptest::collection::vec(proptest::option::weighted(0.8, -50i64..50), n_a);
             let b_props =
@@ -67,13 +59,31 @@ fn to_raw(g: &RandomGraph) -> RawGraph {
     let a = cat.add_vertex_label("A", vec![PropertyDef::new("x", DataType::Int64)]).unwrap();
     let b = cat.add_vertex_label("B", vec![PropertyDef::new("y", DataType::Int64)]).unwrap();
     let ab = cat
-        .add_edge_label("AB", a, b, Cardinality::ManyMany, vec![PropertyDef::new("w", DataType::Int64)])
+        .add_edge_label(
+            "AB",
+            a,
+            b,
+            Cardinality::ManyMany,
+            vec![PropertyDef::new("w", DataType::Int64)],
+        )
         .unwrap();
     let aa = cat
-        .add_edge_label("AA", a, a, Cardinality::ManyMany, vec![PropertyDef::new("w", DataType::Int64)])
+        .add_edge_label(
+            "AA",
+            a,
+            a,
+            Cardinality::ManyMany,
+            vec![PropertyDef::new("w", DataType::Int64)],
+        )
         .unwrap();
     let sg = cat
-        .add_edge_label("SINGLE", a, b, Cardinality::ManyOne, vec![PropertyDef::new("w", DataType::Int64)])
+        .add_edge_label(
+            "SINGLE",
+            a,
+            b,
+            Cardinality::ManyOne,
+            vec![PropertyDef::new("w", DataType::Int64)],
+        )
         .unwrap();
     let mut raw = RawGraph::new(cat);
     raw.vertices[a as usize].count = g.n_a;

@@ -56,15 +56,15 @@ fn main() {
     ]);
 
     for non_null_pct in [100, 90, 80, 70, 60, 50, 40, 30, 20, 10] {
-        let raw =
-            gfcl_bench::social_with_nulls(6_000, 1.0 - non_null_pct as f64 / 100.0);
+        let raw = gfcl_bench::social_with_nulls(6_000, 1.0 - non_null_pct as f64 / 100.0);
         let comment = raw.catalog.vertex_label_id("Comment").unwrap();
         let date_prop = raw.catalog.vertex_prop_idx(comment, "creationDate").unwrap();
 
         let mut ms = Vec::new();
         let mut col_bytes = Vec::new();
         for (_, kind) in &layouts {
-            let cfg = StorageConfig { null_compress: true, null_kind: *kind, ..StorageConfig::default() };
+            let cfg =
+                StorageConfig { null_compress: true, null_kind: *kind, ..StorageConfig::default() };
             let g = ColumnarGraph::build(&raw, cfg).unwrap();
             col_bytes.push(g.vertex_prop(comment, date_prop).memory_bytes());
             let engine = GfClEngine::new(Arc::new(g));

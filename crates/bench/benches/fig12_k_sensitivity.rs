@@ -66,12 +66,17 @@ fn main() {
                 edge_prop_layout: EdgePropLayout::Pages { k },
                 ..StorageConfig::default()
             };
-            let engine =
-                GfClEngine::new(Arc::new(ColumnarGraph::build(&d.raw, cfg).unwrap()));
-            let t1 =
-                time_query(&engine, &khop(d.node, d.edge, d.prop, 1, KhopMode::Chain(d.threshold), false)).0;
-            let t2 =
-                time_query(&engine, &khop(d.node, d.edge, d.prop, 2, KhopMode::Chain(d.threshold), false)).0;
+            let engine = GfClEngine::new(Arc::new(ColumnarGraph::build(&d.raw, cfg).unwrap()));
+            let t1 = time_query(
+                &engine,
+                &khop(d.node, d.edge, d.prop, 1, KhopMode::Chain(d.threshold), false),
+            )
+            .0;
+            let t2 = time_query(
+                &engine,
+                &khop(d.node, d.edge, d.prop, 2, KhopMode::Chain(d.threshold), false),
+            )
+            .0;
             table.row(vec![format!("2^{e}"), fmt_ms(t1), fmt_ms(t2)]);
         }
         // "*" = pure edge columns (k = ∞).
@@ -80,10 +85,16 @@ fn main() {
             ..StorageConfig::default()
         };
         let engine = GfClEngine::new(Arc::new(ColumnarGraph::build(&d.raw, cfg).unwrap()));
-        let t1 =
-            time_query(&engine, &khop(d.node, d.edge, d.prop, 1, KhopMode::Chain(d.threshold), false)).0;
-        let t2 =
-            time_query(&engine, &khop(d.node, d.edge, d.prop, 2, KhopMode::Chain(d.threshold), false)).0;
+        let t1 = time_query(
+            &engine,
+            &khop(d.node, d.edge, d.prop, 1, KhopMode::Chain(d.threshold), false),
+        )
+        .0;
+        let t2 = time_query(
+            &engine,
+            &khop(d.node, d.edge, d.prop, 2, KhopMode::Chain(d.threshold), false),
+        )
+        .0;
         table.row(vec!["*".to_owned(), fmt_ms(t1), fmt_ms(t2)]);
         table.print();
         println!();

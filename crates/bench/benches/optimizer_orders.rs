@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use gfcl_bench::{banner, fmt_factor, fmt_ms, time_plan, TextTable};
-use gfcl_core::query::{col, eq, lt, lit, PatternQuery, QueryBuilder};
+use gfcl_core::query::{col, eq, lit, lt, PatternQuery, QueryBuilder};
 use gfcl_core::{Engine, GfClEngine};
 use gfcl_storage::{ColumnarGraph, StorageConfig};
 
@@ -98,10 +98,9 @@ fn main() {
     }
     table.print();
     println!();
-    assert!(
-        best_speedup >= 2.0,
-        "expected the optimized order to beat the worst declaration order by >= 2x on at \
-         least one query, best was {best_speedup:.2}x"
+    gfcl_bench::assert_speedup(
+        best_speedup,
+        2.0,
+        "statistics-driven order vs worst declaration order",
     );
-    println!("best speedup: {best_speedup:.1}x (>= 2x required)");
 }

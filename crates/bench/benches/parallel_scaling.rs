@@ -27,9 +27,8 @@ fn main() {
     ];
     let thread_counts = [1usize, 2, 4, 8];
 
-    let mut table = TextTable::new(vec![
-        "dataset", "query", "serial", "2 thr", "4 thr", "8 thr", "4-thr x",
-    ]);
+    let mut table =
+        TextTable::new(vec!["dataset", "query", "serial", "2 thr", "4 thr", "8 thr", "4-thr x"]);
 
     for (name, raw, node, edge, prop) in &datasets {
         let graph = Arc::new(ColumnarGraph::build(raw, StorageConfig::default()).unwrap());

@@ -21,7 +21,7 @@ fn breakdowns(raw: &RawGraph) -> Vec<(String, MemoryBreakdown)> {
     out
 }
 
-fn component<'a>(b: &'a MemoryBreakdown, comp: &str) -> usize {
+fn component(b: &MemoryBreakdown, comp: &str) -> usize {
     match comp {
         "Vertex Props" => b.vertex_props,
         "Edge Props" => b.edge_props,

@@ -30,10 +30,8 @@ struct Dataset {
 
 fn engines(raw: &RawGraph) -> (GfClEngine, GfClEngine) {
     let pages = StorageConfig::default();
-    let cols = StorageConfig {
-        edge_prop_layout: EdgePropLayout::EdgeColumns,
-        ..StorageConfig::default()
-    };
+    let cols =
+        StorageConfig { edge_prop_layout: EdgePropLayout::EdgeColumns, ..StorageConfig::default() };
     (
         GfClEngine::new(Arc::new(ColumnarGraph::build(raw, pages).unwrap())),
         GfClEngine::new(Arc::new(ColumnarGraph::build(raw, cols).unwrap())),
@@ -79,16 +77,17 @@ fn main() {
     ];
 
     let mut table = TextTable::new(vec![
-        "plan", "layout", "dataset", "1H (ms)", "2H (ms)", "1H factor", "2H factor",
+        "plan",
+        "layout",
+        "dataset",
+        "1H (ms)",
+        "2H (ms)",
+        "1H factor",
+        "2H factor",
     ]);
 
     for d in &datasets {
-        println!(
-            "{}: {} vertices, {} edges",
-            d.name,
-            d.raw.total_vertices(),
-            d.raw.total_edges()
-        );
+        println!("{}: {} vertices, {} edges", d.name, d.raw.total_vertices(), d.raw.total_edges());
         let (pages, cols) = engines(&d.raw);
         for backward in [false, true] {
             let plan_name = if backward { "P_B" } else { "P_F" };

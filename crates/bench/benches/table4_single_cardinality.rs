@@ -16,11 +16,8 @@ use gfcl_storage::{ColumnarGraph, RawGraph, StorageConfig};
 use gfcl_workloads::khop_propless;
 
 fn build(raw: &RawGraph, vcols: bool, null_compress: bool) -> (GfClEngine, usize) {
-    let cfg = StorageConfig {
-        single_card_in_vcols: vcols,
-        null_compress,
-        ..StorageConfig::default()
-    };
+    let cfg =
+        StorageConfig { single_card_in_vcols: vcols, null_compress, ..StorageConfig::default() };
     let g = ColumnarGraph::build(raw, cfg).unwrap();
     let label = g.catalog().edge_label_id("replyOfComment").unwrap();
     let (fwd, bwd, props) = g.edge_label_memory(label);

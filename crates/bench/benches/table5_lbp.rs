@@ -72,8 +72,8 @@ fn main() {
         for (mode_name, mode) in
             [("FILTER", KhopMode::LastEdgeGt(d.threshold)), ("COUNT(*)", KhopMode::CountStar)]
         {
-            let mut cl_ms = vec![f64::NAN; 3];
-            let mut cv_ms = vec![f64::NAN; 3];
+            let mut cl_ms = [f64::NAN; 3];
+            let mut cv_ms = [f64::NAN; 3];
             for hops in 1..=d.max_hops {
                 let q = khop(d.node, d.edge, d.prop, hops, mode, false);
                 let (t_cl, c1) = time_query(&cl, &q);

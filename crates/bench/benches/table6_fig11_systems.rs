@@ -18,8 +18,8 @@ use gfcl_baselines::{GfCvEngine, GfRvEngine, RelEngine};
 use gfcl_bench::{banner, fmt_ms, time_query, TextTable};
 use gfcl_core::{Engine, PatternQuery};
 use gfcl_storage::{ColumnarGraph, RawGraph, RowGraph, StorageConfig};
-use gfcl_workloads::ldbc::{self, LdbcParams};
 use gfcl_workloads::job;
+use gfcl_workloads::ldbc::{self, LdbcParams};
 
 fn engines(raw: &RawGraph) -> Vec<Box<dyn Engine>> {
     let col = Arc::new(ColumnarGraph::build(raw, StorageConfig::default()).unwrap());
@@ -47,9 +47,8 @@ fn run_suite(
 ) -> Vec<(String, Vec<f64>)> {
     println!("--- {title} ---");
     let engines = engines(raw);
-    let mut table = TextTable::new(vec![
-        "query", "GF-CL", "GF-CV", "GF-RV", "REL", "count", "GF-CL vs RV",
-    ]);
+    let mut table =
+        TextTable::new(vec!["query", "GF-CL", "GF-CV", "GF-RV", "REL", "count", "GF-CL vs RV"]);
     let mut rel_slowdowns: Vec<(String, Vec<f64>)> =
         engines.iter().map(|e| (e.name().to_owned(), Vec::new())).collect();
 

@@ -87,5 +87,7 @@ fn main() {
     println!("\nTable 8 analog: NULL-structure overhead (bit string + prefix sums)");
     println!("for the {elems}-element creationDate column at rho = 50%");
     t8.print();
-    println!("\nexpected bits/element: 1 + m/c (e.g. 1.5 at (16,8), 2 at (8,8)/(16,16), 5 at (8,32))");
+    println!(
+        "\nexpected bits/element: 1 + m/c (e.g. 1.5 at (16,8), 2 at (8,8)/(16,16), 5 at (8,32))"
+    );
 }

@@ -13,6 +13,8 @@
 //!
 //! Set `GFCL_SCALE` (float, default 1.0) to grow or shrink every dataset.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use gfcl_core::{Engine, LogicalPlan, QueryOutput};
@@ -22,6 +24,54 @@ use gfcl_storage::RawGraph;
 /// Global dataset scale multiplier from `GFCL_SCALE`.
 pub fn scale() -> f64 {
     std::env::var("GFCL_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// Slug of the current bench (set by [`banner`]) + a measurement counter,
+/// used to auto-label [`time_plan`] measurements in the perf-trajectory
+/// JSON (`GFCL_BENCH_JSON`).
+static BENCH_SLUG: Mutex<Option<String>> = Mutex::new(None);
+static BENCH_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Append one `{"bench": ..., "ns_per_iter": ...}` JSON line to the file
+/// named by `GFCL_BENCH_JSON` (no-op when unset). CI's `bench-smoke` job
+/// collects these lines into the `BENCH_PR.json` performance artifact;
+/// criterion-harness benches record through the same file via the vendored
+/// criterion stub.
+pub fn record(name: &str, secs: f64) {
+    let Ok(path) = std::env::var("GFCL_BENCH_JSON") else { return };
+    let ns = secs * 1e9;
+    if path.is_empty() || !ns.is_finite() {
+        return;
+    }
+    use std::io::Write as _;
+    let escaped: String =
+        name.chars().map(|c| if c == '"' || c == '\\' { '_' } else { c }).collect();
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        let _ = writeln!(f, "{{\"bench\": \"{escaped}\", \"ns_per_iter\": {ns:.1}}}");
+    }
+}
+
+/// True in CI's `bench-smoke` quick mode (`GFCL_BENCH_QUICK=1`): datasets
+/// are shrunk via `GFCL_SCALE`, so speedup assertions should be reported
+/// rather than enforced (panics still fail the job — that is the smoke).
+pub fn quick() -> bool {
+    std::env::var("GFCL_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Enforce a speedup floor outside quick mode; always print the outcome.
+pub fn assert_speedup(actual: f64, floor: f64, what: &str) {
+    println!(
+        "{what}: {actual:.1}x (floor {floor:.0}x{})",
+        if quick() { ", quick mode" } else { "" }
+    );
+    assert!(quick() || actual >= floor, "expected {what} to reach {floor:.1}x, got {actual:.2}x");
+}
+
+/// Auto-label for unnamed measurements: `<banner slug>#<seq>`.
+fn auto_record(secs: f64) {
+    let slug = BENCH_SLUG.lock().ok().and_then(|s| s.clone()).unwrap_or_else(|| "bench".to_owned());
+    let seq = BENCH_SEQ.fetch_add(1, Ordering::Relaxed);
+    record(&format!("{slug}#{seq:03}"), secs);
 }
 
 fn scaled(n: usize) -> usize {
@@ -85,7 +135,9 @@ pub fn time_plan(engine: &dyn Engine, plan: &LogicalPlan) -> (f64, u64) {
         assert_eq!(o.cardinality(), card, "non-deterministic result");
     }
     let tail = &times[times.len() - keep_last.min(times.len())..];
-    (tail.iter().sum::<f64>() / tail.len() as f64, card)
+    let avg = tail.iter().sum::<f64>() / tail.len() as f64;
+    auto_record(avg);
+    (avg, card)
 }
 
 /// Plan + measure.
@@ -150,11 +202,8 @@ impl TextTable {
             }
         }
         let line = |cells: &[String]| {
-            let joined: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>width$}", width = w))
-                .collect();
+            let joined: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, w)| format!("{c:>width$}", width = w)).collect();
             println!("| {} |", joined.join(" | "));
         };
         line(&self.headers);
@@ -166,8 +215,17 @@ impl TextTable {
     }
 }
 
-/// Print a bench banner with the paper reference.
+/// Print a bench banner with the paper reference (and name the bench for
+/// the perf-trajectory JSON).
 pub fn banner(title: &str, paper_ref: &str) {
+    let slug: String = title
+        .chars()
+        .take_while(|&c| c != ':')
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect();
+    if let Ok(mut s) = BENCH_SLUG.lock() {
+        *s = Some(slug.trim_matches('-').to_owned());
+    }
     println!();
     println!("=== {title} ===");
     println!("reproduces: {paper_ref}");

@@ -72,8 +72,8 @@ impl Bitmap {
     /// Number of set bits strictly before position `i`, computed by a linear
     /// scan over the words. This is deliberately O(i/64): it is the access
     /// path of Abadi's *vanilla* bit-string scheme, which the paper shows is
-    /// >20x slower than the Jacobson-indexed rank (Figure 10). The fast path
-    /// lives in [`crate::rank::JacobsonRank`].
+    /// over 20x slower than the Jacobson-indexed rank (Figure 10). The fast
+    /// path lives in [`crate::rank::JacobsonRank`].
     pub fn rank_scan(&self, i: usize) -> usize {
         debug_assert!(i <= self.len);
         let word = i >> 6;

@@ -20,7 +20,10 @@ pub enum ColumnData {
     F64(Vec<f64>),
     Bool(Vec<bool>),
     /// Dictionary-encoded strings: fixed-length codes into `dict`.
-    Str { dict: Dictionary, codes: UIntArray },
+    Str {
+        dict: Dictionary,
+        codes: UIntArray,
+    },
 }
 
 /// An immutable typed column with pluggable NULL compression.
@@ -84,11 +87,7 @@ impl Column {
     /// Build a dictionary-encoded string column. With `suppress = true` the
     /// code array uses `⌈log2(z)/8⌉`-byte codes; otherwise 8-byte codes
     /// (the pre-compression configurations of Table 2).
-    pub fn from_str<S: AsRef<str>>(
-        values: &[Option<S>],
-        kind: NullKind,
-        suppress: bool,
-    ) -> Column {
+    pub fn from_str<S: AsRef<str>>(values: &[Option<S>], kind: NullKind, suppress: bool) -> Column {
         let valid: Vec<bool> = values.iter().map(Option::is_some).collect();
         let nulls = NullMap::build(&valid, kind);
         let mut dict = Dictionary::new();

@@ -83,11 +83,8 @@ impl MemoryUsage for Dictionary {
         // Count the canonical string storage once (values); the hash index
         // is a build-time convenience also counted, since it lives as long
         // as the dictionary.
-        let idx_bytes: usize = self
-            .index
-            .iter()
-            .map(|(k, _)| k.capacity() + std::mem::size_of::<(String, u32)>())
-            .sum();
+        let idx_bytes: usize =
+            self.index.keys().map(|k| k.capacity() + std::mem::size_of::<(String, u32)>()).sum();
         vec_string_bytes(&self.values) + idx_bytes
     }
 }

@@ -175,9 +175,7 @@ impl NullMap {
         match self {
             NullMap::AllValid { .. } => true,
             NullMap::Uncompressed { valid, .. } => valid.get(i),
-            NullMap::Sparse { positions, .. } => {
-                binary_search_uint(positions, i as u64).is_some()
-            }
+            NullMap::Sparse { positions, .. } => binary_search_uint(positions, i as u64).is_some(),
             NullMap::Ranges { starts, run_lens, .. } => {
                 range_lookup(starts, run_lens, i as u64).is_some()
             }
@@ -303,9 +301,9 @@ mod tests {
     #[test]
     fn layouts_agree_on_physical_positions() {
         let patterns: Vec<Vec<bool>> = vec![
-            (0..500).map(|i| i % 3 != 0).collect(),         // ~66% dense
-            (0..500).map(|i| i % 17 == 0).collect(),        // sparse
-            (0..500).map(|i| (i / 50) % 2 == 0).collect(),  // runs
+            (0..500).map(|i| i % 3 != 0).collect(),        // ~66% dense
+            (0..500).map(|i| i % 17 == 0).collect(),       // sparse
+            (0..500).map(|i| (i / 50) % 2 == 0).collect(), // runs
             vec![true; 100],
             vec![false; 100],
         ];
@@ -313,11 +311,7 @@ mod tests {
             for kind in all_kinds() {
                 let map = NullMap::build(valid, kind);
                 assert_eq!(map.len(), valid.len());
-                assert_eq!(
-                    map.count_valid(),
-                    valid.iter().filter(|&&v| v).count(),
-                    "{kind:?}"
-                );
+                assert_eq!(map.count_valid(), valid.iter().filter(|&&v| v).count(), "{kind:?}");
                 for i in 0..valid.len() {
                     assert_eq!(map.is_valid(i), valid[i], "{kind:?} is_valid({i})");
                     let expected = if map.is_dense() {

@@ -122,7 +122,6 @@ impl PackedInts {
         out[..self.width].copy_from_slice(&self.data[start..start + self.width]);
         u64::from_le_bytes(out)
     }
-
 }
 
 impl MemoryUsage for PackedInts {
@@ -161,7 +160,7 @@ impl JacobsonRank {
         let mut block_start_rank = 0u64;
         for chunk in 0..n_chunks {
             let bit_pos = chunk * c;
-            if bit_pos % block_elems == 0 {
+            if bit_pos.is_multiple_of(block_elems) {
                 block_base.push(abs_rank);
                 block_start_rank = abs_rank;
             }
@@ -234,13 +233,7 @@ mod tests {
         let idx = JacobsonRank::build(&bm, params);
         let mut naive = 0usize;
         for (i, &b) in bits.iter().enumerate() {
-            assert_eq!(
-                idx.rank(&bm, i),
-                naive,
-                "rank({i}) with c={} m={}",
-                params.c,
-                params.m
-            );
+            assert_eq!(idx.rank(&bm, i), naive, "rank({i}) with c={} m={}", params.c, params.m);
             if b {
                 naive += 1;
             }

@@ -115,6 +115,55 @@ impl Value {
         }
     }
 
+    /// A *total* deterministic ordering over all values, used wherever
+    /// results must be canonically ordered regardless of type mixing:
+    /// grouping keys, DISTINCT sets, and ORDER BY sort keys.
+    ///
+    /// Lexicographic on `(type rank, value)`, which makes it transitive by
+    /// construction: NULL < booleans < numerics < strings. Within the
+    /// numeric rank, `Int64`/`Date`/`Float64` order by exact mathematical
+    /// value (see [`Value::numeric_key`] — no precision loss for large
+    /// integers), with NaN after every finite value; `Int64(3)`, `Date(3)`
+    /// and `Float64(3.0)` compare equal, matching [`Value::compare`].
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        self.type_rank().cmp(&other.type_rank()).then_with(|| match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::String(a), Value::String(b)) => a.cmp(b),
+            _ => match (self.numeric_key(), other.numeric_key()) {
+                (Some((a, ar)), Some((b, br))) => a.total_cmp(&b).then(ar.total_cmp(&br)),
+                _ => Ordering::Equal, // both NULL (rank 0)
+            },
+        })
+    }
+
+    /// Exact-order key of a numeric-rank value: the round-to-nearest `f64`
+    /// plus the integer residue the rounding dropped. Round-to-nearest is
+    /// monotone and equal rounded values order by their residue, so the
+    /// lexicographic pair orders by exact mathematical value even for
+    /// integers beyond 2^53 (where `as f64` alone would collide).
+    fn numeric_key(&self) -> Option<(f64, f64)> {
+        match self {
+            Value::Float64(v) => Some((*v, 0.0)),
+            Value::Int64(v) | Value::Date(v) => {
+                let f = *v as f64;
+                // `f` is an exact integer in [-2^63, 2^63]; the residue is
+                // at most half the f64 spacing (≤ 512), exact as f64.
+                Some((f, (*v as i128 - f as i128) as f64))
+            }
+            _ => None,
+        }
+    }
+
+    /// Fixed rank used by [`Value::total_cmp`] to order across types.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int64(_) | Value::Date(_) | Value::Float64(_) => 2,
+            Value::String(_) => 3,
+        }
+    }
+
     /// Three-valued-logic comparison: returns `None` if either side is NULL
     /// or the types are incomparable (SQL semantics: the predicate evaluates
     /// to UNKNOWN and the tuple is filtered out).
@@ -123,9 +172,7 @@ impl Value {
             (Value::Null, _) | (_, Value::Null) => None,
             (Value::Int64(a), Value::Int64(b)) => Some(a.cmp(b)),
             (Value::Date(a), Value::Date(b)) => Some(a.cmp(b)),
-            (Value::Int64(a), Value::Date(b)) | (Value::Date(a), Value::Int64(b)) => {
-                Some(a.cmp(b))
-            }
+            (Value::Int64(a), Value::Date(b)) | (Value::Date(a), Value::Int64(b)) => Some(a.cmp(b)),
             (Value::Float64(a), Value::Float64(b)) => a.partial_cmp(b),
             (Value::Int64(a), Value::Float64(b)) => (*a as f64).partial_cmp(b),
             (Value::Float64(a), Value::Int64(b)) => a.partial_cmp(&(*b as f64)),
@@ -209,15 +256,51 @@ mod tests {
     }
 
     #[test]
+    fn total_cmp_is_a_lawful_total_order() {
+        use Ordering::*;
+        // NULL first, then bool < numeric < string.
+        assert_eq!(Value::Null.total_cmp(&Value::Bool(false)), Less);
+        assert_eq!(Value::Bool(true).total_cmp(&Value::Int64(0)), Less);
+        assert_eq!(Value::Int64(9).total_cmp(&Value::String("a".into())), Less);
+        // The numeric rank orders by exact value across Int64/Date/Float64 —
+        // including the Date-vs-Float64 pair `compare` refuses.
+        assert_eq!(Value::Date(3).total_cmp(&Value::Float64(3.5)), Less);
+        assert_eq!(Value::Int64(3).total_cmp(&Value::Date(3)), Equal);
+        assert_eq!(Value::Float64(3.0).total_cmp(&Value::Int64(3)), Equal);
+        // Distinct large integers beyond 2^53 do NOT collide.
+        let big = 1i64 << 60;
+        assert_eq!(Value::Int64(big).total_cmp(&Value::Int64(big + 1)), Less);
+        // NaN is ordered deterministically (after finite values).
+        assert_eq!(Value::Float64(f64::NAN).total_cmp(&Value::Float64(1e300)), Greater);
+        assert_eq!(Value::Float64(f64::NAN).total_cmp(&Value::Float64(f64::NAN)), Equal);
+        // Spot-check transitivity over a mixed-type chain.
+        let chain = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int64(2),
+            Value::Date(3),
+            Value::Float64(3.5),
+            Value::Int64(big),
+            Value::Int64(big + 1),
+            Value::String("x".into()),
+        ];
+        for w in chain.windows(2) {
+            assert_eq!(w[0].total_cmp(&w[1]), Less, "{} < {}", w[0], w[1]);
+        }
+        for (i, a) in chain.iter().enumerate() {
+            for b in &chain[i + 1..] {
+                assert_eq!(a.total_cmp(b), Less, "{a} < {b}");
+            }
+        }
+    }
+
+    #[test]
     fn cross_numeric_comparisons() {
         use Ordering::*;
         assert_eq!(Value::Int64(1).compare(&Value::Float64(1.5)), Some(Less));
         assert_eq!(Value::Float64(2.5).compare(&Value::Int64(2)), Some(Greater));
         assert_eq!(Value::Int64(3).compare(&Value::Date(3)), Some(Equal));
-        assert_eq!(
-            Value::String("abc".into()).compare(&Value::String("abd".into())),
-            Some(Less)
-        );
+        assert_eq!(Value::String("abc".into()).compare(&Value::String("abd".into())), Some(Less));
         // Incomparable types evaluate to UNKNOWN, not a panic.
         assert_eq!(Value::Bool(true).compare(&Value::Int64(1)), None);
     }

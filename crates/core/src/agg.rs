@@ -1,0 +1,437 @@
+//! Shared grouped-aggregation and row-finishing machinery.
+//!
+//! The list-based processor's grouped sinks ([`crate::exec`]) and the
+//! baseline engines (`gfcl-baselines`) both fold matches into the same
+//! [`GroupTable`], so cross-engine results agree byte-for-byte: the LBP
+//! feeds it multiplicity-weighted values straight from unflat list groups,
+//! the baselines feed it one enumerated tuple at a time, and both finish
+//! through [`GroupTable::into_output`] / [`finalize_rows`], which order
+//! rows by the total [`Value::total_cmp`] order before applying
+//! `ORDER BY` / `LIMIT`.
+//!
+//! Determinism: the table is a `BTreeMap` over totally-ordered keys and
+//! every aggregate state merges associatively (integer sums in `i128`,
+//! `AVG` as exact sum + count divided once at the end), so the final
+//! output is identical for any worker count and any morsel interleaving —
+//! modulo float addition order for `SUM`/`AVG` over DOUBLE columns, which
+//! inherits the whole-result `SUM` caveat.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use gfcl_common::{DataType, Value};
+
+use crate::engine::QueryOutput;
+use crate::plan::{LogicalPlan, PlanAgg, PlanReturn};
+use crate::query::AggFunc;
+
+/// [`Value`] wrapper whose `Ord` is [`Value::total_cmp`] — the canonical
+/// key/sort ordering of grouped and distinct results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrdValue(pub Value);
+
+impl Eq for OrdValue {}
+
+impl PartialOrd for OrdValue {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdValue {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Should `candidate` replace `best` in a MIN (`want_min`) / MAX fold?
+/// NULLs never replace anything; anything replaces NULL.
+pub fn improves(best: &Value, candidate: &Value, want_min: bool) -> bool {
+    if candidate.is_null() {
+        return false;
+    }
+    match best.compare(candidate) {
+        None => best.is_null(),
+        Some(ord) => {
+            if want_min {
+                ord == std::cmp::Ordering::Greater
+            } else {
+                ord == std::cmp::Ordering::Less
+            }
+        }
+    }
+}
+
+/// Saturating `i128 → i64` conversion (shared by every integer SUM sink).
+pub fn clamp_i128(v: i128) -> i64 {
+    if v > i64::MAX as i128 {
+        i64::MAX
+    } else if v < i64::MIN as i128 {
+        i64::MIN
+    } else {
+        v as i64
+    }
+}
+
+/// The running state of one aggregate within one group.
+#[derive(Debug, Clone)]
+pub enum AggState {
+    /// `COUNT(*)` / `COUNT(x.p)` — tuple or non-NULL-value count.
+    Count(u64),
+    /// `COUNT(DISTINCT x.p)` — distinct non-NULL values.
+    Distinct(BTreeSet<OrdValue>),
+    /// `SUM` — exact `i128` for integers, `f64` for doubles; `seen` counts
+    /// non-NULL inputs so an all-NULL group sums to NULL (SQL semantics).
+    Sum { ints: i128, floats: f64, seen: u64 },
+    /// `MIN` / `MAX`.
+    Best { value: Value, want_min: bool },
+    /// `AVG` — exact sum + count, divided once at finish.
+    Avg { ints: i128, floats: f64, count: u64 },
+}
+
+impl AggState {
+    /// Fresh state for one aggregate.
+    pub fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::CountStar | AggFunc::Count { distinct: false } => AggState::Count(0),
+            AggFunc::Count { distinct: true } => AggState::Distinct(BTreeSet::new()),
+            AggFunc::Sum => AggState::Sum { ints: 0, floats: 0.0, seen: 0 },
+            AggFunc::Min => AggState::Best { value: Value::Null, want_min: true },
+            AggFunc::Max => AggState::Best { value: Value::Null, want_min: false },
+            AggFunc::Avg => AggState::Avg { ints: 0, floats: 0.0, count: 0 },
+        }
+    }
+
+    /// Fold `value`, representing `mult` identical tuples, into the state.
+    /// `COUNT(*)` ignores the value; MIN/MAX/DISTINCT ignore `mult`.
+    pub fn update(&mut self, value: &Value, mult: u64) {
+        if mult == 0 {
+            return;
+        }
+        match self {
+            AggState::Count(n) => {
+                if !value.is_null() {
+                    *n += mult;
+                }
+            }
+            AggState::Distinct(set) => {
+                if !value.is_null() {
+                    set.insert(OrdValue(value.clone()));
+                }
+            }
+            AggState::Sum { ints, floats, seen } => match value {
+                Value::Int64(v) | Value::Date(v) => {
+                    *ints += *v as i128 * mult as i128;
+                    *seen += mult;
+                }
+                Value::Float64(v) => {
+                    *floats += v * mult as f64;
+                    *seen += mult;
+                }
+                _ => {}
+            },
+            AggState::Best { value: best, want_min } => {
+                if improves(best, value, *want_min) {
+                    *best = value.clone();
+                }
+            }
+            AggState::Avg { ints, floats, count } => match value {
+                Value::Int64(v) | Value::Date(v) => {
+                    *ints += *v as i128 * mult as i128;
+                    *count += mult;
+                }
+                Value::Float64(v) => {
+                    *floats += v * mult as f64;
+                    *count += mult;
+                }
+                _ => {}
+            },
+        }
+    }
+
+    /// `COUNT(*)`: add `mult` tuples without reading any value.
+    pub fn add_count(&mut self, mult: u64) {
+        if let AggState::Count(n) = self {
+            *n += mult;
+        }
+    }
+
+    /// Associative merge of two partial states (worker barrier).
+    pub fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::Distinct(a), AggState::Distinct(b)) => a.extend(b),
+            (
+                AggState::Sum { ints, floats, seen },
+                AggState::Sum { ints: i2, floats: f2, seen: s2 },
+            ) => {
+                *ints = ints.saturating_add(i2);
+                *floats += f2;
+                *seen += s2;
+            }
+            (AggState::Best { value, want_min }, AggState::Best { value: v2, .. }) => {
+                if improves(value, &v2, *want_min) {
+                    *value = v2;
+                }
+            }
+            (
+                AggState::Avg { ints, floats, count },
+                AggState::Avg { ints: i2, floats: f2, count: c2 },
+            ) => {
+                *ints = ints.saturating_add(i2);
+                *floats += f2;
+                *count += c2;
+            }
+            _ => unreachable!("merging mismatched aggregate states"),
+        }
+    }
+
+    /// The final aggregate value. `dtype` is the input property's type
+    /// (`None` for `COUNT(*)`), which decides the SUM output type.
+    pub fn finish(self, dtype: Option<DataType>) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int64(n as i64),
+            AggState::Distinct(set) => Value::Int64(set.len() as i64),
+            AggState::Sum { ints, floats, seen } => {
+                if seen == 0 {
+                    Value::Null
+                } else if dtype == Some(DataType::Float64) {
+                    Value::Float64(floats)
+                } else {
+                    Value::Int64(clamp_i128(ints))
+                }
+            }
+            AggState::Best { value, .. } => value,
+            AggState::Avg { ints, floats, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64((ints as f64 + floats) / count as f64)
+                }
+            }
+        }
+    }
+}
+
+/// A grouped-aggregation accumulator: group key → one [`AggState`] per
+/// aggregate. `BTreeMap` over the total value order makes iteration (and
+/// therefore output order and partial-merge order) deterministic.
+#[derive(Debug)]
+pub struct GroupTable {
+    aggs: Vec<PlanAgg>,
+    map: BTreeMap<Vec<OrdValue>, Vec<AggState>>,
+}
+
+impl GroupTable {
+    /// Empty table for the given aggregate list.
+    pub fn new(aggs: &[PlanAgg]) -> GroupTable {
+        GroupTable { aggs: aggs.to_vec(), map: BTreeMap::new() }
+    }
+
+    /// The aggregate states of `key`, created on first sight.
+    pub fn group(&mut self, key: Vec<Value>) -> &mut Vec<AggState> {
+        let key: Vec<OrdValue> = key.into_iter().map(OrdValue).collect();
+        let aggs = &self.aggs;
+        self.map.entry(key).or_insert_with(|| aggs.iter().map(|a| AggState::new(a.func)).collect())
+    }
+
+    /// Fold one fully-enumerated tuple (the baselines' path): `values[i]`
+    /// is the input of aggregate `i`, `None` for `COUNT(*)` (which counts
+    /// the tuple itself — unlike `COUNT(x.p)` with a NULL input).
+    pub fn add_tuple(&mut self, key: Vec<Value>, values: &[Option<Value>]) {
+        let states = self.group(key);
+        for (st, v) in states.iter_mut().zip(values) {
+            match v {
+                None => st.add_count(1),
+                Some(v) => st.update(v, 1),
+            }
+        }
+    }
+
+    /// Merge another table's groups into this one (worker barrier; the
+    /// callers merge in worker-index order).
+    pub fn merge(&mut self, other: GroupTable) {
+        for (key, states) in other.map {
+            match self.map.entry(key) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(states);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    for (a, b) in e.get_mut().iter_mut().zip(states) {
+                        a.merge(b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of groups accumulated so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no group has been seen.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Finish every group into output rows (keys then aggregates, in key
+    /// order), then apply `ORDER BY` / `LIMIT` and wrap as rows output.
+    pub fn into_output(mut self, plan: &LogicalPlan) -> QueryOutput {
+        // SQL semantics: an aggregate without GROUP BY keys returns exactly
+        // one row even over an empty match set (COUNT(*) = 0, SUM/AVG/
+        // MIN/MAX = NULL) — seed the single keyless group if nothing fed it.
+        if let PlanReturn::GroupBy { keys, .. } = &plan.ret {
+            if keys.is_empty() && self.map.is_empty() {
+                self.group(Vec::new());
+            }
+        }
+        let dtypes: Vec<Option<DataType>> =
+            self.aggs.iter().map(|a| a.slot.map(|s| plan.slots[s].dtype)).collect();
+        let mut rows: Vec<Vec<Value>> = self
+            .map
+            .into_iter()
+            .map(|(key, states)| {
+                key.into_iter()
+                    .map(|k| k.0)
+                    .chain(states.into_iter().zip(&dtypes).map(|(st, dt)| st.finish(*dt)))
+                    .collect()
+            })
+            .collect();
+        rows = order_and_limit(rows, &plan.order_by, plan.limit);
+        QueryOutput::Rows { header: plan.header.clone(), rows }
+    }
+}
+
+/// Total deterministic row comparison: the `ORDER BY` keys first, then the
+/// whole row as a tie-break, so equal-key rows still order canonically.
+pub fn cmp_rows(a: &[Value], b: &[Value], order_by: &[(usize, bool)]) -> std::cmp::Ordering {
+    for &(col, desc) in order_by {
+        let ord = a[col].total_cmp(&b[col]);
+        let ord = if desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    for (x, y) in a.iter().zip(b) {
+        let ord = x.total_cmp(y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Sort rows by [`cmp_rows`] and truncate to `limit`. With no `ORDER BY`
+/// keys this is the canonical total order, so `LIMIT` alone is still
+/// deterministic across engines and worker counts.
+pub fn order_and_limit(
+    mut rows: Vec<Vec<Value>>,
+    order_by: &[(usize, bool)],
+    limit: Option<usize>,
+) -> Vec<Vec<Value>> {
+    rows.sort_unstable_by(|a, b| cmp_rows(a, b, order_by));
+    if let Some(k) = limit {
+        rows.truncate(k);
+    }
+    rows
+}
+
+/// Finish a projection-row result the way the sinks do: optional DISTINCT,
+/// then `ORDER BY` / `LIMIT` when present. Plain unordered projections are
+/// returned as-is (engines may emit them in any order).
+pub fn finalize_rows(plan: &LogicalPlan, rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    let rows = if plan.distinct {
+        let set: BTreeSet<Vec<OrdValue>> =
+            rows.into_iter().map(|r| r.into_iter().map(OrdValue).collect()).collect();
+        set.into_iter().map(|r| r.into_iter().map(|v| v.0).collect()).collect()
+    } else {
+        rows
+    };
+    if plan.order_by.is_empty() && plan.limit.is_none() {
+        return rows;
+    }
+    order_and_limit(rows, &plan.order_by, plan.limit)
+}
+
+/// True when the plan's sink wants fully enumerated tuples sorted/limited
+/// (a top-k or distinct projection) rather than raw row streaming.
+pub fn needs_row_finish(plan: &LogicalPlan) -> bool {
+    matches!(plan.ret, PlanReturn::Props(_))
+        && (plan.distinct || !plan.order_by.is_empty() || plan.limit.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_states_fold_with_multiplicity() {
+        let mut s = AggState::new(AggFunc::Sum);
+        s.update(&Value::Int64(5), 3);
+        s.update(&Value::Null, 7);
+        assert_eq!(s.finish(Some(DataType::Int64)), Value::Int64(15));
+
+        let mut c = AggState::new(AggFunc::CountStar);
+        c.add_count(4);
+        c.add_count(2);
+        assert_eq!(c.finish(None), Value::Int64(6));
+
+        let mut d = AggState::new(AggFunc::Count { distinct: true });
+        d.update(&Value::Int64(1), 5);
+        d.update(&Value::Int64(1), 2);
+        d.update(&Value::Int64(2), 1);
+        d.update(&Value::Null, 9);
+        assert_eq!(d.finish(Some(DataType::Int64)), Value::Int64(2));
+
+        let mut a = AggState::new(AggFunc::Avg);
+        a.update(&Value::Int64(1), 1);
+        a.update(&Value::Int64(2), 3);
+        assert_eq!(a.finish(Some(DataType::Int64)), Value::Float64(1.75));
+    }
+
+    #[test]
+    fn empty_sum_and_avg_are_null() {
+        assert_eq!(AggState::new(AggFunc::Sum).finish(Some(DataType::Int64)), Value::Null);
+        assert_eq!(AggState::new(AggFunc::Avg).finish(Some(DataType::Int64)), Value::Null);
+        assert_eq!(AggState::new(AggFunc::Min).finish(Some(DataType::Int64)), Value::Null);
+    }
+
+    #[test]
+    fn merge_is_associative_for_int_aggregates() {
+        let mut a = AggState::new(AggFunc::Sum);
+        a.update(&Value::Int64(i64::MAX - 1), 1);
+        let mut b = AggState::new(AggFunc::Sum);
+        b.update(&Value::Int64(i64::MAX - 1), 1);
+        a.merge(b);
+        assert_eq!(a.finish(Some(DataType::Int64)), Value::Int64(i64::MAX), "saturates");
+    }
+
+    #[test]
+    fn rows_order_with_desc_and_tiebreak() {
+        let rows = vec![
+            vec![Value::Int64(1), Value::String("b".into())],
+            vec![Value::Int64(2), Value::String("a".into())],
+            vec![Value::Int64(1), Value::String("a".into())],
+        ];
+        let sorted = order_and_limit(rows, &[(0, true)], Some(2));
+        assert_eq!(
+            sorted,
+            vec![
+                vec![Value::Int64(2), Value::String("a".into())],
+                vec![Value::Int64(1), Value::String("a".into())],
+            ]
+        );
+    }
+
+    #[test]
+    fn null_keys_group_together_and_sort_first() {
+        let aggs = vec![PlanAgg { func: AggFunc::CountStar, slot: None }];
+        let mut t = GroupTable::new(&aggs);
+        t.add_tuple(vec![Value::Null], &[None]);
+        t.add_tuple(vec![Value::Null], &[None]);
+        t.add_tuple(vec![Value::Int64(0)], &[None]);
+        assert_eq!(t.len(), 2);
+        let keys: Vec<_> = t.map.keys().cloned().collect();
+        assert_eq!(keys[0][0], OrdValue(Value::Null));
+    }
+}

@@ -20,7 +20,11 @@ use gfcl_storage::ColumnarGraph;
 pub enum NodeData {
     Owned(Vec<u64>),
     /// `len` elements starting at CSR position `start` of `(label, dir)`.
-    AdjView { label: LabelId, dir: Direction, start: u64 },
+    AdjView {
+        label: LabelId,
+        dir: Direction,
+        start: u64,
+    },
 }
 
 /// A block of values, all of the same logical length as the containing
@@ -30,23 +34,49 @@ pub enum ValueVector {
     /// Placeholder before the first fill.
     Empty,
     /// Vertex offsets of `label`.
-    Node { label: LabelId, data: NodeData },
+    Node {
+        label: LabelId,
+        data: NodeData,
+    },
     /// The edges of one adjacency list: `(label, dir)` CSR positions
     /// `start..start+len`, traversed from vertex `from`. Zero-copy: only
     /// the descriptor is stored.
-    EdgeList { label: LabelId, dir: Direction, from: u64, start: u64 },
+    EdgeList {
+        label: LabelId,
+        dir: Direction,
+        from: u64,
+        start: u64,
+    },
     /// Edges bound by a `ColumnExtend` (single-cardinality): the edge at
     /// position `i` is identified by the vertex at `from_vec[i]` (and its
     /// neighbour at `nbr_vec[i]`).
-    SingleEdge { label: LabelId, dir: Direction, from_vec: usize, nbr_vec: usize },
+    SingleEdge {
+        label: LabelId,
+        dir: Direction,
+        from_vec: usize,
+        nbr_vec: usize,
+    },
     /// Int64/Date property values.
-    I64 { vals: Vec<i64>, valid: Vec<bool>, date: bool },
-    F64 { vals: Vec<f64>, valid: Vec<bool> },
-    Bool { vals: Vec<bool>, valid: Vec<bool> },
+    I64 {
+        vals: Vec<i64>,
+        valid: Vec<bool>,
+        date: bool,
+    },
+    F64 {
+        vals: Vec<f64>,
+        valid: Vec<bool>,
+    },
+    Bool {
+        vals: Vec<bool>,
+        valid: Vec<bool>,
+    },
     /// Dictionary codes of a string property. Strings stay compressed
     /// through the whole pipeline — predicates probe code bitmaps, and the
     /// sink decodes only returned values (late materialization).
-    Code { vals: Vec<u64>, valid: Vec<bool> },
+    Code {
+        vals: Vec<u64>,
+        valid: Vec<bool>,
+    },
 }
 
 impl ValueVector {

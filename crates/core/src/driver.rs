@@ -34,9 +34,13 @@ use gfcl_columnar::Column;
 use gfcl_common::{DataType, Result, Value};
 use gfcl_storage::ColumnarGraph;
 
+use crate::agg::{self, clamp_i128, improves, GroupTable, OrdValue};
 use crate::chunk::VecRef;
 use crate::engine::QueryOutput;
-use crate::exec::{compile, enumerate_rows, vector_value, Pipeline, ScanCursor, SCAN_MORSEL};
+use crate::exec::{
+    compile, enumerate_rows, vector_value, DistinctSink, GroupBySink, Pipeline, ScanCursor,
+    TopKSink, SCAN_MORSEL,
+};
 use crate::plan::{LogicalPlan, PlanReturn};
 
 /// Execution options for the list-based processor.
@@ -83,9 +87,16 @@ impl ExecOptions {
 /// count).
 enum Partial {
     Count(u64),
-    Sum { ints: i128, floats: f64 },
+    Sum {
+        ints: i128,
+        floats: f64,
+    },
     Best(Value),
     Rows(Vec<Vec<Value>>),
+    /// Grouped aggregation: one partial [`GroupTable`] per worker.
+    Grouped(GroupTable),
+    /// DISTINCT projection: one deduplicated row set per worker.
+    Distinct(std::collections::BTreeSet<Vec<OrdValue>>),
 }
 
 /// Execute a logical plan on the columnar graph with the list-based
@@ -126,23 +137,6 @@ pub fn execute_with(
     });
     let partials = partials.into_iter().collect::<Result<Vec<_>>>()?;
     finish(plan, partials)
-}
-
-/// Should `candidate` replace `best` for a MIN (`want_min`) / MAX fold?
-fn improves(best: &Value, candidate: &Value, want_min: bool) -> bool {
-    if candidate.is_null() {
-        return false;
-    }
-    match best.compare(candidate) {
-        None => best.is_null(),
-        Some(ord) => {
-            if want_min {
-                ord == std::cmp::Ordering::Greater
-            } else {
-                ord == std::cmp::Ordering::Less
-            }
-        }
-    }
 }
 
 /// Drain one pipeline into a [`Partial`] sink.
@@ -205,6 +199,20 @@ fn drive(g: &ColumnarGraph, plan: &LogicalPlan, pipe: &mut Pipeline<'_>) -> Resu
             }
             Ok(Partial::Best(best))
         }
+        PlanReturn::Props(slots) if plan.distinct => {
+            let mut sink = DistinctSink::new(pipe, slots);
+            while pipe.next_state(g)? {
+                sink.absorb(&pipe.chunk);
+            }
+            Ok(Partial::Distinct(sink.set))
+        }
+        PlanReturn::Props(slots) if agg::needs_row_finish(plan) => {
+            let mut sink = TopKSink::new(pipe, plan, slots);
+            while pipe.next_state(g)? {
+                sink.absorb(&pipe.chunk);
+            }
+            Ok(Partial::Rows(sink.rows))
+        }
         PlanReturn::Props(slots) => {
             let refs: Vec<(VecRef, Option<&Column>)> =
                 slots.iter().map(|&s| (pipe.slot_refs[s], pipe.slot_cols[s])).collect();
@@ -213,6 +221,13 @@ fn drive(g: &ColumnarGraph, plan: &LogicalPlan, pipe: &mut Pipeline<'_>) -> Resu
                 enumerate_rows(&pipe.chunk, &refs, &mut rows);
             }
             Ok(Partial::Rows(rows))
+        }
+        PlanReturn::GroupBy { keys, aggs } => {
+            let mut sink = GroupBySink::new(pipe, keys, aggs);
+            while pipe.next_state(g)? {
+                sink.absorb(&pipe.chunk);
+            }
+            Ok(Partial::Grouped(sink.finish()))
         }
     }
 }
@@ -262,23 +277,28 @@ fn finish(plan: &LogicalPlan, partials: Vec<Partial>) -> Result<QueryOutput> {
         PlanReturn::Props(_) => {
             let mut rows: Vec<Vec<Value>> = Vec::new();
             for p in partials {
-                if let Partial::Rows(r) = p {
-                    rows.extend(r);
+                match p {
+                    Partial::Rows(r) => rows.extend(r),
+                    Partial::Distinct(set) => {
+                        rows.extend(
+                            set.into_iter().map(|r| r.into_iter().map(|v| v.0).collect::<Vec<_>>()),
+                        );
+                    }
+                    _ => {}
                 }
             }
+            let rows = agg::finalize_rows(plan, rows);
             Ok(QueryOutput::Rows { header: plan.header.clone(), rows })
         }
-    }
-}
-
-/// Saturating `i128 → i64` conversion.
-fn clamp_i128(v: i128) -> i64 {
-    if v > i64::MAX as i128 {
-        i64::MAX
-    } else if v < i64::MIN as i128 {
-        i64::MIN
-    } else {
-        v as i64
+        PlanReturn::GroupBy { aggs, .. } => {
+            let mut table = GroupTable::new(aggs);
+            for p in partials {
+                if let Partial::Grouped(t) = p {
+                    table.merge(t);
+                }
+            }
+            Ok(table.into_output(plan))
+        }
     }
 }
 

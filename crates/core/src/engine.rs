@@ -53,9 +53,7 @@ impl QueryOutput {
             QueryOutput::Rows { header, rows } => {
                 let mut lines: Vec<String> = rows
                     .iter()
-                    .map(|r| {
-                        r.iter().map(ToString::to_string).collect::<Vec<_>>().join("|")
-                    })
+                    .map(|r| r.iter().map(ToString::to_string).collect::<Vec<_>>().join("|"))
                     .collect();
                 lines.sort_unstable();
                 format!("rows[{}]:{}", header.join(","), lines.join(";"))

@@ -41,8 +41,9 @@ use gfcl_columnar::Column;
 use gfcl_common::{DataType, Direction, Error, LabelId, Result, Value};
 use gfcl_storage::{AdjIndex, ColumnarGraph};
 
-use crate::chunk::{Chunk, NodeData, ValueVector, VecRef};
-use crate::plan::{LogicalPlan, PlanStep};
+use crate::agg::{AggState, GroupTable, OrdValue};
+use crate::chunk::{Chunk, ListGroup, NodeData, ValueVector, VecRef};
+use crate::plan::{LogicalPlan, PlanAgg, PlanStep};
 use crate::pred::{compile_pred, CPred, EvalCtx};
 
 // Re-export the driver entry points here so `exec::execute` keeps working
@@ -166,7 +167,8 @@ fn pull(ops: &mut [Op], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool> {
             let vals: Vec<u64> = (start..end).collect();
             let group = &mut chunk.groups[out.group];
             group.reset(vals.len());
-            group.vectors[out.vec] = ValueVector::Node { label: *label, data: NodeData::Owned(vals) };
+            group.vectors[out.vec] =
+                ValueVector::Node { label: *label, data: NodeData::Owned(vals) };
             Ok(true)
         }
         Op::ScanPk { label, key, out, cursor } => {
@@ -275,13 +277,13 @@ fn pull(ops: &mut [Op], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool> {
             };
             let mut mask = vec![true; n];
             let mut any_missing = false;
-            for i in 0..n {
+            for (i, keep) in mask.iter_mut().enumerate() {
                 let off = chunk.groups[from.group].vectors[from.vec].node_offset(g, i);
                 match adj.nbr(off) {
                     Some(nb) => vals.push(nb),
                     None => {
                         vals.push(0);
-                        mask[i] = false;
+                        *keep = false;
                         any_missing = true;
                     }
                 }
@@ -344,8 +346,7 @@ fn pull(ops: &mut [Op], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool> {
                         }
                         _ => {
                             return Err(Error::Exec(
-                                "single-cardinality edge must read props via vertex columns"
-                                    .into(),
+                                "single-cardinality edge must read props via vertex columns".into(),
                             ))
                         }
                     };
@@ -599,7 +600,8 @@ pub(crate) fn compile<'g>(
                 ops.push(Op::ScanPk { label, key: *key, out, cursor: Arc::clone(cursor) });
             }
             PlanStep::Extend { edge, edge_label, dir, from, to, .. } => {
-                let from_ref = node_locs[*from].ok_or_else(|| Error::Plan("unbound from".into()))?;
+                let from_ref =
+                    node_locs[*from].ok_or_else(|| Error::Plan("unbound from".into()))?;
                 let nbr_label = g.catalog().edge_label(*edge_label).nbr_label(*dir);
                 match g.adj(*edge_label, *dir) {
                     AdjIndex::Csr(_) => {
@@ -693,12 +695,7 @@ pub(crate) fn compile<'g>(
                 slot_refs[*slot] = out;
                 slot_cols[*slot] = Some(col);
                 let def = &plan.slots[*slot];
-                ops.push(Op::ReadEdgeProp {
-                    edge: eb.vref,
-                    out,
-                    prop: *prop,
-                    dtype: def.dtype,
-                });
+                ops.push(Op::ReadEdgeProp { edge: eb.vref, out, prop: *prop, dtype: def.dtype });
             }
             PlanStep::Filter { expr } => {
                 let pred = compile_pred(expr, &plan.slots, &slot_refs, &slot_cols)?;
@@ -728,17 +725,18 @@ pub(crate) fn enumerate_rows(
     let n_groups = chunk.groups.len();
     let mut positions = vec![0usize; n_groups];
     // Candidate position lists per group.
-    let per_group: Vec<Vec<usize>> = chunk
-        .groups
-        .iter()
-        .map(|gr| {
-            if gr.is_flat() {
-                vec![gr.cur_idx as usize]
-            } else {
-                gr.iter_selected().collect()
-            }
-        })
-        .collect();
+    let per_group: Vec<Vec<usize>> =
+        chunk
+            .groups
+            .iter()
+            .map(|gr| {
+                if gr.is_flat() {
+                    vec![gr.cur_idx as usize]
+                } else {
+                    gr.iter_selected().collect()
+                }
+            })
+            .collect();
     if per_group.iter().any(Vec::is_empty) {
         return;
     }
@@ -767,6 +765,299 @@ pub(crate) fn enumerate_rows(
             }
             cursor[gi] = 0;
         }
+    }
+}
+
+// ---- Aggregation sinks over factorized chunk states ------------------------
+//
+// The Section 6.2 trick generalized: a chunk state represents the Cartesian
+// product of its list groups, so any aggregate that is a sum over tuples can
+// be computed per *position* with a multiplicity — the product of the other
+// groups' contributions — instead of per tuple. The grouped sinks below
+// enumerate only the positions of the groups holding *grouping keys*
+// (usually flat by the time the sink runs); the groups holding aggregated
+// extension lists are folded value-by-value with their multiplicity and are
+// **never** flattened into tuples.
+
+/// Iterate the Cartesian product of the selected positions of `groups`
+/// (flat groups contribute their single `cur_idx`), calling `f` with the
+/// current position of each listed group (parallel to `groups`). With an
+/// empty `groups` list, `f` is called exactly once.
+fn for_each_combo(chunk: &Chunk, groups: &[usize], mut f: impl FnMut(&[usize])) {
+    let per: Vec<Vec<usize>> = groups
+        .iter()
+        .map(|&gi| {
+            let gr = &chunk.groups[gi];
+            if gr.is_flat() {
+                vec![gr.cur_idx as usize]
+            } else {
+                gr.iter_selected().collect()
+            }
+        })
+        .collect();
+    if per.iter().any(Vec::is_empty) {
+        return;
+    }
+    let mut cursor = vec![0usize; groups.len()];
+    let mut pos = vec![0usize; groups.len()];
+    loop {
+        for i in 0..groups.len() {
+            pos[i] = per[i][cursor[i]];
+        }
+        f(&pos);
+        let mut i = groups.len();
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            cursor[i] += 1;
+            if cursor[i] < per[i].len() {
+                break;
+            }
+            cursor[i] = 0;
+        }
+    }
+}
+
+/// Grouped-aggregation sink: flattens only the grouping keys, folding every
+/// other list group into the per-group [`AggState`]s by multiplicity.
+///
+/// Consecutive chunk states almost always carry the *same* key values (the
+/// flattened scan side advances one position per many downstream states),
+/// so the sink accumulates the current key's states in a pending run and
+/// touches the group table only on key changes — one table probe per key
+/// run instead of one per chunk state.
+pub(crate) struct GroupBySink<'g> {
+    /// Key slot locations + backing columns (string decode at the sink).
+    key_refs: Vec<(VecRef, Option<&'g Column>)>,
+    /// Aggregate input locations (`None` = `COUNT(*)`).
+    agg_refs: Vec<Option<(VecRef, Option<&'g Column>)>>,
+    /// Distinct groups the keys live in, sorted (the only groups whose
+    /// positions the sink ever enumerates).
+    key_groups: Vec<usize>,
+    aggs: Vec<PlanAgg>,
+    table: GroupTable,
+    /// The run cache: states accumulated for `pending_key` since it was
+    /// last seen changing.
+    pending_key: Option<Vec<Value>>,
+    pending: Vec<AggState>,
+    /// Scratch: per-group contributions of the current chunk state.
+    contrib: Vec<u64>,
+    /// Scratch: key values of the current state.
+    key_buf: Vec<Value>,
+}
+
+impl<'g> GroupBySink<'g> {
+    pub(crate) fn new(pipe: &Pipeline<'g>, keys: &[usize], aggs: &[PlanAgg]) -> GroupBySink<'g> {
+        let key_refs: Vec<_> =
+            keys.iter().map(|&s| (pipe.slot_refs[s], pipe.slot_cols[s])).collect();
+        let agg_refs: Vec<_> =
+            aggs.iter().map(|a| a.slot.map(|s| (pipe.slot_refs[s], pipe.slot_cols[s]))).collect();
+        let mut key_groups: Vec<usize> = key_refs.iter().map(|(r, _)| r.group).collect();
+        key_groups.sort_unstable();
+        key_groups.dedup();
+        GroupBySink {
+            key_refs,
+            agg_refs,
+            key_groups,
+            aggs: aggs.to_vec(),
+            table: GroupTable::new(aggs),
+            pending_key: None,
+            pending: Vec::new(),
+            contrib: Vec::new(),
+            key_buf: Vec::new(),
+        }
+    }
+
+    /// Merge the pending run into the table.
+    fn flush(&mut self) {
+        if let Some(key) = self.pending_key.take() {
+            let states = self.table.group(key);
+            for (a, b) in states.iter_mut().zip(self.pending.drain(..)) {
+                a.merge(b);
+            }
+        }
+    }
+
+    /// Fold one chunk state into the sink.
+    pub(crate) fn absorb(&mut self, chunk: &Chunk) {
+        self.contrib.clear();
+        self.contrib.extend(chunk.groups.iter().map(ListGroup::contribution));
+        if self.contrib.contains(&0) {
+            return; // the state represents no tuples
+        }
+        // Tuples per key combination contributed by the non-key groups.
+        let mult_nonkey: u64 = self
+            .contrib
+            .iter()
+            .enumerate()
+            .filter(|(gi, _)| !self.key_groups.contains(gi))
+            .map(|(_, &c)| c)
+            .product();
+
+        if self.key_groups.iter().all(|&g| chunk.groups[g].is_flat()) {
+            // Fast path: every key group is flat — a single key combination
+            // per state, folded into the run cache.
+            self.key_buf.clear();
+            for (r, col) in &self.key_refs {
+                let gr = &chunk.groups[r.group];
+                self.key_buf.push(vector_value(&gr.vectors[r.vec], gr.cur_idx as usize, *col));
+            }
+            if self.pending_key.as_deref() != Some(&self.key_buf[..]) {
+                self.flush();
+                self.pending_key = Some(self.key_buf.clone());
+                self.pending = self.aggs.iter().map(|a| AggState::new(a.func)).collect();
+            }
+            let (agg_refs, key_groups, contrib, pending) =
+                (&self.agg_refs, &self.key_groups, &self.contrib, &mut self.pending);
+            for (state, input) in pending.iter_mut().zip(agg_refs) {
+                fold_agg(state, input, chunk, key_groups, contrib, mult_nonkey, |gi| {
+                    chunk.groups[gi].cur_idx.max(0) as usize
+                });
+            }
+            return;
+        }
+
+        // General path: some key group is still unflat — enumerate the key
+        // combinations (and only those), probing the table per combination.
+        self.flush();
+        let (key_refs, agg_refs, key_groups, contrib, table) =
+            (&self.key_refs, &self.agg_refs, &self.key_groups, &self.contrib, &mut self.table);
+        for_each_combo(chunk, key_groups, |pos| {
+            // Position of a group: the combo position for key groups, the
+            // flattened `cur_idx` otherwise (only used for flat groups).
+            let pos_in = |gi: usize| match key_groups.iter().position(|&k| k == gi) {
+                Some(i) => pos[i],
+                None => chunk.groups[gi].cur_idx.max(0) as usize,
+            };
+            let key: Vec<Value> = key_refs
+                .iter()
+                .map(|(r, col)| {
+                    vector_value(&chunk.groups[r.group].vectors[r.vec], pos_in(r.group), *col)
+                })
+                .collect();
+            let states = table.group(key);
+            for (state, input) in states.iter_mut().zip(agg_refs) {
+                fold_agg(state, input, chunk, key_groups, contrib, mult_nonkey, pos_in);
+            }
+        });
+    }
+
+    /// Flush the run cache and hand back the completed table.
+    pub(crate) fn finish(mut self) -> GroupTable {
+        self.flush();
+        self.table
+    }
+}
+
+/// Fold one aggregate input of one chunk state into `state`.
+/// `pos_in` resolves the current position of a *key* group; `mult_nonkey`
+/// is the tuple count contributed by all non-key groups.
+fn fold_agg(
+    state: &mut AggState,
+    input: &Option<(VecRef, Option<&Column>)>,
+    chunk: &Chunk,
+    key_groups: &[usize],
+    contrib: &[u64],
+    mult_nonkey: u64,
+    pos_in: impl Fn(usize) -> usize,
+) {
+    match input {
+        // COUNT(*): pure multiplicity arithmetic, no values read.
+        None => state.add_count(mult_nonkey),
+        Some((r, col)) => {
+            let vec = &chunk.groups[r.group].vectors[r.vec];
+            if key_groups.contains(&r.group) {
+                // The input sits in a key group: one value per combo,
+                // weighted by the other groups.
+                state.update(&vector_value(vec, pos_in(r.group), *col), mult_nonkey);
+            } else {
+                // The input sits in an extension group: fold its selected
+                // values with the multiplicity of every group but itself —
+                // never enumerating tuples.
+                let excl = mult_nonkey / contrib[r.group];
+                let gr = &chunk.groups[r.group];
+                if gr.is_flat() {
+                    state.update(&vector_value(vec, gr.cur_idx as usize, *col), excl);
+                } else {
+                    for i in gr.iter_selected() {
+                        state.update(&vector_value(vec, i, *col), excl);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Top-k sink for ordered/limited projections: buffers rows, pruning to the
+/// limit by the total row order whenever the buffer grows past a threshold,
+/// so a `LIMIT k` query holds O(k) rows per worker regardless of result
+/// size. The per-worker prune is safe because the top-k of a union is the
+/// top-k of the per-worker top-ks.
+pub(crate) struct TopKSink<'g> {
+    refs: Vec<(VecRef, Option<&'g Column>)>,
+    order_by: Vec<(usize, bool)>,
+    limit: Option<usize>,
+    pub(crate) rows: Vec<Vec<Value>>,
+}
+
+impl<'g> TopKSink<'g> {
+    pub(crate) fn new(pipe: &Pipeline<'g>, plan: &LogicalPlan, slots: &[usize]) -> TopKSink<'g> {
+        TopKSink {
+            refs: slots.iter().map(|&s| (pipe.slot_refs[s], pipe.slot_cols[s])).collect(),
+            order_by: plan.order_by.clone(),
+            limit: plan.limit,
+            rows: Vec::new(),
+        }
+    }
+
+    pub(crate) fn absorb(&mut self, chunk: &Chunk) {
+        enumerate_rows(chunk, &self.refs, &mut self.rows);
+        if let Some(k) = self.limit {
+            if self.rows.len() >= (4 * k).max(4096) {
+                self.rows.sort_unstable_by(|a, b| crate::agg::cmp_rows(a, b, &self.order_by));
+                self.rows.truncate(k);
+            }
+        }
+    }
+}
+
+/// DISTINCT sink: deduplicates projection rows into a canonical-order set.
+/// Factorization pays off here too — only the groups actually referenced by
+/// the projection are enumerated, so `DISTINCT a.x` over a many-neighbour
+/// extension never walks the neighbour lists of unprojected variables.
+pub(crate) struct DistinctSink<'g> {
+    refs: Vec<(VecRef, Option<&'g Column>)>,
+    /// Distinct groups referenced by the projection, sorted.
+    ref_groups: Vec<usize>,
+    pub(crate) set: std::collections::BTreeSet<Vec<OrdValue>>,
+}
+
+impl<'g> DistinctSink<'g> {
+    pub(crate) fn new(pipe: &Pipeline<'g>, slots: &[usize]) -> DistinctSink<'g> {
+        let refs: Vec<_> = slots.iter().map(|&s| (pipe.slot_refs[s], pipe.slot_cols[s])).collect();
+        let mut ref_groups: Vec<usize> = refs.iter().map(|(r, _)| r.group).collect();
+        ref_groups.sort_unstable();
+        ref_groups.dedup();
+        DistinctSink { refs, ref_groups, set: std::collections::BTreeSet::new() }
+    }
+
+    pub(crate) fn absorb(&mut self, chunk: &Chunk) {
+        if chunk.groups.iter().any(|gr| gr.contribution() == 0) {
+            return;
+        }
+        let (refs, ref_groups, set) = (&self.refs, &self.ref_groups, &mut self.set);
+        for_each_combo(chunk, ref_groups, |pos| {
+            let row: Vec<OrdValue> = refs
+                .iter()
+                .map(|(r, col)| {
+                    let i = pos[ref_groups.iter().position(|&g| g == r.group).expect("ref group")];
+                    OrdValue(vector_value(&chunk.groups[r.group].vectors[r.vec], i, *col))
+                })
+                .collect();
+            set.insert(row);
+        });
     }
 }
 

@@ -12,12 +12,16 @@
 //! * [`pred`] — compiled vectorized predicates (string predicates run on
 //!   dictionary codes);
 //! * [`exec`] — the LBP operators (Scan, ListExtend, ColumnExtend,
-//!   property readers, Filter) and per-worker pipeline compilation;
+//!   property readers, Filter), the grouped/top-k/distinct sinks, and
+//!   per-worker pipeline compilation;
+//! * [`agg`] — the aggregate-state and group-table machinery shared with
+//!   the baseline engines (so grouped results agree byte-for-byte);
 //! * [`driver`] — the morsel-driven pipeline driver: [`ExecOptions`],
 //!   parallel workers over a shared scan cursor, and the factorized
 //!   aggregation sinks with their partial-state merge;
 //! * [`engine`] — the [`Engine`] trait and [`GfClEngine`].
 
+pub mod agg;
 pub mod chunk;
 pub mod driver;
 pub mod engine;
@@ -31,7 +35,7 @@ pub use driver::ExecOptions;
 pub use engine::{Engine, GfClEngine, QueryOutput};
 pub use optimize::render_explain;
 pub use plan::{plan as plan_query, LogicalPlan, OrderSource, PlanReturn, PlanStep};
-pub use query::{PatternQuery, ReturnSpec};
+pub use query::{Agg, AggFunc, PatternQuery, ReturnSpec, SortDir};
 
 // The morsel-driven driver shares these between scoped worker threads by
 // reference; keep them `Send + Sync` by construction.

@@ -134,10 +134,7 @@ fn cmp_const_sel(
         CmpOp::Eq => notnull / ndv,
         CmpOp::Ne => notnull * (1.0 - 1.0 / ndv),
         _ => {
-            let frac = c
-                .as_i64()
-                .and_then(|k| range_fraction(ps, op, k))
-                .unwrap_or(RANGE_SEL);
+            let frac = c.as_i64().and_then(|k| range_fraction(ps, op, k)).unwrap_or(RANGE_SEL);
             notnull * frac
         }
     }
@@ -183,10 +180,9 @@ pub(crate) fn selectivity(
             let notnull = ps.map_or(1.0, |p| 1.0 - p.null_fraction);
             notnull * (values.len() as f64 / ndv).min(1.0)
         }
-        PlanExpr::And(es) => es
-            .iter()
-            .map(|e| selectivity(e, slots, nodes, edges, catalog))
-            .product(),
+        PlanExpr::And(es) => {
+            es.iter().map(|e| selectivity(e, slots, nodes, edges, catalog)).product()
+        }
         PlanExpr::Or(es) => {
             1.0 - es
                 .iter()
@@ -488,7 +484,10 @@ pub(crate) fn choose_order(
             cost.dfs(cost.start_state(start), &mut best);
         }
     }
-    best.map(|st| Ordering { start: st.seq.first().map_or(starts[0], |&(_, _, from, _)| from), seq: st.seq })
+    best.map(|st| Ordering {
+        start: st.seq.first().map_or(starts[0], |&(_, _, from, _)| from),
+        seq: st.seq,
+    })
 }
 
 // ---- Per-step estimates and plan-time executability -----------------------
@@ -527,6 +526,37 @@ pub(crate) fn estimate_steps(
             Some(card)
         })
         .collect()
+}
+
+/// Estimated sink output cardinality (`None` without statistics): 1 for the
+/// scalar aggregates, the final match estimate for projections, and
+/// `min(Π NDV(key), final estimate)` for grouped returns. This is the
+/// sink-aware half of the cost model: a grouped sink's work is bounded by
+/// its group count plus the flattened key positions, never by the full
+/// Cartesian tuple count that a projection sink would enumerate.
+pub(crate) fn estimate_sink(
+    ret: &PlanReturn,
+    step_cards: &[Option<f64>],
+    slots: &[SlotDef],
+    nodes: &[PlanNode],
+    edges: &[PlanEdge],
+    catalog: &Catalog,
+) -> Option<f64> {
+    let final_card = step_cards.last().copied().flatten()?;
+    Some(match ret {
+        PlanReturn::CountStar | PlanReturn::Sum(_) | PlanReturn::Min(_) | PlanReturn::Max(_) => 1.0,
+        PlanReturn::Props(_) => final_card,
+        PlanReturn::GroupBy { keys, .. } => {
+            let ndv_product: f64 = keys
+                .iter()
+                .map(|&s| {
+                    slot_stats(&slots[s], nodes, edges, catalog)
+                        .map_or(DEFAULT_NDV, |ps| (ps.ndv as f64).max(1.0))
+                })
+                .product();
+            ndv_product.min(final_card).max(1.0)
+        }
+    })
 }
 
 /// Tracks which list group every pattern variable's vectors land in when
@@ -658,16 +688,12 @@ pub(crate) fn expr_str(e: &PlanExpr, slots: &[SlotDef]) -> String {
             let vals: Vec<String> = values.iter().map(ToString::to_string).collect();
             format!("{} IN ({})", slots[*slot].name, vals.join(", "))
         }
-        PlanExpr::And(es) => es
-            .iter()
-            .map(|e| format!("({})", expr_str(e, slots)))
-            .collect::<Vec<_>>()
-            .join(" AND "),
-        PlanExpr::Or(es) => es
-            .iter()
-            .map(|e| format!("({})", expr_str(e, slots)))
-            .collect::<Vec<_>>()
-            .join(" OR "),
+        PlanExpr::And(es) => {
+            es.iter().map(|e| format!("({})", expr_str(e, slots))).collect::<Vec<_>>().join(" AND ")
+        }
+        PlanExpr::Or(es) => {
+            es.iter().map(|e| format!("({})", expr_str(e, slots))).collect::<Vec<_>>().join(" OR ")
+        }
         PlanExpr::Not(inner) => format!("NOT ({})", expr_str(inner, slots)),
     }
 }
@@ -703,28 +729,20 @@ pub fn render_explain(plan: &LogicalPlan, catalog: &Catalog) -> String {
             PlanStep::ScanAll { node } => {
                 sim.scan(*node);
                 let n = &plan.nodes[*node];
-                format!(
-                    "SCAN      ({}:{})",
-                    n.var,
-                    catalog.vertex_label(n.label).name
-                )
+                format!("SCAN      ({}:{})", n.var, catalog.vertex_label(n.label).name)
             }
             PlanStep::ScanPk { node, key } => {
                 sim.scan(*node);
                 let n = &plan.nodes[*node];
                 let def = catalog.vertex_label(n.label);
-                let pk = def
-                    .primary_key
-                    .map_or("pk", |i| def.properties[i].name.as_str());
+                let pk = def.primary_key.map_or("pk", |i| def.properties[i].name.as_str());
                 format!("SCAN_PK   ({}:{}) {}.{pk} = {key}", n.var, def.name, n.var)
             }
             PlanStep::Extend { edge, edge_label, dir, from, to, single } => {
                 let flattens = sim.extend(*edge, *from, *to, *single);
                 let label = &catalog.edge_label(*edge_label).name;
-                let evar = plan.edges[*edge]
-                    .var
-                    .as_deref()
-                    .map_or_else(String::new, ToOwned::to_owned);
+                let evar =
+                    plan.edges[*edge].var.as_deref().map_or_else(String::new, ToOwned::to_owned);
                 let (fv, tv) = (&plan.nodes[*from].var, &plan.nodes[*to].var);
                 let arrow = match dir {
                     Direction::Fwd => format!("({fv})-[{evar}:{label}]->({tv})"),
@@ -747,18 +765,71 @@ pub fn render_explain(plan: &LogicalPlan, catalog: &Catalog) -> String {
         };
         let _ = writeln!(out, "{}", line.trim_end());
     }
+    // Grouped sink: which groups hold keys (and must be enumerated when
+    // still unflat) vs the unflat groups the aggregates fold by
+    // multiplicity without ever flattening.
+    if let PlanReturn::GroupBy { keys, .. } = &plan.ret {
+        let key_groups: Vec<usize> = {
+            let mut g: Vec<usize> =
+                keys.iter().map(|&s| sim.group_of_slot(&plan.slots[s])).collect();
+            g.sort_unstable();
+            g.dedup();
+            g
+        };
+        let enumerated = key_groups.iter().filter(|&&g| sim.unflat[g]).count();
+        let folded =
+            sim.unflat.iter().enumerate().filter(|(g, &u)| u && !key_groups.contains(g)).count();
+        let by = if keys.is_empty() {
+            "whole result".to_owned()
+        } else {
+            keys.iter().map(|&s| plan.slots[s].name.clone()).collect::<Vec<_>>().join(", ")
+        };
+        let est =
+            plan.sink_card.map_or_else(String::new, |c| format!("  est {} groups", fmt_est(c)));
+        let _ = writeln!(
+            out,
+            "    GROUP     BY {by}  [flattens keys only: {enumerated} unflat key group(s) \
+             enumerated, {folded} unflat group(s) folded by multiplicity]{est}"
+        );
+    }
     let ret = match &plan.ret {
         PlanReturn::CountStar => "COUNT(*)".to_owned(),
-        PlanReturn::Props(ids) => ids
-            .iter()
-            .map(|&s| plan.slots[s].name.clone())
-            .collect::<Vec<_>>()
-            .join(", "),
+        PlanReturn::Props(ids) => {
+            let cols =
+                ids.iter().map(|&s| plan.slots[s].name.clone()).collect::<Vec<_>>().join(", ");
+            if plan.distinct {
+                format!("DISTINCT {cols}")
+            } else {
+                cols
+            }
+        }
         PlanReturn::Sum(s) => format!("SUM({})", plan.slots[*s].name),
         PlanReturn::Min(s) => format!("MIN({})", plan.slots[*s].name),
         PlanReturn::Max(s) => format!("MAX({})", plan.slots[*s].name),
+        PlanReturn::GroupBy { .. } => plan.header.join(", "),
     };
     let _ = writeln!(out, "    RETURN    {ret}");
+    if !plan.order_by.is_empty() || plan.limit.is_some() {
+        let keys = plan
+            .order_by
+            .iter()
+            .map(|&(col, desc)| {
+                format!("{} {}", plan.header[col], if desc { "desc" } else { "asc" })
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let mut line = String::from("    ");
+        if !plan.order_by.is_empty() {
+            let _ = write!(line, "ORDER BY  {keys}");
+        }
+        if let Some(k) = plan.limit {
+            if !plan.order_by.is_empty() {
+                let _ = write!(line, "  ");
+            }
+            let _ = write!(line, "LIMIT     {k}");
+        }
+        let _ = writeln!(out, "{line}");
+    }
     out
 }
 

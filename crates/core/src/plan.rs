@@ -17,7 +17,7 @@ use gfcl_storage::Catalog;
 
 use crate::optimize;
 use crate::query::{
-    CmpOp, Expr, PatternQuery, PropRef, ReturnSpec, Scalar, StrOp,
+    AggFunc, CmpOp, Expr, PatternQuery, PropRef, ReturnSpec, Scalar, SortDir, StrOp,
 };
 
 /// A resolved reference to a slot holding a property value during
@@ -116,6 +116,14 @@ pub enum PlanStep {
     Filter { expr: PlanExpr },
 }
 
+/// One resolved aggregate of a grouped return.
+#[derive(Debug, Clone)]
+pub struct PlanAgg {
+    pub func: AggFunc,
+    /// Input slot (`None` only for `COUNT(*)`).
+    pub slot: Option<SlotId>,
+}
+
 /// What the plan returns.
 #[derive(Debug, Clone)]
 pub enum PlanReturn {
@@ -125,6 +133,12 @@ pub enum PlanReturn {
     Sum(SlotId),
     Min(SlotId),
     Max(SlotId),
+    /// Grouped aggregation: one output row per distinct combination of the
+    /// key slots, aggregates folded directly from unflat list groups.
+    GroupBy {
+        keys: Vec<SlotId>,
+        aggs: Vec<PlanAgg>,
+    },
 }
 
 /// Resolved metadata of one pattern node.
@@ -165,11 +179,23 @@ pub struct LogicalPlan {
     pub ret: PlanReturn,
     /// Header names for row outputs.
     pub header: Vec<String>,
+    /// `ORDER BY` keys: `(output column, descending)`, applied by the sink.
+    pub order_by: Vec<(usize, bool)>,
+    /// `LIMIT n`, applied by the sink after any ordering.
+    pub limit: Option<usize>,
+    /// `RETURN DISTINCT` on a projection return.
+    pub distinct: bool,
     /// How the extend order was chosen.
     pub order_source: OrderSource,
     /// Estimated cardinality after each step, parallel to `steps`
     /// (`None` when the catalog carries no statistics).
     pub step_cards: Vec<Option<f64>>,
+    /// Estimated number of output rows the sink produces (groups for a
+    /// grouped return, matches for a projection); `None` without
+    /// statistics. Sink-aware costing: grouped sinks never enumerate the
+    /// flat result, so their cost is bounded by this, not by the final
+    /// step cardinality.
+    pub sink_card: Option<f64>,
 }
 
 /// Plan `query` against `catalog`.
@@ -192,7 +218,10 @@ impl Planner<'_> {
         // Resolve node labels.
         let mut nodes = Vec::with_capacity(q.nodes.len());
         for n in &q.nodes {
-            nodes.push(PlanNode { var: n.var.clone(), label: self.catalog.vertex_label_id(&n.label)? });
+            nodes.push(PlanNode {
+                var: n.var.clone(),
+                label: self.catalog.vertex_label_id(&n.label)?,
+            });
         }
         // Resolve edge labels and check endpoint consistency.
         let mut edges = Vec::with_capacity(q.edges.len());
@@ -202,11 +231,7 @@ impl Planner<'_> {
             if def.src != nodes[e.from].label || def.dst != nodes[e.to].label {
                 return Err(Error::Plan(format!(
                     "edge {} connects labels ({}, {}), pattern has ({}, {})",
-                    e.label,
-                    def.src,
-                    def.dst,
-                    nodes[e.from].label,
-                    nodes[e.to].label
+                    e.label, def.src, def.dst, nodes[e.from].label, nodes[e.to].label
                 )));
             }
             edges.push(PlanEdge { var: e.var.clone(), label, from: e.from, to: e.to });
@@ -321,18 +346,62 @@ impl Planner<'_> {
                 (PlanReturn::Props(ids), header)
             }
             ReturnSpec::Sum(p) => {
-                let s = self.slot_of(p, false, &nodes, &edges, &mut slots)?;
+                let s = self.agg_slot_of(p, "SUM", &nodes, &edges, &mut slots)?;
                 (PlanReturn::Sum(s), vec![format!("sum({}.{})", p.var, p.prop)])
             }
             ReturnSpec::Min(p) => {
-                let s = self.slot_of(p, false, &nodes, &edges, &mut slots)?;
+                let s = self.agg_slot_of(p, "MIN", &nodes, &edges, &mut slots)?;
                 (PlanReturn::Min(s), vec![format!("min({}.{})", p.var, p.prop)])
             }
             ReturnSpec::Max(p) => {
-                let s = self.slot_of(p, false, &nodes, &edges, &mut slots)?;
+                let s = self.agg_slot_of(p, "MAX", &nodes, &edges, &mut slots)?;
                 (PlanReturn::Max(s), vec![format!("max({}.{})", p.var, p.prop)])
             }
+            ReturnSpec::GroupBy { keys, aggs } => {
+                let mut key_ids = Vec::with_capacity(keys.len());
+                let mut header = Vec::with_capacity(keys.len() + aggs.len());
+                for k in keys {
+                    // Keys are materialized per output row (strings decode
+                    // at the sink, like projection columns).
+                    key_ids.push(self.slot_of(k, true, &nodes, &edges, &mut slots)?);
+                    header.push(format!("{}.{}", k.var, k.prop));
+                }
+                let mut plan_aggs = Vec::with_capacity(aggs.len());
+                for a in aggs {
+                    let (slot, rendered) = match &a.prop {
+                        None => (None, "*".to_owned()),
+                        Some(p) => {
+                            let name = agg_name(a.func);
+                            (
+                                Some(self.agg_slot_of(p, name, &nodes, &edges, &mut slots)?),
+                                format!("{}.{}", p.var, p.prop),
+                            )
+                        }
+                    };
+                    header.push(match a.func {
+                        AggFunc::Count { distinct: true } => {
+                            format!("count(distinct {rendered})")
+                        }
+                        _ => format!("{}({rendered})", agg_name(a.func).to_lowercase()),
+                    });
+                    plan_aggs.push(PlanAgg { func: a.func, slot });
+                }
+                (PlanReturn::GroupBy { keys: key_ids, aggs: plan_aggs }, header)
+            }
         };
+
+        // Resolve ORDER BY keys against the output columns.
+        let mut order_by = Vec::with_capacity(q.order_by.len());
+        for k in &q.order_by {
+            if k.col >= header.len() {
+                return Err(Error::Plan(format!(
+                    "order_by column {} is out of range: the query returns {} columns",
+                    k.col,
+                    header.len()
+                )));
+            }
+            order_by.push((k.col, k.dir == SortDir::Desc));
+        }
 
         // Emit steps: scan, then per extend: bind node, read props that
         // become available, apply filters whose slots are all filled.
@@ -348,35 +417,34 @@ impl Planner<'_> {
         let mut slot_filled = vec![false; slots.len()];
         let mut pred_done = vec![false; resolved_preds.len()];
 
-        let emit_available =
-            |steps: &mut Vec<PlanStep>,
-             node_bound: &[bool],
-             edge_bound: &[bool],
-             slot_filled: &mut Vec<bool>,
-             pred_done: &mut Vec<bool>| {
-                for (si, def) in slots.iter().enumerate() {
-                    if slot_filled[si] {
-                        continue;
-                    }
-                    match def.source {
-                        SlotSource::NodeProp { node, prop } if node_bound[node] => {
-                            steps.push(PlanStep::NodeProp { node, prop, slot: si });
-                            slot_filled[si] = true;
-                        }
-                        SlotSource::EdgeProp { edge, prop } if edge_bound[edge] => {
-                            steps.push(PlanStep::EdgeProp { edge, prop, slot: si });
-                            slot_filled[si] = true;
-                        }
-                        _ => {}
-                    }
+        let emit_available = |steps: &mut Vec<PlanStep>,
+                              node_bound: &[bool],
+                              edge_bound: &[bool],
+                              slot_filled: &mut Vec<bool>,
+                              pred_done: &mut Vec<bool>| {
+            for (si, def) in slots.iter().enumerate() {
+                if slot_filled[si] {
+                    continue;
                 }
-                for (pi, pred) in resolved_preds.iter().enumerate() {
-                    if !pred_done[pi] && pred.slots().iter().all(|&s| slot_filled[s]) {
-                        steps.push(PlanStep::Filter { expr: pred.clone() });
-                        pred_done[pi] = true;
+                match def.source {
+                    SlotSource::NodeProp { node, prop } if node_bound[node] => {
+                        steps.push(PlanStep::NodeProp { node, prop, slot: si });
+                        slot_filled[si] = true;
                     }
+                    SlotSource::EdgeProp { edge, prop } if edge_bound[edge] => {
+                        steps.push(PlanStep::EdgeProp { edge, prop, slot: si });
+                        slot_filled[si] = true;
+                    }
+                    _ => {}
                 }
-            };
+            }
+            for (pi, pred) in resolved_preds.iter().enumerate() {
+                if !pred_done[pi] && pred.slots().iter().all(|&s| slot_filled[s]) {
+                    steps.push(PlanStep::Filter { expr: pred.clone() });
+                    pred_done[pi] = true;
+                }
+            }
+        };
 
         emit_available(&mut steps, &node_bound, &edge_bound, &mut slot_filled, &mut pred_done);
         for (ei, dir, from, to) in extend_seq {
@@ -401,7 +469,22 @@ impl Planner<'_> {
         }
 
         let step_cards = optimize::estimate_steps(&steps, &nodes, &edges, &slots, self.catalog);
-        let plan = LogicalPlan { nodes, edges, slots, steps, ret, header, order_source, step_cards };
+        let sink_card =
+            optimize::estimate_sink(&ret, &step_cards, &slots, &nodes, &edges, self.catalog);
+        let plan = LogicalPlan {
+            nodes,
+            edges,
+            slots,
+            steps,
+            ret,
+            header,
+            order_by,
+            limit: q.limit,
+            distinct: q.distinct,
+            order_source,
+            step_cards,
+            sink_card,
+        };
         // Reject plans whose order would make a filter span two unflat
         // list groups at plan time instead of mid-query. Reachable through
         // edge_order hints and through the declaration-order fallback;
@@ -472,6 +555,26 @@ impl Planner<'_> {
             seq.push((ei, dir, from, to));
         }
         Ok(seq)
+    }
+
+    /// [`Planner::slot_of`] for aggregate inputs: an undeclared property (or
+    /// variable) surfaces as [`Error::Plan`] *naming the property* at plan
+    /// time — it used to escape as a bare catalog error and, through the
+    /// infallible `build()` path, a panic.
+    fn agg_slot_of(
+        &self,
+        pref: &PropRef,
+        func: &str,
+        nodes: &[PlanNode],
+        edges: &[PlanEdge],
+        slots: &mut Vec<SlotDef>,
+    ) -> Result<SlotId> {
+        self.slot_of(pref, false, nodes, edges, slots).map_err(|e| {
+            Error::Plan(format!(
+                "{func}({}.{}) aggregates a property the pattern does not declare: {e}",
+                pref.var, pref.prop
+            ))
+        })
     }
 
     /// Resolve a property reference to its slot, allocating one if needed.
@@ -566,6 +669,17 @@ impl Planner<'_> {
     }
 }
 
+/// Upper-case display name of an aggregate function.
+pub fn agg_name(f: AggFunc) -> &'static str {
+    match f {
+        AggFunc::CountStar | AggFunc::Count { .. } => "COUNT",
+        AggFunc::Sum => "SUM",
+        AggFunc::Min => "MIN",
+        AggFunc::Max => "MAX",
+        AggFunc::Avg => "AVG",
+    }
+}
+
 /// The cyclic-pattern rejection shared by all binding paths. Anonymous
 /// edges are identified by their label name, as before the orderer rework.
 fn cycle_error(e: &PlanEdge, catalog: &Catalog) -> Error {
@@ -636,10 +750,7 @@ mod tests {
         assert!(matches!(p.steps[0], PlanStep::ScanAll { node: 0 }));
         assert!(matches!(p.steps[1], PlanStep::NodeProp { node: 0, .. }));
         assert!(matches!(p.steps[2], PlanStep::Filter { .. }));
-        assert!(matches!(
-            p.steps[3],
-            PlanStep::Extend { dir: Direction::Fwd, from: 0, to: 1, .. }
-        ));
+        assert!(matches!(p.steps[3], PlanStep::Extend { dir: Direction::Fwd, from: 0, to: 1, .. }));
         assert!(matches!(p.steps[4], PlanStep::EdgeProp { edge: 0, .. }));
         assert!(matches!(p.steps[5], PlanStep::Filter { .. }));
         assert!(matches!(
@@ -678,11 +789,8 @@ mod tests {
         let err = plan(&q, &catalog()).unwrap_err();
         assert!(err.to_string().contains("cyclic"));
 
-        let q = PatternQuery::builder()
-            .node("a", "PERSON")
-            .node("b", "PERSON")
-            .returns_count()
-            .build();
+        let q =
+            PatternQuery::builder().node("a", "PERSON").node("b", "PERSON").returns_count().build();
         // b is never connected: treat as an error only if an edge exists.
         // A two-node pattern with no edges is degenerate; the planner scans
         // `a` and ignores `b`, which we reject via bound check below.
@@ -713,11 +821,7 @@ mod tests {
         let p = plan(&q, &catalog()).unwrap();
         assert_eq!(p.slots.len(), 1);
         assert!(p.slots[0].for_return);
-        let n_reads = p
-            .steps
-            .iter()
-            .filter(|s| matches!(s, PlanStep::NodeProp { .. }))
-            .count();
+        let n_reads = p.steps.iter().filter(|s| matches!(s, PlanStep::NodeProp { .. })).count();
         assert_eq!(n_reads, 1, "shared slot is read once");
     }
 

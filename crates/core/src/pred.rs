@@ -42,13 +42,30 @@ pub enum F64Operand {
 #[derive(Debug, Clone)]
 pub enum CPred {
     Const(bool),
-    CmpI64 { op: CmpOp, lhs: I64Operand, rhs: I64Operand },
-    CmpF64 { op: CmpOp, lhs: F64Operand, rhs: F64Operand },
-    BoolEq { slot: VecRef, expected: bool },
+    CmpI64 {
+        op: CmpOp,
+        lhs: I64Operand,
+        rhs: I64Operand,
+    },
+    CmpF64 {
+        op: CmpOp,
+        lhs: F64Operand,
+        rhs: F64Operand,
+    },
+    BoolEq {
+        slot: VecRef,
+        expected: bool,
+    },
     /// String predicate pre-evaluated over the dictionary: true iff the
     /// row's code is set in the bitmap.
-    CodeIn { slot: VecRef, set: Bitmap },
-    I64In { slot: VecRef, set: Vec<i64> },
+    CodeIn {
+        slot: VecRef,
+        set: Bitmap,
+    },
+    I64In {
+        slot: VecRef,
+        set: Vec<i64>,
+    },
     And(Vec<CPred>),
     Or(Vec<CPred>),
     Not(Box<CPred>),
@@ -222,9 +239,9 @@ impl CPred {
                     }
                 }
             }
-            CPred::BoolEq { slot, .. }
-            | CPred::CodeIn { slot, .. }
-            | CPred::I64In { slot, .. } => out.push(*slot),
+            CPred::BoolEq { slot, .. } | CPred::CodeIn { slot, .. } | CPred::I64In { slot, .. } => {
+                out.push(*slot)
+            }
             CPred::And(es) | CPred::Or(es) => es.iter().for_each(|e| e.collect_refs(out)),
             CPred::Not(e) => e.collect_refs(out),
         }
@@ -326,7 +343,8 @@ impl Compiler<'_> {
         // Bool equality.
         if lt == DataType::Bool || rt == DataType::Bool {
             return match (op, lhs, rhs) {
-                (CmpOp::Eq | CmpOp::Ne, Slot(s), Const(c)) | (CmpOp::Eq | CmpOp::Ne, Const(c), Slot(s)) => {
+                (CmpOp::Eq | CmpOp::Ne, Slot(s), Const(c))
+                | (CmpOp::Eq | CmpOp::Ne, Const(c), Slot(s)) => {
                     let expected = c.as_bool().ok_or_else(|| Error::TypeMismatch {
                         expected: "BOOL".into(),
                         found: "non-bool".into(),
@@ -377,12 +395,10 @@ impl Compiler<'_> {
     }
 
     fn dict_of(&self, slot: usize) -> Result<&gfcl_columnar::Dictionary> {
-        self.slot_cols[slot]
-            .and_then(Column::dictionary)
-            .ok_or_else(|| Error::TypeMismatch {
-                expected: "STRING column".into(),
-                found: self.slot_defs[slot].dtype.to_string(),
-            })
+        self.slot_cols[slot].and_then(Column::dictionary).ok_or_else(|| Error::TypeMismatch {
+            expected: "STRING column".into(),
+            found: self.slot_defs[slot].dtype.to_string(),
+        })
     }
 }
 
@@ -439,11 +455,8 @@ mod tests {
     fn three_valued_and_or() {
         let chunk = chunk_with(vec![0], vec![false]); // NULL slot
         let r = VecRef { group: 0, vec: 0 };
-        let unknown = CPred::CmpI64 {
-            op: CmpOp::Eq,
-            lhs: I64Operand::Slot(r),
-            rhs: I64Operand::Const(0),
-        };
+        let unknown =
+            CPred::CmpI64 { op: CmpOp::Eq, lhs: I64Operand::Slot(r), rhs: I64Operand::Const(0) };
         let t = CPred::Const(true);
         let f = CPred::Const(false);
         let ctx = EvalCtx { chunk: &chunk, target: 0, pos: 0 };
@@ -464,7 +477,8 @@ mod tests {
         g0.cur_idx = 1;
         let mut g1 = ListGroup::new(1);
         g1.reset(2);
-        g1.vectors[0] = ValueVector::I64 { vals: vec![150, 250], valid: vec![true; 2], date: false };
+        g1.vectors[0] =
+            ValueVector::I64 { vals: vec![150, 250], valid: vec![true; 2], date: false };
         let chunk = Chunk { groups: vec![g0, g1] };
         // g1.val > g0.val (flat broadcast of 200)
         let p = CPred::CmpI64 {
@@ -480,8 +494,7 @@ mod tests {
     fn code_in_bitmap() {
         let mut g = ListGroup::new(1);
         g.reset(3);
-        g.vectors[0] =
-            ValueVector::Code { vals: vec![0, 1, 2], valid: vec![true, true, false] };
+        g.vectors[0] = ValueVector::Code { vals: vec![0, 1, 2], valid: vec![true, true, false] };
         let chunk = Chunk { groups: vec![g] };
         let set = Bitmap::from_bools(&[true, false, true]);
         let p = CPred::CodeIn { slot: VecRef { group: 0, vec: 0 }, set };

@@ -74,11 +74,22 @@ pub enum StrOp {
 #[derive(Debug, Clone)]
 pub enum Expr {
     /// Comparison between two scalar operands.
-    Cmp { op: CmpOp, lhs: Scalar, rhs: Scalar },
+    Cmp {
+        op: CmpOp,
+        lhs: Scalar,
+        rhs: Scalar,
+    },
     /// String match of a property against a constant pattern.
-    StrMatch { op: StrOp, prop: PropRef, pattern: String },
+    StrMatch {
+        op: StrOp,
+        prop: PropRef,
+        pattern: String,
+    },
     /// Property value ∈ set of constants.
-    InSet { prop: PropRef, values: Vec<Value> },
+    InSet {
+        prop: PropRef,
+        values: Vec<Value>,
+    },
     And(Vec<Expr>),
     Or(Vec<Expr>),
     Not(Box<Expr>),
@@ -121,6 +132,87 @@ impl Expr {
     }
 }
 
+/// An aggregate function, per group or whole-result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` — tuples per group (no input property).
+    CountStar,
+    /// `COUNT(x.p)` / `COUNT(DISTINCT x.p)` — non-NULL (distinct) values.
+    Count {
+        distinct: bool,
+    },
+    Sum,
+    Min,
+    Max,
+    /// `AVG(x.p)` — always returns a DOUBLE (exact for integer inputs:
+    /// the division happens once, at the end).
+    Avg,
+}
+
+/// One aggregate call in a `RETURN` clause: the function plus its input
+/// property (`None` only for `COUNT(*)`).
+#[derive(Debug, Clone)]
+pub struct Agg {
+    pub func: AggFunc,
+    pub prop: Option<PropRef>,
+}
+
+impl Agg {
+    /// `COUNT(*)`.
+    pub fn count_star() -> Agg {
+        Agg { func: AggFunc::CountStar, prop: None }
+    }
+
+    /// `COUNT(var.prop)` — non-NULL values.
+    pub fn count(var: &str, prop: &str) -> Agg {
+        Agg { func: AggFunc::Count { distinct: false }, prop: Some(pref(var, prop)) }
+    }
+
+    /// `COUNT(DISTINCT var.prop)`.
+    pub fn count_distinct(var: &str, prop: &str) -> Agg {
+        Agg { func: AggFunc::Count { distinct: true }, prop: Some(pref(var, prop)) }
+    }
+
+    /// `SUM(var.prop)`.
+    pub fn sum(var: &str, prop: &str) -> Agg {
+        Agg { func: AggFunc::Sum, prop: Some(pref(var, prop)) }
+    }
+
+    /// `MIN(var.prop)`.
+    pub fn min(var: &str, prop: &str) -> Agg {
+        Agg { func: AggFunc::Min, prop: Some(pref(var, prop)) }
+    }
+
+    /// `MAX(var.prop)`.
+    pub fn max(var: &str, prop: &str) -> Agg {
+        Agg { func: AggFunc::Max, prop: Some(pref(var, prop)) }
+    }
+
+    /// `AVG(var.prop)`.
+    pub fn avg(var: &str, prop: &str) -> Agg {
+        Agg { func: AggFunc::Avg, prop: Some(pref(var, prop)) }
+    }
+}
+
+fn pref(var: &str, prop: &str) -> PropRef {
+    PropRef { var: var.into(), prop: prop.into() }
+}
+
+/// Sort direction of one `ORDER BY` key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortDir {
+    Asc,
+    Desc,
+}
+
+/// One `ORDER BY` key: an index into the query's output columns (the
+/// RETURN projection, or grouping keys followed by aggregates).
+#[derive(Debug, Clone, Copy)]
+pub struct OrderKey {
+    pub col: usize,
+    pub dir: SortDir,
+}
+
 /// What the query returns.
 #[derive(Debug, Clone)]
 pub enum ReturnSpec {
@@ -134,6 +226,11 @@ pub enum ReturnSpec {
     Min(PropRef),
     /// `RETURN MAX(x.p)`.
     Max(PropRef),
+    /// `RETURN k1, k2, ..., AGG1, AGG2, ...` — grouped aggregation
+    /// (Section 6.2 extended: aggregates fold unflat list groups by
+    /// multiplicity; only the grouping keys are ever flattened). With no
+    /// keys this is a whole-result multi-aggregate.
+    GroupBy { keys: Vec<PropRef>, aggs: Vec<Agg> },
 }
 
 /// Planner hints: a start variable and/or an explicit edge order, used by
@@ -154,6 +251,14 @@ pub struct PatternQuery {
     /// Conjunctive predicates (`WHERE c1 AND c2 AND ...`).
     pub predicates: Vec<Expr>,
     pub ret: ReturnSpec,
+    /// `ORDER BY` keys over the output columns (applies to row-producing
+    /// returns: projections and grouped aggregates).
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT n` — with `order_by` this is top-k; without, the first `n`
+    /// rows in canonical (total) order, so results stay deterministic.
+    pub limit: Option<usize>,
+    /// `RETURN DISTINCT` (projections only).
+    pub distinct: bool,
     pub hints: PlanHints,
 }
 
@@ -192,6 +297,11 @@ pub struct QueryBuilder {
     edges: Vec<PendingEdge>,
     predicates: Vec<Expr>,
     ret: Option<ReturnSpec>,
+    group_keys: Vec<PropRef>,
+    aggs: Vec<Agg>,
+    order_by: Vec<OrderKey>,
+    limit: Option<usize>,
+    distinct: bool,
     hints: PlanHints,
 }
 
@@ -254,6 +364,43 @@ impl QueryBuilder {
         self
     }
 
+    /// `GROUP BY var.prop, ...` — the grouping keys of a grouped-aggregate
+    /// return ([`QueryBuilder::returns_agg`]). Calling this without any
+    /// aggregates returns one row per distinct key combination.
+    pub fn group_by(mut self, keys: &[(&str, &str)]) -> Self {
+        self.group_keys.extend(keys.iter().map(|(v, p)| pref(v, p)));
+        self
+    }
+
+    /// `RETURN <group keys>, agg1, agg2, ...` — aggregate per group (or
+    /// whole-result when no [`QueryBuilder::group_by`] keys were declared).
+    /// Output columns are the grouping keys followed by the aggregates, in
+    /// declaration order.
+    pub fn returns_agg(mut self, aggs: Vec<Agg>) -> Self {
+        self.aggs.extend(aggs);
+        self
+    }
+
+    /// `ORDER BY column <asc|desc>`, by output-column index (repeatable;
+    /// keys apply in call order). NULLs sort first ascending.
+    pub fn order_by(mut self, col: usize, dir: SortDir) -> Self {
+        self.order_by.push(OrderKey { col, dir });
+        self
+    }
+
+    /// `LIMIT n`. Combined with [`QueryBuilder::order_by`] this is a top-k
+    /// query; alone it keeps the first `n` rows in canonical order.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// `RETURN DISTINCT` — deduplicate projection rows.
+    pub fn distinct(mut self) -> Self {
+        self.distinct = true;
+        self
+    }
+
     /// Force the planner to start matching at `var`.
     pub fn start_at(mut self, var: &str) -> Self {
         self.hints.start = Some(var.into());
@@ -266,8 +413,9 @@ impl QueryBuilder {
         self
     }
 
-    /// Build the query, validating the pattern: duplicate node variables
-    /// and edges referencing undeclared nodes return [`Error::Plan`].
+    /// Build the query, validating the pattern: duplicate node variables,
+    /// edges referencing undeclared nodes, and malformed grouped-aggregate
+    /// clauses return [`Error::Plan`].
     pub fn try_build(self) -> Result<PatternQuery> {
         for (i, n) in self.nodes.iter().enumerate() {
             if self.nodes[..i].iter().any(|m| m.var == n.var) {
@@ -288,11 +436,48 @@ impl QueryBuilder {
                 to: pos_of(&e.to)?,
             });
         }
+        let grouped = !self.group_keys.is_empty() || !self.aggs.is_empty();
+        let ret = if grouped {
+            if self.ret.is_some() {
+                return Err(Error::Plan(
+                    "group_by/returns_agg cannot be combined with another returns_* clause".into(),
+                ));
+            }
+            for a in &self.aggs {
+                if a.prop.is_none() && !matches!(a.func, AggFunc::CountStar) {
+                    return Err(Error::Plan(
+                        "aggregate other than COUNT(*) needs a property".into(),
+                    ));
+                }
+            }
+            ReturnSpec::GroupBy { keys: self.group_keys, aggs: self.aggs }
+        } else {
+            self.ret.unwrap_or(ReturnSpec::CountStar)
+        };
+        if self.distinct && !matches!(ret, ReturnSpec::Props(_)) {
+            return Err(Error::Plan(
+                "DISTINCT applies to projection returns only (grouped returns are already \
+                 distinct per key)"
+                    .into(),
+            ));
+        }
+        if (!self.order_by.is_empty() || self.limit.is_some())
+            && !matches!(ret, ReturnSpec::Props(_) | ReturnSpec::GroupBy { .. })
+        {
+            return Err(Error::Plan(
+                "order_by/limit apply to row-producing returns (projections or grouped \
+                 aggregates)"
+                    .into(),
+            ));
+        }
         Ok(PatternQuery {
             nodes: self.nodes,
             edges,
             predicates: self.predicates,
-            ret: self.ret.unwrap_or(ReturnSpec::CountStar),
+            ret,
+            order_by: self.order_by,
+            limit: self.limit,
+            distinct: self.distinct,
             hints: self.hints,
         })
     }
@@ -439,8 +624,7 @@ mod tests {
 
     #[test]
     fn duplicate_node_variable_is_a_plan_error() {
-        let err =
-            PatternQuery::builder().node("a", "X").node("a", "Y").try_build().unwrap_err();
+        let err = PatternQuery::builder().node("a", "X").node("a", "Y").try_build().unwrap_err();
         assert!(matches!(err, Error::Plan(_)), "{err:?}");
         assert!(err.to_string().contains("duplicate node variable a"));
     }

@@ -71,10 +71,9 @@ fn two_hop_count_brute_force() {
     // MATCH (a)-[:FOLLOWS]->(b)-[:FOLLOWS]->(c) RETURN COUNT(*).
     let raw = RawGraph::example();
     let edges = [(0u64, 1u64), (1, 2), (0, 3), (1, 3), (2, 3), (3, 1), (2, 1), (2, 0)];
-    let expected = edges
-        .iter()
-        .flat_map(|&(_, b)| edges.iter().filter(move |&&(b2, _)| b2 == b))
-        .count() as u64;
+    let expected =
+        edges.iter().flat_map(|&(_, b)| edges.iter().filter(move |&&(b2, _)| b2 == b)).count()
+            as u64;
     let q = PatternQuery::builder()
         .node("a", "PERSON")
         .node("b", "PERSON")
@@ -110,9 +109,7 @@ fn edge_property_predicate_along_path() {
     ];
     let expected = edges
         .iter()
-        .flat_map(|&(_, b, s1)| {
-            edges.iter().filter(move |&&(b2, _, s2)| b2 == b && s2 > s1)
-        })
+        .flat_map(|&(_, b, s1)| edges.iter().filter(move |&&(b2, _, s2)| b2 == b && s2 > s1))
         .count() as u64;
     let q = PatternQuery::builder()
         .node("a", "PERSON")
@@ -168,17 +165,11 @@ fn single_cardinality_column_extend() {
     for cfg in all_configs() {
         let out = engine_with(&raw, cfg).execute(&q).unwrap();
         let QueryOutput::Rows { rows, .. } = out else { panic!() };
-        let mut pairs: Vec<String> =
-            rows.iter().map(|r| format!("{}-{}", r[0], r[1])).collect();
+        let mut pairs: Vec<String> = rows.iter().map(|r| format!("{}-{}", r[0], r[1])).collect();
         pairs.sort();
         assert_eq!(
             pairs,
-            vec![
-                r#""jenny"-"UofT""#,
-                r#""jenny"-"UofT""#,
-                r#""jenny"-"UofT""#,
-                r#""peter"-"UW""#
-            ],
+            vec![r#""jenny"-"UofT""#, r#""jenny"-"UofT""#, r#""jenny"-"UofT""#, r#""peter"-"UW""#],
             "{cfg:?}"
         );
     }

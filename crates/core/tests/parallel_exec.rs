@@ -98,9 +98,7 @@ fn more_workers_than_morsels_is_fine() {
 /// A single-label graph whose `x` property holds values near `i64::MAX`.
 fn huge_value_graph(values: &[i64]) -> Arc<ColumnarGraph> {
     let mut cat = Catalog::new();
-    let a = cat
-        .add_vertex_label("A", vec![PropertyDef::new("x", DataType::Int64)])
-        .unwrap();
+    let a = cat.add_vertex_label("A", vec![PropertyDef::new("x", DataType::Int64)]).unwrap();
     let mut raw = RawGraph::new(cat);
     raw.vertices[a as usize].count = values.len();
     for &v in values {

@@ -190,7 +190,17 @@ pub fn generate(p: MovieParams) -> RawGraph {
             ],
         )
         .unwrap();
-    for l in [title, name, company, keyword, movie_info, mov_info_2, person_info, aka_name, complete_cast] {
+    for l in [
+        title,
+        name,
+        company,
+        keyword,
+        movie_info,
+        mov_info_2,
+        person_info,
+        aka_name,
+        complete_cast,
+    ] {
         cat.set_primary_key(l, "id").unwrap();
     }
 
@@ -313,10 +323,9 @@ pub fn generate(p: MovieParams) -> RawGraph {
         t.count = n_keyword;
         for v in 0..n_keyword {
             t.props[0].push_i64(v as i64);
-            if v < KEYWORDS.len() {
-                t.props[1].push_str(KEYWORDS[v]);
-            } else {
-                t.props[1].push_str(format!("keyword-{v}"));
+            match KEYWORDS.get(v) {
+                Some(name) => t.props[1].push_str(*name),
+                None => t.props[1].push_str(format!("keyword-{v}")),
             }
         }
     }
@@ -330,11 +339,9 @@ pub fn generate(p: MovieParams) -> RawGraph {
             let info = match ty {
                 "genres" => (*pick_skewed(GENRES, &mut rng)).to_string(),
                 "countries" => (*pick_skewed(COUNTRIES, &mut rng)).to_string(),
-                "release dates" => format!(
-                    "{}: {}",
-                    ["USA", "Japan", "Germany", "Sweden"][v % 4],
-                    1990 + (v % 30)
-                ),
+                "release dates" => {
+                    format!("{}: {}", ["USA", "Japan", "Germany", "Sweden"][v % 4], 1990 + (v % 30))
+                }
                 "budget" => format!("${}", rng.gen_range(100_000..200_000_000)),
                 _ => (*pick_skewed(LANGUAGES_MI, &mut rng)).to_string(),
             };
@@ -396,9 +403,8 @@ pub fn generate(p: MovieParams) -> RawGraph {
         for v in 0..n_cc {
             t.props[0].push_i64(v as i64);
             t.props[1].push_str(if rng.gen_bool(0.6) { "cast" } else { "crew" });
-            t.props[2].push_str(
-                ["complete", "complete+verified", "partial"][rng.gen_range(0..3usize)],
-            );
+            t.props[2]
+                .push_str(["complete", "complete+verified", "partial"][rng.gen_range(0..3usize)]);
         }
     }
 

@@ -41,9 +41,7 @@ impl PowerLawParams {
 /// `LINK` edge label carrying a `ts` timestamp.
 pub fn generate(params: PowerLawParams) -> RawGraph {
     let mut cat = Catalog::new();
-    let node = cat
-        .add_vertex_label("NODE", vec![PropertyDef::new("id", DataType::Int64)])
-        .unwrap();
+    let node = cat.add_vertex_label("NODE", vec![PropertyDef::new("id", DataType::Int64)]).unwrap();
     let link = cat
         .add_edge_label(
             "LINK",

@@ -90,9 +90,26 @@ const LAST_NAMES: &[&str] =
     &["Khan", "Smith", "Li", "Kumar", "Garcia", "Novak", "Sato", "Yang", "Costa", "Meyer"];
 const BROWSERS: &[&str] = &["Chrome", "Firefox", "Safari", "Internet Explorer", "Opera"];
 const PLACES: &[&str] = &[
-    "India", "China", "Germany", "France", "United_States", "Brazil", "Nigeria", "Japan",
-    "Canada", "Mexico", "Italy", "Spain", "Poland", "Kenya", "Vietnam", "Peru", "Egypt",
-    "Norway", "Chile", "Greece",
+    "India",
+    "China",
+    "Germany",
+    "France",
+    "United_States",
+    "Brazil",
+    "Nigeria",
+    "Japan",
+    "Canada",
+    "Mexico",
+    "Italy",
+    "Spain",
+    "Poland",
+    "Kenya",
+    "Vietnam",
+    "Peru",
+    "Egypt",
+    "Norway",
+    "Chile",
+    "Greece",
 ];
 const TAG_NAMES: &[&str] =
     &["Rumi", "Mozart", "Napoleon", "Einstein", "Gandhi", "Shakespeare", "Curie", "Tesla"];
@@ -268,7 +285,11 @@ pub fn generate(p: SocialParams) -> RawGraph {
                 Some(()) => t.props[1].push_i64(rng.gen_range(DATE_LO..DATE_HI)),
                 None => t.props[1].push_null(),
             }
-            t.props[2].push_str(format!("10.0.{}.{}", rng.gen_range(0..255), rng.gen_range(1..255)));
+            t.props[2].push_str(format!(
+                "10.0.{}.{}",
+                rng.gen_range(0..255),
+                rng.gen_range(1..255)
+            ));
             t.props[3].push_str(*pick_skewed(BROWSERS, &mut rng));
             t.props[4].push_str(format!("comment text {}", v % 997));
             t.props[5].push_i64(rng.gen_range(5..500));
@@ -327,10 +348,9 @@ pub fn generate(p: SocialParams) -> RawGraph {
         t.count = n_tag;
         for v in 0..n_tag {
             t.props[0].push_i64(v as i64);
-            if v < TAG_NAMES.len() {
-                t.props[1].push_str(TAG_NAMES[v]);
-            } else {
-                t.props[1].push_str(format!("tag_{v}"));
+            match TAG_NAMES.get(v) {
+                Some(name) => t.props[1].push_str(*name),
+                None => t.props[1].push_str(format!("tag_{v}")),
             }
         }
     }
@@ -339,10 +359,9 @@ pub fn generate(p: SocialParams) -> RawGraph {
         t.count = n_tagclass;
         for v in 0..n_tagclass {
             t.props[0].push_i64(v as i64);
-            if v < TAGCLASS_NAMES.len() {
-                t.props[1].push_str(TAGCLASS_NAMES[v]);
-            } else {
-                t.props[1].push_str(format!("tagclass_{v}"));
+            match TAGCLASS_NAMES.get(v) {
+                Some(name) => t.props[1].push_str(*name),
+                None => t.props[1].push_str(format!("tagclass_{v}")),
             }
         }
     }
@@ -526,20 +545,18 @@ mod tests {
         let g = small();
         assert_eq!(g.catalog.vertex_label_count(), 8);
         assert_eq!(g.catalog.edge_label_count(), 18);
-        let single = g
-            .catalog
-            .edge_labels()
-            .iter()
-            .filter(|e| e.cardinality.is_single_any())
-            .count();
+        let single =
+            g.catalog.edge_labels().iter().filter(|e| e.cardinality.is_single_any()).count();
         assert!(single >= 8, "LDBC-like: many single-cardinality labels (got {single})");
-        let propless =
-            g.catalog.edge_labels().iter().filter(|e| e.properties.is_empty()).count();
+        let propless = g.catalog.edge_labels().iter().filter(|e| e.properties.is_empty()).count();
         assert!(propless >= 10, "LDBC-like: most labels property-less (got {propless})");
         // All edge properties are ints/dates.
         for def in g.catalog.edge_labels() {
             for p in &def.properties {
-                assert!(matches!(p.dtype, gfcl_common::DataType::Int64 | gfcl_common::DataType::Date));
+                assert!(matches!(
+                    p.dtype,
+                    gfcl_common::DataType::Int64 | gfcl_common::DataType::Date
+                ));
             }
         }
     }

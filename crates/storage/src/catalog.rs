@@ -47,12 +47,12 @@ pub enum Cardinality {
 impl Cardinality {
     /// Does each vertex have at most one edge when traversing in `dir`?
     pub fn is_single(self, dir: Direction) -> bool {
-        match (self, dir) {
-            (Cardinality::OneOne, _) => true,
-            (Cardinality::ManyOne, Direction::Fwd) => true,
-            (Cardinality::OneMany, Direction::Bwd) => true,
-            _ => false,
-        }
+        matches!(
+            (self, dir),
+            (Cardinality::OneOne, _)
+                | (Cardinality::ManyOne, Direction::Fwd)
+                | (Cardinality::OneMany, Direction::Bwd)
+        )
     }
 
     /// Is this a single-cardinality label in at least one direction?
@@ -204,35 +204,29 @@ impl Catalog {
     }
 
     pub fn vertex_label_id(&self, name: &str) -> Result<LabelId> {
-        self.vertex_by_name
-            .get(name)
-            .copied()
-            .ok_or_else(|| Error::UnknownLabel(name.to_owned()))
+        self.vertex_by_name.get(name).copied().ok_or_else(|| Error::UnknownLabel(name.to_owned()))
     }
 
     pub fn edge_label_id(&self, name: &str) -> Result<LabelId> {
-        self.edge_by_name
-            .get(name)
-            .copied()
-            .ok_or_else(|| Error::UnknownLabel(name.to_owned()))
+        self.edge_by_name.get(name).copied().ok_or_else(|| Error::UnknownLabel(name.to_owned()))
     }
 
     /// Index of `prop` within the vertex label's property list.
     pub fn vertex_prop_idx(&self, label: LabelId, prop: &str) -> Result<usize> {
         let def = &self.vertex_labels[label as usize];
-        def.properties
-            .iter()
-            .position(|p| p.name == prop)
-            .ok_or_else(|| Error::UnknownProperty { label: def.name.clone(), property: prop.into() })
+        def.properties.iter().position(|p| p.name == prop).ok_or_else(|| Error::UnknownProperty {
+            label: def.name.clone(),
+            property: prop.into(),
+        })
     }
 
     /// Index of `prop` within the edge label's property list.
     pub fn edge_prop_idx(&self, label: LabelId, prop: &str) -> Result<usize> {
         let def = &self.edge_labels[label as usize];
-        def.properties
-            .iter()
-            .position(|p| p.name == prop)
-            .ok_or_else(|| Error::UnknownProperty { label: def.name.clone(), property: prop.into() })
+        def.properties.iter().position(|p| p.name == prop).ok_or_else(|| Error::UnknownProperty {
+            label: def.name.clone(),
+            property: prop.into(),
+        })
     }
 
     /// Attach build-time graph statistics (see [`Stats::collect`]).
@@ -282,7 +276,8 @@ mod tests {
                 ],
             )
             .unwrap();
-        let org = c.add_vertex_label("ORG", vec![PropertyDef::new("estd", DataType::Int64)]).unwrap();
+        let org =
+            c.add_vertex_label("ORG", vec![PropertyDef::new("estd", DataType::Int64)]).unwrap();
         let works = c
             .add_edge_label(
                 "WORKAT",
@@ -314,9 +309,7 @@ mod tests {
     #[test]
     fn primary_key_must_be_int() {
         let mut c = Catalog::new();
-        let l = c
-            .add_vertex_label("A", vec![PropertyDef::new("name", DataType::String)])
-            .unwrap();
+        let l = c.add_vertex_label("A", vec![PropertyDef::new("name", DataType::String)]).unwrap();
         assert!(c.set_primary_key(l, "name").is_err());
     }
 }

@@ -142,12 +142,25 @@ impl ColumnarGraph {
             let def = catalog.edge_label(eid as LabelId);
             let n_src = vertex_counts[def.src as usize];
             let n_dst = vertex_counts[def.dst as usize];
-            let single_fwd = def.cardinality.is_single(Direction::Fwd) && config.single_card_in_vcols;
-            let single_bwd = def.cardinality.is_single(Direction::Bwd) && config.single_card_in_vcols;
+            let single_fwd =
+                def.cardinality.is_single(Direction::Fwd) && config.single_card_in_vcols;
+            let single_bwd =
+                def.cardinality.is_single(Direction::Bwd) && config.single_card_in_vcols;
 
             if single_fwd || single_bwd {
                 let prop_side = def.cardinality.property_side().expect("single-card label");
-                let (f, b) = build_single_card(table, def.src, def.dst, n_src, n_dst, prop_side, &catalog.edge_label(eid as LabelId).properties, &config, single_fwd, single_bwd)?;
+                let (f, b) = build_single_card(
+                    table,
+                    def.src,
+                    def.dst,
+                    n_src,
+                    n_dst,
+                    prop_side,
+                    &catalog.edge_label(eid as LabelId).properties,
+                    &config,
+                    single_fwd,
+                    single_bwd,
+                )?;
                 fwd.push(f);
                 bwd.push(b);
                 edge_props.push(if def.properties.is_empty() {
@@ -269,13 +282,17 @@ impl ColumnarGraph {
 
     /// Resolve the access path for edge property `prop` when traversing
     /// `(label, dir)` (see [`EdgePropRead`]).
-    pub fn edge_prop_read(&self, label: LabelId, dir: Direction, prop: usize) -> Result<EdgePropRead<'_>> {
+    pub fn edge_prop_read(
+        &self,
+        label: LabelId,
+        dir: Direction,
+        prop: usize,
+    ) -> Result<EdgePropRead<'_>> {
         let def = self.catalog.edge_label(label);
         match &self.edge_props[label as usize] {
-            EdgePropStore::None => Err(Error::Exec(format!(
-                "edge label {} has no properties",
-                def.name
-            ))),
+            EdgePropStore::None => {
+                Err(Error::Exec(format!("edge label {} has no properties", def.name)))
+            }
             EdgePropStore::Pages(pp) => {
                 self.require_edge_ids(label, dir)?;
                 if self.config.new_ids {
@@ -385,12 +402,8 @@ impl ColumnarGraph {
 
     /// Memory of the four Table 2 components.
     pub fn memory_breakdown(&self) -> MemoryBreakdown {
-        let vertex_props = self
-            .vertex_props
-            .iter()
-            .flat_map(|cols| cols.iter())
-            .map(Column::memory_bytes)
-            .sum();
+        let vertex_props =
+            self.vertex_props.iter().flat_map(|cols| cols.iter()).map(Column::memory_bytes).sum();
         let mut edge_props: usize = self.edge_props.iter().map(EdgePropStore::memory_bytes).sum();
         // Single-cardinality edge properties live inside the SingleCardAdj
         // vertex columns; count them as edge properties, per Table 2.
@@ -431,7 +444,12 @@ fn prop_to_column(prop: &PropData, dtype: DataType, config: &StorageConfig) -> C
 }
 
 /// Gather a raw property column into a new order: `out[p] = prop[order[p]]`.
-fn gather_column(prop: &PropData, dtype: DataType, order: &[u64], config: &StorageConfig) -> Column {
+fn gather_column(
+    prop: &PropData,
+    dtype: DataType,
+    order: &[u64],
+    config: &StorageConfig,
+) -> Column {
     match prop {
         PropData::I64(v) => {
             let g: Vec<Option<i64>> = order.iter().map(|&i| v[i as usize]).collect();
@@ -606,10 +624,8 @@ fn build_nn(
             })
             .collect();
         let pp = PropertyPages::from_assignment(pages_k(config), &assign, cols);
-        let fwd_ids: Vec<u64> =
-            perm_f.iter().map(|&i| assign.flat_of_input[i as usize]).collect();
-        let bwd_ids: Vec<u64> =
-            perm_b.iter().map(|&i| assign.flat_of_input[i as usize]).collect();
+        let fwd_ids: Vec<u64> = perm_f.iter().map(|&i| assign.flat_of_input[i as usize]).collect();
+        let bwd_ids: Vec<u64> = perm_b.iter().map(|&i| assign.flat_of_input[i as usize]).collect();
         fwd.set_edge_ids(UIntArray::from_values(&fwd_ids, config.zero_suppress));
         bwd.set_edge_ids(UIntArray::from_values(&bwd_ids, config.zero_suppress));
         return Ok((fwd, bwd, EdgePropStore::Pages(pp)));
@@ -783,7 +799,7 @@ mod tests {
         assert_eq!(adj.nbr(0), Some(0)); // alice -> UW
         assert_eq!(adj.nbr(1), Some(1)); // bob -> UofT
         assert_eq!(adj.nbr(2), None); // peter doesn't work
-        // doj readable from both directions.
+                                      // doj readable from both directions.
         assert_eq!(
             g.read_edge_prop(workat, Direction::Fwd, 0, None, 0).unwrap(),
             Value::Int64(2006)
@@ -829,9 +845,8 @@ mod tests {
     fn sparse_raw() -> RawGraph {
         use crate::catalog::{Cardinality, PropertyDef};
         let mut cat = Catalog::new();
-        let node = cat
-            .add_vertex_label("NODE", vec![PropertyDef::new("ts", DataType::Int64)])
-            .unwrap();
+        let node =
+            cat.add_vertex_label("NODE", vec![PropertyDef::new("ts", DataType::Int64)]).unwrap();
         let rel = cat
             .add_edge_label(
                 "REL",

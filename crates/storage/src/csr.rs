@@ -102,8 +102,7 @@ impl Csr {
                     // identity, so the offsets array must stay full-length.
                     (UIntArray::from_values(&starts, opts.zero_suppress), map)
                 } else {
-                    let mut compact =
-                        Vec::with_capacity(valid.iter().filter(|&&v| v).count() + 1);
+                    let mut compact = Vec::with_capacity(valid.iter().filter(|&&v| v).count() + 1);
                     for (v, &nonempty) in valid.iter().enumerate() {
                         if nonempty {
                             compact.push(starts[v]);
@@ -210,7 +209,9 @@ impl Csr {
 
 impl MemoryUsage for Csr {
     fn memory_bytes(&self) -> usize {
-        self.offsets_bytes() + self.nbr.memory_bytes() + self.edge_ids.as_ref().map_or(0, |e| e.memory_bytes())
+        self.offsets_bytes()
+            + self.nbr.memory_bytes()
+            + self.edge_ids.as_ref().map_or(0, |e| e.memory_bytes())
     }
 }
 
@@ -227,8 +228,7 @@ mod tests {
 
     fn check_lists(csr: &Csr, from: &[u64], nbr: &[u64]) {
         // The multiset of (from, nbr) pairs must round-trip (invariant 4).
-        let mut expected: Vec<(u64, u64)> =
-            from.iter().zip(nbr).map(|(&f, &n)| (f, n)).collect();
+        let mut expected: Vec<(u64, u64)> = from.iter().zip(nbr).map(|(&f, &n)| (f, n)).collect();
         expected.sort_unstable();
         let mut actual = Vec::new();
         for v in 0..csr.n_vertices() as u64 {
@@ -314,8 +314,7 @@ mod tests {
         // Regression: Uncompressed empty-list "compression" maps positions
         // through the identity, so offsets must not be compacted.
         let (n, from, nbr) = sample_edges();
-        let opts =
-            CsrOptions { zero_suppress: true, compress_empty: Some(NullKind::Uncompressed) };
+        let opts = CsrOptions { zero_suppress: true, compress_empty: Some(NullKind::Uncompressed) };
         let (csr, _) = Csr::build(n, &from, &nbr, opts);
         check_lists(&csr, &from, &nbr);
         assert_eq!(csr.degree(5), 0);

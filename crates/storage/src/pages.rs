@@ -86,7 +86,11 @@ pub fn assign_insertion_order(k: usize, n_src: usize, src_of_edge: &[u64]) -> Pa
 impl PropertyPages {
     /// Assemble pages from an insertion-order [`PageAssignment`] and the
     /// property columns already scattered to flat (page, slot) positions.
-    pub fn from_assignment(k: usize, assignment: &PageAssignment, props: Vec<Column>) -> PropertyPages {
+    pub fn from_assignment(
+        k: usize,
+        assignment: &PageAssignment,
+        props: Vec<Column>,
+    ) -> PropertyPages {
         PropertyPages {
             k,
             page_starts: assignment.page_starts.clone(),
@@ -135,8 +139,7 @@ impl PropertyPages {
 
 impl MemoryUsage for PropertyPages {
     fn memory_bytes(&self) -> usize {
-        self.page_starts.memory_bytes()
-            + self.props.iter().map(Column::memory_bytes).sum::<usize>()
+        self.page_starts.memory_bytes() + self.props.iter().map(Column::memory_bytes).sum::<usize>()
     }
 }
 

@@ -283,7 +283,8 @@ impl RawGraph {
                         Direction::Fwd => &table.src,
                         Direction::Bwd => &table.dst,
                     };
-                    let mut seen = vec![false; endpoints.iter().map(|&e| e as usize + 1).max().unwrap_or(0)];
+                    let mut seen =
+                        vec![false; endpoints.iter().map(|&e| e as usize + 1).max().unwrap_or(0)];
                     for &e in endpoints {
                         if seen[e as usize] {
                             return Err(Error::Invalid(format!(
@@ -356,12 +357,9 @@ impl RawGraph {
         {
             let t = &mut g.vertices[person as usize];
             t.count = 4;
-            for (name, age, gender) in [
-                ("alice", 45, "F"),
-                ("bob", 54, "M"),
-                ("peter", 17, "M"),
-                ("jenny", 23, "F"),
-            ] {
+            for (name, age, gender) in
+                [("alice", 45, "F"), ("bob", 54, "M"), ("peter", 17, "M"), ("jenny", 23, "F")]
+            {
                 t.props[0].push_str(name);
                 t.props[1].push_i64(age);
                 t.props[2].push_str(gender);

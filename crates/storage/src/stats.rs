@@ -197,7 +197,7 @@ mod tests {
         assert_eq!(follows.avg_fwd_degree, 2.0); // 8 edges / 4 persons
         assert_eq!(follows.max_fwd_degree, 3); // peter follows 3
         assert_eq!(follows.max_bwd_degree, 3); // jenny followed by 3
-        // WORKAT is n-1: average forward degree ≤ 1.
+                                               // WORKAT is n-1: average forward degree ≤ 1.
         let workat = s.edge(2);
         assert!(workat.avg_fwd_degree <= 1.0);
         assert_eq!(workat.max_fwd_degree, 1);

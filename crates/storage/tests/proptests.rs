@@ -9,12 +9,8 @@ use proptest::prelude::*;
 
 /// Random edge lists over a small vertex set.
 fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(u64, u64)>)> {
-    (2usize..40).prop_flat_map(|n| {
-        (
-            Just(n),
-            proptest::collection::vec((0..n as u64, 0..n as u64), 0..200),
-        )
-    })
+    (2usize..40)
+        .prop_flat_map(|n| (Just(n), proptest::collection::vec((0..n as u64, 0..n as u64), 0..200)))
 }
 
 proptest! {

@@ -1,0 +1,165 @@
+//! LDBC-style grouped-aggregation and top-k workload queries (the GA
+//! suite), in the spirit of the group-heavy analytics of LDBC BI and
+//! *Graph Analytics using the Vertica Relational Database* — the workload
+//! class the engine could not answer before the grouped sinks existed.
+//!
+//! Every query is a `GROUP BY` / top-k / `DISTINCT` shape over the
+//! `gfcl-datagen` social schema, exercising each sink: multiplicity-folded
+//! grouped `COUNT`/`SUM`/`AVG`/`MIN`/`MAX`, `COUNT(DISTINCT)`, grouped
+//! top-k (`ORDER BY` + `LIMIT`), and `DISTINCT` projections.
+
+use gfcl_core::query::{col, eq, lit, Agg, PatternQuery, SortDir};
+
+use crate::LdbcParams;
+
+/// The grouped-aggregation suite. Returns `(name, query)` pairs.
+// One `out.push` block per named query keeps each query's comment
+// attached to it; `vec![]` would lose that structure.
+#[allow(clippy::vec_init_then_push)]
+pub fn ga_queries(p: &LdbcParams) -> Vec<(String, PatternQuery)> {
+    let mut out = Vec::new();
+
+    // GA01: per-friend message counts and first message date for one
+    // person's friends (grouped IC02 shape; aggregates fold the unflat
+    // comment lists without flattening them).
+    out.push((
+        "GA01".into(),
+        PatternQuery::builder()
+            .node("p", "Person")
+            .node("f", "Person")
+            .node("c", "Comment")
+            .edge("k", "knows", "p", "f")
+            .edge("hc", "hasCreator", "c", "f")
+            .filter(eq(col("p", "id"), lit(p.person_id)))
+            .group_by(&[("f", "id")])
+            .returns_agg(vec![
+                Agg::count_star(),
+                Agg::min("c", "creationDate"),
+                Agg::max("c", "creationDate"),
+            ])
+            .build(),
+    ));
+
+    // GA02: the 5 most-used tags across all posts (grouped top-k).
+    out.push((
+        "GA02".into(),
+        PatternQuery::builder()
+            .node("pst", "Post")
+            .node("t", "Tag")
+            .edge("ht", "postHasTag", "pst", "t")
+            .group_by(&[("t", "name")])
+            .returns_agg(vec![Agg::count_star()])
+            .order_by(1, SortDir::Desc)
+            .limit(5)
+            .build(),
+    ));
+
+    // GA03: comment volume and length statistics per author gender.
+    out.push((
+        "GA03".into(),
+        PatternQuery::builder()
+            .node("c", "Comment")
+            .node("a", "Person")
+            .edge("hc", "hasCreator", "c", "a")
+            .group_by(&[("a", "gender")])
+            .returns_agg(vec![
+                Agg::count_star(),
+                Agg::avg("c", "length"),
+                Agg::max("c", "length"),
+                Agg::count_distinct("c", "browserUsed"),
+            ])
+            .build(),
+    ));
+
+    // GA04: largest employers — headcount and earliest hire year per
+    // organisation, top 5.
+    out.push((
+        "GA04".into(),
+        PatternQuery::builder()
+            .node("p", "Person")
+            .node("o", "Organisation")
+            .edge("w", "workAt", "p", "o")
+            .group_by(&[("o", "name")])
+            .returns_agg(vec![Agg::count_star(), Agg::min("w", "year")])
+            .order_by(1, SortDir::Desc)
+            .limit(5)
+            .build(),
+    ));
+
+    // GA05: friends-of-friends count per person, top 10 — the grouped
+    // 2-hop: the far end stays an unflat adjacency view and is counted
+    // purely by multiplicity.
+    out.push((
+        "GA05".into(),
+        PatternQuery::builder()
+            .node("a", "Person")
+            .node("b", "Person")
+            .node("c", "Person")
+            .edge("k1", "knows", "a", "b")
+            .edge("k2", "knows", "b", "c")
+            .group_by(&[("a", "id")])
+            .returns_agg(vec![Agg::count_star()])
+            .order_by(1, SortDir::Desc)
+            .limit(10)
+            .build(),
+    ));
+
+    // GA06: the distinct browsers seen on persons (DISTINCT projection).
+    out.push((
+        "GA06".into(),
+        PatternQuery::builder()
+            .node("p", "Person")
+            .returns(&[("p", "browserUsed")])
+            .distinct()
+            .build(),
+    ));
+
+    // GA07: whole-result multi-aggregate over posts — count, average
+    // length, languages in use.
+    out.push((
+        "GA07".into(),
+        PatternQuery::builder()
+            .node("pst", "Post")
+            .returns_agg(vec![
+                Agg::count_star(),
+                Agg::avg("pst", "length"),
+                Agg::sum("pst", "length"),
+                Agg::count_distinct("pst", "language"),
+            ])
+            .build(),
+    ));
+
+    // GA08: the 10 longest comments (top-k projection, no grouping).
+    out.push((
+        "GA08".into(),
+        PatternQuery::builder()
+            .node("c", "Comment")
+            .returns(&[("c", "length"), ("c", "id")])
+            .order_by(0, SortDir::Desc)
+            .limit(10)
+            .build(),
+    ));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfcl_core::plan::{plan, PlanReturn};
+    use gfcl_datagen::SocialParams;
+
+    #[test]
+    fn ga_queries_plan_against_generated_schema() {
+        let raw = gfcl_datagen::generate_social(SocialParams::scale(50));
+        let params = LdbcParams::for_scale(50);
+        let queries = ga_queries(&params);
+        assert_eq!(queries.len(), 8);
+        for (name, q) in &queries {
+            let p = plan(q, &raw.catalog).unwrap_or_else(|e| panic!("{name} failed to plan: {e}"));
+            if name.as_str() < "GA06" {
+                assert!(matches!(p.ret, PlanReturn::GroupBy { .. }), "{name} is grouped");
+            }
+        }
+    }
+}

@@ -147,7 +147,11 @@ mod tests {
     fn forward_and_backward_plans_agree() {
         let e = engine();
         for hops in 1..=2 {
-            for mode in [KhopMode::CountStar, KhopMode::LastEdgeGt(1_350_000_000), KhopMode::Chain(1_310_000_000)] {
+            for mode in [
+                KhopMode::CountStar,
+                KhopMode::LastEdgeGt(1_350_000_000),
+                KhopMode::Chain(1_310_000_000),
+            ] {
                 let f = e.execute(&khop("NODE", "LINK", "ts", hops, mode, false)).unwrap();
                 let b = e.execute(&khop("NODE", "LINK", "ts", hops, mode, true)).unwrap();
                 assert_eq!(f, b, "hops={hops} mode={mode:?}");

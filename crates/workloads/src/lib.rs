@@ -1,10 +1,12 @@
 //! Benchmark workloads (Section 8): the LDBC-like IS/IC suites, the 33
-//! JOB-like star-join queries, and the k-hop microbenchmark generators used
-//! by Tables 3–5 and Figure 12.
+//! JOB-like star-join queries, the k-hop microbenchmark generators used by
+//! Tables 3–5 and Figure 12, and the GA grouped-aggregation/top-k suite.
 
+pub mod grouped;
 pub mod job;
 pub mod khop;
 pub mod ldbc;
 
+pub use grouped::ga_queries;
 pub use khop::{khop, khop_propless, khop_propless_dir, KhopMode};
 pub use ldbc::LdbcParams;

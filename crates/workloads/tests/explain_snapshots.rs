@@ -19,7 +19,7 @@ use gfcl_core::{Engine, GfClEngine, PatternQuery};
 use gfcl_datagen::{MovieParams, PowerLawParams, SocialParams};
 use gfcl_storage::{ColumnarGraph, RawGraph, StorageConfig};
 use gfcl_workloads::ldbc::{self, LdbcParams};
-use gfcl_workloads::{job, khop, KhopMode};
+use gfcl_workloads::{ga_queries, job, khop, KhopMode};
 
 fn render_suite(raw: &RawGraph, queries: &[(String, PatternQuery)]) -> String {
     let graph = Arc::new(ColumnarGraph::build(raw, StorageConfig::default()).unwrap());
@@ -67,6 +67,16 @@ fn ldbc_explain_snapshots() {
     let raw = gfcl_datagen::generate_social(SocialParams::scale(persons));
     let params = LdbcParams::for_scale(persons);
     assert_snapshot("ldbc.explain.txt", &render_suite(&raw, &ldbc::all_queries(&params)));
+}
+
+#[test]
+fn grouped_explain_snapshots() {
+    // The GA grouped/top-k suite: snapshots pin the GROUP sink line (keys,
+    // flatten avoidance, estimated group count) and ORDER BY/LIMIT.
+    let persons = 80;
+    let raw = gfcl_datagen::generate_social(SocialParams::scale(persons));
+    let params = LdbcParams::for_scale(persons);
+    assert_snapshot("grouped.explain.txt", &render_suite(&raw, &ga_queries(&params)));
 }
 
 #[test]

@@ -1,0 +1,213 @@
+//! Grouped-aggregation correctness nets:
+//!
+//! 1. every GA workload query agrees **byte-for-byte** (not just
+//!    canonically) across GF-CL at 1 and 4 workers, GF-CV, GF-RV, and the
+//!    relational baseline — grouped and top-k outputs are canonically
+//!    ordered, so exact equality is required;
+//! 2. a property test: grouped aggregation over random power-law graphs
+//!    equals a naive enumerate-then-fold reference (computed in this file
+//!    from plain projection rows, independent of the engine's aggregate
+//!    machinery), at `threads = 1` and `threads = 4`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use gfcl_baselines::{GfCvEngine, GfRvEngine, RelEngine};
+use gfcl_common::Value;
+use gfcl_core::query::{col, gt, lit, Agg, PatternQuery, SortDir};
+use gfcl_core::{Engine, ExecOptions, GfClEngine, QueryOutput};
+use gfcl_datagen::{PowerLawParams, SocialParams};
+use gfcl_storage::{ColumnarGraph, RowGraph, StorageConfig};
+use gfcl_workloads::{ga_queries, LdbcParams};
+use proptest::prelude::*;
+
+#[test]
+fn ga_queries_agree_byte_for_byte_across_engines_and_threads() {
+    let persons = 100;
+    let raw = gfcl_datagen::generate_social(SocialParams::scale(persons));
+    let params = LdbcParams::for_scale(persons);
+    let colg = Arc::new(ColumnarGraph::build(&raw, StorageConfig::default()).unwrap());
+    let rowg = Arc::new(RowGraph::build(&raw).unwrap());
+
+    let engines: Vec<(String, Box<dyn Engine>)> = vec![
+        ("GF-CL/1".into(), Box::new(GfClEngine::with_options(colg.clone(), ExecOptions::serial()))),
+        (
+            "GF-CL/4".into(),
+            Box::new(GfClEngine::with_options(colg.clone(), ExecOptions::with_threads(4))),
+        ),
+        ("GF-CV".into(), Box::new(GfCvEngine::new(colg.clone()))),
+        ("GF-RV".into(), Box::new(GfRvEngine::new(rowg))),
+        ("REL".into(), Box::new(RelEngine::new(colg))),
+    ];
+
+    for (qname, q) in ga_queries(&params) {
+        let reference = engines[0]
+            .1
+            .execute(&q)
+            .unwrap_or_else(|e| panic!("{qname} failed on {}: {e}", engines[0].0));
+        assert!(reference.cardinality() > 0, "{qname} should not be empty");
+        for (ename, engine) in &engines[1..] {
+            let out =
+                engine.execute(&q).unwrap_or_else(|e| panic!("{qname} failed on {ename}: {e}"));
+            assert_eq!(out, reference, "{qname}: {ename} vs {}", engines[0].0);
+        }
+    }
+}
+
+// ---- Property test: factorized grouped aggregation vs naive fold ----------
+
+/// The grouped 2-hop under test: per start vertex, aggregate the far edge's
+/// timestamp — the far end stays an unflat adjacency view in the LBP.
+fn grouped_two_hop(t: i64) -> PatternQuery {
+    PatternQuery::builder()
+        .node("v0", "NODE")
+        .node("v1", "NODE")
+        .node("v2", "NODE")
+        .edge("e1", "LINK", "v0", "v1")
+        .edge("e2", "LINK", "v1", "v2")
+        .filter(gt(col("e1", "ts"), lit(t)))
+        .group_by(&[("v0", "id")])
+        .returns_agg(vec![
+            Agg::count_star(),
+            Agg::sum("e2", "ts"),
+            Agg::min("e2", "ts"),
+            Agg::max("e2", "ts"),
+            Agg::avg("e2", "ts"),
+            Agg::count_distinct("v2", "id"),
+        ])
+        .build()
+}
+
+/// The same matches as flat rows, for the naive reference fold.
+fn enumerated_two_hop(t: i64) -> PatternQuery {
+    PatternQuery::builder()
+        .node("v0", "NODE")
+        .node("v1", "NODE")
+        .node("v2", "NODE")
+        .edge("e1", "LINK", "v0", "v1")
+        .edge("e2", "LINK", "v1", "v2")
+        .filter(gt(col("e1", "ts"), lit(t)))
+        .returns(&[("v0", "id"), ("e2", "ts"), ("v2", "id")])
+        .build()
+}
+
+/// Naive enumerate-then-fold reference, written with plain maps and i64
+/// arithmetic — deliberately independent of `gfcl_core::agg`.
+fn naive_reference(rows: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    struct Acc {
+        count: i64,
+        sum: i64,
+        min: Option<i64>,
+        max: Option<i64>,
+        distinct: BTreeSet<i64>,
+    }
+    let mut groups: BTreeMap<i64, Acc> = BTreeMap::new();
+    for r in rows {
+        let key = r[0].as_i64().expect("id is non-null");
+        let ts = r[1].as_i64().expect("ts is non-null");
+        let far = r[2].as_i64().expect("id is non-null");
+        let acc = groups.entry(key).or_insert(Acc {
+            count: 0,
+            sum: 0,
+            min: None,
+            max: None,
+            distinct: BTreeSet::new(),
+        });
+        acc.count += 1;
+        acc.sum += ts;
+        acc.min = Some(acc.min.map_or(ts, |m| m.min(ts)));
+        acc.max = Some(acc.max.map_or(ts, |m| m.max(ts)));
+        acc.distinct.insert(far);
+    }
+    groups
+        .into_iter()
+        .map(|(k, a)| {
+            vec![
+                Value::Int64(k),
+                Value::Int64(a.count),
+                Value::Int64(a.sum),
+                a.min.map_or(Value::Null, Value::Date),
+                a.max.map_or(Value::Null, Value::Date),
+                Value::Float64(a.sum as f64 / a.count as f64),
+                Value::Int64(a.distinct.len() as i64),
+            ]
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn grouped_aggregation_matches_naive_fold_on_random_powerlaw_graphs(
+        nodes in 30usize..150,
+        avg_degree in 1.0f64..5.0,
+        exponent in 1.4f64..2.4,
+        seed in 0u64..1_000,
+        t in 1_300_000_000i64..1_500_000_000,
+    ) {
+        let raw = gfcl_datagen::generate_powerlaw(PowerLawParams {
+            nodes, avg_degree, exponent, seed,
+        });
+        let graph = Arc::new(ColumnarGraph::build(&raw, StorageConfig::default()).unwrap());
+        let serial = GfClEngine::with_options(graph.clone(), ExecOptions::serial());
+
+        let flat = serial.execute(&enumerated_two_hop(t)).unwrap();
+        let QueryOutput::Rows { rows, .. } = flat else { panic!("rows expected") };
+        let expected = naive_reference(&rows);
+
+        for threads in [1usize, 4] {
+            let engine =
+                GfClEngine::with_options(graph.clone(), ExecOptions::with_threads(threads));
+            let out = engine.execute(&grouped_two_hop(t)).unwrap();
+            let QueryOutput::Rows { rows: got, .. } = out else { panic!("rows expected") };
+            prop_assert_eq!(&got, &expected, "threads={}", threads);
+        }
+    }
+
+    /// Top-k over the same random graphs: the engine's ordered/limited
+    /// output equals sorting + truncating the enumerated rows.
+    #[test]
+    fn top_k_matches_naive_sort_on_random_powerlaw_graphs(
+        nodes in 30usize..120,
+        seed in 0u64..1_000,
+        k in 1usize..20,
+    ) {
+        let raw = gfcl_datagen::generate_powerlaw(PowerLawParams {
+            nodes, avg_degree: 3.0, exponent: 1.8, seed,
+        });
+        let graph = Arc::new(ColumnarGraph::build(&raw, StorageConfig::default()).unwrap());
+        let q = PatternQuery::builder()
+            .node("v0", "NODE")
+            .node("v1", "NODE")
+            .edge("e1", "LINK", "v0", "v1")
+            .returns(&[("v0", "id"), ("e1", "ts")])
+            .order_by(1, SortDir::Desc)
+            .limit(k)
+            .build();
+        let plain = {
+            let mut p = q.clone();
+            p.order_by.clear();
+            p.limit = None;
+            p
+        };
+        let serial = GfClEngine::with_options(graph.clone(), ExecOptions::serial());
+        let QueryOutput::Rows { rows: mut all, .. } = serial.execute(&plain).unwrap() else {
+            panic!("rows expected")
+        };
+        // Naive: sort by ts desc, tie-break on the whole row, take k.
+        all.sort_by(|a, b| {
+            let ta = a[1].as_i64().unwrap();
+            let tb = b[1].as_i64().unwrap();
+            tb.cmp(&ta).then(a[0].as_i64().unwrap().cmp(&b[0].as_i64().unwrap()))
+        });
+        all.truncate(k);
+        for threads in [1usize, 4] {
+            let engine =
+                GfClEngine::with_options(graph.clone(), ExecOptions::with_threads(threads));
+            let QueryOutput::Rows { rows: got, .. } = engine.execute(&q).unwrap() else {
+                panic!("rows expected")
+            };
+            prop_assert_eq!(&got, &all, "threads={}", threads);
+        }
+    }
+}

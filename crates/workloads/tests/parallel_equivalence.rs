@@ -13,9 +13,7 @@ use std::sync::Arc;
 use gfcl_core::query::{col, ge, gt, lit, lt, PatternQuery, QueryBuilder};
 use gfcl_core::{Engine, ExecOptions, GfClEngine};
 use gfcl_datagen::{MovieParams, PowerLawParams, SocialParams};
-use gfcl_storage::{
-    Cardinality, Catalog, ColumnarGraph, PropertyDef, RawGraph, StorageConfig,
-};
+use gfcl_storage::{Cardinality, Catalog, ColumnarGraph, PropertyDef, RawGraph, StorageConfig};
 use gfcl_workloads::ldbc::{self, LdbcParams};
 use gfcl_workloads::{job, khop, KhopMode};
 use proptest::prelude::*;
@@ -28,13 +26,10 @@ fn par_threads() -> usize {
 fn assert_serial_parallel_agree(raw: &RawGraph, queries: &[(String, PatternQuery)]) {
     let graph = Arc::new(ColumnarGraph::build(raw, StorageConfig::default()).unwrap());
     let serial = GfClEngine::with_options(graph.clone(), ExecOptions::serial());
-    let parallel =
-        GfClEngine::with_options(graph, ExecOptions::with_threads(par_threads()));
+    let parallel = GfClEngine::with_options(graph, ExecOptions::with_threads(par_threads()));
     for (name, q) in queries {
-        let s = serial
-            .execute(q)
-            .unwrap_or_else(|e| panic!("{name} failed serial: {e}"))
-            .canonical();
+        let s =
+            serial.execute(q).unwrap_or_else(|e| panic!("{name} failed serial: {e}")).canonical();
         let p = parallel
             .execute(q)
             .unwrap_or_else(|e| panic!("{name} failed parallel: {e}"))
@@ -99,14 +94,9 @@ struct RandomGraph {
 fn graph_strategy() -> impl Strategy<Value = RandomGraph> {
     (2usize..40, 2usize..40)
         .prop_flat_map(|(n_a, n_b)| {
-            let ab = proptest::collection::vec(
-                (0..n_a as u64, 0..n_b as u64, -30i64..30),
-                0..120,
-            );
-            let single = proptest::collection::vec(
-                proptest::option::of((0..n_b as u64, -30i64..30)),
-                n_a,
-            );
+            let ab = proptest::collection::vec((0..n_a as u64, 0..n_b as u64, -30i64..30), 0..120);
+            let single =
+                proptest::collection::vec(proptest::option::of((0..n_b as u64, -30i64..30)), n_a);
             let a_props =
                 proptest::collection::vec(proptest::option::weighted(0.85, -50i64..50), n_a);
             let b_props =
@@ -125,8 +115,12 @@ fn graph_strategy() -> impl Strategy<Value = RandomGraph> {
 
 fn to_raw(g: &RandomGraph) -> RawGraph {
     let mut cat = Catalog::new();
-    let a = cat.add_vertex_label("A", vec![PropertyDef::new("x", gfcl_common::DataType::Int64)]).unwrap();
-    let b = cat.add_vertex_label("B", vec![PropertyDef::new("y", gfcl_common::DataType::Int64)]).unwrap();
+    let a = cat
+        .add_vertex_label("A", vec![PropertyDef::new("x", gfcl_common::DataType::Int64)])
+        .unwrap();
+    let b = cat
+        .add_vertex_label("B", vec![PropertyDef::new("y", gfcl_common::DataType::Int64)])
+        .unwrap();
     let ab = cat
         .add_edge_label(
             "AB",

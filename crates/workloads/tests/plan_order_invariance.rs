@@ -76,11 +76,8 @@ fn check_invariance(raw: &RawGraph, queries: &[(String, PatternQuery)]) {
         if n == 0 {
             continue;
         }
-        let perms = if n <= 5 {
-            all_perms(n)
-        } else {
-            sampled_perms(n, 24, 0xC0FFEE ^ (qi as u64))
-        };
+        let perms =
+            if n <= 5 { all_perms(n) } else { sampled_perms(n, 24, 0xC0FFEE ^ (qi as u64)) };
         let mut valid = 0usize;
         for perm in &perms {
             let mut hinted = q.clone();

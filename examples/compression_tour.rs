@@ -39,13 +39,16 @@ fn main() {
     // Predicate pre-evaluation: one pass over 5 distinct values.
     let dict = col.dictionary().unwrap();
     let matching = dict.matching_codes(|s| s.contains("e"));
-    println!("  CONTAINS 'e' pre-evaluated over the dictionary: {} matching codes", matching.count_ones());
+    println!(
+        "  CONTAINS 'e' pre-evaluated over the dictionary: {} matching codes",
+        matching.count_ones()
+    );
 
     // ---- NULL compression design space (Section 5.3, Figure 10) ----
     println!("\n== NULL compression at 30% density ==");
     let n = 2_000_000usize;
     let sparse: Vec<Option<i64>> =
-        (0..n).map(|i| ((i * 2654435761) % 10 < 3).then(|| i as i64)).collect();
+        (0..n).map(|i| ((i * 2654435761) % 10 < 3).then_some(i as i64)).collect();
     let layouts: Vec<(&str, NullKind)> = vec![
         ("Uncompressed", NullKind::Uncompressed),
         ("Sparse positions (Abadi #1)", NullKind::Sparse),
@@ -53,10 +56,7 @@ fn main() {
         ("Vanilla bitmap (Abadi #3)", NullKind::Vanilla),
         ("J-NULL (Jacobson, m=c=16)", NullKind::Jacobson(RankParams::default())),
     ];
-    println!(
-        "  {:<28} {:>10} {:>12} {:>16}",
-        "layout", "total", "overhead", "1M random reads"
-    );
+    println!("  {:<28} {:>10} {:>12} {:>16}", "layout", "total", "overhead", "1M random reads");
     for (name, kind) in layouts {
         let col = Column::from_i64(DataType::Int64, &sparse, kind);
         // Time random access (Desideratum 2: must be constant time).

@@ -11,7 +11,9 @@ use std::time::Instant;
 
 use gfcl::datagen::{generate_movies, MovieParams};
 use gfcl::workloads::job;
-use gfcl::{ColumnarGraph, Engine, GfClEngine, GfCvEngine, GfRvEngine, RelEngine, RowGraph, StorageConfig};
+use gfcl::{
+    ColumnarGraph, Engine, GfClEngine, GfCvEngine, GfRvEngine, RelEngine, RowGraph, StorageConfig,
+};
 
 fn main() {
     let titles = 4_000;
@@ -29,7 +31,7 @@ fn main() {
     ];
 
     let picks = ["2a", "6a", "14a", "17a", "25a", "31a"];
-    println!("\n{:>5} | {:>12} | {}", "query", "count", "runtime per engine");
+    println!("\n{:>5} | {:>12} | runtime per engine", "query", "count");
     for name in picks {
         let q = job::query(name).expect("known query");
         print!("{name:>5} | ");

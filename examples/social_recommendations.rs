@@ -64,9 +64,11 @@ fn main() {
         .returns_count()
         .build();
 
-    for (name, query) in
-        [("friend-of-friend candidates for p42", &fof), ("recently active candidates", &active), ("global 2-hop reach", &reach)]
-    {
+    for (name, query) in [
+        ("friend-of-friend candidates for p42", &fof),
+        ("recently active candidates", &active),
+        ("global 2-hop reach", &reach),
+    ] {
         println!("\n== {name} ==");
         for engine in &engines {
             let t0 = Instant::now();

@@ -76,6 +76,47 @@
 //! assert!(text.contains("est ~"), "{text}");
 //! ```
 //!
+//! ## Aggregation & top-k
+//!
+//! Grouped aggregates (`COUNT`/`SUM`/`MIN`/`MAX`/`AVG`, plus
+//! `COUNT(DISTINCT)`), `ORDER BY`, `LIMIT`, and `DISTINCT` run directly on
+//! the factorized intermediate result: only the grouping keys are ever
+//! flattened, and aggregates over unflat adjacency lists fold by
+//! multiplicity without enumerating tuples (see `ARCHITECTURE.md`,
+//! "The aggregation pipeline"). Grouped and top-k outputs are canonically
+//! ordered, so results are byte-identical across engines and worker counts:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gfcl::{Agg, ColumnarGraph, Engine, GfClEngine, QueryOutput, RawGraph, SortDir,
+//!            StorageConfig};
+//! use gfcl::query::PatternQuery;
+//!
+//! let raw = RawGraph::example();
+//! let graph = Arc::new(ColumnarGraph::build(&raw, StorageConfig::default()).unwrap());
+//! let engine = GfClEngine::new(graph);
+//!
+//! // Who follows the most people?
+//! // MATCH (a:PERSON)-[e:FOLLOWS]->(b:PERSON)
+//! // RETURN a.name, COUNT(*), MAX(e.since), COUNT(DISTINCT b.gender)
+//! // ORDER BY COUNT(*) DESC LIMIT 2
+//! let q = PatternQuery::builder()
+//!     .node("a", "PERSON")
+//!     .node("b", "PERSON")
+//!     .edge("e", "FOLLOWS", "a", "b")
+//!     .group_by(&[("a", "name")])
+//!     .returns_agg(vec![Agg::count_star(), Agg::max("e", "since"),
+//!                       Agg::count_distinct("b", "gender")])
+//!     .order_by(1, SortDir::Desc)
+//!     .limit(2)
+//!     .build();
+//! let QueryOutput::Rows { header, rows } = engine.execute(&q).unwrap() else { panic!() };
+//! assert_eq!(header, vec!["a.name", "count(*)", "max(e.since)", "count(distinct b.gender)"]);
+//! assert_eq!(rows.len(), 2);
+//! assert_eq!(rows[0][0], gfcl::Value::String("peter".into())); // 3 followees
+//! assert_eq!(rows[0][1], gfcl::Value::Int64(3));
+//! ```
+//!
 //! See `ARCHITECTURE.md` for the paper-section → module map, `DESIGN.md`
 //! for the system inventory and `EXPERIMENTS.md` for the paper-vs-measured
 //! record of every table and figure.
@@ -91,9 +132,11 @@ pub use gfcl_common::{
 };
 /// The query front-end and the paper's engine: [`PatternQuery`] +
 /// [`Engine`] (with `execute`/`explain`), the list-based [`GfClEngine`],
-/// plans, and execution options for morsel-driven parallelism.
+/// plans, grouped aggregation ([`Agg`], `group_by`/`order_by`/`limit`), and
+/// execution options for morsel-driven parallelism.
 pub use gfcl_core::{
-    Engine, ExecOptions, GfClEngine, LogicalPlan, OrderSource, PatternQuery, QueryOutput,
+    Agg, AggFunc, Engine, ExecOptions, GfClEngine, LogicalPlan, OrderSource, PatternQuery,
+    QueryOutput, SortDir,
 };
 /// The storage layer: catalogs (with build-time [`storage::Stats`]), the
 /// [`RawGraph`] interchange format, and the columnar / row graph builds.

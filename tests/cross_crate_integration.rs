@@ -28,9 +28,8 @@ fn assert_agree(engines: &[Box<dyn Engine>], name: &str, q: &PatternQuery) -> St
     let outputs: Vec<(String, String)> = engines
         .iter()
         .map(|e| {
-            let out = e
-                .execute(q)
-                .unwrap_or_else(|err| panic!("{name} failed on {}: {err}", e.name()));
+            let out =
+                e.execute(q).unwrap_or_else(|err| panic!("{name} failed on {}: {err}", e.name()));
             (e.name().to_owned(), out.canonical())
         })
         .collect();

@@ -39,10 +39,8 @@ fn all_four_engines_construct_and_agree_on_figure_1() {
     ];
 
     let q = example_1();
-    let outputs: Vec<_> = engines
-        .iter()
-        .map(|e| (e.name().to_owned(), e.execute(&q).unwrap()))
-        .collect();
+    let outputs: Vec<_> =
+        engines.iter().map(|e| (e.name().to_owned(), e.execute(&q).unwrap())).collect();
 
     for (name, out) in &outputs {
         assert_eq!(out.cardinality(), 2, "{name}: expected alice->UW and bob->UofT");

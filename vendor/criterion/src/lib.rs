@@ -86,7 +86,12 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -207,10 +212,33 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Append one `{"bench": ..., "ns_per_iter": ...}` JSON line to the file
+/// named by `GFCL_BENCH_JSON` (no-op when unset). CI's `bench-smoke` job
+/// collects these lines into the `BENCH_PR.json` performance artifact.
+pub fn record_json(id: &str, ns_per_iter: f64) {
+    let Ok(path) = std::env::var("GFCL_BENCH_JSON") else { return };
+    if path.is_empty() || !ns_per_iter.is_finite() {
+        return;
+    }
+    use std::io::Write as _;
+    let escaped: String = id
+        .chars()
+        .map(|c| match c {
+            '"' => '\''.to_string(),
+            '\\' => '/'.to_string(),
+            c => c.to_string(),
+        })
+        .collect();
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        let _ = writeln!(f, "{{\"bench\": \"{escaped}\", \"ns_per_iter\": {ns_per_iter:.1}}}");
+    }
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, measurement_time: Duration, f: &mut F) {
     let mut b = Bencher { best_ns_per_iter: f64::NAN, measurement_time };
     f(&mut b);
     let ns = b.best_ns_per_iter;
+    record_json(id, ns);
     let human = if ns.is_nan() {
         "no iter() call".to_owned()
     } else if ns < 1_000.0 {

@@ -106,12 +106,9 @@ pub mod test_runner {
         let base = base_seed();
         for case in 0..config.cases as u64 {
             // SplitMix the (base, case) pair into a well-spread seed.
-            let mut rng = TestRng::from_seed(
-                base.wrapping_add(case.wrapping_mul(0xA076_1D64_78BD_642F)),
-            );
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                body(&mut rng)
-            }));
+            let mut rng =
+                TestRng::from_seed(base.wrapping_add(case.wrapping_mul(0xA076_1D64_78BD_642F)));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
             if let Err(payload) = result {
                 eprintln!(
                     "proptest: failing case {case} of {} (base seed {base:#x})",
@@ -730,10 +727,9 @@ mod tests {
     #[test]
     fn config_cases_respected() {
         let mut count = 0;
-        crate::test_runner::run(
-            &crate::test_runner::ProptestConfig::with_cases(24),
-            |_rng| count += 1,
-        );
+        crate::test_runner::run(&crate::test_runner::ProptestConfig::with_cases(24), |_rng| {
+            count += 1
+        });
         assert_eq!(count, 24);
     }
 }
