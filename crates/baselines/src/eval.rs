@@ -6,8 +6,22 @@
 //! a row-oriented interpreter would. Three-valued logic matches the LBP.
 
 use gfcl_common::Value;
-use gfcl_core::plan::{PlanExpr, PlanScalar, SlotId};
+use gfcl_core::plan::{PlanExpr, PlanScalar, SlotDef, SlotId, SlotSource};
 use gfcl_core::query::{CmpOp, StrOp};
+
+/// `slot -> property index` of pattern node `node`, for resolving
+/// pushed-down scan predicates against storage (`usize::MAX` for slots of
+/// other variables, which pushed predicates never touch). Shared by the
+/// Volcano and relational scans so their slot resolution cannot diverge.
+pub fn scan_prop_map(slots: &[SlotDef], node: usize) -> Vec<usize> {
+    slots
+        .iter()
+        .map(|def| match def.source {
+            SlotSource::NodeProp { node: n, prop } if n == node => prop,
+            _ => usize::MAX,
+        })
+        .collect()
+}
 
 /// Evaluate `expr` with slot values provided by `slot`. `None` = UNKNOWN.
 pub fn eval_expr(expr: &PlanExpr, slot: &impl Fn(SlotId) -> Value) -> Option<bool> {

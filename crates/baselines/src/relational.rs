@@ -125,9 +125,21 @@ impl Engine for RelEngine {
 
         for step in &plan.steps {
             match step {
-                PlanStep::ScanAll { node } => {
+                PlanStep::ScanAll { node, pushed } => {
                     let label = plan.nodes[*node].label;
-                    let col: Vec<u64> = (0..g.vertex_count(label) as u64).collect();
+                    // Naive pushdown: filter the vertex-table scan with the
+                    // pushed predicates, reading properties straight from
+                    // the columns (a relational scan-with-predicate).
+                    let prop_of_slot = crate::eval::scan_prop_map(&plan.slots, *node);
+                    let col: Vec<u64> = (0..g.vertex_count(label) as u64)
+                        .filter(|&v| {
+                            pushed.iter().all(|e| {
+                                holds(e, &|slot| {
+                                    g.vertex_prop(label, prop_of_slot[slot]).value(v as usize)
+                                })
+                            })
+                        })
+                        .collect();
                     it.n = col.len();
                     it.nodes[*node] = Some(col);
                 }

@@ -57,9 +57,20 @@ pub struct Tuple {
 
 enum VOp {
     ScanAll {
+        label: LabelId,
         node: usize,
         next: u64,
         total: u64,
+        /// Naive filter pushdown: predicates over the scanned node's
+        /// properties, evaluated per vertex straight from storage before
+        /// the tuple leaves the scan. No zone maps here — the Volcano
+        /// engines exist to isolate the LBP's gains, so they do the
+        /// honest tuple-at-a-time equivalent.
+        pushed: Vec<PlanExpr>,
+        /// `slot -> property index` of the scanned label, for resolving
+        /// pushed-predicate slots against storage (`usize::MAX` for slots
+        /// of other variables, which pushed predicates never touch).
+        prop_of_slot: Vec<usize>,
     },
     ScanPk {
         label: LabelId,
@@ -102,14 +113,20 @@ enum ExtendState {
 fn vpull<S: VolcanoStorage>(ops: &mut [VOp], s: &S, t: &mut Tuple) -> Result<bool> {
     let (op, children) = ops.split_last_mut().expect("non-empty pipeline");
     match op {
-        VOp::ScanAll { node, next, total, .. } => {
+        VOp::ScanAll { label, node, next, total, pushed, prop_of_slot } => loop {
             if *next >= *total {
                 return Ok(false);
             }
-            t.nodes[*node] = *next;
+            let v = *next;
             *next += 1;
-            Ok(true)
-        }
+            let pass = pushed
+                .iter()
+                .all(|e| holds(e, &|slot| s.vertex_prop(*label, v, prop_of_slot[slot])));
+            if pass {
+                t.nodes[*node] = v;
+                return Ok(true);
+            }
+        },
         VOp::ScanPk { label, node, key, done } => {
             if *done {
                 return Ok(false);
@@ -182,12 +199,16 @@ pub fn execute<S: VolcanoStorage>(storage: &S, plan: &LogicalPlan) -> Result<Que
     let mut edge_dir: Vec<Option<Direction>> = vec![None; plan.edges.len()];
     for step in &plan.steps {
         match step {
-            PlanStep::ScanAll { node } => {
+            PlanStep::ScanAll { node, pushed } => {
                 let label = plan.nodes[*node].label;
+                let prop_of_slot = crate::eval::scan_prop_map(&plan.slots, *node);
                 ops.push(VOp::ScanAll {
+                    label,
                     node: *node,
                     next: 0,
                     total: storage.vertex_count(label) as u64,
+                    pushed: pushed.clone(),
+                    prop_of_slot,
                 });
             }
             PlanStep::ScanPk { node, key } => {

@@ -1,0 +1,128 @@
+//! Compare a bench-smoke run against the committed baseline.
+//!
+//! ```sh
+//! bench_compare BENCH_BASELINE.json BENCH_PR.json [max_ratio]
+//! ```
+//!
+//! Both files are the flat `{"bench name": ns_per_iter, ...}` maps the CI
+//! `bench-smoke` job assembles from `GFCL_BENCH_JSON` lines. The tool
+//! prints a per-bench delta table and exits non-zero when any bench shared
+//! by both files regressed by more than `max_ratio` (default 2.0 —
+//! quick-mode CI runners are noisy; the gate catches order-of-magnitude
+//! breakage, the committed full-scale floors catch the rest). Benches new
+//! in the PR or missing from it are reported but never fail the gate.
+
+use std::process::ExitCode;
+
+/// Parse the flat `{"name": number, ...}` map (the only JSON shape the
+/// perf artifacts use — keys are sanitized by `gfcl_bench::record`, so no
+/// escapes occur).
+fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        // Find the next key.
+        let Some(k0) = text[i..].find('"').map(|p| i + p + 1) else { break };
+        let Some(k1) = text[k0..].find('"').map(|p| k0 + p) else {
+            return Err("unterminated string".into());
+        };
+        let key = &text[k0..k1];
+        let Some(colon) = text[k1..].find(':').map(|p| k1 + p + 1) else {
+            return Err(format!("no value for key {key:?}"));
+        };
+        let rest = text[colon..].trim_start();
+        let trimmed = text[colon..].len() - rest.len();
+        let end =
+            rest.find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c))).unwrap_or(rest.len());
+        let num: f64 =
+            rest[..end].parse().map_err(|e| format!("bad number for key {key:?}: {e}"))?;
+        out.push((key.to_owned(), num));
+        i = colon + trimmed + end;
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    parse_flat_json(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: bench_compare <BASELINE.json> <PR.json> [max_ratio]");
+        return ExitCode::from(2);
+    }
+    let max_ratio: f64 = args.get(2).map_or(2.0, |s| s.parse().expect("max_ratio"));
+    let baseline = load(&args[0]);
+    let pr = load(&args[1]);
+
+    let mut regressions = 0usize;
+    let width =
+        pr.iter().chain(&baseline).map(|(k, _)| k.len()).max().unwrap_or(5).max("bench".len());
+    println!("{:<width$} | {:>10} | {:>10} | {:>8}", "bench", "baseline", "PR", "ratio");
+    println!("{}", "-".repeat(width + 38));
+    for (name, pr_ns) in &pr {
+        match baseline.iter().find(|(b, _)| b == name) {
+            Some((_, base_ns)) if *base_ns > 0.0 => {
+                let ratio = pr_ns / base_ns;
+                let flag = if ratio > max_ratio {
+                    regressions += 1;
+                    "  << REGRESSION"
+                } else {
+                    ""
+                };
+                println!(
+                    "{name:<width$} | {:>10} | {:>10} | {ratio:>7.2}x{flag}",
+                    fmt_ns(*base_ns),
+                    fmt_ns(*pr_ns),
+                );
+            }
+            _ => println!("{name:<width$} | {:>10} | {:>10} |     new", "-", fmt_ns(*pr_ns)),
+        }
+    }
+    for (name, base_ns) in &baseline {
+        if !pr.iter().any(|(p, _)| p == name) {
+            println!("{name:<width$} | {:>10} | {:>10} | missing", fmt_ns(*base_ns), "-");
+        }
+    }
+    if regressions > 0 {
+        eprintln!("\n{regressions} bench(es) regressed by more than {max_ratio:.1}x");
+        return ExitCode::FAILURE;
+    }
+    println!("\nno bench regressed by more than {max_ratio:.1}x");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_jq_style_pretty_json() {
+        let text = "{\n  \"a/b c\": 12.5,\n  \"d\": 3e4\n}\n";
+        let m = parse_flat_json(text).unwrap();
+        assert_eq!(m, vec![("a/b c".to_owned(), 12.5), ("d".to_owned(), 3e4)]);
+    }
+
+    #[test]
+    fn parses_compact_and_empty() {
+        assert_eq!(parse_flat_json("{}").unwrap(), vec![]);
+        let m = parse_flat_json("{\"x\":1,\"y\":-2.5}").unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[1], ("y".to_owned(), -2.5));
+    }
+}

@@ -11,6 +11,7 @@ use gfcl_common::{DataType, Error, MemoryUsage, Result, Value};
 use crate::dictionary::Dictionary;
 use crate::nulls::{NullKind, NullMap};
 use crate::uint_array::UIntArray;
+use crate::zonemap::ZoneMap;
 
 /// Physical value storage of a column.
 #[derive(Debug, Clone)]
@@ -32,6 +33,9 @@ pub struct Column {
     dtype: DataType,
     data: ColumnData,
     nulls: NullMap,
+    /// Per-block min/max synopses for scan pruning (built on demand by
+    /// [`Column::build_zone_map`]; `None` until then).
+    zones: Option<Box<ZoneMap>>,
 }
 
 impl Column {
@@ -49,7 +53,7 @@ impl Column {
             d.shrink_to_fit();
             d
         };
-        Column { dtype, data: ColumnData::I64(data), nulls }
+        Column { dtype, data: ColumnData::I64(data), nulls, zones: None }
     }
 
     /// Build from `Option<f64>` values.
@@ -65,7 +69,7 @@ impl Column {
             d.shrink_to_fit();
             d
         };
-        Column { dtype: DataType::Float64, data: ColumnData::F64(data), nulls }
+        Column { dtype: DataType::Float64, data: ColumnData::F64(data), nulls, zones: None }
     }
 
     /// Build from `Option<bool>` values.
@@ -81,7 +85,7 @@ impl Column {
             d.shrink_to_fit();
             d
         };
-        Column { dtype: DataType::Bool, data: ColumnData::Bool(data), nulls }
+        Column { dtype: DataType::Bool, data: ColumnData::Bool(data), nulls, zones: None }
     }
 
     /// Build a dictionary-encoded string column. With `suppress = true` the
@@ -122,7 +126,12 @@ impl Column {
         } else {
             UIntArray::U64(raw_codes)
         };
-        Column { dtype: DataType::String, data: ColumnData::Str { dict, codes }, nulls }
+        Column {
+            dtype: DataType::String,
+            data: ColumnData::Str { dict, codes },
+            nulls,
+            zones: None,
+        }
     }
 
     /// Build from dynamically-typed values.
@@ -225,6 +234,20 @@ impl Column {
         }
     }
 
+    /// Build (or rebuild) the per-block zone map used for scan pruning.
+    /// One pass over the logical positions; idempotent.
+    pub fn build_zone_map(&mut self) {
+        let zm = ZoneMap::build(self);
+        self.zones = Some(Box::new(zm));
+    }
+
+    /// The zone map, when one has been built ([`Column::build_zone_map`]).
+    /// Scans treat `None` as "no pruning possible".
+    #[inline]
+    pub fn zone_map(&self) -> Option<&ZoneMap> {
+        self.zones.as_deref()
+    }
+
     /// The dictionary, for string columns (predicate pre-evaluation).
     pub fn dictionary(&self) -> Option<&Dictionary> {
         match &self.data {
@@ -259,7 +282,9 @@ impl Column {
 
 impl MemoryUsage for Column {
     fn memory_bytes(&self) -> usize {
-        self.data_bytes() + self.null_overhead_bytes()
+        self.data_bytes()
+            + self.null_overhead_bytes()
+            + self.zones.as_ref().map_or(0, |z| z.memory_bytes())
     }
 }
 

@@ -20,6 +20,9 @@
 //! * [`Column`] — a typed column combining physical values with a
 //!   [`NullMap`]; the building block for vertex columns, edge columns and
 //!   property pages.
+//! * [`ZoneMap`] — per-block min/max (and code-presence) synopses over a
+//!   column, letting scans with pushed-down predicates skip whole blocks
+//!   without touching the data.
 
 pub mod bitmap;
 pub mod column;
@@ -27,6 +30,7 @@ pub mod dictionary;
 pub mod nulls;
 pub mod rank;
 pub mod uint_array;
+pub mod zonemap;
 
 pub use bitmap::Bitmap;
 pub use column::{Column, ColumnBuilder, ColumnData};
@@ -34,6 +38,7 @@ pub use dictionary::Dictionary;
 pub use nulls::{NullKind, NullMap};
 pub use rank::{JacobsonRank, RankParams};
 pub use uint_array::UIntArray;
+pub use zonemap::{ZoneEntry, ZoneInfo, ZoneMap, ZONE_BLOCK};
 
 // Columns and their compression structures are read concurrently by the
 // parallel list-based processor; keep them `Send + Sync` by construction.
@@ -45,4 +50,5 @@ const _: () = {
     assert_send_sync::<NullMap>();
     assert_send_sync::<JacobsonRank>();
     assert_send_sync::<UIntArray>();
+    assert_send_sync::<ZoneMap>();
 };

@@ -1,0 +1,333 @@
+//! Per-block zone maps (block-level min/max synopses) for scan pruning.
+//!
+//! A [`ZoneMap`] summarizes a [`Column`] in fixed [`ZONE_BLOCK`]-value
+//! blocks: the min/max of the non-NULL values (for `Int64`/`Date`/`Float64`
+//! columns), a presence bitmap over dictionary codes (for string columns
+//! whose dictionary is small enough), the true/false mix (for `Bool`
+//! columns), and the NULL count. A scan with a pushed-down predicate
+//! consults the zone map once per block and skips whole blocks whose
+//! summary proves no row can satisfy the predicate — the classic columnar
+//! scan acceleration of Vertica/MonetDB-style engines, specialized here to
+//! the vertex-property columns the list-based processor scans.
+//!
+//! Zone maps live beside the column (not inside its compressed payload):
+//! the summaries are computed through the column's logical accessors, so
+//! every NULL layout (dense, sparse, Jacobson, ...) gets the same map.
+
+use gfcl_common::MemoryUsage;
+
+use crate::bitmap::Bitmap;
+use crate::column::{Column, ColumnData};
+
+/// Number of values summarized per zone-map block. Equal to the default
+/// scan morsel of the list-based processor, so a pruned block maps 1:1 to
+/// a skipped morsel at the default geometry (both remain independently
+/// tunable).
+pub const ZONE_BLOCK: usize = 1024;
+
+/// Largest dictionary for which string blocks keep a code-presence bitmap.
+/// Beyond this NDV a per-block bitmap costs more memory than the pruning is
+/// worth, and the block falls back to [`ZoneInfo::None`] (never pruned).
+pub const ZONE_DICT_MAX_NDV: usize = 1024;
+
+/// The type-specific summary of one block.
+#[derive(Debug, Clone)]
+pub enum ZoneInfo {
+    /// Min/max over the non-NULL values (`Int64`/`Date` columns).
+    I64 { min: i64, max: i64 },
+    /// Min/max over the non-NULL, non-NaN values. When the block holds no
+    /// such value, `min > max` (the empty-range sentinel). `has_nan` is set
+    /// when any non-NULL value is NaN — NaN compares false under every
+    /// ordered comparison, so it needs separate tracking.
+    F64 { min: f64, max: f64, has_nan: bool },
+    /// Which of `true`/`false` occur among the non-NULL values.
+    Bool { any_true: bool, any_false: bool },
+    /// Dictionary codes present in the block (string columns with
+    /// NDV ≤ [`ZONE_DICT_MAX_NDV`]).
+    Codes { present: Bitmap },
+    /// No pruning information (all-NULL block, or an unsupported shape).
+    None,
+}
+
+/// Summary of one [`ZONE_BLOCK`]-sized run of column values.
+#[derive(Debug, Clone)]
+pub struct ZoneEntry {
+    /// Number of logical values in the block (the last block may be short).
+    pub len: u32,
+    /// Number of NULLs among them.
+    pub null_count: u32,
+    pub info: ZoneInfo,
+}
+
+impl ZoneEntry {
+    /// Every value in the block is NULL.
+    pub fn all_null(&self) -> bool {
+        self.null_count == self.len
+    }
+
+    /// At least one value in the block is NULL.
+    pub fn has_nulls(&self) -> bool {
+        self.null_count > 0
+    }
+}
+
+/// Block summaries of one column, in logical-position order.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneMap {
+    blocks: Vec<ZoneEntry>,
+}
+
+impl ZoneMap {
+    /// Zone block containing logical position `pos`.
+    #[inline]
+    pub fn block_of(pos: usize) -> usize {
+        pos / ZONE_BLOCK
+    }
+
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Summary of block `b`.
+    #[inline]
+    pub fn block(&self, b: usize) -> &ZoneEntry {
+        &self.blocks[b]
+    }
+
+    pub fn blocks(&self) -> &[ZoneEntry] {
+        &self.blocks
+    }
+
+    /// Build the zone map of `col` in one pass over its logical positions.
+    pub fn build(col: &Column) -> ZoneMap {
+        let n = col.len();
+        let mut blocks = Vec::with_capacity(n.div_ceil(ZONE_BLOCK));
+        let dict_ndv = col.dictionary().map(crate::dictionary::Dictionary::len);
+        for start in (0..n).step_by(ZONE_BLOCK) {
+            let end = (start + ZONE_BLOCK).min(n);
+            blocks.push(summarize(col, start, end, dict_ndv));
+        }
+        ZoneMap { blocks }
+    }
+}
+
+/// Summarize logical positions `start..end` of `col`.
+fn summarize(col: &Column, start: usize, end: usize, dict_ndv: Option<usize>) -> ZoneEntry {
+    let len = (end - start) as u32;
+    let mut null_count = 0u32;
+    let info = match col.data() {
+        ColumnData::I64(_) => {
+            let (mut min, mut max) = (i64::MAX, i64::MIN);
+            for i in start..end {
+                match col.get_i64(i) {
+                    Some(v) => {
+                        min = min.min(v);
+                        max = max.max(v);
+                    }
+                    None => null_count += 1,
+                }
+            }
+            if min > max {
+                ZoneInfo::None // all NULLs
+            } else {
+                ZoneInfo::I64 { min, max }
+            }
+        }
+        ColumnData::F64(_) => {
+            let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+            let mut has_nan = false;
+            let mut any = false;
+            for i in start..end {
+                match col.get_f64(i) {
+                    Some(v) if v.is_nan() => {
+                        has_nan = true;
+                        any = true;
+                    }
+                    Some(v) => {
+                        min = min.min(v);
+                        max = max.max(v);
+                        any = true;
+                    }
+                    None => null_count += 1,
+                }
+            }
+            if any {
+                ZoneInfo::F64 { min, max, has_nan }
+            } else {
+                ZoneInfo::None
+            }
+        }
+        ColumnData::Bool(_) => {
+            let (mut any_true, mut any_false) = (false, false);
+            for i in start..end {
+                match col.get_bool(i) {
+                    Some(true) => any_true = true,
+                    Some(false) => any_false = true,
+                    None => null_count += 1,
+                }
+            }
+            if any_true || any_false {
+                ZoneInfo::Bool { any_true, any_false }
+            } else {
+                ZoneInfo::None
+            }
+        }
+        ColumnData::Str { .. } => {
+            let ndv = dict_ndv.unwrap_or(0);
+            if ndv > ZONE_DICT_MAX_NDV {
+                for i in start..end {
+                    if col.is_null(i) {
+                        null_count += 1;
+                    }
+                }
+                ZoneInfo::None
+            } else {
+                let mut present = Bitmap::zeros(ndv);
+                let mut any = false;
+                for i in start..end {
+                    match col.get_code(i) {
+                        Some(c) => {
+                            present.set(c as usize);
+                            any = true;
+                        }
+                        None => null_count += 1,
+                    }
+                }
+                if any {
+                    ZoneInfo::Codes { present }
+                } else {
+                    ZoneInfo::None
+                }
+            }
+        }
+    };
+    ZoneEntry { len, null_count, info }
+}
+
+impl MemoryUsage for ZoneMap {
+    fn memory_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| {
+                std::mem::size_of::<ZoneEntry>()
+                    + match &b.info {
+                        ZoneInfo::Codes { present } => present.memory_bytes(),
+                        _ => 0,
+                    }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nulls::NullKind;
+    use gfcl_common::DataType;
+
+    #[test]
+    fn i64_blocks_cover_boundaries() {
+        // 2.5 blocks of increasing values: min/max per block must reflect
+        // the exact [start, end) slice, including the short tail block.
+        let n = ZONE_BLOCK * 2 + ZONE_BLOCK / 2;
+        let values: Vec<Option<i64>> = (0..n as i64).map(Some).collect();
+        let col = Column::from_i64(DataType::Int64, &values, NullKind::None);
+        let zm = ZoneMap::build(&col);
+        assert_eq!(zm.n_blocks(), 3);
+        for (b, e) in zm.blocks().iter().enumerate() {
+            let start = (b * ZONE_BLOCK) as i64;
+            let end = ((b + 1) * ZONE_BLOCK).min(n) as i64 - 1;
+            assert_eq!(e.len as i64, end - start + 1);
+            assert_eq!(e.null_count, 0);
+            match e.info {
+                ZoneInfo::I64 { min, max } => {
+                    assert_eq!((min, max), (start, end), "block {b}");
+                }
+                _ => panic!("i64 info expected"),
+            }
+        }
+        // A value sitting exactly on the 1023/1024 boundary lands in the
+        // right block.
+        assert_eq!(ZoneMap::block_of(ZONE_BLOCK - 1), 0);
+        assert_eq!(ZoneMap::block_of(ZONE_BLOCK), 1);
+    }
+
+    #[test]
+    fn all_null_and_single_value_blocks() {
+        let mut values: Vec<Option<i64>> = vec![None; ZONE_BLOCK];
+        values.extend(std::iter::repeat_n(Some(7i64), ZONE_BLOCK));
+        for kind in [NullKind::Uncompressed, NullKind::Sparse, NullKind::jacobson_default()] {
+            let col = Column::from_i64(DataType::Int64, &values, kind);
+            let zm = ZoneMap::build(&col);
+            assert_eq!(zm.n_blocks(), 2);
+            assert!(zm.block(0).all_null());
+            assert!(matches!(zm.block(0).info, ZoneInfo::None));
+            let b1 = zm.block(1);
+            assert!(!b1.has_nulls());
+            assert!(matches!(b1.info, ZoneInfo::I64 { min: 7, max: 7 }));
+        }
+    }
+
+    #[test]
+    fn f64_nan_is_tracked_outside_min_max() {
+        let values: Vec<Option<f64>> =
+            vec![Some(1.0), Some(f64::NAN), Some(-3.5), None, Some(2.25)];
+        let col = Column::from_f64(&values, NullKind::Uncompressed);
+        let zm = ZoneMap::build(&col);
+        let e = zm.block(0);
+        assert_eq!(e.null_count, 1);
+        match e.info {
+            ZoneInfo::F64 { min, max, has_nan } => {
+                assert_eq!((min, max), (-3.5, 2.25));
+                assert!(has_nan);
+            }
+            _ => panic!("f64 info expected"),
+        }
+        // An all-NaN block keeps the empty-range sentinel.
+        let col = Column::from_f64(&[Some(f64::NAN)], NullKind::None);
+        let zm = ZoneMap::build(&col);
+        match zm.block(0).info {
+            ZoneInfo::F64 { min, max, has_nan } => {
+                assert!(min > max, "empty non-NaN range");
+                assert!(has_nan);
+            }
+            _ => panic!("f64 info expected"),
+        }
+    }
+
+    #[test]
+    fn string_blocks_keep_code_presence() {
+        let values: Vec<Option<&str>> = vec![Some("a"), Some("b"), None, Some("a")];
+        let col = Column::from_str(&values, NullKind::Uncompressed, true);
+        let zm = ZoneMap::build(&col);
+        let e = zm.block(0);
+        assert_eq!(e.null_count, 1);
+        match &e.info {
+            ZoneInfo::Codes { present } => {
+                let a = col.get_code(0).unwrap() as usize;
+                let b = col.get_code(1).unwrap() as usize;
+                assert!(present.get(a) && present.get(b));
+                assert_eq!(present.count_ones(), 2);
+            }
+            _ => panic!("codes info expected"),
+        }
+    }
+
+    #[test]
+    fn bool_blocks_track_the_mix() {
+        let col = Column::from_bool(&[Some(true), Some(true), None], NullKind::Uncompressed);
+        let zm = ZoneMap::build(&col);
+        match zm.block(0).info {
+            ZoneInfo::Bool { any_true, any_false } => {
+                assert!(any_true && !any_false);
+            }
+            _ => panic!("bool info expected"),
+        }
+    }
+
+    #[test]
+    fn empty_column_has_no_blocks() {
+        let col = Column::from_i64(DataType::Int64, &[], NullKind::None);
+        assert_eq!(ZoneMap::build(&col).n_blocks(), 0);
+    }
+}

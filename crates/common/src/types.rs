@@ -122,7 +122,7 @@ impl Value {
     /// Lexicographic on `(type rank, value)`, which makes it transitive by
     /// construction: NULL < booleans < numerics < strings. Within the
     /// numeric rank, `Int64`/`Date`/`Float64` order by exact mathematical
-    /// value (see [`Value::numeric_key`] — no precision loss for large
+    /// value (see `Value::numeric_key` — no precision loss for large
     /// integers), with NaN after every finite value; `Int64(3)`, `Date(3)`
     /// and `Float64(3.0)` compare equal, matching [`Value::compare`].
     pub fn total_cmp(&self, other: &Value) -> Ordering {

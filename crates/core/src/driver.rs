@@ -50,34 +50,59 @@ pub struct ExecOptions {
     /// serial path on the calling thread; `n > 1` spawns `n` scoped
     /// workers that partition the scan morsel-by-morsel.
     pub threads: usize,
+    /// Scan morsel size: how many vertices each pipeline claims per pull.
+    /// [`SCAN_MORSEL`] (1024) by default — equal to the zone-map block, so
+    /// one pruned block skips exactly one morsel; tune the two geometries
+    /// together via `GFCL_MORSEL`. Validated at execution time: `0` (the
+    /// sentinel [`ExecOptions::from_env`] stores for garbage input) is an
+    /// [`Error::Plan`](gfcl_common::Error::Plan).
+    pub morsel_size: usize,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { threads: 1 }
+        ExecOptions { threads: 1, morsel_size: SCAN_MORSEL }
     }
 }
 
 impl ExecOptions {
     /// Serial execution (one pipeline on the calling thread).
     pub fn serial() -> ExecOptions {
-        ExecOptions { threads: 1 }
+        ExecOptions::default()
     }
 
     /// Parallel execution with `threads` workers (clamped to at least 1).
     pub fn with_threads(threads: usize) -> ExecOptions {
-        ExecOptions { threads: threads.max(1) }
+        ExecOptions { threads: threads.max(1), ..ExecOptions::default() }
+    }
+
+    /// This configuration with a custom scan morsel size.
+    pub fn morsel(self, morsel_size: usize) -> ExecOptions {
+        ExecOptions { morsel_size, ..self }
     }
 
     /// Read the worker count from `GFCL_THREADS` (unset, empty, or
-    /// unparsable ⇒ serial). This is how CI drives the whole test suite
-    /// through the parallel path without touching call sites.
+    /// unparsable ⇒ serial) and the scan morsel size from `GFCL_MORSEL`
+    /// (unset or empty ⇒ 1024). This is how CI drives the whole test
+    /// suite through the parallel path without touching call sites.
+    ///
+    /// A `GFCL_MORSEL` value that is not a positive integer is *not*
+    /// silently defaulted: it is recorded as the invalid sentinel `0`,
+    /// which every execution rejects with a plan error naming the
+    /// variable — a typo in the tuning knob must not quietly change the
+    /// measured geometry.
     pub fn from_env() -> ExecOptions {
         let threads = std::env::var("GFCL_THREADS")
             .ok()
             .and_then(|s| s.trim().parse::<usize>().ok())
             .unwrap_or(1);
-        ExecOptions::with_threads(threads)
+        let morsel_size = match std::env::var("GFCL_MORSEL") {
+            Err(_) => SCAN_MORSEL,
+            Ok(s) if s.trim().is_empty() => SCAN_MORSEL,
+            // Garbage (unparsable or zero) becomes the invalid sentinel.
+            Ok(s) => s.trim().parse::<usize>().unwrap_or(0),
+        };
+        ExecOptions::with_threads(threads).morsel(morsel_size)
     }
 }
 
@@ -111,10 +136,17 @@ pub fn execute_with(
     plan: &LogicalPlan,
     opts: &ExecOptions,
 ) -> Result<QueryOutput> {
+    if opts.morsel_size == 0 {
+        return Err(gfcl_common::Error::Plan(
+            "scan morsel size must be a positive integer (check ExecOptions::morsel_size / \
+             the GFCL_MORSEL environment variable)"
+                .into(),
+        ));
+    }
     let threads = opts.threads.max(1);
-    let cursor = Arc::new(ScanCursor::for_plan(g, plan)?);
+    let cursor = Arc::new(ScanCursor::for_plan_with(g, plan, opts.morsel_size as u64)?);
     // Never spawn more workers than there are morsels to hand out.
-    let max_useful = (cursor.total() as usize).div_ceil(SCAN_MORSEL).max(1);
+    let max_useful = (cursor.total() as usize).div_ceil(opts.morsel_size).max(1);
     let threads = threads.min(max_useful);
 
     if threads == 1 {

@@ -43,8 +43,8 @@ use gfcl_storage::{AdjIndex, ColumnarGraph};
 
 use crate::agg::{AggState, GroupTable, OrdValue};
 use crate::chunk::{Chunk, ListGroup, NodeData, ValueVector, VecRef};
-use crate::plan::{LogicalPlan, PlanAgg, PlanStep};
-use crate::pred::{compile_pred, CPred, EvalCtx};
+use crate::plan::{LogicalPlan, PlanAgg, PlanStep, SlotSource};
+use crate::pred::{compile_pred, compile_scan_pred, BlockVerdict, CPred, EvalCtx, ScanPred};
 
 // Re-export the driver entry points here so `exec::execute` keeps working
 // as the canonical "run a plan on the columnar graph" call.
@@ -66,23 +66,42 @@ pub const SCAN_MORSEL: usize = 1024;
 pub struct ScanCursor {
     next: AtomicU64,
     total: u64,
+    /// Morsel size the scan operator claims per pull (tunable via
+    /// [`ExecOptions::morsel_size`]; [`SCAN_MORSEL`] by default).
+    morsel: u64,
 }
 
 impl ScanCursor {
-    /// A cursor over `total` scan positions.
+    /// A cursor over `total` scan positions with the default morsel size.
     pub fn new(total: u64) -> ScanCursor {
-        ScanCursor { next: AtomicU64::new(0), total }
+        ScanCursor::with_morsel(total, SCAN_MORSEL as u64)
+    }
+
+    /// A cursor over `total` scan positions claiming `morsel` at a time.
+    pub fn with_morsel(total: u64, morsel: u64) -> ScanCursor {
+        debug_assert!(morsel > 0);
+        ScanCursor { next: AtomicU64::new(0), total, morsel }
     }
 
     /// Cursor sized for `plan`'s scan step (`ScanPk` is a single morsel).
     pub fn for_plan(g: &ColumnarGraph, plan: &LogicalPlan) -> Result<ScanCursor> {
+        ScanCursor::for_plan_with(g, plan, SCAN_MORSEL as u64)
+    }
+
+    /// [`ScanCursor::for_plan`] with an explicit morsel size.
+    pub fn for_plan_with(g: &ColumnarGraph, plan: &LogicalPlan, morsel: u64) -> Result<ScanCursor> {
         match plan.steps.first() {
-            Some(PlanStep::ScanAll { node }) => {
-                Ok(ScanCursor::new(g.vertex_count(plan.nodes[*node].label) as u64))
+            Some(PlanStep::ScanAll { node, .. }) => {
+                Ok(ScanCursor::with_morsel(g.vertex_count(plan.nodes[*node].label) as u64, morsel))
             }
-            Some(PlanStep::ScanPk { .. }) => Ok(ScanCursor::new(1)),
+            Some(PlanStep::ScanPk { .. }) => Ok(ScanCursor::with_morsel(1, morsel)),
             _ => Err(Error::Plan("plan does not start with a scan".into())),
         }
+    }
+
+    /// The morsel size scans claim from this cursor.
+    pub fn morsel(&self) -> u64 {
+        self.morsel
     }
 
     /// Claim the next morsel of up to `morsel` positions. Returns `None`
@@ -105,11 +124,21 @@ impl ScanCursor {
 }
 
 /// A physical operator. `ops[i]`'s child is `ops[i-1]`; `ops[0]` is a scan.
-enum Op {
+enum Op<'g> {
     ScanAll {
         label: LabelId,
         out: VecRef,
         cursor: Arc<ScanCursor>,
+        /// Pushed-down predicates, compiled against the scanned label's
+        /// property columns. The scan consults their zone maps per block
+        /// (skipping morsels no row of which can match) and seeds the
+        /// group's selection mask from the survivors — before any
+        /// `ReadNodeProp` touches a column.
+        pushed: Vec<ScanPred<'g>>,
+        /// Scratch selection mask, reused across morsels.
+        mask: Vec<bool>,
+        /// Scratch per-predicate block verdicts, reused across blocks.
+        verdicts: Vec<BlockVerdict>,
     },
     ScanPk {
         label: LabelId,
@@ -157,20 +186,69 @@ enum Op {
 }
 
 /// Pull the next chunk state through `ops`.
-fn pull(ops: &mut [Op], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool> {
+fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool> {
     let (op, children) = ops.split_last_mut().expect("pipeline has at least a scan");
     match op {
-        Op::ScanAll { label, out, cursor } => {
-            let Some((start, end)) = cursor.claim(SCAN_MORSEL as u64) else {
+        Op::ScanAll { label, out, cursor, pushed, mask, verdicts } => loop {
+            let Some((start, end)) = cursor.claim(cursor.morsel()) else {
                 return Ok(false);
             };
+            let n = (end - start) as usize;
+            // Evaluate the pushed predicates morsel-wide: one zone-map
+            // verdict per overlapping block, row evaluation only where the
+            // verdict is inconclusive. A morsel with no survivor is
+            // skipped without ever materializing its chunk state.
+            let mut all_selected = true;
+            if !pushed.is_empty() {
+                mask.clear();
+                mask.resize(n, false);
+                let mut any_selected = false;
+                let zb = gfcl_columnar::ZONE_BLOCK as u64;
+                let mut bs = start;
+                while bs < end {
+                    let block = (bs / zb) as usize;
+                    let be = ((bs / zb + 1) * zb).min(end);
+                    // Per-predicate verdicts: in a Mixed block, predicates
+                    // the zone map already proved AllTrue are skipped in
+                    // the row loop (only the inconclusive ones pay probes).
+                    verdicts.clear();
+                    verdicts.extend(pushed.iter().map(|p| p.prune(block)));
+                    let combined = verdicts.iter().fold(BlockVerdict::AllTrue, |v, p| v.and(*p));
+                    match combined {
+                        BlockVerdict::AllFalse => all_selected = false,
+                        BlockVerdict::AllTrue => {
+                            mask[(bs - start) as usize..(be - start) as usize].fill(true);
+                            any_selected = true;
+                        }
+                        BlockVerdict::Mixed => {
+                            for v in bs..be {
+                                let keep = pushed
+                                    .iter()
+                                    .zip(verdicts.iter())
+                                    .filter(|(_, &vd)| vd != BlockVerdict::AllTrue)
+                                    .all(|(p, _)| p.holds_at(v as usize));
+                                mask[(v - start) as usize] = keep;
+                                any_selected |= keep;
+                                all_selected &= keep;
+                            }
+                        }
+                    }
+                    bs = be;
+                }
+                if !any_selected {
+                    continue; // the whole morsel is pruned
+                }
+            }
             let vals: Vec<u64> = (start..end).collect();
             let group = &mut chunk.groups[out.group];
-            group.reset(vals.len());
+            group.reset(n);
             group.vectors[out.vec] =
                 ValueVector::Node { label: *label, data: NodeData::Owned(vals) };
-            Ok(true)
-        }
+            if !all_selected {
+                group.and_mask(mask);
+            }
+            return Ok(true);
+        },
         Op::ScanPk { label, key, out, cursor } => {
             if cursor.claim(1).is_none() {
                 return Ok(false);
@@ -313,8 +391,14 @@ fn pull(ops: &mut [Op], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool> {
                 &mut chunk.groups[out.group].vectors[out.vec],
                 ValueVector::Empty,
             );
-            let node_vec = &chunk.groups[node.group].vectors[node.vec];
-            let filled = fill_vector(col, n, *dtype, reuse, |i| node_vec.node_offset(g, i));
+            let ng = &chunk.groups[node.group];
+            let node_vec = &ng.vectors[node.vec];
+            // Selection-aware: positions already unselected (by a pushed
+            // scan predicate or an upstream filter) cost zero column
+            // probes — nothing downstream ever reads them.
+            let filled = fill_vector(col, n, *dtype, reuse, ng.sel.as_deref(), |i| {
+                node_vec.node_offset(g, i)
+            });
             chunk.groups[out.group].vectors[out.vec] = filled;
             Ok(true)
         }
@@ -327,16 +411,54 @@ fn pull(ops: &mut [Op], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool> {
                 &mut chunk.groups[out.group].vectors[out.vec],
                 ValueVector::Empty,
             );
-            let filled = match &chunk.groups[edge.group].vectors[edge.vec] {
+            let eg = &chunk.groups[edge.group];
+            let sel = eg.sel.as_deref();
+            let filled = match &eg.vectors[edge.vec] {
                 ValueVector::EdgeList { label, dir, from, start } => {
                     let read = g.edge_prop_read(*label, *dir, *prop)?;
                     let (label, dir, from, start) = (*label, *dir, *from, *start);
-                    // Resolve per edge: sequential for the indexed
-                    // direction, constant-time random otherwise.
-                    let col_probe = g.resolve_edge_prop(read, label, dir, from, Some(start)).0;
-                    fill_vector(col_probe, n, *dtype, reuse, |i| {
-                        g.resolve_edge_prop(read, label, dir, from, Some(start + i as u64)).1
-                    })
+                    // Hoist the access-path resolution out of the
+                    // per-element loop: each layout reduces to one bulk
+                    // fill over the list's flat positions. Only the
+                    // non-indexed direction of the page layout still pays
+                    // a per-element neighbour lookup.
+                    use gfcl_storage::EdgePropRead;
+                    match read {
+                        // Indexed direction: the flat index IS the CSR
+                        // position — a purely sequential fill.
+                        EdgePropRead::ByPosition(col) => {
+                            fill_vector(col, n, *dtype, reuse, sel, |i| start + i as u64)
+                        }
+                        EdgePropRead::ByEdgeId(col) => {
+                            let csr = g.adj(label, dir).as_csr().expect("edge list over CSR");
+                            fill_vector(col, n, *dtype, reuse, sel, |i| {
+                                csr.edge_id_at(start + i as u64)
+                            })
+                        }
+                        EdgePropRead::ByPageOffset { pages, col, nbr_is_src } => {
+                            let csr = g.adj(label, dir).as_csr().expect("edge list over CSR");
+                            if nbr_is_src {
+                                // Non-indexed direction: the page is keyed
+                                // by the neighbour, resolved per element.
+                                fill_vector(col, n, *dtype, reuse, sel, |i| {
+                                    let pos = start + i as u64;
+                                    pages.flat_index(csr.nbr_at(pos), csr.edge_id_at(pos))
+                                })
+                            } else {
+                                fill_vector(col, n, *dtype, reuse, sel, |i| {
+                                    pages.flat_index(from, csr.edge_id_at(start + i as u64))
+                                })
+                            }
+                        }
+                        EdgePropRead::ByVertex { .. } => {
+                            let col_probe =
+                                g.resolve_edge_prop(read, label, dir, from, Some(start)).0;
+                            fill_vector(col_probe, n, *dtype, reuse, sel, |i| {
+                                g.resolve_edge_prop(read, label, dir, from, Some(start + i as u64))
+                                    .1
+                            })
+                        }
+                    }
                 }
                 ValueVector::SingleEdge { label, dir, from_vec, nbr_vec } => {
                     let read = g.edge_prop_read(*label, *dir, *prop)?;
@@ -351,8 +473,8 @@ fn pull(ops: &mut [Op], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool> {
                         }
                     };
                     let src_vec = if endpoint_is_nbr { *nbr_vec } else { *from_vec };
-                    let vecs = &chunk.groups[edge.group].vectors;
-                    fill_vector(col, n, *dtype, reuse, |i| vecs[src_vec].node_offset(g, i))
+                    let vecs = &eg.vectors;
+                    fill_vector(col, n, *dtype, reuse, sel, |i| vecs[src_vec].node_offset(g, i))
                 }
                 _ => return Err(Error::Exec("edge property read on non-edge vector".into())),
             };
@@ -411,13 +533,20 @@ fn pull(ops: &mut [Op], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool> {
 /// block, reusing `reuse`'s allocation when the shapes match. String
 /// columns stay dictionary-encoded ([`ValueVector::Code`]); decoding is
 /// deferred to the sink (late materialization).
+///
+/// Selection-aware: positions unselected in `sel` are filled with a NULL
+/// placeholder *without probing the column* — nothing downstream reads an
+/// unselected position, so a selective pushed-down predicate makes every
+/// later property read over the same group proportionally cheaper.
 fn fill_vector(
     col: &Column,
     n: usize,
     dtype: DataType,
     reuse: ValueVector,
+    sel: Option<&[bool]>,
     idx: impl Fn(usize) -> u64,
 ) -> ValueVector {
+    let live = |i: usize| sel.is_none_or(|m| m[i]);
     match col.dtype() {
         DataType::Int64 | DataType::Date => {
             let (mut vals, mut valid) = match reuse {
@@ -429,7 +558,7 @@ fn fill_vector(
                 _ => (Vec::with_capacity(n), Vec::with_capacity(n)),
             };
             for i in 0..n {
-                match col.get_i64(idx(i) as usize) {
+                match if live(i) { col.get_i64(idx(i) as usize) } else { None } {
                     Some(v) => {
                         vals.push(v);
                         valid.push(true);
@@ -446,7 +575,7 @@ fn fill_vector(
             let mut vals = Vec::with_capacity(n);
             let mut valid = Vec::with_capacity(n);
             for i in 0..n {
-                match col.get_f64(idx(i) as usize) {
+                match if live(i) { col.get_f64(idx(i) as usize) } else { None } {
                     Some(v) => {
                         vals.push(v);
                         valid.push(true);
@@ -463,7 +592,7 @@ fn fill_vector(
             let mut vals = Vec::with_capacity(n);
             let mut valid = Vec::with_capacity(n);
             for i in 0..n {
-                match col.get_bool(idx(i) as usize) {
+                match if live(i) { col.get_bool(idx(i) as usize) } else { None } {
                     Some(v) => {
                         vals.push(v);
                         valid.push(true);
@@ -486,7 +615,7 @@ fn fill_vector(
                 _ => (Vec::with_capacity(n), Vec::with_capacity(n)),
             };
             for i in 0..n {
-                match col.get_code(idx(i) as usize) {
+                match if live(i) { col.get_code(idx(i) as usize) } else { None } {
                     Some(v) => {
                         vals.push(v);
                         valid.push(true);
@@ -550,7 +679,7 @@ pub(crate) fn vector_value(v: &ValueVector, idx: usize, col: Option<&Column>) ->
 /// compiled from the same [`LogicalPlan`]; pipelines sharing a
 /// [`ScanCursor`] partition the scan between them.
 pub(crate) struct Pipeline<'g> {
-    ops: Vec<Op>,
+    ops: Vec<Op<'g>>,
     pub(crate) chunk: Chunk,
     /// Vector location of each plan slot.
     pub(crate) slot_refs: Vec<VecRef>,
@@ -581,16 +710,40 @@ pub(crate) fn compile<'g>(
     let mut edge_locs: Vec<Option<EdgeBinding>> = vec![None; plan.edges.len()];
     let mut slot_refs: Vec<VecRef> = vec![VecRef { group: usize::MAX, vec: 0 }; plan.slots.len()];
     let mut slot_cols: Vec<Option<&Column>> = vec![None; plan.slots.len()];
-    let mut ops: Vec<Op> = Vec::with_capacity(plan.steps.len());
+    let mut ops: Vec<Op<'g>> = Vec::with_capacity(plan.steps.len());
 
     for step in &plan.steps {
         match step {
-            PlanStep::ScanAll { node } => {
+            PlanStep::ScanAll { node, pushed } => {
                 let label = plan.nodes[*node].label;
                 group_vectors.push(vec![ValueVector::Empty]);
                 let out = VecRef { group: 0, vec: 0 };
                 node_locs[*node] = Some(out);
-                ops.push(Op::ScanAll { label, out, cursor: Arc::clone(cursor) });
+                // Resolve each pushed predicate's slots straight to the
+                // scanned label's property columns — no chunk vector is
+                // ever involved.
+                let scan_cols: Vec<Option<&'g Column>> = plan
+                    .slots
+                    .iter()
+                    .map(|def| match def.source {
+                        SlotSource::NodeProp { node: n, prop } if n == *node => {
+                            Some(g.vertex_prop(label, prop))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                let compiled: Vec<ScanPred<'g>> = pushed
+                    .iter()
+                    .map(|e| compile_scan_pred(e, &plan.slots, &scan_cols))
+                    .collect::<Result<_>>()?;
+                ops.push(Op::ScanAll {
+                    label,
+                    out,
+                    cursor: Arc::clone(cursor),
+                    pushed: compiled,
+                    mask: Vec::new(),
+                    verdicts: Vec::new(),
+                });
             }
             PlanStep::ScanPk { node, key } => {
                 let label = plan.nodes[*node].label;

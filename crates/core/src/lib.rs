@@ -34,7 +34,10 @@ pub mod query;
 pub use driver::ExecOptions;
 pub use engine::{Engine, GfClEngine, QueryOutput};
 pub use optimize::render_explain;
-pub use plan::{plan as plan_query, LogicalPlan, OrderSource, PlanReturn, PlanStep};
+pub use plan::{
+    plan as plan_query, plan_with as plan_query_with, LogicalPlan, OrderSource, PlanOptions,
+    PlanReturn, PlanStep,
+};
 pub use query::{Agg, AggFunc, PatternQuery, ReturnSpec, SortDir};
 
 // The morsel-driven driver shares these between scoped worker threads by

@@ -92,8 +92,12 @@ pub struct SlotDef {
 /// One step of the linear plan.
 #[derive(Debug, Clone)]
 pub enum PlanStep {
-    /// Scan all vertices of the start node's label.
-    ScanAll { node: usize },
+    /// Scan all vertices of the start node's label. `pushed` holds the
+    /// filter conjuncts pushed down into the scan (single-node property
+    /// predicates): the storage layer evaluates them positionally on the
+    /// vertex-property columns — skipping whole blocks via zone maps —
+    /// before any property read materializes a value.
+    ScanAll { node: usize, pushed: Vec<PlanExpr> },
     /// Seek the start node by primary key.
     ScanPk { node: usize, key: i64 },
     /// Join an unbound node via the adjacency index of `edge_label`.
@@ -198,14 +202,57 @@ pub struct LogicalPlan {
     pub sink_card: Option<f64>,
 }
 
-/// Plan `query` against `catalog`.
+/// Knobs of the planning pass itself (not of any single query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Push eligible scan-node filter conjuncts into the scan step
+    /// (`PlanStep::ScanAll::pushed`), enabling zone-map block skipping and
+    /// selection-aware property reads. On by default; `GFCL_NO_PUSHDOWN`
+    /// is the environment escape hatch.
+    pub pushdown: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions { pushdown: true }
+    }
+}
+
+impl PlanOptions {
+    /// Options from the environment: `GFCL_NO_PUSHDOWN` set to anything
+    /// but empty/`0` disables filter pushdown (the escape hatch used by
+    /// the pushdown-equivalence suites and for triaging pruning bugs).
+    pub fn from_env() -> PlanOptions {
+        let disabled = std::env::var("GFCL_NO_PUSHDOWN")
+            .is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0");
+        PlanOptions { pushdown: !disabled }
+    }
+
+    /// Planning with filter pushdown disabled (every predicate stays a
+    /// `Filter` step).
+    pub fn no_pushdown() -> PlanOptions {
+        PlanOptions { pushdown: false }
+    }
+}
+
+/// Plan `query` against `catalog` (options from the environment).
 pub fn plan(query: &PatternQuery, catalog: &Catalog) -> Result<LogicalPlan> {
-    Planner { query, catalog }.run()
+    plan_with(query, catalog, &PlanOptions::from_env())
+}
+
+/// Plan `query` against `catalog` under explicit [`PlanOptions`].
+pub fn plan_with(
+    query: &PatternQuery,
+    catalog: &Catalog,
+    opts: &PlanOptions,
+) -> Result<LogicalPlan> {
+    Planner { query, catalog, opts: *opts }.run()
 }
 
 struct Planner<'a> {
     query: &'a PatternQuery,
     catalog: &'a Catalog,
+    opts: PlanOptions,
 }
 
 impl Planner<'_> {
@@ -408,7 +455,7 @@ impl Planner<'_> {
         let mut steps: Vec<PlanStep> = Vec::new();
         match pk_seek {
             Some((node, key, _)) => steps.push(PlanStep::ScanPk { node, key }),
-            None => steps.push(PlanStep::ScanAll { node: start }),
+            None => steps.push(PlanStep::ScanAll { node: start, pushed: Vec::new() }),
         }
 
         let mut node_bound = vec![false; nodes.len()];
@@ -466,6 +513,57 @@ impl Planner<'_> {
             return Err(Error::Plan(format!(
                 "predicate {pi} references variables never bound by the pattern"
             )));
+        }
+
+        // Filter pushdown: move every pushable conjunct over the scanned
+        // node's properties out of its `Filter` step and into the scan
+        // itself, where storage can evaluate it positionally on the
+        // columns and skip whole blocks via zone maps. Semantically a
+        // no-op (the same mask is ANDed into the scan group either way),
+        // so `GFCL_NO_PUSHDOWN` exists purely as a triage/benchmark
+        // escape hatch.
+        if self.opts.pushdown {
+            if let Some(PlanStep::ScanAll { node: scan_node, .. }) = steps.first() {
+                let scan_node = *scan_node;
+                let mut pushed: Vec<PlanExpr> = Vec::new();
+                steps.retain(|s| match s {
+                    PlanStep::Filter { expr } if is_pushable(expr, &slots, scan_node) => {
+                        pushed.push(expr.clone());
+                        false
+                    }
+                    _ => true,
+                });
+                if let Some(PlanStep::ScanAll { pushed: p, .. }) = steps.first_mut() {
+                    *p = pushed;
+                }
+                // Slots that only fed pushed predicates no longer need a
+                // property-read step at all: the scan evaluates directly
+                // on the column. Keep reads for every slot the remaining
+                // filters or the RETURN clause still touch.
+                let mut used = vec![false; slots.len()];
+                for s in &steps {
+                    if let PlanStep::Filter { expr } = s {
+                        for sl in expr.slots() {
+                            used[sl] = true;
+                        }
+                    }
+                }
+                match &ret {
+                    PlanReturn::CountStar => {}
+                    PlanReturn::Props(ids) => ids.iter().for_each(|&s| used[s] = true),
+                    PlanReturn::Sum(s) | PlanReturn::Min(s) | PlanReturn::Max(s) => used[*s] = true,
+                    PlanReturn::GroupBy { keys, aggs } => {
+                        keys.iter().for_each(|&s| used[s] = true);
+                        aggs.iter().filter_map(|a| a.slot).for_each(|s| used[s] = true);
+                    }
+                }
+                steps.retain(|s| match s {
+                    PlanStep::NodeProp { slot, .. } | PlanStep::EdgeProp { slot, .. } => {
+                        used[*slot]
+                    }
+                    _ => true,
+                });
+            }
         }
 
         let step_cards = optimize::estimate_steps(&steps, &nodes, &edges, &slots, self.catalog);
@@ -669,6 +767,27 @@ impl Planner<'_> {
     }
 }
 
+/// Can `e` be pushed down into a scan of pattern node `node`? Every leaf
+/// must compare a single property slot of that node against constants —
+/// single-column comparisons, `IN` lists, and string matches (which the
+/// predicate compiler pre-evaluates on the dictionary), closed under
+/// AND/OR/NOT. Anything touching another variable, two slots, or no slot
+/// at all stays a `Filter` step.
+pub(crate) fn is_pushable(e: &PlanExpr, slots: &[SlotDef], node: usize) -> bool {
+    let on_node =
+        |s: &SlotId| matches!(slots[*s].source, SlotSource::NodeProp { node: n, .. } if n == node);
+    match e {
+        PlanExpr::Cmp { lhs, rhs, .. } => match (lhs, rhs) {
+            (PlanScalar::Slot(s), PlanScalar::Const(_))
+            | (PlanScalar::Const(_), PlanScalar::Slot(s)) => on_node(s),
+            _ => false,
+        },
+        PlanExpr::StrMatch { slot, .. } | PlanExpr::InSet { slot, .. } => on_node(slot),
+        PlanExpr::And(es) | PlanExpr::Or(es) => es.iter().all(|e| is_pushable(e, slots, node)),
+        PlanExpr::Not(inner) => is_pushable(inner, slots, node),
+    }
+}
+
 /// Upper-case display name of an aggregate function.
 pub fn agg_name(f: AggFunc) -> &'static str {
     match f {
@@ -745,19 +864,67 @@ mod tests {
     #[test]
     fn plans_left_deep_with_early_filters() {
         let p = plan(&two_hop(), &catalog()).unwrap();
-        // Expect: ScanAll(a), NodeProp(a.age), Filter, Extend(e1),
-        // EdgeProp(e1.since), Filter, Extend(e2).
-        assert!(matches!(p.steps[0], PlanStep::ScanAll { node: 0 }));
-        assert!(matches!(p.steps[1], PlanStep::NodeProp { node: 0, .. }));
-        assert!(matches!(p.steps[2], PlanStep::Filter { .. }));
-        assert!(matches!(p.steps[3], PlanStep::Extend { dir: Direction::Fwd, from: 0, to: 1, .. }));
-        assert!(matches!(p.steps[4], PlanStep::EdgeProp { edge: 0, .. }));
-        assert!(matches!(p.steps[5], PlanStep::Filter { .. }));
+        // The scan-node filter `a.age > 50` is pushed into the scan; since
+        // a.age feeds nothing else, its property read disappears entirely.
+        // Expect: ScanAll(a, pushed), Extend(e1), EdgeProp(e1.since),
+        // Filter, Extend(e2).
+        match &p.steps[0] {
+            PlanStep::ScanAll { node: 0, pushed } => assert_eq!(pushed.len(), 1),
+            s => panic!("expected pushed scan, got {s:?}"),
+        }
+        assert!(matches!(p.steps[1], PlanStep::Extend { dir: Direction::Fwd, from: 0, to: 1, .. }));
+        assert!(matches!(p.steps[2], PlanStep::EdgeProp { edge: 0, .. }));
+        assert!(matches!(p.steps[3], PlanStep::Filter { .. }));
         assert!(matches!(
-            p.steps[6],
+            p.steps[4],
             PlanStep::Extend { dir: Direction::Fwd, from: 1, to: 2, single: true, .. }
         ));
+        assert_eq!(p.steps.len(), 5);
+    }
+
+    #[test]
+    fn pushdown_can_be_disabled() {
+        // With pushdown off, the historical shape: ScanAll, NodeProp,
+        // Filter, Extend, EdgeProp, Filter, Extend.
+        let p = plan_with(&two_hop(), &catalog(), &PlanOptions::no_pushdown()).unwrap();
+        assert!(
+            matches!(&p.steps[0], PlanStep::ScanAll { pushed, .. } if pushed.is_empty()),
+            "{:?}",
+            p.steps[0]
+        );
+        assert!(matches!(p.steps[1], PlanStep::NodeProp { node: 0, .. }));
+        assert!(matches!(p.steps[2], PlanStep::Filter { .. }));
         assert_eq!(p.steps.len(), 7);
+    }
+
+    #[test]
+    fn multi_variable_and_edge_predicates_stay_filters() {
+        // An edge predicate and a two-variable predicate must not be
+        // pushed; a pushable OR/NOT combination over scan-node props must.
+        let q = PatternQuery::builder()
+            .node("a", "PERSON")
+            .node("b", "PERSON")
+            .edge("e1", "FOLLOWS", "a", "b")
+            .filter(crate::query::or(vec![
+                gt(col("a", "age"), lit(50)),
+                crate::query::eq(col("a", "name"), lit("bob")),
+            ]))
+            .filter(gt(col("e1", "since"), lit(2000)))
+            .filter(gt(col("b", "age"), col("a", "age")))
+            .returns_count()
+            .build();
+        let p = plan(&q, &catalog()).unwrap();
+        match &p.steps[0] {
+            PlanStep::ScanAll { pushed, .. } => assert_eq!(pushed.len(), 1, "only the OR"),
+            s => panic!("expected scan, got {s:?}"),
+        }
+        let filters = p.steps.iter().filter(|s| matches!(s, PlanStep::Filter { .. })).count();
+        assert_eq!(filters, 2, "edge + two-variable predicates stay");
+        // a.age still has a read step: the unpushed b.age > a.age needs it.
+        assert!(p
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::NodeProp { node: 0, prop, .. } if *prop == 1)));
     }
 
     #[test]
@@ -887,7 +1054,7 @@ mod tests {
             .build();
         let p = plan(&q, &cat).unwrap();
         assert_eq!(p.order_source, OrderSource::Stats);
-        assert!(matches!(p.steps[0], PlanStep::ScanAll { node: 2 }), "{:?}", p.steps[0]);
+        assert!(matches!(p.steps[0], PlanStep::ScanAll { node: 2, .. }), "{:?}", p.steps[0]);
         let dirs: Vec<Direction> = p
             .steps
             .iter()
@@ -903,7 +1070,7 @@ mod tests {
         // order (the paper's policy), with no estimates.
         let p = plan(&q, &catalog()).unwrap();
         assert_eq!(p.order_source, OrderSource::Declaration);
-        assert!(matches!(p.steps[0], PlanStep::ScanAll { node: 0 }));
+        assert!(matches!(p.steps[0], PlanStep::ScanAll { node: 0, .. }));
         assert!(p.step_cards.iter().all(Option::is_none));
     }
 
@@ -922,7 +1089,7 @@ mod tests {
             .build();
         let p = plan(&q, &cat).unwrap();
         assert_eq!(p.order_source, OrderSource::Stats);
-        assert!(matches!(p.steps[0], PlanStep::ScanAll { node: 0 }));
+        assert!(matches!(p.steps[0], PlanStep::ScanAll { node: 0, .. }));
     }
 
     #[test]

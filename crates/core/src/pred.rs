@@ -1,8 +1,8 @@
 //! Compiled vectorized predicates.
 //!
-//! [`PlanExpr`]s are compiled once per query execution into [`CPred`]s that
-//! evaluate directly over chunk vectors. Two columnar techniques from the
-//! paper apply here:
+//! [`PlanExpr`]s are compiled once per query execution into [`CPredG`]s
+//! that evaluate directly over columnar data. Two columnar techniques from
+//! the paper apply here:
 //!
 //! * **String predicates run on compressed data**: any predicate comparing
 //!   a dictionary-encoded string slot with constants (`=`, `<`, `CONTAINS`,
@@ -13,62 +13,91 @@
 //!   operands may live in a flattened group (a single value) or in the
 //!   unflat target group (a block); evaluation broadcasts flat operands.
 //!
+//! The compiled form is generic over *where an operand lives*
+//! ([`CPredG<L>`]): the `Filter` operator evaluates [`CPred`]s whose
+//! operands are chunk-vector locations ([`VecRef`]), while pushed-down scan
+//! predicates evaluate [`ScanPred`]s whose operands are storage columns —
+//! one compiler, one evaluation semantics, two operand resolutions, so
+//! pushdown can never drift from the in-pipeline filter. Scan predicates
+//! additionally support **zone-map pruning** ([`ScanPred::prune`]): a
+//! per-block verdict from the column's [`gfcl_columnar::ZoneMap`] that lets
+//! the scan skip whole blocks without reading a single value.
+//!
 //! NULL semantics are SQL's three-valued logic: comparisons with NULL are
 //! UNKNOWN, and only tuples whose predicate is TRUE survive.
 
-use gfcl_columnar::{Bitmap, Column};
+use gfcl_columnar::{Bitmap, Column, ZoneInfo};
+
 use gfcl_common::{DataType, Error, Result, Value};
 
 use crate::chunk::{Chunk, ValueVector, VecRef};
-use crate::plan::{PlanExpr, PlanScalar, SlotDef};
+use crate::plan::{PlanExpr, PlanScalar, SlotDef, SlotId};
 use crate::query::{CmpOp, StrOp};
 
-/// An i64 operand: a slot block or a constant.
+/// An i64 operand: a located slot or a constant.
 #[derive(Debug, Clone, Copy)]
-pub enum I64Operand {
-    Slot(VecRef),
+pub enum I64Operand<L> {
+    Slot(L),
     Const(i64),
 }
 
 /// An f64 operand, possibly promoting an integer slot.
 #[derive(Debug, Clone, Copy)]
-pub enum F64Operand {
-    F64Slot(VecRef),
-    I64Slot(VecRef),
+pub enum F64Operand<L> {
+    F64Slot(L),
+    I64Slot(L),
     Const(f64),
 }
 
-/// A compiled predicate.
+/// A compiled predicate over operand locations `L`.
 #[derive(Debug, Clone)]
-pub enum CPred {
+pub enum CPredG<L> {
     Const(bool),
+    /// UNKNOWN for every row (a comparison with a literal NULL).
+    Unknown,
     CmpI64 {
         op: CmpOp,
-        lhs: I64Operand,
-        rhs: I64Operand,
+        lhs: I64Operand<L>,
+        rhs: I64Operand<L>,
     },
     CmpF64 {
         op: CmpOp,
-        lhs: F64Operand,
-        rhs: F64Operand,
+        lhs: F64Operand<L>,
+        rhs: F64Operand<L>,
     },
     BoolEq {
-        slot: VecRef,
+        slot: L,
         expected: bool,
     },
     /// String predicate pre-evaluated over the dictionary: true iff the
     /// row's code is set in the bitmap.
     CodeIn {
-        slot: VecRef,
+        slot: L,
         set: Bitmap,
     },
     I64In {
-        slot: VecRef,
+        slot: L,
         set: Vec<i64>,
     },
-    And(Vec<CPred>),
-    Or(Vec<CPred>),
-    Not(Box<CPred>),
+    And(Vec<CPredG<L>>),
+    Or(Vec<CPredG<L>>),
+    Not(Box<CPredG<L>>),
+}
+
+/// The in-pipeline compiled predicate: operands are chunk-vector locations.
+pub type CPred = CPredG<VecRef>;
+
+/// A pushed-down scan predicate: operands are storage columns, evaluated
+/// positionally at a vertex offset (and pruned block-wise via zone maps).
+pub type ScanPred<'g> = CPredG<&'g Column>;
+
+/// Resolves an operand location to a typed value (three-valued: `None` =
+/// NULL).
+pub trait PredReader<L> {
+    fn i64(&self, loc: &L) -> Option<i64>;
+    fn f64(&self, loc: &L) -> Option<f64>;
+    fn bool(&self, loc: &L) -> Option<bool>;
+    fn code(&self, loc: &L) -> Option<u64>;
 }
 
 /// Evaluation position: the target group is indexed by `pos`; every other
@@ -91,10 +120,12 @@ impl EvalCtx<'_> {
             g.cur_idx as usize
         }
     }
+}
 
+impl PredReader<VecRef> for EvalCtx<'_> {
     #[inline]
-    fn read_i64(&self, r: VecRef) -> Option<i64> {
-        let idx = self.index_of(r);
+    fn i64(&self, r: &VecRef) -> Option<i64> {
+        let idx = self.index_of(*r);
         match &self.chunk.groups[r.group].vectors[r.vec] {
             ValueVector::I64 { vals, valid, .. } => valid[idx].then(|| vals[idx]),
             _ => None,
@@ -102,8 +133,8 @@ impl EvalCtx<'_> {
     }
 
     #[inline]
-    fn read_f64(&self, r: VecRef) -> Option<f64> {
-        let idx = self.index_of(r);
+    fn f64(&self, r: &VecRef) -> Option<f64> {
+        let idx = self.index_of(*r);
         match &self.chunk.groups[r.group].vectors[r.vec] {
             ValueVector::F64 { vals, valid } => valid[idx].then(|| vals[idx]),
             _ => None,
@@ -111,8 +142,8 @@ impl EvalCtx<'_> {
     }
 
     #[inline]
-    fn read_bool(&self, r: VecRef) -> Option<bool> {
-        let idx = self.index_of(r);
+    fn bool(&self, r: &VecRef) -> Option<bool> {
+        let idx = self.index_of(*r);
         match &self.chunk.groups[r.group].vectors[r.vec] {
             ValueVector::Bool { vals, valid } => valid[idx].then(|| vals[idx]),
             _ => None,
@@ -120,12 +151,40 @@ impl EvalCtx<'_> {
     }
 
     #[inline]
-    fn read_code(&self, r: VecRef) -> Option<u64> {
-        let idx = self.index_of(r);
+    fn code(&self, r: &VecRef) -> Option<u64> {
+        let idx = self.index_of(*r);
         match &self.chunk.groups[r.group].vectors[r.vec] {
             ValueVector::Code { vals, valid } => valid[idx].then(|| vals[idx]),
             _ => None,
         }
+    }
+}
+
+/// Positional reader over storage columns: operand `&Column`, row = the
+/// vertex offset `v`.
+pub struct ScanCtx {
+    pub v: usize,
+}
+
+impl PredReader<&Column> for ScanCtx {
+    #[inline]
+    fn i64(&self, col: &&Column) -> Option<i64> {
+        col.get_i64(self.v)
+    }
+
+    #[inline]
+    fn f64(&self, col: &&Column) -> Option<f64> {
+        col.get_f64(self.v)
+    }
+
+    #[inline]
+    fn bool(&self, col: &&Column) -> Option<bool> {
+        col.get_bool(self.v)
+    }
+
+    #[inline]
+    fn code(&self, col: &&Column) -> Option<u64> {
+        col.get_code(self.v)
     }
 }
 
@@ -141,42 +200,43 @@ fn cmp_holds<T: PartialOrd>(op: CmpOp, a: T, b: T) -> bool {
     }
 }
 
-impl CPred {
+impl<L> CPredG<L> {
     /// Three-valued evaluation at one position. `None` = UNKNOWN.
-    pub fn eval(&self, ctx: &EvalCtx<'_>) -> Option<bool> {
+    pub fn eval_with<R: PredReader<L>>(&self, r: &R) -> Option<bool> {
         match self {
-            CPred::Const(b) => Some(*b),
-            CPred::CmpI64 { op, lhs, rhs } => {
+            CPredG::Const(b) => Some(*b),
+            CPredG::Unknown => None,
+            CPredG::CmpI64 { op, lhs, rhs } => {
                 let a = match lhs {
-                    I64Operand::Slot(r) => ctx.read_i64(*r)?,
+                    I64Operand::Slot(l) => r.i64(l)?,
                     I64Operand::Const(k) => *k,
                 };
                 let b = match rhs {
-                    I64Operand::Slot(r) => ctx.read_i64(*r)?,
+                    I64Operand::Slot(l) => r.i64(l)?,
                     I64Operand::Const(k) => *k,
                 };
                 Some(cmp_holds(*op, a, b))
             }
-            CPred::CmpF64 { op, lhs, rhs } => {
-                let read = |o: &F64Operand| -> Option<f64> {
+            CPredG::CmpF64 { op, lhs, rhs } => {
+                let read = |o: &F64Operand<L>| -> Option<f64> {
                     match o {
-                        F64Operand::F64Slot(r) => ctx.read_f64(*r),
-                        F64Operand::I64Slot(r) => ctx.read_i64(*r).map(|v| v as f64),
+                        F64Operand::F64Slot(l) => r.f64(l),
+                        F64Operand::I64Slot(l) => r.i64(l).map(|v| v as f64),
                         F64Operand::Const(k) => Some(*k),
                     }
                 };
                 Some(cmp_holds(*op, read(lhs)?, read(rhs)?))
             }
-            CPred::BoolEq { slot, expected } => Some(ctx.read_bool(*slot)? == *expected),
-            CPred::CodeIn { slot, set } => Some(set.get(ctx.read_code(*slot)? as usize)),
-            CPred::I64In { slot, set } => {
-                let v = ctx.read_i64(*slot)?;
+            CPredG::BoolEq { slot, expected } => Some(r.bool(slot)? == *expected),
+            CPredG::CodeIn { slot, set } => Some(set.get(r.code(slot)? as usize)),
+            CPredG::I64In { slot, set } => {
+                let v = r.i64(slot)?;
                 Some(set.binary_search(&v).is_ok())
             }
-            CPred::And(es) => {
+            CPredG::And(es) => {
                 let mut unknown = false;
                 for e in es {
-                    match e.eval(ctx) {
+                    match e.eval_with(r) {
                         Some(false) => return Some(false),
                         None => unknown = true,
                         Some(true) => {}
@@ -188,10 +248,10 @@ impl CPred {
                     Some(true)
                 }
             }
-            CPred::Or(es) => {
+            CPredG::Or(es) => {
                 let mut unknown = false;
                 for e in es {
-                    match e.eval(ctx) {
+                    match e.eval_with(r) {
                         Some(true) => return Some(true),
                         None => unknown = true,
                         Some(false) => {}
@@ -203,8 +263,15 @@ impl CPred {
                     Some(false)
                 }
             }
-            CPred::Not(e) => e.eval(ctx).map(|b| !b),
+            CPredG::Not(e) => e.eval_with(r).map(|b| !b),
         }
+    }
+}
+
+impl CPred {
+    /// Three-valued evaluation at one chunk position. `None` = UNKNOWN.
+    pub fn eval(&self, ctx: &EvalCtx<'_>) -> Option<bool> {
+        self.eval_with(ctx)
     }
 
     /// TRUE-only convenience: UNKNOWN filters the tuple out.
@@ -222,8 +289,8 @@ impl CPred {
 
     fn collect_refs(&self, out: &mut Vec<VecRef>) {
         match self {
-            CPred::Const(_) => {}
-            CPred::CmpI64 { lhs, rhs, .. } => {
+            CPredG::Const(_) | CPredG::Unknown => {}
+            CPredG::CmpI64 { lhs, rhs, .. } => {
                 if let I64Operand::Slot(r) = lhs {
                     out.push(*r);
                 }
@@ -231,7 +298,7 @@ impl CPred {
                     out.push(*r);
                 }
             }
-            CPred::CmpF64 { lhs, rhs, .. } => {
+            CPredG::CmpF64 { lhs, rhs, .. } => {
                 for o in [lhs, rhs] {
                     match o {
                         F64Operand::F64Slot(r) | F64Operand::I64Slot(r) => out.push(*r),
@@ -239,44 +306,336 @@ impl CPred {
                     }
                 }
             }
-            CPred::BoolEq { slot, .. } | CPred::CodeIn { slot, .. } | CPred::I64In { slot, .. } => {
-                out.push(*slot)
-            }
-            CPred::And(es) | CPred::Or(es) => es.iter().for_each(|e| e.collect_refs(out)),
-            CPred::Not(e) => e.collect_refs(out),
+            CPredG::BoolEq { slot, .. }
+            | CPredG::CodeIn { slot, .. }
+            | CPredG::I64In { slot, .. } => out.push(*slot),
+            CPredG::And(es) | CPredG::Or(es) => es.iter().for_each(|e| e.collect_refs(out)),
+            CPredG::Not(e) => e.collect_refs(out),
         }
     }
 }
 
-/// Compile a resolved plan expression. `slot_refs[slot]` locates each
-/// slot's vector; `slot_cols[slot]` is the storage column it reads (for
-/// dictionary pre-evaluation).
+// ---- Zone-map pruning ------------------------------------------------------
+
+/// What a zone map can prove about one block under a scan predicate, in
+/// terms of `holds` (TRUE-only) semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockVerdict {
+    /// Every row in the block satisfies the predicate (no row is NULL on
+    /// any input): the whole block passes without evaluation.
+    AllTrue,
+    /// No row in the block can satisfy the predicate: skip the block.
+    AllFalse,
+    /// The summary is inconclusive: evaluate row by row.
+    Mixed,
+}
+
+impl BlockVerdict {
+    /// Conjunction of two verdicts (`holds` of `a AND b`).
+    pub fn and(self, other: BlockVerdict) -> BlockVerdict {
+        use BlockVerdict::*;
+        match (self, other) {
+            (AllFalse, _) | (_, AllFalse) => AllFalse,
+            (AllTrue, AllTrue) => AllTrue,
+            _ => Mixed,
+        }
+    }
+}
+
+/// Zone entry of `col`'s block `b`, when a zone map exists and the block is
+/// in range.
+fn zone_entry(col: &Column, b: usize) -> Option<&gfcl_columnar::ZoneEntry> {
+    let zm = col.zone_map()?;
+    (b < zm.n_blocks()).then(|| zm.block(b))
+}
+
+/// `(every value satisfies, no value satisfies)` for `value op k` over a
+/// domain `[min, max]` — the single truth table shared by the integer and
+/// float pruners, so their semantics cannot drift apart. With a NaN
+/// endpoint or constant every comparison below is false, and both flags
+/// come back false (= inconclusive), which is the conservative answer.
+fn ordered_flags<T: PartialOrd + Copy>(op: CmpOp, min: T, max: T, k: T) -> (bool, bool) {
+    match op {
+        CmpOp::Eq => (min >= k && max <= k, k < min || k > max),
+        CmpOp::Ne => (k < min || k > max, min >= k && max <= k),
+        CmpOp::Lt => (max < k, min >= k),
+        CmpOp::Le => (max <= k, min > k),
+        CmpOp::Gt => (min > k, max <= k),
+        CmpOp::Ge => (min >= k, max < k),
+    }
+}
+
+/// Verdict of `col[block] op k` over an integer domain `[min, max]`.
+fn ordered_verdict<T: PartialOrd + Copy>(
+    op: CmpOp,
+    min: T,
+    max: T,
+    k: T,
+    has_nulls: bool,
+) -> BlockVerdict {
+    let (all_t, all_f) = ordered_flags(op, min, max, k);
+    if all_f {
+        BlockVerdict::AllFalse
+    } else if all_t && !has_nulls {
+        BlockVerdict::AllTrue
+    } else {
+        BlockVerdict::Mixed
+    }
+}
+
+fn prune_i64(col: &Column, b: usize, op: CmpOp, k: i64) -> BlockVerdict {
+    let Some(e) = zone_entry(col, b) else { return BlockVerdict::Mixed };
+    if e.all_null() {
+        return BlockVerdict::AllFalse;
+    }
+    match e.info {
+        ZoneInfo::I64 { min, max } => ordered_verdict(op, min, max, k, e.has_nulls()),
+        _ => BlockVerdict::Mixed,
+    }
+}
+
+/// `col[block] op k` for a float comparison; `col` may be an integer column
+/// promoted to f64.
+fn prune_f64(col: &Column, b: usize, op: CmpOp, k: f64, int_col: bool) -> BlockVerdict {
+    let Some(e) = zone_entry(col, b) else { return BlockVerdict::Mixed };
+    if e.all_null() {
+        return BlockVerdict::AllFalse;
+    }
+    let (min, max, has_nan) = match e.info {
+        ZoneInfo::I64 { min, max } if int_col => (min as f64, max as f64, false),
+        ZoneInfo::F64 { min, max, has_nan } if !int_col => (min, max, has_nan),
+        _ => return BlockVerdict::Mixed,
+    };
+    // Verdict over the non-NaN domain (vacuously both when empty)...
+    let (mut all_t, mut all_f) =
+        if min <= max { ordered_flags(op, min, max, k) } else { (true, true) };
+    // ...adjusted for NaN rows: a NaN value fails every ordered comparison
+    // and `=` but satisfies `<>` — against ANY constant, NaN included
+    // (IEEE 754: `NaN != x` is true for every x).
+    if has_nan {
+        if op == CmpOp::Ne {
+            all_f = false;
+        } else {
+            all_t = false;
+        }
+    }
+    if all_f {
+        BlockVerdict::AllFalse
+    } else if all_t && !e.has_nulls() {
+        BlockVerdict::AllTrue
+    } else {
+        BlockVerdict::Mixed
+    }
+}
+
+impl<'g> ScanPred<'g> {
+    /// Evaluate at vertex offset `v` (three-valued).
+    #[inline]
+    pub fn eval_at(&self, v: usize) -> Option<bool> {
+        self.eval_with(&ScanCtx { v })
+    }
+
+    /// TRUE-only evaluation at vertex offset `v`.
+    #[inline]
+    pub fn holds_at(&self, v: usize) -> bool {
+        self.eval_at(v) == Some(true)
+    }
+
+    /// Consult the operand columns' zone maps for a verdict over zone block
+    /// `b` (positions `[b * ZONE_BLOCK, (b+1) * ZONE_BLOCK)`). Conservative:
+    /// any missing zone map or inconclusive summary yields
+    /// [`BlockVerdict::Mixed`].
+    pub fn prune(&self, b: usize) -> BlockVerdict {
+        use BlockVerdict::*;
+        match self {
+            CPredG::Const(true) => AllTrue,
+            CPredG::Const(false) | CPredG::Unknown => AllFalse,
+            CPredG::CmpI64 { op, lhs, rhs } => match (lhs, rhs) {
+                (I64Operand::Slot(c), I64Operand::Const(k)) => prune_i64(c, b, *op, *k),
+                (I64Operand::Const(k), I64Operand::Slot(c)) => prune_i64(c, b, flip(*op), *k),
+                (I64Operand::Const(a), I64Operand::Const(k)) => {
+                    if cmp_holds(*op, *a, *k) {
+                        AllTrue
+                    } else {
+                        AllFalse
+                    }
+                }
+                (I64Operand::Slot(_), I64Operand::Slot(_)) => Mixed,
+            },
+            CPredG::CmpF64 { op, lhs, rhs } => {
+                let side = |o: &F64Operand<&'g Column>| match o {
+                    F64Operand::F64Slot(c) => Some((*c, false)),
+                    F64Operand::I64Slot(c) => Some((*c, true)),
+                    F64Operand::Const(_) => None,
+                };
+                match (side(lhs), side(rhs)) {
+                    (Some((c, int_col)), None) => {
+                        let F64Operand::Const(k) = rhs else { unreachable!() };
+                        prune_f64(c, b, *op, *k, int_col)
+                    }
+                    (None, Some((c, int_col))) => {
+                        let F64Operand::Const(k) = lhs else { unreachable!() };
+                        prune_f64(c, b, flip(*op), *k, int_col)
+                    }
+                    _ => Mixed,
+                }
+            }
+            CPredG::BoolEq { slot, expected } => {
+                let Some(e) = zone_entry(slot, b) else { return Mixed };
+                if e.all_null() {
+                    return AllFalse;
+                }
+                match e.info {
+                    ZoneInfo::Bool { any_true, any_false } => {
+                        let (hit, miss) =
+                            if *expected { (any_true, any_false) } else { (any_false, any_true) };
+                        if !hit {
+                            AllFalse
+                        } else if !miss && !e.has_nulls() {
+                            AllTrue
+                        } else {
+                            Mixed
+                        }
+                    }
+                    _ => Mixed,
+                }
+            }
+            CPredG::CodeIn { slot, set } => {
+                let Some(e) = zone_entry(slot, b) else { return Mixed };
+                if e.all_null() {
+                    return AllFalse;
+                }
+                match &e.info {
+                    ZoneInfo::Codes { present } => {
+                        let mut any_hit = false;
+                        let mut any_miss = false;
+                        for c in present.iter_ones() {
+                            if c < set.len() && set.get(c) {
+                                any_hit = true;
+                            } else {
+                                any_miss = true;
+                            }
+                        }
+                        if !any_hit {
+                            AllFalse
+                        } else if !any_miss && !e.has_nulls() {
+                            AllTrue
+                        } else {
+                            Mixed
+                        }
+                    }
+                    _ => Mixed,
+                }
+            }
+            CPredG::I64In { slot, set } => {
+                let Some(e) = zone_entry(slot, b) else { return Mixed };
+                if e.all_null() {
+                    return AllFalse;
+                }
+                match e.info {
+                    ZoneInfo::I64 { min, max } => {
+                        if set.iter().all(|&v| v < min || v > max) {
+                            AllFalse
+                        } else if min == max && set.binary_search(&min).is_ok() && !e.has_nulls() {
+                            AllTrue
+                        } else {
+                            Mixed
+                        }
+                    }
+                    _ => Mixed,
+                }
+            }
+            CPredG::And(es) => {
+                let mut v = AllTrue;
+                for e in es {
+                    v = v.and(e.prune(b));
+                    if v == AllFalse {
+                        return AllFalse;
+                    }
+                }
+                v
+            }
+            CPredG::Or(es) => {
+                let mut all_false = true;
+                for e in es {
+                    match e.prune(b) {
+                        AllTrue => return AllTrue,
+                        AllFalse => {}
+                        Mixed => all_false = false,
+                    }
+                }
+                if all_false {
+                    AllFalse
+                } else {
+                    Mixed
+                }
+            }
+            // NOT over an AllTrue block is uniformly false. The converse
+            // does NOT hold: AllFalse covers UNKNOWN rows, whose negation
+            // is still UNKNOWN, so only Mixed is safe there.
+            CPredG::Not(e) => match e.prune(b) {
+                AllTrue => AllFalse,
+                _ => Mixed,
+            },
+        }
+    }
+}
+
+// ---- Compilation -----------------------------------------------------------
+
+/// Compile a resolved plan expression for the `Filter` operator.
+/// `slot_refs[slot]` locates each slot's vector; `slot_cols[slot]` is the
+/// storage column it reads (for dictionary pre-evaluation).
 pub fn compile_pred(
     expr: &PlanExpr,
     slot_defs: &[SlotDef],
     slot_refs: &[VecRef],
     slot_cols: &[Option<&Column>],
 ) -> Result<CPred> {
-    let c = Compiler { slot_defs, slot_refs, slot_cols };
+    let c = Compiler { slot_defs, slot_cols, loc_of: |s: SlotId| slot_refs[s] };
     c.compile(expr)
 }
 
-struct Compiler<'a> {
-    slot_defs: &'a [SlotDef],
-    slot_refs: &'a [VecRef],
-    slot_cols: &'a [Option<&'a Column>],
+/// Compile a pushed-down scan predicate: every slot resolves directly to
+/// its vertex-property column (`cols[slot]`, `None` for slots that are not
+/// properties of the scanned node — an internal planner error).
+pub fn compile_scan_pred<'g>(
+    expr: &PlanExpr,
+    slot_defs: &[SlotDef],
+    cols: &[Option<&'g Column>],
+) -> Result<ScanPred<'g>> {
+    if let Some(&s) = expr.slots().iter().find(|&&s| cols[s].is_none()) {
+        return Err(Error::Plan(format!(
+            "pushed-down predicate references slot {s} ({}), which is not a property of \
+             the scanned node",
+            slot_defs[s].name
+        )));
+    }
+    let c = Compiler {
+        slot_defs,
+        slot_cols: cols,
+        loc_of: |s: SlotId| cols[s].expect("checked above"),
+    };
+    c.compile(expr)
 }
 
-impl Compiler<'_> {
-    fn compile(&self, e: &PlanExpr) -> Result<CPred> {
+struct Compiler<'a, 'g, L, F: Fn(SlotId) -> L> {
+    slot_defs: &'a [SlotDef],
+    /// Backing storage columns (dictionary pre-evaluation).
+    slot_cols: &'a [Option<&'g Column>],
+    loc_of: F,
+}
+
+impl<L, F: Fn(SlotId) -> L> Compiler<'_, '_, L, F> {
+    fn compile(&self, e: &PlanExpr) -> Result<CPredG<L>> {
         match e {
             PlanExpr::And(es) => {
-                Ok(CPred::And(es.iter().map(|e| self.compile(e)).collect::<Result<_>>()?))
+                Ok(CPredG::And(es.iter().map(|e| self.compile(e)).collect::<Result<_>>()?))
             }
             PlanExpr::Or(es) => {
-                Ok(CPred::Or(es.iter().map(|e| self.compile(e)).collect::<Result<_>>()?))
+                Ok(CPredG::Or(es.iter().map(|e| self.compile(e)).collect::<Result<_>>()?))
             }
-            PlanExpr::Not(inner) => Ok(CPred::Not(Box::new(self.compile(inner)?))),
+            PlanExpr::Not(inner) => Ok(CPredG::Not(Box::new(self.compile(inner)?))),
             PlanExpr::StrMatch { op, slot, pattern } => {
                 let dict = self.dict_of(*slot)?;
                 let set = match op {
@@ -284,20 +643,20 @@ impl Compiler<'_> {
                     StrOp::StartsWith => dict.matching_codes(|s| s.starts_with(pattern.as_str())),
                     StrOp::EndsWith => dict.matching_codes(|s| s.ends_with(pattern.as_str())),
                 };
-                Ok(CPred::CodeIn { slot: self.slot_refs[*slot], set })
+                Ok(CPredG::CodeIn { slot: (self.loc_of)(*slot), set })
             }
             PlanExpr::InSet { slot, values } => match self.slot_defs[*slot].dtype {
                 DataType::String => {
                     let needles: Vec<&str> = values.iter().filter_map(Value::as_str).collect();
                     let dict = self.dict_of(*slot)?;
                     let set = dict.matching_codes(|s| needles.contains(&s));
-                    Ok(CPred::CodeIn { slot: self.slot_refs[*slot], set })
+                    Ok(CPredG::CodeIn { slot: (self.loc_of)(*slot), set })
                 }
                 DataType::Int64 | DataType::Date => {
                     let mut set: Vec<i64> = values.iter().filter_map(Value::as_i64).collect();
                     set.sort_unstable();
                     set.dedup();
-                    Ok(CPred::I64In { slot: self.slot_refs[*slot], set })
+                    Ok(CPredG::I64In { slot: (self.loc_of)(*slot), set })
                 }
                 t => Err(Error::TypeMismatch {
                     expected: "STRING or INT64 for IN".into(),
@@ -308,7 +667,7 @@ impl Compiler<'_> {
         }
     }
 
-    fn compile_cmp(&self, op: CmpOp, lhs: &PlanScalar, rhs: &PlanScalar) -> Result<CPred> {
+    fn compile_cmp(&self, op: CmpOp, lhs: &PlanScalar, rhs: &PlanScalar) -> Result<CPredG<L>> {
         use PlanScalar::*;
         let stype = |s: &PlanScalar| -> Option<DataType> {
             match s {
@@ -320,7 +679,7 @@ impl Compiler<'_> {
         let rt = stype(rhs);
         // NULL constant: comparison is always UNKNOWN.
         if lt.is_none() || rt.is_none() {
-            return Ok(CPred::And(vec![CPred::Const(true), CPred::Const(false)]));
+            return Ok(CPredG::Unknown);
         }
         let (lt, rt) = (lt.unwrap(), rt.unwrap());
 
@@ -335,7 +694,7 @@ impl Compiler<'_> {
                         .into(),
                 )),
                 (Const(a), Const(b)) => {
-                    Ok(CPred::Const(a.compare(b).map(|o| cmp_holds_ord(op, o)) == Some(true)))
+                    Ok(CPredG::Const(a.compare(b).map(|o| cmp_holds_ord(op, o)) == Some(true)))
                 }
             };
         }
@@ -349,8 +708,8 @@ impl Compiler<'_> {
                         expected: "BOOL".into(),
                         found: "non-bool".into(),
                     })?;
-                    let p = CPred::BoolEq { slot: self.slot_refs[*s], expected };
-                    Ok(if op == CmpOp::Ne { CPred::Not(Box::new(p)) } else { p })
+                    let p = CPredG::BoolEq { slot: (self.loc_of)(*s), expected };
+                    Ok(if op == CmpOp::Ne { CPredG::Not(Box::new(p)) } else { p })
                 }
                 _ => Err(Error::Plan("unsupported boolean comparison".into())),
             };
@@ -359,39 +718,39 @@ impl Compiler<'_> {
         // Float if either side is a float; else integer/date.
         let is_float = lt == DataType::Float64 || rt == DataType::Float64;
         if is_float {
-            let f_operand = |s: &PlanScalar| -> Result<F64Operand> {
+            let f_operand = |s: &PlanScalar| -> Result<F64Operand<L>> {
                 Ok(match s {
                     Slot(i) => match self.slot_defs[*i].dtype {
-                        DataType::Float64 => F64Operand::F64Slot(self.slot_refs[*i]),
-                        _ => F64Operand::I64Slot(self.slot_refs[*i]),
+                        DataType::Float64 => F64Operand::F64Slot((self.loc_of)(*i)),
+                        _ => F64Operand::I64Slot((self.loc_of)(*i)),
                     },
                     Const(v) => F64Operand::Const(v.as_f64().ok_or_else(|| {
                         Error::TypeMismatch { expected: "numeric".into(), found: v.to_string() }
                     })?),
                 })
             };
-            return Ok(CPred::CmpF64 { op, lhs: f_operand(lhs)?, rhs: f_operand(rhs)? });
+            return Ok(CPredG::CmpF64 { op, lhs: f_operand(lhs)?, rhs: f_operand(rhs)? });
         }
-        let i_operand = |s: &PlanScalar| -> Result<I64Operand> {
+        let i_operand = |s: &PlanScalar| -> Result<I64Operand<L>> {
             Ok(match s {
-                Slot(i) => I64Operand::Slot(self.slot_refs[*i]),
+                Slot(i) => I64Operand::Slot((self.loc_of)(*i)),
                 Const(v) => I64Operand::Const(v.as_i64().ok_or_else(|| Error::TypeMismatch {
                     expected: "INT64/DATE".into(),
                     found: v.to_string(),
                 })?),
             })
         };
-        Ok(CPred::CmpI64 { op, lhs: i_operand(lhs)?, rhs: i_operand(rhs)? })
+        Ok(CPredG::CmpI64 { op, lhs: i_operand(lhs)?, rhs: i_operand(rhs)? })
     }
 
-    fn string_cmp(&self, slot: usize, op: CmpOp, konst: &Value) -> Result<CPred> {
+    fn string_cmp(&self, slot: usize, op: CmpOp, konst: &Value) -> Result<CPredG<L>> {
         let needle = konst.as_str().ok_or_else(|| Error::TypeMismatch {
             expected: "STRING".into(),
             found: konst.to_string(),
         })?;
         let dict = self.dict_of(slot)?;
         let set = dict.matching_codes(|s| cmp_holds_ord(op, s.cmp(needle)));
-        Ok(CPred::CodeIn { slot: self.slot_refs[slot], set })
+        Ok(CPredG::CodeIn { slot: (self.loc_of)(slot), set })
     }
 
     fn dict_of(&self, slot: usize) -> Result<&gfcl_columnar::Dictionary> {
@@ -428,6 +787,8 @@ fn cmp_holds_ord(op: CmpOp, ord: std::cmp::Ordering) -> bool {
 mod tests {
     use super::*;
     use crate::chunk::{Chunk, ListGroup, ValueVector};
+    use gfcl_columnar::NullKind;
+    use gfcl_columnar::ZONE_BLOCK;
 
     fn chunk_with(vals: Vec<i64>, valid: Vec<bool>) -> Chunk {
         let mut g = ListGroup::new(1);
@@ -465,6 +826,10 @@ mod tests {
         assert_eq!(CPred::Or(vec![unknown.clone(), t]).eval(&ctx), Some(true));
         assert_eq!(CPred::Or(vec![unknown.clone(), f]).eval(&ctx), None);
         assert_eq!(CPred::Not(Box::new(unknown)).eval(&ctx), None);
+        // A comparison against a literal NULL is UNKNOWN — and so is its
+        // negation (it used to compile to a constant FALSE, whose negation
+        // wrongly kept every row).
+        assert_eq!(CPred::Not(Box::new(CPred::Unknown)).eval(&ctx), None);
     }
 
     #[test]
@@ -502,5 +867,151 @@ mod tests {
         assert_eq!(at(0), Some(true));
         assert_eq!(at(1), Some(false));
         assert_eq!(at(2), None);
+    }
+
+    /// Column of three zone blocks: [0, B), [B, 2B) all-NULL, then a short
+    /// all-42 tail.
+    fn zoned_column() -> Column {
+        let mut values: Vec<Option<i64>> = (0..ZONE_BLOCK as i64).map(Some).collect();
+        values.extend(std::iter::repeat_n(None, ZONE_BLOCK));
+        values.extend(std::iter::repeat_n(Some(42i64), 10));
+        let mut col = Column::from_i64(DataType::Int64, &values, NullKind::jacobson_default());
+        col.build_zone_map();
+        col
+    }
+
+    #[test]
+    fn scan_pred_prunes_i64_blocks() {
+        let col = zoned_column();
+        let p: ScanPred<'_> = CPredG::CmpI64 {
+            op: CmpOp::Ge,
+            lhs: I64Operand::Slot(&col),
+            rhs: I64Operand::Const(ZONE_BLOCK as i64),
+        };
+        // Block 0 holds 0..B: nothing >= B. Block 1 is all-NULL. Block 2
+        // holds only 42 < B... wait, 42 < B, so AllFalse there too.
+        assert_eq!(p.prune(0), BlockVerdict::AllFalse);
+        assert_eq!(p.prune(1), BlockVerdict::AllFalse, "all-NULL block never matches");
+        assert_eq!(p.prune(2), BlockVerdict::AllFalse);
+        // A predicate satisfied by every row of a NULL-free block.
+        let p: ScanPred<'_> = CPredG::CmpI64 {
+            op: CmpOp::Ge,
+            lhs: I64Operand::Slot(&col),
+            rhs: I64Operand::Const(0),
+        };
+        assert_eq!(p.prune(0), BlockVerdict::AllTrue);
+        assert_eq!(p.prune(1), BlockVerdict::AllFalse);
+        assert_eq!(p.prune(2), BlockVerdict::AllTrue, "single-value block");
+        // Straddling the min/max: inconclusive.
+        let p: ScanPred<'_> = CPredG::CmpI64 {
+            op: CmpOp::Lt,
+            lhs: I64Operand::Slot(&col),
+            rhs: I64Operand::Const(10),
+        };
+        assert_eq!(p.prune(0), BlockVerdict::Mixed);
+        // Equality on the single-value tail block.
+        let p: ScanPred<'_> = CPredG::CmpI64 {
+            op: CmpOp::Eq,
+            lhs: I64Operand::Slot(&col),
+            rhs: I64Operand::Const(42),
+        };
+        assert_eq!(p.prune(2), BlockVerdict::AllTrue);
+        let p: ScanPred<'_> = CPredG::I64In { slot: &col, set: vec![-5, 42] };
+        assert_eq!(p.prune(0), BlockVerdict::Mixed, "42 falls inside [0, B)");
+        assert_eq!(p.prune(2), BlockVerdict::AllTrue);
+        let p: ScanPred<'_> = CPredG::I64In { slot: &col, set: vec![-5] };
+        assert_eq!(p.prune(0), BlockVerdict::AllFalse);
+    }
+
+    #[test]
+    fn scan_pred_eval_matches_column_reads() {
+        let col = zoned_column();
+        let p: ScanPred<'_> = CPredG::CmpI64 {
+            op: CmpOp::Lt,
+            lhs: I64Operand::Slot(&col),
+            rhs: I64Operand::Const(5),
+        };
+        assert_eq!(p.eval_at(3), Some(true));
+        assert_eq!(p.eval_at(7), Some(false));
+        assert_eq!(p.eval_at(ZONE_BLOCK + 1), None, "NULL row is UNKNOWN");
+        assert!(!p.holds_at(ZONE_BLOCK + 1));
+    }
+
+    #[test]
+    fn nan_blocks_are_never_all_true_for_ordered_ops() {
+        let values = vec![Some(1.0f64), Some(f64::NAN), Some(3.0)];
+        let mut col = Column::from_f64(&values, NullKind::None);
+        col.build_zone_map();
+        let lt: ScanPred<'_> = CPredG::CmpF64 {
+            op: CmpOp::Lt,
+            lhs: F64Operand::F64Slot(&col),
+            rhs: F64Operand::Const(10.0),
+        };
+        // Every non-NaN value is < 10, but the NaN row is not.
+        assert_eq!(lt.prune(0), BlockVerdict::Mixed);
+        assert_eq!(lt.eval_at(1), Some(false), "NaN fails ordered comparisons");
+        // <> matches NaN rows, so AllFalse must not fire either way.
+        let ne: ScanPred<'_> = CPredG::CmpF64 {
+            op: CmpOp::Ne,
+            lhs: F64Operand::F64Slot(&col),
+            rhs: F64Operand::Const(7.0),
+        };
+        assert_eq!(ne.prune(0), BlockVerdict::AllTrue, "all values differ from 7, NaN included");
+        let eq_outside: ScanPred<'_> = CPredG::CmpF64 {
+            op: CmpOp::Eq,
+            lhs: F64Operand::F64Slot(&col),
+            rhs: F64Operand::Const(99.0),
+        };
+        assert_eq!(eq_outside.prune(0), BlockVerdict::AllFalse);
+    }
+
+    #[test]
+    fn nan_constant_and_all_nan_blocks() {
+        // Regression: `col <> NaN` is TRUE for every row (IEEE 754:
+        // `x != NaN` always holds), including over an all-NaN block — the
+        // pruner must never report AllFalse for it.
+        let mut all_nan = Column::from_f64(&[Some(f64::NAN), Some(f64::NAN)], NullKind::None);
+        all_nan.build_zone_map();
+        fn ne_nan(c: &Column) -> ScanPred<'_> {
+            CPredG::CmpF64 {
+                op: CmpOp::Ne,
+                lhs: F64Operand::F64Slot(c),
+                rhs: F64Operand::Const(f64::NAN),
+            }
+        }
+        assert_eq!(ne_nan(&all_nan).eval_at(0), Some(true));
+        assert_eq!(ne_nan(&all_nan).prune(0), BlockVerdict::AllTrue);
+        let mut mixed = Column::from_f64(&[Some(1.0), Some(f64::NAN)], NullKind::None);
+        mixed.build_zone_map();
+        assert_ne!(ne_nan(&mixed).prune(0), BlockVerdict::AllFalse);
+        // Other comparisons with a NaN constant are false for every row;
+        // the pruner may only say Mixed (never AllTrue).
+        let lt_nan: ScanPred<'_> = CPredG::CmpF64 {
+            op: CmpOp::Lt,
+            lhs: F64Operand::F64Slot(&mixed),
+            rhs: F64Operand::Const(f64::NAN),
+        };
+        assert_eq!(lt_nan.eval_at(0), Some(false));
+        assert_ne!(lt_nan.prune(0), BlockVerdict::AllTrue);
+    }
+
+    #[test]
+    fn verdict_combinators() {
+        use BlockVerdict::*;
+        assert_eq!(AllTrue.and(AllTrue), AllTrue);
+        assert_eq!(AllTrue.and(Mixed), Mixed);
+        assert_eq!(Mixed.and(AllFalse), AllFalse);
+        // NOT: only AllTrue inverts (AllFalse may hide UNKNOWN rows).
+        let col = zoned_column();
+        let inner: ScanPred<'_> = CPredG::CmpI64 {
+            op: CmpOp::Ge,
+            lhs: I64Operand::Slot(&col),
+            rhs: I64Operand::Const(0),
+        };
+        assert_eq!(inner.prune(0), AllTrue);
+        let not = CPredG::Not(Box::new(inner));
+        assert_eq!(not.prune(0), AllFalse);
+        // NOT over the all-NULL block: rows are UNKNOWN, negation is too.
+        assert_eq!(not.prune(1), Mixed);
     }
 }

@@ -1,0 +1,81 @@
+//! Environment knobs of the pushdown path: the `GFCL_NO_PUSHDOWN` escape
+//! hatch and `GFCL_MORSEL` validation. These mutate process environment
+//! variables, so each knob gets exactly one `#[test]` (tests in one binary
+//! run concurrently; distinct variables don't interfere).
+
+use std::sync::Arc;
+
+use gfcl_core::plan::{plan, plan_with, PlanOptions, PlanStep};
+use gfcl_core::query::{col, ge, lit, PatternQuery};
+use gfcl_core::{Engine, ExecOptions, GfClEngine};
+use gfcl_storage::{ColumnarGraph, RawGraph, StorageConfig};
+
+fn filtered_query() -> PatternQuery {
+    PatternQuery::builder()
+        .node("a", "PERSON")
+        .filter(ge(col("a", "age"), lit(40)))
+        .returns_count()
+        .build()
+}
+
+fn pushed_len(p: &gfcl_core::LogicalPlan) -> usize {
+    match &p.steps[0] {
+        PlanStep::ScanAll { pushed, .. } => pushed.len(),
+        s => panic!("expected a scan, got {s:?}"),
+    }
+}
+
+#[test]
+fn gfcl_no_pushdown_disables_the_rewrite() {
+    let catalog = RawGraph::example().catalog;
+    // Default: the scan-node filter is pushed.
+    assert_eq!(pushed_len(&plan(&filtered_query(), &catalog).unwrap()), 1);
+
+    std::env::set_var("GFCL_NO_PUSHDOWN", "1");
+    let no_push = plan(&filtered_query(), &catalog).unwrap();
+    std::env::remove_var("GFCL_NO_PUSHDOWN");
+    assert_eq!(pushed_len(&no_push), 0);
+    assert!(no_push.steps.iter().any(|s| matches!(s, PlanStep::Filter { .. })));
+
+    // "0" and empty mean "not disabled".
+    std::env::set_var("GFCL_NO_PUSHDOWN", "0");
+    let opts = PlanOptions::from_env();
+    std::env::remove_var("GFCL_NO_PUSHDOWN");
+    assert!(opts.pushdown);
+
+    // The programmatic escape hatch matches the env one.
+    let p = plan_with(&filtered_query(), &catalog, &PlanOptions::no_pushdown()).unwrap();
+    assert_eq!(pushed_len(&p), 0);
+}
+
+#[test]
+fn gfcl_morsel_is_validated() {
+    let graph =
+        Arc::new(ColumnarGraph::build(&RawGraph::example(), StorageConfig::default()).unwrap());
+
+    // Garbage becomes the invalid sentinel, rejected at execution time
+    // with a plan error naming the knob.
+    for garbage in ["nope", "0", "-3"] {
+        std::env::set_var("GFCL_MORSEL", garbage);
+        let opts = ExecOptions::from_env();
+        std::env::remove_var("GFCL_MORSEL");
+        assert_eq!(opts.morsel_size, 0, "{garbage:?} must map to the invalid sentinel");
+        let engine = GfClEngine::with_options(Arc::clone(&graph), opts);
+        let err = engine.execute(&filtered_query()).unwrap_err();
+        assert!(matches!(err, gfcl_common::Error::Plan(_)), "{err:?}");
+        assert!(err.to_string().contains("GFCL_MORSEL"), "{err}");
+    }
+
+    // A valid value is honored; unset falls back to the default.
+    std::env::set_var("GFCL_MORSEL", "7");
+    let opts = ExecOptions::from_env();
+    std::env::remove_var("GFCL_MORSEL");
+    assert_eq!(opts.morsel_size, 7);
+    assert_eq!(ExecOptions::from_env().morsel_size, gfcl_core::exec::SCAN_MORSEL);
+
+    // And a non-default morsel produces identical results.
+    let engine = GfClEngine::with_options(Arc::clone(&graph), ExecOptions::serial());
+    let tuned = GfClEngine::with_options(Arc::clone(&graph), ExecOptions::serial().morsel(3));
+    let q = filtered_query();
+    assert_eq!(engine.execute(&q).unwrap(), tuned.execute(&q).unwrap());
+}

@@ -123,13 +123,18 @@ impl ColumnarGraph {
         let vertex_counts: Vec<usize> = raw.vertices.iter().map(|t| t.count).collect();
         let edge_counts: Vec<usize> = raw.edges.iter().map(|t| t.len()).collect();
 
-        // Vertex property columns.
+        // Vertex property columns (+ their zone maps: scans consult these
+        // to skip whole blocks under pushed-down predicates).
         let mut vertex_props = Vec::with_capacity(raw.vertices.len());
         for (lid, table) in raw.vertices.iter().enumerate() {
             let def = catalog.vertex_label(lid as LabelId);
             let mut cols = Vec::with_capacity(table.props.len());
             for (j, prop) in table.props.iter().enumerate() {
-                cols.push(prop_to_column(prop, def.properties[j].dtype, &config));
+                let mut col = prop_to_column(prop, def.properties[j].dtype, &config);
+                if config.zone_maps {
+                    col.build_zone_map();
+                }
+                cols.push(col);
             }
             vertex_props.push(cols);
         }

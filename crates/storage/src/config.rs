@@ -56,6 +56,11 @@ pub struct StorageConfig {
     pub single_card_in_vcols: bool,
     /// n-n edge property layout (Table 3 / Section 8.3 ablation).
     pub edge_prop_layout: EdgePropLayout,
+    /// Build per-block zone maps over vertex property columns at graph
+    /// build time, enabling pushed-down scan predicates to skip whole
+    /// blocks (`gfcl_columnar::ZoneMap`). Off = scans with pushdown still
+    /// work but evaluate every block.
+    pub zone_maps: bool,
 }
 
 impl Default for StorageConfig {
@@ -68,6 +73,7 @@ impl Default for StorageConfig {
             null_kind: NullKind::jacobson_default(),
             single_card_in_vcols: true,
             edge_prop_layout: EdgePropLayout::pages_default(),
+            zone_maps: true,
         }
     }
 }

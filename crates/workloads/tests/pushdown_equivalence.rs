@@ -1,0 +1,276 @@
+//! Pushdown-vs-no-pushdown equivalence: for every query with scan-node
+//! predicates, executing the *pushed* plan must be indistinguishable from
+//! executing the classic read-then-filter plan — across all four engines,
+//! at 1 and 4 workers, and at non-default morsel sizes (which change how
+//! scan morsels align with zone-map blocks).
+//!
+//! This is the safety net for the whole pushdown path: a zone map whose
+//! min/max is off by one, a block verdict that miscounts NULLs, or a
+//! selection-aware fill that skips a live position all show up here as an
+//! output mismatch against the `PlanOptions::no_pushdown()` plan
+//! (`GFCL_NO_PUSHDOWN` is the same switch, environment-shaped).
+
+use std::sync::Arc;
+
+use gfcl_baselines::{GfCvEngine, GfRvEngine, RelEngine};
+use gfcl_core::plan::{plan_with, PlanOptions, PlanStep};
+use gfcl_core::query::{
+    col, eq, ge, gt, in_set, le, lit, lt, not, or, starts_with, Agg, PatternQuery,
+};
+use gfcl_core::{Engine, ExecOptions, GfClEngine};
+use gfcl_datagen::{PowerLawParams, SocialParams};
+use gfcl_storage::{ColumnarGraph, RawGraph, RowGraph, StorageConfig};
+use proptest::prelude::*;
+
+/// Worker counts under test.
+const THREADS: [usize; 2] = [1, 4];
+
+fn engines(raw: &RawGraph) -> Vec<Box<dyn Engine>> {
+    let col_graph = Arc::new(ColumnarGraph::build(raw, StorageConfig::default()).unwrap());
+    let row_graph = Arc::new(RowGraph::build(raw).unwrap());
+    vec![
+        Box::new(GfClEngine::new(col_graph.clone())),
+        Box::new(GfCvEngine::new(col_graph.clone())),
+        Box::new(GfRvEngine::new(row_graph)),
+        Box::new(RelEngine::new(col_graph)),
+    ]
+}
+
+/// Execute `q` with and without pushdown on every engine at every worker
+/// count and assert identical canonical output; for the serial LBP the
+/// outputs must be *exactly* equal (same row order), and non-default
+/// morsel sizes must change nothing either.
+fn assert_pushdown_equivalent(raw: &RawGraph, queries: &[(String, PatternQuery)]) {
+    let engines = engines(raw);
+    let catalog = engines[0].catalog().clone();
+    for (name, q) in queries {
+        let pushed = plan_with(q, &catalog, &PlanOptions::default())
+            .unwrap_or_else(|e| panic!("{name} failed to plan with pushdown: {e}"));
+        let plain = plan_with(q, &catalog, &PlanOptions::no_pushdown())
+            .unwrap_or_else(|e| panic!("{name} failed to plan without pushdown: {e}"));
+        for e in &engines {
+            for threads in THREADS {
+                let opts = ExecOptions::with_threads(threads);
+                let a = e
+                    .run_plan_with(&pushed, &opts)
+                    .unwrap_or_else(|err| panic!("{name} pushed failed on {}: {err}", e.name()));
+                let b = e.run_plan_with(&plain, &opts).unwrap_or_else(|err| {
+                    panic!("{name} no-pushdown failed on {}: {err}", e.name())
+                });
+                assert_eq!(
+                    a.canonical(),
+                    b.canonical(),
+                    "{name}: pushdown changed {} output at {threads} worker(s)",
+                    e.name()
+                );
+            }
+        }
+        // Serial LBP: byte-identical, not just canonically equal — and
+        // stable under morsel sizes that split or straddle zone blocks.
+        let lbp = &engines[0];
+        let reference = lbp.run_plan_with(&plain, &ExecOptions::serial()).unwrap();
+        assert_eq!(
+            lbp.run_plan_with(&pushed, &ExecOptions::serial()).unwrap(),
+            reference,
+            "{name}"
+        );
+        for morsel in [7usize, 512, 1500] {
+            let opts = ExecOptions::serial().morsel(morsel);
+            assert_eq!(
+                lbp.run_plan_with(&pushed, &opts).unwrap(),
+                reference,
+                "{name}: morsel {morsel} changed the serial output"
+            );
+        }
+    }
+}
+
+/// The pushdown-relevant query shapes over a power-law graph (NODE.id is a
+/// dense sequential key — the zone-map sweet spot).
+fn powerlaw_queries(n: usize) -> Vec<(String, PatternQuery)> {
+    let n = n as i64;
+    let khop = |hops: usize| {
+        let mut b = PatternQuery::builder();
+        for i in 0..=hops {
+            b = b.node(&format!("v{i}"), "NODE");
+        }
+        for i in 0..hops {
+            b = b.edge(&format!("e{}", i + 1), "LINK", &format!("v{i}"), &format!("v{}", i + 1));
+        }
+        b
+    };
+    vec![
+        (
+            "scan-range-count".into(),
+            khop(0).filter(ge(col("v0", "id"), lit(n - n / 64 - 1))).returns_count().build(),
+        ),
+        (
+            "scan-range-rows".into(),
+            khop(0).filter(lt(col("v0", "id"), lit(n / 7))).returns(&[("v0", "id")]).build(),
+        ),
+        (
+            "scan-in-set".into(),
+            khop(0)
+                .filter(gfcl_core::query::Expr::InSet {
+                    prop: gfcl_core::query::PropRef { var: "v0".into(), prop: "id".into() },
+                    values: vec![0i64.into(), (n / 2).into(), (n - 1).into(), (n + 5).into()],
+                })
+                .returns(&[("v0", "id")])
+                .build(),
+        ),
+        (
+            "scan-or-not".into(),
+            khop(0)
+                .filter(or(vec![lt(col("v0", "id"), lit(3)), not(le(col("v0", "id"), lit(n - 3)))]))
+                .returns(&[("v0", "id")])
+                .build(),
+        ),
+        (
+            "one-hop-pushed-start".into(),
+            khop(1)
+                .filter(ge(col("v0", "id"), lit(n - n / 8)))
+                .filter(gt(col("e1", "ts"), lit(1_350_000_000)))
+                .returns_count()
+                .build(),
+        ),
+        (
+            "two-hop-far-end-filter".into(),
+            // The optimizer may start from either end; whichever it scans,
+            // the id predicate on that end is pushable.
+            khop(2).filter(eq(col("v2", "id"), lit(n / 3))).returns_count().build(),
+        ),
+        (
+            "grouped-with-pushed-filter".into(),
+            khop(1)
+                .filter(lt(col("v0", "id"), lit(n / 4)))
+                .group_by(&[("v0", "id")])
+                .returns_agg(vec![Agg::count_star()])
+                .build(),
+        ),
+    ]
+}
+
+/// String/date predicates over the social schema (dictionary bitmaps +
+/// code-presence zone pruning).
+fn social_queries() -> Vec<(String, PatternQuery)> {
+    let knows1 = || {
+        PatternQuery::builder().node("p", "Person").node("q", "Person").edge("k", "knows", "p", "q")
+    };
+    vec![
+        (
+            "string-starts-with".into(),
+            knows1().filter(starts_with("p", "fName", "A")).returns_count().build(),
+        ),
+        (
+            "string-in-set".into(),
+            knows1()
+                .filter(in_set("p", "browserUsed", &["Chrome", "Firefox"]))
+                .returns(&[("p", "id"), ("q", "id")])
+                .build(),
+        ),
+        (
+            "date-range-and-gender".into(),
+            knows1()
+                .filter(ge(col("p", "birthday"), lit(300_000_000)))
+                .filter(eq(col("p", "gender"), lit("female")))
+                .returns_count()
+                .build(),
+        ),
+    ]
+}
+
+#[test]
+fn powerlaw_pushdown_agrees() {
+    let raw = gfcl_datagen::generate_powerlaw(PowerLawParams {
+        nodes: 3000,
+        avg_degree: 5.0,
+        exponent: 1.8,
+        seed: 23,
+    });
+    assert_pushdown_equivalent(&raw, &powerlaw_queries(3000));
+}
+
+#[test]
+fn social_pushdown_agrees() {
+    let raw = gfcl_datagen::generate_social(SocialParams::scale(120));
+    assert_pushdown_equivalent(&raw, &social_queries());
+}
+
+#[test]
+fn pushed_plans_actually_push() {
+    // Guard against the suite silently testing nothing: the headline
+    // queries must produce plans with pushed predicates on the scan.
+    let raw = gfcl_datagen::generate_powerlaw(PowerLawParams {
+        nodes: 500,
+        avg_degree: 3.0,
+        exponent: 1.8,
+        seed: 5,
+    });
+    let graph = ColumnarGraph::build(&raw, StorageConfig::default()).unwrap();
+    for (name, q) in powerlaw_queries(500) {
+        if name == "two-hop-far-end-filter" {
+            continue; // start choice is the optimizer's
+        }
+        let p = plan_with(&q, graph.catalog(), &PlanOptions::default()).unwrap();
+        match &p.steps[0] {
+            PlanStep::ScanAll { pushed, .. } => {
+                assert!(!pushed.is_empty(), "{name}: nothing was pushed")
+            }
+            s => panic!("{name}: expected a scan, got {s:?}"),
+        }
+    }
+}
+
+// ---- Randomized graphs and predicates --------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn random_powerlaw_pushdown_agrees(
+        nodes in 40usize..220,
+        avg_degree in 1.0f64..5.0,
+        seed in 0u64..1000,
+        lo_frac in 0.0f64..1.0,
+        hi_frac in 0.0f64..1.0,
+    ) {
+        let raw = gfcl_datagen::generate_powerlaw(PowerLawParams {
+            nodes,
+            avg_degree,
+            exponent: 1.8,
+            seed,
+        });
+        let n = nodes as i64;
+        let lo = (n as f64 * lo_frac) as i64;
+        let hi = (n as f64 * hi_frac) as i64;
+        let khop = |hops: usize| {
+            let mut b = PatternQuery::builder();
+            for i in 0..=hops {
+                b = b.node(&format!("v{i}"), "NODE");
+            }
+            for i in 0..hops {
+                b = b.edge(
+                    &format!("e{}", i + 1),
+                    "LINK",
+                    &format!("v{i}"),
+                    &format!("v{}", i + 1),
+                );
+            }
+            b
+        };
+        let queries = vec![
+            (
+                format!("rand-scan[{lo},{hi}]"),
+                khop(0)
+                    .filter(ge(col("v0", "id"), lit(lo.min(hi))))
+                    .filter(le(col("v0", "id"), lit(lo.max(hi))))
+                    .returns(&[("v0", "id")])
+                    .build(),
+            ),
+            (
+                format!("rand-one-hop[{lo}]"),
+                khop(1).filter(lt(col("v0", "id"), lit(lo))).returns_count().build(),
+            ),
+        ];
+        assert_pushdown_equivalent(&raw, &queries);
+    }
+}

@@ -117,6 +117,40 @@
 //! assert_eq!(rows[0][1], gfcl::Value::Int64(3));
 //! ```
 //!
+//! ## Filter pushdown
+//!
+//! Filter conjuncts over the scanned node's properties are pushed down
+//! into the scan itself: the storage layer evaluates them positionally on
+//! the vertex-property columns — skipping whole 1024-value blocks via
+//! per-block zone maps (min/max synopses) — and the surviving selection
+//! mask makes every later property read over the scan group
+//! selection-aware. `EXPLAIN` shows the pushed predicates and the
+//! estimated block-skip ratio; `GFCL_NO_PUSHDOWN=1` (or
+//! [`plan::PlanOptions::no_pushdown`]) is the escape hatch:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gfcl::{ColumnarGraph, Engine, GfClEngine, RawGraph, StorageConfig};
+//! use gfcl::query::{col, ge, lit, PatternQuery};
+//!
+//! let raw = RawGraph::example();
+//! let graph = Arc::new(ColumnarGraph::build(&raw, StorageConfig::default()).unwrap());
+//! let engine = GfClEngine::new(graph);
+//!
+//! let q = PatternQuery::builder()
+//!     .node("a", "PERSON")
+//!     .node("b", "PERSON")
+//!     .edge("e", "FOLLOWS", "a", "b")
+//!     .filter(ge(col("a", "age"), lit(45)))
+//!     .returns_count()
+//!     .build();
+//! let text = engine.explain(&q).unwrap();
+//! assert!(text.contains("pushed: a.age >= 45"), "{text}");
+//! assert!(text.contains("est zone-skip ~"), "{text}");
+//! // The filter runs inside the scan: no FILTER step remains.
+//! assert!(!text.contains("FILTER"), "{text}");
+//! ```
+//!
 //! See `ARCHITECTURE.md` for the paper-section → module map, `DESIGN.md`
 //! for the system inventory and `EXPERIMENTS.md` for the paper-vs-measured
 //! record of every table and figure.
