@@ -9,8 +9,9 @@
 //! prints a per-bench delta table and exits non-zero when any bench shared
 //! by both files regressed by more than `max_ratio` (default 2.0 —
 //! quick-mode CI runners are noisy; the gate catches order-of-magnitude
-//! breakage, the committed full-scale floors catch the rest). Benches new
-//! in the PR or missing from it are reported but never fail the gate.
+//! breakage, the committed full-scale floors catch the rest). Benches
+//! present in only one file are reported as `new` / `removed` rows and
+//! never fail the gate — a renamed or retired bench must not break CI.
 
 use std::process::ExitCode;
 
@@ -43,6 +44,59 @@ fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(out)
 }
 
+/// How one bench moved between the two files.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Delta {
+    /// Present in both: PR-over-baseline ratio, and whether it trips the
+    /// gate.
+    Ratio { ratio: f64, regressed: bool },
+    /// Only in the PR file.
+    New,
+    /// Only in the baseline file (renamed or retired bench).
+    Removed,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    name: String,
+    base_ns: Option<f64>,
+    pr_ns: Option<f64>,
+    delta: Delta,
+}
+
+/// Pure comparison: every PR bench in file order, then baseline-only
+/// benches, with the number of gate-tripping regressions. `new`/`removed`
+/// rows never count as regressions; neither does a baseline entry of 0
+/// (a ratio over it would be meaningless).
+fn compare(baseline: &[(String, f64)], pr: &[(String, f64)], max_ratio: f64) -> (Vec<Row>, usize) {
+    let mut rows = Vec::with_capacity(baseline.len().max(pr.len()));
+    let mut regressions = 0usize;
+    for (name, pr_ns) in pr {
+        let delta = match baseline.iter().find(|(b, _)| b == name) {
+            Some((_, base_ns)) if *base_ns > 0.0 => {
+                let ratio = pr_ns / base_ns;
+                let regressed = ratio > max_ratio;
+                regressions += regressed as usize;
+                Delta::Ratio { ratio, regressed }
+            }
+            _ => Delta::New,
+        };
+        let base_ns = baseline.iter().find(|(b, _)| b == name).map(|(_, ns)| *ns);
+        rows.push(Row { name: name.clone(), base_ns, pr_ns: Some(*pr_ns), delta });
+    }
+    for (name, base_ns) in baseline {
+        if !pr.iter().any(|(p, _)| p == name) {
+            rows.push(Row {
+                name: name.clone(),
+                base_ns: Some(*base_ns),
+                pr_ns: None,
+                delta: Delta::Removed,
+            });
+        }
+    }
+    (rows, regressions)
+}
+
 fn load(path: &str) -> Vec<(String, f64)> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     parse_flat_json(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
@@ -60,6 +114,24 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
+fn render(rows: &[Row]) {
+    let width = rows.iter().map(|r| r.name.len()).max().unwrap_or(5).max("bench".len());
+    println!("{:<width$} | {:>10} | {:>10} | {:>8}", "bench", "baseline", "PR", "ratio");
+    println!("{}", "-".repeat(width + 38));
+    for r in rows {
+        let base = r.base_ns.map_or_else(|| "-".into(), fmt_ns);
+        let pr = r.pr_ns.map_or_else(|| "-".into(), fmt_ns);
+        match r.delta {
+            Delta::Ratio { ratio, regressed } => {
+                let flag = if regressed { "  << REGRESSION" } else { "" };
+                println!("{:<width$} | {base:>10} | {pr:>10} | {ratio:>7.2}x{flag}", r.name);
+            }
+            Delta::New => println!("{:<width$} | {base:>10} | {pr:>10} |      new", r.name),
+            Delta::Removed => println!("{:<width$} | {base:>10} | {pr:>10} |  removed", r.name),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 {
@@ -70,35 +142,8 @@ fn main() -> ExitCode {
     let baseline = load(&args[0]);
     let pr = load(&args[1]);
 
-    let mut regressions = 0usize;
-    let width =
-        pr.iter().chain(&baseline).map(|(k, _)| k.len()).max().unwrap_or(5).max("bench".len());
-    println!("{:<width$} | {:>10} | {:>10} | {:>8}", "bench", "baseline", "PR", "ratio");
-    println!("{}", "-".repeat(width + 38));
-    for (name, pr_ns) in &pr {
-        match baseline.iter().find(|(b, _)| b == name) {
-            Some((_, base_ns)) if *base_ns > 0.0 => {
-                let ratio = pr_ns / base_ns;
-                let flag = if ratio > max_ratio {
-                    regressions += 1;
-                    "  << REGRESSION"
-                } else {
-                    ""
-                };
-                println!(
-                    "{name:<width$} | {:>10} | {:>10} | {ratio:>7.2}x{flag}",
-                    fmt_ns(*base_ns),
-                    fmt_ns(*pr_ns),
-                );
-            }
-            _ => println!("{name:<width$} | {:>10} | {:>10} |     new", "-", fmt_ns(*pr_ns)),
-        }
-    }
-    for (name, base_ns) in &baseline {
-        if !pr.iter().any(|(p, _)| p == name) {
-            println!("{name:<width$} | {:>10} | {:>10} | missing", fmt_ns(*base_ns), "-");
-        }
-    }
+    let (rows, regressions) = compare(&baseline, &pr, max_ratio);
+    render(&rows);
     if regressions > 0 {
         eprintln!("\n{regressions} bench(es) regressed by more than {max_ratio:.1}x");
         return ExitCode::FAILURE;
@@ -124,5 +169,48 @@ mod tests {
         let m = parse_flat_json("{\"x\":1,\"y\":-2.5}").unwrap();
         assert_eq!(m.len(), 2);
         assert_eq!(m[1], ("y".to_owned(), -2.5));
+    }
+
+    fn m(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn shared_benches_gate_on_ratio() {
+        let (rows, regressions) =
+            compare(&m(&[("a", 100.0), ("b", 100.0)]), &m(&[("a", 150.0), ("b", 300.0)]), 2.0);
+        assert_eq!(regressions, 1);
+        assert_eq!(rows[0].delta, Delta::Ratio { ratio: 1.5, regressed: false });
+        assert_eq!(rows[1].delta, Delta::Ratio { ratio: 3.0, regressed: true });
+    }
+
+    #[test]
+    fn disjoint_files_never_fail_the_gate() {
+        // A fully renamed bench suite: every PR bench is new, every
+        // baseline bench removed — and nothing regresses.
+        let (rows, regressions) = compare(&m(&[("old", 100.0)]), &m(&[("new", 900.0)]), 2.0);
+        assert_eq!(regressions, 0);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].delta, Delta::New);
+        assert_eq!((rows[0].name.as_str(), rows[0].base_ns), ("new", None));
+        assert_eq!(rows[1].delta, Delta::Removed);
+        assert_eq!((rows[1].name.as_str(), rows[1].pr_ns), ("old", None));
+    }
+
+    #[test]
+    fn empty_files_compare_cleanly() {
+        let (rows, regressions) = compare(&[], &[], 2.0);
+        assert!(rows.is_empty());
+        assert_eq!(regressions, 0);
+        let (rows, regressions) = compare(&[], &m(&[("x", 1.0)]), 2.0);
+        assert_eq!(regressions, 0);
+        assert_eq!(rows[0].delta, Delta::New);
+    }
+
+    #[test]
+    fn zero_baseline_is_new_not_infinite_regression() {
+        let (rows, regressions) = compare(&m(&[("a", 0.0)]), &m(&[("a", 50.0)]), 2.0);
+        assert_eq!(regressions, 0);
+        assert_eq!(rows[0].delta, Delta::New);
     }
 }

@@ -1,7 +1,7 @@
 //! A plain bit vector used as the NULL/validity bitmap of columns and as the
 //! bit-string component of the paper's Jacobson-indexed NULL compression.
 
-use gfcl_common::MemoryUsage;
+use gfcl_common::{Error, MemoryUsage, Reader, Result, Writer};
 
 /// A fixed-length bit vector backed by `u64` words.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -109,6 +109,28 @@ impl Bitmap {
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         (0..self.len).filter(move |&i| self.get(i))
     }
+
+    /// Encode into a metadata stream: bit length + backing words.
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.len);
+        for &word in &self.words {
+            w.u64(word);
+        }
+    }
+
+    /// Decode a [`Bitmap::encode`] stream.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Bitmap> {
+        let len = r.usize()?;
+        let n_words = len.div_ceil(64);
+        if n_words * 8 > r.remaining() {
+            return Err(Error::Storage(format!("truncated bitmap of {len} bits")));
+        }
+        let mut words = Vec::with_capacity(n_words);
+        for _ in 0..n_words {
+            words.push(r.u64()?);
+        }
+        Ok(Bitmap { words, len })
+    }
 }
 
 impl MemoryUsage for Bitmap {
@@ -163,6 +185,16 @@ mod tests {
         let bm = Bitmap::from_fn(10, |i| i % 2 == 1);
         let ones: Vec<usize> = bm.iter_ones().collect();
         assert_eq!(ones, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn encode_roundtrip_and_truncation() {
+        let bm = Bitmap::from_fn(150, |i| i % 5 == 0);
+        let mut w = Writer::new();
+        bm.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(Bitmap::decode(&mut Reader::new(&bytes)).unwrap(), bm);
+        assert!(Bitmap::decode(&mut Reader::new(&bytes[..12])).is_err());
     }
 
     #[test]

@@ -5,11 +5,19 @@
 //! column with a *compressed* NULL layout stores only its non-NULL values,
 //! densely; the [`NullMap`] translates logical to physical positions in
 //! constant time (for the Jacobson layout).
+//!
+//! Value arrays are [`ArrayData`]: fully resident when built in memory,
+//! paged through a buffer pool when reopened from the on-disk format. The
+//! NULL map, dictionary and zone map always stay resident — they are
+//! consulted on every access (or every block) and are small.
 
-use gfcl_common::{DataType, Error, MemoryUsage, Result, Value};
+use std::sync::Arc;
+
+use gfcl_common::{DataType, Error, MemoryUsage, Reader, Result, Value, Writer};
 
 use crate::dictionary::Dictionary;
 use crate::nulls::{NullKind, NullMap};
+use crate::paged::{ArrayData, SegmentSink, SegmentSource};
 use crate::uint_array::UIntArray;
 use crate::zonemap::ZoneMap;
 
@@ -17,9 +25,9 @@ use crate::zonemap::ZoneMap;
 #[derive(Debug, Clone)]
 pub enum ColumnData {
     /// `Int64` and `Date` values.
-    I64(Vec<i64>),
-    F64(Vec<f64>),
-    Bool(Vec<bool>),
+    I64(ArrayData<i64>),
+    F64(ArrayData<f64>),
+    Bool(ArrayData<bool>),
     /// Dictionary-encoded strings: fixed-length codes into `dict`.
     Str {
         dict: Dictionary,
@@ -44,7 +52,7 @@ impl Column {
         debug_assert!(matches!(dtype, DataType::Int64 | DataType::Date));
         let valid: Vec<bool> = values.iter().map(Option::is_some).collect();
         let nulls = NullMap::build(&valid, kind);
-        let data = if nulls.is_dense() {
+        let data: Vec<i64> = if nulls.is_dense() {
             values.iter().map(|v| v.unwrap_or(0)).collect()
         } else {
             // `flatten()` hides the size hint; collect + shrink so memory
@@ -53,14 +61,14 @@ impl Column {
             d.shrink_to_fit();
             d
         };
-        Column { dtype, data: ColumnData::I64(data), nulls, zones: None }
+        Column { dtype, data: ColumnData::I64(data.into()), nulls, zones: None }
     }
 
     /// Build from `Option<f64>` values.
     pub fn from_f64(values: &[Option<f64>], kind: NullKind) -> Column {
         let valid: Vec<bool> = values.iter().map(Option::is_some).collect();
         let nulls = NullMap::build(&valid, kind);
-        let data = if nulls.is_dense() {
+        let data: Vec<f64> = if nulls.is_dense() {
             values.iter().map(|v| v.unwrap_or(0.0)).collect()
         } else {
             // `flatten()` hides the size hint; collect + shrink so memory
@@ -69,14 +77,14 @@ impl Column {
             d.shrink_to_fit();
             d
         };
-        Column { dtype: DataType::Float64, data: ColumnData::F64(data), nulls, zones: None }
+        Column { dtype: DataType::Float64, data: ColumnData::F64(data.into()), nulls, zones: None }
     }
 
     /// Build from `Option<bool>` values.
     pub fn from_bool(values: &[Option<bool>], kind: NullKind) -> Column {
         let valid: Vec<bool> = values.iter().map(Option::is_some).collect();
         let nulls = NullMap::build(&valid, kind);
-        let data = if nulls.is_dense() {
+        let data: Vec<bool> = if nulls.is_dense() {
             values.iter().map(|v| v.unwrap_or(false)).collect()
         } else {
             // `flatten()` hides the size hint; collect + shrink so memory
@@ -85,7 +93,7 @@ impl Column {
             d.shrink_to_fit();
             d
         };
-        Column { dtype: DataType::Bool, data: ColumnData::Bool(data), nulls, zones: None }
+        Column { dtype: DataType::Bool, data: ColumnData::Bool(data.into()), nulls, zones: None }
     }
 
     /// Build a dictionary-encoded string column. With `suppress = true` the
@@ -124,7 +132,7 @@ impl Column {
             }
             arr
         } else {
-            UIntArray::U64(raw_codes)
+            UIntArray::U64(raw_codes.into())
         };
         Column {
             dtype: DataType::String,
@@ -177,7 +185,7 @@ impl Column {
     #[inline]
     pub fn get_i64(&self, i: usize) -> Option<i64> {
         match &self.data {
-            ColumnData::I64(v) => self.nulls.physical(i).map(|p| v[p]),
+            ColumnData::I64(v) => self.nulls.physical(i).map(|p| v.get(p)),
             _ => None,
         }
     }
@@ -185,7 +193,7 @@ impl Column {
     #[inline]
     pub fn get_f64(&self, i: usize) -> Option<f64> {
         match &self.data {
-            ColumnData::F64(v) => self.nulls.physical(i).map(|p| v[p]),
+            ColumnData::F64(v) => self.nulls.physical(i).map(|p| v.get(p)),
             _ => None,
         }
     }
@@ -193,7 +201,7 @@ impl Column {
     #[inline]
     pub fn get_bool(&self, i: usize) -> Option<bool> {
         match &self.data {
-            ColumnData::Bool(v) => self.nulls.physical(i).map(|p| v[p]),
+            ColumnData::Bool(v) => self.nulls.physical(i).map(|p| v.get(p)),
             _ => None,
         }
     }
@@ -264,19 +272,128 @@ impl Column {
         &self.data
     }
 
-    /// Heap bytes of the physical values (excluding the NULL structure).
+    /// Logical bytes of the physical values (excluding the NULL structure),
+    /// whether resident or on disk — the Table 2 accounting number, which a
+    /// save/reopen must not change.
     pub fn data_bytes(&self) -> usize {
+        self.resident_data_bytes() + self.pageable_bytes()
+    }
+
+    /// Value bytes held on the heap right now. Equal to
+    /// [`Column::data_bytes`] for a built graph; the dictionary (always
+    /// resident) for a reopened one.
+    pub fn resident_data_bytes(&self) -> usize {
         match &self.data {
-            ColumnData::I64(v) => v.memory_bytes(),
-            ColumnData::F64(v) => v.memory_bytes(),
-            ColumnData::Bool(v) => v.memory_bytes(),
-            ColumnData::Str { dict, codes } => dict.memory_bytes() + codes.memory_bytes(),
+            ColumnData::I64(v) => v.resident_bytes(),
+            ColumnData::F64(v) => v.resident_bytes(),
+            ColumnData::Bool(v) => v.resident_bytes(),
+            ColumnData::Str { dict, codes } => dict.memory_bytes() + codes.resident_bytes(),
         }
+    }
+
+    /// Value bytes living on disk, faulted through the buffer pool.
+    pub fn pageable_bytes(&self) -> usize {
+        match &self.data {
+            ColumnData::I64(v) => v.pageable_bytes(),
+            ColumnData::F64(v) => v.pageable_bytes(),
+            ColumnData::Bool(v) => v.pageable_bytes(),
+            ColumnData::Str { codes, .. } => codes.pageable_bytes(),
+        }
+    }
+
+    /// `true` when the value array faults in from disk pages.
+    pub fn is_paged(&self) -> bool {
+        self.pageable_bytes() > 0
     }
 
     /// Heap bytes of the NULL secondary structure.
     pub fn null_overhead_bytes(&self) -> usize {
         self.nulls.overhead_bytes()
+    }
+
+    /// Physical value-array span backing logical rows `[start, end)`:
+    /// identity for dense layouts, the first/last valid rank for compressed
+    /// ones (`None` when the range holds no values).
+    fn physical_span(&self, start: usize, end: usize) -> Option<(usize, usize)> {
+        let end = end.min(self.len());
+        if start >= end {
+            return None;
+        }
+        if self.nulls.is_dense() {
+            return Some((start, end));
+        }
+        let mut first = None;
+        let mut last = None;
+        for i in start..end {
+            if let Some(p) = self.nulls.physical(i) {
+                first.get_or_insert(p);
+                last = Some(p);
+            }
+        }
+        Some((first?, last? + 1))
+    }
+
+    /// Pin every page backing logical rows `[start, end)` so a morsel's
+    /// reads cannot be evicted mid-scan. No-op on a resident column; the
+    /// returned guards release the pins when dropped.
+    pub fn pin_rows(&self, start: usize, end: usize, out: &mut Vec<Arc<Vec<u8>>>) {
+        let Some((p0, p1)) = self.physical_span(start, end) else { return };
+        match &self.data {
+            ColumnData::I64(v) => v.pin_range(p0, p1, out),
+            ColumnData::F64(v) => v.pin_range(p0, p1, out),
+            ColumnData::Bool(v) => v.pin_range(p0, p1, out),
+            ColumnData::Str { codes, .. } => codes.pin_range(p0, p1, out),
+        }
+    }
+
+    /// Tell the buffer pool the pages backing logical rows `[start, end)`
+    /// were pruned without faulting (zone maps turned into saved I/O).
+    /// No-op on a resident column.
+    pub fn note_skipped_rows(&self, start: usize, end: usize) {
+        let Some((p0, p1)) = self.physical_span(start, end) else { return };
+        match &self.data {
+            ColumnData::I64(v) => v.note_skipped_range(p0, p1),
+            ColumnData::F64(v) => v.note_skipped_range(p0, p1),
+            ColumnData::Bool(v) => v.note_skipped_range(p0, p1),
+            ColumnData::Str { codes, .. } => codes.note_skipped_range(p0, p1),
+        }
+    }
+
+    /// Encode for the on-disk format: value arrays as page-aligned
+    /// segments through `sink`, everything consulted per-access (dtype,
+    /// NULL map, dictionary, zone map) inline in the metadata stream.
+    pub fn encode(&self, w: &mut Writer, sink: &mut dyn SegmentSink) {
+        w.dtype(self.dtype);
+        match &self.data {
+            ColumnData::I64(v) => v.encode_seg(w, sink),
+            ColumnData::F64(v) => v.encode_seg(w, sink),
+            ColumnData::Bool(v) => v.encode_seg(w, sink),
+            ColumnData::Str { dict, codes } => {
+                dict.encode(w);
+                codes.encode_seg(w, sink);
+            }
+        }
+        self.nulls.encode(w);
+        w.opt(self.zones.as_deref(), |w, z| z.encode(w));
+    }
+
+    /// Decode a [`Column::encode`] stream: value arrays come back paged
+    /// over `src`'s store, faulting in on first access.
+    pub fn decode(r: &mut Reader<'_>, src: &dyn SegmentSource) -> Result<Column> {
+        let dtype = r.dtype()?;
+        let data = match dtype {
+            DataType::Int64 | DataType::Date => ColumnData::I64(ArrayData::decode_seg(r, src)?),
+            DataType::Float64 => ColumnData::F64(ArrayData::decode_seg(r, src)?),
+            DataType::Bool => ColumnData::Bool(ArrayData::decode_seg(r, src)?),
+            DataType::String => {
+                let dict = Dictionary::decode_stream(r)?;
+                let codes = UIntArray::decode_seg(r, src)?;
+                ColumnData::Str { dict, codes }
+            }
+        };
+        let nulls = NullMap::decode(r)?;
+        let zones = r.opt(ZoneMap::decode)?.map(Box::new);
+        Ok(Column { dtype, data, nulls, zones })
     }
 }
 
@@ -425,5 +542,22 @@ mod tests {
         let col = Column::from_str(&values, NullKind::jacobson_default(), true);
         assert_eq!(col.get_str(0), None);
         assert_eq!(col.get_str(1), None);
+    }
+
+    #[test]
+    fn resident_columns_report_no_pageable_bytes() {
+        let col = Column::from_i64(
+            DataType::Int64,
+            &(0..100).map(Some).collect::<Vec<_>>(),
+            NullKind::Uncompressed,
+        );
+        assert!(!col.is_paged());
+        assert_eq!(col.pageable_bytes(), 0);
+        assert_eq!(col.resident_data_bytes(), col.data_bytes());
+        // pin/skip are no-ops on resident columns.
+        let mut pins = Vec::new();
+        col.pin_rows(0, 100, &mut pins);
+        assert!(pins.is_empty());
+        col.note_skipped_rows(0, 100);
     }
 }

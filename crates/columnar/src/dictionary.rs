@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use gfcl_common::{mem::vec_string_bytes, MemoryUsage};
+use gfcl_common::{mem::vec_string_bytes, MemoryUsage, Reader, Result, Writer};
 
 use crate::bitmap::Bitmap;
 
@@ -76,6 +76,26 @@ impl Dictionary {
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
         self.values.iter().enumerate().map(|(i, v)| (i as u32, v.as_str()))
     }
+
+    /// Encode as the code-ordered value list; the hash index is rebuilt on
+    /// decode (it is derivable, so the file stores strings exactly once).
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.values.len());
+        for v in &self.values {
+            w.str(v);
+        }
+    }
+
+    /// Decode a [`Dictionary::encode`] stream, rebuilding the intern index.
+    /// (Named apart from [`Dictionary::decode`], which decodes a *code*.)
+    pub fn decode_stream(r: &mut Reader<'_>) -> Result<Dictionary> {
+        let n = r.count()?;
+        let mut dict = Dictionary::new();
+        for _ in 0..n {
+            dict.intern(&r.str()?);
+        }
+        Ok(dict)
+    }
 }
 
 impl MemoryUsage for Dictionary {
@@ -127,6 +147,23 @@ mod tests {
         assert!(m.get(c0 as usize));
         assert!(!m.get(c1 as usize));
         assert!(m.get(c2 as usize));
+    }
+
+    #[test]
+    fn encode_roundtrip_preserves_codes() {
+        let mut d = Dictionary::new();
+        for s in ["zeta", "alpha", "", "midori"] {
+            d.intern(s);
+        }
+        let mut w = Writer::new();
+        d.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = Dictionary::decode_stream(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.len(), d.len());
+        for (code, v) in d.iter() {
+            assert_eq!(back.decode(code as u64), v);
+            assert_eq!(back.code_of(v), Some(code));
+        }
     }
 
     #[test]

@@ -23,11 +23,15 @@
 //! * [`ZoneMap`] — per-block min/max (and code-presence) synopses over a
 //!   column, letting scans with pushed-down predicates skip whole blocks
 //!   without touching the data.
+//! * [`paged`] — the [`ArrayData`] value-storage abstraction: resident
+//!   vectors for built graphs, on-demand page faults through a
+//!   [`PageStore`] (the storage crate's buffer pool) for reopened ones.
 
 pub mod bitmap;
 pub mod column;
 pub mod dictionary;
 pub mod nulls;
+pub mod paged;
 pub mod rank;
 pub mod uint_array;
 pub mod zonemap;
@@ -36,6 +40,7 @@ pub use bitmap::Bitmap;
 pub use column::{Column, ColumnBuilder, ColumnData};
 pub use dictionary::Dictionary;
 pub use nulls::{NullKind, NullMap};
+pub use paged::{ArrayData, PageStore, PagedElem, SegRef, SegmentSink, SegmentSource, PAGE_SIZE};
 pub use rank::{JacobsonRank, RankParams};
 pub use uint_array::UIntArray;
 pub use zonemap::{ZoneEntry, ZoneInfo, ZoneMap, ZONE_BLOCK};
@@ -51,4 +56,6 @@ const _: () = {
     assert_send_sync::<JacobsonRank>();
     assert_send_sync::<UIntArray>();
     assert_send_sync::<ZoneMap>();
+    assert_send_sync::<ArrayData<i64>>();
+    assert_send_sync::<SegRef>();
 };

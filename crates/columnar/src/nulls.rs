@@ -18,7 +18,7 @@
 //! The same structure compresses empty adjacency lists in CSRs (a vertex
 //! with an empty list is a "NULL" CSR entry) — Section 8.4.
 
-use gfcl_common::MemoryUsage;
+use gfcl_common::{Error, MemoryUsage, Reader, Result, Writer};
 
 use crate::bitmap::Bitmap;
 use crate::rank::{JacobsonRank, RankParams};
@@ -210,6 +210,74 @@ impl NullMap {
         matches!(self, NullMap::AllValid { .. } | NullMap::Uncompressed { .. })
     }
 
+    /// Encode into a metadata stream. NULL maps stay fully resident after a
+    /// reopen (they are consulted on every access), so everything is
+    /// inline; the Jacobson rank index stores only its parameters and is
+    /// rebuilt deterministically from the bit string on decode.
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            NullMap::AllValid { len } => {
+                w.u8(0);
+                w.usize(*len);
+            }
+            NullMap::Uncompressed { valid, n_valid } => {
+                w.u8(1);
+                valid.encode(w);
+                w.usize(*n_valid);
+            }
+            NullMap::Sparse { len, positions } => {
+                w.u8(2);
+                w.usize(*len);
+                positions.encode_inline(w);
+            }
+            NullMap::Ranges { len, starts, run_lens, prefix, n_valid } => {
+                w.u8(3);
+                w.usize(*len);
+                starts.encode_inline(w);
+                run_lens.encode_inline(w);
+                prefix.encode_inline(w);
+                w.usize(*n_valid);
+            }
+            NullMap::Vanilla { bits, n_valid } => {
+                w.u8(4);
+                bits.encode(w);
+                w.usize(*n_valid);
+            }
+            NullMap::Jacobson { bits, rank } => {
+                w.u8(5);
+                bits.encode(w);
+                let p = rank.params();
+                w.u32(p.c);
+                w.u32(p.m);
+            }
+        }
+    }
+
+    /// Decode a [`NullMap::encode`] stream.
+    pub fn decode(r: &mut Reader<'_>) -> Result<NullMap> {
+        Ok(match r.u8()? {
+            0 => NullMap::AllValid { len: r.usize()? },
+            1 => NullMap::Uncompressed { valid: Bitmap::decode(r)?, n_valid: r.usize()? },
+            2 => NullMap::Sparse { len: r.usize()?, positions: UIntArray::decode_inline(r)? },
+            3 => NullMap::Ranges {
+                len: r.usize()?,
+                starts: UIntArray::decode_inline(r)?,
+                run_lens: UIntArray::decode_inline(r)?,
+                prefix: UIntArray::decode_inline(r)?,
+                n_valid: r.usize()?,
+            },
+            4 => NullMap::Vanilla { bits: Bitmap::decode(r)?, n_valid: r.usize()? },
+            5 => {
+                let bits = Bitmap::decode(r)?;
+                let params = RankParams::new(r.u32()?, r.u32()?)
+                    .map_err(|e| Error::Storage(format!("bad rank params: {e}")))?;
+                let rank = JacobsonRank::build(&bits, params);
+                NullMap::Jacobson { bits, rank }
+            }
+            t => return Err(Error::Storage(format!("invalid null-map tag {t}"))),
+        })
+    }
+
     /// Bytes of the secondary structure only (the Figure 10 / Table 8
     /// "overhead" number: bit strings + prefix sums + positions).
     pub fn overhead_bytes(&self) -> usize {
@@ -356,6 +424,38 @@ mod tests {
         let sparse = NullMap::build(&valid, NullKind::Sparse);
         let vanilla = NullMap::build(&valid, NullKind::Vanilla);
         assert!(sparse.overhead_bytes() < vanilla.overhead_bytes());
+    }
+
+    #[test]
+    fn encode_roundtrip_every_layout() {
+        let valid: Vec<bool> = (0..700).map(|i| i % 4 != 1 && i % 31 != 0).collect();
+        for kind in all_kinds().into_iter().chain([NullKind::None]) {
+            let map = if matches!(kind, NullKind::None) {
+                NullMap::build(&vec![true; 700], kind)
+            } else {
+                NullMap::build(&valid, kind)
+            };
+            let mut w = Writer::new();
+            map.encode(&mut w);
+            let bytes = w.into_bytes();
+            let back = NullMap::decode(&mut Reader::new(&bytes)).unwrap();
+            assert_eq!(back, map, "{kind:?}");
+            for i in 0..map.len() {
+                assert_eq!(back.physical(i), map.physical(i), "{kind:?} at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tag_and_truncation_are_storage_errors() {
+        let mut w = Writer::new();
+        w.u8(9);
+        let bytes = w.into_bytes();
+        assert!(NullMap::decode(&mut Reader::new(&bytes)).is_err());
+        let mut w = Writer::new();
+        NullMap::build(&[true, false, true], NullKind::jacobson_default()).encode(&mut w);
+        let bytes = w.into_bytes();
+        assert!(NullMap::decode(&mut Reader::new(&bytes[..bytes.len() - 2])).is_err());
     }
 
     #[test]

@@ -1,0 +1,447 @@
+//! The resident/paged storage split behind every value array.
+//!
+//! The in-memory build path stores arrays as plain `Vec`s ("Resident");
+//! a graph reopened from the on-disk format stores them as page-number
+//! ranges into a [`PageStore`] ("Paged") and faults 64 KiB pages in on
+//! demand. [`ArrayData`] is the leaf abstraction both compile to: the
+//! resident arm is exactly the code the all-in-memory engine ran before
+//! paging existed, so the fast tier pays nothing for the feature.
+//!
+//! Elements are fixed-width (1/2/4/8 bytes — every width divides
+//! [`PAGE_SIZE`], so no element ever straddles a page boundary) and
+//! segments are page-aligned; a random access on the paged arm is one
+//! page pin plus one little-endian load.
+
+use std::sync::Arc;
+
+use gfcl_common::{MemoryUsage, Reader, Result, Writer};
+
+/// On-disk page size. 64 KiB amortizes fault overhead over ~8K adjacency
+/// entries while keeping a 4 MB debugging pool (`GFCL_BUFFER_MB=4`) at a
+/// useful 64 frames.
+pub const PAGE_SIZE: usize = 65536;
+
+/// A source of pinned pages — implemented by the buffer pool in
+/// `gfcl_storage::pager`. Pinning is Arc-based: a page stays resident (is
+/// skipped by eviction) for as long as any returned `Arc` is alive.
+pub trait PageStore: Send + Sync + std::fmt::Debug {
+    /// Fault page `page_no` in (or hit the pool) and pin it.
+    fn pin(&self, page_no: u64) -> Arc<Vec<u8>>;
+
+    /// Account `n_pages` data pages that a pruned scan proved it never
+    /// needs to fault (zone-map pruning turned into I/O skipping).
+    fn note_skipped(&self, n_pages: u64);
+}
+
+/// A page-aligned byte range of the storage file holding one value array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegRef {
+    /// First page of the segment.
+    pub start_page: u64,
+    /// Pages the segment spans (its tail page may be zero-padded).
+    pub n_pages: u64,
+}
+
+/// Where an array encoder writes its raw value bytes: the format layer
+/// hands out page-aligned segments and records where they landed.
+pub trait SegmentSink {
+    /// Append `bytes` as a new page-aligned segment.
+    fn write_segment(&mut self, bytes: &[u8]) -> SegRef;
+}
+
+/// Where an array decoder gets its page store from at open time.
+pub trait SegmentSource {
+    fn store(&self) -> Arc<dyn PageStore>;
+}
+
+/// A fixed-width element type storable in pages. Widths are powers of two
+/// ≤ 8 so elements never straddle a [`PAGE_SIZE`] boundary.
+pub trait PagedElem: Copy + std::fmt::Debug + 'static {
+    const WIDTH: usize;
+    fn write_le(self, out: &mut Vec<u8>);
+    fn read_le(b: &[u8]) -> Self;
+}
+
+macro_rules! paged_elem_int {
+    ($($t:ty),*) => {$(
+        impl PagedElem for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn write_le(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_le(b: &[u8]) -> $t {
+                <$t>::from_le_bytes(b[..Self::WIDTH].try_into().expect("element width"))
+            }
+        }
+    )*};
+}
+
+paged_elem_int!(u8, u16, u32, u64, i64, f64);
+
+impl PagedElem for bool {
+    const WIDTH: usize = 1;
+    #[inline]
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.push(u8::from(self));
+    }
+    #[inline]
+    fn read_le(b: &[u8]) -> bool {
+        b[0] != 0
+    }
+}
+
+/// A fixed-width value array that is either fully resident or faulted in
+/// page-by-page through a [`PageStore`].
+#[derive(Debug, Clone)]
+pub enum ArrayData<T: PagedElem> {
+    /// The classic in-memory `Vec` — the fast tier.
+    Resident(Vec<T>),
+    /// A page range of the storage file; `len` elements packed at
+    /// `T::WIDTH` bytes each from the start of `seg`.
+    Paged { store: Arc<dyn PageStore>, seg: SegRef, len: usize },
+}
+
+impl<T: PagedElem> ArrayData<T> {
+    pub fn len(&self) -> usize {
+        match self {
+            ArrayData::Resident(d) => d.len(),
+            ArrayData::Paged { len, .. } => *len,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Constant-time random access: an index on the resident arm, one page
+    /// pin + LE load on the paged arm.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        match self {
+            ArrayData::Resident(d) => d[i],
+            ArrayData::Paged { store, seg, len } => {
+                debug_assert!(i < *len);
+                let byte = i * T::WIDTH;
+                let page = store.pin(seg.start_page + (byte / PAGE_SIZE) as u64);
+                T::read_le(&page[byte % PAGE_SIZE..])
+            }
+        }
+    }
+
+    /// Append (resident arrays only — paged arrays are immutable).
+    #[inline]
+    pub fn push(&mut self, v: T) {
+        match self {
+            ArrayData::Resident(d) => d.push(v),
+            ArrayData::Paged { .. } => panic!("push on a paged array"),
+        }
+    }
+
+    /// Overwrite position `i` (resident arrays only).
+    #[inline]
+    pub fn set(&mut self, i: usize, v: T) {
+        match self {
+            ArrayData::Resident(d) => d[i] = v,
+            ArrayData::Paged { .. } => panic!("set on a paged array"),
+        }
+    }
+
+    pub fn shrink_to_fit(&mut self) {
+        if let ArrayData::Resident(d) = self {
+            d.shrink_to_fit();
+        }
+    }
+
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = T> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Heap bytes held right now (a paged array's bytes live in the pool,
+    /// accounted there).
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            ArrayData::Resident(d) => d.capacity() * std::mem::size_of::<T>(),
+            ArrayData::Paged { .. } => 0,
+        }
+    }
+
+    /// Bytes that live on disk and fault in through the pool.
+    pub fn pageable_bytes(&self) -> usize {
+        match self {
+            ArrayData::Resident(_) => 0,
+            ArrayData::Paged { len, .. } => len * T::WIDTH,
+        }
+    }
+
+    /// Pages covering elements `[start, end)` of a paged array (`None` when
+    /// resident): the faulting footprint of one scan morsel.
+    pub fn page_range(&self, start: usize, end: usize) -> Option<(u64, u64)> {
+        match self {
+            ArrayData::Resident(_) => None,
+            ArrayData::Paged { seg, .. } => {
+                if start >= end {
+                    return Some((seg.start_page, seg.start_page));
+                }
+                let first = seg.start_page + (start * T::WIDTH / PAGE_SIZE) as u64;
+                let last = seg.start_page + ((end - 1) * T::WIDTH / PAGE_SIZE) as u64;
+                Some((first, last + 1))
+            }
+        }
+    }
+
+    /// Pin every page covering elements `[start, end)` into `out` so a
+    /// morsel's worth of reads cannot be evicted mid-scan. No-op when
+    /// resident.
+    pub fn pin_range(&self, start: usize, end: usize, out: &mut Vec<Arc<Vec<u8>>>) {
+        if let (ArrayData::Paged { store, .. }, Some((first, last))) =
+            (self, self.page_range(start, end))
+        {
+            for p in first..last {
+                out.push(store.pin(p));
+            }
+        }
+    }
+
+    /// Tell the store the pages covering `[start, end)` were proven
+    /// skippable without faulting them. No-op when resident.
+    pub fn note_skipped_range(&self, start: usize, end: usize) {
+        if let (ArrayData::Paged { store, .. }, Some((first, last))) =
+            (self, self.page_range(start, end))
+        {
+            store.note_skipped(last - first);
+        }
+    }
+
+    /// The packed little-endian value bytes (the segment payload).
+    pub fn to_value_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len() * T::WIDTH);
+        for i in 0..self.len() {
+            self.get(i).write_le(&mut out);
+        }
+        out
+    }
+
+    /// Encode into the metadata stream itself (small arrays that must stay
+    /// resident after open — NULL-map internals, CSR offsets).
+    pub fn encode_inline(&self, w: &mut Writer) {
+        w.usize(self.len());
+        w.bytes(&self.to_value_bytes());
+    }
+
+    /// Decode an [`ArrayData::encode_inline`] stream — always resident.
+    pub fn decode_inline(r: &mut Reader<'_>) -> Result<ArrayData<T>> {
+        let n = r.count()?;
+        let raw = r.bytes(n * T::WIDTH)?;
+        let mut d = Vec::with_capacity(n);
+        for i in 0..n {
+            d.push(T::read_le(&raw[i * T::WIDTH..]));
+        }
+        Ok(ArrayData::Resident(d))
+    }
+
+    /// Encode as a page-aligned segment: value bytes go to `sink`, the
+    /// segment location into the metadata stream.
+    pub fn encode_seg(&self, w: &mut Writer, sink: &mut dyn SegmentSink) {
+        w.usize(self.len());
+        let seg = sink.write_segment(&self.to_value_bytes());
+        w.u64(seg.start_page);
+        w.u64(seg.n_pages);
+    }
+
+    /// Decode an [`ArrayData::encode_seg`] stream as a paged array over
+    /// `src`'s store.
+    pub fn decode_seg(r: &mut Reader<'_>, src: &dyn SegmentSource) -> Result<ArrayData<T>> {
+        let len = r.usize()?;
+        let seg = SegRef { start_page: r.u64()?, n_pages: r.u64()? };
+        let need = (len * T::WIDTH).div_ceil(PAGE_SIZE) as u64;
+        if seg.n_pages < need {
+            return Err(gfcl_common::Error::Storage(format!(
+                "segment at page {} spans {} pages but {len} elements need {need}",
+                seg.start_page, seg.n_pages
+            )));
+        }
+        Ok(ArrayData::Paged { store: src.store(), seg, len })
+    }
+}
+
+impl<T: PagedElem> From<Vec<T>> for ArrayData<T> {
+    fn from(d: Vec<T>) -> ArrayData<T> {
+        ArrayData::Resident(d)
+    }
+}
+
+impl<T: PagedElem + PartialEq> PartialEq for ArrayData<T> {
+    fn eq(&self, other: &ArrayData<T>) -> bool {
+        self.len() == other.len() && (0..self.len()).all(|i| self.get(i) == other.get(i))
+    }
+}
+
+impl<T: PagedElem> MemoryUsage for ArrayData<T> {
+    fn memory_bytes(&self) -> usize {
+        self.resident_bytes()
+    }
+}
+
+/// An in-memory [`PageStore`]/[`SegmentSink`] pair used by unit tests of
+/// every encode/decode implementation (the production pair is the storage
+/// crate's file-backed buffer pool and format writer).
+pub mod mem {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// A page store over an in-memory "file" of segments.
+    #[derive(Debug, Default)]
+    pub struct MemStore {
+        pages: Mutex<Vec<Arc<Vec<u8>>>>,
+        skipped: AtomicU64,
+    }
+
+    impl MemStore {
+        pub fn new() -> Arc<MemStore> {
+            Arc::new(MemStore::default())
+        }
+
+        /// Pages accounted as skipped via [`PageStore::note_skipped`].
+        pub fn skipped(&self) -> u64 {
+            self.skipped.load(Ordering::Relaxed)
+        }
+
+        /// Pages written so far.
+        pub fn n_pages(&self) -> usize {
+            self.pages.lock().unwrap().len()
+        }
+    }
+
+    impl PageStore for MemStore {
+        fn pin(&self, page_no: u64) -> Arc<Vec<u8>> {
+            Arc::clone(&self.pages.lock().unwrap()[page_no as usize])
+        }
+        fn note_skipped(&self, n_pages: u64) {
+            self.skipped.fetch_add(n_pages, Ordering::Relaxed);
+        }
+    }
+
+    /// Writes segments into a [`MemStore`].
+    pub struct MemSink(pub Arc<MemStore>);
+
+    impl SegmentSink for MemSink {
+        fn write_segment(&mut self, bytes: &[u8]) -> SegRef {
+            let mut pages = self.0.pages.lock().unwrap();
+            let start_page = pages.len() as u64;
+            for chunk in bytes.chunks(PAGE_SIZE) {
+                let mut page = chunk.to_vec();
+                page.resize(PAGE_SIZE, 0);
+                pages.push(Arc::new(page));
+            }
+            if bytes.is_empty() {
+                pages.push(Arc::new(vec![0; PAGE_SIZE]));
+            }
+            SegRef { start_page, n_pages: (pages.len() as u64) - start_page }
+        }
+    }
+
+    impl SegmentSource for Arc<MemStore> {
+        fn store(&self) -> Arc<dyn PageStore> {
+            Arc::clone(self) as Arc<dyn PageStore>
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::mem::{MemSink, MemStore};
+    use super::*;
+
+    fn paged_roundtrip<T: PagedElem + PartialEq>(values: Vec<T>) -> ArrayData<T> {
+        let store = MemStore::new();
+        let resident = ArrayData::Resident(values);
+        let mut w = Writer::new();
+        resident.encode_seg(&mut w, &mut MemSink(Arc::clone(&store)));
+        let bytes = w.into_bytes();
+        let paged = ArrayData::<T>::decode_seg(&mut Reader::new(&bytes), &store).unwrap();
+        assert_eq!(paged, resident);
+        paged
+    }
+
+    #[test]
+    fn paged_equals_resident_across_types() {
+        paged_roundtrip::<u8>((0..=255).collect());
+        paged_roundtrip::<u16>((0..40_000).map(|i| i as u16).collect());
+        paged_roundtrip::<u32>((0..100_000).map(|i| i * 7919).collect());
+        paged_roundtrip::<u64>((0..9000).map(|i| i * 0x1234_5678).collect());
+        paged_roundtrip::<i64>((-500..500).map(|i| i * 3).collect());
+        paged_roundtrip::<f64>((0..300).map(|i| i as f64 * 0.5).collect());
+        paged_roundtrip::<bool>((0..1000).map(|i| i % 3 == 0).collect());
+    }
+
+    #[test]
+    fn multi_page_access_crosses_boundaries() {
+        // 3 pages of u32: exercise both sides of each page edge.
+        let n = 3 * PAGE_SIZE / 4;
+        let paged = paged_roundtrip::<u32>((0..n as u32).collect());
+        for i in [0, 16383, 16384, 32767, 32768, n - 1] {
+            assert_eq!(paged.get(i), i as u32);
+        }
+        assert_eq!(paged.page_range(0, n), paged.page_range(0, n));
+        assert_eq!(paged.page_range(0, 1).unwrap().1 - paged.page_range(0, 1).unwrap().0, 1);
+        let (f, l) = paged.page_range(16000, 17000).unwrap();
+        assert_eq!(l - f, 2, "a straddling element range pins both pages");
+    }
+
+    #[test]
+    fn inline_roundtrip_is_resident() {
+        let arr = ArrayData::Resident(vec![1u64, 2, 3]);
+        let mut w = Writer::new();
+        arr.encode_inline(&mut w);
+        let bytes = w.into_bytes();
+        let back = ArrayData::<u64>::decode_inline(&mut Reader::new(&bytes)).unwrap();
+        assert!(matches!(back, ArrayData::Resident(_)));
+        assert_eq!(back, arr);
+    }
+
+    #[test]
+    fn truncated_segment_metadata_is_an_error() {
+        let store = MemStore::new();
+        let mut w = Writer::new();
+        ArrayData::Resident((0..100u64).collect()).encode_seg(&mut w, &mut MemSink(store.clone()));
+        let bytes = w.into_bytes();
+        assert!(ArrayData::<u64>::decode_seg(&mut Reader::new(&bytes[..10]), &store).is_err());
+        // A segment too small for its element count is rejected.
+        let mut w = Writer::new();
+        w.usize(1_000_000);
+        w.u64(0);
+        w.u64(1);
+        let bytes = w.into_bytes();
+        assert!(ArrayData::<u64>::decode_seg(&mut Reader::new(&bytes), &store).is_err());
+    }
+
+    #[test]
+    fn skip_accounting_reaches_the_store() {
+        let store = MemStore::new();
+        let mut w = Writer::new();
+        ArrayData::Resident((0..50_000u64).collect())
+            .encode_seg(&mut w, &mut MemSink(store.clone()));
+        let bytes = w.into_bytes();
+        let paged = ArrayData::<u64>::decode_seg(&mut Reader::new(&bytes), &store).unwrap();
+        paged.note_skipped_range(0, 50_000);
+        assert_eq!(store.skipped(), 7);
+        let mut pins = Vec::new();
+        paged.pin_range(0, 10_000, &mut pins);
+        assert_eq!(pins.len(), 2);
+    }
+
+    #[test]
+    fn resident_mutation_still_works() {
+        let mut arr: ArrayData<u16> = vec![1u16, 2, 3].into();
+        arr.push(4);
+        arr.set(0, 9);
+        assert_eq!(arr.get(0), 9);
+        assert_eq!(arr.len(), 4);
+        assert!(arr.page_range(0, 4).is_none());
+        assert_eq!(arr.pageable_bytes(), 0);
+        assert!(arr.resident_bytes() >= 8);
+    }
+}

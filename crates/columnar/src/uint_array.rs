@@ -8,17 +8,23 @@
 //! access) is the paper's fixed-length variant of leading-0 suppression:
 //! compression with **no decompression loop** — a single widening load per
 //! element (Desideratum 2).
+//!
+//! Each width wraps an [`ArrayData`], so the same array can be fully
+//! resident (the build path) or faulted in from disk pages (a reopened
+//! graph) without the callers changing.
 
-use gfcl_common::MemoryUsage;
+use gfcl_common::{Error, MemoryUsage, Reader, Result, Writer};
+
+use crate::paged::{ArrayData, SegmentSink, SegmentSource};
 
 /// An immutable-after-build array of `u64` values stored in 1, 2, 4 or
 /// 8-byte codes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum UIntArray {
-    U8(Vec<u8>),
-    U16(Vec<u16>),
-    U32(Vec<u32>),
-    U64(Vec<u64>),
+    U8(ArrayData<u8>),
+    U16(ArrayData<u16>),
+    U32(ArrayData<u32>),
+    U64(ArrayData<u64>),
 }
 
 impl UIntArray {
@@ -38,10 +44,10 @@ impl UIntArray {
     /// An empty array sized for values up to `max_value`.
     pub fn with_capacity_for(max_value: u64, cap: usize) -> Self {
         match Self::width_for(max_value) {
-            1 => UIntArray::U8(Vec::with_capacity(cap)),
-            2 => UIntArray::U16(Vec::with_capacity(cap)),
-            4 => UIntArray::U32(Vec::with_capacity(cap)),
-            _ => UIntArray::U64(Vec::with_capacity(cap)),
+            1 => UIntArray::U8(Vec::with_capacity(cap).into()),
+            2 => UIntArray::U16(Vec::with_capacity(cap).into()),
+            4 => UIntArray::U32(Vec::with_capacity(cap).into()),
+            _ => UIntArray::U64(Vec::with_capacity(cap).into()),
         }
     }
 
@@ -81,10 +87,10 @@ impl UIntArray {
     #[inline]
     pub fn get(&self, i: usize) -> u64 {
         match self {
-            UIntArray::U8(d) => d[i] as u64,
-            UIntArray::U16(d) => d[i] as u64,
-            UIntArray::U32(d) => d[i] as u64,
-            UIntArray::U64(d) => d[i],
+            UIntArray::U8(d) => d.get(i) as u64,
+            UIntArray::U16(d) => d.get(i) as u64,
+            UIntArray::U32(d) => d.get(i) as u64,
+            UIntArray::U64(d) => d.get(i),
         }
     }
 
@@ -94,17 +100,17 @@ impl UIntArray {
         match self {
             UIntArray::U8(d) => {
                 debug_assert!(v <= u8::MAX as u64);
-                d[i] = v as u8;
+                d.set(i, v as u8);
             }
             UIntArray::U16(d) => {
                 debug_assert!(v <= u16::MAX as u64);
-                d[i] = v as u16;
+                d.set(i, v as u16);
             }
             UIntArray::U32(d) => {
                 debug_assert!(v <= u32::MAX as u64);
-                d[i] = v as u32;
+                d.set(i, v as u32);
             }
-            UIntArray::U64(d) => d[i] = v,
+            UIntArray::U64(d) => d.set(i, v),
         }
     }
 
@@ -145,6 +151,98 @@ impl UIntArray {
             UIntArray::U64(d) => d.shrink_to_fit(),
         }
     }
+
+    /// Heap bytes held right now (0 for a paged array).
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            UIntArray::U8(d) => d.resident_bytes(),
+            UIntArray::U16(d) => d.resident_bytes(),
+            UIntArray::U32(d) => d.resident_bytes(),
+            UIntArray::U64(d) => d.resident_bytes(),
+        }
+    }
+
+    /// Bytes living on disk, faulted in through the buffer pool.
+    pub fn pageable_bytes(&self) -> usize {
+        match self {
+            UIntArray::U8(d) => d.pageable_bytes(),
+            UIntArray::U16(d) => d.pageable_bytes(),
+            UIntArray::U32(d) => d.pageable_bytes(),
+            UIntArray::U64(d) => d.pageable_bytes(),
+        }
+    }
+
+    /// Pin every page covering elements `[start, end)` (no-op when
+    /// resident). See [`ArrayData::pin_range`].
+    pub fn pin_range(&self, start: usize, end: usize, out: &mut Vec<std::sync::Arc<Vec<u8>>>) {
+        match self {
+            UIntArray::U8(d) => d.pin_range(start, end, out),
+            UIntArray::U16(d) => d.pin_range(start, end, out),
+            UIntArray::U32(d) => d.pin_range(start, end, out),
+            UIntArray::U64(d) => d.pin_range(start, end, out),
+        }
+    }
+
+    /// Account the pages covering `[start, end)` as skipped without
+    /// faulting (no-op when resident).
+    pub fn note_skipped_range(&self, start: usize, end: usize) {
+        match self {
+            UIntArray::U8(d) => d.note_skipped_range(start, end),
+            UIntArray::U16(d) => d.note_skipped_range(start, end),
+            UIntArray::U32(d) => d.note_skipped_range(start, end),
+            UIntArray::U64(d) => d.note_skipped_range(start, end),
+        }
+    }
+
+    fn width_tag(&self) -> u8 {
+        self.width_bytes() as u8
+    }
+
+    /// Encode into the metadata stream itself (small arrays that stay
+    /// resident after open).
+    pub fn encode_inline(&self, w: &mut Writer) {
+        w.u8(self.width_tag());
+        match self {
+            UIntArray::U8(d) => d.encode_inline(w),
+            UIntArray::U16(d) => d.encode_inline(w),
+            UIntArray::U32(d) => d.encode_inline(w),
+            UIntArray::U64(d) => d.encode_inline(w),
+        }
+    }
+
+    /// Decode an [`UIntArray::encode_inline`] stream.
+    pub fn decode_inline(r: &mut Reader<'_>) -> Result<UIntArray> {
+        Ok(match r.u8()? {
+            1 => UIntArray::U8(ArrayData::decode_inline(r)?),
+            2 => UIntArray::U16(ArrayData::decode_inline(r)?),
+            4 => UIntArray::U32(ArrayData::decode_inline(r)?),
+            8 => UIntArray::U64(ArrayData::decode_inline(r)?),
+            t => return Err(Error::Storage(format!("invalid uint width tag {t}"))),
+        })
+    }
+
+    /// Encode as a page-aligned segment (large value arrays that fault in
+    /// on demand after open).
+    pub fn encode_seg(&self, w: &mut Writer, sink: &mut dyn SegmentSink) {
+        w.u8(self.width_tag());
+        match self {
+            UIntArray::U8(d) => d.encode_seg(w, sink),
+            UIntArray::U16(d) => d.encode_seg(w, sink),
+            UIntArray::U32(d) => d.encode_seg(w, sink),
+            UIntArray::U64(d) => d.encode_seg(w, sink),
+        }
+    }
+
+    /// Decode an [`UIntArray::encode_seg`] stream as a paged array.
+    pub fn decode_seg(r: &mut Reader<'_>, src: &dyn SegmentSource) -> Result<UIntArray> {
+        Ok(match r.u8()? {
+            1 => UIntArray::U8(ArrayData::decode_seg(r, src)?),
+            2 => UIntArray::U16(ArrayData::decode_seg(r, src)?),
+            4 => UIntArray::U32(ArrayData::decode_seg(r, src)?),
+            8 => UIntArray::U64(ArrayData::decode_seg(r, src)?),
+            t => return Err(Error::Storage(format!("invalid uint width tag {t}"))),
+        })
+    }
 }
 
 /// Iterator over a [`UIntArray`], yielding `u64`.
@@ -177,12 +275,7 @@ impl ExactSizeIterator for UIntArrayIter<'_> {}
 
 impl MemoryUsage for UIntArray {
     fn memory_bytes(&self) -> usize {
-        match self {
-            UIntArray::U8(d) => d.memory_bytes(),
-            UIntArray::U16(d) => d.memory_bytes(),
-            UIntArray::U32(d) => d.memory_bytes(),
-            UIntArray::U64(d) => d.memory_bytes(),
-        }
+        self.resident_bytes()
     }
 }
 
@@ -237,5 +330,27 @@ mod tests {
         let mut arr = UIntArray::from_values(&[5, 6, 7], true);
         arr.set(1, 200);
         assert_eq!(arr.get(1), 200);
+    }
+
+    #[test]
+    fn inline_encode_roundtrips_every_width() {
+        for max in [100u64, 30_000, 3_000_000_000, u64::MAX / 3] {
+            let values: Vec<u64> = (0..64).map(|i| (i * 97) % (max + 1)).collect();
+            let arr = UIntArray::from_values(&values, true);
+            let mut w = Writer::new();
+            arr.encode_inline(&mut w);
+            let bytes = w.into_bytes();
+            let back = UIntArray::decode_inline(&mut Reader::new(&bytes)).unwrap();
+            assert_eq!(back, arr);
+            assert_eq!(back.width_bytes(), arr.width_bytes());
+        }
+    }
+
+    #[test]
+    fn bad_width_tag_is_a_storage_error() {
+        let mut w = Writer::new();
+        w.u8(3);
+        let bytes = w.into_bytes();
+        assert!(UIntArray::decode_inline(&mut Reader::new(&bytes)).is_err());
     }
 }

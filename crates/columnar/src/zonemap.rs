@@ -14,7 +14,7 @@
 //! the summaries are computed through the column's logical accessors, so
 //! every NULL layout (dense, sparse, Jacobson, ...) gets the same map.
 
-use gfcl_common::MemoryUsage;
+use gfcl_common::{Error, MemoryUsage, Reader, Result, Writer};
 
 use crate::bitmap::Bitmap;
 use crate::column::{Column, ColumnData};
@@ -108,6 +108,60 @@ impl ZoneMap {
             blocks.push(summarize(col, start, end, dict_ndv));
         }
         ZoneMap { blocks }
+    }
+
+    /// Encode into a metadata stream. Zone maps are serialized explicitly —
+    /// rebuilding one on open would fault every page of the column, which
+    /// defeats the whole point of faulting on demand.
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.blocks.len());
+        for b in &self.blocks {
+            w.u32(b.len);
+            w.u32(b.null_count);
+            match &b.info {
+                ZoneInfo::None => w.u8(0),
+                ZoneInfo::I64 { min, max } => {
+                    w.u8(1);
+                    w.i64(*min);
+                    w.i64(*max);
+                }
+                ZoneInfo::F64 { min, max, has_nan } => {
+                    w.u8(2);
+                    w.f64(*min);
+                    w.f64(*max);
+                    w.bool(*has_nan);
+                }
+                ZoneInfo::Bool { any_true, any_false } => {
+                    w.u8(3);
+                    w.bool(*any_true);
+                    w.bool(*any_false);
+                }
+                ZoneInfo::Codes { present } => {
+                    w.u8(4);
+                    present.encode(w);
+                }
+            }
+        }
+    }
+
+    /// Decode a [`ZoneMap::encode`] stream.
+    pub fn decode(r: &mut Reader<'_>) -> Result<ZoneMap> {
+        let n = r.count()?;
+        let mut blocks = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = r.u32()?;
+            let null_count = r.u32()?;
+            let info = match r.u8()? {
+                0 => ZoneInfo::None,
+                1 => ZoneInfo::I64 { min: r.i64()?, max: r.i64()? },
+                2 => ZoneInfo::F64 { min: r.f64()?, max: r.f64()?, has_nan: r.bool()? },
+                3 => ZoneInfo::Bool { any_true: r.bool()?, any_false: r.bool()? },
+                4 => ZoneInfo::Codes { present: Bitmap::decode(r)? },
+                t => return Err(Error::Storage(format!("invalid zone-info tag {t}"))),
+            };
+            blocks.push(ZoneEntry { len, null_count, info });
+        }
+        Ok(ZoneMap { blocks })
     }
 }
 
@@ -323,6 +377,36 @@ mod tests {
             }
             _ => panic!("bool info expected"),
         }
+    }
+
+    #[test]
+    fn encode_roundtrip_every_info_shape() {
+        let i64s: Vec<Option<i64>> =
+            (0..(ZONE_BLOCK * 2) as i64).map(|i| (i % 5 != 0).then_some(i * 3)).collect();
+        let f64s: Vec<Option<f64>> = vec![Some(1.5), Some(f64::NAN), None, Some(-2.0)];
+        let bools: Vec<Option<bool>> = vec![Some(true), None, Some(false)];
+        let strs: Vec<Option<&str>> = vec![Some("x"), Some("y"), None];
+        let cols = vec![
+            Column::from_i64(DataType::Int64, &i64s, NullKind::jacobson_default()),
+            Column::from_f64(&f64s, NullKind::Uncompressed),
+            Column::from_bool(&bools, NullKind::Uncompressed),
+            Column::from_str(&strs, NullKind::Uncompressed, true),
+        ];
+        for col in cols {
+            let zm = ZoneMap::build(&col);
+            let mut w = gfcl_common::Writer::new();
+            zm.encode(&mut w);
+            let bytes = w.into_bytes();
+            let back = ZoneMap::decode(&mut gfcl_common::Reader::new(&bytes)).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{zm:?}"));
+        }
+        let mut w = gfcl_common::Writer::new();
+        w.usize(1);
+        w.u32(5);
+        w.u32(0);
+        w.u8(9);
+        let bytes = w.into_bytes();
+        assert!(ZoneMap::decode(&mut gfcl_common::Reader::new(&bytes)).is_err());
     }
 
     #[test]

@@ -139,6 +139,10 @@ enum Op<'g> {
         mask: Vec<bool>,
         /// Scratch per-predicate block verdicts, reused across blocks.
         verdicts: Vec<BlockVerdict>,
+        /// Pages pinned for the morsel being probed (paged columns only):
+        /// rows of inconclusive blocks are faulted once per morsel, not
+        /// once per row, and released when the next morsel is claimed.
+        pins: Vec<std::sync::Arc<Vec<u8>>>,
     },
     ScanPk {
         label: LabelId,
@@ -172,6 +176,8 @@ enum Op<'g> {
         label: LabelId,
         prop: usize,
         dtype: DataType,
+        /// Pages pinned for the chunk being filled (paged columns only).
+        pins: Vec<std::sync::Arc<Vec<u8>>>,
     },
     ReadEdgeProp {
         edge: VecRef,
@@ -189,10 +195,11 @@ enum Op<'g> {
 fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool> {
     let (op, children) = ops.split_last_mut().expect("pipeline has at least a scan");
     match op {
-        Op::ScanAll { label, out, cursor, pushed, mask, verdicts } => loop {
+        Op::ScanAll { label, out, cursor, pushed, mask, verdicts, pins } => loop {
             let Some((start, end)) = cursor.claim(cursor.morsel()) else {
                 return Ok(false);
             };
+            pins.clear();
             let n = (end - start) as usize;
             // Evaluate the pushed predicates morsel-wide: one zone-map
             // verdict per overlapping block, row evaluation only where the
@@ -215,12 +222,32 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
                     verdicts.extend(pushed.iter().map(|p| p.prune(block)));
                     let combined = verdicts.iter().fold(BlockVerdict::AllTrue, |v, p| v.and(*p));
                     match combined {
-                        BlockVerdict::AllFalse => all_selected = false,
+                        BlockVerdict::AllFalse => {
+                            all_selected = false;
+                            // The zone map proved no row probe is needed:
+                            // the block's pages are never faulted. Credit
+                            // the skip to the pool's I/O accounting.
+                            for p in pushed.iter() {
+                                p.for_each_column(&mut |c| {
+                                    c.note_skipped_rows(bs as usize, be as usize);
+                                });
+                            }
+                        }
                         BlockVerdict::AllTrue => {
                             mask[(bs - start) as usize..(be - start) as usize].fill(true);
                             any_selected = true;
                         }
                         BlockVerdict::Mixed => {
+                            // Fault each inconclusive predicate's pages for
+                            // this block once, up front, and hold the pins
+                            // through the row probes below.
+                            for (p, &vd) in pushed.iter().zip(verdicts.iter()) {
+                                if vd != BlockVerdict::AllTrue {
+                                    p.for_each_column(&mut |c| {
+                                        c.pin_rows(bs as usize, be as usize, pins);
+                                    });
+                                }
+                            }
                             for v in bs..be {
                                 let keep = pushed
                                     .iter()
@@ -381,7 +408,7 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
             }
             // Current tuple(s) all died: pull the next state.
         },
-        Op::ReadNodeProp { node, out, label, prop, dtype } => {
+        Op::ReadNodeProp { node, out, label, prop, dtype, pins } => {
             if !pull(children, g, chunk)? {
                 return Ok(false);
             }
@@ -393,6 +420,25 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
             );
             let ng = &chunk.groups[node.group];
             let node_vec = &ng.vectors[node.vec];
+            // For a paged column, fault the chunk's page span once up front
+            // (scan output is a contiguous morsel, so the span is tight);
+            // skip the pre-pin for scattered gathers that would span far
+            // more pages than the chunk touches.
+            pins.clear();
+            if col.is_paged() && n > 0 {
+                let sel = ng.sel.as_deref();
+                let (mut lo, mut hi) = (u64::MAX, 0u64);
+                for i in 0..n {
+                    if sel.is_none_or(|s| s[i]) {
+                        let v = node_vec.node_offset(g, i);
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                }
+                if lo <= hi && (hi - lo) < 4 * n as u64 {
+                    col.pin_rows(lo as usize, hi as usize + 1, pins);
+                }
+            }
             // Selection-aware: positions already unselected (by a pushed
             // scan predicate or an upstream filter) cost zero column
             // probes — nothing downstream ever reads them.
@@ -743,6 +789,7 @@ pub(crate) fn compile<'g>(
                     pushed: compiled,
                     mask: Vec::new(),
                     verdicts: Vec::new(),
+                    pins: Vec::new(),
                 });
             }
             PlanStep::ScanPk { node, key } => {
@@ -813,6 +860,7 @@ pub(crate) fn compile<'g>(
                     label,
                     prop: *prop,
                     dtype: def.dtype,
+                    pins: Vec::new(),
                 });
             }
             PlanStep::EdgeProp { edge, prop, slot } => {

@@ -36,7 +36,8 @@
 
 use std::fmt::Write as _;
 
-use gfcl_common::{Direction, Error, Result, Value};
+use gfcl_columnar::UIntArray;
+use gfcl_common::{DataType, Direction, Error, Result, Value};
 use gfcl_storage::{Catalog, PropStats, Stats};
 
 use crate::plan::{
@@ -679,6 +680,40 @@ pub(crate) fn zone_skip_estimate(
     Some(skip.clamp(0.0, 1.0))
 }
 
+/// Estimated data pages the scan faults to probe a pushed-down predicate
+/// when the graph is opened from disk: the operand columns' value bytes in
+/// [`gfcl_columnar::PAGE_SIZE`] pages, scaled by the fraction of blocks the
+/// zone maps let the scan skip *before* faulting. Informational (the
+/// in-memory path reads zero pages); `None` without statistics.
+pub(crate) fn page_read_estimate(
+    e: &PlanExpr,
+    slots: &[SlotDef],
+    nodes: &[PlanNode],
+    edges: &[PlanEdge],
+    catalog: &Catalog,
+) -> Option<u64> {
+    let stats = catalog.stats()?;
+    let mut pages = 0.0f64;
+    for s in e.slots() {
+        let def = &slots[s];
+        // Pushed predicates are vertex-side by construction.
+        let SlotSource::NodeProp { node, prop } = def.source else {
+            continue;
+        };
+        let vs = stats.vertex(nodes[node].label);
+        let width = match def.dtype {
+            DataType::Int64 | DataType::Date | DataType::Float64 => 8,
+            DataType::Bool => 1,
+            // Strings are probed through their dictionary codes, stored at
+            // the narrowest width that fits the distinct-value count.
+            DataType::String => UIntArray::width_for(vs.props[prop].ndv.saturating_sub(1)),
+        };
+        pages += (vs.count as f64 * width as f64 / gfcl_columnar::PAGE_SIZE as f64).ceil();
+    }
+    let skip = zone_skip_estimate(e, slots, nodes, edges, catalog).unwrap_or(0.0);
+    Some(((pages * (1.0 - skip)).ceil() as u64).max(1))
+}
+
 // ---- EXPLAIN rendering ----------------------------------------------------
 
 fn op_str(op: CmpOp) -> &'static str {
@@ -799,7 +834,9 @@ pub fn render_explain(plan: &LogicalPlan, catalog: &Catalog) -> String {
             for e in pushed {
                 let skip = zone_skip_estimate(e, &plan.slots, &plan.nodes, &plan.edges, catalog)
                     .map_or_else(String::new, |s| format!("  [est zone-skip ~{:.0}%]", s * 100.0));
-                let _ = writeln!(out, "      pushed: {}{skip}", expr_str(e, &plan.slots));
+                let io = page_read_estimate(e, &plan.slots, &plan.nodes, &plan.edges, catalog)
+                    .map_or_else(String::new, |p| format!("  [~{p} pages read]"));
+                let _ = writeln!(out, "      pushed: {}{skip}{io}", expr_str(e, &plan.slots));
             }
         }
     }
@@ -984,6 +1021,7 @@ mod tests {
         assert!(text.contains("[ColumnExtend]"), "{text}");
         assert!(text.contains("pushed: a.age > 50"), "{text}");
         assert!(text.contains("est zone-skip ~"), "{text}");
+        assert!(text.contains("pages read]"), "{text}");
         assert!(text.contains("est ~"), "{text}");
         assert!(text.contains("RETURN    COUNT(*)"), "{text}");
     }

@@ -441,6 +441,34 @@ impl<'g> ScanPred<'g> {
         self.eval_at(v) == Some(true)
     }
 
+    /// Call `f` on every operand column the predicate touches — the scan
+    /// uses this to pin (or skip-account) a block's pages before probing.
+    pub fn for_each_column(&self, f: &mut impl FnMut(&'g Column)) {
+        match self {
+            CPredG::Const(_) | CPredG::Unknown => {}
+            CPredG::CmpI64 { lhs, rhs, .. } => {
+                for o in [lhs, rhs] {
+                    if let I64Operand::Slot(c) = o {
+                        f(c);
+                    }
+                }
+            }
+            CPredG::CmpF64 { lhs, rhs, .. } => {
+                for o in [lhs, rhs] {
+                    match o {
+                        F64Operand::F64Slot(c) | F64Operand::I64Slot(c) => f(c),
+                        F64Operand::Const(_) => {}
+                    }
+                }
+            }
+            CPredG::BoolEq { slot, .. }
+            | CPredG::CodeIn { slot, .. }
+            | CPredG::I64In { slot, .. } => f(slot),
+            CPredG::And(es) | CPredG::Or(es) => es.iter().for_each(|e| e.for_each_column(f)),
+            CPredG::Not(e) => e.for_each_column(f),
+        }
+    }
+
     /// Consult the operand columns' zone maps for a verdict over zone block
     /// `b` (positions `[b * ZONE_BLOCK, (b+1) * ZONE_BLOCK)`). Conservative:
     /// any missing zone map or inconclusive summary yields

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use gfcl_common::{DataType, Direction, Error, LabelId, Result};
+use gfcl_common::{DataType, Direction, Error, LabelId, Reader, Result, Writer};
 
 use crate::stats::Stats;
 
@@ -246,6 +246,90 @@ impl Catalog {
     pub fn edge_labels(&self) -> &[EdgeLabelDef] {
         &self.edge_labels
     }
+
+    /// Encode schema + statistics for the on-disk format. The name→ID maps
+    /// are rebuilt on decode through the normal registration API, which
+    /// also re-validates the schema's internal references.
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.vertex_labels.len());
+        for v in &self.vertex_labels {
+            w.str(&v.name);
+            encode_props(w, &v.properties);
+            w.opt(v.primary_key, Writer::usize);
+        }
+        w.usize(self.edge_labels.len());
+        for e in &self.edge_labels {
+            w.str(&e.name);
+            w.u32(e.src as u32);
+            w.u32(e.dst as u32);
+            w.u8(match e.cardinality {
+                Cardinality::OneOne => 0,
+                Cardinality::OneMany => 1,
+                Cardinality::ManyOne => 2,
+                Cardinality::ManyMany => 3,
+            });
+            encode_props(w, &e.properties);
+        }
+        w.opt(self.stats.as_ref(), |w, s| s.encode(w));
+    }
+
+    /// Decode a [`Catalog::encode`] stream.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Catalog> {
+        let mut cat = Catalog::new();
+        let n_v = r.count()?;
+        for _ in 0..n_v {
+            let name = r.str()?;
+            let properties = decode_props(r)?;
+            let pk = r.opt(Reader::usize)?;
+            let id = cat
+                .add_vertex_label(name, properties)
+                .map_err(|e| Error::Storage(format!("bad vertex label: {e}")))?;
+            if let Some(idx) = pk {
+                let def = &cat.vertex_labels[id as usize];
+                let prop_name =
+                    def.properties.get(idx).map(|p| p.name.clone()).ok_or_else(|| {
+                        Error::Storage(format!("primary key index {idx} out of range"))
+                    })?;
+                cat.set_primary_key(id, &prop_name)
+                    .map_err(|e| Error::Storage(format!("bad primary key: {e}")))?;
+            }
+        }
+        let n_e = r.count()?;
+        for _ in 0..n_e {
+            let name = r.str()?;
+            let src = r.u32()? as LabelId;
+            let dst = r.u32()? as LabelId;
+            let cardinality = match r.u8()? {
+                0 => Cardinality::OneOne,
+                1 => Cardinality::OneMany,
+                2 => Cardinality::ManyOne,
+                3 => Cardinality::ManyMany,
+                t => return Err(Error::Storage(format!("invalid cardinality tag {t}"))),
+            };
+            let properties = decode_props(r)?;
+            cat.add_edge_label(name, src, dst, cardinality, properties)
+                .map_err(|e| Error::Storage(format!("bad edge label: {e}")))?;
+        }
+        cat.stats = r.opt(Stats::decode)?;
+        Ok(cat)
+    }
+}
+
+fn encode_props(w: &mut Writer, props: &[PropertyDef]) {
+    w.usize(props.len());
+    for p in props {
+        w.str(&p.name);
+        w.dtype(p.dtype);
+    }
+}
+
+fn decode_props(r: &mut Reader<'_>) -> Result<Vec<PropertyDef>> {
+    let n = r.count()?;
+    let mut props = Vec::with_capacity(n);
+    for _ in 0..n {
+        props.push(PropertyDef { name: r.str()?, dtype: r.dtype()? });
+    }
+    Ok(props)
 }
 
 #[cfg(test)]
@@ -296,6 +380,42 @@ mod tests {
         assert_eq!(c.edge_label(works).nbr_label(Direction::Bwd), person);
         c.set_primary_key(person, "id").unwrap();
         assert_eq!(c.vertex_label(person).primary_key, Some(0));
+    }
+
+    #[test]
+    fn encode_roundtrips_schema_and_pk() {
+        let mut c = Catalog::new();
+        let person = c
+            .add_vertex_label(
+                "PERSON",
+                vec![
+                    PropertyDef::new("id", DataType::Int64),
+                    PropertyDef::new("name", DataType::String),
+                ],
+            )
+            .unwrap();
+        let org = c.add_vertex_label("ORG", vec![]).unwrap();
+        c.set_primary_key(person, "id").unwrap();
+        c.add_edge_label(
+            "WORKAT",
+            person,
+            org,
+            Cardinality::ManyOne,
+            vec![PropertyDef::new("doj", DataType::Date)],
+        )
+        .unwrap();
+        let mut w = Writer::new();
+        c.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = Catalog::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.vertex_label_count(), 2);
+        assert_eq!(back.vertex_label_id("PERSON").unwrap(), person);
+        assert_eq!(back.vertex_label(person).primary_key, Some(0));
+        assert_eq!(back.vertex_label(person).properties[1].dtype, DataType::String);
+        let e = back.edge_label(back.edge_label_id("WORKAT").unwrap());
+        assert_eq!((e.src, e.dst, e.cardinality), (person, org, Cardinality::ManyOne));
+        assert_eq!(e.properties[0].dtype, DataType::Date);
+        assert!(Catalog::decode(&mut Reader::new(&bytes[..10])).is_err());
     }
 
     #[test]

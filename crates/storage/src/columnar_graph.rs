@@ -13,9 +13,12 @@
 //!   seek every native GDBMS provides).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use gfcl_columnar::{Column, NullKind, UIntArray};
-use gfcl_common::{DataType, Direction, Error, LabelId, MemoryUsage, Result, Value};
+use gfcl_columnar::{Column, NullKind, SegmentSink, SegmentSource, UIntArray};
+use gfcl_common::{
+    DataType, Direction, Error, LabelId, MemoryUsage, Reader, Result, Value, Writer,
+};
 
 use crate::catalog::Catalog;
 use crate::config::{EdgePropLayout, StorageConfig};
@@ -61,6 +64,36 @@ impl AdjIndex {
             AdjIndex::SingleCard(s) => s.adjacency_bytes(),
         }
     }
+
+    /// Bytes living on disk, faulted through the buffer pool (includes
+    /// single-cardinality edge property columns, which live here).
+    pub fn pageable_bytes(&self) -> usize {
+        match self {
+            AdjIndex::Csr(c) => c.pageable_bytes(),
+            AdjIndex::SingleCard(s) => s.pageable_bytes(),
+        }
+    }
+
+    fn encode(&self, w: &mut Writer, sink: &mut dyn SegmentSink) {
+        match self {
+            AdjIndex::Csr(c) => {
+                w.u8(0);
+                c.encode(w, sink);
+            }
+            AdjIndex::SingleCard(s) => {
+                w.u8(1);
+                s.encode(w, sink);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>, src: &dyn SegmentSource) -> Result<AdjIndex> {
+        Ok(match r.u8()? {
+            0 => AdjIndex::Csr(Csr::decode(r, src)?),
+            1 => AdjIndex::SingleCard(SingleCardAdj::decode(r, src)?),
+            t => return Err(Error::Storage(format!("invalid adjacency-index tag {t}"))),
+        })
+    }
 }
 
 /// How to read one edge property during a traversal of `(label, dir)`.
@@ -83,16 +116,32 @@ pub enum EdgePropRead<'g> {
     ByVertex { col: &'g Column, endpoint_is_nbr: bool },
 }
 
-/// Per-label memory of the four Table 2 components.
+/// Per-label memory of the four Table 2 components, plus the
+/// resident/pageable split introduced by the on-disk format.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoryBreakdown {
     pub vertex_props: usize,
     pub edge_props: usize,
     pub fwd_adj: usize,
     pub bwd_adj: usize,
+    /// Heap bytes actually held right now: all of [`Self::total`] for a
+    /// freshly built graph, only metadata + offsets + NULL maps + zone
+    /// maps + dictionaries for a reopened one.
+    pub resident: usize,
+    /// Bytes that live on disk and are faulted in page-by-page on demand.
+    /// Zero for a built (all-in-memory) graph. `resident + pageable`
+    /// always equals [`Self::total`], so the paper's Table 2 numbers are
+    /// preserved by save/reopen (up to `Vec` capacity slack on the built
+    /// side — decoded arrays are allocated exactly).
+    pub pageable: usize,
+    /// Bytes of disk pages currently cached by the buffer pool (bounded
+    /// by its capacity; zero when no pool is attached).
+    pub buffer_pool: usize,
 }
 
 impl MemoryBreakdown {
+    /// Logical bytes of the four Table 2 components — invariant under
+    /// save/reopen (the resident/pageable split moves, the total does not).
     pub fn total(&self) -> usize {
         self.vertex_props + self.edge_props + self.fwd_adj + self.bwd_adj
     }
@@ -110,6 +159,9 @@ pub struct ColumnarGraph {
     bwd: Vec<AdjIndex>,
     edge_props: Vec<EdgePropStore>,
     pk: Vec<Option<HashMap<i64, u64>>>,
+    /// The buffer pool faulting this graph's pages, if it was opened from
+    /// disk. `None` for a built (all-resident) graph.
+    pool: Option<Arc<crate::pager::BufferPool>>,
 }
 
 impl ColumnarGraph {
@@ -222,6 +274,7 @@ impl ColumnarGraph {
             bwd,
             edge_props,
             pk,
+            pool: None,
         })
     }
 
@@ -419,7 +472,171 @@ impl ColumnarGraph {
         }
         let fwd_adj = self.fwd.iter().map(AdjIndex::adjacency_bytes).sum();
         let bwd_adj = self.bwd.iter().map(AdjIndex::adjacency_bytes).sum();
-        MemoryBreakdown { vertex_props, edge_props, fwd_adj, bwd_adj }
+        let pageable = self
+            .vertex_props
+            .iter()
+            .flat_map(|cols| cols.iter())
+            .map(Column::pageable_bytes)
+            .sum::<usize>()
+            + self.fwd.iter().chain(&self.bwd).map(AdjIndex::pageable_bytes).sum::<usize>()
+            + self.edge_props.iter().map(EdgePropStore::pageable_bytes).sum::<usize>();
+        let total = vertex_props + edge_props + fwd_adj + bwd_adj;
+        MemoryBreakdown {
+            vertex_props,
+            edge_props,
+            fwd_adj,
+            bwd_adj,
+            resident: total.saturating_sub(pageable),
+            pageable,
+            buffer_pool: self.pool.as_ref().map_or(0, |p| p.occupancy_bytes()),
+        }
+    }
+
+    /// The buffer pool backing a reopened graph (`None` when fully
+    /// in-memory). Exposes fault/hit/eviction/skip counters.
+    pub fn buffer_pool(&self) -> Option<&crate::pager::BufferPool> {
+        self.pool.as_deref()
+    }
+
+    pub(crate) fn set_pool(&mut self, pool: Arc<crate::pager::BufferPool>) {
+        // Reflect the pool actually attached (env override included) so
+        // `config()` reports the truth for this process, not the saved value.
+        self.config.buffer_pool_pages = pool.capacity();
+        self.pool = Some(pool);
+    }
+
+    /// Encode everything except page data into `w`; large value arrays go
+    /// to `sink` as page-aligned segments. Inverse of [`Self::decode_meta`].
+    pub(crate) fn encode_meta(&self, w: &mut Writer, sink: &mut dyn SegmentSink) {
+        self.config.encode(w);
+        self.catalog.encode(w);
+        w.usize(self.vertex_counts.len());
+        for &c in &self.vertex_counts {
+            w.usize(c);
+        }
+        w.usize(self.edge_counts.len());
+        for &c in &self.edge_counts {
+            w.usize(c);
+        }
+        w.usize(self.vertex_props.len());
+        for cols in &self.vertex_props {
+            w.usize(cols.len());
+            for col in cols {
+                col.encode(w, sink);
+            }
+        }
+        w.usize(self.fwd.len());
+        for adj in &self.fwd {
+            adj.encode(w, sink);
+        }
+        w.usize(self.bwd.len());
+        for adj in &self.bwd {
+            adj.encode(w, sink);
+        }
+        w.usize(self.edge_props.len());
+        for ep in &self.edge_props {
+            ep.encode(w, sink);
+        }
+        // Primary-key maps as sorted (key, vertex) pairs: rebuilding them
+        // from the key column would fault every page at open time.
+        w.usize(self.pk.len());
+        for m in &self.pk {
+            w.opt(m.as_ref(), |w, m| {
+                let mut pairs: Vec<(i64, u64)> = m.iter().map(|(&k, &v)| (k, v)).collect();
+                pairs.sort_unstable();
+                w.usize(pairs.len());
+                for (k, v) in pairs {
+                    w.i64(k);
+                    w.u64(v);
+                }
+            });
+        }
+    }
+
+    /// Decode an [`Self::encode_meta`] stream; paged arrays keep `src` and
+    /// fault their values on first touch. The result has no pool attached
+    /// ([`crate::format`] sets it after open).
+    pub(crate) fn decode_meta(
+        r: &mut Reader<'_>,
+        src: &dyn SegmentSource,
+    ) -> Result<ColumnarGraph> {
+        let config = StorageConfig::decode(r)?;
+        let catalog = Catalog::decode(r)?;
+        let n_vc = r.count()?;
+        let mut vertex_counts = Vec::with_capacity(n_vc);
+        for _ in 0..n_vc {
+            vertex_counts.push(r.usize()?);
+        }
+        let n_ec = r.count()?;
+        let mut edge_counts = Vec::with_capacity(n_ec);
+        for _ in 0..n_ec {
+            edge_counts.push(r.usize()?);
+        }
+        let n_vp = r.count()?;
+        let mut vertex_props = Vec::with_capacity(n_vp);
+        for _ in 0..n_vp {
+            let n_cols = r.count()?;
+            let mut cols = Vec::with_capacity(n_cols);
+            for _ in 0..n_cols {
+                cols.push(Column::decode(r, src)?);
+            }
+            vertex_props.push(cols);
+        }
+        let n_fwd = r.count()?;
+        let mut fwd = Vec::with_capacity(n_fwd);
+        for _ in 0..n_fwd {
+            fwd.push(AdjIndex::decode(r, src)?);
+        }
+        let n_bwd = r.count()?;
+        let mut bwd = Vec::with_capacity(n_bwd);
+        for _ in 0..n_bwd {
+            bwd.push(AdjIndex::decode(r, src)?);
+        }
+        let n_ep = r.count()?;
+        let mut edge_props = Vec::with_capacity(n_ep);
+        for _ in 0..n_ep {
+            edge_props.push(EdgePropStore::decode(r, src)?);
+        }
+        let n_pk = r.count()?;
+        let mut pk = Vec::with_capacity(n_pk);
+        for _ in 0..n_pk {
+            pk.push(r.opt(|r| {
+                let n = r.count()?;
+                let mut map = HashMap::with_capacity(n);
+                for _ in 0..n {
+                    let k = r.i64()?;
+                    let v = r.u64()?;
+                    map.insert(k, v);
+                }
+                Ok(map)
+            })?);
+        }
+        // Cross-check the decoded shape against the catalog so a truncated
+        // or tampered metadata stream fails here, not deep inside a query.
+        let nv = catalog.vertex_label_count();
+        let ne = catalog.edge_label_count();
+        if vertex_counts.len() != nv
+            || vertex_props.len() != nv
+            || pk.len() != nv
+            || edge_counts.len() != ne
+            || fwd.len() != ne
+            || bwd.len() != ne
+            || edge_props.len() != ne
+        {
+            return Err(Error::Storage("metadata shape disagrees with catalog".into()));
+        }
+        Ok(ColumnarGraph {
+            catalog,
+            config,
+            vertex_counts,
+            edge_counts,
+            vertex_props,
+            fwd,
+            bwd,
+            edge_props,
+            pk,
+            pool: None,
+        })
     }
 }
 

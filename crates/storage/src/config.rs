@@ -6,7 +6,8 @@
 //! toggle [`EdgePropLayout`], and the single-cardinality experiments of
 //! Table 4 toggle [`StorageConfig::single_card_in_vcols`].
 
-use gfcl_columnar::NullKind;
+use gfcl_columnar::{NullKind, RankParams};
+use gfcl_common::{Error, Reader, Result, Writer};
 
 /// How n-n edge properties are stored (Section 4.2 design space).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +62,12 @@ pub struct StorageConfig {
     /// blocks (`gfcl_columnar::ZoneMap`). Off = scans with pushdown still
     /// work but evaluate every block.
     pub zone_maps: bool,
+    /// Buffer pool capacity (in 64 KiB pages) used when the graph is
+    /// reopened from disk with [`crate::ColumnarGraph::open`]. Ignored for
+    /// in-memory builds. The `GFCL_BUFFER_MB` environment variable
+    /// overrides it at open time. Runtime-only: not part of the persisted
+    /// structural configuration.
+    pub buffer_pool_pages: usize,
 }
 
 impl Default for StorageConfig {
@@ -74,6 +81,7 @@ impl Default for StorageConfig {
             single_card_in_vcols: true,
             edge_prop_layout: EdgePropLayout::pages_default(),
             zone_maps: true,
+            buffer_pool_pages: crate::pager::DEFAULT_POOL_PAGES,
         }
     }
 }
@@ -114,6 +122,86 @@ impl StorageConfig {
             ("+NULL", StorageConfig::full()),
         ]
     }
+
+    /// Encode the *structural* fields for the on-disk format — everything
+    /// that shaped the persisted layout. `buffer_pool_pages` is a runtime
+    /// knob and deliberately not stored: the opener chooses its own pool.
+    pub fn encode(&self, w: &mut Writer) {
+        w.bool(self.new_ids);
+        w.bool(self.zero_suppress);
+        w.bool(self.null_compress);
+        encode_null_kind(w, self.null_kind);
+        w.bool(self.single_card_in_vcols);
+        match self.edge_prop_layout {
+            EdgePropLayout::Pages { k } => {
+                w.u8(0);
+                w.usize(k);
+            }
+            EdgePropLayout::EdgeColumns => w.u8(1),
+            EdgePropLayout::DoubleIndexed => w.u8(2),
+        }
+        w.bool(self.zone_maps);
+    }
+
+    /// Decode a [`StorageConfig::encode`] stream. `buffer_pool_pages` comes
+    /// back as the default; the opener overlays its own value.
+    pub fn decode(r: &mut Reader<'_>) -> Result<StorageConfig> {
+        let new_ids = r.bool()?;
+        let zero_suppress = r.bool()?;
+        let null_compress = r.bool()?;
+        let null_kind = decode_null_kind(r)?;
+        let single_card_in_vcols = r.bool()?;
+        let edge_prop_layout = match r.u8()? {
+            0 => EdgePropLayout::Pages { k: r.usize()? },
+            1 => EdgePropLayout::EdgeColumns,
+            2 => EdgePropLayout::DoubleIndexed,
+            t => return Err(Error::Storage(format!("invalid edge-prop-layout tag {t}"))),
+        };
+        let zone_maps = r.bool()?;
+        Ok(StorageConfig {
+            new_ids,
+            zero_suppress,
+            null_compress,
+            null_kind,
+            single_card_in_vcols,
+            edge_prop_layout,
+            zone_maps,
+            ..StorageConfig::default()
+        })
+    }
+}
+
+fn encode_null_kind(w: &mut Writer, kind: NullKind) {
+    match kind {
+        NullKind::None => w.u8(0),
+        NullKind::Uncompressed => w.u8(1),
+        NullKind::Sparse => w.u8(2),
+        NullKind::Ranges => w.u8(3),
+        NullKind::Vanilla => w.u8(4),
+        NullKind::Jacobson(p) => {
+            w.u8(5);
+            w.u32(p.c);
+            w.u32(p.m);
+        }
+    }
+}
+
+fn decode_null_kind(r: &mut Reader<'_>) -> Result<NullKind> {
+    Ok(match r.u8()? {
+        0 => NullKind::None,
+        1 => NullKind::Uncompressed,
+        2 => NullKind::Sparse,
+        3 => NullKind::Ranges,
+        4 => NullKind::Vanilla,
+        5 => {
+            let (c, m) = (r.u32()?, r.u32()?);
+            NullKind::Jacobson(
+                RankParams::new(c, m)
+                    .map_err(|e| Error::Storage(format!("bad rank params: {e}")))?,
+            )
+        }
+        t => return Err(Error::Storage(format!("invalid null-kind tag {t}"))),
+    })
 }
 
 #[cfg(test)]
@@ -132,6 +220,27 @@ mod tests {
             assert!(a.iter().zip(&b).all(|(x, y)| x <= y), "each step only adds features");
         }
         assert_eq!(ladder[3].1, StorageConfig::default());
+    }
+
+    #[test]
+    fn encode_roundtrips_every_ladder_step() {
+        for (name, cfg) in StorageConfig::ladder() {
+            let mut w = Writer::new();
+            cfg.encode(&mut w);
+            let bytes = w.into_bytes();
+            let back = StorageConfig::decode(&mut Reader::new(&bytes)).unwrap();
+            assert_eq!(back, cfg, "{name}");
+            assert!(StorageConfig::decode(&mut Reader::new(&bytes[..3])).is_err());
+        }
+    }
+
+    #[test]
+    fn buffer_pool_pages_is_not_structural() {
+        let cfg = StorageConfig { buffer_pool_pages: 7, ..StorageConfig::default() };
+        let mut w = Writer::new();
+        cfg.encode(&mut w);
+        let back = StorageConfig::decode(&mut Reader::new(&w.into_bytes())).unwrap();
+        assert_eq!(back.buffer_pool_pages, StorageConfig::default().buffer_pool_pages);
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! [`NullMap`] (Jacobson by default) maps vertex offsets to them in
 //! constant time.
 
-use gfcl_columnar::{NullKind, NullMap, UIntArray};
-use gfcl_common::MemoryUsage;
+use gfcl_columnar::{NullKind, NullMap, SegmentSink, SegmentSource, UIntArray};
+use gfcl_common::{MemoryUsage, Reader, Result, Writer};
 
 /// Build options for a [`Csr`].
 #[derive(Debug, Clone, Copy)]
@@ -205,6 +205,41 @@ impl Csr {
     pub fn offsets_bytes(&self) -> usize {
         self.offsets.memory_bytes() + self.empties.overhead_bytes()
     }
+
+    /// Heap bytes held right now (offsets and the empty-list map always
+    /// stay resident; the per-edge arrays may be paged).
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets_bytes()
+            + self.nbr.resident_bytes()
+            + self.edge_ids.as_ref().map_or(0, UIntArray::resident_bytes)
+    }
+
+    /// Per-edge bytes living on disk, faulted through the buffer pool.
+    pub fn pageable_bytes(&self) -> usize {
+        self.nbr.pageable_bytes() + self.edge_ids.as_ref().map_or(0, UIntArray::pageable_bytes)
+    }
+
+    /// Encode for the on-disk format. The per-edge arrays (`nbr`,
+    /// `edge_ids`) — the bulk of an adjacency index — go out as page
+    /// segments; the offsets structure stays inline so `list()` never
+    /// faults a page just to find a list's bounds.
+    pub fn encode(&self, w: &mut Writer, sink: &mut dyn SegmentSink) {
+        w.usize(self.n_vertices);
+        self.offsets.encode_inline(w);
+        self.empties.encode(w);
+        self.nbr.encode_seg(w, sink);
+        w.opt(self.edge_ids.as_ref(), |w, e| e.encode_seg(w, sink));
+    }
+
+    /// Decode a [`Csr::encode`] stream; per-edge arrays come back paged.
+    pub fn decode(r: &mut Reader<'_>, src: &dyn SegmentSource) -> Result<Csr> {
+        let n_vertices = r.usize()?;
+        let offsets = UIntArray::decode_inline(r)?;
+        let empties = NullMap::decode(r)?;
+        let nbr = UIntArray::decode_seg(r, src)?;
+        let edge_ids = r.opt(|r| UIntArray::decode_seg(r, src))?;
+        Ok(Csr { n_vertices, offsets, empties, nbr, edge_ids })
+    }
 }
 
 impl MemoryUsage for Csr {
@@ -318,6 +353,29 @@ mod tests {
         let (csr, _) = Csr::build(n, &from, &nbr, opts);
         check_lists(&csr, &from, &nbr);
         assert_eq!(csr.degree(5), 0);
+    }
+
+    #[test]
+    fn encode_roundtrip_faults_lists_back_in() {
+        use gfcl_columnar::paged::mem::{MemSink, MemStore};
+        use gfcl_common::{Reader, Writer};
+        let (n, from, nbr) = sample_edges();
+        let opts =
+            CsrOptions { zero_suppress: true, compress_empty: Some(NullKind::jacobson_default()) };
+        let (mut csr, _) = Csr::build(n, &from, &nbr, opts);
+        csr.set_edge_ids(UIntArray::from_values(&[0, 1, 2, 3, 4, 5, 6, 7], true));
+        let store = MemStore::new();
+        let mut w = Writer::new();
+        csr.encode(&mut w, &mut MemSink(store.clone()));
+        let bytes = w.into_bytes();
+        let back = Csr::decode(&mut Reader::new(&bytes), &store).unwrap();
+        assert_eq!(back.n_vertices(), csr.n_vertices());
+        assert!(back.pageable_bytes() > 0, "per-edge arrays are paged");
+        check_lists(&back, &from, &nbr);
+        for p in 0..8 {
+            assert_eq!(back.edge_id_at(p), csr.edge_id_at(p));
+        }
+        assert!(Csr::decode(&mut Reader::new(&bytes[..bytes.len() / 3]), &store).is_err());
     }
 
     #[test]

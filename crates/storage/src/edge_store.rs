@@ -1,7 +1,7 @@
 //! Per-label storage of n-n edge properties: the Section 4.2 design space.
 
-use gfcl_columnar::Column;
-use gfcl_common::MemoryUsage;
+use gfcl_columnar::{Column, SegmentSink, SegmentSource};
+use gfcl_common::{Error, MemoryUsage, Reader, Result, Writer};
 
 use crate::pages::PropertyPages;
 
@@ -34,6 +34,90 @@ impl EdgePropStore {
             EdgePropStore::DoubleIndexed { fwd, .. } => fwd.len(),
         }
     }
+
+    /// Heap bytes held right now.
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            EdgePropStore::None | EdgePropStore::InVertexColumns => 0,
+            EdgePropStore::Pages(p) => p.resident_bytes(),
+            EdgePropStore::Columns { props } => column_resident(props),
+            EdgePropStore::DoubleIndexed { fwd, bwd } => {
+                column_resident(fwd) + column_resident(bwd)
+            }
+        }
+    }
+
+    /// Bytes living on disk, faulted through the buffer pool.
+    pub fn pageable_bytes(&self) -> usize {
+        match self {
+            EdgePropStore::None | EdgePropStore::InVertexColumns => 0,
+            EdgePropStore::Pages(p) => p.pageable_bytes(),
+            EdgePropStore::Columns { props } => column_pageable(props),
+            EdgePropStore::DoubleIndexed { fwd, bwd } => {
+                column_pageable(fwd) + column_pageable(bwd)
+            }
+        }
+    }
+
+    /// Encode for the on-disk format.
+    pub fn encode(&self, w: &mut Writer, sink: &mut dyn SegmentSink) {
+        match self {
+            EdgePropStore::None => w.u8(0),
+            EdgePropStore::Pages(p) => {
+                w.u8(1);
+                p.encode(w, sink);
+            }
+            EdgePropStore::Columns { props } => {
+                w.u8(2);
+                encode_columns(w, sink, props);
+            }
+            EdgePropStore::DoubleIndexed { fwd, bwd } => {
+                w.u8(3);
+                encode_columns(w, sink, fwd);
+                encode_columns(w, sink, bwd);
+            }
+            EdgePropStore::InVertexColumns => w.u8(4),
+        }
+    }
+
+    /// Decode an [`EdgePropStore::encode`] stream.
+    pub fn decode(r: &mut Reader<'_>, src: &dyn SegmentSource) -> Result<EdgePropStore> {
+        Ok(match r.u8()? {
+            0 => EdgePropStore::None,
+            1 => EdgePropStore::Pages(PropertyPages::decode(r, src)?),
+            2 => EdgePropStore::Columns { props: decode_columns(r, src)? },
+            3 => EdgePropStore::DoubleIndexed {
+                fwd: decode_columns(r, src)?,
+                bwd: decode_columns(r, src)?,
+            },
+            4 => EdgePropStore::InVertexColumns,
+            t => return Err(Error::Storage(format!("invalid edge-prop-store tag {t}"))),
+        })
+    }
+}
+
+fn column_resident(props: &[Column]) -> usize {
+    props.iter().map(|c| c.resident_data_bytes() + c.null_overhead_bytes()).sum()
+}
+
+fn column_pageable(props: &[Column]) -> usize {
+    props.iter().map(Column::pageable_bytes).sum()
+}
+
+fn encode_columns(w: &mut Writer, sink: &mut dyn SegmentSink, props: &[Column]) {
+    w.usize(props.len());
+    for p in props {
+        p.encode(w, sink);
+    }
+}
+
+fn decode_columns(r: &mut Reader<'_>, src: &dyn SegmentSource) -> Result<Vec<Column>> {
+    let n = r.count()?;
+    let mut props = Vec::with_capacity(n);
+    for _ in 0..n {
+        props.push(Column::decode(r, src)?);
+    }
+    Ok(props)
 }
 
 impl MemoryUsage for EdgePropStore {

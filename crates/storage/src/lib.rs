@@ -19,7 +19,9 @@ pub mod columnar_graph;
 pub mod config;
 pub mod csr;
 pub mod edge_store;
+pub mod format;
 pub mod mutation;
+pub mod pager;
 pub mod pages;
 pub mod raw;
 pub mod row_graph;
@@ -32,6 +34,7 @@ pub use config::{EdgePropLayout, StorageConfig};
 pub use csr::{Csr, CsrOptions};
 pub use edge_store::EdgePropStore;
 pub use mutation::{MutableAdjacency, MutablePage, OffsetRecycler};
+pub use pager::{BufferPool, PoolStats, DEFAULT_POOL_PAGES};
 pub use pages::PropertyPages;
 pub use raw::{EdgeTable, PropData, RawGraph, VertexTable};
 pub use row_graph::{PropEntry, RowCsr, RowGraph};
@@ -55,4 +58,5 @@ const _: () = {
     assert_send_sync::<StorageConfig>();
     assert_send_sync::<EdgePropRead<'_>>();
     assert_send_sync::<Stats>();
+    assert_send_sync::<BufferPool>();
 };

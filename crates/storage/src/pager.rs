@@ -1,0 +1,319 @@
+//! The buffer pool: faults 64 KiB pages of the on-disk format into memory
+//! on demand and evicts them with a clock (second-chance) policy.
+//!
+//! The pool implements [`PageStore`], the trait the columnar crate's
+//! [`ArrayData`](gfcl_columnar::ArrayData) reads through, so a reopened
+//! graph serves `get(i)` calls from whatever subset of its value arrays is
+//! currently resident. Frames are `Arc<Vec<u8>>`: a page is *pinned*
+//! exactly while someone outside the pool holds a clone of its `Arc`
+//! (`strong_count > 1`), which makes pin/unpin a pure refcount affair — the
+//! executor keeps its per-morsel pins alive in a scratch vector and drops
+//! them when the morsel ends.
+//!
+//! Every fault verifies the page's FNV-1a checksum against the checksum
+//! array loaded at open time. Structural problems are caught by
+//! [`open`](crate::ColumnarGraph::open) and surface as
+//! [`Error::Storage`](gfcl_common::Error); a checksum mismatch *after* a
+//! successful open means the file changed underneath us, and panics.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::os::unix::fs::FileExt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gfcl_columnar::{PageStore, PAGE_SIZE};
+use gfcl_common::fnv1a_64;
+
+/// Default pool capacity when neither [`crate::StorageConfig`] nor the
+/// `GFCL_BUFFER_MB` environment variable says otherwise: 64 MiB of pages.
+pub const DEFAULT_POOL_PAGES: usize = 64 * 1024 * 1024 / PAGE_SIZE;
+
+/// Counters exposed for tests, benches and the memory breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pages read from disk (checksum-verified).
+    pub faults: u64,
+    /// Pins served from a resident frame.
+    pub hits: u64,
+    /// Frames reclaimed by the clock hand.
+    pub evictions: u64,
+    /// Pages whose read was avoided entirely (zone-map pruning).
+    pub pages_skipped: u64,
+}
+
+struct Frame {
+    data: Arc<Vec<u8>>,
+    /// Second-chance bit: set on every hit, cleared as the clock hand
+    /// passes. A frame is evicted only when unreferenced *and* unpinned.
+    referenced: bool,
+}
+
+struct PoolInner {
+    frames: HashMap<u64, Frame>,
+    /// Ring of resident page numbers the clock hand walks.
+    ring: Vec<u64>,
+    hand: usize,
+}
+
+/// A clock-eviction buffer pool over one storage file.
+pub struct BufferPool {
+    file: File,
+    capacity: usize,
+    /// Page number of the first checksummed data page; `checksums[i]`
+    /// covers page `first_data_page + i`.
+    first_data_page: u64,
+    checksums: Vec<u64>,
+    inner: Mutex<PoolInner>,
+    faults: AtomicU64,
+    hits: AtomicU64,
+    evictions: AtomicU64,
+    pages_skipped: AtomicU64,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("occupancy", &self.occupancy())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// A pool of at most `capacity` resident pages over `file`.
+    pub fn new(file: File, capacity: usize, first_data_page: u64, checksums: Vec<u64>) -> Self {
+        let capacity = capacity.max(1);
+        BufferPool {
+            file,
+            capacity,
+            first_data_page,
+            checksums,
+            inner: Mutex::new(PoolInner { frames: HashMap::new(), ring: Vec::new(), hand: 0 }),
+            faults: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            pages_skipped: AtomicU64::new(0),
+        }
+    }
+
+    /// Pool capacity from the `GFCL_BUFFER_MB` environment variable, or
+    /// `default_pages` when unset/unparsable. The floor is one page.
+    pub fn capacity_from_env(default_pages: usize) -> usize {
+        match std::env::var("GFCL_BUFFER_MB").ok().and_then(|s| s.parse::<usize>().ok()) {
+            Some(mb) => (mb * 1024 * 1024 / PAGE_SIZE).max(1),
+            None => default_pages.max(1),
+        }
+    }
+
+    /// Maximum number of resident pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pages currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.inner.lock().unwrap().frames.len()
+    }
+
+    /// Heap bytes held by resident frames right now.
+    pub fn occupancy_bytes(&self) -> usize {
+        self.occupancy() * PAGE_SIZE
+    }
+
+    /// Snapshot of the fault/hit/eviction/skip counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            faults: self.faults.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            pages_skipped: self.pages_skipped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Read and checksum-verify one page from disk.
+    fn fault(&self, page_no: u64) -> Vec<u8> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.file
+            .read_exact_at(&mut buf, page_no * PAGE_SIZE as u64)
+            .unwrap_or_else(|e| panic!("storage file read failed at page {page_no}: {e}"));
+        let idx = page_no.checked_sub(self.first_data_page).map(|i| i as usize);
+        match idx.and_then(|i| self.checksums.get(i)) {
+            Some(&expected) => {
+                let got = fnv1a_64(&buf);
+                assert!(
+                    got == expected,
+                    "storage file corrupted: page {page_no} checksum {got:#018x} != {expected:#018x}"
+                );
+            }
+            None => panic!("page {page_no} outside the checksummed data region"),
+        }
+        buf
+    }
+
+    /// Evict until at most `capacity` frames remain, skipping pinned frames
+    /// (someone holds the `Arc`) and giving referenced frames one second
+    /// chance. Gives up if every frame is pinned — the pool then runs
+    /// over capacity rather than deadlocking.
+    fn evict_to_capacity(&self, inner: &mut PoolInner) {
+        let mut sweeps = 0usize;
+        while inner.frames.len() > self.capacity && !inner.ring.is_empty() {
+            if sweeps > 2 * inner.ring.len() {
+                return; // everything pinned or referenced twice over
+            }
+            sweeps += 1;
+            if inner.hand >= inner.ring.len() {
+                inner.hand = 0;
+            }
+            let page_no = inner.ring[inner.hand];
+            let frame = inner.frames.get_mut(&page_no).expect("ring/frames out of sync");
+            if Arc::strong_count(&frame.data) > 1 {
+                inner.hand += 1; // pinned
+            } else if frame.referenced {
+                frame.referenced = false;
+                inner.hand += 1; // second chance
+            } else {
+                inner.frames.remove(&page_no);
+                inner.ring.swap_remove(inner.hand);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl PageStore for BufferPool {
+    fn pin(&self, page_no: u64) -> Arc<Vec<u8>> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(frame) = inner.frames.get_mut(&page_no) {
+            frame.referenced = true;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(&frame.data);
+        }
+        // Fault while holding the lock: simple, and correct for the
+        // morsel-parallel access pattern (distinct morsels touch distinct
+        // pages; the rare shared boundary page is read once).
+        let data = Arc::new(self.fault(page_no));
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        inner.frames.insert(page_no, Frame { data: Arc::clone(&data), referenced: true });
+        inner.ring.push(page_no);
+        self.evict_to_capacity(&mut inner);
+        data
+    }
+
+    fn note_skipped(&self, n_pages: u64) {
+        self.pages_skipped.fetch_add(n_pages, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::path::PathBuf;
+
+    /// A scratch file of `n` distinct data pages starting at page 0;
+    /// page `i` is filled with byte `i as u8`. Returns (pool-ready file,
+    /// checksums, path for cleanup).
+    fn page_file(name: &str, n: usize) -> (File, Vec<u64>, PathBuf) {
+        let path =
+            std::env::temp_dir().join(format!("gfcl_pager_{}_{name}.bin", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        let mut checksums = Vec::new();
+        for i in 0..n {
+            let page = vec![i as u8; PAGE_SIZE];
+            checksums.push(fnv1a_64(&page));
+            f.write_all(&page).unwrap();
+        }
+        drop(f);
+        (File::open(&path).unwrap(), checksums, path)
+    }
+
+    #[test]
+    fn faults_then_hits() {
+        let (f, sums, path) = page_file("hits", 3);
+        let pool = BufferPool::new(f, 8, 0, sums);
+        let a = pool.pin(1);
+        assert_eq!(a[0], 1);
+        drop(a);
+        let b = pool.pin(1);
+        assert_eq!(b[100], 1);
+        let s = pool.stats();
+        assert_eq!((s.faults, s.hits), (1, 1));
+        assert_eq!(pool.occupancy(), 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn clock_evicts_down_to_capacity() {
+        let (f, sums, path) = page_file("evict", 6);
+        let pool = BufferPool::new(f, 2, 0, sums);
+        for p in 0..6 {
+            let g = pool.pin(p);
+            assert_eq!(g[7], p as u8);
+        }
+        assert!(pool.occupancy() <= 2, "occupancy {} > capacity 2", pool.occupancy());
+        assert_eq!(pool.stats().faults, 6);
+        assert!(pool.stats().evictions >= 4);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        let (f, sums, path) = page_file("pin", 6);
+        let pool = BufferPool::new(f, 2, 0, sums);
+        let held = pool.pin(0); // keep the Arc → pinned
+        for p in 1..6 {
+            pool.pin(p);
+        }
+        // Page 0 must still be resident and intact despite the pressure.
+        assert_eq!(held[123], 0);
+        let again = pool.pin(0);
+        assert_eq!(again[55], 0);
+        let s = pool.stats();
+        assert_eq!(s.faults, 6, "page 0 was never re-faulted");
+        assert!(s.hits >= 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn all_pinned_pool_runs_over_capacity_instead_of_hanging() {
+        let (f, sums, path) = page_file("over", 4);
+        let pool = BufferPool::new(f, 1, 0, sums);
+        let guards: Vec<_> = (0..4).map(|p| pool.pin(p)).collect();
+        assert_eq!(pool.occupancy(), 4); // over capacity, but alive
+        for (p, g) in guards.iter().enumerate() {
+            assert_eq!(g[9], p as u8);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "checksum")]
+    fn corrupted_page_panics_at_fault() {
+        let (f, mut sums, path) = page_file("corrupt", 2);
+        sums[1] ^= 0xdead; // claim a different checksum than what's on disk
+        let pool = BufferPool::new(f, 4, 0, sums);
+        pool.pin(0); // fine
+        std::fs::remove_file(&path).ok();
+        pool.pin(1); // mismatch
+    }
+
+    #[test]
+    fn skip_accounting_accumulates() {
+        let (f, sums, path) = page_file("skip", 1);
+        let pool = BufferPool::new(f, 4, 0, sums);
+        pool.note_skipped(3);
+        pool.note_skipped(4);
+        assert_eq!(pool.stats().pages_skipped, 7);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn env_capacity_floor_is_one_page() {
+        // Not setting the env var here (tests run in parallel); just check
+        // the default path and the floor.
+        assert_eq!(BufferPool::capacity_from_env(0), 1);
+        assert_eq!(BufferPool::capacity_from_env(17), 17);
+    }
+}

@@ -16,8 +16,8 @@
 //! Small `k` additionally makes deleted page offsets easy to recycle: a gap
 //! can be reused by an insertion into *any* of the page's k lists.
 
-use gfcl_columnar::Column;
-use gfcl_common::MemoryUsage;
+use gfcl_columnar::{Column, SegmentSink, SegmentSource};
+use gfcl_common::{MemoryUsage, Reader, Result, Writer};
 
 /// The property pages of one edge label (all of its properties share the
 /// page geometry).
@@ -134,6 +134,54 @@ impl PropertyPages {
     /// suppression of the stored offsets).
     pub fn max_page_offset(&self) -> u64 {
         self.max_page_size.saturating_sub(1)
+    }
+
+    /// Heap bytes held right now (`page_starts` stays resident — it is
+    /// the random-access path — while property values may be paged).
+    pub fn resident_bytes(&self) -> usize {
+        self.page_starts.memory_bytes()
+            + self.props.iter().map(Column::resident_data_bytes).sum::<usize>()
+            + self.props.iter().map(Column::null_overhead_bytes).sum::<usize>()
+    }
+
+    /// Bytes living on disk, faulted through the buffer pool.
+    pub fn pageable_bytes(&self) -> usize {
+        self.props.iter().map(Column::pageable_bytes).sum()
+    }
+
+    /// Encode for the on-disk format: geometry inline, property values as
+    /// page segments.
+    pub fn encode(&self, w: &mut Writer, sink: &mut dyn SegmentSink) {
+        w.usize(self.k);
+        w.u64(self.max_page_size);
+        w.usize(self.page_starts.len());
+        for &s in &self.page_starts {
+            w.u64(s);
+        }
+        w.usize(self.props.len());
+        for p in &self.props {
+            p.encode(w, sink);
+        }
+    }
+
+    /// Decode a [`PropertyPages::encode`] stream.
+    pub fn decode(r: &mut Reader<'_>, src: &dyn SegmentSource) -> Result<PropertyPages> {
+        let k = r.usize()?;
+        let max_page_size = r.u64()?;
+        let n_starts = r.count()?;
+        let mut page_starts = Vec::with_capacity(n_starts);
+        for _ in 0..n_starts {
+            page_starts.push(r.u64()?);
+        }
+        if k == 0 || page_starts.is_empty() {
+            return Err(gfcl_common::Error::Storage("empty property-page geometry".into()));
+        }
+        let n = r.count()?;
+        let mut props = Vec::with_capacity(n);
+        for _ in 0..n {
+            props.push(Column::decode(r, src)?);
+        }
+        Ok(PropertyPages { k, page_starts, props, max_page_size })
     }
 }
 

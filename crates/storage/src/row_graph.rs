@@ -315,7 +315,16 @@ impl RowGraph {
             .sum();
         let fwd_adj = self.fwd.iter().map(RowCsr::memory_bytes).sum();
         let bwd_adj = self.bwd.iter().map(RowCsr::memory_bytes).sum();
-        crate::columnar_graph::MemoryBreakdown { vertex_props, edge_props, fwd_adj, bwd_adj }
+        // The row store is always fully resident: no pageable bytes, no pool.
+        crate::columnar_graph::MemoryBreakdown {
+            vertex_props,
+            edge_props,
+            fwd_adj,
+            bwd_adj,
+            resident: vertex_props + edge_props + fwd_adj + bwd_adj,
+            pageable: 0,
+            buffer_pool: 0,
+        }
     }
 }
 

@@ -9,8 +9,8 @@
 //! "vertex has no such edge" case is exactly a NULL, so empty-edge
 //! compression reuses the [`NullMap`] machinery (Section 8.4).
 
-use gfcl_columnar::{Column, NullKind, NullMap, UIntArray};
-use gfcl_common::MemoryUsage;
+use gfcl_columnar::{Column, NullKind, NullMap, SegmentSink, SegmentSource, UIntArray};
+use gfcl_common::{MemoryUsage, Reader, Result, Writer};
 
 /// Single-direction adjacency of a single-cardinality edge label, stored as
 /// a vertex column of the `from` side.
@@ -82,6 +82,42 @@ impl SingleCardAdj {
     pub fn props_bytes(&self) -> usize {
         self.props.iter().map(Column::memory_bytes).sum()
     }
+
+    /// Heap bytes held right now.
+    pub fn resident_bytes(&self) -> usize {
+        self.nbr.resident_bytes()
+            + self.nulls.overhead_bytes()
+            + self.props.iter().map(Column::resident_data_bytes).sum::<usize>()
+            + self.props.iter().map(Column::null_overhead_bytes).sum::<usize>()
+    }
+
+    /// Bytes living on disk, faulted through the buffer pool.
+    pub fn pageable_bytes(&self) -> usize {
+        self.nbr.pageable_bytes() + self.props.iter().map(Column::pageable_bytes).sum::<usize>()
+    }
+
+    /// Encode for the on-disk format: neighbour array and property values
+    /// as page segments, the NULL map inline.
+    pub fn encode(&self, w: &mut Writer, sink: &mut dyn SegmentSink) {
+        self.nbr.encode_seg(w, sink);
+        self.nulls.encode(w);
+        w.usize(self.props.len());
+        for p in &self.props {
+            p.encode(w, sink);
+        }
+    }
+
+    /// Decode a [`SingleCardAdj::encode`] stream.
+    pub fn decode(r: &mut Reader<'_>, src: &dyn SegmentSource) -> Result<SingleCardAdj> {
+        let nbr = UIntArray::decode_seg(r, src)?;
+        let nulls = NullMap::decode(r)?;
+        let n = r.count()?;
+        let mut props = Vec::with_capacity(n);
+        for _ in 0..n {
+            props.push(Column::decode(r, src)?);
+        }
+        Ok(SingleCardAdj { nbr, nulls, props })
+    }
 }
 
 impl MemoryUsage for SingleCardAdj {
@@ -129,6 +165,31 @@ mod tests {
         for v in 0..10_000u64 {
             assert_eq!(cmp.nbr(v), unc.nbr(v));
         }
+    }
+
+    #[test]
+    fn encode_roundtrip_with_props() {
+        use gfcl_columnar::paged::mem::{MemSink, MemStore};
+        use gfcl_common::{Reader, Writer};
+        let doj = Column::from_i64(
+            DataType::Int64,
+            &[Some(2006), None, Some(2019), None, None, Some(1980)],
+            NullKind::jacobson_default(),
+        );
+        let adj = SingleCardAdj::build(&nbrs(), NullKind::jacobson_default(), true, vec![doj]);
+        let store = MemStore::new();
+        let mut w = Writer::new();
+        adj.encode(&mut w, &mut MemSink(store.clone()));
+        let bytes = w.into_bytes();
+        let back = SingleCardAdj::decode(&mut Reader::new(&bytes), &store).unwrap();
+        assert_eq!(back.n_vertices(), 6);
+        assert!(back.pageable_bytes() > 0);
+        for v in 0..6u64 {
+            assert_eq!(back.nbr(v), adj.nbr(v));
+        }
+        assert_eq!(back.prop(0).get_i64(0), Some(2006));
+        assert_eq!(back.prop(0).get_i64(1), None);
+        assert!(SingleCardAdj::decode(&mut Reader::new(&bytes[..5]), &store).is_err());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use std::collections::HashSet;
 
-use gfcl_common::{Direction, LabelId};
+use gfcl_common::{Direction, LabelId, Reader, Result, Writer};
 
 use crate::raw::{PropData, RawGraph};
 
@@ -135,6 +135,72 @@ impl Stats {
             Direction::Bwd => e.max_bwd_degree,
         }
     }
+
+    /// Encode for the on-disk format; statistics are persisted rather than
+    /// recollected so a reopened graph plans with *identical* numbers (the
+    /// cross-engine equivalence suites depend on matching join orders).
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.vertices.len());
+        for v in &self.vertices {
+            w.u64(v.count);
+            encode_props(w, &v.props);
+        }
+        w.usize(self.edges.len());
+        for e in &self.edges {
+            w.u64(e.count);
+            w.f64(e.avg_fwd_degree);
+            w.u64(e.max_fwd_degree);
+            w.f64(e.avg_bwd_degree);
+            w.u64(e.max_bwd_degree);
+            encode_props(w, &e.props);
+        }
+    }
+
+    /// Decode a [`Stats::encode`] stream.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Stats> {
+        let n_v = r.count()?;
+        let mut vertices = Vec::with_capacity(n_v);
+        for _ in 0..n_v {
+            vertices.push(VertexLabelStats { count: r.u64()?, props: decode_props(r)? });
+        }
+        let n_e = r.count()?;
+        let mut edges = Vec::with_capacity(n_e);
+        for _ in 0..n_e {
+            edges.push(EdgeLabelStats {
+                count: r.u64()?,
+                avg_fwd_degree: r.f64()?,
+                max_fwd_degree: r.u64()?,
+                avg_bwd_degree: r.f64()?,
+                max_bwd_degree: r.u64()?,
+                props: decode_props(r)?,
+            });
+        }
+        Ok(Stats { vertices, edges })
+    }
+}
+
+fn encode_props(w: &mut Writer, props: &[PropStats]) {
+    w.usize(props.len());
+    for p in props {
+        w.u64(p.ndv);
+        w.f64(p.null_fraction);
+        w.opt(p.min_i64, Writer::i64);
+        w.opt(p.max_i64, Writer::i64);
+    }
+}
+
+fn decode_props(r: &mut Reader<'_>) -> Result<Vec<PropStats>> {
+    let n = r.count()?;
+    let mut props = Vec::with_capacity(n);
+    for _ in 0..n {
+        props.push(PropStats {
+            ndv: r.u64()?,
+            null_fraction: r.f64()?,
+            min_i64: r.opt(Reader::i64)?,
+            max_i64: r.opt(Reader::i64)?,
+        });
+    }
+    Ok(props)
 }
 
 /// `(average, max)` list length when grouping `endpoints` over `n` vertices.
@@ -220,6 +286,17 @@ mod tests {
         assert_eq!(gender.min_i64, None);
         // FOLLOWS.since is an edge property with 8 distinct years.
         assert_eq!(s.edge(0).props[0].ndv, 8);
+    }
+
+    #[test]
+    fn encode_roundtrips_example_stats() {
+        use gfcl_common::{Reader, Writer};
+        let s = Stats::collect(&RawGraph::example());
+        let mut w = Writer::new();
+        s.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(Stats::decode(&mut Reader::new(&bytes)).unwrap(), s);
+        assert!(Stats::decode(&mut Reader::new(&bytes[..bytes.len() / 2])).is_err());
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Save/reopen equivalence: a graph persisted with [`ColumnarGraph::save`]
+//! and reopened cold through a buffer pool *smaller than the graph* must
+//! answer every query byte-identically to the in-memory graph it was saved
+//! from — across all engines that read columnar storage, at 1 and 4
+//! workers, with every read faulting pages on demand.
+//!
+//! Also the crash-safety contract: malformed files (bad magic, truncated,
+//! corrupted metadata) fail `open` with a clean [`gfcl_common::Error`], never
+//! a panic.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gfcl_baselines::{GfCvEngine, RelEngine};
+use gfcl_core::query::{col, eq, ge, lit, lt, starts_with, Agg, PatternQuery};
+use gfcl_core::{Engine, ExecOptions, GfClEngine};
+use gfcl_datagen::{PowerLawParams, SocialParams};
+use gfcl_storage::{ColumnarGraph, RawGraph, StorageConfig};
+use proptest::prelude::*;
+
+/// Worker counts under test.
+const THREADS: [usize; 2] = [1, 4];
+
+/// A pool this small forces eviction on any graph beyond a few pages.
+const TINY_POOL_PAGES: usize = 2;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gfcl_persist_{}_{name}.gfcl", std::process::id()))
+}
+
+/// Engines over one columnar graph (the row engine has no on-disk format,
+/// so persistence equivalence is a columnar-engines property).
+fn engines(g: &Arc<ColumnarGraph>) -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(GfClEngine::new(Arc::clone(g))),
+        Box::new(GfCvEngine::new(Arc::clone(g))),
+        Box::new(RelEngine::new(Arc::clone(g))),
+    ]
+}
+
+/// Build from `raw`, save, reopen with a cold 2-page pool, and assert every
+/// query produces byte-identical output on the reopened graph, on every
+/// engine, at every worker count.
+fn assert_persistence_equivalent(raw: &RawGraph, name: &str, queries: &[(String, PatternQuery)]) {
+    let built = Arc::new(ColumnarGraph::build(raw, StorageConfig::default()).unwrap());
+    let path = tmp(name);
+    built.save(&path).unwrap();
+    let config = StorageConfig { buffer_pool_pages: TINY_POOL_PAGES, ..StorageConfig::default() };
+    let reopened = Arc::new(ColumnarGraph::open(&path, config).unwrap());
+    std::fs::remove_file(&path).unwrap();
+
+    let pool = reopened.buffer_pool().expect("reopened graph has a pool");
+    // CI's persistence job sets GFCL_BUFFER_MB, which overrides the
+    // per-test capacity — assert whatever the env resolution says.
+    assert_eq!(pool.capacity(), gfcl_storage::BufferPool::capacity_from_env(TINY_POOL_PAGES));
+    assert!(
+        reopened.memory_breakdown().pageable > 0,
+        "{name}: reopened graph should serve value arrays from disk"
+    );
+
+    let mem_engines = engines(&built);
+    let disk_engines = engines(&reopened);
+    for (qname, q) in queries {
+        for (m, d) in mem_engines.iter().zip(&disk_engines) {
+            for threads in THREADS {
+                let opts = ExecOptions::with_threads(threads);
+                let a = m
+                    .execute_with(q, &opts)
+                    .unwrap_or_else(|e| panic!("{qname} failed in-memory on {}: {e}", m.name()));
+                let b = d
+                    .execute_with(q, &opts)
+                    .unwrap_or_else(|e| panic!("{qname} failed reopened on {}: {e}", d.name()));
+                assert_eq!(
+                    a.canonical(),
+                    b.canonical(),
+                    "{qname}: reopening changed {} output at {threads} worker(s)",
+                    m.name()
+                );
+            }
+        }
+        // Serial LBP: exactly equal, not just canonically.
+        let a = mem_engines[0].execute_with(q, &ExecOptions::serial()).unwrap();
+        let b = disk_engines[0].execute_with(q, &ExecOptions::serial()).unwrap();
+        assert_eq!(a, b, "{qname}: serial outputs diverge after reopen");
+    }
+    // The equivalence must have exercised the faulting path, with eviction
+    // keeping memory bounded. Pinned pages can push the pool past its
+    // nominal capacity transiently (it over-allocates rather than
+    // deadlocks), so the bound allows slack for concurrently pinned pages.
+    let stats = pool.stats();
+    assert!(stats.faults > 0, "{name}: no page was ever faulted");
+    assert!(
+        pool.occupancy() <= pool.capacity() + 64,
+        "{name}: pool occupancy {} far exceeds capacity {}",
+        pool.occupancy(),
+        pool.capacity()
+    );
+    // More faults than the pool can hold many times over implies re-faults,
+    // which imply evictions (capacity-relative so a GFCL_BUFFER_MB override
+    // with a pool big enough to hold the whole graph doesn't trip it).
+    if stats.faults > 16 * pool.capacity() as u64 {
+        assert!(stats.evictions > 0, "{name}: pool never evicted under pressure");
+    }
+}
+
+fn powerlaw_queries(n: i64) -> Vec<(String, PatternQuery)> {
+    let khop = |hops: usize| {
+        let mut b = PatternQuery::builder();
+        for i in 0..=hops {
+            b = b.node(&format!("v{i}"), "NODE");
+        }
+        for i in 0..hops {
+            b = b.edge(&format!("e{}", i + 1), "LINK", &format!("v{i}"), &format!("v{}", i + 1));
+        }
+        b
+    };
+    vec![
+        ("scan-all-rows".into(), khop(0).returns(&[("v0", "id")]).build()),
+        (
+            "scan-pushed-range".into(),
+            khop(0).filter(lt(col("v0", "id"), lit(n / 7))).returns(&[("v0", "id")]).build(),
+        ),
+        (
+            "one-hop-edge-prop".into(),
+            khop(1)
+                .filter(ge(col("v0", "id"), lit(n - n / 8)))
+                .returns(&[("v0", "id"), ("e1", "ts")])
+                .build(),
+        ),
+        ("two-hop-count".into(), khop(2).returns_count().build()),
+        (
+            "grouped".into(),
+            khop(1)
+                .filter(lt(col("v0", "id"), lit(n / 4)))
+                .group_by(&[("v0", "id")])
+                .returns_agg(vec![Agg::count_star()])
+                .build(),
+        ),
+    ]
+}
+
+fn social_queries() -> Vec<(String, PatternQuery)> {
+    let knows1 = || {
+        PatternQuery::builder().node("p", "Person").node("q", "Person").edge("k", "knows", "p", "q")
+    };
+    vec![
+        (
+            "string-dictionary".into(),
+            knows1().filter(starts_with("p", "fName", "A")).returns_count().build(),
+        ),
+        (
+            "date-and-gender".into(),
+            knows1()
+                .filter(ge(col("p", "birthday"), lit(300_000_000)))
+                .filter(eq(col("p", "gender"), lit("female")))
+                .returns(&[("p", "id"), ("q", "id")])
+                .build(),
+        ),
+    ]
+}
+
+#[test]
+fn powerlaw_survives_reopen_cold() {
+    let raw = gfcl_datagen::generate_powerlaw(PowerLawParams {
+        nodes: 3000,
+        avg_degree: 5.0,
+        exponent: 1.8,
+        seed: 23,
+    });
+    assert_persistence_equivalent(&raw, "powerlaw", &powerlaw_queries(3000));
+}
+
+#[test]
+fn social_survives_reopen_cold() {
+    let raw = gfcl_datagen::generate_social(SocialParams::scale(120));
+    assert_persistence_equivalent(&raw, "social", &social_queries());
+}
+
+#[test]
+fn figure1_example_survives_reopen() {
+    // Small enough that everything fits in the pool — the warm path.
+    let raw = RawGraph::example();
+    let q = PatternQuery::builder()
+        .node("p", "PERSON")
+        .node("o", "ORG")
+        .edge("w", "WORKAT", "p", "o")
+        .returns(&[("p", "name"), ("o", "name"), ("w", "doj")])
+        .build();
+    assert_persistence_equivalent(&raw, "example", &[("workat".into(), q)]);
+}
+
+#[test]
+fn open_errors_are_clean_not_panics() {
+    let raw = RawGraph::example();
+    let g = ColumnarGraph::build(&raw, StorageConfig::default()).unwrap();
+    let path = tmp("corrupt");
+    g.save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+
+    // Bad magic.
+    let mut bad = bytes.clone();
+    bad[..4].copy_from_slice(b"NOPE");
+    std::fs::write(&path, &bad).unwrap();
+    assert!(ColumnarGraph::open(&path, StorageConfig::default()).is_err());
+
+    // Truncations at several depths (header, mid-pages, tail).
+    for keep in [0usize, 40, 70_000, bytes.len().saturating_sub(3)] {
+        std::fs::write(&path, &bytes[..keep.min(bytes.len())]).unwrap();
+        assert!(
+            ColumnarGraph::open(&path, StorageConfig::default()).is_err(),
+            "truncation to {keep} bytes must fail cleanly"
+        );
+    }
+
+    // Corrupted metadata tail.
+    let mut bad = bytes.clone();
+    let n = bad.len();
+    bad[n - 1] ^= 0x55;
+    std::fs::write(&path, &bad).unwrap();
+    assert!(ColumnarGraph::open(&path, StorageConfig::default()).is_err());
+
+    // Nonexistent path.
+    std::fs::remove_file(&path).unwrap();
+    assert!(ColumnarGraph::open(&path, StorageConfig::default()).is_err());
+}
+
+// ---- Randomized graphs ------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn random_powerlaw_survives_reopen(
+        nodes in 40usize..220,
+        avg_degree in 1.0f64..5.0,
+        seed in 0u64..1000,
+        cut in 0.0f64..1.0,
+    ) {
+        let raw = gfcl_datagen::generate_powerlaw(PowerLawParams {
+            nodes,
+            avg_degree,
+            exponent: 1.8,
+            seed,
+        });
+        let n = nodes as i64;
+        let k = (n as f64 * cut) as i64;
+        let khop = |hops: usize| {
+            let mut b = PatternQuery::builder();
+            for i in 0..=hops {
+                b = b.node(&format!("v{i}"), "NODE");
+            }
+            for i in 0..hops {
+                b = b.edge(
+                    &format!("e{}", i + 1),
+                    "LINK",
+                    &format!("v{i}"),
+                    &format!("v{}", i + 1),
+                );
+            }
+            b
+        };
+        let queries = vec![
+            (
+                format!("rand-scan[{k}]"),
+                khop(0).filter(ge(col("v0", "id"), lit(k))).returns(&[("v0", "id")]).build(),
+            ),
+            (
+                format!("rand-one-hop[{k}]"),
+                khop(1).filter(lt(col("v0", "id"), lit(k))).returns_count().build(),
+            ),
+        ];
+        assert_persistence_equivalent(&raw, &format!("rand_{nodes}_{seed}"), &queries);
+    }
+}

@@ -151,6 +151,57 @@
 //! assert!(!text.contains("FILTER"), "{text}");
 //! ```
 //!
+//! ## Persistence
+//!
+//! A built graph persists to a single-file page-addressed format
+//! ([`ColumnarGraph::save`]) and reopens behind a buffer pool
+//! ([`ColumnarGraph::open`]) whose capacity is set by
+//! [`StorageConfig::buffer_pool_pages`] or the `GFCL_BUFFER_MB` environment
+//! variable. Reopened value arrays stay on disk and fault 64 KiB pages in on
+//! demand — a pool smaller than the graph still answers every query
+//! identically, just with eviction traffic:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gfcl::{ColumnarGraph, Engine, GfClEngine, RawGraph, StorageConfig};
+//! use gfcl::query::{col, ge, lit, PatternQuery};
+//!
+//! let raw = RawGraph::example();
+//! let graph = Arc::new(ColumnarGraph::build(&raw, StorageConfig::default()).unwrap());
+//!
+//! // Persist, then reopen cold through a deliberately tiny 2-page pool.
+//! let path = std::env::temp_dir().join(format!("gfcl_doc_{}.gfcl", std::process::id()));
+//! graph.save(&path).unwrap();
+//! let config = StorageConfig { buffer_pool_pages: 2, ..StorageConfig::default() };
+//! let reopened = Arc::new(ColumnarGraph::open(&path, config).unwrap());
+//!
+//! let q = PatternQuery::builder()
+//!     .node("a", "PERSON")
+//!     .node("b", "PERSON")
+//!     .edge("e", "FOLLOWS", "a", "b")
+//!     .filter(ge(col("a", "age"), lit(30)))
+//!     .returns(&[("a", "name"), ("b", "name")])
+//!     .build();
+//! let in_mem = GfClEngine::new(Arc::clone(&graph)).execute(&q).unwrap();
+//! let from_disk = GfClEngine::new(Arc::clone(&reopened)).execute(&q).unwrap();
+//! assert_eq!(in_mem, from_disk);
+//!
+//! // The memory accounting distinguishes the tiers: value arrays are
+//! // pageable after a reopen, and the pool faulted pages to answer.
+//! let m = reopened.memory_breakdown();
+//! assert!(m.pageable > 0);
+//! assert_eq!(m.resident + m.pageable, m.total());
+//! let pool = reopened.buffer_pool().unwrap();
+//! assert!(pool.stats().faults > 0);
+//! # std::fs::remove_file(&path).unwrap();
+//! ```
+//!
+//! Malformed files — wrong magic, truncation, a corrupted page or metadata
+//! checksum — fail [`ColumnarGraph::open`] with a clean
+//! [`Error::Storage`](Error), never a panic. `EXPLAIN` on a pushed scan
+//! additionally reports `~N pages read`, the optimizer's I/O estimate after
+//! zone-map skipping. See `ARCHITECTURE.md`, "On-disk format & buffer pool".
+//!
 //! See `ARCHITECTURE.md` for the paper-section → module map, `DESIGN.md`
 //! for the system inventory and `EXPERIMENTS.md` for the paper-vs-measured
 //! record of every table and figure.
