@@ -1,0 +1,483 @@
+//! `gfcl-analyze` — the workspace conformance linter.
+//!
+//! A dependency-free, line-based static scanner (the container is offline;
+//! no syn, no regex) enforcing the house rules that `rustfmt` and `clippy`
+//! do not:
+//!
+//! | rule | scope | what it flags |
+//! |------|-------|---------------|
+//! | `hot-panic` | executor/pager hot paths | `unwrap()`, `expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!`, non-debug `assert!` |
+//! | `hot-index` | executor/pager hot paths | indexing/slicing whose bracket expression contains arithmetic |
+//! | `unsafe-no-safety` | every source file | `unsafe` without a `// SAFETY:` comment on or above the line |
+//! | `as-cast` | codec/format files | narrowing `as` casts where `try_from` exists |
+//! | `pub-undocumented` | the facade `src/lib.rs` | top-level `pub` items without a doc comment |
+//!
+//! A finding is suppressed by a `// lint: allow(reason)` comment on the
+//! same line or the line above — the annotation *is* the justification and
+//! is what turns "panic in a hot path" into "documented invariant".
+//!
+//! Two structural conventions keep the scanner honest without a parser:
+//! test modules are file tails behind `#[cfg(test)]` (scanning stops
+//! there), and line comments/doc comments are skipped entirely.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule tag, e.g. `hot-panic`.
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{} [{}] {}", self.file, self.line, self.rule, self.msg)
+    }
+}
+
+/// Which rule groups apply to a file, derived from its workspace path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FileClass {
+    /// Executor / driver / pager hot paths: a panic here takes down a
+    /// worker mid-query; a mis-indexing is a morsel-boundary bug.
+    pub hot_path: bool,
+    /// Byte-level codec and on-disk format code: a silent `as` truncation
+    /// here corrupts persisted data.
+    pub codec: bool,
+    /// The facade crate root: its public surface is the documented API.
+    pub facade: bool,
+}
+
+/// Files on the query/page hot path (see `ARCHITECTURE.md`).
+const HOT_PATHS: &[&str] = &[
+    "crates/core/src/exec.rs",
+    "crates/core/src/driver.rs",
+    "crates/columnar/src/paged.rs",
+    "crates/storage/src/pager.rs",
+];
+
+/// Codec / on-disk-format files where checked conversions exist.
+const CODEC_PATHS: &[&str] =
+    &["crates/common/src/codec.rs", "crates/storage/src/format.rs", "crates/columnar/src/paged.rs"];
+
+/// Classify a workspace-relative path into its applicable rule groups.
+pub fn classify(rel_path: &str) -> FileClass {
+    FileClass {
+        hot_path: HOT_PATHS.contains(&rel_path),
+        codec: CODEC_PATHS.contains(&rel_path),
+        facade: rel_path == "src/lib.rs",
+    }
+}
+
+/// Narrowing `as` cast targets: converting into these can silently drop
+/// bits (or sign), and `TryFrom` exists for every one of them. Widening
+/// targets (`u64`, `i64` from narrower, `f64`) are not flagged.
+const NARROWING_TARGETS: &[&str] =
+    &["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize", "f32"];
+
+/// Replace the contents of string literals with spaces (quotes kept), so
+/// rule patterns never match inside message text. Handles escapes; raw
+/// strings are treated as plain (good enough for this workspace).
+fn blank_strings(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    out.push(' ');
+                    if chars.next().is_some() {
+                        out.push(' ');
+                    }
+                }
+                '"' => {
+                    in_str = false;
+                    out.push('"');
+                }
+                _ => out.push(' '),
+            }
+        } else {
+            if c == '"' {
+                in_str = true;
+            }
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Does `line` contain `pat` at a position not preceded by `not_after`?
+/// Used to match `assert!(` but not `debug_assert!(`.
+fn contains_not_after(line: &str, pat: &str, not_after: &str) -> bool {
+    let mut from = 0;
+    while let Some(i) = line[from..].find(pat) {
+        let at = from + i;
+        if !line[..at].ends_with(not_after) {
+            return true;
+        }
+        from = at + pat.len();
+    }
+    false
+}
+
+/// Does any bracketed `[...]` expression on this line contain a spaced
+/// binary arithmetic operator? `v[i]`, `v[*node]`, `v[a..b]` pass;
+/// `v[i * W..]`, `page[byte % N..]` are flagged — offset arithmetic at an
+/// indexing site is exactly where off-by-one and overflow bugs live.
+fn has_arithmetic_index(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut depth = 0usize;
+    let mut seg_start = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'[' => {
+                if depth == 0 {
+                    seg_start = i + 1;
+                }
+                depth += 1;
+            }
+            b']' if depth > 0 => {
+                depth -= 1;
+                if depth == 0 {
+                    let seg = &line[seg_start..i];
+                    if [" + ", " - ", " * ", " / ", " % "].iter().any(|op| seg.contains(op)) {
+                        return true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Is this a narrowing `as` cast line? Returns the offending target type.
+fn narrowing_cast(line: &str) -> Option<&'static str> {
+    let mut from = 0;
+    while let Some(i) = line[from..].find(" as ") {
+        let after = &line[from + i + 4..];
+        let token: String =
+            after.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+        if let Some(t) = NARROWING_TARGETS.iter().find(|t| **t == token) {
+            return Some(t);
+        }
+        from += i + 4;
+    }
+    None
+}
+
+/// Scan one file's source under `class`, returning every unsuppressed
+/// finding. `rel_path` is used only for labeling.
+pub fn scan_source(rel_path: &str, source: &str, class: FileClass) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut prev_lines: Vec<&str> = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let trimmed = raw.trim_start();
+        // House style: the test module is the file's tail. Nothing after
+        // it is shipped code, so the scan stops.
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        let is_comment = trimmed.starts_with("//");
+        // Suppressed if the annotation is inline, or anywhere in the
+        // contiguous comment block directly above (justifications are
+        // encouraged to wrap onto continuation lines).
+        let allowed = raw.contains("// lint: allow(") || {
+            let mut found = false;
+            for l in prev_lines.iter().rev().map(|l| l.trim_start()).skip_while(|l| l.is_empty()) {
+                if !l.starts_with("//") {
+                    break;
+                }
+                if l.starts_with("// lint: allow(") {
+                    found = true;
+                    break;
+                }
+            }
+            found
+        };
+        let line = blank_strings(raw);
+        let mut emit = |rule: &'static str, msg: String| {
+            if !allowed {
+                findings.push(Finding { file: rel_path.to_owned(), line: lineno, rule, msg });
+            }
+        };
+
+        if !is_comment {
+            if class.hot_path {
+                for pat in [
+                    ".unwrap()",
+                    ".expect(",
+                    "panic!(",
+                    "unreachable!(",
+                    "todo!(",
+                    "unimplemented!(",
+                ] {
+                    if line.contains(pat) {
+                        emit(
+                            "hot-panic",
+                            format!(
+                                "`{}` on a query/page hot path: convert to Error::Plan/\
+                                 Error::Storage or justify with `// lint: allow(reason)`",
+                                pat.trim_start_matches('.')
+                            ),
+                        );
+                    }
+                }
+                if ["assert!(", "assert_eq!(", "assert_ne!("]
+                    .iter()
+                    .any(|p| contains_not_after(&line, p, "debug_"))
+                {
+                    emit(
+                        "hot-panic",
+                        "bare assert on a hot path: use a named invariant helper with a \
+                         diagnosable message, or `debug_assert!`"
+                            .into(),
+                    );
+                }
+                if has_arithmetic_index(&line) {
+                    emit(
+                        "hot-index",
+                        "arithmetic inside an indexing/slicing expression on a hot path: \
+                         hoist into a named bound or justify with `// lint: allow(reason)`"
+                            .into(),
+                    );
+                }
+            }
+            if class.codec {
+                if let Some(t) = narrowing_cast(&line) {
+                    emit(
+                        "as-cast",
+                        format!(
+                            "narrowing `as {t}` in codec/format code: use `{t}::try_from` \
+                             (corruption must surface as Error::Storage, not truncation)"
+                        ),
+                    );
+                }
+            }
+            // `unsafe` anywhere requires a SAFETY comment in the three
+            // preceding lines (or inline). The workspace currently has
+            // zero unsafe blocks; this keeps it justified if one appears.
+            if (line.contains("unsafe ") || line.contains("unsafe{"))
+                && !raw.contains("// SAFETY:")
+                && !prev_lines.iter().rev().take(3).any(|l| l.contains("// SAFETY:"))
+            {
+                emit(
+                    "unsafe-no-safety",
+                    "`unsafe` without a `// SAFETY:` comment explaining the proof obligation"
+                        .into(),
+                );
+            }
+        }
+        if class.facade && !raw.starts_with(' ') && trimmed.starts_with("pub ") {
+            let documented = prev_lines
+                .iter()
+                .rev()
+                .map(|l| l.trim_start())
+                .find(|l| !l.starts_with("#[") && !l.starts_with("#!["))
+                .is_some_and(|l| l.starts_with("///") || l.starts_with("//!"));
+            if !documented {
+                emit(
+                    "pub-undocumented",
+                    "public facade item without a doc comment: the facade is the documented \
+                     API surface"
+                        .into(),
+                );
+            }
+        }
+        prev_lines.push(raw);
+    }
+    findings
+}
+
+/// Recursively collect `.rs` files under `dir` (sorted for determinism).
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<std::io::Result<Vec<_>>>()?;
+    entries.sort_by_key(std::fs::DirEntry::path);
+    for e in entries {
+        let p = e.path();
+        if p.is_dir() {
+            rs_files(&p, out)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Scan the whole workspace rooted at `root`: every crate under `crates/`
+/// plus the facade `src/`. Vendored stand-ins and build output are out of
+/// scope. Returns all findings, sorted by file then line.
+pub fn scan_workspace(root: &Path) -> Result<(usize, Vec<Finding>), String> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    let mut roots: Vec<PathBuf> = vec![root.join("src")];
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates)
+        .map_err(|e| format!("read {}: {e}", crates.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    roots.extend(crate_dirs.into_iter().map(|d| d.join("src")));
+    for r in roots {
+        if r.is_dir() {
+            rs_files(&r, &mut files).map_err(|e| format!("walk {}: {e}", r.display()))?;
+        }
+    }
+    let mut findings = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(root)
+            .map_err(|_| format!("{} escapes the workspace", f.display()))?
+            .to_string_lossy()
+            .into_owned();
+        let source =
+            std::fs::read_to_string(f).map_err(|e| format!("read {}: {e}", f.display()))?;
+        findings.extend(scan_source(&rel, &source, classify(&rel)));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok((files.len(), findings))
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot() -> FileClass {
+        FileClass { hot_path: true, ..FileClass::default() }
+    }
+
+    fn rules(src: &str, class: FileClass) -> Vec<&'static str> {
+        scan_source("t.rs", src, class).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn hot_panic_flags_each_macro_and_method() {
+        for src in [
+            "let x = v.unwrap();",
+            "let x = v.expect(\"msg\");",
+            "panic!(\"boom\");",
+            "unreachable!(\"no\");",
+            "assert!(a > b);",
+            "assert_eq!(a, b);",
+        ] {
+            assert_eq!(rules(src, hot()), vec!["hot-panic"], "{src}");
+        }
+    }
+
+    #[test]
+    fn debug_asserts_and_cold_files_pass() {
+        assert!(rules("debug_assert!(a > b);", hot()).is_empty());
+        assert!(rules("debug_assert_eq!(a, b);", hot()).is_empty());
+        assert!(rules("let x = v.unwrap();", FileClass::default()).is_empty());
+    }
+
+    #[test]
+    fn allow_annotations_suppress_same_line_and_line_above() {
+        assert!(rules("v.unwrap() // lint: allow(len checked above)", hot()).is_empty());
+        assert!(
+            rules("// lint: allow(poisoned lock is fatal)\nv.lock().unwrap();", hot()).is_empty()
+        );
+        // A blank line between annotation and site still counts; unrelated
+        // code in between does not.
+        assert!(rules("// lint: allow(x)\n\nv.unwrap();", hot()).is_empty());
+        assert_eq!(rules("// lint: allow(x)\nlet a = 1;\nv.unwrap();", hot()), vec!["hot-panic"]);
+        // A justification wrapping onto continuation comment lines covers
+        // the site below the whole block.
+        assert!(
+            rules("// lint: allow(reason that\n// wraps two lines)\nv.unwrap();", hot()).is_empty()
+        );
+    }
+
+    #[test]
+    fn test_module_tail_and_comments_are_skipped() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { v.unwrap(); }\n}\n";
+        assert!(rules(src, hot()).is_empty());
+        assert!(rules("// calls v.unwrap() eventually", hot()).is_empty());
+        assert!(rules("/// panics: via panic!( on bad input", hot()).is_empty());
+    }
+
+    #[test]
+    fn string_literals_do_not_trip_rules() {
+        assert!(rules(r#"let m = "call panic!( here";"#, hot()).is_empty());
+        assert!(rules(
+            r#"let m = "cast as u32 stays";"#,
+            FileClass { codec: true, ..FileClass::default() }
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn hot_index_flags_arithmetic_only() {
+        assert_eq!(rules("let x = page[byte % PAGE_SIZE..];", hot()), vec!["hot-index"]);
+        assert_eq!(rules("let x = raw[i * W..j];", hot()), vec!["hot-index"]);
+        assert!(rules("let x = v[i];", hot()).is_empty());
+        assert!(rules("let x = v[*node];", hot()).is_empty());
+        assert!(rules("let x = v[a..b];", hot()).is_empty());
+    }
+
+    #[test]
+    fn as_cast_flags_narrowing_not_widening() {
+        let codec = FileClass { codec: true, ..FileClass::default() };
+        assert_eq!(rules("let n = len as usize;", codec), vec!["as-cast"]);
+        assert_eq!(rules("h.u32(PAGE_SIZE as u32);", codec), vec!["as-cast"]);
+        assert!(rules("let n = len as u64;", codec).is_empty());
+        assert!(rules("let f = x as f64;", codec).is_empty());
+        assert!(rules("let n = len as usize;", FileClass::default()).is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        assert_eq!(rules("unsafe { ptr.read() }", FileClass::default()), vec!["unsafe-no-safety"]);
+        assert!(rules(
+            "// SAFETY: ptr is valid for reads\nunsafe { ptr.read() }",
+            FileClass::default()
+        )
+        .is_empty());
+        assert!(rules("unsafe { ptr.read() } // SAFETY: valid", FileClass::default()).is_empty());
+    }
+
+    #[test]
+    fn facade_pub_items_need_docs() {
+        let facade = FileClass { facade: true, ..FileClass::default() };
+        assert_eq!(rules("pub use gfcl_core::Engine;", facade), vec!["pub-undocumented"]);
+        assert!(rules("/// The engine trait.\npub use gfcl_core::Engine;", facade).is_empty());
+        assert!(rules("/// Doc.\n#[derive(Debug)]\npub struct X;", facade).is_empty());
+        // Indented (nested) pub items inherit the module's doc.
+        assert!(rules("    pub use gfcl_columnar::*;", facade).is_empty());
+    }
+
+    #[test]
+    fn classify_matches_the_rule_scopes() {
+        assert!(classify("crates/core/src/exec.rs").hot_path);
+        assert!(classify("crates/columnar/src/paged.rs").hot_path);
+        assert!(classify("crates/columnar/src/paged.rs").codec);
+        assert!(classify("crates/common/src/codec.rs").codec);
+        assert!(classify("src/lib.rs").facade);
+        assert_eq!(classify("crates/core/src/plan.rs"), FileClass::default());
+    }
+}

@@ -1,0 +1,36 @@
+//! CLI entry point: `cargo run -p gfcl-analyze` from anywhere inside the
+//! workspace. Prints one `file:line [rule] message` per finding and exits
+//! non-zero if any survive, so CI can gate on it directly.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("gfcl-analyze: cannot determine current dir: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(root) = gfcl_analyze::find_workspace_root(&cwd) else {
+        eprintln!("gfcl-analyze: no workspace Cargo.toml found above {}", cwd.display());
+        return ExitCode::FAILURE;
+    };
+    match gfcl_analyze::scan_workspace(&root) {
+        Ok((nfiles, findings)) if findings.is_empty() => {
+            println!("gfcl-analyze: {nfiles} files scanned, 0 findings");
+            ExitCode::SUCCESS
+        }
+        Ok((nfiles, findings)) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("gfcl-analyze: {nfiles} files scanned, {} findings", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("gfcl-analyze: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

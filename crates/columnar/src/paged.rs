@@ -72,6 +72,9 @@ macro_rules! paged_elem_int {
             }
             #[inline]
             fn read_le(b: &[u8]) -> $t {
+                // lint: allow(the [..WIDTH] slice fixes the length, so the
+                // array conversion cannot fail; a short buffer panics on
+                // the slice with an exact bounds message either way)
                 <$t>::from_le_bytes(b[..Self::WIDTH].try_into().expect("element width"))
             }
         }
@@ -125,6 +128,8 @@ impl<T: PagedElem> ArrayData<T> {
                 debug_assert!(i < *len);
                 let byte = i * T::WIDTH;
                 let page = store.pin(seg.start_page + (byte / PAGE_SIZE) as u64);
+                // lint: allow(elements never straddle pages: WIDTH divides
+                // PAGE_SIZE, so byte % PAGE_SIZE <= PAGE_SIZE - WIDTH)
                 T::read_le(&page[byte % PAGE_SIZE..])
             }
         }
@@ -135,6 +140,8 @@ impl<T: PagedElem> ArrayData<T> {
     pub fn push(&mut self, v: T) {
         match self {
             ArrayData::Resident(d) => d.push(v),
+            // lint: allow(API misuse, not data-dependent: paged arrays are
+            // immutable by contract and no query path mutates them)
             ArrayData::Paged { .. } => panic!("push on a paged array"),
         }
     }
@@ -144,6 +151,8 @@ impl<T: PagedElem> ArrayData<T> {
     pub fn set(&mut self, i: usize, v: T) {
         match self {
             ArrayData::Resident(d) => d[i] = v,
+            // lint: allow(API misuse, not data-dependent: paged arrays are
+            // immutable by contract and no query path mutates them)
             ArrayData::Paged { .. } => panic!("set on a paged array"),
         }
     }
@@ -236,6 +245,8 @@ impl<T: PagedElem> ArrayData<T> {
         let raw = r.bytes(n * T::WIDTH)?;
         let mut d = Vec::with_capacity(n);
         for i in 0..n {
+            // lint: allow(bytes(n * WIDTH) above bounds-checked the whole
+            // span, so every i * WIDTH start is in range)
             d.push(T::read_le(&raw[i * T::WIDTH..]));
         }
         Ok(ArrayData::Resident(d))
@@ -311,12 +322,16 @@ pub mod mem {
 
         /// Pages written so far.
         pub fn n_pages(&self) -> usize {
+            // lint: allow(test-support store; a poisoned lock means a test
+            // already panicked and re-panicking is correct)
             self.pages.lock().unwrap().len()
         }
     }
 
     impl PageStore for MemStore {
         fn pin(&self, page_no: u64) -> Arc<Vec<u8>> {
+            // lint: allow(test-support store: poisoned-lock re-panic is
+            // correct, and page counts stay far below usize::MAX)
             Arc::clone(&self.pages.lock().unwrap()[page_no as usize])
         }
         fn note_skipped(&self, n_pages: u64) {
@@ -329,6 +344,8 @@ pub mod mem {
 
     impl SegmentSink for MemSink {
         fn write_segment(&mut self, bytes: &[u8]) -> SegRef {
+            // lint: allow(test-support store; a poisoned lock means a test
+            // already panicked and re-panicking is correct)
             let mut pages = self.0.pages.lock().unwrap();
             let start_page = pages.len() as u64;
             for chunk in bytes.chunks(PAGE_SIZE) {

@@ -165,6 +165,9 @@ pub fn execute_with(
                 })
             })
             .collect();
+        // lint: allow(join() only errs if the worker itself panicked, and
+        // re-raising that panic on the driver thread is the intended
+        // propagation — recoverable failures arrive as the inner Result)
         handles.into_iter().map(|h| h.join().expect("LBP worker panicked")).collect()
     });
     let partials = partials.into_iter().collect::<Result<Vec<_>>>()?;

@@ -113,13 +113,32 @@ impl ScanCursor {
         if start >= self.total {
             None
         } else {
-            Some((start, (start + morsel).min(self.total)))
+            let end = (start + morsel).min(self.total);
+            debug_assert!(check_morsel_bounds(start, end, self.total).is_ok());
+            Some((start, end))
         }
     }
 
     /// Total number of scan positions this cursor covers.
     pub fn total(&self) -> u64 {
         self.total
+    }
+}
+
+/// The morsel-partitioning invariant, named so a violation is diagnosable:
+/// every range a [`ScanCursor`] hands out must be non-empty, in order, and
+/// inside the scan's `total` positions. A failure here means concurrent
+/// workers received overlapping or out-of-bounds morsels — a partitioning
+/// bug that would silently double-count or skip tuples if left to surface
+/// as a downstream index panic.
+pub fn check_morsel_bounds(start: u64, end: u64, total: u64) -> Result<()> {
+    if start < end && end <= total {
+        Ok(())
+    } else {
+        Err(Error::Exec(format!(
+            "morsel invariant violated: claimed [{start}, {end}) over {total} scan positions \
+             (require start < end <= total)"
+        )))
     }
 }
 
@@ -191,8 +210,18 @@ enum Op<'g> {
     },
 }
 
+/// An edge-ID-resolving property read reached an adjacency index without
+/// CSR backing. The storage layer only hands out [`gfcl_storage::EdgePropRead`]
+/// variants it can serve, so this indicates a layout/catalog mismatch;
+/// surface it as a storage error rather than unwinding a worker.
+fn csr_missing() -> Error {
+    Error::Storage("edge property read requires a CSR-backed adjacency list".into())
+}
+
 /// Pull the next chunk state through `ops`.
 fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool> {
+    // lint: allow(compile() always emits a scan as ops[0]; the plan
+    // verifier's scan-first rule rejects scanless plans before compilation)
     let (op, children) = ops.split_last_mut().expect("pipeline has at least a scan");
     match op {
         Op::ScanAll { label, out, cursor, pushed, mask, verdicts, pins } => loop {
@@ -234,6 +263,8 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
                             }
                         }
                         BlockVerdict::AllTrue => {
+                            // lint: allow(bs/be lie in [start, end] and
+                            // mask.len() == end - start by construction)
                             mask[(bs - start) as usize..(be - start) as usize].fill(true);
                             any_selected = true;
                         }
@@ -254,6 +285,8 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
                                     .zip(verdicts.iter())
                                     .filter(|(_, &vd)| vd != BlockVerdict::AllTrue)
                                     .all(|(p, _)| p.holds_at(v as usize));
+                                // lint: allow(v in [start, end); mask has
+                                // end - start entries)
                                 mask[(v - start) as usize] = keep;
                                 any_selected |= keep;
                                 all_selected &= keep;
@@ -476,13 +509,13 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
                             fill_vector(col, n, *dtype, reuse, sel, |i| start + i as u64)
                         }
                         EdgePropRead::ByEdgeId(col) => {
-                            let csr = g.adj(label, dir).as_csr().expect("edge list over CSR");
+                            let csr = g.adj(label, dir).as_csr().ok_or_else(csr_missing)?;
                             fill_vector(col, n, *dtype, reuse, sel, |i| {
                                 csr.edge_id_at(start + i as u64)
                             })
                         }
                         EdgePropRead::ByPageOffset { pages, col, nbr_is_src } => {
-                            let csr = g.adj(label, dir).as_csr().expect("edge list over CSR");
+                            let csr = g.adj(label, dir).as_csr().ok_or_else(csr_missing)?;
                             if nbr_is_src {
                                 // Non-indexed direction: the page is keyed
                                 // by the neighbour, resolved per element.
@@ -708,14 +741,17 @@ pub(crate) fn vector_value(v: &ValueVector, idx: usize, col: Option<&Column>) ->
         }
         ValueVector::Code { vals, valid } => {
             if valid[idx] {
-                let dict = col
-                    .and_then(Column::dictionary)
-                    .expect("string slot has a dictionary-backed column");
+                // Code vectors are only compiled for String slots, whose
+                // columns are dictionary-encoded by the slot-schema plan
+                // invariant.
+                let dict = col.and_then(Column::dictionary).expect("string slot has a dictionary"); // lint: allow(slot-schema invariant)
                 Value::String(dict.decode(vals[idx]).to_owned())
             } else {
                 Value::Null
             }
         }
+        // lint: allow(callers pass property/node slots only; compile()
+        // never wires an EdgeList vector into a value sink)
         _ => panic!("vector_value on non-scalar vector"),
     }
 }
@@ -1253,6 +1289,8 @@ impl<'g> DistinctSink<'g> {
             let row: Vec<OrdValue> = refs
                 .iter()
                 .map(|(r, col)| {
+                    // lint: allow(ref_groups is built from these same refs
+                    // in new(), so every r.group is present)
                     let i = pos[ref_groups.iter().position(|&g| g == r.group).expect("ref group")];
                     OrdValue(vector_value(&chunk.groups[r.group].vectors[r.vec], i, *col))
                 })
@@ -1300,7 +1338,7 @@ mod tests {
         let mut expect = 0;
         for (s, e) in ranges {
             assert_eq!(s, expect);
-            assert!(e > s && e <= total);
+            check_morsel_bounds(s, e, total).unwrap();
             expect = e;
         }
         assert_eq!(expect, total);

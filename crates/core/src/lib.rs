@@ -19,7 +19,10 @@
 //! * [`driver`] — the morsel-driven pipeline driver: [`ExecOptions`],
 //!   parallel workers over a shared scan cursor, and the factorized
 //!   aggregation sinks with their partial-state merge;
-//! * [`engine`] — the [`Engine`] trait and [`GfClEngine`].
+//! * [`engine`] — the [`Engine`] trait and [`GfClEngine`];
+//! * [`verify`] — the structural plan verifier: every plan is checked as a
+//!   dataflow typecheck (def-before-use, schema/type flow, unflat-span,
+//!   pushdown eligibility, bookkeeping) before any engine compiles it.
 
 pub mod agg;
 pub mod chunk;
@@ -30,6 +33,7 @@ pub mod optimize;
 pub mod plan;
 pub mod pred;
 pub mod query;
+pub mod verify;
 
 pub use driver::ExecOptions;
 pub use engine::{Engine, GfClEngine, QueryOutput};
@@ -39,6 +43,7 @@ pub use plan::{
     PlanReturn, PlanStep,
 };
 pub use query::{Agg, AggFunc, PatternQuery, ReturnSpec, SortDir};
+pub use verify::{verify_plan, VerifyReport};
 
 // The morsel-driven driver shares these between scoped worker threads by
 // reference; keep them `Send + Sync` by construction.

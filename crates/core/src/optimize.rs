@@ -570,14 +570,14 @@ pub(crate) fn estimate_sink(
 /// `ListExtend`, which flattens its source group and opens a new one;
 /// single-cardinality extends compile to `ColumnExtend` and stay in place.
 #[derive(Clone)]
-struct GroupSim {
+pub(crate) struct GroupSim {
     group_of_node: Vec<usize>,
     group_of_edge: Vec<usize>,
     unflat: Vec<bool>,
 }
 
 impl GroupSim {
-    fn new(n_nodes: usize, n_edges: usize) -> GroupSim {
+    pub(crate) fn new(n_nodes: usize, n_edges: usize) -> GroupSim {
         GroupSim {
             group_of_node: vec![usize::MAX; n_nodes],
             group_of_edge: vec![usize::MAX; n_edges],
@@ -585,13 +585,13 @@ impl GroupSim {
         }
     }
 
-    fn scan(&mut self, node: usize) {
+    pub(crate) fn scan(&mut self, node: usize) {
         self.group_of_node[node] = 0;
     }
 
     /// Apply an extend; returns `true` when it flattens its source group
     /// (a `ListExtend` whose source was still unflat).
-    fn extend(&mut self, edge: usize, from: usize, to: usize, single: bool) -> bool {
+    pub(crate) fn extend(&mut self, edge: usize, from: usize, to: usize, single: bool) -> bool {
         if single {
             let g = self.group_of_node[from];
             self.group_of_node[to] = g;
@@ -610,11 +610,16 @@ impl GroupSim {
     }
 
     /// Group of the variable behind a slot.
-    fn group_of_slot(&self, def: &SlotDef) -> usize {
+    pub(crate) fn group_of_slot(&self, def: &SlotDef) -> usize {
         match def.source {
             SlotSource::NodeProp { node, .. } => self.group_of_node[node],
             SlotSource::EdgeProp { edge, .. } => self.group_of_edge[edge],
         }
+    }
+
+    /// Is list group `g` still unflat at this point of the walk?
+    pub(crate) fn is_unflat(&self, g: usize) -> bool {
+        self.unflat[g]
     }
 }
 
@@ -904,6 +909,16 @@ pub fn render_explain(plan: &LogicalPlan, catalog: &Catalog) -> String {
             let _ = write!(line, "LIMIT     {k}");
         }
         let _ = writeln!(out, "{line}");
+    }
+    // The structural verifier's receipt ([`crate::verify`]): how many
+    // invariant checks this plan passed before any engine may compile it.
+    match crate::verify::verify_plan(plan, catalog) {
+        Ok(report) => {
+            let _ = writeln!(out, "    verified: {} invariants", report.checks);
+        }
+        Err(e) => {
+            let _ = writeln!(out, "    NOT VERIFIED: {e}");
+        }
     }
     out
 }

@@ -210,28 +210,42 @@ pub struct PlanOptions {
     /// selection-aware property reads. On by default; `GFCL_NO_PUSHDOWN`
     /// is the environment escape hatch.
     pub pushdown: bool,
+    /// Run the structural plan verifier ([`crate::verify`]) on the finished
+    /// plan before returning it. On by default; `GFCL_NO_VERIFY` is the
+    /// environment escape hatch, and `GFCL_VERIFY=strict` overrides the
+    /// escape hatch (CI exports it so every suite plans with verification).
+    pub verify: bool,
 }
 
 impl Default for PlanOptions {
     fn default() -> Self {
-        PlanOptions { pushdown: true }
+        PlanOptions { pushdown: true, verify: true }
     }
 }
 
 impl PlanOptions {
     /// Options from the environment: `GFCL_NO_PUSHDOWN` set to anything
     /// but empty/`0` disables filter pushdown (the escape hatch used by
-    /// the pushdown-equivalence suites and for triaging pruning bugs).
+    /// the pushdown-equivalence suites and for triaging pruning bugs);
+    /// `GFCL_NO_VERIFY` likewise disables plan verification, unless
+    /// `GFCL_VERIFY=strict` forces it back on.
     pub fn from_env() -> PlanOptions {
-        let disabled = std::env::var("GFCL_NO_PUSHDOWN")
-            .is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0");
-        PlanOptions { pushdown: !disabled }
+        let set =
+            |name: &str| std::env::var(name).is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0");
+        let strict = std::env::var("GFCL_VERIFY").is_ok_and(|v| v.trim() == "strict");
+        PlanOptions { pushdown: !set("GFCL_NO_PUSHDOWN"), verify: strict || !set("GFCL_NO_VERIFY") }
     }
 
     /// Planning with filter pushdown disabled (every predicate stays a
     /// `Filter` step).
     pub fn no_pushdown() -> PlanOptions {
-        PlanOptions { pushdown: false }
+        PlanOptions { pushdown: false, ..PlanOptions::default() }
+    }
+
+    /// Planning with the structural verifier disabled — the programmatic
+    /// form of `GFCL_NO_VERIFY`, used by the verifier-overhead bench.
+    pub fn no_verify() -> PlanOptions {
+        PlanOptions { verify: false, ..PlanOptions::default() }
     }
 }
 
@@ -588,6 +602,13 @@ impl Planner<'_> {
         // edge_order hints and through the declaration-order fallback;
         // optimizer-chosen orders are executable by construction.
         optimize::check_executable(&plan)?;
+        // Full structural verification ([`crate::verify`]): def-before-use
+        // dataflow, schema/type flow, pushdown eligibility, bookkeeping.
+        // Deny by default; `GFCL_NO_VERIFY` / `PlanOptions::no_verify` is
+        // the escape hatch.
+        if self.opts.verify {
+            crate::verify::verify_plan(&plan, self.catalog)?;
+        }
         Ok(plan)
     }
 

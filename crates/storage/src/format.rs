@@ -51,11 +51,13 @@ struct FileSink<'a> {
 
 impl SegmentSink for FileSink<'_> {
     fn write_segment(&mut self, bytes: &[u8]) -> SegRef {
-        let n_pages = bytes.len().div_ceil(PAGE_SIZE).max(1) as u64;
+        // Page count stays in usize (it indexes `bytes`); only the file
+        // offsets widen to u64.
+        let n_pages = bytes.len().div_ceil(PAGE_SIZE).max(1);
         let start_page = self.next_page;
         let mut page = vec![0u8; PAGE_SIZE];
         for i in 0..n_pages {
-            let lo = i as usize * PAGE_SIZE;
+            let lo = i * PAGE_SIZE;
             let hi = bytes.len().min(lo + PAGE_SIZE);
             page.fill(0);
             if lo < bytes.len() {
@@ -63,13 +65,14 @@ impl SegmentSink for FileSink<'_> {
             }
             self.checksums.push(fnv1a_64(&page));
             if self.err.is_none() {
-                if let Err(e) = self.file.write_all_at(&page, (start_page + i) * PAGE_SIZE as u64) {
+                let off = (start_page + i as u64) * PAGE_SIZE as u64;
+                if let Err(e) = self.file.write_all_at(&page, off) {
                     self.err = Some(e);
                 }
             }
         }
-        self.next_page += n_pages;
-        SegRef { start_page, n_pages }
+        self.next_page += n_pages as u64;
+        SegRef { start_page, n_pages: n_pages as u64 }
     }
 }
 
@@ -114,7 +117,7 @@ impl ColumnarGraph {
         let mut h = Writer::new();
         h.bytes(&MAGIC);
         h.u32(VERSION);
-        h.u32(PAGE_SIZE as u32);
+        h.u32(u32::try_from(PAGE_SIZE).expect("PAGE_SIZE fits the header's u32 field"));
         h.u64(n_data_pages);
         h.u64(meta_off);
         h.u64(meta.len() as u64);
@@ -157,7 +160,7 @@ impl ColumnarGraph {
             return Err(Error::Storage(format!("unsupported format version {version}")));
         }
         let page_size = r.u32()?;
-        if page_size as usize != PAGE_SIZE {
+        if u64::from(page_size) != PAGE_SIZE as u64 {
             return Err(Error::Storage(format!("unsupported page size {page_size}")));
         }
         let n_data_pages = r.u64()?;
@@ -183,18 +186,25 @@ impl ColumnarGraph {
             return Err(Error::Storage("file geometry invalid (truncated or tampered)".into()));
         }
 
-        let mut cks_bytes = vec![0u8; cks_len as usize];
+        // Untrusted header fields cross into usize via try_from: on a
+        // 32-bit host an oversized length must fail as Error::Storage,
+        // not wrap into a short (checksum-failing, but misleading) read.
+        let too_big =
+            |what: &str, v: u64| Error::Storage(format!("{what} length {v} exceeds address space"));
+        let cks_len_b = usize::try_from(cks_len).map_err(|_| too_big("checksum array", cks_len))?;
+        let mut cks_bytes = vec![0u8; cks_len_b];
         file.read_exact_at(&mut cks_bytes, cks_off).map_err(|e| io_err("read checksums", e))?;
         if fnv1a_64(&cks_bytes) != cks_cks {
             return Err(Error::Storage("page-checksum array corrupt".into()));
         }
         let mut cr = Reader::new(&cks_bytes);
-        let mut checksums = Vec::with_capacity(n_data_pages as usize);
+        let mut checksums = Vec::with_capacity(cks_len_b / 8);
         for _ in 0..n_data_pages {
             checksums.push(cr.u64()?);
         }
 
-        let mut meta = vec![0u8; meta_len as usize];
+        let meta_len_b = usize::try_from(meta_len).map_err(|_| too_big("metadata", meta_len))?;
+        let mut meta = vec![0u8; meta_len_b];
         file.read_exact_at(&mut meta, meta_off).map_err(|e| io_err("read metadata", e))?;
         if fnv1a_64(&meta) != meta_cks {
             return Err(Error::Storage("metadata checksum mismatch".into()));

@@ -1,0 +1,124 @@
+//! Verifier conformance: the structural plan verifier must accept every
+//! plan the optimizer emits — across all workload suites (LDBC IS/IC,
+//! grouped-aggregate, JOB, k-hop) and across randomized pattern queries.
+//!
+//! This is the acceptance side of the contract whose rejection side lives
+//! in `crates/core/tests/verify_mutations.rs`: together they pin the
+//! verifier as exactly as strict as the executor requires — every emitted
+//! plan passes, every seeded corruption fails.
+
+use gfcl_core::query::lit;
+use gfcl_core::query::{col, ge, gt, lt, Agg, PatternQuery, QueryBuilder};
+use gfcl_core::{plan_query, render_explain, verify_plan};
+use gfcl_datagen::{MovieParams, PowerLawParams, SocialParams};
+use gfcl_storage::{ColumnarGraph, RawGraph, StorageConfig};
+use gfcl_workloads::ldbc::{self, LdbcParams};
+use gfcl_workloads::{grouped, job, khop, KhopMode};
+use proptest::prelude::*;
+
+/// Plan every query against `raw`'s catalog and assert the verifier
+/// accepts the result (and that EXPLAIN agrees).
+fn assert_all_verify(raw: &RawGraph, queries: &[(String, PatternQuery)]) {
+    let graph = ColumnarGraph::build(raw, StorageConfig::default()).unwrap();
+    let cat = graph.catalog();
+    for (name, q) in queries {
+        let plan = plan_query(q, cat).unwrap_or_else(|e| panic!("{name}: failed to plan: {e}"));
+        let report = verify_plan(&plan, cat)
+            .unwrap_or_else(|e| panic!("{name}: optimizer-emitted plan rejected: {e}"));
+        assert!(report.checks > 0, "{name}: verifier evaluated no checks");
+        let explain = render_explain(&plan, cat);
+        assert!(
+            explain.contains("verified:") && !explain.contains("NOT VERIFIED"),
+            "{name}: EXPLAIN disagrees with verify_plan:\n{explain}"
+        );
+    }
+}
+
+#[test]
+fn ldbc_and_grouped_plans_verify() {
+    let persons = 60;
+    let raw = gfcl_datagen::generate_social(SocialParams::scale(persons));
+    let params = LdbcParams::for_scale(persons);
+    assert_all_verify(&raw, &ldbc::all_queries(&params));
+    assert_all_verify(&raw, &grouped::ga_queries(&params));
+}
+
+#[test]
+fn job_plans_verify() {
+    let raw = gfcl_datagen::generate_movies(MovieParams::scale(60));
+    assert_all_verify(&raw, &job::all_queries());
+}
+
+#[test]
+fn khop_plans_verify() {
+    let raw = gfcl_datagen::generate_powerlaw(PowerLawParams {
+        nodes: 600,
+        avg_degree: 4.0,
+        exponent: 1.8,
+        seed: 11,
+    });
+    let mut queries = Vec::new();
+    for hops in 1..=3 {
+        for (mode_name, mode) in
+            [("count", KhopMode::CountStar), ("chain", KhopMode::Chain(1_350_000_000))]
+        {
+            for backward in [false, true] {
+                queries.push((
+                    format!("khop-{hops}-{mode_name}-bwd={backward}"),
+                    khop("NODE", "LINK", "ts", hops, mode, backward),
+                ));
+            }
+        }
+    }
+    assert_all_verify(&raw, &queries);
+}
+
+/// One randomized chain query over the example graph: `hops` FOLLOWS
+/// extends from a chosen start, an age predicate at a chosen node, and one
+/// of five return shapes.
+fn random_chain(hops: usize, thr: i64, fnode: usize, start: usize, ret: usize) -> PatternQuery {
+    let name = |i: usize| format!("n{i}");
+    let mut b = QueryBuilder::default();
+    for i in 0..=hops {
+        b = b.node(&name(i), "PERSON");
+    }
+    for i in 0..hops {
+        b = b.edge(&format!("e{i}"), "FOLLOWS", &name(i), &name(i + 1));
+    }
+    let cmp = match thr.rem_euclid(3) {
+        0 => gt(col(&name(fnode), "age"), lit(thr)),
+        1 => ge(col(&name(fnode), "age"), lit(thr)),
+        _ => lt(col(&name(fnode), "age"), lit(thr)),
+    };
+    b = b.filter(cmp).start_at(&name(start));
+    match ret {
+        0 => b.returns_count().build(),
+        1 => b.returns(&[(&name(0), "name"), (&name(hops), "name")]).build(),
+        2 => b.returns_sum(&name(hops), "age").build(),
+        3 => b.returns_min(&name(0), "age").build(),
+        _ => b
+            .group_by(&[(&name(0), "name")])
+            .returns_agg(vec![Agg::count_star(), Agg::max(&name(hops), "age")])
+            .build(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn random_chain_plans_verify(
+        hops in 1usize..=3,
+        thr in -10i64..90,
+        fnode_raw in 0usize..4,
+        start_raw in 0usize..4,
+        ret in 0usize..5,
+    ) {
+        let graph =
+            ColumnarGraph::build(&RawGraph::example(), StorageConfig::default()).unwrap();
+        let cat = graph.catalog();
+        let q = random_chain(hops, thr, fnode_raw % (hops + 1), start_raw % (hops + 1), ret);
+        let plan = plan_query(&q, cat).expect("chain query plans");
+        let report = verify_plan(&plan, cat).expect("optimizer-emitted plan rejected");
+        prop_assert!(report.checks > 0);
+    }
+}
