@@ -61,6 +61,12 @@ const HOT_PATHS: &[&str] = &[
     "crates/core/src/driver.rs",
     "crates/columnar/src/paged.rs",
     "crates/storage/src/pager.rs",
+    // The frontend's lexer and parser face arbitrary user text: a panic
+    // here is a denial-of-service on any REPL/service embedding; errors
+    // must flow out as Diagnostics (the parser proptests check this
+    // dynamically, the lint keeps panicking calls out statically).
+    "crates/frontend/src/lexer.rs",
+    "crates/frontend/src/parser.rs",
 ];
 
 /// Codec / on-disk-format files where checked conversions exist.
@@ -477,6 +483,9 @@ mod tests {
         assert!(classify("crates/columnar/src/paged.rs").hot_path);
         assert!(classify("crates/columnar/src/paged.rs").codec);
         assert!(classify("crates/common/src/codec.rs").codec);
+        assert!(classify("crates/frontend/src/lexer.rs").hot_path);
+        assert!(classify("crates/frontend/src/parser.rs").hot_path);
+        assert!(!classify("crates/frontend/src/binder.rs").hot_path);
         assert!(classify("src/lib.rs").facade);
         assert_eq!(classify("crates/core/src/plan.rs"), FileClass::default());
     }

@@ -260,6 +260,11 @@ pub fn plan_with(
     catalog: &Catalog,
     opts: &PlanOptions,
 ) -> Result<LogicalPlan> {
+    // Hand-assembled queries get the same structural validation the fluent
+    // builder runs in `try_build` — identical `[rule]`-tagged errors from
+    // both entry points (previously an out-of-range edge endpoint would
+    // panic here instead of erroring).
+    query.validate()?;
     Planner { query, catalog, opts: *opts }.run()
 }
 

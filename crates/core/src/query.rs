@@ -26,7 +26,7 @@
 use gfcl_common::{Error, Result, Value};
 
 /// A node variable in the pattern.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodePattern {
     pub var: String,
     pub label: String,
@@ -35,7 +35,7 @@ pub struct NodePattern {
 /// An edge in the pattern, written in the edge label's canonical direction:
 /// `from` must match the label's source and `to` its destination. The
 /// planner decides the *traversal* direction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EdgePattern {
     pub var: Option<String>,
     pub label: String,
@@ -71,7 +71,7 @@ pub enum StrOp {
 }
 
 /// A boolean expression over pattern variables.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Comparison between two scalar operands.
     Cmp {
@@ -96,7 +96,7 @@ pub enum Expr {
 }
 
 /// A scalar operand: a property reference or a constant.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Scalar {
     Prop(PropRef),
     Const(Value),
@@ -151,7 +151,7 @@ pub enum AggFunc {
 
 /// One aggregate call in a `RETURN` clause: the function plus its input
 /// property (`None` only for `COUNT(*)`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Agg {
     pub func: AggFunc,
     pub prop: Option<PropRef>,
@@ -207,14 +207,14 @@ pub enum SortDir {
 
 /// One `ORDER BY` key: an index into the query's output columns (the
 /// RETURN projection, or grouping keys followed by aggregates).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OrderKey {
     pub col: usize,
     pub dir: SortDir,
 }
 
 /// What the query returns.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ReturnSpec {
     /// `RETURN COUNT(*)` — the factorized fast path of Section 6.2.
     CountStar,
@@ -235,7 +235,7 @@ pub enum ReturnSpec {
 
 /// Planner hints: a start variable and/or an explicit edge order, used by
 /// the benchmarks to force the forward/backward plans of Section 8.3.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PlanHints {
     pub start: Option<String>,
     /// Order in which pattern edges should be joined (indexes into
@@ -244,7 +244,7 @@ pub struct PlanHints {
 }
 
 /// A complete logical query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PatternQuery {
     pub nodes: Vec<NodePattern>,
     pub edges: Vec<EdgePattern>,
@@ -275,6 +275,71 @@ impl PatternQuery {
     /// Index of an edge variable.
     pub fn edge_idx(&self, var: &str) -> Option<usize> {
         self.edges.iter().position(|e| e.var.as_deref() == Some(var))
+    }
+
+    /// Structural validation shared by both query entry points: the fluent
+    /// builder ([`QueryBuilder::try_build`]) and direct planning of a
+    /// hand-assembled `PatternQuery` (`gfcl_core::plan` calls this before
+    /// doing anything else). Errors are `[rule]`-tagged like the plan
+    /// verifier's, so a malformed query fails identically no matter which
+    /// door it came through.
+    pub fn validate(&self) -> Result<()> {
+        let fail =
+            |rule: &str, msg: String| Err(Error::Plan(format!("query verifier: [{rule}] {msg}")));
+        for (i, n) in self.nodes.iter().enumerate() {
+            if self.nodes[..i].iter().any(|m| m.var == n.var) {
+                return fail("pattern-vars", format!("duplicate node variable {}", n.var));
+            }
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if let Some(v) = &e.var {
+                if self.nodes.iter().any(|n| &n.var == v)
+                    || self.edges[..i].iter().any(|d| d.var.as_deref() == Some(v.as_str()))
+                {
+                    return fail("pattern-vars", format!("duplicate edge variable {v}"));
+                }
+            }
+            if e.from >= self.nodes.len() || e.to >= self.nodes.len() {
+                return fail(
+                    "index-range",
+                    format!(
+                        "edge {i} endpoints ({}, {}) exceed the node table (len {})",
+                        e.from,
+                        e.to,
+                        self.nodes.len()
+                    ),
+                );
+            }
+        }
+        if let ReturnSpec::GroupBy { aggs, .. } = &self.ret {
+            for a in aggs {
+                if a.prop.is_none() && !matches!(a.func, AggFunc::CountStar) {
+                    return fail(
+                        "sink-shape",
+                        "aggregate other than COUNT(*) needs a property".into(),
+                    );
+                }
+            }
+        }
+        if self.distinct && !matches!(self.ret, ReturnSpec::Props(_)) {
+            return fail(
+                "sink-shape",
+                "DISTINCT applies to projection returns only (grouped returns are already \
+                 distinct per key)"
+                    .into(),
+            );
+        }
+        if (!self.order_by.is_empty() || self.limit.is_some())
+            && !matches!(self.ret, ReturnSpec::Props(_) | ReturnSpec::GroupBy { .. })
+        {
+            return fail(
+                "sink-shape",
+                "order_by/limit apply to row-producing returns (projections or grouped \
+                 aggregates)"
+                    .into(),
+            );
+        }
+        Ok(())
     }
 }
 
@@ -413,15 +478,12 @@ impl QueryBuilder {
         self
     }
 
-    /// Build the query, validating the pattern: duplicate node variables,
-    /// edges referencing undeclared nodes, and malformed grouped-aggregate
-    /// clauses return [`Error::Plan`].
+    /// Build the query, validating the pattern. Builder-specific shape
+    /// errors (undeclared edge endpoints, conflicting returns clauses) are
+    /// reported here; everything structural is delegated to
+    /// [`PatternQuery::validate`], the same check `plan()` runs, so both
+    /// entry points produce identical `[rule]`-tagged errors.
     pub fn try_build(self) -> Result<PatternQuery> {
-        for (i, n) in self.nodes.iter().enumerate() {
-            if self.nodes[..i].iter().any(|m| m.var == n.var) {
-                return Err(Error::Plan(format!("duplicate node variable {}", n.var)));
-            }
-        }
         let pos_of = |var: &str| -> Result<usize> {
             self.nodes.iter().position(|n| n.var == var).ok_or_else(|| {
                 Error::Plan(format!("edge references undeclared node variable {var}"))
@@ -443,34 +505,11 @@ impl QueryBuilder {
                     "group_by/returns_agg cannot be combined with another returns_* clause".into(),
                 ));
             }
-            for a in &self.aggs {
-                if a.prop.is_none() && !matches!(a.func, AggFunc::CountStar) {
-                    return Err(Error::Plan(
-                        "aggregate other than COUNT(*) needs a property".into(),
-                    ));
-                }
-            }
             ReturnSpec::GroupBy { keys: self.group_keys, aggs: self.aggs }
         } else {
             self.ret.unwrap_or(ReturnSpec::CountStar)
         };
-        if self.distinct && !matches!(ret, ReturnSpec::Props(_)) {
-            return Err(Error::Plan(
-                "DISTINCT applies to projection returns only (grouped returns are already \
-                 distinct per key)"
-                    .into(),
-            ));
-        }
-        if (!self.order_by.is_empty() || self.limit.is_some())
-            && !matches!(ret, ReturnSpec::Props(_) | ReturnSpec::GroupBy { .. })
-        {
-            return Err(Error::Plan(
-                "order_by/limit apply to row-producing returns (projections or grouped \
-                 aggregates)"
-                    .into(),
-            ));
-        }
-        Ok(PatternQuery {
+        let q = PatternQuery {
             nodes: self.nodes,
             edges,
             predicates: self.predicates,
@@ -479,7 +518,9 @@ impl QueryBuilder {
             limit: self.limit,
             distinct: self.distinct,
             hints: self.hints,
-        })
+        };
+        q.validate()?;
+        Ok(q)
     }
 
     /// Infallible convenience over [`QueryBuilder::try_build`] for

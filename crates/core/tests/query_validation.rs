@@ -1,0 +1,153 @@
+//! Entry-point symmetry for query validation: a malformed query must fail
+//! with the *same* `[rule]`-tagged error whether it goes through
+//! `QueryBuilder::try_build` or is hand-assembled and passed straight to
+//! `plan()`. Historically some checks lived only in `try_build`, so a
+//! hand-built `PatternQuery` with (say) an out-of-range edge endpoint
+//! panicked inside the planner instead of erroring.
+
+use gfcl_common::Error;
+use gfcl_core::plan::{plan_with, PlanOptions};
+use gfcl_core::query::{
+    Agg, AggFunc, EdgePattern, NodePattern, OrderKey, PatternQuery, PlanHints, PropRef,
+    QueryBuilder, ReturnSpec, SortDir,
+};
+use gfcl_storage::{Catalog, ColumnarGraph, RawGraph, StorageConfig};
+
+fn catalog() -> Catalog {
+    ColumnarGraph::build(&RawGraph::example(), StorageConfig::default()).unwrap().catalog().clone()
+}
+
+fn base() -> PatternQuery {
+    PatternQuery {
+        nodes: vec![NodePattern { var: "a".into(), label: "PERSON".into() }],
+        edges: vec![],
+        predicates: vec![],
+        ret: ReturnSpec::CountStar,
+        order_by: vec![],
+        limit: None,
+        distinct: false,
+        hints: PlanHints::default(),
+    }
+}
+
+fn plan_err(q: &PatternQuery) -> String {
+    let catalog = catalog();
+    match plan_with(q, &catalog, &PlanOptions::default()) {
+        Err(Error::Plan(msg)) => msg,
+        other => panic!("expected a plan error, got {other:?}"),
+    }
+}
+
+fn build_err(b: QueryBuilder) -> String {
+    match b.try_build() {
+        Err(Error::Plan(msg)) => msg,
+        other => panic!("expected a build error, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_node_variable_same_error_both_paths() {
+    let via_builder =
+        build_err(PatternQuery::builder().node("a", "PERSON").node("a", "PERSON").returns_count());
+    let mut q = base();
+    q.nodes.push(NodePattern { var: "a".into(), label: "PERSON".into() });
+    let via_plan = plan_err(&q);
+    assert_eq!(via_builder, via_plan);
+    assert!(via_plan.contains("[pattern-vars]"), "{via_plan}");
+    assert!(via_plan.contains("duplicate node variable a"), "{via_plan}");
+}
+
+#[test]
+fn out_of_range_edge_endpoint_is_an_error_not_a_panic() {
+    let mut q = base();
+    q.edges.push(EdgePattern { var: None, label: "FOLLOWS".into(), from: 0, to: 7 });
+    let msg = plan_err(&q);
+    assert!(msg.contains("[index-range]"), "{msg}");
+    assert!(msg.contains("exceed the node table"), "{msg}");
+}
+
+#[test]
+fn duplicate_edge_variable_rejected_on_both_paths() {
+    let via_builder = build_err(
+        PatternQuery::builder()
+            .node("a", "PERSON")
+            .node("b", "PERSON")
+            .edge("e", "FOLLOWS", "a", "b")
+            .edge("e", "FOLLOWS", "b", "a")
+            .returns_count(),
+    );
+    let mut q = base();
+    q.nodes.push(NodePattern { var: "b".into(), label: "PERSON".into() });
+    q.edges.push(EdgePattern { var: Some("e".into()), label: "FOLLOWS".into(), from: 0, to: 1 });
+    q.edges.push(EdgePattern { var: Some("e".into()), label: "FOLLOWS".into(), from: 1, to: 0 });
+    let via_plan = plan_err(&q);
+    assert_eq!(via_builder, via_plan);
+    assert!(via_plan.contains("[pattern-vars]"), "{via_plan}");
+    assert!(via_plan.contains("duplicate edge variable e"), "{via_plan}");
+}
+
+#[test]
+fn edge_variable_shadowing_a_node_variable_is_rejected() {
+    let mut q = base();
+    q.nodes.push(NodePattern { var: "b".into(), label: "PERSON".into() });
+    q.edges.push(EdgePattern { var: Some("a".into()), label: "FOLLOWS".into(), from: 0, to: 1 });
+    let msg = plan_err(&q);
+    assert!(msg.contains("duplicate edge variable a"), "{msg}");
+}
+
+#[test]
+fn distinct_on_count_star_same_error_both_paths() {
+    let via_builder =
+        build_err(PatternQuery::builder().node("a", "PERSON").returns_count().distinct());
+    let mut q = base();
+    q.distinct = true;
+    let via_plan = plan_err(&q);
+    assert_eq!(via_builder, via_plan);
+    assert!(via_plan.contains("[sink-shape]"), "{via_plan}");
+    assert!(via_plan.contains("DISTINCT applies to projection returns only"), "{via_plan}");
+}
+
+#[test]
+fn order_by_on_scalar_return_same_error_both_paths() {
+    let via_builder = build_err(
+        PatternQuery::builder().node("a", "PERSON").returns_count().order_by(0, SortDir::Asc),
+    );
+    let mut q = base();
+    q.order_by.push(OrderKey { col: 0, dir: SortDir::Asc });
+    let via_plan = plan_err(&q);
+    assert_eq!(via_builder, via_plan);
+    assert!(via_plan.contains("[sink-shape]"), "{via_plan}");
+}
+
+#[test]
+fn limit_on_sum_return_rejected_when_planned_directly() {
+    let mut q = base();
+    q.ret = ReturnSpec::Sum(PropRef { var: "a".into(), prop: "age".into() });
+    q.limit = Some(3);
+    let msg = plan_err(&q);
+    assert!(msg.contains("order_by/limit apply to row-producing returns"), "{msg}");
+}
+
+#[test]
+fn agg_without_property_rejected_when_planned_directly() {
+    let mut q = base();
+    q.ret = ReturnSpec::GroupBy {
+        keys: vec![],
+        aggs: vec![Agg { func: AggFunc::Sum, prop: None }, Agg::count_star()],
+    };
+    let msg = plan_err(&q);
+    assert!(msg.contains("[sink-shape]"), "{msg}");
+    assert!(msg.contains("aggregate other than COUNT(*) needs a property"), "{msg}");
+}
+
+#[test]
+fn well_formed_query_still_plans() {
+    let catalog = catalog();
+    let q = PatternQuery::builder()
+        .node("a", "PERSON")
+        .node("b", "PERSON")
+        .edge("e", "FOLLOWS", "a", "b")
+        .returns_count()
+        .build();
+    assert!(plan_with(&q, &catalog, &PlanOptions::default()).is_ok());
+}

@@ -1,0 +1,588 @@
+//! Spanned abstract syntax tree for the text query language, plus a
+//! pretty-printer whose output re-parses to an identical AST (modulo spans)
+//! — the property the parser round-trip proptest checks.
+
+use crate::diag::Span;
+use std::fmt;
+
+/// An identifier with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ident {
+    pub text: String,
+    pub span: Span,
+}
+
+impl Ident {
+    pub fn new(text: impl Into<String>, span: Span) -> Self {
+        Ident { text: text.into(), span }
+    }
+}
+
+/// A full query: `MATCH ... [WHERE ...] RETURN ... [ORDER BY ...] [LIMIT n]
+/// [USING ...]*`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub paths: Vec<Path>,
+    pub predicate: Option<Expr>,
+    pub distinct: bool,
+    pub ret: Vec<RetItem>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<Limit>,
+    pub using: Vec<Using>,
+}
+
+/// One comma-separated `MATCH` path: a head node and zero or more
+/// edge-then-node steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    pub head: NodePat,
+    pub steps: Vec<(EdgePat, NodePat)>,
+}
+
+/// `(a:Person)` introduces variable `a`; a bare `(a)` refers back to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodePat {
+    pub var: Ident,
+    pub label: Option<Ident>,
+}
+
+/// Direction the edge is written in: `-[..]->` or `<-[..]-`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    Right,
+    Left,
+}
+
+/// `-[k:knows]->` / `<-[:hasCreator]-`; the variable is optional.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgePat {
+    pub var: Option<Ident>,
+    pub label: Ident,
+    pub dir: Dir,
+    pub span: Span,
+}
+
+/// `a.prop`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropRef {
+    pub var: Ident,
+    pub prop: Ident,
+}
+
+impl PropRef {
+    pub fn span(&self) -> Span {
+        self.var.span.merge(self.prop.span)
+    }
+}
+
+/// Literal payloads. `Date` is the `date(<i64>)` constructor form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LitKind {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Date(i64),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lit {
+    pub kind: LitKind,
+    pub span: Span,
+}
+
+/// Either side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    Prop(PropRef),
+    Lit(Lit),
+}
+
+impl Operand {
+    pub fn span(&self) -> Span {
+        match self {
+            Operand::Prop(p) => p.span(),
+            Operand::Lit(l) => l.span,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrOp {
+    Contains,
+    StartsWith,
+    EndsWith,
+}
+
+impl StrOp {
+    fn keyword(self) -> &'static str {
+        match self {
+            StrOp::Contains => "CONTAINS",
+            StrOp::StartsWith => "STARTS WITH",
+            StrOp::EndsWith => "ENDS WITH",
+        }
+    }
+}
+
+/// Boolean predicate expression (the `WHERE` clause).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Cmp { op: CmpOp, lhs: Operand, rhs: Operand },
+    StrMatch { op: StrOp, prop: PropRef, pattern: Lit },
+    InSet { prop: PropRef, values: Vec<Lit> },
+    And(Vec<Expr>),
+    Or(Vec<Expr>),
+    Not(Box<Expr>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFunc {
+    fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// One `RETURN` item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetItem {
+    Prop(PropRef),
+    CountStar { span: Span },
+    Agg { func: AggFunc, distinct: bool, prop: PropRef, span: Span },
+}
+
+impl RetItem {
+    pub fn span(&self) -> Span {
+        match self {
+            RetItem::Prop(p) => p.span(),
+            RetItem::CountStar { span } | RetItem::Agg { span, .. } => *span,
+        }
+    }
+
+    /// Structural equality ignoring spans — used to match `ORDER BY` keys
+    /// against `RETURN` columns.
+    pub fn same_shape(&self, other: &RetItem) -> bool {
+        match (self, other) {
+            (RetItem::Prop(a), RetItem::Prop(b)) => {
+                a.var.text == b.var.text && a.prop.text == b.prop.text
+            }
+            (RetItem::CountStar { .. }, RetItem::CountStar { .. }) => true,
+            (
+                RetItem::Agg { func: fa, distinct: da, prop: pa, .. },
+                RetItem::Agg { func: fb, distinct: db, prop: pb, .. },
+            ) => fa == fb && da == db && pa.var.text == pb.var.text && pa.prop.text == pb.prop.text,
+            _ => false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortDir {
+    Asc,
+    Desc,
+}
+
+/// `ORDER BY <item> [ASC|DESC]`. `dir: None` means the direction was
+/// omitted in the source (defaults to ascending at bind time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub item: RetItem,
+    pub dir: Option<SortDir>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Limit {
+    pub value: i64,
+    pub span: Span,
+}
+
+/// Optimizer hints: `USING START a` / `USING ORDER e2, e1`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Using {
+    Start(Ident),
+    Order(Vec<Ident>),
+}
+
+// ---------------------------------------------------------------------------
+// Span normalization (round-trip tests compare span-stripped ASTs).
+// ---------------------------------------------------------------------------
+
+impl Query {
+    /// Reset every span in the tree to [`Span::ZERO`], so ASTs built from
+    /// different textual layouts compare equal structurally.
+    pub fn strip_spans(&mut self) {
+        for p in &mut self.paths {
+            p.head.strip_spans();
+            for (e, n) in &mut p.steps {
+                e.span = Span::ZERO;
+                if let Some(v) = &mut e.var {
+                    v.span = Span::ZERO;
+                }
+                e.label.span = Span::ZERO;
+                n.strip_spans();
+            }
+        }
+        if let Some(e) = &mut self.predicate {
+            e.strip_spans();
+        }
+        for r in &mut self.ret {
+            r.strip_spans();
+        }
+        for o in &mut self.order_by {
+            o.item.strip_spans();
+        }
+        if let Some(l) = &mut self.limit {
+            l.span = Span::ZERO;
+        }
+        for u in &mut self.using {
+            match u {
+                Using::Start(v) => v.span = Span::ZERO,
+                Using::Order(vs) => {
+                    for v in vs {
+                        v.span = Span::ZERO;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl NodePat {
+    fn strip_spans(&mut self) {
+        self.var.span = Span::ZERO;
+        if let Some(l) = &mut self.label {
+            l.span = Span::ZERO;
+        }
+    }
+}
+
+impl PropRef {
+    fn strip_spans(&mut self) {
+        self.var.span = Span::ZERO;
+        self.prop.span = Span::ZERO;
+    }
+}
+
+impl Expr {
+    fn strip_spans(&mut self) {
+        match self {
+            Expr::Cmp { lhs, rhs, .. } => {
+                lhs.strip_spans();
+                rhs.strip_spans();
+            }
+            Expr::StrMatch { prop, pattern, .. } => {
+                prop.strip_spans();
+                pattern.span = Span::ZERO;
+            }
+            Expr::InSet { prop, values } => {
+                prop.strip_spans();
+                for v in values {
+                    v.span = Span::ZERO;
+                }
+            }
+            Expr::And(xs) | Expr::Or(xs) => {
+                for x in xs {
+                    x.strip_spans();
+                }
+            }
+            Expr::Not(x) => x.strip_spans(),
+        }
+    }
+
+    /// Smallest span covering the whole expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Cmp { lhs, rhs, .. } => lhs.span().merge(rhs.span()),
+            Expr::StrMatch { prop, pattern, .. } => prop.span().merge(pattern.span),
+            Expr::InSet { prop, values } => values.iter().fold(prop.span(), |s, v| s.merge(v.span)),
+            Expr::And(xs) | Expr::Or(xs) => {
+                let mut s = Span::ZERO;
+                let mut first = true;
+                for x in xs {
+                    s = if first { x.span() } else { s.merge(x.span()) };
+                    first = false;
+                }
+                s
+            }
+            Expr::Not(x) => x.span(),
+        }
+    }
+}
+
+impl Operand {
+    fn strip_spans(&mut self) {
+        match self {
+            Operand::Prop(p) => p.strip_spans(),
+            Operand::Lit(l) => l.span = Span::ZERO,
+        }
+    }
+}
+
+impl RetItem {
+    fn strip_spans(&mut self) {
+        match self {
+            RetItem::Prop(p) => p.strip_spans(),
+            RetItem::CountStar { span } => *span = Span::ZERO,
+            RetItem::Agg { prop, span, .. } => {
+                prop.strip_spans();
+                *span = Span::ZERO;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pretty-printer. `format!("{query}")` re-parses to the same AST.
+// ---------------------------------------------------------------------------
+
+fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('\'');
+    for c in s.chars() {
+        match c {
+            '\'' => out.push_str("\\'"),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out.push('\'');
+    out
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            LitKind::Int(v) => write!(f, "{v}"),
+            // `{:?}` prints the shortest digits that round-trip through
+            // `f64::from_str` (e.g. `3.5`, `12.0`), which the lexer re-reads
+            // exactly. Exponent forms only appear for magnitudes the
+            // generator never produces.
+            LitKind::Float(v) => write!(f, "{v:?}"),
+            LitKind::Str(s) => write!(f, "{}", escape_str(s)),
+            LitKind::Bool(b) => write!(f, "{b}"),
+            LitKind::Date(v) => write!(f, "date({v})"),
+        }
+    }
+}
+
+impl fmt::Display for PropRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.var.text, self.prop.text)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Prop(p) => write!(f, "{p}"),
+            Operand::Lit(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+impl Expr {
+    /// Precedence tier: atoms bind tightest, then NOT, AND, OR.
+    fn tier(&self) -> u8 {
+        match self {
+            Expr::Or(_) => 0,
+            Expr::And(_) => 1,
+            Expr::Not(_) => 2,
+            _ => 3,
+        }
+    }
+
+    fn fmt_child(&self, child: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if child.tier() <= self.tier() {
+            write!(f, "({child})")
+        } else {
+            write!(f, "{child}")
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Cmp { op, lhs, rhs } => write!(f, "{lhs} {} {rhs}", op.symbol()),
+            Expr::StrMatch { op, prop, pattern } => {
+                write!(f, "{prop} {} {pattern}", op.keyword())
+            }
+            Expr::InSet { prop, values } => {
+                write!(f, "{prop} IN [")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Expr::And(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    self.fmt_child(x, f)?;
+                }
+                Ok(())
+            }
+            Expr::Or(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    self.fmt_child(x, f)?;
+                }
+                Ok(())
+            }
+            Expr::Not(x) => {
+                write!(f, "NOT ")?;
+                self.fmt_child(x, f)
+            }
+        }
+    }
+}
+
+impl fmt::Display for NodePat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.label {
+            Some(l) => write!(f, "({}:{})", self.var.text, l.text),
+            None => write!(f, "({})", self.var.text),
+        }
+    }
+}
+
+impl fmt::Display for EdgePat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let body = match &self.var {
+            Some(v) => format!("[{}:{}]", v.text, self.label.text),
+            None => format!("[:{}]", self.label.text),
+        };
+        match self.dir {
+            Dir::Right => write!(f, "-{body}->"),
+            Dir::Left => write!(f, "<-{body}-"),
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        for (e, n) in &self.steps {
+            write!(f, "{e}{n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for RetItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetItem::Prop(p) => write!(f, "{p}"),
+            RetItem::CountStar { .. } => write!(f, "count(*)"),
+            RetItem::Agg { func, distinct, prop, .. } => {
+                if *distinct {
+                    write!(f, "{}(distinct {prop})", func.name())
+                } else {
+                    write!(f, "{}({prop})", func.name())
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MATCH ")?;
+        for (i, p) in self.paths.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        if let Some(e) = &self.predicate {
+            write!(f, "\nWHERE {e}")?;
+        }
+        write!(f, "\nRETURN ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, r) in self.ret.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, "\nORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", o.item)?;
+                match o.dir {
+                    Some(SortDir::Asc) => write!(f, " ASC")?,
+                    Some(SortDir::Desc) => write!(f, " DESC")?,
+                    None => {}
+                }
+            }
+        }
+        if let Some(l) = &self.limit {
+            write!(f, "\nLIMIT {}", l.value)?;
+        }
+        for u in &self.using {
+            match u {
+                Using::Start(v) => write!(f, "\nUSING START {}", v.text)?,
+                Using::Order(vs) => {
+                    write!(f, "\nUSING ORDER ")?;
+                    for (i, v) in vs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}", v.text)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

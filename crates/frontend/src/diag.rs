@@ -1,0 +1,203 @@
+//! Structured diagnostics for the text frontend.
+//!
+//! Every error the frontend can produce — lexical, syntactic, or semantic —
+//! carries a byte span into the original query text and renders as a
+//! compiler-style snippet with a caret underline, plus an optional
+//! "did you mean" hint computed by edit distance over the candidate
+//! namespace (labels, properties, variables).
+
+use std::fmt;
+
+/// Byte range into the query source. `end` is exclusive; a zero-width span
+/// (`start == end`) points *at* a position, e.g. an unexpected end of input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub const ZERO: Span = Span { start: 0, end: 0 };
+
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
+
+/// Which frontend phase rejected the query. Controls the `{phase} error:`
+/// prefix of the rendered diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Lex,
+    Parse,
+    Bind,
+}
+
+impl Phase {
+    fn label(self) -> &'static str {
+        match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Bind => "bind",
+        }
+    }
+}
+
+/// A fully rendered frontend error: message, 1-based source position, the
+/// offending source line, a caret underline, and an optional hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub phase: Phase,
+    pub message: String,
+    /// 1-based line number of the span start.
+    pub line: usize,
+    /// 1-based character column of the span start within that line.
+    pub col: usize,
+    /// The full source line containing the span start (without newline).
+    pub snippet: String,
+    /// Caret underline aligned under `snippet` (`^` repeated over the span).
+    pub caret: String,
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic from a span into `source`, rendering the snippet
+    /// and caret lines eagerly so the error is self-contained.
+    pub fn new(
+        phase: Phase,
+        source: &str,
+        span: Span,
+        message: impl Into<String>,
+        hint: Option<String>,
+    ) -> Self {
+        let start = span.start.min(source.len());
+        let end = span.end.clamp(start, source.len());
+        // Locate the line containing `start`.
+        let line_start = source[..start].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = source[start..].find('\n').map_or(source.len(), |i| start + i);
+        let line = source[..line_start].matches('\n').count() + 1;
+        let snippet: String =
+            source[line_start..line_end].chars().map(|c| if c == '\t' { ' ' } else { c }).collect();
+        // Character (not byte) columns so the caret lines up for any input.
+        let col = source[line_start..start].chars().count() + 1;
+        let span_in_line = end.min(line_end).saturating_sub(start);
+        let width = source[start..start + span_in_line].chars().count().max(1);
+        let caret = format!("{}{}", " ".repeat(col - 1), "^".repeat(width));
+        Diagnostic { phase, message: message.into(), line, col, snippet, caret, hint }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} error: {}", self.phase.label(), self.message)?;
+        writeln!(f, " --> query:{}:{}", self.line, self.col)?;
+        let gutter = self.line.to_string();
+        let pad = " ".repeat(gutter.len());
+        writeln!(f, " {pad} |")?;
+        writeln!(f, " {gutter} | {}", self.snippet)?;
+        write!(f, " {pad} | {}", self.caret)?;
+        if let Some(hint) = &self.hint {
+            write!(f, "\n {pad} = help: {hint}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Levenshtein edit distance, used for "did you mean" hints. Candidate sets
+/// here are catalog namespaces (a handful of labels or properties), so the
+/// quadratic DP is irrelevant to performance.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Pick the closest candidate to `name`, if any is close enough to be a
+/// plausible typo (distance at most 2, and strictly less than the name's
+/// own length so tiny names don't match everything). Case-insensitive
+/// matches always qualify. Ties break lexicographically for determinism.
+pub fn did_you_mean<'a>(name: &str, candidates: impl Iterator<Item = &'a str>) -> Option<String> {
+    let mut best: Option<(usize, &str)> = None;
+    for cand in candidates {
+        if cand == name {
+            continue;
+        }
+        let d = if cand.eq_ignore_ascii_case(name) { 0 } else { edit_distance(name, cand) };
+        let limit = 2.min(name.chars().count().saturating_sub(1));
+        if d > limit {
+            continue;
+        }
+        best = match best {
+            Some((bd, bc)) if (bd, bc) <= (d, cand) => Some((bd, bc)),
+            _ => Some((d, cand)),
+        };
+    }
+    best.map(|(_, c)| format!("did you mean `{c}`?"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caret_points_at_span() {
+        let src = "MATCH (a:Persn)\nRETURN a.id";
+        let d = Diagnostic::new(Phase::Bind, src, Span::new(9, 14), "unknown label `Persn`", None);
+        assert_eq!(d.line, 1);
+        assert_eq!(d.col, 10);
+        assert_eq!(d.snippet, "MATCH (a:Persn)");
+        assert_eq!(d.caret, "         ^^^^^");
+    }
+
+    #[test]
+    fn caret_second_line() {
+        let src = "MATCH (a:Person)\nRETURN a.idd";
+        let d = Diagnostic::new(Phase::Bind, src, Span::new(24, 28), "unknown property", None);
+        assert_eq!(d.line, 2);
+        assert_eq!(d.col, 8);
+        assert_eq!(d.snippet, "RETURN a.idd");
+    }
+
+    #[test]
+    fn zero_width_span_renders_single_caret() {
+        let src = "RETURN";
+        let d = Diagnostic::new(Phase::Parse, src, Span::new(6, 6), "unexpected end", None);
+        assert_eq!(d.caret, "      ^");
+    }
+
+    #[test]
+    fn hints_find_near_misses() {
+        let cands = ["Person", "Comment", "Post"];
+        assert_eq!(
+            did_you_mean("Persn", cands.iter().copied()),
+            Some("did you mean `Person`?".to_string())
+        );
+        assert_eq!(
+            did_you_mean("person", cands.iter().copied()),
+            Some("did you mean `Person`?".to_string())
+        );
+        assert_eq!(did_you_mean("Forum", cands.iter().copied()), None);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+    }
+}

@@ -1,0 +1,361 @@
+//! Hand-written lexer for the text query language.
+//!
+//! Produces a flat `Vec<Token>` with byte spans into the original source.
+//! The token set is deliberately small: identifiers (keywords are contextual
+//! and resolved by the parser), integer/float/string literals, and the
+//! punctuation the pattern and predicate grammars need. `->` and `<-` are
+//! not fused into single tokens — the parser assembles arrows from `Dash`,
+//! `Lt` and `Gt` so that `a.x < -5` lexes the same way as `<-[:knows]-`.
+//!
+//! This module is on the analyzer's hot-panic/as-cast lint paths: it must
+//! not panic on any input (the token-soup proptest feeds it arbitrary
+//! bytes), so all indexing goes through `get` and all failures surface as
+//! spanned [`Diagnostic`]s.
+
+use crate::diag::{Diagnostic, Phase, Span};
+
+/// One lexical token. Identifier payloads keep their original spelling;
+/// keyword recognition is case-insensitive and happens in the parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LParen,
+    RParen,
+    LBrack,
+    RBrack,
+    Comma,
+    Dot,
+    Colon,
+    Star,
+    Dash,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    /// Synthetic end-of-input marker with a zero-width span, so the parser
+    /// always has a position to point its "unexpected end" diagnostics at.
+    Eof,
+}
+
+impl Tok {
+    /// Short human name used in parser error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Int(v) => format!("integer `{v}`"),
+            Tok::Float(v) => format!("float `{v}`"),
+            Tok::Str(_) => "string literal".to_string(),
+            Tok::LParen => "`(`".to_string(),
+            Tok::RParen => "`)`".to_string(),
+            Tok::LBrack => "`[`".to_string(),
+            Tok::RBrack => "`]`".to_string(),
+            Tok::Comma => "`,`".to_string(),
+            Tok::Dot => "`.`".to_string(),
+            Tok::Colon => "`:`".to_string(),
+            Tok::Star => "`*`".to_string(),
+            Tok::Dash => "`-`".to_string(),
+            Tok::Lt => "`<`".to_string(),
+            Tok::Le => "`<=`".to_string(),
+            Tok::Gt => "`>`".to_string(),
+            Tok::Ge => "`>=`".to_string(),
+            Tok::Eq => "`=`".to_string(),
+            Tok::Ne => "`<>`".to_string(),
+            Tok::Eof => "end of query".to_string(),
+        }
+    }
+}
+
+/// A token plus its byte span in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        let idx = self.pos + offset;
+        self.bytes.get(idx).copied()
+    }
+
+    fn err(&self, span: Span, msg: String, hint: Option<String>) -> Diagnostic {
+        Diagnostic::new(Phase::Lex, self.src, span, msg, hint)
+    }
+
+    /// Skip whitespace and `//` / `--` line comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => self.pos += 1,
+                Some(b'/') if self.peek_at(1) == Some(b'/') => self.skip_line(),
+                Some(b'-') if self.peek_at(1) == Some(b'-') => self.skip_line(),
+                _ => return,
+            }
+        }
+    }
+
+    fn skip_line(&mut self) {
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            if b == b'\n' {
+                return;
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Token {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = self.src.get(start..self.pos).unwrap_or_default().to_string();
+        Token { tok: Tok::Ident(text), span: Span::new(start, self.pos) }
+    }
+
+    fn number(&mut self) -> Result<Token, Diagnostic> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'_' {
+                self.pos += 1;
+            } else if b == b'.' && !is_float && self.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                is_float = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let span = Span::new(start, self.pos);
+        let raw = self.src.get(start..self.pos).unwrap_or_default();
+        let digits: String = raw.chars().filter(|c| *c != '_').collect();
+        if is_float {
+            match digits.parse::<f64>() {
+                Ok(v) => Ok(Token { tok: Tok::Float(v), span }),
+                Err(_) => Err(self.err(span, format!("invalid float literal `{raw}`"), None)),
+            }
+        } else {
+            match digits.parse::<i64>() {
+                Ok(v) => Ok(Token { tok: Tok::Int(v), span }),
+                Err(_) => Err(self.err(
+                    span,
+                    format!("integer literal `{raw}` is out of range"),
+                    Some("64-bit signed integers only".to_string()),
+                )),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<Token, Diagnostic> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(self.err(
+                        Span::new(start, start + 1),
+                        "unterminated string literal".to_string(),
+                        Some("strings are single-quoted: 'like this'".to_string()),
+                    ));
+                }
+                Some(b'\'') => {
+                    self.pos += 1;
+                    return Ok(Token { tok: Tok::Str(value), span: Span::new(start, self.pos) });
+                }
+                Some(b'\\') => {
+                    let esc_start = self.pos;
+                    self.pos += 1;
+                    let replacement = match self.peek() {
+                        Some(b'\'') => '\'',
+                        Some(b'\\') => '\\',
+                        Some(b'n') => '\n',
+                        Some(b't') => '\t',
+                        Some(b'r') => '\r',
+                        other => {
+                            let width = other.map_or(0, |_| self.char_width());
+                            let esc_end = self.pos + width;
+                            return Err(self.err(
+                                Span::new(esc_start, esc_end),
+                                "unknown escape sequence in string literal".to_string(),
+                                Some("supported escapes: \\' \\\\ \\n \\t \\r".to_string()),
+                            ));
+                        }
+                    };
+                    value.push(replacement);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one whole UTF-8 character (multi-byte chars
+                    // never contain the `'` or `\` bytes, but advancing by
+                    // char keeps `value` well-formed).
+                    if let Some(c) = self.src.get(self.pos..).and_then(|s| s.chars().next()) {
+                        value.push(c);
+                        self.pos += c.len_utf8();
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Width in bytes of the character at the cursor (1 if out of range).
+    fn char_width(&self) -> usize {
+        self.src.get(self.pos..).and_then(|s| s.chars().next()).map_or(1, |c| c.len_utf8())
+    }
+
+    fn punct(&mut self, tok: Tok, len: usize) -> Token {
+        let start = self.pos;
+        self.pos += len;
+        Token { tok, span: Span::new(start, self.pos) }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, Diagnostic> {
+        self.skip_trivia();
+        let Some(b) = self.peek() else { return Ok(None) };
+        let t = match b {
+            b'(' => self.punct(Tok::LParen, 1),
+            b')' => self.punct(Tok::RParen, 1),
+            b'[' => self.punct(Tok::LBrack, 1),
+            b']' => self.punct(Tok::RBrack, 1),
+            b',' => self.punct(Tok::Comma, 1),
+            b'.' => self.punct(Tok::Dot, 1),
+            b':' => self.punct(Tok::Colon, 1),
+            b'*' => self.punct(Tok::Star, 1),
+            b'-' => self.punct(Tok::Dash, 1),
+            b'=' => self.punct(Tok::Eq, 1),
+            b'<' => match self.peek_at(1) {
+                Some(b'=') => self.punct(Tok::Le, 2),
+                Some(b'>') => self.punct(Tok::Ne, 2),
+                _ => self.punct(Tok::Lt, 1),
+            },
+            b'>' => match self.peek_at(1) {
+                Some(b'=') => self.punct(Tok::Ge, 2),
+                _ => self.punct(Tok::Gt, 1),
+            },
+            b'\'' => self.string()?,
+            b if b.is_ascii_digit() => self.number()?,
+            b if b.is_ascii_alphabetic() || b == b'_' => self.ident(),
+            _ => {
+                let width = self.char_width();
+                let end = self.pos + width;
+                let span = Span::new(self.pos, end);
+                let shown = self.src.get(self.pos..end).unwrap_or("?");
+                return Err(self.err(span, format!("unexpected character `{shown}`"), None));
+            }
+        };
+        Ok(Some(t))
+    }
+}
+
+/// Tokenize `source`, appending a zero-width [`Tok::Eof`] marker.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    let mut lx = Lexer { src: source, bytes: source.as_bytes(), pos: 0 };
+    let mut out = Vec::new();
+    while let Some(t) = lx.next_token()? {
+        out.push(t);
+    }
+    let end = source.len();
+    out.push(Token { tok: Tok::Eof, span: Span::new(end, end) });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn pattern_tokens() {
+        assert_eq!(
+            toks("(a:Person)-[k:knows]->(b)"),
+            vec![
+                Tok::LParen,
+                Tok::Ident("a".into()),
+                Tok::Colon,
+                Tok::Ident("Person".into()),
+                Tok::RParen,
+                Tok::Dash,
+                Tok::LBrack,
+                Tok::Ident("k".into()),
+                Tok::Colon,
+                Tok::Ident("knows".into()),
+                Tok::RBrack,
+                Tok::Dash,
+                Tok::Gt,
+                Tok::LParen,
+                Tok::Ident("b".into()),
+                Tok::RParen,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_underscores() {
+        assert_eq!(
+            toks("1_400_000_000 3.5"),
+            vec![Tok::Int(1_400_000_000), Tok::Float(3.5), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("< <= <> > >= ="),
+            vec![Tok::Lt, Tok::Le, Tok::Ne, Tok::Gt, Tok::Ge, Tok::Eq, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(toks(r"'a\'b\\c'"), vec![Tok::Str("a'b\\c".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_are_trivia() {
+        assert_eq!(toks("1 // x\n-- y\n2"), vec![Tok::Int(1), Tok::Int(2), Tok::Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_is_a_lex_error() {
+        let err = lex("RETURN 'oops").unwrap_err();
+        assert!(err.message.contains("unterminated string"));
+        assert_eq!(err.col, 8);
+    }
+
+    #[test]
+    fn integer_overflow_is_reported() {
+        let err = lex("99999999999999999999").unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn unexpected_character() {
+        let err = lex("RETURN a.x ; 1").unwrap_err();
+        assert!(err.message.contains("unexpected character `;`"));
+    }
+}

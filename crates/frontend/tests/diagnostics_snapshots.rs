@@ -1,0 +1,132 @@
+//! Diagnostic-quality snapshots: every class of malformed query is pinned
+//! with its full rendered diagnostic — message, `--> query:line:col`
+//! locus, caret snippet, and any "did you mean" / help hint. A wording or
+//! caret-placement regression shows up as a reviewable snapshot diff.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```sh
+//! GFCL_BLESS=1 cargo test -p gfcl_frontend --test diagnostics_snapshots
+//! ```
+
+use gfcl_datagen::SocialParams;
+use gfcl_storage::Catalog;
+
+fn catalog() -> Catalog {
+    gfcl_datagen::generate_social(SocialParams::scale(10)).catalog
+}
+
+/// `(name, malformed query)` — compiled against the social catalog; each
+/// must fail, and the rendered diagnostic is snapshotted.
+const CASES: &[(&str, &str)] = &[
+    // -- lex ---------------------------------------------------------------
+    ("lex-unterminated-string", "MATCH (a:Person) WHERE a.fName = 'Ali RETURN a.id"),
+    ("lex-unknown-escape", "MATCH (a:Person) WHERE a.fName = 'a\\q' RETURN a.id"),
+    ("lex-int-overflow", "MATCH (a:Person) WHERE a.id = 99999999999999999999 RETURN a.id"),
+    ("lex-unknown-char", "MATCH (a:Person) RETURN a.id;"),
+    // -- parse -------------------------------------------------------------
+    ("parse-missing-return", "MATCH (a:Person)"),
+    ("parse-undirected-edge", "MATCH (a:Person)-[k:knows]-(b:Person) RETURN a.id"),
+    ("parse-trailing-tokens", "MATCH (a:Person) RETURN a.id RETURN a.id"),
+    ("parse-unclosed-node", "MATCH (a:Person RETURN a.id"),
+    ("parse-count-of-variable", "MATCH (a:Person) RETURN count(a)"),
+    ("parse-limit-not-integer", "MATCH (a:Person) RETURN a.id LIMIT many"),
+    ("parse-negative-limit", "MATCH (a:Person) RETURN a.id LIMIT -1"),
+    ("parse-empty-in-list", "MATCH (a:Person) WHERE a.fName IN [] RETURN a.id"),
+    ("parse-order-without-by", "MATCH (a:Person) RETURN a.id ORDER a.id"),
+    // -- bind: pattern variables -------------------------------------------
+    ("bind-unknown-node-label", "MATCH (a:Persn) RETURN a.id"),
+    ("bind-unknown-edge-label", "MATCH (a:Person)-[k:nows]->(b:Person) RETURN a.id"),
+    ("bind-duplicate-variable", "MATCH (a:Person)-[k:knows]->(a:Person) RETURN a.id"),
+    (
+        "bind-edge-var-used-as-node",
+        "MATCH (a:Person)-[k:knows]->(b:Person), (k)-[l:likes]->(c:Comment) RETURN a.id",
+    ),
+    ("bind-undeclared-in-path", "MATCH (a:Person)-[k:knows]->(b) RETURN a.id"),
+    ("bind-undeclared-in-return", "MATCH (person:Person) RETURN persn.id"),
+    ("bind-unknown-property", "MATCH (a:Person) RETURN a.fNam"),
+    // -- bind: typing ------------------------------------------------------
+    ("bind-compare-int-with-string", "MATCH (a:Person) WHERE a.id = 'five' RETURN a.id"),
+    ("bind-compare-string-with-int", "MATCH (a:Person) WHERE a.fName = 42 RETURN a.id"),
+    ("bind-contains-on-int", "MATCH (a:Person) WHERE a.id CONTAINS '4' RETURN a.id"),
+    ("bind-in-on-int", "MATCH (a:Person) WHERE a.id IN ['1', '2'] RETURN a.id"),
+    ("bind-in-nonstring-element", "MATCH (a:Person) WHERE a.fName IN ['x', 3] RETURN a.id"),
+    ("bind-sum-of-string", "MATCH (a:Person) RETURN sum(a.fName)"),
+    ("bind-avg-of-string", "MATCH (a:Person) RETURN avg(a.gender)"),
+    // -- bind: return shape ------------------------------------------------
+    ("bind-keys-after-aggregates", "MATCH (a:Person) RETURN count(*), a.gender"),
+    ("bind-order-by-on-count", "MATCH (a:Person) RETURN count(*) ORDER BY count(*)"),
+    ("bind-order-by-key-not-returned", "MATCH (a:Person) RETURN a.fName ORDER BY a.lName"),
+    ("bind-distinct-on-grouped", "MATCH (a:Person) RETURN DISTINCT a.gender, count(*)"),
+    ("bind-limit-on-scalar-agg", "MATCH (a:Person) RETURN sum(a.id) LIMIT 3"),
+    // -- bind: hints -------------------------------------------------------
+    (
+        "bind-using-start-on-edge",
+        "MATCH (a:Person)-[k:knows]->(b:Person) RETURN count(*) USING START k",
+    ),
+    (
+        "bind-using-order-on-node",
+        "MATCH (a:Person)-[k:knows]->(b:Person) RETURN count(*) USING ORDER a",
+    ),
+    (
+        "bind-duplicate-using-start",
+        "MATCH (a:Person)-[k:knows]->(b:Person) RETURN count(*) USING START a USING START b",
+    ),
+];
+
+fn assert_snapshot(file: &str, actual: &str) {
+    let path = format!("{}/tests/snapshots/{file}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("GFCL_BLESS").is_some() {
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("cannot bless {path}: {e}"));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("cannot read snapshot {path}: {e}; run with GFCL_BLESS=1 to create it")
+    });
+    if expected != actual {
+        let diverge = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| expected.lines().count().min(actual.lines().count()));
+        panic!(
+            "diagnostics snapshot {file} changed at line {}: \n  expected: {:?}\n  actual:   {:?}\n\
+             If intentional, re-bless with GFCL_BLESS=1 and review the diff.",
+            diverge + 1,
+            expected.lines().nth(diverge).unwrap_or(""),
+            actual.lines().nth(diverge).unwrap_or(""),
+        );
+    }
+}
+
+#[test]
+fn malformed_queries_render_pinned_diagnostics() {
+    let catalog = catalog();
+    let mut golden = String::new();
+    for (name, query) in CASES {
+        let err = match gfcl_frontend::compile(query, &catalog) {
+            Err(e) => e,
+            Ok(_) => panic!("{name}: expected a diagnostic, but the query compiled"),
+        };
+        golden.push_str(&format!("== {name} ==\n{query}\n--\n{err}\n\n"));
+    }
+    assert_snapshot("diagnostics.txt", &golden);
+}
+
+/// A query can be well-formed for the frontend yet rejected by the planner
+/// — e.g. hand hints forcing an order where a chain predicate spans two
+/// unflat list groups. The frontend's job is to pass the planner's
+/// `[rule]`-tagged error through unchanged; pin one such case.
+#[test]
+fn planner_errors_surface_behind_well_formed_text() {
+    let catalog = catalog();
+    let q = "MATCH (a:Person)-[k1:knows]->(b:Person)-[k2:knows]->(c:Person)\n\
+             WHERE k2.date > k1.date\n\
+             RETURN count(*)\n\
+             USING START b\n\
+             USING ORDER k2, k1";
+    let bound = gfcl_frontend::compile(q, &catalog).expect("frontend accepts the query");
+    let err = gfcl_core::plan::plan(&bound, &catalog).expect_err("planner rejects the order");
+    let msg = err.to_string();
+    assert!(msg.contains("unflat"), "unexpected planner error: {msg}");
+}

@@ -1,0 +1,157 @@
+//! The text-query corpus: every workload query as a `.gql` file under
+//! `corpus/`, paired with its hand-built [`QueryBuilder`] twin from the
+//! suite modules.
+//!
+//! The corpus is the frontend's conformance surface: the harness in
+//! `tests/text_corpus.rs` parses and binds each text, asserts the bound
+//! [`PatternQuery`] is **structurally equal** to the twin, and then runs
+//! both through every engine — so `MATCH ...` text and builder programs
+//! are provably the same query, not merely similar ones.
+//!
+//! LDBC and GA texts are parameterized with `$person_id`-style
+//! placeholders, substituted from [`LdbcParams`] before parsing (the `$`
+//! sigil is not lexable, so a missed placeholder fails loudly).
+//!
+//! [`QueryBuilder`]: gfcl_core::query::QueryBuilder
+
+use gfcl_core::query::PatternQuery;
+
+use crate::ldbc::{self, LdbcParams};
+use crate::{ga_queries, job, khop, KhopMode};
+
+/// One corpus entry: a named query in both of its forms.
+pub struct CorpusEntry {
+    /// Suite-local query name (`IS01`, `17a`, `khop-2-chain-bwd=true`, ...).
+    pub name: String,
+    /// The text form, placeholders already substituted.
+    pub text: String,
+    /// The builder twin the text must bind to, structurally.
+    pub twin: PatternQuery,
+}
+
+/// Embed a suite's `.gql` files as `(name, raw text)` pairs.
+macro_rules! gql {
+    ($suite:literal : $($name:literal),+ $(,)?) => {
+        &[$(($name, include_str!(concat!("../corpus/", $suite, "/", $name, ".gql")))),+]
+    };
+}
+
+const LDBC_GQL: &[(&str, &str)] = gql!("ldbc":
+    "IS01", "IS02", "IS03", "IS04", "IS05", "IS06", "IS07",
+    "IC01", "IC02", "IC03", "IC04", "IC05", "IC06", "IC07", "IC08", "IC09",
+    "IC11", "IC12",
+);
+
+const JOB_GQL: &[(&str, &str)] = gql!("job":
+    "1a", "2a", "3a", "4a", "5a", "6a", "7a", "8a", "9a", "10a", "11a",
+    "12a", "13a", "14a", "15a", "16a", "17a", "18a", "19a", "20a", "21a",
+    "22a", "23a", "24a", "25a", "26a", "27a", "28a", "29a", "30a", "31a",
+    "32a", "33a",
+);
+
+const GA_GQL: &[(&str, &str)] =
+    gql!("ga": "GA01", "GA02", "GA03", "GA04", "GA05", "GA06", "GA07", "GA08");
+
+const KHOP_GQL: &[(&str, &str)] = gql!("khop":
+    "khop-1-count-bwd=false", "khop-1-count-bwd=true",
+    "khop-1-filter-bwd=false", "khop-1-filter-bwd=true",
+    "khop-1-chain-bwd=false", "khop-1-chain-bwd=true",
+    "khop-2-count-bwd=false", "khop-2-count-bwd=true",
+    "khop-2-filter-bwd=false", "khop-2-filter-bwd=true",
+    "khop-2-chain-bwd=false", "khop-2-chain-bwd=true",
+    "khop-3-count-bwd=false", "khop-3-count-bwd=true",
+    "khop-3-filter-bwd=false", "khop-3-filter-bwd=true",
+    "khop-3-chain-bwd=false", "khop-3-chain-bwd=true",
+);
+
+/// Substitute `$param` placeholders from `p`. Every query constant the
+/// suites parameterize has a placeholder here; anything left over fails
+/// at parse time because `$` is not a lexable character.
+fn substitute(text: &str, p: &LdbcParams) -> String {
+    text.replace("$person_id", &p.person_id.to_string())
+        .replace("$comment_id", &p.comment_id.to_string())
+        .replace("$max_date", &p.max_date.to_string())
+        .replace("$window_lo", &p.window_lo.to_string())
+        .replace("$window_hi", &p.window_hi.to_string())
+        .replace("$member_since", &p.member_since.to_string())
+}
+
+/// Pair named twins with their `.gql` files; both directions must cover
+/// the same name set.
+fn pair(
+    files: &[(&str, &str)],
+    twins: Vec<(String, PatternQuery)>,
+    subst: impl Fn(&str) -> String,
+) -> Vec<CorpusEntry> {
+    assert_eq!(files.len(), twins.len(), "corpus files and twin queries diverge");
+    twins
+        .into_iter()
+        .map(|(name, twin)| {
+            let raw = files
+                .iter()
+                .find(|(n, _)| *n == name)
+                .unwrap_or_else(|| panic!("no .gql corpus file for query {name}"))
+                .1;
+            CorpusEntry { name, text: subst(raw), twin }
+        })
+        .collect()
+}
+
+/// The 18 LDBC IS/IC queries (social schema).
+pub fn ldbc_corpus(p: &LdbcParams) -> Vec<CorpusEntry> {
+    pair(LDBC_GQL, ldbc::all_queries(p), |t| substitute(t, p))
+}
+
+/// The 33 JOB queries (movie schema).
+pub fn job_corpus() -> Vec<CorpusEntry> {
+    pair(JOB_GQL, job::all_queries(), str::to_owned)
+}
+
+/// The 8 GA grouped-aggregation/top-k queries (social schema).
+pub fn ga_corpus(p: &LdbcParams) -> Vec<CorpusEntry> {
+    pair(GA_GQL, ga_queries(p), |t| substitute(t, p))
+}
+
+/// The 18 k-hop microbenchmark queries (power-law schema): hops 1..=3 ×
+/// {count, filter, chain} × {forward, backward}, matching the EXPLAIN
+/// snapshot suite.
+pub fn khop_corpus() -> Vec<CorpusEntry> {
+    let mut twins = Vec::new();
+    for hops in 1..=3 {
+        for (mode_name, mode) in [
+            ("count", KhopMode::CountStar),
+            ("filter", KhopMode::LastEdgeGt(1_400_000_000)),
+            ("chain", KhopMode::Chain(1_350_000_000)),
+        ] {
+            for backward in [false, true] {
+                twins.push((
+                    format!("khop-{hops}-{mode_name}-bwd={backward}"),
+                    khop("NODE", "LINK", "ts", hops, mode, backward),
+                ));
+            }
+        }
+    }
+    pair(KHOP_GQL, twins, str::to_owned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_every_workload_query() {
+        let p = LdbcParams::for_scale(80);
+        assert_eq!(ldbc_corpus(&p).len(), 18);
+        assert_eq!(job_corpus().len(), 33);
+        assert_eq!(ga_corpus(&p).len(), 8);
+        assert_eq!(khop_corpus().len(), 18);
+    }
+
+    #[test]
+    fn substitution_leaves_no_placeholders() {
+        let p = LdbcParams::for_scale(80);
+        for e in ldbc_corpus(&p).iter().chain(ga_corpus(&p).iter()) {
+            assert!(!e.text.contains('$'), "{}: unsubstituted placeholder", e.name);
+        }
+    }
+}

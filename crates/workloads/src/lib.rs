@@ -2,6 +2,7 @@
 //! JOB-like star-join queries, the k-hop microbenchmark generators used by
 //! Tables 3–5 and Figure 12, and the GA grouped-aggregation/top-k suite.
 
+pub mod corpus;
 pub mod grouped;
 pub mod job;
 pub mod khop;

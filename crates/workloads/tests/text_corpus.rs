@@ -1,0 +1,153 @@
+//! The text-query corpus harness: every workload query's `.gql` file is
+//! parsed, bound against the generated catalog, and checked three ways:
+//!
+//! 1. **Structural parity** — the bound [`PatternQuery`] must be `==` to
+//!    its hand-built `QueryBuilder` twin (node order, edge order,
+//!    predicate order, return shape, hints — everything).
+//! 2. **Execution equivalence** — the text-compiled query must produce
+//!    the same canonical result as the twin on GF-CL at 1 and 4 workers,
+//!    GF-CV, GF-RV, and the relational baseline.
+//! 3. **Golden snapshots** — the EXPLAIN rendering and a result digest
+//!    for every query are pinned under `tests/snapshots/corpus-*.txt`.
+//!
+//! To regenerate snapshots after an intentional change:
+//!
+//! ```sh
+//! GFCL_BLESS=1 cargo test -p gfcl_workloads --test text_corpus
+//! ```
+
+use std::sync::Arc;
+
+use gfcl_baselines::{GfCvEngine, GfRvEngine, RelEngine};
+use gfcl_core::{Engine, ExecOptions, GfClEngine};
+use gfcl_datagen::{MovieParams, PowerLawParams, SocialParams};
+use gfcl_storage::{ColumnarGraph, RawGraph, RowGraph, StorageConfig};
+use gfcl_workloads::corpus::{self, CorpusEntry};
+use gfcl_workloads::LdbcParams;
+
+fn assert_snapshot(file: &str, actual: &str) {
+    let path = format!("{}/tests/snapshots/{file}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("GFCL_BLESS").is_some() {
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("cannot bless {path}: {e}"));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("cannot read snapshot {path}: {e}; run with GFCL_BLESS=1 to create it")
+    });
+    if expected != actual {
+        let diverge = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| expected.lines().count().min(actual.lines().count()));
+        panic!(
+            "corpus snapshot {file} changed at line {}: \n  expected: {:?}\n  actual:   {:?}\n\
+             If intentional, re-bless with GFCL_BLESS=1 and review the diff.",
+            diverge + 1,
+            expected.lines().nth(diverge).unwrap_or(""),
+            actual.lines().nth(diverge).unwrap_or(""),
+        );
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Short canonical outputs are pinned verbatim; long ones by length+hash so
+/// the snapshot files stay reviewable.
+fn digest(canonical: &str) -> String {
+    if canonical.len() <= 200 {
+        canonical.to_owned()
+    } else {
+        format!("len={} fnv1a={:016x}", canonical.len(), fnv1a(canonical))
+    }
+}
+
+/// Compile every text, assert twin parity, run across all engines, and pin
+/// EXPLAIN + result digests in `snapshot`.
+fn run_suite(snapshot: &str, raw: &RawGraph, entries: &[CorpusEntry]) {
+    let colg = Arc::new(ColumnarGraph::build(raw, StorageConfig::default()).unwrap());
+    let rowg = Arc::new(RowGraph::build(raw).unwrap());
+    let explainer = GfClEngine::new(colg.clone());
+
+    let engines: Vec<(String, Box<dyn Engine>)> = vec![
+        ("GF-CL/1".into(), Box::new(GfClEngine::with_options(colg.clone(), ExecOptions::serial()))),
+        (
+            "GF-CL/4".into(),
+            Box::new(GfClEngine::with_options(colg.clone(), ExecOptions::with_threads(4))),
+        ),
+        ("GF-CV".into(), Box::new(GfCvEngine::new(colg.clone()))),
+        ("GF-RV".into(), Box::new(GfRvEngine::new(rowg))),
+        ("REL".into(), Box::new(RelEngine::new(colg))),
+    ];
+
+    let mut golden = String::new();
+    for e in entries {
+        let bound = gfcl_frontend::compile(&e.text, explainer.catalog())
+            .unwrap_or_else(|err| panic!("{}: text query failed to compile:\n{err}", e.name));
+        assert_eq!(bound, e.twin, "{}: bound text query differs from its builder twin", e.name);
+
+        // The twin on the reference engine sets the expectation; the
+        // text-compiled query must match it on every engine.
+        let reference = engines[0]
+            .1
+            .execute(&e.twin)
+            .unwrap_or_else(|err| panic!("{}: twin failed on {}: {err}", e.name, engines[0].0))
+            .canonical();
+        for (ename, engine) in &engines {
+            let out = engine
+                .execute(&bound)
+                .unwrap_or_else(|err| panic!("{}: text failed on {ename}: {err}", e.name))
+                .canonical();
+            assert_eq!(out, reference, "{}: {ename} (text) vs {} (twin)", e.name, engines[0].0);
+        }
+
+        golden.push_str(&format!("== {} ==\n", e.name));
+        golden.push_str(
+            &explainer
+                .explain(&bound)
+                .unwrap_or_else(|err| panic!("{}: failed to explain: {err}", e.name)),
+        );
+        golden.push_str(&format!("result: {}\n\n", digest(&reference)));
+    }
+    assert_snapshot(snapshot, &golden);
+}
+
+#[test]
+fn ldbc_text_corpus() {
+    let persons = 80;
+    let raw = gfcl_datagen::generate_social(SocialParams::scale(persons));
+    let params = LdbcParams::for_scale(persons);
+    run_suite("corpus-ldbc.txt", &raw, &corpus::ldbc_corpus(&params));
+}
+
+#[test]
+fn ga_text_corpus() {
+    let persons = 80;
+    let raw = gfcl_datagen::generate_social(SocialParams::scale(persons));
+    let params = LdbcParams::for_scale(persons);
+    run_suite("corpus-ga.txt", &raw, &corpus::ga_corpus(&params));
+}
+
+#[test]
+fn job_text_corpus() {
+    let raw = gfcl_datagen::generate_movies(MovieParams::scale(80));
+    run_suite("corpus-job.txt", &raw, &corpus::job_corpus());
+}
+
+#[test]
+fn khop_text_corpus() {
+    let raw = gfcl_datagen::generate_powerlaw(PowerLawParams {
+        nodes: 1000,
+        avg_degree: 5.0,
+        exponent: 1.8,
+        seed: 7,
+    });
+    run_suite("corpus-khop.txt", &raw, &corpus::khop_corpus());
+}

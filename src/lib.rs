@@ -202,6 +202,53 @@
 //! additionally reports `~N pages read`, the optimizer's I/O estimate after
 //! zone-map skipping. See `ARCHITECTURE.md`, "On-disk format & buffer pool".
 //!
+//! ## Text queries
+//!
+//! Queries can also be written as text in a small Cypher-like language and
+//! compiled through the [`frontend`]: parse → bind against the graph's
+//! catalog → the same [`PatternQuery`] the builder produces, so the
+//! optimizer, EXPLAIN, and every engine behave identically on both paths.
+//! [`query()`] is the one-call form; [`query_on`] targets any engine:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gfcl::{ColumnarGraph, GfRvEngine, QueryOutput, RawGraph, RowGraph, StorageConfig};
+//!
+//! let raw = RawGraph::example();
+//! let graph = Arc::new(ColumnarGraph::build(&raw, StorageConfig::default()).unwrap());
+//!
+//! // Example 1 of the paper, as text, on the default list-based engine.
+//! let out = gfcl::query(
+//!     &graph,
+//!     "MATCH (a:PERSON)-[e:WORKAT]->(b:ORG) \
+//!      WHERE a.age > 22 AND b.estd < 2015 \
+//!      RETURN a.name, b.name",
+//! )
+//! .unwrap();
+//! assert_eq!(out.cardinality(), 2); // alice->UW, bob->UofT
+//!
+//! // The same text on the row-store Volcano baseline: identical answer.
+//! let rowg = Arc::new(RowGraph::build(&raw).unwrap());
+//! let rv = gfcl::query_on(
+//!     &GfRvEngine::new(rowg),
+//!     "MATCH (a:PERSON)-[e:WORKAT]->(b:ORG) \
+//!      WHERE a.age > 22 AND b.estd < 2015 \
+//!      RETURN a.name, b.name",
+//! )
+//! .unwrap();
+//! assert_eq!(rv.canonical(), out.canonical());
+//!
+//! // Malformed text fails with a rendered caret diagnostic, not a panic.
+//! let err = gfcl::query(&graph, "MATCH (a:PERSN) RETURN a.name").unwrap_err();
+//! let msg = err.to_string();
+//! assert!(msg.contains("unknown node label `PERSN`"), "{msg}");
+//! assert!(msg.contains("did you mean `PERSON`?"), "{msg}");
+//! ```
+//!
+//! The grammar (EBNF and lowering rules) is documented in
+//! `crates/frontend/GRAMMAR.md`; `examples/query_repl.rs` is an interactive
+//! shell over the same entry points.
+//!
 //! See `ARCHITECTURE.md` for the paper-section → module map, `DESIGN.md`
 //! for the system inventory and `EXPERIMENTS.md` for the paper-vs-measured
 //! record of every table and figure.
@@ -229,6 +276,29 @@ pub use gfcl_storage::{
     Cardinality, Catalog, ColumnarGraph, EdgePropLayout, MemoryBreakdown, PropertyDef, RawGraph,
     RowGraph, StorageConfig,
 };
+
+/// The text query frontend: lexer, parser, binder, and spanned diagnostics.
+pub mod frontend {
+    pub use gfcl_frontend::*;
+}
+
+/// Compile a text query against `graph`'s catalog and run it on the paper's
+/// list-based engine ([`GfClEngine`]).
+///
+/// Frontend failures (lex/parse/bind) surface as [`Error::Plan`](Error)
+/// carrying the fully rendered diagnostic — locus, caret snippet, and any
+/// "did you mean" hint.
+pub fn query(graph: &std::sync::Arc<ColumnarGraph>, text: &str) -> Result<QueryOutput> {
+    query_on(&GfClEngine::new(std::sync::Arc::clone(graph)), text)
+}
+
+/// Compile a text query against `engine`'s catalog and run it on that
+/// engine. Works with any [`Engine`] — the four built-ins or an external
+/// implementation.
+pub fn query_on(engine: &(impl Engine + ?Sized), text: &str) -> Result<QueryOutput> {
+    let q = gfcl_frontend::compile(text, engine.catalog())?;
+    engine.execute(&q)
+}
 
 /// Columnar primitives: leading-0 suppression, dictionary encoding,
 /// Jacobson-indexed NULL compression.
