@@ -67,6 +67,13 @@ const HOT_PATHS: &[&str] = &[
     // dynamically, the lint keeps panicking calls out statically).
     "crates/frontend/src/lexer.rs",
     "crates/frontend/src/parser.rs",
+    // The write path: every Scan/Extend over a mutated graph reads the
+    // delta overlay per row, and the WAL sits on every commit. A panic in
+    // either corrupts no data (the WAL is write-ahead) but kills the
+    // writer with the global write lock held — errors must flow out as
+    // Error::Storage so recovery stays an open() away.
+    "crates/storage/src/delta.rs",
+    "crates/storage/src/wal.rs",
 ];
 
 /// Codec / on-disk-format files where checked conversions exist.
@@ -486,6 +493,9 @@ mod tests {
         assert!(classify("crates/frontend/src/lexer.rs").hot_path);
         assert!(classify("crates/frontend/src/parser.rs").hot_path);
         assert!(!classify("crates/frontend/src/binder.rs").hot_path);
+        assert!(classify("crates/storage/src/delta.rs").hot_path);
+        assert!(classify("crates/storage/src/wal.rs").hot_path);
+        assert!(!classify("crates/storage/src/store.rs").hot_path);
         assert!(classify("src/lib.rs").facade);
         assert_eq!(classify("crates/core/src/plan.rs"), FileClass::default());
     }

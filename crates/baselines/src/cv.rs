@@ -7,9 +7,9 @@ use std::sync::Arc;
 use gfcl_common::{Direction, LabelId, Result, Value};
 use gfcl_core::engine::{Engine, QueryOutput};
 use gfcl_core::plan::LogicalPlan;
-use gfcl_storage::{AdjIndex, Catalog, ColumnarGraph};
+use gfcl_storage::{AdjIndex, Catalog, ColumnarGraph, DeltaSnapshot, GraphSnapshot};
 
-use crate::volcano::{self, AdjList, EdgeSlot, VolcanoStorage};
+use crate::volcano::{self, AdjList, DeltaOverlay, EdgeSlot, VolcanoStorage};
 
 /// Columnar-store adapter for the Volcano executor.
 struct CvStore<'g> {
@@ -59,11 +59,23 @@ impl VolcanoStorage for CvStore<'_> {
 /// GF-CV: Columnar storage, Volcano-style processor.
 pub struct GfCvEngine {
     graph: Arc<ColumnarGraph>,
+    /// Delta overlay when executing against a mutable-store snapshot.
+    delta: Option<Arc<DeltaSnapshot>>,
 }
 
 impl GfCvEngine {
     pub fn new(graph: Arc<ColumnarGraph>) -> Self {
-        GfCvEngine { graph }
+        GfCvEngine { graph, delta: None }
+    }
+
+    /// Engine over one MVCC snapshot of a mutable `GraphStore`: queries
+    /// observe `(baseline ⊎ delta) ∖ tombstones` as of the snapshot epoch.
+    pub fn with_snapshot(snapshot: &GraphSnapshot) -> Self {
+        let delta = snapshot.delta();
+        GfCvEngine {
+            graph: Arc::clone(snapshot.base()),
+            delta: (!delta.is_empty()).then(|| Arc::clone(delta)),
+        }
     }
 
     pub fn graph(&self) -> &ColumnarGraph {
@@ -81,6 +93,10 @@ impl Engine for GfCvEngine {
     }
 
     fn run_plan(&self, plan: &LogicalPlan) -> Result<QueryOutput> {
-        volcano::execute(&CvStore { g: &self.graph }, plan)
+        let store = CvStore { g: &self.graph };
+        match &self.delta {
+            Some(d) => volcano::execute(&DeltaOverlay::new(store, d), plan),
+            None => volcano::execute(&store, plan),
+        }
     }
 }

@@ -23,7 +23,8 @@ use gfcl_common::{Direction, Error, LabelId, Result, Value};
 use gfcl_core::agg::{self, GroupTable};
 use gfcl_core::engine::{Engine, QueryOutput};
 use gfcl_core::plan::{LogicalPlan, PlanReturn, PlanStep};
-use gfcl_storage::{AdjIndex, Catalog, ColumnarGraph};
+use gfcl_storage::{base_edge_ref, delta_edge_ref, edge_ref_index, is_delta_edge_ref};
+use gfcl_storage::{AdjIndex, Catalog, ColumnarGraph, DeltaSnapshot, GraphSnapshot};
 
 use crate::eval::holds;
 
@@ -71,16 +72,68 @@ impl Inter {
 /// The relational engine over columnar tables.
 pub struct RelEngine {
     graph: Arc<ColumnarGraph>,
+    /// Delta overlay when executing against a mutable-store snapshot.
+    delta: Option<Arc<DeltaSnapshot>>,
 }
 
 impl RelEngine {
     pub fn new(graph: Arc<ColumnarGraph>) -> Self {
-        RelEngine { graph }
+        RelEngine { graph, delta: None }
+    }
+
+    /// Engine over one MVCC snapshot of a mutable `GraphStore`: the edge
+    /// tables it scans are `(baseline ⊎ delta) ∖ tombstones`, with edge
+    /// tokens carrying the shared tag scheme of `gfcl_storage::store` when
+    /// a delta is present.
+    pub fn with_snapshot(snapshot: &GraphSnapshot) -> Self {
+        let delta = snapshot.delta();
+        RelEngine {
+            graph: Arc::clone(snapshot.base()),
+            delta: (!delta.is_empty()).then(|| Arc::clone(delta)),
+        }
+    }
+
+    /// Effective vertex-table length: baseline rows plus delta slots.
+    fn table_len(&self, label: LabelId) -> u64 {
+        let n = self.graph.vertex_count(label) as u64;
+        n + self.delta.as_ref().map_or(0, |d| d.delta_slots(label))
+    }
+
+    fn vertex_live(&self, label: LabelId, off: u64) -> bool {
+        let n_base = self.graph.vertex_count(label) as u64;
+        match &self.delta {
+            None => off < n_base,
+            Some(d) => {
+                if off < n_base {
+                    !d.vertex_tombed(label, off)
+                } else {
+                    d.delta_row(label, off - n_base).is_some()
+                }
+            }
+        }
+    }
+
+    /// Effective property value of a (live) vertex-table row.
+    fn vertex_value(&self, label: LabelId, off: u64, prop: usize) -> Value {
+        let n_base = self.graph.vertex_count(label) as u64;
+        if off < n_base {
+            if let Some(row) = self.delta.as_ref().and_then(|d| d.updated_row(label, off)) {
+                return row[prop].clone();
+            }
+            self.graph.vertex_prop(label, prop).value(off as usize)
+        } else {
+            match self.delta.as_ref().and_then(|d| d.delta_row(label, off - n_base)) {
+                Some(row) => row[prop].clone(),
+                None => Value::Null,
+            }
+        }
     }
 
     /// Scan the full edge table of `(elabel, dir)` into a hash table keyed
     /// by the `dir`-side endpoint. This is the per-join full-table-scan
-    /// cost that adjacency indexes avoid.
+    /// cost that adjacency indexes avoid. Under a delta, tombstoned edges
+    /// are dropped (occurrence-counted against duplicate neighbours) and
+    /// delta edges appended, with tagged tokens.
     fn build_edge_hash(
         &self,
         elabel: LabelId,
@@ -89,24 +142,73 @@ impl RelEngine {
         let g = &self.graph;
         let from_label = g.catalog().edge_label(elabel).from_label(dir);
         let n_from = g.vertex_count(from_label) as u64;
+        let delta = self.delta.as_deref();
+        let tombed = |from: u64, nbr: u64, occ: u32| {
+            let (s, d) = if dir == Direction::Fwd { (from, nbr) } else { (nbr, from) };
+            delta.is_some_and(|del| del.edge_tombed(elabel, s, d, occ))
+        };
+        let tag = |pos: u64| if delta.is_some() { Some(base_edge_ref(pos)) } else { Some(pos) };
         let mut table: HashMap<u64, Vec<(u64, Option<u64>)>> = HashMap::new();
         match g.adj(elabel, dir) {
             AdjIndex::Csr(csr) => {
                 for v in 0..n_from {
+                    let mut seen: HashMap<u64, u32> = HashMap::new();
                     for (pos, nbr) in csr.iter_list(v) {
-                        table.entry(v).or_default().push((nbr, Some(pos)));
+                        let occ = seen.entry(nbr).or_insert(0);
+                        if !tombed(v, nbr, *occ) {
+                            table.entry(v).or_default().push((nbr, tag(pos)));
+                        }
+                        *occ += 1;
                     }
                 }
             }
             AdjIndex::SingleCard(s) => {
                 for v in 0..n_from {
                     if let Some(nbr) = s.nbr(v) {
-                        table.entry(v).or_default().push((nbr, None));
+                        if !tombed(v, nbr, 0) {
+                            table.entry(v).or_default().push((nbr, None));
+                        }
                     }
                 }
             }
         }
+        if let Some(d) = delta {
+            for v in 0..self.table_len(from_label) {
+                for &idx in d.delta_edges_from(elabel, dir, v) {
+                    let e = d.delta_edge(elabel, idx);
+                    let nbr = if dir == Direction::Fwd { e.dst } else { e.src };
+                    table.entry(v).or_default().push((nbr, Some(delta_edge_ref(idx))));
+                }
+            }
+        }
         table
+    }
+
+    /// Read one edge property through a probe-table token.
+    fn edge_value(
+        &self,
+        elabel: LabelId,
+        dir: Direction,
+        from: u64,
+        token: Option<u64>,
+        prop: usize,
+    ) -> Value {
+        let Some(d) = self.delta.as_deref() else {
+            return self
+                .graph
+                .read_edge_prop(elabel, dir, from, token, prop)
+                .unwrap_or(Value::Null);
+        };
+        match token {
+            None => self.graph.read_edge_prop(elabel, dir, from, None, prop).unwrap_or(Value::Null),
+            Some(t) if is_delta_edge_ref(t) => {
+                d.delta_edge(elabel, edge_ref_index(t)).props[prop].clone()
+            }
+            Some(t) => self
+                .graph
+                .read_edge_prop(elabel, dir, from, Some(edge_ref_index(t)), prop)
+                .unwrap_or(Value::Null),
+        }
     }
 }
 
@@ -131,13 +233,14 @@ impl Engine for RelEngine {
                     // pushed predicates, reading properties straight from
                     // the columns (a relational scan-with-predicate).
                     let prop_of_slot = crate::eval::scan_prop_map(&plan.slots, *node);
-                    let col: Vec<u64> = (0..g.vertex_count(label) as u64)
+                    let col: Vec<u64> = (0..self.table_len(label))
                         .filter(|&v| {
-                            pushed.iter().all(|e| {
-                                holds(e, &|slot| {
-                                    g.vertex_prop(label, prop_of_slot[slot]).value(v as usize)
+                            self.vertex_live(label, v)
+                                && pushed.iter().all(|e| {
+                                    holds(e, &|slot| {
+                                        self.vertex_value(label, v, prop_of_slot[slot])
+                                    })
                                 })
-                            })
                         })
                         .collect();
                     it.n = col.len();
@@ -151,10 +254,11 @@ impl Engine for RelEngine {
                         .vertex_label(label)
                         .primary_key
                         .ok_or_else(|| Error::Plan("pk seek without pk".into()))?;
-                    let col = g.vertex_prop(label, pk_prop);
-                    let matches: Vec<u64> = (0..g.vertex_count(label))
-                        .filter(|&v| col.get_i64(v) == Some(*key))
-                        .map(|v| v as u64)
+                    let matches: Vec<u64> = (0..self.table_len(label))
+                        .filter(|&v| {
+                            self.vertex_live(label, v)
+                                && self.vertex_value(label, v, pk_prop) == Value::Int64(*key)
+                        })
                         .collect();
                     it.n = matches.len();
                     it.nodes[*node] = Some(matches);
@@ -185,11 +289,11 @@ impl Engine for RelEngine {
                 }
                 PlanStep::NodeProp { node, prop, slot } => {
                     let label = plan.nodes[*node].label;
-                    let col = g.vertex_prop(label, *prop);
                     let offs = it.nodes[*node]
                         .as_ref()
                         .ok_or_else(|| Error::Plan("unbound node".into()))?;
-                    it.slots[*slot] = Some(offs.iter().map(|&v| col.value(v as usize)).collect());
+                    it.slots[*slot] =
+                        Some(offs.iter().map(|&v| self.vertex_value(label, v, *prop)).collect());
                 }
                 PlanStep::EdgeProp { edge, prop, slot } => {
                     let elabel = plan.edges[*edge].label;
@@ -198,10 +302,7 @@ impl Engine for RelEngine {
                         .ok_or_else(|| Error::Plan("unbound edge".into()))?;
                     let mut vals = Vec::with_capacity(it.n);
                     for i in 0..it.n {
-                        vals.push(
-                            g.read_edge_prop(elabel, ec.dir, ec.from[i], ec.token[i], *prop)
-                                .unwrap_or(Value::Null),
-                        );
+                        vals.push(self.edge_value(elabel, ec.dir, ec.from[i], ec.token[i], *prop));
                     }
                     it.slots[*slot] = Some(vals);
                 }

@@ -6,9 +6,9 @@ use std::sync::Arc;
 use gfcl_common::{Direction, LabelId, Result, Value};
 use gfcl_core::engine::{Engine, QueryOutput};
 use gfcl_core::plan::LogicalPlan;
-use gfcl_storage::{Catalog, RowGraph};
+use gfcl_storage::{Catalog, DeltaSnapshot, GraphSnapshot, RowGraph};
 
-use crate::volcano::{self, AdjList, EdgeSlot, VolcanoStorage};
+use crate::volcano::{self, AdjList, DeltaOverlay, EdgeSlot, VolcanoStorage};
 
 /// Row-store adapter for the Volcano executor.
 struct RvStore<'g> {
@@ -54,11 +54,22 @@ impl VolcanoStorage for RvStore<'_> {
 /// GF-RV: Row-oriented storage, Volcano-style processor.
 pub struct GfRvEngine {
     graph: Arc<RowGraph>,
+    /// Delta overlay when executing against a mutable-store snapshot.
+    delta: Option<Arc<DeltaSnapshot>>,
 }
 
 impl GfRvEngine {
     pub fn new(graph: Arc<RowGraph>) -> Self {
-        GfRvEngine { graph }
+        GfRvEngine { graph, delta: None }
+    }
+
+    /// Engine over one MVCC snapshot of a mutable `GraphStore`. The row
+    /// graph must be built from the snapshot's *baseline* `RawGraph`: its
+    /// per-label vertex offsets then agree with the columnar baseline the
+    /// delta was recorded against, so the overlay applies unchanged.
+    pub fn with_snapshot(graph: Arc<RowGraph>, snapshot: &GraphSnapshot) -> Self {
+        let delta = snapshot.delta();
+        GfRvEngine { graph, delta: (!delta.is_empty()).then(|| Arc::clone(delta)) }
     }
 
     pub fn graph(&self) -> &RowGraph {
@@ -76,6 +87,10 @@ impl Engine for GfRvEngine {
     }
 
     fn run_plan(&self, plan: &LogicalPlan) -> Result<QueryOutput> {
-        volcano::execute(&RvStore { g: &self.graph }, plan)
+        let store = RvStore { g: &self.graph };
+        match &self.delta {
+            Some(d) => volcano::execute(&DeltaOverlay::new(store, d), plan),
+            None => volcano::execute(&store, plan),
+        }
     }
 }

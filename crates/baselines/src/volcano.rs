@@ -9,11 +9,14 @@
 //! and on columnar storage (GF-CV), isolating processing gains from storage
 //! gains as in Section 8.6.
 
+use std::collections::HashMap;
+
 use gfcl_common::{Direction, Error, LabelId, Result, Value};
 use gfcl_core::agg::{self, GroupTable};
 use gfcl_core::engine::QueryOutput;
 use gfcl_core::plan::{LogicalPlan, PlanExpr, PlanReturn, PlanStep};
-use gfcl_storage::Catalog;
+use gfcl_storage::{base_edge_ref, delta_edge_ref, edge_ref_index, is_delta_edge_ref};
+use gfcl_storage::{Catalog, DeltaSnapshot};
 
 use crate::eval::holds;
 
@@ -29,6 +32,11 @@ pub trait VolcanoStorage {
     fn vertex_prop(&self, label: LabelId, off: u64, prop: usize) -> Value;
     /// Edge property via the tuple's edge slot.
     fn edge_prop(&self, elabel: LabelId, dir: Direction, slot: EdgeSlot, prop: usize) -> Value;
+    /// Is the vertex at `off` visible? Clean stores only produce live
+    /// offsets; the delta overlay hides tombstones and vacated slots.
+    fn vertex_live(&self, _label: LabelId, _off: u64) -> bool {
+        true
+    }
 }
 
 /// Adjacency of one vertex.
@@ -37,6 +45,10 @@ pub enum AdjList {
     Csr { start: u64, len: u64 },
     /// Single-cardinality vertex-column adjacency: at most one neighbour.
     Single(Option<u64>),
+    /// A materialized `(neighbour, edge token)` list — produced by the
+    /// delta overlay when the merged adjacency no longer matches any
+    /// contiguous storage range.
+    Owned(Vec<(u64, Option<u64>)>),
 }
 
 /// The edge binding stored in a tuple: the traversal source plus a
@@ -108,6 +120,7 @@ enum VOp {
 enum ExtendState {
     Idle,
     Csr { pos: u64, end: u64 },
+    Owned { list: Vec<(u64, Option<u64>)>, pos: usize },
 }
 
 fn vpull<S: VolcanoStorage>(ops: &mut [VOp], s: &S, t: &mut Tuple) -> Result<bool> {
@@ -119,9 +132,10 @@ fn vpull<S: VolcanoStorage>(ops: &mut [VOp], s: &S, t: &mut Tuple) -> Result<boo
             }
             let v = *next;
             *next += 1;
-            let pass = pushed
-                .iter()
-                .all(|e| holds(e, &|slot| s.vertex_prop(*label, v, prop_of_slot[slot])));
+            let pass = s.vertex_live(*label, v)
+                && pushed
+                    .iter()
+                    .all(|e| holds(e, &|slot| s.vertex_prop(*label, v, prop_of_slot[slot])));
             if pass {
                 t.nodes[*node] = v;
                 return Ok(true);
@@ -141,15 +155,28 @@ fn vpull<S: VolcanoStorage>(ops: &mut [VOp], s: &S, t: &mut Tuple) -> Result<boo
             }
         }
         VOp::Extend { elabel, dir, from, to, edge, state } => loop {
-            if let ExtendState::Csr { pos, end } = state {
-                if pos < end {
-                    let (nbr, token) = s.csr_entry(*elabel, *dir, *pos);
-                    t.nodes[*to] = nbr;
-                    t.edges[*edge] = EdgeSlot { from: t.nodes[*from], token: Some(token) };
-                    *pos += 1;
-                    return Ok(true);
+            match state {
+                ExtendState::Csr { pos, end } => {
+                    if pos < end {
+                        let (nbr, token) = s.csr_entry(*elabel, *dir, *pos);
+                        t.nodes[*to] = nbr;
+                        t.edges[*edge] = EdgeSlot { from: t.nodes[*from], token: Some(token) };
+                        *pos += 1;
+                        return Ok(true);
+                    }
+                    *state = ExtendState::Idle;
                 }
-                *state = ExtendState::Idle;
+                ExtendState::Owned { list, pos } => {
+                    if *pos < list.len() {
+                        let (nbr, token) = list[*pos];
+                        t.nodes[*to] = nbr;
+                        t.edges[*edge] = EdgeSlot { from: t.nodes[*from], token };
+                        *pos += 1;
+                        return Ok(true);
+                    }
+                    *state = ExtendState::Idle;
+                }
+                ExtendState::Idle => {}
             }
             if !vpull(children, s, t)? {
                 return Ok(false);
@@ -164,6 +191,9 @@ fn vpull<S: VolcanoStorage>(ops: &mut [VOp], s: &S, t: &mut Tuple) -> Result<boo
                     return Ok(true);
                 }
                 AdjList::Single(None) => {}
+                AdjList::Owned(list) => {
+                    *state = ExtendState::Owned { list, pos: 0 };
+                }
             }
         },
         VOp::ReadNodeProp { label, node, prop, slot } => {
@@ -189,6 +219,132 @@ fn vpull<S: VolcanoStorage>(ops: &mut [VOp], s: &S, t: &mut Tuple) -> Result<boo
                 return Ok(true);
             }
         },
+    }
+}
+
+/// A [`VolcanoStorage`] decorator overlaying a frozen [`DeltaSnapshot`] on
+/// any clean store: queries observe `(baseline ⊎ delta) ∖ tombstones`, the
+/// same merged view the GF-CL executor derives from `GraphView`.
+///
+/// Edge tokens use the shared tag scheme of `gfcl_storage::store`: `None`
+/// passes a baseline single-cardinality edge through untagged, an even tag
+/// wraps the inner store's own token `t` as `t << 1`, and an odd tag names
+/// delta edge `d` as `(d << 1) | 1`. The inner store's offsets must agree
+/// with the snapshot's baseline (GF-RV row offsets do, by construction from
+/// the same `RawGraph`).
+pub struct DeltaOverlay<'g, S> {
+    inner: S,
+    delta: &'g DeltaSnapshot,
+}
+
+impl<'g, S: VolcanoStorage> DeltaOverlay<'g, S> {
+    pub fn new(inner: S, delta: &'g DeltaSnapshot) -> Self {
+        DeltaOverlay { inner, delta }
+    }
+
+    /// Baseline vertex count of the `dir`-side source label of `elabel`.
+    fn base_from_count(&self, elabel: LabelId, dir: Direction) -> u64 {
+        let from_label = self.inner.catalog().edge_label(elabel).from_label(dir);
+        self.inner.vertex_count(from_label) as u64
+    }
+}
+
+impl<S: VolcanoStorage> VolcanoStorage for DeltaOverlay<'_, S> {
+    fn catalog(&self) -> &Catalog {
+        self.inner.catalog()
+    }
+
+    fn vertex_count(&self, label: LabelId) -> usize {
+        self.inner.vertex_count(label) + self.delta.delta_slots(label) as usize
+    }
+
+    fn vertex_live(&self, label: LabelId, off: u64) -> bool {
+        let n_base = self.inner.vertex_count(label) as u64;
+        if off < n_base {
+            !self.delta.vertex_tombed(label, off)
+        } else {
+            self.delta.delta_row(label, off - n_base).is_some()
+        }
+    }
+
+    fn lookup_pk(&self, label: LabelId, key: i64) -> Option<u64> {
+        if let Some(off) = self.delta.pk_delta(label, key) {
+            return Some(off);
+        }
+        let off = self.inner.lookup_pk(label, key)?;
+        (!self.delta.vertex_tombed(label, off)).then_some(off)
+    }
+
+    fn adj_list(&self, elabel: LabelId, dir: Direction, from: u64) -> AdjList {
+        let mut list: Vec<(u64, Option<u64>)> = Vec::new();
+        let tombed = |nbr: u64, occ: u32| {
+            let (s, d) = if dir == Direction::Fwd { (from, nbr) } else { (nbr, from) };
+            self.delta.edge_tombed(elabel, s, d, occ)
+        };
+        if from < self.base_from_count(elabel, dir) {
+            match self.inner.adj_list(elabel, dir, from) {
+                AdjList::Csr { start, len } => {
+                    let mut seen: HashMap<u64, u32> = HashMap::new();
+                    for pos in start..start + len {
+                        let (nbr, token) = self.inner.csr_entry(elabel, dir, pos);
+                        let occ = seen.entry(nbr).or_insert(0);
+                        if !tombed(nbr, *occ) {
+                            list.push((nbr, Some(base_edge_ref(token))));
+                        }
+                        *occ += 1;
+                    }
+                }
+                AdjList::Single(Some(nbr)) => {
+                    if !tombed(nbr, 0) {
+                        // Untagged pass-through: the edge-property read path
+                        // of the inner store already handles `token: None`.
+                        list.push((nbr, None));
+                    }
+                }
+                AdjList::Single(None) => {}
+                AdjList::Owned(inner) => list.extend(inner),
+            }
+        }
+        for &idx in self.delta.delta_edges_from(elabel, dir, from) {
+            let e = self.delta.delta_edge(elabel, idx);
+            let nbr = if dir == Direction::Fwd { e.dst } else { e.src };
+            list.push((nbr, Some(delta_edge_ref(idx))));
+        }
+        AdjList::Owned(list)
+    }
+
+    fn csr_entry(&self, elabel: LabelId, dir: Direction, pos: u64) -> (u64, u64) {
+        // Unreachable in practice: the overlay never hands out
+        // `AdjList::Csr`, so the executor never asks for CSR positions.
+        self.inner.csr_entry(elabel, dir, pos)
+    }
+
+    fn vertex_prop(&self, label: LabelId, off: u64, prop: usize) -> Value {
+        let n_base = self.inner.vertex_count(label) as u64;
+        if off < n_base {
+            if let Some(row) = self.delta.updated_row(label, off) {
+                return row[prop].clone();
+            }
+            self.inner.vertex_prop(label, off, prop)
+        } else {
+            match self.delta.delta_row(label, off - n_base) {
+                Some(row) => row[prop].clone(),
+                None => Value::Null,
+            }
+        }
+    }
+
+    fn edge_prop(&self, elabel: LabelId, dir: Direction, slot: EdgeSlot, prop: usize) -> Value {
+        match slot.token {
+            None => self.inner.edge_prop(elabel, dir, slot, prop),
+            Some(tag) if is_delta_edge_ref(tag) => {
+                self.delta.delta_edge(elabel, edge_ref_index(tag)).props[prop].clone()
+            }
+            Some(tag) => {
+                let inner_slot = EdgeSlot { from: slot.from, token: Some(edge_ref_index(tag)) };
+                self.inner.edge_prop(elabel, dir, inner_slot, prop)
+            }
+        }
     }
 }
 

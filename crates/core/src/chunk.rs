@@ -47,14 +47,27 @@ pub enum ValueVector {
         from: u64,
         start: u64,
     },
+    /// Edges of one adjacency list under a mutated snapshot: tagged
+    /// references (baseline CSR position or delta-edge index, see
+    /// `gfcl_storage::store`) materialized by the merge, traversed from
+    /// vertex `from`.
+    EdgeRefs {
+        label: LabelId,
+        dir: Direction,
+        from: u64,
+        refs: Vec<u64>,
+    },
     /// Edges bound by a `ColumnExtend` (single-cardinality): the edge at
     /// position `i` is identified by the vertex at `from_vec[i]` (and its
-    /// neighbour at `nbr_vec[i]`).
+    /// neighbour at `nbr_vec[i]`). Under a mutated snapshot `tags[i]`
+    /// carries the tagged edge reference instead (`None` on the clean
+    /// zero-copy path).
     SingleEdge {
         label: LabelId,
         dir: Direction,
         from_vec: usize,
         nbr_vec: usize,
+        tags: Option<Vec<u64>>,
     },
     /// Int64/Date property values.
     I64 {

@@ -30,9 +30,8 @@
 
 use std::sync::Arc;
 
-use gfcl_columnar::Column;
 use gfcl_common::{DataType, Result, Value};
-use gfcl_storage::ColumnarGraph;
+use gfcl_storage::{ColumnarGraph, GraphView};
 
 use crate::agg::{self, clamp_i128, improves, GroupTable, OrdValue};
 use crate::chunk::VecRef;
@@ -42,6 +41,7 @@ use crate::exec::{
     TopKSink, SCAN_MORSEL,
 };
 use crate::plan::{LogicalPlan, PlanReturn};
+use crate::pred::SlotCol;
 
 /// Execution options for the list-based processor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,6 +136,17 @@ pub fn execute_with(
     plan: &LogicalPlan,
     opts: &ExecOptions,
 ) -> Result<QueryOutput> {
+    execute_view(GraphView::clean(g), plan, opts)
+}
+
+/// Execute a logical plan against a snapshot view — the baseline overlaid
+/// with the snapshot's delta (if any) — with `opts.threads` morsel-driven
+/// workers. The clean-view case is exactly the historical execution path.
+pub fn execute_view(
+    view: GraphView<'_>,
+    plan: &LogicalPlan,
+    opts: &ExecOptions,
+) -> Result<QueryOutput> {
     if opts.morsel_size == 0 {
         return Err(gfcl_common::Error::Plan(
             "scan morsel size must be a positive integer (check ExecOptions::morsel_size / \
@@ -144,14 +155,14 @@ pub fn execute_with(
         ));
     }
     let threads = opts.threads.max(1);
-    let cursor = Arc::new(ScanCursor::for_plan_with(g, plan, opts.morsel_size as u64)?);
+    let cursor = Arc::new(ScanCursor::for_plan_view(view, plan, opts.morsel_size as u64)?);
     // Never spawn more workers than there are morsels to hand out.
     let max_useful = (cursor.total() as usize).div_ceil(opts.morsel_size).max(1);
     let threads = threads.min(max_useful);
 
     if threads == 1 {
-        let mut pipeline = compile(g, plan, &cursor)?;
-        let partial = drive(g, plan, &mut pipeline)?;
+        let mut pipeline = compile(view, plan, &cursor)?;
+        let partial = drive(view, plan, &mut pipeline)?;
         return finish(plan, vec![partial]);
     }
 
@@ -160,8 +171,8 @@ pub fn execute_with(
             .map(|_| {
                 let cursor = Arc::clone(&cursor);
                 scope.spawn(move || {
-                    let mut pipeline = compile(g, plan, &cursor)?;
-                    drive(g, plan, &mut pipeline)
+                    let mut pipeline = compile(view, plan, &cursor)?;
+                    drive(view, plan, &mut pipeline)
                 })
             })
             .collect();
@@ -175,12 +186,12 @@ pub fn execute_with(
 }
 
 /// Drain one pipeline into a [`Partial`] sink.
-fn drive(g: &ColumnarGraph, plan: &LogicalPlan, pipe: &mut Pipeline<'_>) -> Result<Partial> {
+fn drive(view: GraphView<'_>, plan: &LogicalPlan, pipe: &mut Pipeline<'_>) -> Result<Partial> {
     use crate::chunk::ValueVector;
     match &plan.ret {
         PlanReturn::CountStar => {
             let mut count: u64 = 0;
-            while pipe.next_state(g)? {
+            while pipe.next_state(view)? {
                 count += pipe.chunk.tuple_count();
             }
             Ok(Partial::Count(count))
@@ -189,7 +200,7 @@ fn drive(g: &ColumnarGraph, plan: &LogicalPlan, pipe: &mut Pipeline<'_>) -> Resu
             let r = pipe.slot_refs[*slot];
             let mut sum_i: i128 = 0;
             let mut sum_f: f64 = 0.0;
-            while pipe.next_state(g)? {
+            while pipe.next_state(view)? {
                 let group = &pipe.chunk.groups[r.group];
                 let mult = pipe.chunk.tuple_count_excluding(r.group);
                 let mut add = |idx: usize| match &group.vectors[r.vec] {
@@ -216,7 +227,7 @@ fn drive(g: &ColumnarGraph, plan: &LogicalPlan, pipe: &mut Pipeline<'_>) -> Resu
             let r = pipe.slot_refs[*slot];
             let r_col = pipe.slot_cols[*slot];
             let mut best: Value = Value::Null;
-            while pipe.next_state(g)? {
+            while pipe.next_state(view)? {
                 let group = &pipe.chunk.groups[r.group];
                 let mut consider = |idx: usize| {
                     let v = vector_value(&group.vectors[r.vec], idx, r_col);
@@ -236,30 +247,30 @@ fn drive(g: &ColumnarGraph, plan: &LogicalPlan, pipe: &mut Pipeline<'_>) -> Resu
         }
         PlanReturn::Props(slots) if plan.distinct => {
             let mut sink = DistinctSink::new(pipe, slots);
-            while pipe.next_state(g)? {
+            while pipe.next_state(view)? {
                 sink.absorb(&pipe.chunk);
             }
             Ok(Partial::Distinct(sink.set))
         }
         PlanReturn::Props(slots) if agg::needs_row_finish(plan) => {
             let mut sink = TopKSink::new(pipe, plan, slots);
-            while pipe.next_state(g)? {
+            while pipe.next_state(view)? {
                 sink.absorb(&pipe.chunk);
             }
             Ok(Partial::Rows(sink.rows))
         }
         PlanReturn::Props(slots) => {
-            let refs: Vec<(VecRef, Option<&Column>)> =
+            let refs: Vec<(VecRef, SlotCol)> =
                 slots.iter().map(|&s| (pipe.slot_refs[s], pipe.slot_cols[s])).collect();
             let mut rows: Vec<Vec<Value>> = Vec::new();
-            while pipe.next_state(g)? {
+            while pipe.next_state(view)? {
                 enumerate_rows(&pipe.chunk, &refs, &mut rows);
             }
             Ok(Partial::Rows(rows))
         }
         PlanReturn::GroupBy { keys, aggs } => {
             let mut sink = GroupBySink::new(pipe, keys, aggs);
-            while pipe.next_state(g)? {
+            while pipe.next_state(view)? {
                 sink.absorb(&pipe.chunk);
             }
             Ok(Partial::Grouped(sink.finish()))

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use gfcl_common::{Result, Value};
-use gfcl_storage::{Catalog, ColumnarGraph};
+use gfcl_storage::{Catalog, ColumnarGraph, DeltaSnapshot, GraphSnapshot, GraphView};
 
 use crate::driver::{self, ExecOptions};
 use crate::plan::{plan, LogicalPlan};
@@ -136,6 +136,9 @@ pub trait Engine {
 /// optionally with morsel-driven intra-query parallelism.
 pub struct GfClEngine {
     graph: Arc<ColumnarGraph>,
+    /// Delta overlay when the engine executes against a mutable-store
+    /// snapshot; `None` runs the historical clean-graph path.
+    delta: Option<Arc<DeltaSnapshot>>,
     opts: ExecOptions,
 }
 
@@ -149,7 +152,24 @@ impl GfClEngine {
 
     /// Engine with explicit execution options.
     pub fn with_options(graph: Arc<ColumnarGraph>, opts: ExecOptions) -> Self {
-        GfClEngine { graph, opts }
+        GfClEngine { graph, delta: None, opts }
+    }
+
+    /// Engine over one MVCC snapshot of a mutable [`gfcl_storage::GraphStore`]:
+    /// queries observe `(baseline ⊎ delta) ∖ tombstones` as of the
+    /// snapshot's epoch, isolated from concurrent writers.
+    pub fn with_snapshot(snapshot: &GraphSnapshot) -> Self {
+        GfClEngine::with_snapshot_options(snapshot, ExecOptions::from_env())
+    }
+
+    /// [`GfClEngine::with_snapshot`] with explicit execution options.
+    pub fn with_snapshot_options(snapshot: &GraphSnapshot, opts: ExecOptions) -> Self {
+        let delta = snapshot.delta();
+        GfClEngine {
+            graph: Arc::clone(snapshot.base()),
+            delta: (!delta.is_empty()).then(|| Arc::clone(delta)),
+            opts,
+        }
     }
 
     pub fn graph(&self) -> &ColumnarGraph {
@@ -159,6 +179,10 @@ impl GfClEngine {
     /// The options every `run_plan`/`execute` call uses.
     pub fn options(&self) -> &ExecOptions {
         &self.opts
+    }
+
+    fn view(&self) -> GraphView<'_> {
+        GraphView::new(&self.graph, self.delta.as_deref())
     }
 }
 
@@ -172,10 +196,10 @@ impl Engine for GfClEngine {
     }
 
     fn run_plan(&self, plan: &LogicalPlan) -> Result<QueryOutput> {
-        driver::execute_with(&self.graph, plan, &self.opts)
+        driver::execute_view(self.view(), plan, &self.opts)
     }
 
     fn run_plan_with(&self, plan: &LogicalPlan, opts: &ExecOptions) -> Result<QueryOutput> {
-        driver::execute_with(&self.graph, plan, opts)
+        driver::execute_view(self.view(), plan, opts)
     }
 }

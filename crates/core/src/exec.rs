@@ -37,14 +37,17 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use gfcl_columnar::Column;
+use gfcl_columnar::{Column, Dictionary};
 use gfcl_common::{DataType, Direction, Error, LabelId, Result, Value};
-use gfcl_storage::{AdjIndex, ColumnarGraph};
+use gfcl_storage::{AdjIndex, ColumnarGraph, GraphView, StrExt};
 
 use crate::agg::{AggState, GroupTable, OrdValue};
 use crate::chunk::{Chunk, ListGroup, NodeData, ValueVector, VecRef};
 use crate::plan::{LogicalPlan, PlanAgg, PlanStep, SlotSource};
-use crate::pred::{compile_pred, compile_scan_pred, BlockVerdict, CPred, EvalCtx, ScanPred};
+use crate::pred::{
+    compile_pred, compile_row_pred, compile_scan_pred, BlockVerdict, CPred, EvalCtx, RowPred,
+    ScanPred, SlotCol,
+};
 
 // Re-export the driver entry points here so `exec::execute` keeps working
 // as the canonical "run a plan on the columnar graph" call.
@@ -90,9 +93,19 @@ impl ScanCursor {
 
     /// [`ScanCursor::for_plan`] with an explicit morsel size.
     pub fn for_plan_with(g: &ColumnarGraph, plan: &LogicalPlan, morsel: u64) -> Result<ScanCursor> {
+        ScanCursor::for_plan_view(GraphView::clean(g), plan, morsel)
+    }
+
+    /// Cursor sized for `plan`'s scan over a (possibly delta-overlaid)
+    /// snapshot view: scans cover the baseline rows plus every delta slot.
+    pub fn for_plan_view(
+        view: GraphView<'_>,
+        plan: &LogicalPlan,
+        morsel: u64,
+    ) -> Result<ScanCursor> {
         match plan.steps.first() {
             Some(PlanStep::ScanAll { node, .. }) => {
-                Ok(ScanCursor::with_morsel(g.vertex_count(plan.nodes[*node].label) as u64, morsel))
+                Ok(ScanCursor::with_morsel(view.scan_total(plan.nodes[*node].label), morsel))
             }
             Some(PlanStep::ScanPk { .. }) => Ok(ScanCursor::with_morsel(1, morsel)),
             _ => Err(Error::Plan("plan does not start with a scan".into())),
@@ -154,6 +167,15 @@ enum Op<'g> {
         /// group's selection mask from the survivors — before any
         /// `ReadNodeProp` touches a column.
         pushed: Vec<ScanPred<'g>>,
+        /// The pushed predicates recompiled for row-at-a-time evaluation
+        /// through the snapshot view — used only on morsels the delta
+        /// touches, where positional column reads may be stale.
+        row_pushed: Vec<RowPred<'g>>,
+        /// Does the snapshot's delta touch this label's vertices at all?
+        /// `false` ⇒ the clean zone-map path is exact for every morsel.
+        touched: bool,
+        /// Baseline vertex count; offsets at or past it are delta slots.
+        n_base: u64,
         /// Scratch selection mask, reused across morsels.
         mask: Vec<bool>,
         /// Scratch per-predicate block verdicts, reused across blocks.
@@ -175,6 +197,12 @@ enum Op<'g> {
         nbr_label: LabelId,
         from: VecRef,
         out_group: usize,
+        /// Does the snapshot's delta touch this adjacency (or insert
+        /// vertices on the from side)? `false` ⇒ zero-copy CSR views.
+        maybe_dirty: bool,
+        /// Baseline vertex count of the from-side label: offsets past it
+        /// have no CSR entry and always take the merged path.
+        from_count: u64,
         /// A chunk state is held from the child and being iterated.
         active: bool,
         /// This op flattens the source group (it arrived unflat).
@@ -188,6 +216,11 @@ enum Op<'g> {
         nbr_label: LabelId,
         from: VecRef,
         node_out: VecRef,
+        /// Location of the `SingleEdge` descriptor vector (tag storage on
+        /// the dirty path).
+        edge_out: VecRef,
+        /// Does the snapshot's delta touch this adjacency?
+        maybe_dirty: bool,
     },
     ReadNodeProp {
         node: VecRef,
@@ -195,6 +228,9 @@ enum Op<'g> {
         label: LabelId,
         prop: usize,
         dtype: DataType,
+        /// Does the snapshot's delta touch this label's vertices? `true` ⇒
+        /// values resolve row-at-a-time through the view.
+        touched: bool,
         /// Pages pinned for the chunk being filled (paged columns only).
         pins: Vec<std::sync::Arc<Vec<u8>>>,
     },
@@ -219,12 +255,24 @@ fn csr_missing() -> Error {
 }
 
 /// Pull the next chunk state through `ops`.
-fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool> {
+fn pull(ops: &mut [Op<'_>], view: GraphView<'_>, chunk: &mut Chunk) -> Result<bool> {
+    let g = view.base();
     // lint: allow(compile() always emits a scan as ops[0]; the plan
     // verifier's scan-first rule rejects scanless plans before compilation)
     let (op, children) = ops.split_last_mut().expect("pipeline has at least a scan");
     match op {
-        Op::ScanAll { label, out, cursor, pushed, mask, verdicts, pins } => loop {
+        Op::ScanAll {
+            label,
+            out,
+            cursor,
+            pushed,
+            row_pushed,
+            touched,
+            n_base,
+            mask,
+            verdicts,
+            pins,
+        } => loop {
             let Some((start, end)) = cursor.claim(cursor.morsel()) else {
                 return Ok(false);
             };
@@ -233,9 +281,13 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
             // Evaluate the pushed predicates morsel-wide: one zone-map
             // verdict per overlapping block, row evaluation only where the
             // verdict is inconclusive. A morsel with no survivor is
-            // skipped without ever materializing its chunk state.
+            // skipped without ever materializing its chunk state. Blocks
+            // the snapshot's delta touches (tombstones, updates, or
+            // appended slots) fall back to row-at-a-time evaluation
+            // through the view; pristine baseline blocks keep full
+            // zone-map pruning.
             let mut all_selected = true;
-            if !pushed.is_empty() {
+            if *touched || !pushed.is_empty() {
                 mask.clear();
                 mask.resize(n, false);
                 let mut any_selected = false;
@@ -244,6 +296,21 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
                 while bs < end {
                     let block = (bs / zb) as usize;
                     let be = ((bs / zb + 1) * zb).min(end);
+                    let pristine =
+                        !*touched || (be <= *n_base && !view.base_range_touched(*label, bs, be));
+                    if !pristine {
+                        for v in bs..be {
+                            let keep = view.vertex_live(*label, v)
+                                && row_pushed.iter().all(|p| p.holds_row(view, *label, v));
+                            // lint: allow(v in [start, end); mask has
+                            // end - start entries)
+                            mask[(v - start) as usize] = keep;
+                            any_selected |= keep;
+                            all_selected &= keep;
+                        }
+                        bs = be;
+                        continue;
+                    }
                     // Per-predicate verdicts: in a Mixed block, predicates
                     // the zone map already proved AllTrue are skipped in
                     // the row loop (only the inconclusive ones pay probes).
@@ -313,7 +380,7 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
             if cursor.claim(1).is_none() {
                 return Ok(false);
             }
-            match g.lookup_pk(*label, *key) {
+            match view.lookup_pk(*label, *key) {
                 Some(off) => {
                     let group = &mut chunk.groups[out.group];
                     group.reset(1);
@@ -330,6 +397,8 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
             nbr_label,
             from,
             out_group,
+            maybe_dirty,
+            from_count,
             active,
             owns_iter,
             pos,
@@ -337,7 +406,7 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
         } => {
             loop {
                 if !*active {
-                    if !pull(children, g, chunk)? {
+                    if !pull(children, view, chunk)? {
                         return Ok(false);
                     }
                     *active = true;
@@ -370,6 +439,22 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
                     continue;
                 };
                 let src = chunk.groups[from.group].vectors[from.vec].node_offset(g, i);
+                if *maybe_dirty && (src >= *from_count || view.edge_list_dirty(*label, *dir, src)) {
+                    // The delta touches this list (or the source vertex is
+                    // delta-inserted and has no CSR entry): materialize the
+                    // merged adjacency with tagged edge references.
+                    let (nbrs, refs) = view.merged_adj(*label, *dir, src);
+                    if nbrs.is_empty() {
+                        continue;
+                    }
+                    let og = &mut chunk.groups[*out_group];
+                    og.reset(nbrs.len());
+                    og.vectors[0] =
+                        ValueVector::Node { label: *nbr_label, data: NodeData::Owned(nbrs) };
+                    og.vectors[1] =
+                        ValueVector::EdgeRefs { label: *label, dir: *dir, from: src, refs };
+                    return Ok(true);
+                }
                 let csr = match g.adj(*label, *dir) {
                     AdjIndex::Csr(c) => c,
                     AdjIndex::SingleCard(_) => {
@@ -391,16 +476,10 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
                 return Ok(true);
             }
         }
-        Op::ColumnExtend { label, dir, nbr_label, from, node_out } => loop {
-            if !pull(children, g, chunk)? {
+        Op::ColumnExtend { label, dir, nbr_label, from, node_out, edge_out, maybe_dirty } => loop {
+            if !pull(children, view, chunk)? {
                 return Ok(false);
             }
-            let adj = match g.adj(*label, *dir) {
-                AdjIndex::SingleCard(s) => s,
-                AdjIndex::Csr(_) => {
-                    return Err(Error::Exec("ColumnExtend over CSR adjacency".into()))
-                }
-            };
             let n = chunk.groups[from.group].len;
             // Reuse the output allocation across fills.
             let mut vals = match std::mem::replace(
@@ -415,14 +494,47 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
             };
             let mut mask = vec![true; n];
             let mut any_missing = false;
-            for (i, keep) in mask.iter_mut().enumerate() {
-                let off = chunk.groups[from.group].vectors[from.vec].node_offset(g, i);
-                match adj.nbr(off) {
-                    Some(nb) => vals.push(nb),
-                    None => {
-                        vals.push(0);
-                        *keep = false;
-                        any_missing = true;
+            if *maybe_dirty {
+                // The delta touches this adjacency: resolve each tuple's
+                // neighbour through the view and record tagged edge
+                // references for downstream property reads.
+                let mut tags: Vec<u64> = Vec::with_capacity(n);
+                for (i, keep) in mask.iter_mut().enumerate() {
+                    let off = chunk.groups[from.group].vectors[from.vec].node_offset(g, i);
+                    match view.single_nbr(*label, *dir, off) {
+                        Some((nb, tag)) => {
+                            vals.push(nb);
+                            tags.push(tag);
+                        }
+                        None => {
+                            vals.push(0);
+                            tags.push(0);
+                            *keep = false;
+                            any_missing = true;
+                        }
+                    }
+                }
+                if let ValueVector::SingleEdge { tags: slot, .. } =
+                    &mut chunk.groups[edge_out.group].vectors[edge_out.vec]
+                {
+                    *slot = Some(tags);
+                }
+            } else {
+                let adj = match g.adj(*label, *dir) {
+                    AdjIndex::SingleCard(s) => s,
+                    AdjIndex::Csr(_) => {
+                        return Err(Error::Exec("ColumnExtend over CSR adjacency".into()))
+                    }
+                };
+                for (i, keep) in mask.iter_mut().enumerate() {
+                    let off = chunk.groups[from.group].vectors[from.vec].node_offset(g, i);
+                    match adj.nbr(off) {
+                        Some(nb) => vals.push(nb),
+                        None => {
+                            vals.push(0);
+                            *keep = false;
+                            any_missing = true;
+                        }
                     }
                 }
             }
@@ -441,8 +553,8 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
             }
             // Current tuple(s) all died: pull the next state.
         },
-        Op::ReadNodeProp { node, out, label, prop, dtype, pins } => {
-            if !pull(children, g, chunk)? {
+        Op::ReadNodeProp { node, out, label, prop, dtype, touched, pins } => {
+            if !pull(children, view, chunk)? {
                 return Ok(false);
             }
             let n = chunk.groups[node.group].len;
@@ -453,6 +565,23 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
             );
             let ng = &chunk.groups[node.group];
             let node_vec = &ng.vectors[node.vec];
+            if *touched {
+                // The delta touches this label: every offset resolves
+                // through the view (updated rows, delta slots, string
+                // codes past the baseline dictionary).
+                pins.clear();
+                let filled = fill_vector_from_values(
+                    n,
+                    *dtype,
+                    reuse,
+                    ng.sel.as_deref(),
+                    |i| view.vertex_value(*label, node_vec.node_offset(g, i), *prop),
+                    col.dictionary(),
+                    view.vertex_str_ext(*label, *prop),
+                )?;
+                chunk.groups[out.group].vectors[out.vec] = filled;
+                return Ok(true);
+            }
             // For a paged column, fault the chunk's page span once up front
             // (scan output is a contiguous morsel, so the span is tight);
             // skip the pre-pin for scattered gathers that would span far
@@ -482,7 +611,7 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
             Ok(true)
         }
         Op::ReadEdgeProp { edge, out, prop, dtype } => {
-            if !pull(children, g, chunk)? {
+            if !pull(children, view, chunk)? {
                 return Ok(false);
             }
             let n = chunk.groups[edge.group].len;
@@ -539,21 +668,70 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
                         }
                     }
                 }
-                ValueVector::SingleEdge { label, dir, from_vec, nbr_vec } => {
+                ValueVector::EdgeRefs { label, dir, from, refs } => {
+                    // Merged adjacency list: each element is a tagged edge
+                    // reference (baseline CSR position or delta index),
+                    // resolved value-at-a-time through the view.
+                    let col = edge_prop_col(g.edge_prop_read(*label, *dir, *prop)?);
+                    let (label, dir, from) = (*label, *dir, *from);
+                    let mut vals: Vec<Value> = Vec::with_capacity(n);
+                    for i in 0..n {
+                        vals.push(if sel.is_none_or(|m| m[i]) {
+                            view.edge_value(label, dir, from, refs[i], *prop)?
+                        } else {
+                            Value::Null
+                        });
+                    }
+                    fill_vector_from_values(
+                        n,
+                        *dtype,
+                        reuse,
+                        sel,
+                        |i| vals[i].clone(),
+                        col.dictionary(),
+                        view.edge_str_ext(label, dir, *prop),
+                    )?
+                }
+                ValueVector::SingleEdge { label, dir, from_vec, nbr_vec, tags } => {
                     let read = g.edge_prop_read(*label, *dir, *prop)?;
-                    let (col, endpoint_is_nbr) = match read {
-                        gfcl_storage::EdgePropRead::ByVertex { col, endpoint_is_nbr } => {
-                            (col, endpoint_is_nbr)
+                    if let Some(tags) = tags {
+                        // Dirty path: tagged references recorded by
+                        // `ColumnExtend` resolve through the view.
+                        let col = edge_prop_col(read);
+                        let vecs = &eg.vectors;
+                        let mut vals: Vec<Value> = Vec::with_capacity(n);
+                        for i in 0..n {
+                            vals.push(if sel.is_none_or(|m| m[i]) {
+                                let from = vecs[*from_vec].node_offset(g, i);
+                                view.edge_value(*label, *dir, from, tags[i], *prop)?
+                            } else {
+                                Value::Null
+                            });
                         }
-                        _ => {
-                            return Err(Error::Exec(
-                                "single-cardinality edge must read props via vertex columns".into(),
-                            ))
-                        }
-                    };
-                    let src_vec = if endpoint_is_nbr { *nbr_vec } else { *from_vec };
-                    let vecs = &eg.vectors;
-                    fill_vector(col, n, *dtype, reuse, sel, |i| vecs[src_vec].node_offset(g, i))
+                        fill_vector_from_values(
+                            n,
+                            *dtype,
+                            reuse,
+                            sel,
+                            |i| vals[i].clone(),
+                            col.dictionary(),
+                            view.edge_str_ext(*label, *dir, *prop),
+                        )?
+                    } else {
+                        let (col, endpoint_is_nbr) =
+                            match read {
+                                gfcl_storage::EdgePropRead::ByVertex { col, endpoint_is_nbr } => {
+                                    (col, endpoint_is_nbr)
+                                }
+                                _ => return Err(Error::Exec(
+                                    "single-cardinality edge must read props via vertex columns"
+                                        .into(),
+                                )),
+                            };
+                        let src_vec = if endpoint_is_nbr { *nbr_vec } else { *from_vec };
+                        let vecs = &eg.vectors;
+                        fill_vector(col, n, *dtype, reuse, sel, |i| vecs[src_vec].node_offset(g, i))
+                    }
                 }
                 _ => return Err(Error::Exec("edge property read on non-edge vector".into())),
             };
@@ -561,7 +739,7 @@ fn pull(ops: &mut [Op<'_>], g: &ColumnarGraph, chunk: &mut Chunk) -> Result<bool
             Ok(true)
         }
         Op::Filter { pred, mask } => loop {
-            if !pull(children, g, chunk)? {
+            if !pull(children, view, chunk)? {
                 return Ok(false);
             }
             // Find the unflat group among the predicate's inputs.
@@ -710,9 +888,135 @@ fn fill_vector(
     }
 }
 
+/// The column backing an edge property, whatever the access path (used for
+/// its dictionary on the value-at-a-time dirty paths).
+fn edge_prop_col(read: gfcl_storage::EdgePropRead<'_>) -> &Column {
+    match read {
+        gfcl_storage::EdgePropRead::ByPosition(c)
+        | gfcl_storage::EdgePropRead::ByEdgeId(c)
+        | gfcl_storage::EdgePropRead::ByPageOffset { col: c, .. }
+        | gfcl_storage::EdgePropRead::ByVertex { col: c, .. } => c,
+    }
+}
+
+/// [`fill_vector`] for the snapshot-overlay paths: values arrive as
+/// [`Value`]s from the view instead of positional column reads. String
+/// values re-encode through the baseline dictionary, falling back to the
+/// delta's string extension for values the baseline never saw — so the
+/// whole pipeline stays code-typed and the sink's late-materialization
+/// decode works unchanged.
+fn fill_vector_from_values(
+    n: usize,
+    dtype: DataType,
+    reuse: ValueVector,
+    sel: Option<&[bool]>,
+    get: impl Fn(usize) -> Value,
+    dict: Option<&Dictionary>,
+    ext: Option<&StrExt>,
+) -> Result<ValueVector> {
+    let live = |i: usize| sel.is_none_or(|m| m[i]);
+    Ok(match dtype {
+        DataType::Int64 | DataType::Date => {
+            let (mut vals, mut valid) = match reuse {
+                ValueVector::I64 { mut vals, mut valid, .. } => {
+                    vals.clear();
+                    valid.clear();
+                    (vals, valid)
+                }
+                _ => (Vec::with_capacity(n), Vec::with_capacity(n)),
+            };
+            for i in 0..n {
+                match if live(i) { get(i) } else { Value::Null } {
+                    Value::Int64(v) | Value::Date(v) => {
+                        vals.push(v);
+                        valid.push(true);
+                    }
+                    _ => {
+                        vals.push(0);
+                        valid.push(false);
+                    }
+                }
+            }
+            ValueVector::I64 { vals, valid, date: dtype == DataType::Date }
+        }
+        DataType::Float64 => {
+            let mut vals = Vec::with_capacity(n);
+            let mut valid = Vec::with_capacity(n);
+            for i in 0..n {
+                match if live(i) { get(i) } else { Value::Null } {
+                    Value::Float64(v) => {
+                        vals.push(v);
+                        valid.push(true);
+                    }
+                    _ => {
+                        vals.push(0.0);
+                        valid.push(false);
+                    }
+                }
+            }
+            ValueVector::F64 { vals, valid }
+        }
+        DataType::Bool => {
+            let mut vals = Vec::with_capacity(n);
+            let mut valid = Vec::with_capacity(n);
+            for i in 0..n {
+                match if live(i) { get(i) } else { Value::Null } {
+                    Value::Bool(v) => {
+                        vals.push(v);
+                        valid.push(true);
+                    }
+                    _ => {
+                        vals.push(false);
+                        valid.push(false);
+                    }
+                }
+            }
+            ValueVector::Bool { vals, valid }
+        }
+        DataType::String => {
+            let (mut vals, mut valid) = match reuse {
+                ValueVector::Code { mut vals, mut valid } => {
+                    vals.clear();
+                    valid.clear();
+                    (vals, valid)
+                }
+                _ => (Vec::with_capacity(n), Vec::with_capacity(n)),
+            };
+            for i in 0..n {
+                match if live(i) { get(i) } else { Value::Null } {
+                    Value::String(s) => {
+                        let code = dict
+                            .and_then(|d| d.code_of(&s))
+                            .map(u64::from)
+                            .or_else(|| ext.and_then(|e| e.code_of(&s)));
+                        match code {
+                            Some(c) => {
+                                vals.push(c);
+                                valid.push(true);
+                            }
+                            None => {
+                                return Err(Error::Exec(format!(
+                                    "string value {s:?} missing from both the baseline \
+                                     dictionary and the delta string extension"
+                                )))
+                            }
+                        }
+                    }
+                    _ => {
+                        vals.push(0);
+                        valid.push(false);
+                    }
+                }
+            }
+            ValueVector::Code { vals, valid }
+        }
+    })
+}
+
 /// Read position `idx` of a block as a [`Value`] (row materialization).
-/// `col` provides the dictionary for decoding string codes.
-pub(crate) fn vector_value(v: &ValueVector, idx: usize, col: Option<&Column>) -> Value {
+/// `sc` provides the dictionary (and any delta string extension) for
+/// decoding string codes.
+pub(crate) fn vector_value(v: &ValueVector, idx: usize, sc: SlotCol<'_>) -> Value {
     match v {
         ValueVector::I64 { vals, valid, date } => {
             if valid[idx] {
@@ -744,8 +1048,18 @@ pub(crate) fn vector_value(v: &ValueVector, idx: usize, col: Option<&Column>) ->
                 // Code vectors are only compiled for String slots, whose
                 // columns are dictionary-encoded by the slot-schema plan
                 // invariant.
-                let dict = col.and_then(Column::dictionary).expect("string slot has a dictionary"); // lint: allow(slot-schema invariant)
-                Value::String(dict.decode(vals[idx]).to_owned())
+                let dict =
+                    sc.col.and_then(Column::dictionary).expect("string slot has a dictionary"); // lint: allow(slot-schema invariant)
+                let code = vals[idx];
+                if (code as usize) < dict.len() {
+                    Value::String(dict.decode(code).to_owned())
+                } else {
+                    // lint: allow(codes past the dictionary are only
+                    // produced under a delta snapshot, which always wires
+                    // the extension into the slot)
+                    let ext = sc.ext.expect("code beyond dictionary has a delta extension");
+                    Value::String(ext.decode(code).to_owned())
+                }
             } else {
                 Value::Null
             }
@@ -765,24 +1079,29 @@ pub(crate) struct Pipeline<'g> {
     pub(crate) chunk: Chunk,
     /// Vector location of each plan slot.
     pub(crate) slot_refs: Vec<VecRef>,
-    /// Storage column backing each slot (dictionary decode at the sink).
-    pub(crate) slot_cols: Vec<Option<&'g Column>>,
+    /// Storage column (and any delta string extension) backing each slot
+    /// (dictionary decode at the sink).
+    pub(crate) slot_cols: Vec<SlotCol<'g>>,
 }
 
 impl<'g> Pipeline<'g> {
     /// Pull the next chunk state through the pipeline. `false` = drained.
-    pub(crate) fn next_state(&mut self, g: &ColumnarGraph) -> Result<bool> {
-        pull(&mut self.ops, g, &mut self.chunk)
+    pub(crate) fn next_state(&mut self, view: GraphView<'_>) -> Result<bool> {
+        pull(&mut self.ops, view, &mut self.chunk)
     }
 }
 
 /// Compile `plan` into a [`Pipeline`] whose scan pulls morsels from
-/// `cursor` (physical compilation).
+/// `cursor` (physical compilation). The pipeline executes against `view`:
+/// a clean view compiles to exactly the historical zero-copy operators,
+/// while a delta-overlaid snapshot additionally arms the per-operator
+/// dirty paths (`(baseline ⊎ delta) ∖ tombstones`).
 pub(crate) fn compile<'g>(
-    g: &'g ColumnarGraph,
+    view: GraphView<'g>,
     plan: &LogicalPlan,
     cursor: &Arc<ScanCursor>,
 ) -> Result<Pipeline<'g>> {
+    let g = view.base();
     let mut group_vectors: Vec<Vec<ValueVector>> = Vec::new();
     let mut node_locs: Vec<Option<VecRef>> = vec![None; plan.nodes.len()];
     #[derive(Clone, Copy)]
@@ -791,7 +1110,7 @@ pub(crate) fn compile<'g>(
     }
     let mut edge_locs: Vec<Option<EdgeBinding>> = vec![None; plan.edges.len()];
     let mut slot_refs: Vec<VecRef> = vec![VecRef { group: usize::MAX, vec: 0 }; plan.slots.len()];
-    let mut slot_cols: Vec<Option<&Column>> = vec![None; plan.slots.len()];
+    let mut slot_cols: Vec<SlotCol<'g>> = vec![SlotCol::default(); plan.slots.len()];
     let mut ops: Vec<Op<'g>> = Vec::with_capacity(plan.steps.len());
 
     for step in &plan.steps {
@@ -804,25 +1123,49 @@ pub(crate) fn compile<'g>(
                 // Resolve each pushed predicate's slots straight to the
                 // scanned label's property columns — no chunk vector is
                 // ever involved.
-                let scan_cols: Vec<Option<&'g Column>> = plan
+                let scan_cols: Vec<SlotCol<'g>> = plan
                     .slots
                     .iter()
                     .map(|def| match def.source {
-                        SlotSource::NodeProp { node: n, prop } if n == *node => {
-                            Some(g.vertex_prop(label, prop))
-                        }
-                        _ => None,
+                        SlotSource::NodeProp { node: n, prop } if n == *node => SlotCol {
+                            col: Some(g.vertex_prop(label, prop)),
+                            ext: view.vertex_str_ext(label, prop),
+                        },
+                        _ => SlotCol::default(),
                     })
                     .collect();
                 let compiled: Vec<ScanPred<'g>> = pushed
                     .iter()
                     .map(|e| compile_scan_pred(e, &plan.slots, &scan_cols))
                     .collect::<Result<_>>()?;
+                // On a touched label, recompile the same predicates for
+                // row-at-a-time evaluation through the view (delta-touched
+                // blocks can't trust positional column reads).
+                let touched = view.vertex_label_touched(label);
+                let row_compiled: Vec<RowPred<'g>> = if touched {
+                    let props: Vec<Option<usize>> = plan
+                        .slots
+                        .iter()
+                        .map(|def| match def.source {
+                            SlotSource::NodeProp { node: n, prop } if n == *node => Some(prop),
+                            _ => None,
+                        })
+                        .collect();
+                    pushed
+                        .iter()
+                        .map(|e| compile_row_pred(e, &plan.slots, &props, &scan_cols))
+                        .collect::<Result<_>>()?
+                } else {
+                    Vec::new()
+                };
                 ops.push(Op::ScanAll {
                     label,
                     out,
                     cursor: Arc::clone(cursor),
                     pushed: compiled,
+                    row_pushed: row_compiled,
+                    touched,
+                    n_base: g.vertex_count(label) as u64,
                     mask: Vec::new(),
                     verdicts: Vec::new(),
                     pins: Vec::new(),
@@ -839,6 +1182,12 @@ pub(crate) fn compile<'g>(
                 let from_ref =
                     node_locs[*from].ok_or_else(|| Error::Plan("unbound from".into()))?;
                 let nbr_label = g.catalog().edge_label(*edge_label).nbr_label(*dir);
+                let from_label = plan.nodes[*from].label;
+                // Delta-inserted from-vertices have no adjacency entry, so
+                // vertex insertions arm the dirty path even when no edge of
+                // this label changed.
+                let maybe_dirty = view.edge_label_touched(*edge_label, *dir)
+                    || view.vertex_label_touched(from_label);
                 match g.adj(*edge_label, *dir) {
                     AdjIndex::Csr(_) => {
                         let out_group = group_vectors.len();
@@ -852,6 +1201,8 @@ pub(crate) fn compile<'g>(
                             nbr_label,
                             from: from_ref,
                             out_group,
+                            maybe_dirty,
+                            from_count: g.vertex_count(from_label) as u64,
                             active: false,
                             owns_iter: false,
                             pos: -1,
@@ -868,6 +1219,7 @@ pub(crate) fn compile<'g>(
                             dir: *dir,
                             from_vec: from_ref.vec,
                             nbr_vec: nv,
+                            tags: None,
                         });
                         node_locs[*to] = Some(VecRef { group: gidx, vec: nv });
                         edge_locs[*edge] =
@@ -878,6 +1230,8 @@ pub(crate) fn compile<'g>(
                             nbr_label,
                             from: from_ref,
                             node_out: VecRef { group: gidx, vec: nv },
+                            edge_out: VecRef { group: gidx, vec: ev },
+                            maybe_dirty,
                         });
                     }
                 }
@@ -888,7 +1242,10 @@ pub(crate) fn compile<'g>(
                 let out = VecRef { group: nref.group, vec: group_vectors[nref.group].len() };
                 group_vectors[nref.group].push(ValueVector::Empty);
                 slot_refs[*slot] = out;
-                slot_cols[*slot] = Some(g.vertex_prop(label, *prop));
+                slot_cols[*slot] = SlotCol {
+                    col: Some(g.vertex_prop(label, *prop)),
+                    ext: view.vertex_str_ext(label, *prop),
+                };
                 let def = &plan.slots[*slot];
                 ops.push(Op::ReadNodeProp {
                     node: nref,
@@ -896,6 +1253,7 @@ pub(crate) fn compile<'g>(
                     label,
                     prop: *prop,
                     dtype: def.dtype,
+                    touched: view.vertex_label_touched(label),
                     pins: Vec::new(),
                 });
             }
@@ -930,7 +1288,8 @@ pub(crate) fn compile<'g>(
                 let out = VecRef { group: eb.vref.group, vec: group_vectors[eb.vref.group].len() };
                 group_vectors[eb.vref.group].push(ValueVector::Empty);
                 slot_refs[*slot] = out;
-                slot_cols[*slot] = Some(col);
+                slot_cols[*slot] =
+                    SlotCol { col: Some(col), ext: view.edge_str_ext(elabel, dir, *prop) };
                 let def = &plan.slots[*slot];
                 ops.push(Op::ReadEdgeProp { edge: eb.vref, out, prop: *prop, dtype: def.dtype });
             }
@@ -955,7 +1314,7 @@ pub(crate) fn compile<'g>(
 /// through their columns' dictionaries — late materialization).
 pub(crate) fn enumerate_rows(
     chunk: &Chunk,
-    refs: &[(VecRef, Option<&Column>)],
+    refs: &[(VecRef, SlotCol<'_>)],
     rows: &mut Vec<Vec<Value>>,
 ) {
     // Positions per group: flat groups are fixed at cur_idx.
@@ -1067,9 +1426,9 @@ fn for_each_combo(chunk: &Chunk, groups: &[usize], mut f: impl FnMut(&[usize])) 
 /// run instead of one per chunk state.
 pub(crate) struct GroupBySink<'g> {
     /// Key slot locations + backing columns (string decode at the sink).
-    key_refs: Vec<(VecRef, Option<&'g Column>)>,
+    key_refs: Vec<(VecRef, SlotCol<'g>)>,
     /// Aggregate input locations (`None` = `COUNT(*)`).
-    agg_refs: Vec<Option<(VecRef, Option<&'g Column>)>>,
+    agg_refs: Vec<Option<(VecRef, SlotCol<'g>)>>,
     /// Distinct groups the keys live in, sorted (the only groups whose
     /// positions the sink ever enumerates).
     key_groups: Vec<usize>,
@@ -1193,7 +1552,7 @@ impl<'g> GroupBySink<'g> {
 /// is the tuple count contributed by all non-key groups.
 fn fold_agg(
     state: &mut AggState,
-    input: &Option<(VecRef, Option<&Column>)>,
+    input: &Option<(VecRef, SlotCol<'_>)>,
     chunk: &Chunk,
     key_groups: &[usize],
     contrib: &[u64],
@@ -1233,7 +1592,7 @@ fn fold_agg(
 /// size. The per-worker prune is safe because the top-k of a union is the
 /// top-k of the per-worker top-ks.
 pub(crate) struct TopKSink<'g> {
-    refs: Vec<(VecRef, Option<&'g Column>)>,
+    refs: Vec<(VecRef, SlotCol<'g>)>,
     order_by: Vec<(usize, bool)>,
     limit: Option<usize>,
     pub(crate) rows: Vec<Vec<Value>>,
@@ -1265,7 +1624,7 @@ impl<'g> TopKSink<'g> {
 /// the projection are enumerated, so `DISTINCT a.x` over a many-neighbour
 /// extension never walks the neighbour lists of unprojected variables.
 pub(crate) struct DistinctSink<'g> {
-    refs: Vec<(VecRef, Option<&'g Column>)>,
+    refs: Vec<(VecRef, SlotCol<'g>)>,
     /// Distinct groups referenced by the projection, sorted.
     ref_groups: Vec<usize>,
     pub(crate) set: std::collections::BTreeSet<Vec<OrdValue>>,

@@ -26,13 +26,32 @@
 //! NULL semantics are SQL's three-valued logic: comparisons with NULL are
 //! UNKNOWN, and only tuples whose predicate is TRUE survive.
 
-use gfcl_columnar::{Bitmap, Column, ZoneInfo};
+use gfcl_columnar::{Bitmap, Column, Dictionary, ZoneInfo};
 
-use gfcl_common::{DataType, Error, Result, Value};
+use gfcl_common::{DataType, Error, LabelId, Result, Value};
+use gfcl_storage::{GraphView, StrExt};
 
 use crate::chunk::{Chunk, ValueVector, VecRef};
 use crate::plan::{PlanExpr, PlanScalar, SlotDef, SlotId};
 use crate::query::{CmpOp, StrOp};
+
+/// The storage backing of one plan slot: the baseline column (dictionary
+/// decode and pre-evaluation) plus, when the graph carries uncommitted
+/// mutations, the delta's string extension for values absent from the
+/// baseline dictionary. Code spaces concatenate: codes `< dict.len()` are
+/// baseline, codes `>= dict.len()` resolve through the extension.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlotCol<'g> {
+    pub col: Option<&'g Column>,
+    pub ext: Option<&'g StrExt>,
+}
+
+impl<'g> SlotCol<'g> {
+    /// A slot backed by a baseline column only (the clean-graph case).
+    pub fn clean(col: Option<&'g Column>) -> SlotCol<'g> {
+        SlotCol { col, ext: None }
+    }
+}
 
 /// An i64 operand: a located slot or a constant.
 #[derive(Debug, Clone, Copy)]
@@ -188,6 +207,75 @@ impl PredReader<&Column> for ScanCtx {
     }
 }
 
+/// Operand of a row-level predicate: a vertex property index plus the
+/// dictionary/extension needed to translate string values back into the
+/// compiled bitmap's code space.
+#[derive(Debug, Clone, Copy)]
+pub struct RowOperand<'g> {
+    pub prop: usize,
+    pub dict: Option<&'g Dictionary>,
+    pub ext: Option<&'g StrExt>,
+}
+
+/// A pushed-down predicate recompiled for row-at-a-time evaluation through
+/// a [`GraphView`]: the scan falls back to this for rows the delta touches
+/// (updated, inserted, or inside a tombstoned block), where the baseline
+/// columns no longer tell the truth.
+pub type RowPred<'g> = CPredG<RowOperand<'g>>;
+
+/// Reader evaluating a [`RowPred`] at one vertex of one label.
+pub struct RowCtx<'g> {
+    pub view: GraphView<'g>,
+    pub label: LabelId,
+    pub off: u64,
+}
+
+impl<'g> PredReader<RowOperand<'g>> for RowCtx<'g> {
+    #[inline]
+    fn i64(&self, o: &RowOperand<'g>) -> Option<i64> {
+        match self.view.vertex_value(self.label, self.off, o.prop) {
+            Value::Int64(v) | Value::Date(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn f64(&self, o: &RowOperand<'g>) -> Option<f64> {
+        match self.view.vertex_value(self.label, self.off, o.prop) {
+            Value::Float64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn bool(&self, o: &RowOperand<'g>) -> Option<bool> {
+        match self.view.vertex_value(self.label, self.off, o.prop) {
+            Value::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn code(&self, o: &RowOperand<'g>) -> Option<u64> {
+        match self.view.vertex_value(self.label, self.off, o.prop) {
+            Value::String(s) => o
+                .dict
+                .and_then(|d| d.code_of(&s))
+                .map(u64::from)
+                .or_else(|| o.ext.and_then(|e| e.code_of(&s))),
+            _ => None,
+        }
+    }
+}
+
+impl<'g> RowPred<'g> {
+    /// TRUE-only evaluation at one `(label, off)` vertex of `view`.
+    #[inline]
+    pub fn holds_row(&self, view: GraphView<'g>, label: LabelId, off: u64) -> bool {
+        self.eval_with(&RowCtx { view, label, off }) == Some(true)
+    }
+}
+
 #[inline]
 fn cmp_holds<T: PartialOrd>(op: CmpOp, a: T, b: T) -> bool {
     match op {
@@ -228,7 +316,13 @@ impl<L> CPredG<L> {
                 Some(cmp_holds(*op, read(lhs)?, read(rhs)?))
             }
             CPredG::BoolEq { slot, expected } => Some(r.bool(slot)? == *expected),
-            CPredG::CodeIn { slot, set } => Some(set.get(r.code(slot)? as usize)),
+            CPredG::CodeIn { slot, set } => {
+                // A code past the bitmap cannot be in the set. (Delta string
+                // extensions grow the code space; predicates compiled before
+                // the extension existed stay sound.)
+                let c = r.code(slot)? as usize;
+                Some(c < set.len() && set.get(c))
+            }
             CPredG::I64In { slot, set } => {
                 let v = r.i64(slot)?;
                 Some(set.binary_search(&v).is_ok())
@@ -618,7 +712,7 @@ pub fn compile_pred(
     expr: &PlanExpr,
     slot_defs: &[SlotDef],
     slot_refs: &[VecRef],
-    slot_cols: &[Option<&Column>],
+    slot_cols: &[SlotCol<'_>],
 ) -> Result<CPred> {
     let c = Compiler { slot_defs, slot_cols, loc_of: |s: SlotId| slot_refs[s] };
     c.compile(expr)
@@ -630,9 +724,9 @@ pub fn compile_pred(
 pub fn compile_scan_pred<'g>(
     expr: &PlanExpr,
     slot_defs: &[SlotDef],
-    cols: &[Option<&'g Column>],
+    cols: &[SlotCol<'g>],
 ) -> Result<ScanPred<'g>> {
-    if let Some(&s) = expr.slots().iter().find(|&&s| cols[s].is_none()) {
+    if let Some(&s) = expr.slots().iter().find(|&&s| cols[s].col.is_none()) {
         return Err(Error::Plan(format!(
             "pushed-down predicate references slot {s} ({}), which is not a property of \
              the scanned node",
@@ -642,19 +736,50 @@ pub fn compile_scan_pred<'g>(
     let c = Compiler {
         slot_defs,
         slot_cols: cols,
-        loc_of: |s: SlotId| cols[s].expect("checked above"),
+        loc_of: |s: SlotId| cols[s].col.expect("checked above"),
+    };
+    c.compile(expr)
+}
+
+/// Recompile a pushed-down scan predicate for row-at-a-time evaluation
+/// through a [`GraphView`]: `props[slot]` is the scanned label's property
+/// index behind each slot (`None` for foreign slots, which pushed
+/// predicates never reference). The bitmap code spaces are identical to
+/// [`compile_scan_pred`]'s, so the two forms cannot disagree on a row.
+pub fn compile_row_pred<'g>(
+    expr: &PlanExpr,
+    slot_defs: &[SlotDef],
+    props: &[Option<usize>],
+    cols: &[SlotCol<'g>],
+) -> Result<RowPred<'g>> {
+    if let Some(&s) = expr.slots().iter().find(|&&s| props[s].is_none()) {
+        return Err(Error::Plan(format!(
+            "pushed-down predicate references slot {s} ({}), which is not a property of \
+             the scanned node",
+            slot_defs[s].name
+        )));
+    }
+    let c = Compiler {
+        slot_defs,
+        slot_cols: cols,
+        loc_of: |s: SlotId| RowOperand {
+            prop: props[s].expect("checked above"),
+            dict: cols[s].col.and_then(Column::dictionary),
+            ext: cols[s].ext,
+        },
     };
     c.compile(expr)
 }
 
 struct Compiler<'a, 'g, L, F: Fn(SlotId) -> L> {
     slot_defs: &'a [SlotDef],
-    /// Backing storage columns (dictionary pre-evaluation).
-    slot_cols: &'a [Option<&'g Column>],
+    /// Backing storage columns (dictionary pre-evaluation) plus any delta
+    /// string extensions growing their code spaces.
+    slot_cols: &'a [SlotCol<'g>],
     loc_of: F,
 }
 
-impl<L, F: Fn(SlotId) -> L> Compiler<'_, '_, L, F> {
+impl<'g, L, F: Fn(SlotId) -> L> Compiler<'_, 'g, L, F> {
     fn compile(&self, e: &PlanExpr) -> Result<CPredG<L>> {
         match e {
             PlanExpr::And(es) => {
@@ -665,19 +790,23 @@ impl<L, F: Fn(SlotId) -> L> Compiler<'_, '_, L, F> {
             }
             PlanExpr::Not(inner) => Ok(CPredG::Not(Box::new(self.compile(inner)?))),
             PlanExpr::StrMatch { op, slot, pattern } => {
-                let dict = self.dict_of(*slot)?;
                 let set = match op {
-                    StrOp::Contains => dict.matching_codes(|s| s.contains(pattern.as_str())),
-                    StrOp::StartsWith => dict.matching_codes(|s| s.starts_with(pattern.as_str())),
-                    StrOp::EndsWith => dict.matching_codes(|s| s.ends_with(pattern.as_str())),
+                    StrOp::Contains => {
+                        self.codes_matching(*slot, |s| s.contains(pattern.as_str()))?
+                    }
+                    StrOp::StartsWith => {
+                        self.codes_matching(*slot, |s| s.starts_with(pattern.as_str()))?
+                    }
+                    StrOp::EndsWith => {
+                        self.codes_matching(*slot, |s| s.ends_with(pattern.as_str()))?
+                    }
                 };
                 Ok(CPredG::CodeIn { slot: (self.loc_of)(*slot), set })
             }
             PlanExpr::InSet { slot, values } => match self.slot_defs[*slot].dtype {
                 DataType::String => {
                     let needles: Vec<&str> = values.iter().filter_map(Value::as_str).collect();
-                    let dict = self.dict_of(*slot)?;
-                    let set = dict.matching_codes(|s| needles.contains(&s));
+                    let set = self.codes_matching(*slot, |s| needles.contains(&s))?;
                     Ok(CPredG::CodeIn { slot: (self.loc_of)(*slot), set })
                 }
                 DataType::Int64 | DataType::Date => {
@@ -776,15 +905,31 @@ impl<L, F: Fn(SlotId) -> L> Compiler<'_, '_, L, F> {
             expected: "STRING".into(),
             found: konst.to_string(),
         })?;
-        let dict = self.dict_of(slot)?;
-        let set = dict.matching_codes(|s| cmp_holds_ord(op, s.cmp(needle)));
+        let set = self.codes_matching(slot, |s| cmp_holds_ord(op, s.cmp(needle)))?;
         Ok(CPredG::CodeIn { slot: (self.loc_of)(slot), set })
     }
 
-    fn dict_of(&self, slot: usize) -> Result<&gfcl_columnar::Dictionary> {
-        self.slot_cols[slot].and_then(Column::dictionary).ok_or_else(|| Error::TypeMismatch {
+    fn dict_of(&self, slot: usize) -> Result<&'g Dictionary> {
+        self.slot_cols[slot].col.and_then(Column::dictionary).ok_or_else(|| Error::TypeMismatch {
             expected: "STRING column".into(),
             found: self.slot_defs[slot].dtype.to_string(),
+        })
+    }
+
+    /// Codes of `slot` whose strings satisfy `f`: the baseline dictionary's
+    /// codes, extended past `dict.len()` with any delta-appended strings so
+    /// the bitmap covers every code a merged scan can produce.
+    fn codes_matching(&self, slot: usize, f: impl Fn(&str) -> bool) -> Result<Bitmap> {
+        let dict = self.dict_of(slot)?;
+        Ok(match self.slot_cols[slot].ext {
+            Some(ext) if !ext.is_empty() => Bitmap::from_fn(ext.code_end() as usize, |c| {
+                if c < dict.len() {
+                    f(dict.decode(c as u64))
+                } else {
+                    f(ext.decode(c as u64))
+                }
+            }),
+            _ => dict.matching_codes(f),
         })
     }
 }

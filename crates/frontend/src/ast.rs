@@ -240,6 +240,50 @@ pub enum Using {
 }
 
 // ---------------------------------------------------------------------------
+// Mutation statements.
+// ---------------------------------------------------------------------------
+
+/// A top-level statement: a read query (`MATCH ...`) or a mutation
+/// (`INSERT` / `UPDATE` / `DELETE`), dispatched on the first keyword.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Query(Query),
+    Mutation(MutationStmt),
+}
+
+/// A vertex addressed by label and primary key: `PERSON 45`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VertexRef {
+    pub label: Ident,
+    pub key: i64,
+    pub key_span: Span,
+}
+
+/// One `prop = literal` assignment inside a parenthesized list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropAssign {
+    pub prop: Ident,
+    pub value: Lit,
+}
+
+/// A parsed mutation. Labels and properties are resolved downstream by
+/// `gfcl_storage::WriteTxn` against the store's catalog; primary keys are
+/// resolved to offsets at apply time so the statement is position-independent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutationStmt {
+    /// `INSERT VERTEX PERSON (name = 'x', age = 20)`
+    InsertVertex { label: Ident, props: Vec<PropAssign> },
+    /// `INSERT EDGE FOLLOWS FROM PERSON 45 TO PERSON 54 (since = 2020)`
+    InsertEdge { label: Ident, src: VertexRef, dst: VertexRef, props: Vec<PropAssign> },
+    /// `UPDATE VERTEX PERSON 45 SET (age = 46)`
+    UpdateVertex { target: VertexRef, sets: Vec<PropAssign> },
+    /// `DELETE VERTEX PERSON 45`
+    DeleteVertex { target: VertexRef },
+    /// `DELETE EDGE FOLLOWS FROM PERSON 45 TO PERSON 54`
+    DeleteEdge { label: Ident, src: VertexRef, dst: VertexRef },
+}
+
+// ---------------------------------------------------------------------------
 // Span normalization (round-trip tests compare span-stripped ASTs).
 // ---------------------------------------------------------------------------
 

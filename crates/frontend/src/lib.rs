@@ -83,6 +83,12 @@ pub fn parse(source: &str) -> Result<ast::Query, FrontendError> {
     parser::parse(source).map_err(classify)
 }
 
+/// Lex and parse `source` into a top-level [`ast::Statement`]: a `MATCH`
+/// query or an `INSERT` / `UPDATE` / `DELETE` mutation.
+pub fn parse_statement(source: &str) -> Result<ast::Statement, FrontendError> {
+    parser::parse_statement(source).map_err(classify)
+}
+
 /// Bind a parsed AST against `catalog`. `source` is the original query
 /// text, used to render diagnostics.
 pub fn bind(

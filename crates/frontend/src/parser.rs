@@ -11,8 +11,9 @@
 //! proptest feeds arbitrary garbage through here.
 
 use crate::ast::{
-    AggFunc, CmpOp, Dir, EdgePat, Expr, Ident, Limit, Lit, LitKind, NodePat, Operand, OrderItem,
-    Path, PropRef, Query, RetItem, SortDir, StrOp, Using,
+    AggFunc, CmpOp, Dir, EdgePat, Expr, Ident, Limit, Lit, LitKind, MutationStmt, NodePat, Operand,
+    OrderItem, Path, PropAssign, PropRef, Query, RetItem, SortDir, Statement, StrOp, Using,
+    VertexRef,
 };
 use crate::diag::{Diagnostic, Phase, Span};
 use crate::lexer::{lex, Tok, Token};
@@ -497,6 +498,97 @@ impl<'a> Parser<'a> {
         }
         Ok(Query { paths, predicate, distinct, ret, order_by, limit, using })
     }
+
+    // -- mutations ---------------------------------------------------------
+
+    /// `label key` — a vertex addressed by label and integer primary key.
+    fn vertex_ref(&mut self) -> Result<VertexRef, Diagnostic> {
+        let label = self.expect_ident("a vertex label")?;
+        let lit = self.literal()?;
+        let LitKind::Int(key) = lit.kind else {
+            return Err(self.err(
+                lit.span,
+                "vertices are addressed by integer primary key".to_string(),
+                Some(format!("write `{} <key>` with an integer key", label.text)),
+            ));
+        };
+        Ok(VertexRef { label, key, key_span: lit.span })
+    }
+
+    /// `(prop = literal, ...)` — at least one assignment.
+    fn prop_assigns(&mut self) -> Result<Vec<PropAssign>, Diagnostic> {
+        self.expect_tok(Tok::LParen, "`(` to open the property list")?;
+        let mut out = Vec::new();
+        loop {
+            let prop = self.expect_ident("a property name")?;
+            self.expect_tok(Tok::Eq, "`=` after the property name")?;
+            let value = self.literal()?;
+            out.push(PropAssign { prop, value });
+            if self.peek().tok == Tok::Comma {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        self.expect_tok(Tok::RParen, "`)` to close the property list")?;
+        Ok(out)
+    }
+
+    /// `FROM <label> <key> TO <label> <key>` — both endpoints of an edge.
+    fn edge_endpoints(&mut self) -> Result<(VertexRef, VertexRef), Diagnostic> {
+        self.expect_kw("FROM")?;
+        let src = self.vertex_ref()?;
+        self.expect_kw("TO")?;
+        let dst = self.vertex_ref()?;
+        Ok((src, dst))
+    }
+
+    fn mutation(&mut self) -> Result<MutationStmt, Diagnostic> {
+        let stmt = if self.eat_kw("INSERT") {
+            if self.eat_kw("VERTEX") {
+                let label = self.expect_ident("a vertex label after `INSERT VERTEX`")?;
+                let props = self.prop_assigns()?;
+                MutationStmt::InsertVertex { label, props }
+            } else if self.eat_kw("EDGE") {
+                let label = self.expect_ident("an edge label after `INSERT EDGE`")?;
+                let (src, dst) = self.edge_endpoints()?;
+                let props =
+                    if self.peek().tok == Tok::LParen { self.prop_assigns()? } else { Vec::new() };
+                MutationStmt::InsertEdge { label, src, dst, props }
+            } else {
+                return Err(self.err_here("`VERTEX` or `EDGE` after `INSERT`"));
+            }
+        } else if self.eat_kw("UPDATE") {
+            self.expect_kw("VERTEX")?;
+            let target = self.vertex_ref()?;
+            self.expect_kw("SET")?;
+            let sets = self.prop_assigns()?;
+            MutationStmt::UpdateVertex { target, sets }
+        } else if self.eat_kw("DELETE") {
+            if self.eat_kw("VERTEX") {
+                MutationStmt::DeleteVertex { target: self.vertex_ref()? }
+            } else if self.eat_kw("EDGE") {
+                let label = self.expect_ident("an edge label after `DELETE EDGE`")?;
+                let (src, dst) = self.edge_endpoints()?;
+                MutationStmt::DeleteEdge { label, src, dst }
+            } else {
+                return Err(self.err_here("`VERTEX` or `EDGE` after `DELETE`"));
+            }
+        } else {
+            return Err(self.err_here("`MATCH`, `INSERT`, `UPDATE` or `DELETE`"));
+        };
+        if self.peek().tok != Tok::Eof {
+            return Err(self.err_here("end of statement"));
+        }
+        Ok(stmt)
+    }
+
+    fn statement(&mut self) -> Result<Statement, Diagnostic> {
+        if self.at_kw("MATCH") {
+            return Ok(Statement::Query(self.query()?));
+        }
+        Ok(Statement::Mutation(self.mutation()?))
+    }
 }
 
 /// Lex and parse `source` into a spanned AST.
@@ -504,6 +596,14 @@ pub fn parse(source: &str) -> Result<Query, Diagnostic> {
     let toks = lex(source)?;
     let mut p = Parser { src: source, toks, i: 0 };
     p.query()
+}
+
+/// Lex and parse `source` as a top-level statement: a `MATCH` query or an
+/// `INSERT` / `UPDATE` / `DELETE` mutation.
+pub fn parse_statement(source: &str) -> Result<Statement, Diagnostic> {
+    let toks = lex(source)?;
+    let mut p = Parser { src: source, toks, i: 0 };
+    p.statement()
 }
 
 #[cfg(test)]
@@ -583,6 +683,45 @@ mod tests {
     fn count_distinct_parses() {
         let q = parse("MATCH (a:P) RETURN a.g, count(distinct a.b)").unwrap();
         assert!(matches!(q.ret[1], RetItem::Agg { func: AggFunc::Count, distinct: true, .. }));
+    }
+
+    #[test]
+    fn mutation_statements_parse() {
+        let s = parse_statement("INSERT VERTEX PERSON (name = 'zoe', age = 30)").unwrap();
+        let Statement::Mutation(MutationStmt::InsertVertex { label, props }) = s else {
+            panic!("expected insert-vertex")
+        };
+        assert_eq!(label.text, "PERSON");
+        assert_eq!(props.len(), 2);
+
+        let s = parse_statement("insert edge FOLLOWS from PERSON 45 to PERSON 54 (since = 2020)")
+            .unwrap();
+        let Statement::Mutation(MutationStmt::InsertEdge { src, dst, props, .. }) = s else {
+            panic!("expected insert-edge")
+        };
+        assert_eq!((src.key, dst.key), (45, 54));
+        assert_eq!(props.len(), 1);
+
+        let s = parse_statement("UPDATE VERTEX PERSON 45 SET (age = 46)").unwrap();
+        assert!(matches!(s, Statement::Mutation(MutationStmt::UpdateVertex { .. })));
+        let s = parse_statement("DELETE VERTEX PERSON 17").unwrap();
+        assert!(matches!(s, Statement::Mutation(MutationStmt::DeleteVertex { .. })));
+        let s = parse_statement("DELETE EDGE FOLLOWS FROM PERSON 45 TO PERSON 54").unwrap();
+        assert!(matches!(s, Statement::Mutation(MutationStmt::DeleteEdge { .. })));
+
+        // MATCH still routes to the query grammar.
+        let s = parse_statement("MATCH (a:P) RETURN count(*)").unwrap();
+        assert!(matches!(s, Statement::Query(_)));
+    }
+
+    #[test]
+    fn mutation_errors_are_spanned() {
+        let err = parse_statement("INSERT TABLE t (a = 1)").unwrap_err();
+        assert!(err.message.contains("`VERTEX` or `EDGE`"), "{}", err.message);
+        let err = parse_statement("UPDATE VERTEX PERSON 'x' SET (a = 1)").unwrap_err();
+        assert!(err.message.contains("integer primary key"), "{}", err.message);
+        let err = parse_statement("DELETE VERTEX PERSON 1 trailing").unwrap_err();
+        assert!(err.message.contains("end of statement"), "{}", err.message);
     }
 
     #[test]

@@ -116,6 +116,19 @@ pub enum EdgePropRead<'g> {
     ByVertex { col: &'g Column, endpoint_is_nbr: bool },
 }
 
+impl<'g> EdgePropRead<'g> {
+    /// The backing column, whatever the index scheme — the place to find
+    /// the property's dtype and dictionary.
+    pub fn column(&self) -> &'g Column {
+        match self {
+            EdgePropRead::ByPosition(col)
+            | EdgePropRead::ByEdgeId(col)
+            | EdgePropRead::ByPageOffset { col, .. }
+            | EdgePropRead::ByVertex { col, .. } => col,
+        }
+    }
+}
+
 /// Per-label memory of the four Table 2 components, plus the
 /// resident/pageable split introduced by the on-disk format.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

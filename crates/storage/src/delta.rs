@@ -1,0 +1,1278 @@
+//! The write-optimized delta store (ROADMAP #2, the paper's Section 7
+//! mitigation): vertex/edge inserts, updates and deletes buffered in
+//! append-friendly per-label structures that overlay the immutable
+//! read-optimized [`ColumnarGraph`] baseline.
+//!
+//! The design is the classic write-store / read-store split the paper cites
+//! (C-Store's WS, positional delta trees), with the paper's own offset
+//! discipline: deleted delta slots are **recycled** through
+//! [`crate::OffsetRecycler`] so the delta's positional ID space stays dense,
+//! exactly as Section 7 prescribes for the baseline's vertex offsets.
+//!
+//! Two types split the write and read sides:
+//!
+//! * [`DeltaStore`] — the mutable accumulator. All mutations funnel through
+//!   [`DeltaStore::apply`] with an already-resolved [`ResolvedOp`], the same
+//!   entry point WAL replay uses, so a replayed log reconstructs the store
+//!   byte-for-byte. `apply` validates everything (arity, types, liveness,
+//!   primary-key uniqueness, cardinality constraints) and returns
+//!   [`Error::Storage`]/[`Error::Invalid`] on bad input — a corrupted WAL
+//!   record can never panic the open path.
+//! * [`DeltaSnapshot`] — an immutable, index-enriched freeze of the store
+//!   published to readers under one MVCC epoch. Queries resolve
+//!   `(baseline ⊎ delta) ∖ tombstones` through its lookup structures; the
+//!   baseline portion keeps its zone maps and compiled predicates, and only
+//!   rows/lists the delta actually touches pay the overlay price.
+//!
+//! **ID spaces.** Vertices keep per-label positional offsets: baseline rows
+//! occupy `0..n_base` and delta rows occupy `n_base + slot` (slots recycled
+//! LIFO). Baseline edges are identified storage-agnostically as
+//! `(src, dst, occ)` — the `occ`-th duplicate of that endpoint pair in the
+//! source's adjacency list. Both the columnar CSR and the row store build
+//! their lists with the same stable grouping of the input edge table, so the
+//! occurrence index names the same physical edge in every engine. Delta
+//! edges are identified by their insertion index, which is never recycled
+//! (deleted delta edges keep their slot with a `deleted` flag) so WAL
+//! replay and snapshot readers agree on indices.
+
+use std::collections::{HashMap, HashSet};
+
+use gfcl_common::{DataType, Direction, Error, LabelId, Reader, Result, Value, Writer};
+
+use crate::catalog::Catalog;
+use crate::columnar_graph::{AdjIndex, ColumnarGraph};
+use crate::mutation::OffsetRecycler;
+
+/// A fully resolved mutation, the unit of WAL logging and replay.
+///
+/// "Resolved" means every identifier is positional: vertex offsets instead
+/// of primary keys, full post-image rows instead of partial assignments,
+/// and [`EdgeTarget`]s instead of endpoint pairs. Resolution happens once,
+/// in the writer's transaction (`gfcl_storage::store`), against the state
+/// the op will apply to — so replaying the same op sequence over the same
+/// baseline is deterministic by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolvedOp {
+    /// Insert a vertex of `label` with a full-width property row.
+    InsertVertex { label: LabelId, row: Vec<Value> },
+    /// Replace the property row of the (live) vertex at `off`.
+    UpdateVertex { label: LabelId, off: u64, row: Vec<Value> },
+    /// Delete the vertex at `off`, cascading to its incident edges.
+    DeleteVertex { label: LabelId, off: u64 },
+    /// Insert an edge `src -> dst` of edge label `label`.
+    InsertEdge { label: LabelId, src: u64, dst: u64, props: Vec<Value> },
+    /// Delete one edge of `label`.
+    DeleteEdge { label: LabelId, target: EdgeTarget },
+}
+
+/// The identity of one edge for deletion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeTarget {
+    /// A baseline edge: the `occ`-th `(src, dst)` duplicate in list order.
+    Base { src: u64, dst: u64, occ: u32 },
+    /// A delta-inserted edge by insertion index.
+    Delta { idx: u64 },
+}
+
+/// One delta-inserted edge. `deleted` edges keep their slot so indices
+/// stay stable for the WAL and for published snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaEdge {
+    pub src: u64,
+    pub dst: u64,
+    pub props: Box<[Value]>,
+    pub deleted: bool,
+}
+
+fn value_enc(w: &mut Writer, v: &Value) {
+    match v {
+        Value::Null => w.u8(0),
+        Value::Int64(x) => {
+            w.u8(1);
+            w.i64(*x);
+        }
+        Value::Float64(x) => {
+            w.u8(2);
+            w.f64(*x);
+        }
+        Value::Bool(x) => {
+            w.u8(3);
+            w.bool(*x);
+        }
+        Value::Date(x) => {
+            w.u8(4);
+            w.i64(*x);
+        }
+        Value::String(s) => {
+            w.u8(5);
+            w.str(s);
+        }
+    }
+}
+
+fn value_dec(r: &mut Reader<'_>) -> Result<Value> {
+    Ok(match r.u8()? {
+        0 => Value::Null,
+        1 => Value::Int64(r.i64()?),
+        2 => Value::Float64(r.f64()?),
+        3 => Value::Bool(r.bool()?),
+        4 => Value::Date(r.i64()?),
+        5 => Value::String(r.str()?),
+        t => return Err(Error::Storage(format!("unknown value tag {t} in WAL record"))),
+    })
+}
+
+fn row_enc(w: &mut Writer, row: &[Value]) {
+    w.usize(row.len());
+    for v in row {
+        value_enc(w, v);
+    }
+}
+
+fn row_dec(r: &mut Reader<'_>) -> Result<Vec<Value>> {
+    let n = r.count()?;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        row.push(value_dec(r)?);
+    }
+    Ok(row)
+}
+
+impl ResolvedOp {
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            ResolvedOp::InsertVertex { label, row } => {
+                w.u8(0);
+                w.u32(u32::from(*label));
+                row_enc(w, row);
+            }
+            ResolvedOp::UpdateVertex { label, off, row } => {
+                w.u8(1);
+                w.u32(u32::from(*label));
+                w.u64(*off);
+                row_enc(w, row);
+            }
+            ResolvedOp::DeleteVertex { label, off } => {
+                w.u8(2);
+                w.u32(u32::from(*label));
+                w.u64(*off);
+            }
+            ResolvedOp::InsertEdge { label, src, dst, props } => {
+                w.u8(3);
+                w.u32(u32::from(*label));
+                w.u64(*src);
+                w.u64(*dst);
+                row_enc(w, props);
+            }
+            ResolvedOp::DeleteEdge { label, target } => {
+                w.u8(4);
+                w.u32(u32::from(*label));
+                match target {
+                    EdgeTarget::Base { src, dst, occ } => {
+                        w.u8(0);
+                        w.u64(*src);
+                        w.u64(*dst);
+                        w.u32(*occ);
+                    }
+                    EdgeTarget::Delta { idx } => {
+                        w.u8(1);
+                        w.u64(*idx);
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn decode(r: &mut Reader<'_>) -> Result<ResolvedOp> {
+        let label_of = |v: u32| -> Result<LabelId> {
+            LabelId::try_from(v).map_err(|_| Error::Storage(format!("label id {v} out of range")))
+        };
+        Ok(match r.u8()? {
+            0 => ResolvedOp::InsertVertex { label: label_of(r.u32()?)?, row: row_dec(r)? },
+            1 => {
+                let label = label_of(r.u32()?)?;
+                let off = r.u64()?;
+                ResolvedOp::UpdateVertex { label, off, row: row_dec(r)? }
+            }
+            2 => ResolvedOp::DeleteVertex { label: label_of(r.u32()?)?, off: r.u64()? },
+            3 => {
+                let label = label_of(r.u32()?)?;
+                let src = r.u64()?;
+                let dst = r.u64()?;
+                ResolvedOp::InsertEdge { label, src, dst, props: row_dec(r)? }
+            }
+            4 => {
+                let label = label_of(r.u32()?)?;
+                let target = match r.u8()? {
+                    0 => EdgeTarget::Base { src: r.u64()?, dst: r.u64()?, occ: r.u32()? },
+                    1 => EdgeTarget::Delta { idx: r.u64()? },
+                    t => {
+                        return Err(Error::Storage(format!("unknown edge-target tag {t}")));
+                    }
+                };
+                ResolvedOp::DeleteEdge { label, target }
+            }
+            t => return Err(Error::Storage(format!("unknown mutation-op tag {t}"))),
+        })
+    }
+}
+
+/// The mutable write store. One per [`crate::store::GraphStore`]; writers
+/// mutate a private clone and publish it wholesale on commit, so readers
+/// only ever observe the frozen [`DeltaSnapshot`]s.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaStore {
+    /// Per vertex label: delta rows by slot (`None` = vacated by a delete).
+    v_rows: Vec<Vec<Option<Box<[Value]>>>>,
+    /// Per vertex label: slot allocator recycling vacated delta slots.
+    v_recycler: Vec<OffsetRecycler>,
+    /// Per vertex label: full post-image rows overriding baseline offsets.
+    v_updates: Vec<HashMap<u64, Box<[Value]>>>,
+    /// Per vertex label: tombstoned baseline offsets.
+    v_tombs: Vec<HashSet<u64>>,
+    /// Per vertex label: primary keys of live delta rows -> global offset.
+    v_pk: Vec<HashMap<i64, u64>>,
+    /// Per edge label: delta edges in insertion order (slots never reused).
+    e_rows: Vec<Vec<DeltaEdge>>,
+    /// Per edge label: tombstoned baseline edges, `(src, dst) -> occs`.
+    e_tombs: Vec<HashMap<(u64, u64), Vec<u32>>>,
+}
+
+impl DeltaStore {
+    pub fn new(catalog: &Catalog) -> DeltaStore {
+        let nv = catalog.vertex_label_count();
+        let ne = catalog.edge_label_count();
+        DeltaStore {
+            v_rows: vec![Vec::new(); nv],
+            v_recycler: vec![OffsetRecycler::new(); nv],
+            v_updates: vec![HashMap::new(); nv],
+            v_tombs: vec![HashSet::new(); nv],
+            v_pk: vec![HashMap::new(); nv],
+            e_rows: vec![Vec::new(); ne],
+            e_tombs: vec![HashMap::new(); ne],
+        }
+    }
+
+    /// True when no mutation is buffered (merge is a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.v_rows.iter().all(|r| r.iter().all(Option::is_none))
+            && self.v_updates.iter().all(HashMap::is_empty)
+            && self.v_tombs.iter().all(HashSet::is_empty)
+            && self.e_rows.iter().all(|r| r.iter().all(|e| e.deleted))
+            && self.e_tombs.iter().all(HashMap::is_empty)
+    }
+
+    /// Number of buffered ops' worth of state, as a rough merge trigger.
+    pub fn mutation_count(&self) -> usize {
+        self.v_rows.iter().map(Vec::len).sum::<usize>()
+            + self.v_updates.iter().map(HashMap::len).sum::<usize>()
+            + self.v_tombs.iter().map(HashSet::len).sum::<usize>()
+            + self.e_rows.iter().map(Vec::len).sum::<usize>()
+            + self.e_tombs.iter().map(|t| t.values().map(Vec::len).sum::<usize>()).sum::<usize>()
+    }
+
+    // ---- effective-state queries (writer side) -----------------------------
+
+    /// Is the vertex at global offset `off` visible?
+    pub fn vertex_live(&self, base: &ColumnarGraph, label: LabelId, off: u64) -> bool {
+        let n_base = base.vertex_count(label) as u64;
+        if off < n_base {
+            !self.v_tombs[label as usize].contains(&off)
+        } else {
+            let slot = (off - n_base) as usize;
+            self.v_rows[label as usize].get(slot).is_some_and(Option::is_some)
+        }
+    }
+
+    /// Effective vertex count including live and vacated delta slots (the
+    /// scan range is `0..n_base + delta_slots`).
+    pub fn scan_total(&self, base: &ColumnarGraph, label: LabelId) -> u64 {
+        base.vertex_count(label) as u64 + self.v_rows[label as usize].len() as u64
+    }
+
+    /// Effective primary-key lookup: delta rows shadow nothing (pk is
+    /// unique), tombstoned baseline rows are invisible.
+    pub fn lookup_pk(&self, base: &ColumnarGraph, label: LabelId, key: i64) -> Option<u64> {
+        if let Some(&off) = self.v_pk[label as usize].get(&key) {
+            return Some(off);
+        }
+        let off = base.lookup_pk(label, key)?;
+        if self.v_tombs[label as usize].contains(&off) {
+            None
+        } else {
+            Some(off)
+        }
+    }
+
+    /// Effective property value of the vertex at `off` (must be live).
+    pub fn vertex_value(
+        &self,
+        base: &ColumnarGraph,
+        label: LabelId,
+        off: u64,
+        prop: usize,
+    ) -> Value {
+        let n_base = base.vertex_count(label) as u64;
+        if off < n_base {
+            if let Some(row) = self.v_updates[label as usize].get(&off) {
+                return row[prop].clone();
+            }
+            base.vertex_prop(label, prop).value(off as usize)
+        } else {
+            let slot = (off - n_base) as usize;
+            match self.v_rows[label as usize].get(slot).and_then(Option::as_ref) {
+                Some(row) => row[prop].clone(),
+                None => Value::Null,
+            }
+        }
+    }
+
+    /// The global offset the next `InsertVertex { label, .. }` will land
+    /// on (recycled gap or fresh slot), without allocating it.
+    pub fn peek_insert_offset(&self, base: &ColumnarGraph, label: LabelId) -> u64 {
+        base.vertex_count(label) as u64 + self.v_recycler[label as usize].peek()
+    }
+
+    /// Resolve "delete the first live `(src, dst)` edge" to a stable
+    /// [`EdgeTarget`]: baseline occurrences in list order first, then delta
+    /// edges in insertion order.
+    pub fn resolve_delete_edge(
+        &self,
+        base: &ColumnarGraph,
+        label: LabelId,
+        src: u64,
+        dst: u64,
+    ) -> Result<EdgeTarget> {
+        let n_base = base.vertex_count(base.catalog().edge_label(label).src) as u64;
+        if src < n_base {
+            let tombs = self.e_tombs[label as usize].get(&(src, dst));
+            let is_tombed = |occ: u32| tombs.is_some_and(|v| v.contains(&occ));
+            let n_occ = base_occurrences(base, label, src, dst);
+            for occ in 0..n_occ {
+                if !is_tombed(occ) {
+                    return Ok(EdgeTarget::Base { src, dst, occ });
+                }
+            }
+        }
+        for (idx, e) in self.e_rows[label as usize].iter().enumerate() {
+            if !e.deleted && e.src == src && e.dst == dst {
+                return Ok(EdgeTarget::Delta { idx: idx as u64 });
+            }
+        }
+        Err(Error::Invalid(format!(
+            "no live edge {} from offset {src} to {dst}",
+            base.catalog().edge_label(label).name
+        )))
+    }
+
+    // ---- the single mutation gate ------------------------------------------
+
+    /// Validate and apply one resolved op. This is the only way state enters
+    /// the store — the writer's transaction and WAL replay both call it, so
+    /// a committed log replays to exactly the state that was published.
+    pub fn apply(&mut self, base: &ColumnarGraph, op: &ResolvedOp) -> Result<()> {
+        match op {
+            ResolvedOp::InsertVertex { label, row } => self.insert_vertex(base, *label, row),
+            ResolvedOp::UpdateVertex { label, off, row } => {
+                self.update_vertex(base, *label, *off, row)
+            }
+            ResolvedOp::DeleteVertex { label, off } => self.delete_vertex(base, *label, *off),
+            ResolvedOp::InsertEdge { label, src, dst, props } => {
+                self.insert_edge(base, *label, *src, *dst, props)
+            }
+            ResolvedOp::DeleteEdge { label, target } => self.delete_edge(base, *label, *target),
+        }
+    }
+
+    fn check_vlabel(&self, base: &ColumnarGraph, label: LabelId) -> Result<()> {
+        if (label as usize) < base.catalog().vertex_label_count() {
+            Ok(())
+        } else {
+            Err(Error::Storage(format!("vertex label id {label} out of range")))
+        }
+    }
+
+    fn check_elabel(&self, base: &ColumnarGraph, label: LabelId) -> Result<()> {
+        if (label as usize) < base.catalog().edge_label_count() {
+            Ok(())
+        } else {
+            Err(Error::Storage(format!("edge label id {label} out of range")))
+        }
+    }
+
+    fn insert_vertex(&mut self, base: &ColumnarGraph, label: LabelId, row: &[Value]) -> Result<()> {
+        self.check_vlabel(base, label)?;
+        let def = base.catalog().vertex_label(label);
+        let row = normalize_row(&def.name, &def.properties, row)?;
+        if let Some(pidx) = def.primary_key {
+            let key = row[pidx].as_i64().ok_or_else(|| {
+                Error::Invalid(format!("vertex label {} requires a non-null Int64 pk", def.name))
+            })?;
+            if self.lookup_pk(base, label, key).is_some() {
+                return Err(Error::Invalid(format!("duplicate primary key {key} on {}", def.name)));
+            }
+            let slot = self.v_recycler[label as usize].allocate();
+            let off = base.vertex_count(label) as u64 + slot;
+            self.v_pk[label as usize].insert(key, off);
+            self.place_row(base, label, slot, row);
+        } else {
+            let slot = self.v_recycler[label as usize].allocate();
+            self.place_row(base, label, slot, row);
+        }
+        Ok(())
+    }
+
+    fn place_row(&mut self, _base: &ColumnarGraph, label: LabelId, slot: u64, row: Box<[Value]>) {
+        let rows = &mut self.v_rows[label as usize];
+        let slot = slot as usize;
+        if slot == rows.len() {
+            rows.push(Some(row));
+        } else {
+            // The recycler only hands out vacated slots below its
+            // high-water mark, which equals rows.len().
+            rows[slot] = Some(row);
+        }
+    }
+
+    fn update_vertex(
+        &mut self,
+        base: &ColumnarGraph,
+        label: LabelId,
+        off: u64,
+        row: &[Value],
+    ) -> Result<()> {
+        self.check_vlabel(base, label)?;
+        if !self.vertex_live(base, label, off) {
+            return Err(Error::Invalid(format!("update of a dead vertex at offset {off}")));
+        }
+        let def = base.catalog().vertex_label(label);
+        let row = normalize_row(&def.name, &def.properties, row)?;
+        if let Some(pidx) = def.primary_key {
+            let old = self.vertex_value(base, label, off, pidx);
+            if old != row[pidx] {
+                return Err(Error::Invalid(format!(
+                    "primary key of {} is immutable (delete and re-insert instead)",
+                    def.name
+                )));
+            }
+        }
+        let n_base = base.vertex_count(label) as u64;
+        if off < n_base {
+            self.v_updates[label as usize].insert(off, row);
+        } else {
+            let slot = (off - n_base) as usize;
+            self.v_rows[label as usize][slot] = Some(row);
+        }
+        Ok(())
+    }
+
+    fn delete_vertex(&mut self, base: &ColumnarGraph, label: LabelId, off: u64) -> Result<()> {
+        self.check_vlabel(base, label)?;
+        if !self.vertex_live(base, label, off) {
+            return Err(Error::Invalid(format!("delete of a dead vertex at offset {off}")));
+        }
+        let catalog = base.catalog();
+        // Cascade: every live edge incident to the vertex dies with it.
+        for elabel in 0..catalog.edge_label_count() as LabelId {
+            let def = catalog.edge_label(elabel);
+            if def.src == label {
+                self.tomb_base_side(base, elabel, Direction::Fwd, off);
+                for e in &mut self.e_rows[elabel as usize] {
+                    if !e.deleted && e.src == off {
+                        e.deleted = true;
+                    }
+                }
+            }
+            if def.dst == label {
+                self.tomb_base_side(base, elabel, Direction::Bwd, off);
+                for e in &mut self.e_rows[elabel as usize] {
+                    if !e.deleted && e.dst == off {
+                        e.deleted = true;
+                    }
+                }
+            }
+        }
+        let def = catalog.vertex_label(label);
+        if let Some(pidx) = def.primary_key {
+            if let Some(key) = self.vertex_value(base, label, off, pidx).as_i64() {
+                self.v_pk[label as usize].remove(&key);
+            }
+        }
+        let n_base = base.vertex_count(label) as u64;
+        if off < n_base {
+            self.v_updates[label as usize].remove(&off);
+            self.v_tombs[label as usize].insert(off);
+        } else {
+            let slot = off - n_base;
+            self.v_rows[label as usize][slot as usize] = None;
+            self.v_recycler[label as usize].release(slot);
+        }
+        Ok(())
+    }
+
+    /// Tombstone every baseline edge of `elabel` whose `dir`-side endpoint
+    /// is the baseline vertex `v` (no-op for delta vertices, which have no
+    /// baseline edges).
+    fn tomb_base_side(&mut self, base: &ColumnarGraph, elabel: LabelId, dir: Direction, v: u64) {
+        let from_label = base.catalog().edge_label(elabel).from_label(dir);
+        if v >= base.vertex_count(from_label) as u64 {
+            return;
+        }
+        let mut seen: HashMap<u64, u32> = HashMap::new();
+        let mut tomb = |tombs: &mut HashMap<(u64, u64), Vec<u32>>, nbr: u64| {
+            let occ = seen.entry(nbr).or_insert(0);
+            let key = if dir == Direction::Fwd { (v, nbr) } else { (nbr, v) };
+            let occs = tombs.entry(key).or_default();
+            if !occs.contains(occ) {
+                occs.push(*occ);
+            }
+            *occ += 1;
+        };
+        match base.adj(elabel, dir) {
+            AdjIndex::Csr(csr) => {
+                let tombs = &mut self.e_tombs[elabel as usize];
+                for (_, nbr) in csr.iter_list(v) {
+                    tomb(tombs, nbr);
+                }
+            }
+            AdjIndex::SingleCard(s) => {
+                if let Some(nbr) = s.nbr(v) {
+                    tomb(&mut self.e_tombs[elabel as usize], nbr);
+                }
+            }
+        }
+    }
+
+    fn insert_edge(
+        &mut self,
+        base: &ColumnarGraph,
+        label: LabelId,
+        src: u64,
+        dst: u64,
+        props: &[Value],
+    ) -> Result<()> {
+        self.check_elabel(base, label)?;
+        let def = base.catalog().edge_label(label);
+        let props = normalize_row(&def.name, &def.properties, props)?;
+        let (slabel, dlabel) = (def.src, def.dst);
+        if !self.vertex_live(base, slabel, src) {
+            return Err(Error::Invalid(format!("edge source offset {src} is not a live vertex")));
+        }
+        if !self.vertex_live(base, dlabel, dst) {
+            return Err(Error::Invalid(format!(
+                "edge destination offset {dst} is not a live vertex"
+            )));
+        }
+        // Cardinality constraints stay invariants of the merged view: a
+        // single-cardinality endpoint must not already have a live edge.
+        let card = def.cardinality;
+        for (dir, v) in [(Direction::Fwd, src), (Direction::Bwd, dst)] {
+            if card.is_single(dir) && self.effective_degree_nonzero(base, label, dir, v) {
+                return Err(Error::Invalid(format!(
+                    "cardinality violation: {} already has a live {} edge in direction {dir}",
+                    v, def.name
+                )));
+            }
+        }
+        self.e_rows[label as usize].push(DeltaEdge { src, dst, props, deleted: false });
+        Ok(())
+    }
+
+    /// Does the (live) vertex `v` have at least one live `(elabel, dir)`
+    /// edge in the merged view?
+    fn effective_degree_nonzero(
+        &self,
+        base: &ColumnarGraph,
+        elabel: LabelId,
+        dir: Direction,
+        v: u64,
+    ) -> bool {
+        if self.e_rows[elabel as usize]
+            .iter()
+            .any(|e| !e.deleted && (if dir == Direction::Fwd { e.src } else { e.dst }) == v)
+        {
+            return true;
+        }
+        let from_label = base.catalog().edge_label(elabel).from_label(dir);
+        if v >= base.vertex_count(from_label) as u64 {
+            return false;
+        }
+        let tombs = &self.e_tombs[elabel as usize];
+        let mut seen: HashMap<u64, u32> = HashMap::new();
+        let mut check = |nbr: u64| -> bool {
+            let occ = seen.entry(nbr).or_insert(0);
+            let key = if dir == Direction::Fwd { (v, nbr) } else { (nbr, v) };
+            let alive = !tombs.get(&key).is_some_and(|occs| occs.contains(occ));
+            *occ += 1;
+            alive
+        };
+        match base.adj(elabel, dir) {
+            AdjIndex::Csr(csr) => csr.iter_list(v).any(|(_, nbr)| check(nbr)),
+            AdjIndex::SingleCard(s) => s.nbr(v).is_some_and(check),
+        }
+    }
+
+    fn delete_edge(
+        &mut self,
+        base: &ColumnarGraph,
+        label: LabelId,
+        target: EdgeTarget,
+    ) -> Result<()> {
+        self.check_elabel(base, label)?;
+        match target {
+            EdgeTarget::Base { src, dst, occ } => {
+                if occ >= base_occurrences(base, label, src, dst) {
+                    return Err(Error::Invalid(format!(
+                        "no baseline edge ({src} -> {dst}, occurrence {occ})"
+                    )));
+                }
+                let occs = self.e_tombs[label as usize].entry((src, dst)).or_default();
+                if occs.contains(&occ) {
+                    return Err(Error::Invalid(format!(
+                        "baseline edge ({src} -> {dst}, occurrence {occ}) already deleted"
+                    )));
+                }
+                occs.push(occ);
+            }
+            EdgeTarget::Delta { idx } => {
+                let e = self.e_rows[label as usize]
+                    .get_mut(idx as usize)
+                    .filter(|e| !e.deleted)
+                    .ok_or_else(|| Error::Invalid(format!("no live delta edge at index {idx}")))?;
+                e.deleted = true;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- freeze ------------------------------------------------------------
+
+    /// Freeze the current state into an immutable snapshot with the derived
+    /// read-side indices (from-indices, dirty sets, string extensions,
+    /// sorted offset lists for block-level checks).
+    pub fn freeze(&self, base: &ColumnarGraph) -> DeltaSnapshot {
+        let catalog = base.catalog();
+        let nv = catalog.vertex_label_count();
+        let ne = catalog.edge_label_count();
+
+        let mut v_tombs_sorted = Vec::with_capacity(nv);
+        let mut v_touched_offs = Vec::with_capacity(nv);
+        let mut v_str_ext: Vec<Vec<StrExt>> = Vec::with_capacity(nv);
+        for l in 0..nv {
+            let mut tombs: Vec<u64> = self.v_tombs[l].iter().copied().collect();
+            tombs.sort_unstable();
+            // Baseline offsets a pushed-down scan cannot prune or probe
+            // positionally: tombstones and overridden rows.
+            let mut touched: Vec<u64> =
+                self.v_tombs[l].iter().chain(self.v_updates[l].keys()).copied().collect();
+            touched.sort_unstable();
+            touched.dedup();
+            v_tombs_sorted.push(tombs);
+            v_touched_offs.push(touched);
+
+            let def = catalog.vertex_label(l as LabelId);
+            let mut exts = Vec::with_capacity(def.properties.len());
+            for (p, pd) in def.properties.iter().enumerate() {
+                let mut ext = if pd.dtype == DataType::String {
+                    let dict = base.vertex_prop(l as LabelId, p).dictionary();
+                    StrExt::new(dict.map_or(0, |d| d.len()))
+                } else {
+                    StrExt::new(0)
+                };
+                if pd.dtype == DataType::String {
+                    let dict = base.vertex_prop(l as LabelId, p).dictionary();
+                    let mut note = |v: &Value| {
+                        if let Value::String(s) = v {
+                            if dict.and_then(|d| d.code_of(s)).is_none() {
+                                ext.intern(s);
+                            }
+                        }
+                    };
+                    for row in self.v_rows[l].iter().flatten() {
+                        note(&row[p]);
+                    }
+                    for row in self.v_updates[l].values() {
+                        note(&row[p]);
+                    }
+                }
+                exts.push(ext);
+            }
+            v_str_ext.push(exts);
+        }
+
+        let mut e_from = Vec::with_capacity(ne);
+        let mut e_dirty = Vec::with_capacity(ne);
+        let mut e_str_ext: Vec<Vec<[StrExt; 2]>> = Vec::with_capacity(ne);
+        for l in 0..ne {
+            let mut fwd: HashMap<u64, Vec<u64>> = HashMap::new();
+            let mut bwd: HashMap<u64, Vec<u64>> = HashMap::new();
+            let mut dirty_fwd: HashSet<u64> = HashSet::new();
+            let mut dirty_bwd: HashSet<u64> = HashSet::new();
+            for (idx, e) in self.e_rows[l].iter().enumerate() {
+                if e.deleted {
+                    continue;
+                }
+                fwd.entry(e.src).or_default().push(idx as u64);
+                bwd.entry(e.dst).or_default().push(idx as u64);
+            }
+            for &(src, dst) in self.e_tombs[l].keys() {
+                dirty_fwd.insert(src);
+                dirty_bwd.insert(dst);
+            }
+            dirty_fwd.extend(fwd.keys().copied());
+            dirty_bwd.extend(bwd.keys().copied());
+            e_from.push([fwd, bwd]);
+            e_dirty.push([dirty_fwd, dirty_bwd]);
+
+            let def = catalog.edge_label(l as LabelId);
+            let mut exts = Vec::with_capacity(def.properties.len());
+            for (p, pd) in def.properties.iter().enumerate() {
+                let mut pair = [StrExt::new(0), StrExt::new(0)];
+                if pd.dtype == DataType::String {
+                    for (d, dir) in [(0, Direction::Fwd), (1, Direction::Bwd)] {
+                        let dict_ref = base
+                            .edge_prop_read(l as LabelId, dir, p)
+                            .ok()
+                            .and_then(|read| read.column().dictionary());
+                        let mut ext = StrExt::new(dict_ref.map_or(0, |d| d.len()));
+                        for e in &self.e_rows[l] {
+                            if e.deleted {
+                                continue;
+                            }
+                            if let Value::String(s) = &e.props[p] {
+                                if dict_ref.and_then(|dd| dd.code_of(s)).is_none() {
+                                    ext.intern(s);
+                                }
+                            }
+                        }
+                        pair[d] = ext;
+                    }
+                }
+                exts.push(pair);
+            }
+            e_str_ext.push(exts);
+        }
+
+        DeltaSnapshot {
+            empty: self.is_empty(),
+            v_rows: self.v_rows.clone(),
+            v_updates: self.v_updates.clone(),
+            v_tomb_set: self.v_tombs.clone(),
+            v_tombs_sorted,
+            v_touched_offs,
+            v_pk: self.v_pk.clone(),
+            v_str_ext,
+            e_rows: self.e_rows.clone(),
+            e_tombs: self.e_tombs.clone(),
+            e_from,
+            e_dirty,
+            e_str_ext,
+        }
+    }
+}
+
+/// Count of `(src, dst)` duplicates in the baseline adjacency of `label`.
+fn base_occurrences(base: &ColumnarGraph, label: LabelId, src: u64, dst: u64) -> u32 {
+    let slabel = base.catalog().edge_label(label).src;
+    if src >= base.vertex_count(slabel) as u64 {
+        return 0;
+    }
+    match base.adj(label, Direction::Fwd) {
+        AdjIndex::Csr(csr) => {
+            let mut n = 0;
+            for (_, nbr) in csr.iter_list(src) {
+                if nbr == dst {
+                    n += 1;
+                }
+            }
+            n
+        }
+        AdjIndex::SingleCard(s) => u32::from(s.nbr(src) == Some(dst)),
+    }
+}
+
+/// Normalize and validate a property row against its label's schema:
+/// right arity, right types (`Int64` literals coerce to `Date` columns),
+/// NULLs allowed everywhere except where a later constraint (pk) rejects
+/// them.
+fn normalize_row(
+    label_name: &str,
+    defs: &[crate::catalog::PropertyDef],
+    row: &[Value],
+) -> Result<Box<[Value]>> {
+    if row.len() != defs.len() {
+        return Err(Error::Invalid(format!(
+            "property row for {label_name} has {} values, schema has {}",
+            row.len(),
+            defs.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(row.len());
+    for (v, d) in row.iter().zip(defs) {
+        let v = match (d.dtype, v) {
+            (_, Value::Null) => Value::Null,
+            (DataType::Int64, Value::Int64(x)) => Value::Int64(*x),
+            (DataType::Date, Value::Date(x)) | (DataType::Date, Value::Int64(x)) => Value::Date(*x),
+            (DataType::Float64, Value::Float64(x)) => Value::Float64(*x),
+            (DataType::Float64, Value::Int64(x)) => Value::Float64(*x as f64),
+            (DataType::Bool, Value::Bool(x)) => Value::Bool(*x),
+            (DataType::String, Value::String(s)) => Value::String(s.clone()),
+            (dt, v) => {
+                return Err(Error::TypeMismatch {
+                    expected: dt.to_string(),
+                    found: format!("{v:?} for {label_name}.{}", d.name),
+                })
+            }
+        };
+        out.push(v);
+    }
+    Ok(out.into_boxed_slice())
+}
+
+/// Extension dictionary for one string property: codes continue after the
+/// baseline dictionary (`code = base_len + idx`), so a chunk's code vector
+/// can mix baseline and delta rows and still decode unambiguously.
+#[derive(Debug, Clone, Default)]
+pub struct StrExt {
+    base_len: u64,
+    strs: Vec<String>,
+    map: HashMap<String, u64>,
+}
+
+impl StrExt {
+    pub fn new(base_len: usize) -> StrExt {
+        StrExt { base_len: base_len as u64, strs: Vec::new(), map: HashMap::new() }
+    }
+
+    fn intern(&mut self, s: &str) -> u64 {
+        if let Some(&c) = self.map.get(s) {
+            return c;
+        }
+        let code = self.base_len + self.strs.len() as u64;
+        self.strs.push(s.to_owned());
+        self.map.insert(s.to_owned(), code);
+        code
+    }
+
+    /// Full code of `s` if it is an extension string.
+    pub fn code_of(&self, s: &str) -> Option<u64> {
+        self.map.get(s).copied()
+    }
+
+    /// Decode a full code `>= base_len()`.
+    pub fn decode(&self, code: u64) -> &str {
+        let ext_idx = (code - self.base_len) as usize;
+        &self.strs[ext_idx]
+    }
+
+    /// First extension code (== the baseline dictionary's length).
+    pub fn base_len(&self) -> u64 {
+        self.base_len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strs.is_empty()
+    }
+
+    /// Total code-space size (`base_len + extension entries`).
+    pub fn code_end(&self) -> u64 {
+        self.base_len + self.strs.len() as u64
+    }
+
+    /// Iterate `(full code, string)` over the extension entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &str)> {
+        self.strs.iter().enumerate().map(|(i, s)| (self.base_len + i as u64, s.as_str()))
+    }
+}
+
+/// An immutable freeze of the delta, published to readers under one MVCC
+/// epoch. All lookups are by positional offset and are representation-
+/// agnostic: the columnar engines, the row-store engine and the relational
+/// baseline overlay the same snapshot over their own baselines.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaSnapshot {
+    empty: bool,
+    v_rows: Vec<Vec<Option<Box<[Value]>>>>,
+    v_updates: Vec<HashMap<u64, Box<[Value]>>>,
+    v_tomb_set: Vec<HashSet<u64>>,
+    /// Tombstoned baseline offsets, sorted (block-overlap checks).
+    v_tombs_sorted: Vec<Vec<u64>>,
+    /// Sorted union of tombstoned + overridden baseline offsets: the rows a
+    /// compiled scan predicate must not trust positionally.
+    v_touched_offs: Vec<Vec<u64>>,
+    v_pk: Vec<HashMap<i64, u64>>,
+    /// `[label][prop]` extension dictionaries (empty for non-strings).
+    v_str_ext: Vec<Vec<StrExt>>,
+    e_rows: Vec<Vec<DeltaEdge>>,
+    e_tombs: Vec<HashMap<(u64, u64), Vec<u32>>>,
+    /// `[elabel][dir]`: from-vertex -> live delta edge indices, in
+    /// insertion order.
+    e_from: Vec<[HashMap<u64, Vec<u64>>; 2]>,
+    /// `[elabel][dir]`: from-vertices whose adjacency list differs from the
+    /// baseline (tombstoned entries or delta edges).
+    e_dirty: Vec<[HashSet<u64>; 2]>,
+    /// `[elabel][prop][dir]` extension dictionaries.
+    e_str_ext: Vec<Vec<[StrExt; 2]>>,
+}
+
+impl DeltaSnapshot {
+    /// An empty snapshot (the state of a freshly opened store).
+    pub fn empty_for(catalog: &Catalog) -> DeltaSnapshot {
+        DeltaStore::new(catalog).freeze_empty(catalog)
+    }
+
+    /// True when the snapshot holds no mutation at all — every view helper
+    /// is then the identity and engines take their unmodified fast paths.
+    pub fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    // ---- vertices ----------------------------------------------------------
+
+    /// Number of delta vertex slots (live or vacated) for `label`; the scan
+    /// range extends to `n_base + delta_slots(label)`.
+    pub fn delta_slots(&self, label: LabelId) -> u64 {
+        self.v_rows.get(label as usize).map_or(0, |r| r.len() as u64)
+    }
+
+    /// The delta row at `slot`, if live.
+    pub fn delta_row(&self, label: LabelId, slot: u64) -> Option<&[Value]> {
+        self.v_rows.get(label as usize)?.get(slot as usize)?.as_deref()
+    }
+
+    /// The full post-image row overriding baseline offset `off`, if any.
+    pub fn updated_row(&self, label: LabelId, off: u64) -> Option<&[Value]> {
+        self.v_updates.get(label as usize)?.get(&off).map(|r| &r[..])
+    }
+
+    /// Is the baseline offset `off` tombstoned?
+    pub fn vertex_tombed(&self, label: LabelId, off: u64) -> bool {
+        self.v_tomb_set.get(label as usize).is_some_and(|t| t.contains(&off))
+    }
+
+    /// Tombstoned baseline offsets of `label`, ascending — the order merge
+    /// removes them in.
+    pub fn vertex_tombs_sorted(&self, label: LabelId) -> &[u64] {
+        self.v_tombs_sorted.get(label as usize).map_or(&[], |v| &v[..])
+    }
+
+    /// Does `label` carry any vertex-side mutation (rows, updates, tombs)?
+    pub fn vertex_label_touched(&self, label: LabelId) -> bool {
+        let l = label as usize;
+        self.v_rows.get(l).is_some_and(|r| !r.is_empty())
+            || self.v_updates.get(l).is_some_and(|u| !u.is_empty())
+            || self.v_tomb_set.get(l).is_some_and(|t| !t.is_empty())
+    }
+
+    /// Do any tombstoned/overridden baseline offsets fall in `[start, end)`?
+    /// Sorted-vec binary search: the common all-clean scan block answers in
+    /// O(log n) without touching per-row state.
+    pub fn base_range_touched(&self, label: LabelId, start: u64, end: u64) -> bool {
+        let Some(offs) = self.v_touched_offs.get(label as usize) else {
+            return false;
+        };
+        let i = offs.partition_point(|&o| o < start);
+        offs.get(i).is_some_and(|&o| o < end)
+    }
+
+    /// Primary-key lookup against the delta only (`None` = ask the base,
+    /// then reject tombstoned hits).
+    pub fn pk_delta(&self, label: LabelId, key: i64) -> Option<u64> {
+        self.v_pk.get(label as usize)?.get(&key).copied()
+    }
+
+    /// Extension dictionary of a string vertex property.
+    pub fn vertex_str_ext(&self, label: LabelId, prop: usize) -> Option<&StrExt> {
+        self.v_str_ext.get(label as usize)?.get(prop).filter(|e| !e.is_empty())
+    }
+
+    // ---- edges -------------------------------------------------------------
+
+    /// Is the baseline edge `(src, dst, occ)` tombstoned?
+    pub fn edge_tombed(&self, label: LabelId, src: u64, dst: u64, occ: u32) -> bool {
+        self.e_tombs
+            .get(label as usize)
+            .and_then(|t| t.get(&(src, dst)))
+            .is_some_and(|occs| occs.contains(&occ))
+    }
+
+    /// Does the adjacency list of `from` in `(label, dir)` differ from the
+    /// baseline?
+    pub fn edge_list_dirty(&self, label: LabelId, dir: Direction, from: u64) -> bool {
+        self.e_dirty.get(label as usize).is_some_and(|d| d[dir_idx(dir)].contains(&from))
+    }
+
+    /// Does `(label, dir)` carry any edge mutation at all? (`false` keeps
+    /// the whole zero-copy extend path.)
+    pub fn edge_label_touched(&self, label: LabelId, dir: Direction) -> bool {
+        self.e_dirty.get(label as usize).is_some_and(|d| !d[dir_idx(dir)].is_empty())
+    }
+
+    /// Live delta edge indices whose `dir`-side endpoint is `from`.
+    pub fn delta_edges_from(&self, label: LabelId, dir: Direction, from: u64) -> &[u64] {
+        self.e_from
+            .get(label as usize)
+            .and_then(|d| d[dir_idx(dir)].get(&from))
+            .map_or(&[], |v| &v[..])
+    }
+
+    /// The delta edge at `idx` (deleted edges keep their slot).
+    pub fn delta_edge(&self, label: LabelId, idx: u64) -> &DeltaEdge {
+        &self.e_rows[label as usize][idx as usize]
+    }
+
+    /// Total delta edge slots for `label`.
+    pub fn delta_edge_count(&self, label: LabelId) -> u64 {
+        self.e_rows.get(label as usize).map_or(0, |r| r.len() as u64)
+    }
+
+    /// Extension dictionary of a string edge property for one traversal
+    /// direction.
+    pub fn edge_str_ext(&self, label: LabelId, dir: Direction, prop: usize) -> Option<&StrExt> {
+        self.e_str_ext
+            .get(label as usize)?
+            .get(prop)
+            .map(|pair| &pair[dir_idx(dir)])
+            .filter(|e| !e.is_empty())
+    }
+}
+
+fn dir_idx(dir: Direction) -> usize {
+    match dir {
+        Direction::Fwd => 0,
+        Direction::Bwd => 1,
+    }
+}
+
+impl DeltaStore {
+    /// [`DeltaStore::freeze`] without a baseline: only valid when the store
+    /// is empty (used to seed a store's first snapshot).
+    fn freeze_empty(&self, catalog: &Catalog) -> DeltaSnapshot {
+        debug_assert!(self.is_empty());
+        let nv = catalog.vertex_label_count();
+        let ne = catalog.edge_label_count();
+        DeltaSnapshot {
+            empty: true,
+            v_rows: vec![Vec::new(); nv],
+            v_updates: vec![HashMap::new(); nv],
+            v_tomb_set: vec![HashSet::new(); nv],
+            v_tombs_sorted: vec![Vec::new(); nv],
+            v_touched_offs: vec![Vec::new(); nv],
+            v_pk: vec![HashMap::new(); nv],
+            v_str_ext: (0..nv)
+                .map(|l| {
+                    catalog
+                        .vertex_label(l as LabelId)
+                        .properties
+                        .iter()
+                        .map(|_| StrExt::new(0))
+                        .collect()
+                })
+                .collect(),
+            e_rows: vec![Vec::new(); ne],
+            e_tombs: vec![HashMap::new(); ne],
+            e_from: (0..ne).map(|_| [HashMap::new(), HashMap::new()]).collect(),
+            e_dirty: (0..ne).map(|_| [HashSet::new(), HashSet::new()]).collect(),
+            e_str_ext: (0..ne)
+                .map(|l| {
+                    catalog
+                        .edge_label(l as LabelId)
+                        .properties
+                        .iter()
+                        .map(|_| [StrExt::new(0), StrExt::new(0)])
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StorageConfig;
+    use crate::raw::RawGraph;
+
+    /// The example graph with `PERSON.age` promoted to a primary key (the
+    /// example ages 45/54/17/23 are unique Int64s).
+    fn example() -> ColumnarGraph {
+        let mut raw = RawGraph::example();
+        raw.catalog.set_primary_key(0, "age").unwrap();
+        ColumnarGraph::build(&raw, StorageConfig::default()).unwrap()
+    }
+
+    // PERSON schema: name (String), age (Int64, pk), gender (String).
+    fn person_row(name: &str, age: i64, gender: &str) -> Vec<Value> {
+        vec![Value::String(name.into()), Value::Int64(age), Value::String(gender.into())]
+    }
+
+    #[test]
+    fn insert_update_delete_roundtrip() {
+        let g = example();
+        let person = g.catalog().vertex_label_id("PERSON").unwrap();
+        let mut d = DeltaStore::new(g.catalog());
+        assert!(d.is_empty());
+
+        d.apply(&g, &ResolvedOp::InsertVertex { label: person, row: person_row("zoe", 31, "F") })
+            .unwrap();
+        let off = g.vertex_count(person) as u64;
+        assert!(d.vertex_live(&g, person, off));
+        assert_eq!(d.lookup_pk(&g, person, 31), Some(off));
+        assert_eq!(d.vertex_value(&g, person, off, 0), Value::String("zoe".into()));
+
+        d.apply(
+            &g,
+            &ResolvedOp::UpdateVertex { label: person, off, row: person_row("zoey", 31, "F") },
+        )
+        .unwrap();
+        assert_eq!(d.vertex_value(&g, person, off, 0), Value::String("zoey".into()));
+
+        d.apply(&g, &ResolvedOp::DeleteVertex { label: person, off }).unwrap();
+        assert!(!d.vertex_live(&g, person, off));
+        assert_eq!(d.lookup_pk(&g, person, 31), None);
+        assert!(d.is_empty(), "insert+delete cancels out");
+
+        // The vacated slot is recycled by the next insert.
+        d.apply(&g, &ResolvedOp::InsertVertex { label: person, row: person_row("yan", 20, "M") })
+            .unwrap();
+        assert!(d.vertex_live(&g, person, off));
+    }
+
+    #[test]
+    fn pk_constraints_enforced() {
+        let g = example();
+        let person = g.catalog().vertex_label_id("PERSON").unwrap();
+        let mut d = DeltaStore::new(g.catalog());
+        // Duplicate against the baseline (alice has age 45).
+        let err = d
+            .apply(&g, &ResolvedOp::InsertVertex { label: person, row: person_row("dup", 45, "F") })
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        // Updates must not change the pk.
+        d.apply(&g, &ResolvedOp::InsertVertex { label: person, row: person_row("ok", 50, "M") })
+            .unwrap();
+        let off = g.vertex_count(person) as u64;
+        let err = d
+            .apply(
+                &g,
+                &ResolvedOp::UpdateVertex { label: person, off, row: person_row("ok", 51, "M") },
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("immutable"), "{err}");
+        // A baseline pk reads through; tombstoning frees it for re-use.
+        assert_eq!(d.lookup_pk(&g, person, 45), Some(0));
+        d.apply(&g, &ResolvedOp::DeleteVertex { label: person, off: 0 }).unwrap();
+        assert_eq!(d.lookup_pk(&g, person, 45), None);
+        d.apply(&g, &ResolvedOp::InsertVertex { label: person, row: person_row("re", 45, "F") })
+            .unwrap();
+        assert!(d.lookup_pk(&g, person, 45).is_some());
+    }
+
+    #[test]
+    fn vertex_delete_cascades_to_edges() {
+        let g = example();
+        let person = g.catalog().vertex_label_id("PERSON").unwrap();
+        let follows = g.catalog().edge_label_id("FOLLOWS").unwrap();
+        let mut d = DeltaStore::new(g.catalog());
+        // Vertex 0 has baseline FOLLOWS edges in both directions.
+        d.apply(&g, &ResolvedOp::DeleteVertex { label: person, off: 0 }).unwrap();
+        let snap = d.freeze(&g);
+        assert!(snap.vertex_tombed(person, 0));
+        assert!(snap.edge_label_touched(follows, Direction::Fwd));
+        // Every baseline FOLLOWS edge out of 0 is tombstoned.
+        if let AdjIndex::Csr(csr) = g.adj(follows, Direction::Fwd) {
+            let mut seen: HashMap<u64, u32> = HashMap::new();
+            for (_, nbr) in csr.iter_list(0) {
+                let occ = seen.entry(nbr).or_insert(0);
+                assert!(snap.edge_tombed(follows, 0, nbr, *occ));
+                *occ += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn cardinality_violation_rejected() {
+        let g = example();
+        let workat = g.catalog().edge_label_id("WORKAT").unwrap();
+        // Vertex 0 already works somewhere (n-1 label): a second WORKAT
+        // edge from it must be rejected.
+        let mut d = DeltaStore::new(g.catalog());
+        let err = d
+            .apply(
+                &g,
+                &ResolvedOp::InsertEdge { label: workat, src: 0, dst: 0, props: vec![Value::Null] },
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("cardinality"), "{err}");
+    }
+
+    #[test]
+    fn delete_edge_resolution_prefers_base_occurrences() {
+        let g = example();
+        let follows = g.catalog().edge_label_id("FOLLOWS").unwrap();
+        let mut d = DeltaStore::new(g.catalog());
+        // Find one baseline FOLLOWS edge.
+        let AdjIndex::Csr(csr) = g.adj(follows, Direction::Fwd) else { panic!() };
+        let (src, dst) = (0u64, csr.iter_list(0).next().unwrap().1);
+        let t = d.resolve_delete_edge(&g, follows, src, dst).unwrap();
+        assert!(matches!(t, EdgeTarget::Base { occ: 0, .. }));
+        d.apply(&g, &ResolvedOp::DeleteEdge { label: follows, target: t }).unwrap();
+        // Deleting again resolves past the tombstone (to a dup occurrence
+        // or a delta edge) or fails cleanly.
+        match d.resolve_delete_edge(&g, follows, src, dst) {
+            Ok(EdgeTarget::Base { occ, .. }) => assert!(occ > 0),
+            Ok(EdgeTarget::Delta { .. }) => panic!("no delta edges inserted"),
+            Err(e) => assert!(e.to_string().contains("no live edge"), "{e}"),
+        }
+    }
+
+    #[test]
+    fn resolved_op_codec_roundtrip() {
+        let ops = vec![
+            ResolvedOp::InsertVertex {
+                label: 1,
+                row: vec![Value::Null, Value::String("x".into()), Value::Float64(0.5)],
+            },
+            ResolvedOp::UpdateVertex { label: 0, off: 7, row: vec![Value::Date(123)] },
+            ResolvedOp::DeleteVertex { label: 2, off: 0 },
+            ResolvedOp::InsertEdge { label: 0, src: 3, dst: 9, props: vec![Value::Bool(true)] },
+            ResolvedOp::DeleteEdge {
+                label: 1,
+                target: EdgeTarget::Base { src: 1, dst: 2, occ: 3 },
+            },
+            ResolvedOp::DeleteEdge { label: 1, target: EdgeTarget::Delta { idx: 4 } },
+        ];
+        let mut w = Writer::new();
+        for op in &ops {
+            op.encode(&mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for op in &ops {
+            assert_eq!(&ResolvedOp::decode(&mut r).unwrap(), op);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn snapshot_str_ext_extends_dictionary() {
+        let g = example();
+        let person = g.catalog().vertex_label_id("PERSON").unwrap();
+        let mut d = DeltaStore::new(g.catalog());
+        d.apply(
+            &g,
+            &ResolvedOp::InsertVertex { label: person, row: person_row("zaphod", 42, "M") },
+        )
+        .unwrap();
+        let snap = d.freeze(&g);
+        // "zaphod" is not a baseline name: it gets an extension code after
+        // the baseline dictionary.
+        let ext = snap.vertex_str_ext(person, 0).expect("name ext");
+        let dict_len = g.vertex_prop(person, 0).dictionary().unwrap().len() as u64;
+        let code = ext.code_of("zaphod").unwrap();
+        assert!(code >= dict_len);
+        assert_eq!(ext.decode(code), "zaphod");
+        // "M" IS a baseline gender: no extension entry for it.
+        assert!(snap.vertex_str_ext(person, 2).is_none());
+    }
+}

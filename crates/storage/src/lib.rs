@@ -18,6 +18,7 @@ pub mod catalog;
 pub mod columnar_graph;
 pub mod config;
 pub mod csr;
+pub mod delta;
 pub mod edge_store;
 pub mod format;
 pub mod mutation;
@@ -27,11 +28,14 @@ pub mod raw;
 pub mod row_graph;
 pub mod single_card;
 pub mod stats;
+pub mod store;
+pub mod wal;
 
 pub use catalog::{Cardinality, Catalog, EdgeLabelDef, PropertyDef, VertexLabelDef};
 pub use columnar_graph::{AdjIndex, ColumnarGraph, EdgePropRead, MemoryBreakdown};
 pub use config::{EdgePropLayout, StorageConfig};
 pub use csr::{Csr, CsrOptions};
+pub use delta::{DeltaEdge, DeltaSnapshot, DeltaStore, EdgeTarget, ResolvedOp, StrExt};
 pub use edge_store::EdgePropStore;
 pub use mutation::{MutableAdjacency, MutablePage, OffsetRecycler};
 pub use pager::{BufferPool, PoolStats, DEFAULT_POOL_PAGES};
@@ -40,6 +44,10 @@ pub use raw::{EdgeTable, PropData, RawGraph, VertexTable};
 pub use row_graph::{PropEntry, RowCsr, RowGraph};
 pub use single_card::SingleCardAdj;
 pub use stats::{EdgeLabelStats, PropStats, Stats, VertexLabelStats};
+pub use store::{
+    base_edge_ref, delta_edge_ref, edge_ref_index, is_delta_edge_ref, merged_raw, GraphSnapshot,
+    GraphStore, GraphView, WriteTxn,
+};
 
 // Storage is read-only at query time and shared by reference across the
 // morsel-driven workers of the list-based processor, so every query-facing
@@ -59,4 +67,9 @@ const _: () = {
     assert_send_sync::<EdgePropRead<'_>>();
     assert_send_sync::<Stats>();
     assert_send_sync::<BufferPool>();
+    assert_send_sync::<DeltaSnapshot>();
+    assert_send_sync::<DeltaStore>();
+    assert_send_sync::<GraphStore>();
+    assert_send_sync::<GraphSnapshot>();
+    assert_send_sync::<GraphView<'_>>();
 };

@@ -22,10 +22,14 @@
 //!   between *list-level* offsets (recyclable only within one list) and
 //!   *page-level* offsets (recyclable across k lists).
 //!
-//! The read-optimized [`crate::ColumnarGraph`] remains immutable; a
-//! write-optimized delta store that merges into it is the standard
-//! mitigation the paper cites (C-Store's write store, positional delta
-//! trees) and is out of scope here, as it is for the paper.
+//! The read-optimized [`crate::ColumnarGraph`] itself remains immutable;
+//! writes go through the write-optimized delta store in [`crate::delta`]
+//! (the C-Store-style write store the paper cites), are made durable by
+//! the write-ahead log in [`crate::wal`], and are folded back into a fresh
+//! read-optimized baseline by `GraphStore::merge` in [`crate::store`].
+//! [`OffsetRecycler`] is the piece those modules share: the delta store
+//! recycles vacated delta-vertex slots through it, exactly the gap
+//! discipline this module models for the baseline structures.
 
 use gfcl_common::MemoryUsage;
 
@@ -53,6 +57,12 @@ impl OffsetRecycler {
                 off
             }
         }
+    }
+
+    /// The offset the next [`OffsetRecycler::allocate`] will return,
+    /// without allocating it.
+    pub fn peek(&self) -> u64 {
+        self.free.last().copied().unwrap_or(self.next_fresh)
     }
 
     /// Return an offset to the pool.

@@ -1,0 +1,969 @@
+//! The mutable graph store: ROADMAP #2 assembled from its parts.
+//!
+//! [`GraphStore`] owns an immutable read-optimized baseline
+//! ([`ColumnarGraph`]), a write-optimized [`DeltaStore`], and (when backed
+//! by a directory) the [`crate::wal`] log that makes commits durable. It
+//! exposes:
+//!
+//! * **Epoch-based MVCC snapshots.** Every commit publishes a new
+//!   [`GraphSnapshot`] — an `Arc` pairing the baseline with a frozen
+//!   [`DeltaSnapshot`] under a monotonically increasing epoch. Queries pin
+//!   one snapshot for their whole run, so in-flight morsel-parallel scans
+//!   read a consistent graph while writers proceed; nothing a writer does
+//!   can ever reach an already-pinned snapshot.
+//! * **Single-writer transactions.** [`GraphStore::begin_write`] hands out
+//!   a [`WriteTxn`] holding the writer lock and a private clone of the
+//!   delta. Ops validate and apply eagerly (so errors surface at the call,
+//!   not at commit), and `commit` makes them durable — WAL append +
+//!   `fdatasync` — before publishing the new snapshot. `abort` (or drop)
+//!   discards the clone; nothing leaks.
+//! * **Merge.** [`GraphStore::merge`] folds the delta into a fresh
+//!   columnar baseline: the merged graph is exported to a [`RawGraph`] and
+//!   rebuilt through the normal build pipeline, which re-blocks zone maps,
+//!   recomputes statistics, and (for a directory-backed store) rewrites
+//!   the paged graph file atomically before truncating the WAL.
+//!
+//! [`GraphView`] is the read-side contract: a `Copy` pair of baseline +
+//! optional delta that resolves `(baseline ⊎ delta) ∖ tombstones` for
+//! scans, adjacency and property reads. The engines consume it directly;
+//! when the delta is empty they see `None` and keep their unmodified
+//! zero-copy fast paths.
+//!
+//! ## Crash recovery
+//!
+//! Reopening a directory replays the WAL through the same
+//! [`DeltaStore::apply`] gate writers use: a torn tail (crash mid-commit)
+//! is truncated and the transaction is gone — atomicity — while any
+//! checksummed-but-undecodable or double-applied record fails the open
+//! with [`Error::Storage`]. A crash during merge is repaired on open by
+//! the `.tmp`-file protocol described at [`GraphStore::merge`].
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+use gfcl_common::{Direction, Error, LabelId, Result, Value};
+
+use crate::catalog::Catalog;
+use crate::columnar_graph::{AdjIndex, ColumnarGraph};
+use crate::config::StorageConfig;
+use crate::delta::{DeltaSnapshot, DeltaStore, ResolvedOp, StrExt};
+use crate::raw::RawGraph;
+use crate::wal::{self, WalWriter};
+
+const GRAPH_FILE: &str = "graph.gfcl";
+const WAL_FILE: &str = "graph.wal";
+const GRAPH_TMP: &str = "graph.gfcl.tmp";
+const WAL_TMP: &str = "graph.wal.tmp";
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn io_err(what: &str, e: std::io::Error) -> Error {
+    Error::Storage(format!("{what}: {e}"))
+}
+
+// ---- edge reference tags ---------------------------------------------------
+//
+// A merged adjacency list carries, per neighbour, a tag naming the physical
+// edge so later property reads can find it: baseline CSR position `p` is
+// `p << 1`, delta edge index `d` is `d << 1 | 1`. Single-cardinality
+// baseline edges use position 0 (their read path ignores it).
+
+/// Tag a baseline CSR position (or 0 for single-cardinality edges).
+pub const fn base_edge_ref(pos: u64) -> u64 {
+    pos << 1
+}
+
+/// Tag a delta edge index.
+pub const fn delta_edge_ref(idx: u64) -> u64 {
+    (idx << 1) | 1
+}
+
+/// Does the tag name a delta edge?
+pub const fn is_delta_edge_ref(tag: u64) -> bool {
+    tag & 1 == 1
+}
+
+/// Strip the tag back to a CSR position / delta index.
+pub const fn edge_ref_index(tag: u64) -> u64 {
+    tag >> 1
+}
+
+/// One consistent read view: the columnar baseline plus (optionally) a
+/// frozen delta. `delta == None` means "clean" — every helper degenerates
+/// to the plain baseline read and the engines keep their fast paths.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphView<'g> {
+    base: &'g ColumnarGraph,
+    delta: Option<&'g DeltaSnapshot>,
+}
+
+impl<'g> GraphView<'g> {
+    /// A view of the bare baseline (the immutable-graph fast path).
+    pub fn clean(base: &'g ColumnarGraph) -> GraphView<'g> {
+        GraphView { base, delta: None }
+    }
+
+    pub fn new(base: &'g ColumnarGraph, delta: Option<&'g DeltaSnapshot>) -> GraphView<'g> {
+        GraphView { base, delta: delta.filter(|d| !d.is_empty()) }
+    }
+
+    pub fn base(&self) -> &'g ColumnarGraph {
+        self.base
+    }
+
+    pub fn delta(&self) -> Option<&'g DeltaSnapshot> {
+        self.delta
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.delta.is_none()
+    }
+
+    // ---- vertices ----------------------------------------------------------
+
+    /// Scan range for `label`: baseline rows plus every delta slot (live
+    /// or vacated — scans must still check [`GraphView::vertex_live`] for
+    /// rows a tombstone or vacated slot hides).
+    pub fn scan_total(&self, label: LabelId) -> u64 {
+        let n = self.base.vertex_count(label) as u64;
+        match self.delta {
+            Some(d) => n + d.delta_slots(label),
+            None => n,
+        }
+    }
+
+    pub fn vertex_live(&self, label: LabelId, off: u64) -> bool {
+        let n_base = self.base.vertex_count(label) as u64;
+        match self.delta {
+            None => off < n_base,
+            Some(d) => {
+                if off < n_base {
+                    !d.vertex_tombed(label, off)
+                } else {
+                    d.delta_row(label, off - n_base).is_some()
+                }
+            }
+        }
+    }
+
+    /// Effective property value of a (live) vertex.
+    pub fn vertex_value(&self, label: LabelId, off: u64, prop: usize) -> Value {
+        let n_base = self.base.vertex_count(label) as u64;
+        if off < n_base {
+            if let Some(row) = self.delta.and_then(|d| d.updated_row(label, off)) {
+                return row[prop].clone();
+            }
+            self.base.vertex_prop(label, prop).value(off as usize)
+        } else {
+            match self.delta.and_then(|d| d.delta_row(label, off - n_base)) {
+                Some(row) => row[prop].clone(),
+                None => Value::Null,
+            }
+        }
+    }
+
+    pub fn lookup_pk(&self, label: LabelId, key: i64) -> Option<u64> {
+        if let Some(d) = self.delta {
+            if let Some(off) = d.pk_delta(label, key) {
+                return Some(off);
+            }
+            let off = self.base.lookup_pk(label, key)?;
+            (!d.vertex_tombed(label, off)).then_some(off)
+        } else {
+            self.base.lookup_pk(label, key)
+        }
+    }
+
+    /// Does `label` carry any vertex-side mutation? (`false` ⇒ positional
+    /// scans over the baseline are exact.)
+    pub fn vertex_label_touched(&self, label: LabelId) -> bool {
+        self.delta.is_some_and(|d| d.vertex_label_touched(label))
+    }
+
+    /// Do tombstones or row overrides intersect the baseline offset range
+    /// `[start, end)`? Clean ranges keep full zone-map pruning.
+    pub fn base_range_touched(&self, label: LabelId, start: u64, end: u64) -> bool {
+        self.delta.is_some_and(|d| d.base_range_touched(label, start, end))
+    }
+
+    pub fn vertex_str_ext(&self, label: LabelId, prop: usize) -> Option<&'g StrExt> {
+        self.delta.and_then(|d| d.vertex_str_ext(label, prop))
+    }
+
+    // ---- edges -------------------------------------------------------------
+
+    /// Does `(label, dir)` carry any edge mutation at all?
+    pub fn edge_label_touched(&self, label: LabelId, dir: Direction) -> bool {
+        self.delta.is_some_and(|d| d.edge_label_touched(label, dir))
+    }
+
+    /// Is the adjacency list of `from` different from the baseline's?
+    pub fn edge_list_dirty(&self, label: LabelId, dir: Direction, from: u64) -> bool {
+        self.delta.is_some_and(|d| d.edge_list_dirty(label, dir, from))
+    }
+
+    /// Materialize the merged adjacency list of a dirty vertex:
+    /// `(neighbours, edge-reference tags)`, baseline survivors in list
+    /// order followed by delta edges in insertion order.
+    pub fn merged_adj(&self, label: LabelId, dir: Direction, from: u64) -> (Vec<u64>, Vec<u64>) {
+        let mut nbrs = Vec::new();
+        let mut refs = Vec::new();
+        let from_count =
+            self.base.vertex_count(self.base.catalog().edge_label(label).from_label(dir)) as u64;
+        let tombed = |nbr: u64, occ: u32| {
+            let (s, d) = if dir == Direction::Fwd { (from, nbr) } else { (nbr, from) };
+            self.delta.is_some_and(|del| del.edge_tombed(label, s, d, occ))
+        };
+        if from < from_count {
+            match self.base.adj(label, dir) {
+                AdjIndex::Csr(csr) => {
+                    let mut seen: HashMap<u64, u32> = HashMap::new();
+                    for (pos, nbr) in csr.iter_list(from) {
+                        let occ = seen.entry(nbr).or_insert(0);
+                        if !tombed(nbr, *occ) {
+                            nbrs.push(nbr);
+                            refs.push(base_edge_ref(pos));
+                        }
+                        *occ += 1;
+                    }
+                }
+                AdjIndex::SingleCard(s) => {
+                    if let Some(nbr) = s.nbr(from) {
+                        if !tombed(nbr, 0) {
+                            nbrs.push(nbr);
+                            refs.push(base_edge_ref(0));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(d) = self.delta {
+            for &idx in d.delta_edges_from(label, dir, from) {
+                let e = d.delta_edge(label, idx);
+                nbrs.push(if dir == Direction::Fwd { e.dst } else { e.src });
+                refs.push(delta_edge_ref(idx));
+            }
+        }
+        (nbrs, refs)
+    }
+
+    /// The single `(label, dir)` neighbour of `from` — the overlay of the
+    /// vertex-column adjacency of single-cardinality directions. Returns
+    /// the neighbour and its edge-reference tag.
+    pub fn single_nbr(&self, label: LabelId, dir: Direction, from: u64) -> Option<(u64, u64)> {
+        if let Some(d) = self.delta {
+            if let Some(&idx) = d.delta_edges_from(label, dir, from).first() {
+                let e = d.delta_edge(label, idx);
+                let nbr = if dir == Direction::Fwd { e.dst } else { e.src };
+                return Some((nbr, delta_edge_ref(idx)));
+            }
+        }
+        let from_count =
+            self.base.vertex_count(self.base.catalog().edge_label(label).from_label(dir)) as u64;
+        if from >= from_count {
+            return None;
+        }
+        match self.base.adj(label, dir) {
+            AdjIndex::SingleCard(s) => {
+                let nbr = s.nbr(from)?;
+                let tombed = {
+                    let (s0, d0) = if dir == Direction::Fwd { (from, nbr) } else { (nbr, from) };
+                    self.delta.is_some_and(|del| del.edge_tombed(label, s0, d0, 0))
+                };
+                (!tombed).then_some((nbr, base_edge_ref(0)))
+            }
+            // Single-cardinality directions are always stored as a vertex
+            // column; a CSR here means the caller asked the wrong way.
+            AdjIndex::Csr(_) => None,
+        }
+    }
+
+    /// Read one edge property through an edge-reference tag produced by
+    /// [`GraphView::merged_adj`] / [`GraphView::single_nbr`].
+    pub fn edge_value(
+        &self,
+        label: LabelId,
+        dir: Direction,
+        from: u64,
+        tag: u64,
+        prop: usize,
+    ) -> Result<Value> {
+        if is_delta_edge_ref(tag) {
+            let d = self
+                .delta
+                .ok_or_else(|| Error::Storage("delta edge reference on a clean view".into()))?;
+            Ok(d.delta_edge(label, edge_ref_index(tag)).props[prop].clone())
+        } else {
+            let csr_pos = match self.base.adj(label, dir) {
+                AdjIndex::Csr(_) => Some(edge_ref_index(tag)),
+                AdjIndex::SingleCard(_) => None,
+            };
+            self.base.read_edge_prop(label, dir, from, csr_pos, prop)
+        }
+    }
+
+    pub fn edge_str_ext(&self, label: LabelId, dir: Direction, prop: usize) -> Option<&'g StrExt> {
+        self.delta.and_then(|d| d.edge_str_ext(label, dir, prop))
+    }
+}
+
+/// One consistent, immutable view of the whole graph under an MVCC epoch.
+/// Queries pin a snapshot (`Arc`) for their entire run; writers publishing
+/// newer epochs never disturb it.
+#[derive(Debug, Clone)]
+pub struct GraphSnapshot {
+    epoch: u64,
+    base: Arc<ColumnarGraph>,
+    delta: Arc<DeltaSnapshot>,
+}
+
+impl GraphSnapshot {
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn base(&self) -> &Arc<ColumnarGraph> {
+        &self.base
+    }
+
+    pub fn delta(&self) -> &Arc<DeltaSnapshot> {
+        &self.delta
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        self.base.catalog()
+    }
+
+    pub fn view(&self) -> GraphView<'_> {
+        GraphView::new(&self.base, Some(&self.delta))
+    }
+}
+
+struct Inner {
+    base: Arc<ColumnarGraph>,
+    delta: DeltaStore,
+    wal: Option<WalWriter>,
+}
+
+/// A mutable graph: columnar baseline + delta store + WAL + snapshots.
+pub struct GraphStore {
+    inner: Mutex<Inner>,
+    /// Held for the lifetime of a [`WriteTxn`] (and across merge): the
+    /// single-writer lock. Readers never take it.
+    writer: Mutex<()>,
+    current: RwLock<Arc<GraphSnapshot>>,
+    dir: Option<PathBuf>,
+    config: StorageConfig,
+}
+
+impl GraphStore {
+    /// An ephemeral store: mutable, snapshot-isolated, but with no WAL —
+    /// nothing survives the process.
+    pub fn in_memory(raw: &RawGraph, config: StorageConfig) -> Result<GraphStore> {
+        let base = Arc::new(ColumnarGraph::build(raw, config)?);
+        Ok(Self::assemble(base, None, None, config, 0))
+    }
+
+    /// Create a durable store in `dir`: build the baseline, write the
+    /// paged graph file, and start a fresh WAL.
+    pub fn create(dir: &Path, raw: &RawGraph, config: StorageConfig) -> Result<GraphStore> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("create store dir", e))?;
+        let base = Arc::new(ColumnarGraph::build(raw, config)?);
+        base.save(dir.join(GRAPH_FILE))?;
+        let wal = WalWriter::create(&dir.join(WAL_FILE), wal::baseline_id(&base))?;
+        Ok(Self::assemble(base, Some(wal), Some(dir.to_path_buf()), config, 0))
+    }
+
+    /// Reopen a durable store: open the paged graph file, repair any
+    /// crash-interrupted merge, replay the WAL (truncating a torn tail),
+    /// and publish the recovered snapshot.
+    pub fn open(dir: &Path, config: StorageConfig) -> Result<GraphStore> {
+        let graph_path = dir.join(GRAPH_FILE);
+        let tmp_graph = dir.join(GRAPH_TMP);
+        if tmp_graph.exists() {
+            // A merge died before its rename: the old graph file is still
+            // current and the half-written replacement is garbage.
+            std::fs::remove_file(&tmp_graph).map_err(|e| io_err("drop stale merge tmp", e))?;
+        }
+        let base = Arc::new(ColumnarGraph::open(&graph_path, config)?);
+        let baseline = wal::baseline_id(&base);
+
+        let wal_path = dir.join(WAL_FILE);
+        let tmp_wal = dir.join(WAL_TMP);
+        if tmp_wal.exists() {
+            if wal::read_baseline(&tmp_wal).is_ok_and(|b| b == baseline) {
+                // A merge died between its two renames: the new graph file
+                // landed but its fresh WAL did not. Finish the job.
+                std::fs::rename(&tmp_wal, &wal_path).map_err(|e| io_err("finish merge", e))?;
+            } else {
+                std::fs::remove_file(&tmp_wal).map_err(|e| io_err("drop stale wal tmp", e))?;
+            }
+        }
+
+        let (wal_writer, commits) = if wal_path.exists() {
+            let replayed = wal::replay(&wal_path, baseline)?;
+            (WalWriter::open_for_append(&wal_path)?, replayed.commits)
+        } else {
+            (WalWriter::create(&wal_path, baseline)?, Vec::new())
+        };
+
+        let mut delta = DeltaStore::new(base.catalog());
+        let epoch = commits.len() as u64;
+        for (i, commit) in commits.iter().enumerate() {
+            for op in commit {
+                delta.apply(&base, op).map_err(|e| {
+                    Error::Storage(format!("WAL replay: commit {i} does not apply: {e}"))
+                })?;
+            }
+        }
+        let store = Self::assemble(base, Some(wal_writer), Some(dir.to_path_buf()), config, epoch);
+        lock(&store.inner).delta = delta.clone();
+        // Re-publish with the replayed delta (assemble published empty).
+        if !delta.is_empty() {
+            let inner = lock(&store.inner);
+            let snap = Arc::new(GraphSnapshot {
+                epoch,
+                base: inner.base.clone(),
+                delta: Arc::new(delta.freeze(&inner.base)),
+            });
+            drop(inner);
+            *store.current.write().unwrap_or_else(std::sync::PoisonError::into_inner) = snap;
+        }
+        Ok(store)
+    }
+
+    fn assemble(
+        base: Arc<ColumnarGraph>,
+        wal: Option<WalWriter>,
+        dir: Option<PathBuf>,
+        config: StorageConfig,
+        epoch: u64,
+    ) -> GraphStore {
+        let delta = DeltaStore::new(base.catalog());
+        let snap = Arc::new(GraphSnapshot {
+            epoch,
+            base: base.clone(),
+            delta: Arc::new(delta.freeze(&base)),
+        });
+        GraphStore {
+            inner: Mutex::new(Inner { base, delta, wal }),
+            writer: Mutex::new(()),
+            current: RwLock::new(snap),
+            dir,
+            config,
+        }
+    }
+
+    /// Pin the current snapshot. Cheap (`Arc` clone); hold it for the
+    /// duration of a query.
+    pub fn snapshot(&self) -> Arc<GraphSnapshot> {
+        self.current.read().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    /// Number of buffered delta entries — a merge-policy signal.
+    pub fn pending_mutations(&self) -> usize {
+        lock(&self.inner).delta.mutation_count()
+    }
+
+    /// Begin a write transaction. Blocks while another writer (or a
+    /// merge) is active; readers are never blocked.
+    pub fn begin_write(&self) -> WriteTxn<'_> {
+        let guard = lock(&self.writer);
+        let inner = lock(&self.inner);
+        let base = inner.base.clone();
+        let delta = inner.delta.clone();
+        drop(inner);
+        WriteTxn { store: self, _guard: guard, base, delta, ops: Vec::new() }
+    }
+
+    /// Fold the delta into a fresh columnar baseline: export the merged
+    /// graph to a [`RawGraph`], rebuild (re-blocking zone maps and
+    /// recomputing statistics), atomically replace the paged graph file,
+    /// truncate the WAL, and publish the clean snapshot.
+    ///
+    /// Crash protocol for the durable case: the new graph is written to
+    /// `graph.gfcl.tmp` and its empty WAL to `graph.wal.tmp`; then
+    /// `graph.gfcl.tmp → graph.gfcl` (the commit point), then
+    /// `graph.wal.tmp → graph.wal`. [`GraphStore::open`] repairs every
+    /// window: before the first rename the old state is intact (tmp files
+    /// are dropped), between the renames the new graph is adopted and its
+    /// WAL rename is completed (the tmp WAL's baseline fingerprint proves
+    /// it belongs to the new file).
+    pub fn merge(&self) -> Result<u64> {
+        let _writer = lock(&self.writer);
+        let mut inner = lock(&self.inner);
+        if inner.delta.is_empty() {
+            return Ok(self.snapshot().epoch());
+        }
+        let frozen = inner.delta.freeze(&inner.base);
+        let raw = merged_raw(&inner.base, &frozen)?;
+        let new_base = Arc::new(ColumnarGraph::build(&raw, self.config)?);
+        if let Some(dir) = &self.dir {
+            let tmp_graph = dir.join(GRAPH_TMP);
+            let tmp_wal = dir.join(WAL_TMP);
+            new_base.save(&tmp_graph)?;
+            drop(WalWriter::create(&tmp_wal, wal::baseline_id(&new_base))?);
+            std::fs::rename(&tmp_graph, dir.join(GRAPH_FILE))
+                .map_err(|e| io_err("swap graph file", e))?;
+            std::fs::rename(&tmp_wal, dir.join(WAL_FILE))
+                .map_err(|e| io_err("swap wal file", e))?;
+            inner.wal = Some(WalWriter::open_for_append(&dir.join(WAL_FILE))?);
+        }
+        inner.base = new_base.clone();
+        inner.delta = DeltaStore::new(new_base.catalog());
+        let clean = Arc::new(inner.delta.freeze(&new_base));
+        drop(inner);
+        let mut cur = self.current.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let epoch = cur.epoch + 1;
+        *cur = Arc::new(GraphSnapshot { epoch, base: new_base, delta: clean });
+        Ok(epoch)
+    }
+}
+
+/// A single-writer transaction over a [`GraphStore`]. Ops validate and
+/// apply to a private delta clone as they are issued; `commit` logs them
+/// durably and publishes the next snapshot; `abort` (or drop) discards
+/// everything.
+pub struct WriteTxn<'s> {
+    store: &'s GraphStore,
+    _guard: MutexGuard<'s, ()>,
+    base: Arc<ColumnarGraph>,
+    delta: DeltaStore,
+    ops: Vec<ResolvedOp>,
+}
+
+impl WriteTxn<'_> {
+    pub fn catalog(&self) -> &Catalog {
+        self.base.catalog()
+    }
+
+    /// Ops buffered so far.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Effective primary-key lookup inside this transaction (sees its own
+    /// uncommitted writes).
+    pub fn lookup_pk(&self, label: &str, key: i64) -> Result<Option<u64>> {
+        let l = self.base.catalog().vertex_label_id(label)?;
+        Ok(self.delta.lookup_pk(&self.base, l, key))
+    }
+
+    /// Insert a vertex; unnamed properties are NULL. Returns the new
+    /// vertex's global offset.
+    pub fn insert_vertex(&mut self, label: &str, props: &[(&str, Value)]) -> Result<u64> {
+        let l = self.base.catalog().vertex_label_id(label)?;
+        let row = self.vertex_row(l, props)?;
+        let off = self.delta.peek_insert_offset(&self.base, l);
+        self.run(ResolvedOp::InsertVertex { label: l, row })?;
+        Ok(off)
+    }
+
+    /// Update named properties of the vertex at `off`, leaving the rest.
+    pub fn update_vertex(&mut self, label: &str, off: u64, props: &[(&str, Value)]) -> Result<()> {
+        let l = self.base.catalog().vertex_label_id(label)?;
+        if !self.delta.vertex_live(&self.base, l, off) {
+            return Err(Error::Invalid(format!("update of a dead vertex at offset {off}")));
+        }
+        let n_props = self.base.catalog().vertex_label(l).properties.len();
+        let mut row: Vec<Value> =
+            (0..n_props).map(|p| self.delta.vertex_value(&self.base, l, off, p)).collect();
+        for (name, v) in props {
+            row[self.base.catalog().vertex_prop_idx(l, name)?] = v.clone();
+        }
+        self.run(ResolvedOp::UpdateVertex { label: l, off, row })
+    }
+
+    /// Delete the vertex at `off`, cascading to its incident edges.
+    pub fn delete_vertex(&mut self, label: &str, off: u64) -> Result<()> {
+        let l = self.base.catalog().vertex_label_id(label)?;
+        self.run(ResolvedOp::DeleteVertex { label: l, off })
+    }
+
+    /// Insert an edge between two (live) vertex offsets.
+    pub fn insert_edge(
+        &mut self,
+        label: &str,
+        src: u64,
+        dst: u64,
+        props: &[(&str, Value)],
+    ) -> Result<()> {
+        let l = self.base.catalog().edge_label_id(label)?;
+        let row = self.edge_row(l, props)?;
+        self.run(ResolvedOp::InsertEdge { label: l, src, dst, props: row })
+    }
+
+    /// Delete the first live `label` edge from `src` to `dst` (baseline
+    /// occurrences in list order, then delta edges in insertion order).
+    pub fn delete_edge(&mut self, label: &str, src: u64, dst: u64) -> Result<()> {
+        let l = self.base.catalog().edge_label_id(label)?;
+        let target = self.delta.resolve_delete_edge(&self.base, l, src, dst)?;
+        self.run(ResolvedOp::DeleteEdge { label: l, target })
+    }
+
+    fn vertex_row(&self, label: LabelId, props: &[(&str, Value)]) -> Result<Vec<Value>> {
+        let cat = self.base.catalog();
+        let mut row = vec![Value::Null; cat.vertex_label(label).properties.len()];
+        for (name, v) in props {
+            row[cat.vertex_prop_idx(label, name)?] = v.clone();
+        }
+        Ok(row)
+    }
+
+    fn edge_row(&self, label: LabelId, props: &[(&str, Value)]) -> Result<Vec<Value>> {
+        let cat = self.base.catalog();
+        let mut row = vec![Value::Null; cat.edge_label(label).properties.len()];
+        for (name, v) in props {
+            row[cat.edge_prop_idx(label, name)?] = v.clone();
+        }
+        Ok(row)
+    }
+
+    fn run(&mut self, op: ResolvedOp) -> Result<()> {
+        self.delta.apply(&self.base, &op)?;
+        self.ops.push(op);
+        Ok(())
+    }
+
+    /// Durably commit: append one checksummed WAL record (fsync), install
+    /// the delta, and publish the next-epoch snapshot. Returns the new
+    /// epoch. On error nothing is installed.
+    pub fn commit(self) -> Result<u64> {
+        let WriteTxn { store, _guard, base, delta, ops } = self;
+        if ops.is_empty() {
+            return Ok(store.snapshot().epoch());
+        }
+        let mut inner = lock(&store.inner);
+        if let Some(w) = inner.wal.as_mut() {
+            w.append_commit(&ops)?;
+        }
+        inner.delta = delta;
+        let frozen = Arc::new(inner.delta.freeze(&base));
+        drop(inner);
+        let mut cur = store.current.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let epoch = cur.epoch + 1;
+        *cur = Arc::new(GraphSnapshot { epoch, base, delta: frozen });
+        Ok(epoch)
+    }
+
+    /// Discard the transaction. (Dropping it does the same.)
+    pub fn abort(self) {}
+}
+
+/// Export `baseline ⊎ delta ∖ tombstones` to a [`RawGraph`], the input of
+/// the normal build pipeline. Deterministic: baseline survivors keep
+/// their relative order (offsets ascending, adjacency in list order),
+/// delta rows/edges follow in slot/insertion order, and vertex offsets
+/// are compacted by the same rule every time.
+pub fn merged_raw(base: &ColumnarGraph, delta: &DeltaSnapshot) -> Result<RawGraph> {
+    let catalog = base.catalog();
+    let mut raw = RawGraph::new(catalog.clone());
+    let nv = catalog.vertex_label_count();
+    let ne = catalog.edge_label_count();
+
+    // Vertices: survivors first (offset order), then live delta rows
+    // (slot order); `remap[label][old global offset] -> new offset`.
+    let mut remap: Vec<Vec<Option<u64>>> = Vec::with_capacity(nv);
+    for l in 0..nv {
+        let label = l as LabelId;
+        let def = catalog.vertex_label(label);
+        let n_base = base.vertex_count(label) as u64;
+        let slots = delta.delta_slots(label);
+        let mut map = vec![None; (n_base + slots) as usize];
+        let table = &mut raw.vertices[l];
+        let mut next = 0u64;
+        for off in 0..n_base {
+            if delta.vertex_tombed(label, off) {
+                continue;
+            }
+            map[off as usize] = Some(next);
+            next += 1;
+            let updated = delta.updated_row(label, off);
+            for p in 0..def.properties.len() {
+                let v = match updated {
+                    Some(row) => row[p].clone(),
+                    None => base.vertex_prop(label, p).value(off as usize),
+                };
+                table.props[p].push_value(v)?;
+            }
+        }
+        for slot in 0..slots {
+            let Some(row) = delta.delta_row(label, slot) else { continue };
+            map[(n_base + slot) as usize] = Some(next);
+            next += 1;
+            for (col, v) in table.props.iter_mut().zip(row.iter()) {
+                col.push_value(v.clone())?;
+            }
+        }
+        table.count = next as usize;
+        remap.push(map);
+    }
+
+    // Edges: baseline survivors in forward-adjacency order (a stable
+    // permutation of the original table order), then delta edges in
+    // insertion order.
+    for l in 0..ne {
+        let label = l as LabelId;
+        let def = catalog.edge_label(label);
+        let (sl, dl) = (def.src as usize, def.dst as usize);
+        let n_from = base.vertex_count(def.src) as u64;
+        let push_edge = |raw: &mut RawGraph,
+                         ns: u64,
+                         nd: u64,
+                         mut prop_at: Box<dyn FnMut(usize) -> Result<Value> + '_>|
+         -> Result<()> {
+            let table = &mut raw.edges[l];
+            table.src.push(ns);
+            table.dst.push(nd);
+            for p in 0..def.properties.len() {
+                let v = prop_at(p)?;
+                table.props[p].push_value(v)?;
+            }
+            Ok(())
+        };
+        match base.adj(label, Direction::Fwd) {
+            AdjIndex::Csr(csr) => {
+                for v in 0..n_from {
+                    let mut seen: HashMap<u64, u32> = HashMap::new();
+                    for (pos, nbr) in csr.iter_list(v) {
+                        let occ = seen.entry(nbr).or_insert(0);
+                        let o = *occ;
+                        *occ += 1;
+                        if delta.edge_tombed(label, v, nbr, o) {
+                            continue;
+                        }
+                        let (Some(ns), Some(nd)) = (remap[sl][v as usize], remap[dl][nbr as usize])
+                        else {
+                            continue;
+                        };
+                        push_edge(
+                            &mut raw,
+                            ns,
+                            nd,
+                            Box::new(|p| {
+                                base.read_edge_prop(label, Direction::Fwd, v, Some(pos), p)
+                            }),
+                        )?;
+                    }
+                }
+            }
+            AdjIndex::SingleCard(s) => {
+                for v in 0..n_from {
+                    let Some(nbr) = s.nbr(v) else { continue };
+                    if delta.edge_tombed(label, v, nbr, 0) {
+                        continue;
+                    }
+                    let (Some(ns), Some(nd)) = (remap[sl][v as usize], remap[dl][nbr as usize])
+                    else {
+                        continue;
+                    };
+                    push_edge(
+                        &mut raw,
+                        ns,
+                        nd,
+                        Box::new(|p| base.read_edge_prop(label, Direction::Fwd, v, None, p)),
+                    )?;
+                }
+            }
+        }
+        for idx in 0..delta.delta_edge_count(label) {
+            let e = delta.delta_edge(label, idx);
+            if e.deleted {
+                continue;
+            }
+            let (Some(ns), Some(nd)) = (remap[sl][e.src as usize], remap[dl][e.dst as usize])
+            else {
+                continue;
+            };
+            push_edge(&mut raw, ns, nd, Box::new(|p| Ok(e.props[p].clone())))?;
+        }
+    }
+    raw.validate()?;
+    Ok(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::RawGraph;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gfcl_store_{}_{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn pk_raw() -> RawGraph {
+        let mut raw = RawGraph::example();
+        raw.catalog.set_primary_key(0, "age").unwrap();
+        raw
+    }
+
+    #[test]
+    fn write_commit_publishes_new_epoch() {
+        let store = GraphStore::in_memory(&pk_raw(), StorageConfig::default()).unwrap();
+        let before = store.snapshot();
+        assert_eq!(before.epoch(), 0);
+
+        let mut txn = store.begin_write();
+        let off = txn
+            .insert_vertex(
+                "PERSON",
+                &[("name", Value::String("zoe".into())), ("age", Value::Int64(31))],
+            )
+            .unwrap();
+        txn.insert_edge("FOLLOWS", 0, off, &[("since", Value::Int64(2024))]).unwrap();
+        let epoch = txn.commit().unwrap();
+        assert_eq!(epoch, 1);
+
+        // The pinned pre-write snapshot is untouched.
+        assert_eq!(before.view().scan_total(0), 4);
+        assert!(before.view().lookup_pk(0, 31).is_none());
+
+        // The new snapshot sees everything.
+        let after = store.snapshot();
+        let v = after.view();
+        assert_eq!(v.scan_total(0), 5);
+        assert_eq!(v.lookup_pk(0, 31), Some(off));
+        assert_eq!(v.vertex_value(0, off, 0), Value::String("zoe".into()));
+        let (nbrs, refs) = v.merged_adj(0, Direction::Fwd, 0);
+        assert!(nbrs.contains(&off));
+        let i = nbrs.iter().position(|&n| n == off).unwrap();
+        assert_eq!(v.edge_value(0, Direction::Fwd, 0, refs[i], 0).unwrap(), Value::Int64(2024));
+    }
+
+    #[test]
+    fn abort_discards_everything() {
+        let store = GraphStore::in_memory(&pk_raw(), StorageConfig::default()).unwrap();
+        let mut txn = store.begin_write();
+        txn.insert_vertex("PERSON", &[("age", Value::Int64(99))]).unwrap();
+        txn.delete_vertex("PERSON", 0).unwrap();
+        txn.abort();
+        let v = store.snapshot();
+        assert_eq!(v.epoch(), 0);
+        assert_eq!(v.view().scan_total(0), 4);
+        assert!(v.view().vertex_live(0, 0));
+        // The writer lock was released: a new transaction proceeds.
+        let mut txn = store.begin_write();
+        txn.insert_vertex("PERSON", &[("age", Value::Int64(99))]).unwrap();
+        assert_eq!(txn.commit().unwrap(), 1);
+    }
+
+    #[test]
+    fn durable_store_recovers_after_reopen() {
+        let dir = tmp_dir("reopen");
+        {
+            let store = GraphStore::create(&dir, &pk_raw(), StorageConfig::default()).unwrap();
+            let mut txn = store.begin_write();
+            txn.insert_vertex(
+                "PERSON",
+                &[("name", Value::String("zoe".into())), ("age", Value::Int64(31))],
+            )
+            .unwrap();
+            txn.commit().unwrap();
+            let mut txn = store.begin_write();
+            txn.delete_vertex("PERSON", 1).unwrap(); // bob, cascading his edges
+            txn.commit().unwrap();
+        }
+        let store = GraphStore::open(&dir, StorageConfig::default()).unwrap();
+        let snap = store.snapshot();
+        assert_eq!(snap.epoch(), 2, "one epoch per replayed commit");
+        let v = snap.view();
+        assert_eq!(v.scan_total(0), 5);
+        assert!(!v.vertex_live(0, 1));
+        assert!(v.lookup_pk(0, 31).is_some());
+        // bob's FOLLOWS edges died with him.
+        let (nbrs, _) = v.merged_adj(0, Direction::Fwd, 0);
+        assert!(!nbrs.contains(&1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_folds_delta_and_truncates_wal() {
+        let dir = tmp_dir("merge");
+        let store = GraphStore::create(&dir, &pk_raw(), StorageConfig::default()).unwrap();
+        let mut txn = store.begin_write();
+        let zoe = txn
+            .insert_vertex(
+                "PERSON",
+                &[("name", Value::String("zoe".into())), ("age", Value::Int64(31))],
+            )
+            .unwrap();
+        txn.insert_edge("FOLLOWS", zoe, 0, &[("since", Value::Int64(2024))]).unwrap();
+        txn.delete_vertex("PERSON", 2).unwrap(); // peter + his edges
+        txn.update_vertex("PERSON", 3, &[("name", Value::String("jen".into()))]).unwrap();
+        txn.commit().unwrap();
+
+        let pre = store.snapshot();
+        let epoch = store.merge().unwrap();
+        assert!(epoch > pre.epoch());
+        let post = store.snapshot();
+        assert!(post.view().is_clean(), "merge publishes an empty delta");
+        assert_eq!(post.view().scan_total(0), 4); // 4 - peter + zoe
+        assert_eq!(store.pending_mutations(), 0);
+
+        // Reopen: the rewritten graph file + truncated WAL reproduce the
+        // merged state exactly.
+        drop(store);
+        let store = GraphStore::open(&dir, StorageConfig::default()).unwrap();
+        let v = store.snapshot();
+        let view = v.view();
+        assert_eq!(view.scan_total(0), 4);
+        let zoe_new = view.lookup_pk(0, 31).expect("zoe survived the merge");
+        assert_eq!(view.vertex_value(0, zoe_new, 0), Value::String("zoe".into()));
+        let jenny_new = view.lookup_pk(0, 23).expect("jenny survived");
+        assert_eq!(view.vertex_value(0, jenny_new, 0), Value::String("jen".into()));
+        assert!(view.lookup_pk(0, 17).is_none(), "peter stayed deleted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merged_raw_is_deterministic() {
+        let raw = pk_raw();
+        let base = ColumnarGraph::build(&raw, StorageConfig::default()).unwrap();
+        let mut d = DeltaStore::new(base.catalog());
+        for op in [
+            ResolvedOp::InsertVertex {
+                label: 0,
+                row: vec![Value::String("zoe".into()), Value::Int64(31), Value::Null],
+            },
+            ResolvedOp::DeleteVertex { label: 0, off: 2 },
+        ] {
+            d.apply(&base, &op).unwrap();
+        }
+        let snap = d.freeze(&base);
+        let a = merged_raw(&base, &snap).unwrap();
+        let b = merged_raw(&base, &snap).unwrap();
+        // Spot-check structural equality via counts and a rebuild.
+        assert_eq!(a.total_vertices(), b.total_vertices());
+        assert_eq!(a.total_edges(), b.total_edges());
+        let ga = ColumnarGraph::build(&a, StorageConfig::default()).unwrap();
+        let gb = ColumnarGraph::build(&b, StorageConfig::default()).unwrap();
+        assert_eq!(ga.vertex_count(0), gb.vertex_count(0));
+        assert_eq!(ga.edge_count(0), gb.edge_count(0));
+    }
+
+    #[test]
+    fn stale_wal_from_before_merge_is_rejected() {
+        let dir = tmp_dir("stale");
+        let store = GraphStore::create(&dir, &pk_raw(), StorageConfig::default()).unwrap();
+        let mut txn = store.begin_write();
+        txn.insert_vertex("PERSON", &[("age", Value::Int64(31))]).unwrap();
+        txn.commit().unwrap();
+        let stale_wal = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        store.merge().unwrap();
+        drop(store);
+        // Resurrect the pre-merge WAL: its offsets refer to the old
+        // baseline, so open must refuse rather than mis-apply them.
+        std::fs::write(dir.join(WAL_FILE), &stale_wal).unwrap();
+        let err = match GraphStore::open(&dir, StorageConfig::default()) {
+            Ok(_) => panic!("stale WAL must not open"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("baseline mismatch"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,23 @@
+//! Crash-torture writer: applies the deterministic `crashkit` commit
+//! stream to a durable [`GraphStore`] at the given directory, printing
+//! `committed <k>` after each durable commit. The `crash_recovery` test
+//! SIGKILLs this process at randomized points and then checks that
+//! `GraphStore::open` recovers exactly a commit-boundary prefix.
+//!
+//! Usage: `crash_writer <dir> <commits>`
+//!
+//! [`GraphStore`]: gfcl_storage::GraphStore
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dir = args.next().expect("usage: crash_writer <dir> <commits>");
+    let commits: u64 = args
+        .next()
+        .expect("usage: crash_writer <dir> <commits>")
+        .parse()
+        .expect("commits must be an integer");
+    if let Err(e) = gfcl_workloads::crashkit::run_writer(std::path::Path::new(&dir), commits) {
+        eprintln!("crash_writer failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -3,6 +3,7 @@
 //! Tables 3–5 and Figure 12, and the GA grouped-aggregation/top-k suite.
 
 pub mod corpus;
+pub mod crashkit;
 pub mod grouped;
 pub mod job;
 pub mod khop;

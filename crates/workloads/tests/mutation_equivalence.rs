@@ -1,0 +1,264 @@
+//! The headline mutable-graph invariant: **mutate-then-query must be
+//! byte-identical to rebuild-from-scratch**, across all four engines and
+//! worker counts.
+//!
+//! Each test builds a baseline graph, applies a scripted mutation batch
+//! through [`WriteTxn`] (inserts, updates, deletes of vertices and edges —
+//! including string properties, cascading vertex deletes, and tombstones
+//! over both CSR and single-cardinality adjacency), pins a snapshot, and
+//! runs a query set two ways:
+//!
+//! 1. **Overlay**: engines constructed `with_snapshot`, reading
+//!    `(baseline ⊎ delta) ∖ tombstones` through the delta overlay;
+//! 2. **Rebuild**: [`merged_raw`] exports the same logical graph to a
+//!    fresh [`RawGraph`], which goes through the normal build pipeline.
+//!
+//! Every `canonical()` output must agree exactly — GF-CL serial, GF-CL at
+//! `GFCL_THREADS` workers, GF-CV, GF-RV, and REL. A final pass calls
+//! [`GraphStore::merge`] and checks the folded store still agrees.
+
+use std::sync::Arc;
+
+use gfcl_baselines::{GfCvEngine, GfRvEngine, RelEngine};
+use gfcl_common::Value;
+use gfcl_core::query::PatternQuery;
+use gfcl_core::{Engine, ExecOptions, GfClEngine};
+use gfcl_datagen::SocialParams;
+use gfcl_storage::{
+    merged_raw, ColumnarGraph, GraphSnapshot, GraphStore, RawGraph, RowGraph, StorageConfig,
+    WriteTxn,
+};
+use gfcl_workloads::ldbc::{self, LdbcParams};
+
+/// Parallel worker count under test: `GFCL_THREADS`, default 4.
+fn par_threads() -> usize {
+    std::env::var("GFCL_THREADS").ok().and_then(|s| s.trim().parse().ok()).unwrap_or(4)
+}
+
+/// Run `q` through every engine over the pinned snapshot and through every
+/// engine over a from-scratch rebuild of the merged graph; assert all the
+/// canonical outputs are byte-identical.
+fn assert_mutate_equals_rebuild(
+    base_raw: &RawGraph,
+    snapshot: &GraphSnapshot,
+    queries: &[(String, PatternQuery)],
+) {
+    let base_rows = Arc::new(RowGraph::build(base_raw).unwrap());
+    let merged = merged_raw(snapshot.base(), snapshot.delta()).unwrap();
+    let rebuilt = Arc::new(ColumnarGraph::build(&merged, StorageConfig::default()).unwrap());
+    let rebuilt_rows = Arc::new(RowGraph::build(&merged).unwrap());
+
+    let overlay: Vec<(&str, Box<dyn Engine>)> = vec![
+        (
+            "GF-CL/1+delta",
+            Box::new(GfClEngine::with_snapshot_options(snapshot, ExecOptions::serial())),
+        ),
+        (
+            "GF-CL/N+delta",
+            Box::new(GfClEngine::with_snapshot_options(
+                snapshot,
+                ExecOptions::with_threads(par_threads()),
+            )),
+        ),
+        ("GF-CV+delta", Box::new(GfCvEngine::with_snapshot(snapshot))),
+        ("GF-RV+delta", Box::new(GfRvEngine::with_snapshot(base_rows, snapshot))),
+        ("REL+delta", Box::new(RelEngine::with_snapshot(snapshot))),
+    ];
+    let rebuild: Vec<(&str, Box<dyn Engine>)> = vec![
+        (
+            "GF-CL/1 rebuilt",
+            Box::new(GfClEngine::with_options(Arc::clone(&rebuilt), ExecOptions::serial())),
+        ),
+        (
+            "GF-CL/N rebuilt",
+            Box::new(GfClEngine::with_options(
+                Arc::clone(&rebuilt),
+                ExecOptions::with_threads(par_threads()),
+            )),
+        ),
+        ("GF-CV rebuilt", Box::new(GfCvEngine::new(Arc::clone(&rebuilt)))),
+        ("GF-RV rebuilt", Box::new(GfRvEngine::new(rebuilt_rows))),
+        ("REL rebuilt", Box::new(RelEngine::new(rebuilt))),
+    ];
+
+    for (name, q) in queries {
+        let truth = rebuild[0]
+            .1
+            .execute(q)
+            .unwrap_or_else(|e| panic!("{name} failed on rebuilt graph: {e}"))
+            .canonical();
+        for (engine_name, engine) in rebuild.iter().skip(1).chain(overlay.iter()) {
+            let got = engine
+                .execute(q)
+                .unwrap_or_else(|e| panic!("{name} failed on {engine_name}: {e}"))
+                .canonical();
+            assert_eq!(got, truth, "{name}: {engine_name} diverges from rebuild-from-scratch");
+        }
+    }
+}
+
+/// The scripted batch: exercises every delta shape the overlay has to
+/// merge — new vertices (string props land in the delta's string
+/// extension), in-place updates of baseline and delta rows, cascading
+/// vertex deletes, delta edges whose endpoints span baseline and delta,
+/// tombstoned baseline edges, and a delete + reinsert of the same edge.
+fn scripted_batch(txn: &mut WriteTxn<'_>) {
+    let p = |id: i64| Value::Int64(id);
+    // New persons: ids far above the generated range so pk lookups are
+    // unambiguous; string props exercise the delta string extension.
+    let zoe = txn
+        .insert_vertex(
+            "Person",
+            &[
+                ("id", p(9_001)),
+                ("fName", Value::String("Zoe".into())),
+                ("lName", Value::String("Zappa".into())),
+                ("gender", Value::String("female".into())),
+                ("birthday", Value::Date(650_000_000)),
+                ("creationDate", Value::Date(1_400_000_001)),
+            ],
+        )
+        .unwrap();
+    let yuri = txn
+        .insert_vertex(
+            "Person",
+            &[
+                ("id", p(9_002)),
+                ("fName", Value::String("Yuri".into())),
+                ("gender", Value::String("male".into())),
+                ("creationDate", Value::Date(1_400_000_002)),
+            ],
+        )
+        .unwrap();
+
+    let off = |txn: &WriteTxn<'_>, label: &str, id: i64| {
+        txn.lookup_pk(label, id).unwrap().unwrap_or_else(|| panic!("{label} {id} missing"))
+    };
+    let p0 = off(txn, "Person", 0);
+    let p1 = off(txn, "Person", 1);
+    let p2 = off(txn, "Person", 2);
+    let p3 = off(txn, "Person", 3);
+
+    // Updates: a baseline row and a freshly inserted delta row.
+    txn.update_vertex("Person", p1, &[("fName", Value::String("Renamed".into()))]).unwrap();
+    txn.update_vertex("Person", zoe, &[("lName", Value::String("Zephyr".into()))]).unwrap();
+
+    // Delta `knows` edges: baseline→delta, delta→baseline, delta→delta,
+    // and a duplicate of a (probable) baseline pair.
+    let d = |ts: i64| [("date", Value::Date(ts))];
+    txn.insert_edge("knows", p0, zoe, &d(1_450_000_000)).unwrap();
+    txn.insert_edge("knows", zoe, p2, &d(1_450_000_001)).unwrap();
+    txn.insert_edge("knows", zoe, yuri, &d(1_450_000_002)).unwrap();
+    txn.insert_edge("knows", yuri, p0, &d(1_450_000_003)).unwrap();
+    txn.insert_edge("knows", p2, p3, &d(1_450_000_004)).unwrap();
+
+    // Tombstone a baseline edge, then delete + reinsert another pair so
+    // occurrence accounting is exercised.
+    txn.delete_edge("knows", p2, p3).unwrap();
+    txn.insert_edge("knows", p2, p3, &d(1_450_000_005)).unwrap();
+
+    // Cascading vertex delete: takes out every incident edge (knows,
+    // likes, hasCreator, ...) in one op.
+    let victim = off(txn, "Person", 7);
+    txn.delete_vertex("Person", victim).unwrap();
+
+    // Single-cardinality adjacency: tombstone whichever ManyOne edge p3
+    // has (edges are addressed by endpoints, so probe every organisation;
+    // misses are fine) and give a delta vertex a fresh one.
+    let org1 = off(txn, "Organisation", 1);
+    for org_id in 0..8 {
+        if let Ok(Some(org)) = txn.lookup_pk("Organisation", org_id) {
+            if txn.delete_edge("studyAt", p3, org).is_ok() {
+                break;
+            }
+        }
+    }
+    txn.insert_edge("studyAt", zoe, org1, &[("year", Value::Int64(2_019))]).unwrap();
+}
+
+#[test]
+fn ldbc_suite_mutate_equals_rebuild() {
+    let persons = 60;
+    let base_raw = gfcl_datagen::generate_social(SocialParams::scale(persons));
+    let store = GraphStore::in_memory(&base_raw, StorageConfig::default()).unwrap();
+
+    let mut txn = store.begin_write();
+    scripted_batch(&mut txn);
+    assert!(txn.op_count() > 10);
+    txn.commit().unwrap();
+
+    let snapshot = store.snapshot();
+    let queries = ldbc::all_queries(&LdbcParams::for_scale(persons));
+    assert_mutate_equals_rebuild(&base_raw, &snapshot, &queries);
+}
+
+/// After [`GraphStore::merge`] folds the delta into a new baseline, the
+/// published snapshot must answer every query exactly as the pre-merge
+/// overlay did — and its delta must be empty.
+#[test]
+fn merge_preserves_query_results() {
+    let persons = 40;
+    let base_raw = gfcl_datagen::generate_social(SocialParams::scale(persons));
+    let store = GraphStore::in_memory(&base_raw, StorageConfig::default()).unwrap();
+
+    let mut txn = store.begin_write();
+    scripted_batch(&mut txn);
+    txn.commit().unwrap();
+
+    let before = store.snapshot();
+    let queries = ldbc::all_queries(&LdbcParams::for_scale(persons));
+    let pre: Vec<String> = queries
+        .iter()
+        .map(|(name, q)| {
+            GfClEngine::with_snapshot_options(&before, ExecOptions::serial())
+                .execute(q)
+                .unwrap_or_else(|e| panic!("{name} failed pre-merge: {e}"))
+                .canonical()
+        })
+        .collect();
+
+    store.merge().unwrap();
+    let after = store.snapshot();
+    assert!(after.delta().is_empty(), "merge must fold the delta away");
+    assert!(after.epoch() > before.epoch());
+
+    for ((name, q), want) in queries.iter().zip(&pre) {
+        for threads in [1, par_threads()] {
+            let opts = if threads <= 1 {
+                ExecOptions::serial()
+            } else {
+                ExecOptions::with_threads(threads)
+            };
+            let got = GfClEngine::with_snapshot_options(&after, opts)
+                .execute(q)
+                .unwrap_or_else(|e| panic!("{name} failed post-merge: {e}"))
+                .canonical();
+            assert_eq!(&got, want, "{name}: merge changed the answer (threads={threads})");
+        }
+    }
+    // The pinned pre-merge snapshot is immutable: it still answers from
+    // its own epoch's overlay.
+    for ((name, q), want) in queries.iter().zip(&pre) {
+        let got = GfClEngine::with_snapshot_options(&before, ExecOptions::serial())
+            .execute(q)
+            .unwrap_or_else(|e| panic!("{name} failed on pinned snapshot: {e}"))
+            .canonical();
+        assert_eq!(&got, want, "{name}: pinned snapshot changed after merge");
+    }
+}
+
+/// An aborted transaction leaves the published snapshot untouched.
+#[test]
+fn abort_is_invisible() {
+    let base_raw = gfcl_datagen::generate_social(SocialParams::scale(30));
+    let store = GraphStore::in_memory(&base_raw, StorageConfig::default()).unwrap();
+    let epoch = store.snapshot().epoch();
+
+    let mut txn = store.begin_write();
+    scripted_batch(&mut txn);
+    txn.abort();
+
+    let snap = store.snapshot();
+    assert_eq!(snap.epoch(), epoch);
+    assert!(snap.delta().is_empty());
+}

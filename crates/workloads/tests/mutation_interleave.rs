@@ -1,0 +1,295 @@
+//! Snapshot isolation under interleaved writers and readers: random
+//! mutation batches are applied through [`WriteTxn`] while corpus queries
+//! run against pinned snapshots at 1 and `GFCL_THREADS` workers.
+//!
+//! Invariants checked per batch:
+//!
+//! * a snapshot pinned *before* a batch answers identically before,
+//!   during (ops applied but uncommitted), and after the commit — readers
+//!   never observe a half-applied batch;
+//! * serial and morsel-parallel GF-CL agree on every snapshot;
+//! * at the end, [`GraphStore::merge`] does not change any answer, and
+//!   the overlay agrees with a from-scratch rebuild of [`merged_raw`].
+
+use std::sync::Arc;
+
+use gfcl_common::Value;
+use gfcl_core::query::{col, ge, gt, lit, PatternQuery, QueryBuilder};
+use gfcl_core::{Engine, ExecOptions, GfClEngine};
+use gfcl_storage::{
+    merged_raw, Cardinality, Catalog, ColumnarGraph, GraphSnapshot, GraphStore, PropertyDef,
+    RawGraph, StorageConfig,
+};
+use proptest::prelude::*;
+
+/// Parallel worker count under test: `GFCL_THREADS`, default 4.
+fn par_threads() -> usize {
+    std::env::var("GFCL_THREADS").ok().and_then(|s| s.trim().parse().ok()).unwrap_or(4)
+}
+
+/// One random mutation; vertex operands are indices into the harness's
+/// list of offsets it has seen, so ops stay meaningful as the graph
+/// shrinks and grows.
+#[derive(Debug, Clone)]
+enum Op {
+    InsertA { x: i64 },
+    InsertB { y: i64 },
+    UpdateA { slot: usize, x: i64 },
+    DeleteA { slot: usize },
+    InsertEdge { a: usize, b: usize, w: i64 },
+    DeleteEdge { a: usize, b: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-50i64..50).prop_map(|x| Op::InsertA { x }),
+        (-50i64..50).prop_map(|y| Op::InsertB { y }),
+        (0usize..64, -50i64..50).prop_map(|(slot, x)| Op::UpdateA { slot, x }),
+        (0usize..64).prop_map(|slot| Op::DeleteA { slot }),
+        (0usize..64, 0usize..64, -30i64..30).prop_map(|(a, b, w)| Op::InsertEdge { a, b, w }),
+        (0usize..64, 0usize..64).prop_map(|(a, b)| Op::DeleteEdge { a, b }),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n_a: usize,
+    n_b: usize,
+    ab: Vec<(u64, u64, i64)>,
+    ops: Vec<Op>,
+    threshold: i64,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (2usize..16, 2usize..16)
+        .prop_flat_map(|(n_a, n_b)| {
+            let ab = proptest::collection::vec((0..n_a as u64, 0..n_b as u64, -30i64..30), 0..48);
+            let ops = proptest::collection::vec(op_strategy(), 1..32);
+            (Just(n_a), Just(n_b), ab, ops, -20i64..20)
+        })
+        .prop_map(|(n_a, n_b, ab, ops, threshold)| Scenario { n_a, n_b, ab, ops, threshold })
+}
+
+/// Two labels with integer primary keys, a ManyMany and a ManyOne edge.
+fn base_raw(s: &Scenario) -> RawGraph {
+    use gfcl_common::DataType::Int64;
+    let mut cat = Catalog::new();
+    let a = cat
+        .add_vertex_label("A", vec![PropertyDef::new("id", Int64), PropertyDef::new("x", Int64)])
+        .unwrap();
+    let b = cat
+        .add_vertex_label("B", vec![PropertyDef::new("id", Int64), PropertyDef::new("y", Int64)])
+        .unwrap();
+    let ab = cat
+        .add_edge_label("AB", a, b, Cardinality::ManyMany, vec![PropertyDef::new("w", Int64)])
+        .unwrap();
+    let sg = cat
+        .add_edge_label("SINGLE", a, b, Cardinality::ManyOne, vec![PropertyDef::new("w", Int64)])
+        .unwrap();
+    cat.set_primary_key(a, "id").unwrap();
+    cat.set_primary_key(b, "id").unwrap();
+
+    let mut raw = RawGraph::new(cat);
+    raw.vertices[a as usize].count = s.n_a;
+    for v in 0..s.n_a {
+        raw.vertices[a as usize].props[0].push_i64(v as i64);
+        raw.vertices[a as usize].props[1].push_i64((v as i64 * 7) % 23 - 11);
+    }
+    raw.vertices[b as usize].count = s.n_b;
+    for v in 0..s.n_b {
+        raw.vertices[b as usize].props[0].push_i64(v as i64);
+        raw.vertices[b as usize].props[1].push_i64((v as i64 * 5) % 19 - 9);
+    }
+    for &(src, dst, w) in &s.ab {
+        let t = &mut raw.edges[ab as usize];
+        t.src.push(src);
+        t.dst.push(dst);
+        t.props[0].push_i64(w);
+    }
+    // A sparse ManyOne edge: every third A vertex points somewhere.
+    for v in (0..s.n_a as u64).step_by(3) {
+        let t = &mut raw.edges[sg as usize];
+        t.src.push(v);
+        t.dst.push(v % s.n_b as u64);
+        t.props[0].push_i64(v as i64 - 4);
+    }
+    raw.validate().unwrap();
+    raw
+}
+
+fn queries(t: i64) -> Vec<(String, PatternQuery)> {
+    let count = QueryBuilder::default()
+        .node("a", "A")
+        .node("b", "B")
+        .edge("e", "AB", "a", "b")
+        .filter(gt(col("e", "w"), lit(t)))
+        .returns_count()
+        .build();
+    let rows = QueryBuilder::default()
+        .node("a", "A")
+        .node("b", "B")
+        .edge("e", "AB", "a", "b")
+        .filter(ge(col("a", "x"), lit(t)))
+        .returns(&[("a", "x"), ("b", "y")])
+        .build();
+    let single = QueryBuilder::default()
+        .node("a", "A")
+        .node("b", "B")
+        .edge("s", "SINGLE", "a", "b")
+        .returns_sum("a", "x")
+        .build();
+    let scan = QueryBuilder::default().node("a", "A").returns(&[("a", "id"), ("a", "x")]).build();
+    vec![
+        ("count".into(), count),
+        ("rows".into(), rows),
+        ("single-sum".into(), single),
+        ("scan".into(), scan),
+    ]
+}
+
+/// Canonical answers for every query at 1 and N workers, asserting the
+/// two agree.
+fn answers(snapshot: &GraphSnapshot, qs: &[(String, PatternQuery)]) -> Vec<String> {
+    let serial = GfClEngine::with_snapshot_options(snapshot, ExecOptions::serial());
+    let parallel =
+        GfClEngine::with_snapshot_options(snapshot, ExecOptions::with_threads(par_threads()));
+    qs.iter()
+        .map(|(name, q)| {
+            let s = serial.execute(q).unwrap_or_else(|e| panic!("{name} serial: {e}")).canonical();
+            let p =
+                parallel.execute(q).unwrap_or_else(|e| panic!("{name} parallel: {e}")).canonical();
+            assert_eq!(s, p, "{name}: serial vs {} workers diverge", par_threads());
+            s
+        })
+        .collect()
+}
+
+fn run_scenario(s: &Scenario) {
+    let raw = base_raw(s);
+    let store = GraphStore::in_memory(&raw, StorageConfig::default()).unwrap();
+    let qs = queries(s.threshold);
+
+    // Offsets the harness knows about; ops index into these.
+    let mut a_offs: Vec<u64> = (0..s.n_a as u64).collect();
+    let mut b_offs: Vec<u64> = (0..s.n_b as u64).collect();
+    let mut next_id = 1_000i64;
+
+    for batch in s.ops.chunks(4) {
+        let pinned = store.snapshot();
+        let before = answers(&pinned, &qs);
+
+        let mut txn = store.begin_write();
+        for op in batch {
+            match op {
+                Op::InsertA { x } => {
+                    next_id += 1;
+                    let off = txn
+                        .insert_vertex(
+                            "A",
+                            &[("id", Value::Int64(next_id)), ("x", Value::Int64(*x))],
+                        )
+                        .unwrap();
+                    a_offs.push(off);
+                }
+                Op::InsertB { y } => {
+                    next_id += 1;
+                    let off = txn
+                        .insert_vertex(
+                            "B",
+                            &[("id", Value::Int64(next_id)), ("y", Value::Int64(*y))],
+                        )
+                        .unwrap();
+                    b_offs.push(off);
+                }
+                Op::UpdateA { slot, x } => {
+                    if a_offs.is_empty() {
+                        continue;
+                    }
+                    let off = a_offs[slot % a_offs.len()];
+                    // The target may already be tombed by an earlier
+                    // DeleteA in this run; a rejected update is fine.
+                    let _ = txn.update_vertex("A", off, &[("x", Value::Int64(*x))]);
+                }
+                Op::DeleteA { slot } => {
+                    if a_offs.len() <= 1 {
+                        continue;
+                    }
+                    let off = a_offs.remove(slot % a_offs.len());
+                    txn.delete_vertex("A", off).unwrap();
+                }
+                Op::InsertEdge { a, b, w } => {
+                    if a_offs.is_empty() || b_offs.is_empty() {
+                        continue;
+                    }
+                    let (src, dst) = (a_offs[a % a_offs.len()], b_offs[b % b_offs.len()]);
+                    let _ = txn.insert_edge("AB", src, dst, &[("w", Value::Int64(*w))]);
+                }
+                Op::DeleteEdge { a, b } => {
+                    if a_offs.is_empty() || b_offs.is_empty() {
+                        continue;
+                    }
+                    let (src, dst) = (a_offs[a % a_offs.len()], b_offs[b % b_offs.len()]);
+                    // Misses (no such live edge) are expected.
+                    let _ = txn.delete_edge("AB", src, dst);
+                }
+            }
+        }
+
+        // Uncommitted ops are invisible: the pinned snapshot (and a fresh
+        // one — nothing published yet) still answer exactly as before.
+        assert_eq!(answers(&pinned, &qs), before, "pinned snapshot saw uncommitted ops");
+        assert_eq!(answers(&store.snapshot(), &qs), before, "a fresh snapshot saw uncommitted ops");
+
+        txn.commit().unwrap();
+
+        // After the commit the pinned snapshot is still frozen at its
+        // own epoch.
+        assert_eq!(answers(&pinned, &qs), before, "pinned snapshot changed after commit");
+    }
+
+    // Merge must not change any answer, and the overlay must agree with a
+    // from-scratch rebuild of the merged graph.
+    let pre_merge = store.snapshot();
+    let want = answers(&pre_merge, &qs);
+    let merged = merged_raw(pre_merge.base(), pre_merge.delta()).unwrap();
+    let rebuilt = Arc::new(ColumnarGraph::build(&merged, StorageConfig::default()).unwrap());
+    let clean = GfClEngine::with_options(rebuilt, ExecOptions::serial());
+    for ((name, q), want) in qs.iter().zip(&want) {
+        let got = clean.execute(q).unwrap_or_else(|e| panic!("{name} rebuilt: {e}")).canonical();
+        assert_eq!(&got, want, "{name}: overlay diverges from rebuild");
+    }
+
+    store.merge().unwrap();
+    assert_eq!(answers(&store.snapshot(), &qs), want, "merge changed an answer");
+    assert_eq!(answers(&pre_merge, &qs), want, "pinned snapshot changed across merge");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn interleaved_mutations_preserve_snapshot_isolation(s in scenario_strategy()) {
+        run_scenario(&s);
+    }
+}
+
+/// A fixed smoke scenario so the invariant also runs under `--test-threads`
+/// variations without proptest in the loop.
+#[test]
+fn scripted_interleave_smoke() {
+    let s = Scenario {
+        n_a: 6,
+        n_b: 5,
+        ab: vec![(0, 1, 3), (1, 2, -4), (2, 0, 9), (5, 4, 0), (0, 1, 7)],
+        ops: vec![
+            Op::InsertA { x: 11 },
+            Op::InsertEdge { a: 6, b: 1, w: 5 },
+            Op::DeleteA { slot: 2 },
+            Op::UpdateA { slot: 0, x: -7 },
+            Op::DeleteEdge { a: 0, b: 1 },
+            Op::InsertB { y: 2 },
+            Op::InsertEdge { a: 0, b: 5, w: -1 },
+        ],
+        threshold: 1,
+    };
+    run_scenario(&s);
+}

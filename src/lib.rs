@@ -202,6 +202,58 @@
 //! additionally reports `~N pages read`, the optimizer's I/O estimate after
 //! zone-map skipping. See `ARCHITECTURE.md`, "On-disk format & buffer pool".
 //!
+//! ## Writing to a graph
+//!
+//! A [`GraphStore`] makes a graph mutable behind snapshot-isolated reads:
+//! writers buffer inserts/updates/deletes in a WAL-backed delta store, each
+//! commit publishes a new epoch, and every query pins one [`GraphSnapshot`]
+//! for its whole run — concurrent writers never disturb it. All four
+//! engines accept a snapshot (`with_snapshot`) and observe the identical
+//! merged view `(baseline ⊎ delta) ∖ tombstones`:
+//!
+//! ```
+//! use gfcl::{Engine, GfClEngine, GraphStore, RawGraph, StorageConfig, Value};
+//!
+//! // Primary keys address vertices in mutations; `age` is unique here.
+//! let mut raw = RawGraph::example();
+//! raw.catalog.set_primary_key(0, "age").unwrap();
+//! let store = GraphStore::in_memory(&raw, StorageConfig::default()).unwrap();
+//! let before = store.snapshot(); // pinned: sees the unmutated graph forever
+//!
+//! // Single-writer transaction: validate as you go, commit atomically.
+//! let mut txn = store.begin_write();
+//! let alice = txn.lookup_pk("PERSON", 45).unwrap().expect("alice");
+//! let zoe = txn
+//!     .insert_vertex("PERSON", &[("name", Value::String("zoe".into())),
+//!                                ("age", Value::Int64(30))])
+//!     .unwrap();
+//! txn.insert_edge("FOLLOWS", alice, zoe, &[("since", Value::Int64(2024))]).unwrap();
+//! txn.commit().unwrap();
+//!
+//! let q = "MATCH (a:PERSON)-[e:FOLLOWS]->(b:PERSON) RETURN count(*)";
+//! let old = gfcl::query_on(&GfClEngine::with_snapshot(&before), q).unwrap();
+//! let new = gfcl::query_on(&GfClEngine::with_snapshot(&store.snapshot()), q).unwrap();
+//! assert_eq!(new.as_count().unwrap(), old.as_count().unwrap() + 1);
+//!
+//! // Mutations are also reachable as text statements, keyed by primary key
+//! // (PERSON's primary key is `age` in the example schema):
+//! gfcl::execute_statement(&store, "UPDATE VERTEX PERSON 30 SET (name = 'zo')").unwrap();
+//! gfcl::execute_statement(&store, "DELETE EDGE FOLLOWS FROM PERSON 45 TO PERSON 30").unwrap();
+//! gfcl::execute_statement(&store, "DELETE VERTEX PERSON 30").unwrap();
+//!
+//! // Merge folds the delta into a fresh columnar baseline (re-blocked zone
+//! // maps, recomputed statistics); results are unchanged.
+//! store.merge().unwrap();
+//! let merged = gfcl::query_on(&GfClEngine::with_snapshot(&store.snapshot()), q).unwrap();
+//! assert_eq!(merged.canonical(), old.canonical());
+//! ```
+//!
+//! On-disk stores ([`GraphStore::create`] / [`GraphStore::open`]) append
+//! every commit to a checksummed write-ahead log and replay it on open,
+//! truncating torn tails — a `SIGKILL` mid-commit loses at most the
+//! in-flight transaction, never committed state. See `ARCHITECTURE.md`,
+//! "Mutations, WAL & snapshots".
+//!
 //! ## Text queries
 //!
 //! Queries can also be written as text in a small Cypher-like language and
@@ -276,6 +328,9 @@ pub use gfcl_storage::{
     Cardinality, Catalog, ColumnarGraph, EdgePropLayout, MemoryBreakdown, PropertyDef, RawGraph,
     RowGraph, StorageConfig,
 };
+/// The mutable store: WAL-backed delta writes behind epoch-pinned MVCC
+/// snapshots, plus the merged read view the engines consume.
+pub use gfcl_storage::{DeltaSnapshot, GraphSnapshot, GraphStore, GraphView, WriteTxn};
 
 /// The text query frontend: lexer, parser, binder, and spanned diagnostics.
 pub mod frontend {
@@ -298,6 +353,99 @@ pub fn query(graph: &std::sync::Arc<ColumnarGraph>, text: &str) -> Result<QueryO
 pub fn query_on(engine: &(impl Engine + ?Sized), text: &str) -> Result<QueryOutput> {
     let q = gfcl_frontend::compile(text, engine.catalog())?;
     engine.execute(&q)
+}
+
+/// The result of [`execute_statement`]: query output, or the commit receipt
+/// of a mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementOutput {
+    Query(QueryOutput),
+    /// A committed mutation: the published epoch and how many ops it wrote.
+    Mutation {
+        epoch: u64,
+        ops: usize,
+    },
+}
+
+impl StatementOutput {
+    /// The query output, if this was a read statement.
+    pub fn as_query(&self) -> Option<&QueryOutput> {
+        match self {
+            StatementOutput::Query(q) => Some(q),
+            StatementOutput::Mutation { .. } => None,
+        }
+    }
+}
+
+/// Execute one text statement against a mutable [`GraphStore`]: `MATCH`
+/// queries run on the paper's list-based engine over a freshly pinned
+/// snapshot; `INSERT` / `UPDATE` / `DELETE` statements run in their own
+/// write transaction and commit atomically (see the grammar in
+/// `crates/frontend/GRAMMAR.md`). Vertices are addressed by primary key.
+pub fn execute_statement(store: &GraphStore, text: &str) -> Result<StatementOutput> {
+    match gfcl_frontend::parse_statement(text)? {
+        frontend::ast::Statement::Query(ast) => {
+            let snapshot = store.snapshot();
+            let q = gfcl_frontend::bind(&ast, text, snapshot.catalog())?;
+            let out = GfClEngine::with_snapshot(&snapshot).execute(&q)?;
+            Ok(StatementOutput::Query(out))
+        }
+        frontend::ast::Statement::Mutation(m) => {
+            let mut txn = store.begin_write();
+            apply_mutation(&mut txn, &m)?;
+            let ops = txn.op_count();
+            let epoch = txn.commit()?;
+            Ok(StatementOutput::Mutation { epoch, ops })
+        }
+    }
+}
+
+/// Apply one parsed mutation statement to an open [`WriteTxn`], resolving
+/// primary keys to offsets through the transaction's own uncommitted view.
+/// Exposed so multi-statement batches can share a single atomic commit.
+pub fn apply_mutation(txn: &mut WriteTxn<'_>, m: &frontend::ast::MutationStmt) -> Result<()> {
+    use frontend::ast::{Lit, LitKind, MutationStmt, PropAssign, VertexRef};
+
+    fn value(l: &Lit) -> Value {
+        match &l.kind {
+            LitKind::Int(v) => Value::Int64(*v),
+            LitKind::Float(v) => Value::Float64(*v),
+            LitKind::Str(s) => Value::String(s.clone()),
+            LitKind::Bool(b) => Value::Bool(*b),
+            LitKind::Date(v) => Value::Date(*v),
+        }
+    }
+    fn props(assigns: &[PropAssign]) -> Vec<(&str, Value)> {
+        assigns.iter().map(|a| (a.prop.text.as_str(), value(&a.value))).collect()
+    }
+    fn resolve(txn: &WriteTxn<'_>, r: &VertexRef) -> Result<u64> {
+        txn.lookup_pk(&r.label.text, r.key)?.ok_or_else(|| {
+            Error::Plan(format!("no `{}` vertex with primary key {}", r.label.text, r.key))
+        })
+    }
+
+    match m {
+        MutationStmt::InsertVertex { label, props: p } => {
+            txn.insert_vertex(&label.text, &props(p))?;
+        }
+        MutationStmt::InsertEdge { label, src, dst, props: p } => {
+            let (s, d) = (resolve(txn, src)?, resolve(txn, dst)?);
+            txn.insert_edge(&label.text, s, d, &props(p))?;
+        }
+        MutationStmt::UpdateVertex { target, sets } => {
+            let off = resolve(txn, target)?;
+            txn.update_vertex(&target.label.text, off, &props(sets))?;
+        }
+        MutationStmt::DeleteVertex { target } => {
+            let off = resolve(txn, target)?;
+            txn.delete_vertex(&target.label.text, off)?;
+        }
+        MutationStmt::DeleteEdge { label, src, dst } => {
+            let (s, d) = (resolve(txn, src)?, resolve(txn, dst)?);
+            txn.delete_edge(&label.text, s, d)?;
+        }
+    }
+    Ok(())
 }
 
 /// Columnar primitives: leading-0 suppression, dictionary encoding,
