@@ -172,9 +172,26 @@ pub struct ColumnarGraph {
     bwd: Vec<AdjIndex>,
     edge_props: Vec<EdgePropStore>,
     pk: Vec<Option<HashMap<i64, u64>>>,
+    /// Random per-build generation stamp, persisted with the graph. Two
+    /// builds never share one, even from identical input — the WAL's
+    /// baseline fingerprint folds it in so a log can never be mistaken
+    /// for another baseline's (e.g. after a count-preserving merge).
+    build_nonce: u64,
     /// The buffer pool faulting this graph's pages, if it was opened from
     /// disk. `None` for a built (all-resident) graph.
     pool: Option<Arc<crate::pager::BufferPool>>,
+}
+
+/// A fresh generation stamp: `RandomState` seeds from system entropy (per
+/// thread, bumped per instance), and the global counter separates calls
+/// even under a duplicated entropy source.
+fn fresh_nonce() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_u64(SEQ.fetch_add(1, Ordering::Relaxed));
+    h.finish()
 }
 
 impl ColumnarGraph {
@@ -287,12 +304,19 @@ impl ColumnarGraph {
             bwd,
             edge_props,
             pk,
+            build_nonce: fresh_nonce(),
             pool: None,
         })
     }
 
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The per-build generation stamp (see the field doc). Stable across
+    /// save/open; distinct across separate builds.
+    pub fn build_nonce(&self) -> u64 {
+        self.build_nonce
     }
 
     pub fn config(&self) -> &StorageConfig {
@@ -521,6 +545,7 @@ impl ColumnarGraph {
     /// Encode everything except page data into `w`; large value arrays go
     /// to `sink` as page-aligned segments. Inverse of [`Self::decode_meta`].
     pub(crate) fn encode_meta(&self, w: &mut Writer, sink: &mut dyn SegmentSink) {
+        w.u64(self.build_nonce);
         self.config.encode(w);
         self.catalog.encode(w);
         w.usize(self.vertex_counts.len());
@@ -573,6 +598,7 @@ impl ColumnarGraph {
         r: &mut Reader<'_>,
         src: &dyn SegmentSource,
     ) -> Result<ColumnarGraph> {
+        let build_nonce = r.u64()?;
         let config = StorageConfig::decode(r)?;
         let catalog = Catalog::decode(r)?;
         let n_vc = r.count()?;
@@ -648,6 +674,7 @@ impl ColumnarGraph {
             bwd,
             edge_props,
             pk,
+            build_nonce,
             pool: None,
         })
     }

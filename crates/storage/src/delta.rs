@@ -236,6 +236,14 @@ pub struct DeltaStore {
     e_rows: Vec<Vec<DeltaEdge>>,
     /// Per edge label: tombstoned baseline edges, `(src, dst) -> occs`.
     e_tombs: Vec<HashMap<(u64, u64), Vec<u32>>>,
+    /// `[elabel][dir]`: endpoint -> live delta edge indices in insertion
+    /// order, maintained incrementally on every edge mutation. This is the
+    /// same shape the snapshot publishes, kept live so vertex-delete
+    /// cascades, cardinality checks and delete-edge resolution cost
+    /// O(incident edges) instead of scanning every delta edge. Invariants:
+    /// only live edges appear, and a key with no edges is removed — so
+    /// `freeze` can publish a clone verbatim.
+    e_from: Vec<[HashMap<u64, Vec<u64>>; 2]>,
 }
 
 impl DeltaStore {
@@ -250,6 +258,7 @@ impl DeltaStore {
             v_pk: vec![HashMap::new(); nv],
             e_rows: vec![Vec::new(); ne],
             e_tombs: vec![HashMap::new(); ne],
+            e_from: (0..ne).map(|_| [HashMap::new(), HashMap::new()]).collect(),
         }
     }
 
@@ -354,9 +363,14 @@ impl DeltaStore {
                 }
             }
         }
-        for (idx, e) in self.e_rows[label as usize].iter().enumerate() {
-            if !e.deleted && e.src == src && e.dst == dst {
-                return Ok(EdgeTarget::Delta { idx: idx as u64 });
+        // The per-endpoint index lists live edges in insertion order, so
+        // the first `dst` match is the oldest live delta edge — the same
+        // answer the old full scan gave, at O(out-degree) cost.
+        if let Some(idxs) = self.e_from[label as usize][0].get(&src) {
+            for &idx in idxs {
+                if self.e_rows[label as usize][idx as usize].dst == dst {
+                    return Ok(EdgeTarget::Delta { idx });
+                }
             }
         }
         Err(Error::Invalid(format!(
@@ -473,23 +487,17 @@ impl DeltaStore {
         }
         let catalog = base.catalog();
         // Cascade: every live edge incident to the vertex dies with it.
+        // Delta edges come from the per-endpoint index, so the cascade
+        // pays for incident edges only, never the whole delta.
         for elabel in 0..catalog.edge_label_count() as LabelId {
             let def = catalog.edge_label(elabel);
             if def.src == label {
                 self.tomb_base_side(base, elabel, Direction::Fwd, off);
-                for e in &mut self.e_rows[elabel as usize] {
-                    if !e.deleted && e.src == off {
-                        e.deleted = true;
-                    }
-                }
+                self.drop_delta_side(elabel, 0, off);
             }
             if def.dst == label {
                 self.tomb_base_side(base, elabel, Direction::Bwd, off);
-                for e in &mut self.e_rows[elabel as usize] {
-                    if !e.deleted && e.dst == off {
-                        e.deleted = true;
-                    }
-                }
+                self.drop_delta_side(elabel, 1, off);
             }
         }
         let def = catalog.vertex_label(label);
@@ -508,6 +516,32 @@ impl DeltaStore {
             self.v_recycler[label as usize].release(slot);
         }
         Ok(())
+    }
+
+    /// Delete every live delta edge whose side-`d` endpoint (0 = src,
+    /// 1 = dst) is `v`, keeping both directions of the endpoint index
+    /// consistent.
+    fn drop_delta_side(&mut self, elabel: LabelId, d: usize, v: u64) {
+        let el = elabel as usize;
+        let Some(idxs) = self.e_from[el][d].remove(&v) else {
+            return;
+        };
+        let other = 1 - d;
+        for &idx in &idxs {
+            let i = idx as usize;
+            let (src, dst) = {
+                let e = &mut self.e_rows[el][i];
+                e.deleted = true;
+                (e.src, e.dst)
+            };
+            let other_v = if d == 0 { dst } else { src };
+            if let Some(list) = self.e_from[el][other].get_mut(&other_v) {
+                list.retain(|&x| x != idx);
+                if list.is_empty() {
+                    self.e_from[el][other].remove(&other_v);
+                }
+            }
+        }
     }
 
     /// Tombstone every baseline edge of `elabel` whose `dir`-side endpoint
@@ -574,7 +608,11 @@ impl DeltaStore {
                 )));
             }
         }
-        self.e_rows[label as usize].push(DeltaEdge { src, dst, props, deleted: false });
+        let l = label as usize;
+        let idx = self.e_rows[l].len() as u64;
+        self.e_rows[l].push(DeltaEdge { src, dst, props, deleted: false });
+        self.e_from[l][0].entry(src).or_default().push(idx);
+        self.e_from[l][1].entry(dst).or_default().push(idx);
         Ok(())
     }
 
@@ -587,10 +625,9 @@ impl DeltaStore {
         dir: Direction,
         v: u64,
     ) -> bool {
-        if self.e_rows[elabel as usize]
-            .iter()
-            .any(|e| !e.deleted && (if dir == Direction::Fwd { e.src } else { e.dst }) == v)
-        {
+        // The endpoint index holds only live edges and no empty lists, so
+        // key presence alone answers the delta side in O(1).
+        if self.e_from[elabel as usize][dir_idx(dir)].contains_key(&v) {
             return true;
         }
         let from_label = base.catalog().edge_label(elabel).from_label(dir);
@@ -635,11 +672,21 @@ impl DeltaStore {
                 occs.push(occ);
             }
             EdgeTarget::Delta { idx } => {
-                let e = self.e_rows[label as usize]
+                let l = label as usize;
+                let e = self.e_rows[l]
                     .get_mut(idx as usize)
                     .filter(|e| !e.deleted)
                     .ok_or_else(|| Error::Invalid(format!("no live delta edge at index {idx}")))?;
                 e.deleted = true;
+                let (src, dst) = (e.src, e.dst);
+                for (d, v) in [(0, src), (1, dst)] {
+                    if let Some(list) = self.e_from[l][d].get_mut(&v) {
+                        list.retain(|&x| x != idx);
+                        if list.is_empty() {
+                            self.e_from[l][d].remove(&v);
+                        }
+                    }
+                }
             }
         }
         Ok(())
@@ -704,17 +751,13 @@ impl DeltaStore {
         let mut e_dirty = Vec::with_capacity(ne);
         let mut e_str_ext: Vec<Vec<[StrExt; 2]>> = Vec::with_capacity(ne);
         for l in 0..ne {
-            let mut fwd: HashMap<u64, Vec<u64>> = HashMap::new();
-            let mut bwd: HashMap<u64, Vec<u64>> = HashMap::new();
+            // The live per-endpoint index already has the snapshot's exact
+            // shape (live edges only, insertion order, no empty lists) —
+            // publish a clone instead of rebuilding from a full edge scan.
+            let fwd = self.e_from[l][0].clone();
+            let bwd = self.e_from[l][1].clone();
             let mut dirty_fwd: HashSet<u64> = HashSet::new();
             let mut dirty_bwd: HashSet<u64> = HashSet::new();
-            for (idx, e) in self.e_rows[l].iter().enumerate() {
-                if e.deleted {
-                    continue;
-                }
-                fwd.entry(e.src).or_default().push(idx as u64);
-                bwd.entry(e.dst).or_default().push(idx as u64);
-            }
             for &(src, dst) in self.e_tombs[l].keys() {
                 dirty_fwd.insert(src);
                 dirty_bwd.insert(dst);
@@ -1224,6 +1267,58 @@ mod tests {
             Ok(EdgeTarget::Delta { .. }) => panic!("no delta edges inserted"),
             Err(e) => assert!(e.to_string().contains("no live edge"), "{e}"),
         }
+    }
+
+    #[test]
+    fn endpoint_index_tracks_inserts_deletes_and_cascades() {
+        let g = example();
+        let person = g.catalog().vertex_label_id("PERSON").unwrap();
+        let follows = g.catalog().edge_label_id("FOLLOWS").unwrap();
+        let mut d = DeltaStore::new(g.catalog());
+        let n = g.vertex_count(person) as u64;
+        d.apply(&g, &ResolvedOp::InsertVertex { label: person, row: person_row("zoe", 31, "F") })
+            .unwrap();
+        d.apply(&g, &ResolvedOp::InsertVertex { label: person, row: person_row("yan", 20, "M") })
+            .unwrap();
+        // Delta edges: n -> 0 (idx 0), n -> n+1 (idx 1), 0 -> n (idx 2).
+        for (src, dst) in [(n, 0), (n, n + 1), (0, n)] {
+            d.apply(
+                &g,
+                &ResolvedOp::InsertEdge {
+                    label: follows,
+                    src,
+                    dst,
+                    props: vec![Value::Int64(2024)],
+                },
+            )
+            .unwrap();
+        }
+        let snap = d.freeze(&g);
+        assert_eq!(snap.delta_edges_from(follows, Direction::Fwd, n), &[0, 1]);
+        assert_eq!(snap.delta_edges_from(follows, Direction::Bwd, n), &[2]);
+        assert_eq!(snap.delta_edges_from(follows, Direction::Bwd, 0), &[0]);
+
+        // Deleting a delta edge drops it from both directions.
+        d.apply(
+            &g,
+            &ResolvedOp::DeleteEdge { label: follows, target: EdgeTarget::Delta { idx: 0 } },
+        )
+        .unwrap();
+        let snap = d.freeze(&g);
+        assert_eq!(snap.delta_edges_from(follows, Direction::Fwd, n), &[1]);
+        assert!(snap.delta_edges_from(follows, Direction::Bwd, 0).is_empty());
+
+        // Resolution walks the index: the only live 0 -> n edge is idx 2.
+        assert_eq!(d.resolve_delete_edge(&g, follows, 0, n).unwrap(), EdgeTarget::Delta { idx: 2 });
+
+        // A vertex-delete cascade clears every incident delta edge.
+        d.apply(&g, &ResolvedOp::DeleteVertex { label: person, off: n }).unwrap();
+        let snap = d.freeze(&g);
+        assert!(snap.delta_edges_from(follows, Direction::Fwd, n).is_empty());
+        assert!(snap.delta_edges_from(follows, Direction::Bwd, n).is_empty());
+        assert!(snap.delta_edges_from(follows, Direction::Bwd, n + 1).is_empty());
+        assert!(snap.delta_edge(follows, 1).deleted);
+        assert!(snap.delta_edge(follows, 2).deleted);
     }
 
     #[test]

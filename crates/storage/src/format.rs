@@ -34,7 +34,8 @@ use crate::config::StorageConfig;
 use crate::pager::BufferPool;
 
 const MAGIC: [u8; 4] = *b"GFCL";
-const VERSION: u32 = 1;
+/// v2 added the graph's per-build generation nonce to the metadata stream.
+const VERSION: u32 = 2;
 /// Header bytes covered by the trailing header checksum.
 const HEADER_LEN: usize = 4 + 4 + 4 + 7 * 8;
 
@@ -92,7 +93,9 @@ fn io_err(what: &str, e: std::io::Error) -> Error {
 
 impl ColumnarGraph {
     /// Persist the graph to a single file at `path` (replacing any existing
-    /// file). The written bytes are deterministic in the graph's contents.
+    /// file). The written bytes are deterministic in the graph's contents
+    /// (which include its per-build generation nonce: saving the same graph
+    /// twice is byte-identical, two separate builds are not).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
         let file = File::create(path.as_ref()).map_err(|e| io_err("create graph file", e))?;
         let mut sink = FileSink { file: &file, next_page: 1, checksums: Vec::new(), err: None };

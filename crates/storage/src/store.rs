@@ -36,7 +36,12 @@
 //! is truncated and the transaction is gone — atomicity — while any
 //! checksummed-but-undecodable or double-applied record fails the open
 //! with [`Error::Storage`]. A crash during merge is repaired on open by
-//! the `.tmp`-file protocol described at [`GraphStore::merge`].
+//! the `.tmp`-file protocol described at [`GraphStore::merge`]. A graph
+//! file with no `graph.wal` beside it refuses to open: the log's
+//! directory entry going missing means acknowledged commits would be
+//! silently dropped, which must never look like a clean store. Directory
+//! entries (created files, renames) are made durable with an explicit
+//! fsync of the store directory at every point the file set changes.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -62,6 +67,15 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 fn io_err(what: &str, e: std::io::Error) -> Error {
     Error::Storage(format!("{what}: {e}"))
+}
+
+/// Make the directory's entries (file creations, renames) durable. File
+/// data fsyncs alone do not cover the *names*; without this a power loss
+/// can resurrect a pre-rename file set.
+fn fsync_dir(dir: &Path) -> Result<()> {
+    std::fs::File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err("fsync store directory", e))
 }
 
 // ---- edge reference tags ---------------------------------------------------
@@ -374,6 +388,7 @@ impl GraphStore {
         let base = Arc::new(ColumnarGraph::build(raw, config)?);
         base.save(dir.join(GRAPH_FILE))?;
         let wal = WalWriter::create(&dir.join(WAL_FILE), wal::baseline_id(&base))?;
+        fsync_dir(dir)?;
         Ok(Self::assemble(base, Some(wal), Some(dir.to_path_buf()), config, 0))
     }
 
@@ -382,33 +397,53 @@ impl GraphStore {
     /// and publish the recovered snapshot.
     pub fn open(dir: &Path, config: StorageConfig) -> Result<GraphStore> {
         let graph_path = dir.join(GRAPH_FILE);
+        let wal_path = dir.join(WAL_FILE);
         let tmp_graph = dir.join(GRAPH_TMP);
+        let tmp_wal = dir.join(WAL_TMP);
+        let mut repaired = false;
         if tmp_graph.exists() {
-            // A merge died before its rename: the old graph file is still
-            // current and the half-written replacement is garbage.
+            // A merge died before its commit-point rename: the old graph
+            // file is still current and BOTH tmp files are garbage. The
+            // tmp WAL in particular must go regardless of what its header
+            // claims — adopting an empty tmp log here would replace the
+            // real WAL and drop every acknowledged commit.
             std::fs::remove_file(&tmp_graph).map_err(|e| io_err("drop stale merge tmp", e))?;
+            if tmp_wal.exists() {
+                std::fs::remove_file(&tmp_wal).map_err(|e| io_err("drop stale wal tmp", e))?;
+            }
+            repaired = true;
         }
         let base = Arc::new(ColumnarGraph::open(&graph_path, config)?);
         let baseline = wal::baseline_id(&base);
 
-        let wal_path = dir.join(WAL_FILE);
-        let tmp_wal = dir.join(WAL_TMP);
         if tmp_wal.exists() {
             if wal::read_baseline(&tmp_wal).is_ok_and(|b| b == baseline) {
                 // A merge died between its two renames: the new graph file
-                // landed but its fresh WAL did not. Finish the job.
+                // landed but its fresh WAL did not. Finish the job. (The
+                // baseline fingerprint folds in the graph's per-build
+                // nonce, so matching proves the tmp log was created for
+                // exactly this graph file, never a count-preserving twin.)
                 std::fs::rename(&tmp_wal, &wal_path).map_err(|e| io_err("finish merge", e))?;
             } else {
                 std::fs::remove_file(&tmp_wal).map_err(|e| io_err("drop stale wal tmp", e))?;
             }
+            repaired = true;
+        }
+        if repaired {
+            fsync_dir(dir)?;
         }
 
-        let (wal_writer, commits) = if wal_path.exists() {
-            let replayed = wal::replay(&wal_path, baseline)?;
-            (WalWriter::open_for_append(&wal_path)?, replayed.commits)
-        } else {
-            (WalWriter::create(&wal_path, baseline)?, Vec::new())
-        };
+        if !wal_path.exists() {
+            // Creating a fresh empty log here would silently discard every
+            // commit the lost one held and still report a healthy store.
+            return Err(Error::Storage(format!(
+                "store at {} has a graph file but no graph.wal; a missing log means \
+                 acknowledged commits would be silently dropped — refusing to open",
+                dir.display()
+            )));
+        }
+        let replayed = wal::replay(&wal_path, baseline)?;
+        let (wal_writer, commits) = (WalWriter::open_for_append(&wal_path)?, replayed.commits);
 
         let mut delta = DeltaStore::new(base.catalog());
         let epoch = commits.len() as u64;
@@ -487,11 +522,14 @@ impl GraphStore {
     /// Crash protocol for the durable case: the new graph is written to
     /// `graph.gfcl.tmp` and its empty WAL to `graph.wal.tmp`; then
     /// `graph.gfcl.tmp → graph.gfcl` (the commit point), then
-    /// `graph.wal.tmp → graph.wal`. [`GraphStore::open`] repairs every
-    /// window: before the first rename the old state is intact (tmp files
-    /// are dropped), between the renames the new graph is adopted and its
-    /// WAL rename is completed (the tmp WAL's baseline fingerprint proves
-    /// it belongs to the new file).
+    /// `graph.wal.tmp → graph.wal` — with the store directory fsynced
+    /// after the tmp writes and after each rename, so no durable state
+    /// ever pairs a graph file with the wrong log. [`GraphStore::open`]
+    /// repairs every window: before the commit-point rename the old state
+    /// is intact (both tmp files are dropped, unconditionally), between
+    /// the renames the new graph is adopted and its WAL rename is
+    /// completed (the tmp WAL's baseline fingerprint — which folds in the
+    /// graph's per-build nonce — proves it belongs to the new file).
     pub fn merge(&self) -> Result<u64> {
         let _writer = lock(&self.writer);
         let mut inner = lock(&self.inner);
@@ -506,10 +544,15 @@ impl GraphStore {
             let tmp_wal = dir.join(WAL_TMP);
             new_base.save(&tmp_graph)?;
             drop(WalWriter::create(&tmp_wal, wal::baseline_id(&new_base))?);
+            // Both tmp entries must be durable before the commit-point
+            // rename: a graph that survives a crash needs its log with it.
+            fsync_dir(dir)?;
             std::fs::rename(&tmp_graph, dir.join(GRAPH_FILE))
                 .map_err(|e| io_err("swap graph file", e))?;
+            fsync_dir(dir)?;
             std::fs::rename(&tmp_wal, dir.join(WAL_FILE))
                 .map_err(|e| io_err("swap wal file", e))?;
+            fsync_dir(dir)?;
             inner.wal = Some(WalWriter::open_for_append(&dir.join(WAL_FILE))?);
         }
         inner.base = new_base.clone();
@@ -944,6 +987,52 @@ mod tests {
         let gb = ColumnarGraph::build(&b, StorageConfig::default()).unwrap();
         assert_eq!(ga.vertex_count(0), gb.vertex_count(0));
         assert_eq!(ga.edge_count(0), gb.edge_count(0));
+    }
+
+    #[test]
+    fn count_preserving_merge_crash_keeps_acknowledged_commits() {
+        let dir = tmp_dir("cpcrash");
+        let store = GraphStore::create(&dir, &pk_raw(), StorageConfig::default()).unwrap();
+        // An update-only commit: every per-label count is unchanged, so
+        // without the per-build nonce the merged baseline would
+        // fingerprint identically to the old one.
+        let mut txn = store.begin_write();
+        txn.update_vertex("PERSON", 0, &[("name", Value::String("al".into()))]).unwrap();
+        txn.commit().unwrap();
+        // Hand-simulate the first half of merge(): both tmp files land on
+        // disk, then the process dies before the commit-point rename.
+        let snap = store.snapshot();
+        let raw = merged_raw(snap.base(), snap.delta()).unwrap();
+        let merged = ColumnarGraph::build(&raw, StorageConfig::default()).unwrap();
+        merged.save(dir.join(GRAPH_TMP)).unwrap();
+        drop(WalWriter::create(&dir.join(WAL_TMP), wal::baseline_id(&merged)).unwrap());
+        drop(store);
+        // Recovery must keep the old graph AND its real WAL: the update
+        // replays; the empty tmp log must never replace graph.wal.
+        let store = GraphStore::open(&dir, StorageConfig::default()).unwrap();
+        let snap = store.snapshot();
+        assert_eq!(snap.epoch(), 1, "the acknowledged commit survived");
+        assert_eq!(snap.view().vertex_value(0, 0, 0), Value::String("al".into()));
+        assert!(!dir.join(GRAPH_TMP).exists());
+        assert!(!dir.join(WAL_TMP).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_wal_refuses_to_open() {
+        let dir = tmp_dir("nowal");
+        let store = GraphStore::create(&dir, &pk_raw(), StorageConfig::default()).unwrap();
+        let mut txn = store.begin_write();
+        txn.insert_vertex("PERSON", &[("age", Value::Int64(31))]).unwrap();
+        txn.commit().unwrap();
+        drop(store);
+        std::fs::remove_file(dir.join(WAL_FILE)).unwrap();
+        let err = match GraphStore::open(&dir, StorageConfig::default()) {
+            Ok(_) => panic!("a store without its WAL must not open"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("graph.wal"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

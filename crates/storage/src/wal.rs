@@ -15,16 +15,26 @@
 //! payload: op-count u64 | ResolvedOp ...     (one record per commit)
 //! ```
 //!
-//! `baseline_id` fingerprints the graph file the log's offsets refer to
-//! (catalog bytes + per-label counts); a log replayed against the wrong
-//! baseline — e.g. after a merge rewrote the graph but a stale WAL
-//! survived — is rejected instead of silently mis-applying offsets.
+//! `baseline_id` fingerprints the graph file the log's offsets refer to:
+//! catalog bytes + per-label counts + the graph's per-build random nonce
+//! ([`ColumnarGraph::build_nonce`]). The nonce is what makes the
+//! fingerprint collision-free — a count-preserving delta (updates only,
+//! or balanced insert+delete) merges into a baseline with identical
+//! catalog and counts, and only the nonce tells the two apart. A log
+//! replayed against the wrong baseline — e.g. after a merge rewrote the
+//! graph but a stale WAL survived — is rejected instead of silently
+//! mis-applying offsets.
 //!
 //! ## Crash semantics
 //!
 //! A commit is one `write_all` of a fully framed record followed by
 //! `fdatasync`; the commit point is the moment the record's last byte is
-//! durable. On reopen:
+//! durable. A *failed* append (short write, fsync error) is rolled back:
+//! the file is truncated to the end of the last good record, so a torn
+//! record can never sit in front of later commits and a transaction
+//! reported failed can never resurrect on recovery; if even the rollback
+//! fails the writer poisons itself and refuses further appends. On
+//! reopen:
 //!
 //! * a record whose frame runs past EOF, or whose checksum fails **at the
 //!   tail**, is a torn write from a crash mid-commit: it is truncated away
@@ -34,7 +44,7 @@
 //!   the open with [`Error::Storage`].
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use gfcl_common::{fnv1a_64, Error, Reader, Result, Writer};
@@ -48,10 +58,13 @@ const HEADER_LEN: usize = 4 + 4 + 8;
 /// Frame prefix: `len u32 | checksum u64`.
 const FRAME_LEN: usize = 4 + 8;
 
-/// Fingerprint of the baseline a WAL's positional offsets refer to:
-/// the catalog schema plus every label's row/edge count.
+/// Fingerprint of the baseline a WAL's positional offsets refer to: the
+/// graph's per-build random nonce, the catalog schema, and every label's
+/// row/edge count. The nonce guarantees two distinct baselines never
+/// share a fingerprint even when schema and counts agree.
 pub fn baseline_id(graph: &ColumnarGraph) -> u64 {
     let mut w = Writer::new();
+    w.u64(graph.build_nonce());
     graph.catalog().encode(&mut w);
     for l in 0..graph.catalog().vertex_label_count() {
         w.usize(graph.vertex_count(l as gfcl_common::LabelId));
@@ -78,11 +91,23 @@ pub struct Replay {
 pub struct WalWriter {
     file: File,
     path: PathBuf,
+    /// End of the durable, well-formed log — the rollback point for a
+    /// failed append.
+    end: u64,
+    /// A failed append could not be rolled back: the file may end in torn
+    /// bytes, so further appends are refused (a valid record after garbage
+    /// would turn the tear into unrecoverable mid-file corruption).
+    poisoned: bool,
+    /// Test hook: write only this many bytes of the next record, then
+    /// report an injected I/O error.
+    #[cfg(test)]
+    fail_append_after: Option<usize>,
 }
 
 impl WalWriter {
     /// Create (or truncate) the log at `path` for a baseline, writing and
-    /// syncing the header.
+    /// syncing the header. (The *directory entry* is the caller's to
+    /// sync — the store fsyncs its directory after file-set changes.)
     pub fn create(path: &Path, baseline: u64) -> Result<WalWriter> {
         let mut file = File::create(path).map_err(wal_io)?;
         let mut w = Writer::new();
@@ -91,20 +116,44 @@ impl WalWriter {
         w.u64(baseline);
         file.write_all(&w.into_bytes()).map_err(wal_io)?;
         file.sync_data().map_err(wal_io)?;
-        Ok(WalWriter { file, path: path.to_path_buf() })
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            end: HEADER_LEN as u64,
+            poisoned: false,
+            #[cfg(test)]
+            fail_append_after: None,
+        })
     }
 
     /// Open an existing log for appending, after [`replay`] has validated
     /// it and truncated any torn tail.
     pub fn open_for_append(path: &Path) -> Result<WalWriter> {
         let file = OpenOptions::new().append(true).open(path).map_err(wal_io)?;
-        Ok(WalWriter { file, path: path.to_path_buf() })
+        let end = file.metadata().map_err(wal_io)?.len();
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            end,
+            poisoned: false,
+            #[cfg(test)]
+            fail_append_after: None,
+        })
     }
 
-    /// Durably append one commit record. When this returns, the
-    /// transaction is recoverable; a crash at any earlier point replays as
-    /// if it never happened.
+    /// Durably append one commit record. When this returns `Ok`, the
+    /// transaction is recoverable; on `Err` the record is rolled back off
+    /// the file (truncated to the previous end), so it neither corrupts
+    /// later commits nor resurrects on recovery — a crash or error at any
+    /// point replays as if the commit never happened.
     pub fn append_commit(&mut self, ops: &[ResolvedOp]) -> Result<()> {
+        if self.poisoned {
+            return Err(Error::Storage(
+                "WAL writer is poisoned by an earlier failed append; \
+                 no further commits are accepted until the store reopens"
+                    .into(),
+            ));
+        }
         let mut p = Writer::new();
         p.usize(ops.len());
         for op in ops {
@@ -117,8 +166,44 @@ impl WalWriter {
         w.u32(len);
         w.u64(fnv1a_64(&payload));
         w.bytes(&payload);
-        self.file.write_all(&w.into_bytes()).map_err(wal_io)?;
-        self.file.sync_data().map_err(wal_io)
+        let record = w.into_bytes();
+        match self.write_and_sync(&record) {
+            Ok(()) => {
+                self.end += record.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                self.rollback();
+                Err(wal_io(e))
+            }
+        }
+    }
+
+    fn write_and_sync(&mut self, record: &[u8]) -> std::io::Result<()> {
+        #[cfg(test)]
+        if let Some(cut) = self.fail_append_after.take() {
+            let cut = cut.min(record.len());
+            self.file.write_all(&record[..cut])?;
+            return Err(std::io::Error::other("injected append failure"));
+        }
+        self.file.write_all(record)?;
+        self.file.sync_data()
+    }
+
+    /// After a failed append the file may hold a torn record — or, after
+    /// an fsync error, a *complete* record of unknown durability for a
+    /// transaction the caller was told failed. Truncate back to the last
+    /// good end (and re-seek, for non-append handles) so neither can ever
+    /// be observed; if the rollback itself fails, poison the writer.
+    fn rollback(&mut self) {
+        let rolled = self
+            .file
+            .set_len(self.end)
+            .and_then(|()| self.file.seek(SeekFrom::Start(self.end)).map(|_| ()))
+            .and_then(|()| self.file.sync_data());
+        if rolled.is_err() {
+            self.poisoned = true;
+        }
     }
 
     pub fn path(&self) -> &Path {
@@ -384,6 +469,44 @@ mod tests {
         let rep = replay(&path, base).unwrap();
         assert_eq!(rep.commits.len(), 2);
         assert_eq!(rep.commits[0], rep.commits[1]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn distinct_builds_never_share_a_baseline_fingerprint() {
+        // Two builds of the *identical* raw graph must still fingerprint
+        // differently: the per-build nonce is what lets recovery tell a
+        // count-preserving merged baseline apart from its predecessor.
+        let a = graph();
+        let b = graph();
+        assert_ne!(baseline_id(&a), baseline_id(&b));
+        assert_eq!(baseline_id(&a), baseline_id(&a));
+    }
+
+    #[test]
+    fn failed_append_rolls_back_to_a_clean_log() {
+        let path = tmp("failapp");
+        let base = baseline_id(&graph());
+        let mut w = WalWriter::create(&path, base).unwrap();
+        w.append_commit(&sample_ops()[0]).unwrap();
+        let good_len = std::fs::metadata(&path).unwrap().len();
+        // Fail the next append after 0, 1, ... bytes of the record have
+        // hit the file (usize::MAX = full write, failed fsync). Every
+        // variant must truncate back so the log stays pristine.
+        for cut in [0usize, 1, 7, 12, 50, usize::MAX] {
+            w.fail_append_after = Some(cut);
+            let err = w.append_commit(&sample_ops()[1]).unwrap_err();
+            assert!(err.to_string().contains("injected"), "cut {cut}: {err}");
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len, "cut {cut}");
+            let rep = replay(&path, base).unwrap();
+            assert_eq!(rep.commits.len(), 1, "cut {cut}");
+            assert_eq!(rep.torn_bytes, 0, "cut {cut}");
+        }
+        // The same writer recovers: a real append lands after the rollbacks.
+        w.append_commit(&sample_ops()[1]).unwrap();
+        drop(w);
+        let rep = replay(&path, base).unwrap();
+        assert_eq!(rep.commits, sample_ops());
         std::fs::remove_file(&path).ok();
     }
 

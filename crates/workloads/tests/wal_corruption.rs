@@ -132,10 +132,15 @@ fn bit_flips_truncations_and_duplicate_tails_never_panic() {
         check_recovery(&work, &expected, &format!("duplicate last {n} bytes"));
     }
 
-    // A missing WAL is an empty (epoch-0) store, not an error.
+    // A missing WAL must refuse to open: silently treating it as an
+    // empty (epoch-0) store would drop every acknowledged commit.
     clone_store(&pristine_dir, &work);
     std::fs::remove_file(work.join("graph.wal")).unwrap();
-    check_recovery(&work, &expected, "deleted WAL");
+    match GraphStore::open(&work, StorageConfig::default()) {
+        Err(Error::Storage(msg)) => assert!(msg.contains("graph.wal"), "{msg}"),
+        Err(e) => panic!("deleted WAL: wrong error kind {e}"),
+        Ok(_) => panic!("deleted WAL opened silently, dropping all commits"),
+    }
 
     let _ = std::fs::remove_dir_all(&root);
 }
