@@ -7,6 +7,7 @@
 //! | rule | scope | what it flags |
 //! |------|-------|---------------|
 //! | `hot-panic` | executor/pager hot paths | `unwrap()`, `expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!`, non-debug `assert!` |
+//! | `read-path-panic` | post-open page-read path | panicking macros, rejected even under `// lint: allow` — the policy is error propagation into the owning query |
 //! | `hot-index` | executor/pager hot paths | indexing/slicing whose bracket expression contains arithmetic |
 //! | `unsafe-no-safety` | every source file | `unsafe` without a `// SAFETY:` comment on or above the line |
 //! | `as-cast` | codec/format files | narrowing `as` casts where `try_from` exists |
@@ -53,6 +54,12 @@ pub struct FileClass {
     pub codec: bool,
     /// The facade crate root: its public surface is the documented API.
     pub facade: bool,
+    /// The post-open page-read path: since the fault-domain work its
+    /// policy is error propagation into the owning query, so panicking
+    /// macros are rejected *unconditionally* — `// lint: allow` cannot
+    /// reintroduce panic-by-policy here (`unwrap`/`expect` stay
+    /// suppressible for poisoned-lock handling).
+    pub read_path: bool,
 }
 
 /// Files on the query/page hot path (see `ARCHITECTURE.md`).
@@ -74,7 +81,18 @@ const HOT_PATHS: &[&str] = &[
     // Error::Storage so recovery stays an open() away.
     "crates/storage/src/delta.rs",
     "crates/storage/src/wal.rs",
+    // The governor sits on every morsel boundary (token check, memory
+    // accounting): a panic here kills the very machinery that exists to
+    // turn failures into per-query errors.
+    "crates/common/src/govern.rs",
+    "crates/core/src/govern.rs",
 ];
+
+/// The post-open page-read path, where the policy since the fault-domain
+/// work is *error propagation*: a failed or corrupt page read becomes the
+/// owning query's `Error::Storage`, never a process panic. Panicking
+/// macros here are rejected even with a `// lint: allow` annotation.
+const READ_PATHS: &[&str] = &["crates/storage/src/pager.rs"];
 
 /// Codec / on-disk-format files where checked conversions exist.
 const CODEC_PATHS: &[&str] =
@@ -86,6 +104,7 @@ pub fn classify(rel_path: &str) -> FileClass {
         hot_path: HOT_PATHS.contains(&rel_path),
         codec: CODEC_PATHS.contains(&rel_path),
         facade: rel_path == "src/lib.rs",
+        read_path: READ_PATHS.contains(&rel_path),
     }
 }
 
@@ -218,6 +237,28 @@ pub fn scan_source(rel_path: &str, source: &str, class: FileClass) -> Vec<Findin
             found
         };
         let line = blank_strings(raw);
+        if !is_comment && class.read_path {
+            let panicking = ["panic!(", "unreachable!(", "todo!(", "unimplemented!("]
+                .iter()
+                .any(|p| line.contains(p))
+                || ["assert!(", "assert_eq!(", "assert_ne!("]
+                    .iter()
+                    .any(|p| contains_not_after(&line, p, "debug_"));
+            if panicking {
+                // Deliberately bypasses `emit` (and thus the allow
+                // annotation): panic-by-policy was removed from this path
+                // and must not creep back behind a justification comment.
+                findings.push(Finding {
+                    file: rel_path.to_owned(),
+                    line: lineno,
+                    rule: "read-path-panic",
+                    msg: "panicking macro on the post-open page-read path: this path's \
+                          policy is error propagation (retry, then Error::Storage into \
+                          the owning query) — `// lint: allow` does not apply here"
+                        .into(),
+                });
+            }
+        }
         let mut emit = |rule: &'static str, msg: String| {
             if !allowed {
                 findings.push(Finding { file: rel_path.to_owned(), line: lineno, rule, msg });
@@ -485,6 +526,29 @@ mod tests {
     }
 
     #[test]
+    fn read_path_rejects_panics_even_with_allow() {
+        let rp = FileClass { read_path: true, ..FileClass::default() };
+        for src in [
+            "panic!(\"page {page_no} unreadable\");",
+            "unreachable!();",
+            "assert!(checksum == expected);",
+            "assert_eq!(a, b);",
+            // The allow escape hatch must NOT suppress the rule.
+            "panic!(\"boom\") // lint: allow(post-open policy)",
+            "// lint: allow(justified?)\nunreachable!();",
+        ] {
+            assert!(
+                rules(src, rp).contains(&"read-path-panic"),
+                "{src:?} must be rejected on the read path"
+            );
+        }
+        // unwrap/expect stay suppressible (poisoned-lock handling) and are
+        // not read-path findings; debug_assert is always fine.
+        assert!(rules("// lint: allow(poisoned lock)\nm.lock().unwrap();", rp).is_empty());
+        assert!(rules("debug_assert!(a < b);", rp).is_empty());
+    }
+
+    #[test]
     fn classify_matches_the_rule_scopes() {
         assert!(classify("crates/core/src/exec.rs").hot_path);
         assert!(classify("crates/columnar/src/paged.rs").hot_path);
@@ -496,6 +560,10 @@ mod tests {
         assert!(classify("crates/storage/src/delta.rs").hot_path);
         assert!(classify("crates/storage/src/wal.rs").hot_path);
         assert!(!classify("crates/storage/src/store.rs").hot_path);
+        assert!(classify("crates/common/src/govern.rs").hot_path);
+        assert!(classify("crates/core/src/govern.rs").hot_path);
+        assert!(classify("crates/storage/src/pager.rs").read_path);
+        assert!(!classify("crates/storage/src/format.rs").read_path);
         assert!(classify("src/lib.rs").facade);
         assert_eq!(classify("crates/core/src/plan.rs"), FileClass::default());
     }

@@ -93,10 +93,18 @@ impl Engine for GfCvEngine {
     }
 
     fn run_plan(&self, plan: &LogicalPlan) -> Result<QueryOutput> {
+        // Per-query fault domain: a failed page read during execution
+        // surfaces as this query's storage error (checked before the
+        // result is published, so a placeholder page can't leak into it)
+        // instead of a process panic.
+        let token = Arc::new(gfcl_common::CancelToken::new());
+        let _scope = gfcl_common::fault_scope(&token);
         let store = CvStore { g: &self.graph };
-        match &self.delta {
+        let out = match &self.delta {
             Some(d) => volcano::execute(&DeltaOverlay::new(store, d), plan),
             None => volcano::execute(&store, plan),
-        }
+        }?;
+        token.check()?;
+        Ok(out)
     }
 }

@@ -222,6 +222,22 @@ impl Engine for RelEngine {
     }
 
     fn run_plan(&self, plan: &LogicalPlan) -> Result<QueryOutput> {
+        // Per-query fault domain: a failed page read during execution
+        // surfaces as this query's storage error (checked before the
+        // result is published, so a placeholder page can't leak into it)
+        // instead of a process panic.
+        let token = Arc::new(gfcl_common::CancelToken::new());
+        let _scope = gfcl_common::fault_scope(&token);
+        let out = self.drive(plan)?;
+        token.check()?;
+        Ok(out)
+    }
+}
+
+impl RelEngine {
+    /// The execution body of [`Engine::run_plan`], run inside the
+    /// per-query fault scope the trait method installs.
+    fn drive(&self, plan: &LogicalPlan) -> Result<QueryOutput> {
         let g = &self.graph;
         let mut it = Inter::new(plan);
 

@@ -87,10 +87,17 @@ impl Engine for GfRvEngine {
     }
 
     fn run_plan(&self, plan: &LogicalPlan) -> Result<QueryOutput> {
+        // GF-RV is fully resident (no demand paging), but runs inside a
+        // fault domain like every other engine so the chaos suite's
+        // "clean result or clean error" contract is uniform.
+        let token = Arc::new(gfcl_common::CancelToken::new());
+        let _scope = gfcl_common::fault_scope(&token);
         let store = RvStore { g: &self.graph };
-        match &self.delta {
+        let out = match &self.delta {
             Some(d) => volcano::execute(&DeltaOverlay::new(store, d), plan),
             None => volcano::execute(&store, plan),
-        }
+        }?;
+        token.check()?;
+        Ok(out)
     }
 }

@@ -25,8 +25,41 @@ pub const PAGE_SIZE: usize = 65536;
 /// `gfcl_storage::pager`. Pinning is Arc-based: a page stays resident (is
 /// skipped by eviction) for as long as any returned `Arc` is alive.
 pub trait PageStore: Send + Sync + std::fmt::Debug {
-    /// Fault page `page_no` in (or hit the pool) and pin it.
-    fn pin(&self, page_no: u64) -> Arc<Vec<u8>>;
+    /// Fault page `page_no` in (or hit the pool) and pin it. Fallible:
+    /// a read that still fails after the store's own retry policy (and a
+    /// checksum mismatch, which retries cannot heal if the medium is bad)
+    /// surfaces as [`Error::Storage`](gfcl_common::Error::Storage) rather
+    /// than unwinding the reader.
+    fn try_pin(&self, page_no: u64) -> Result<Arc<Vec<u8>>>;
+
+    /// Infallible pin used by the hot read path ([`ArrayData::get`] keeps
+    /// its plain-value signature so an I/O error can never be confused
+    /// with a NULL). On failure the error is reported to the thread's
+    /// installed fault domain ([`gfcl_common::govern::fault_scope`]) — the
+    /// owning query observes it at its next cancellation checkpoint — and
+    /// a zeroed placeholder page is returned so the current morsel can
+    /// unwind cooperatively. The placeholder can never leak into results:
+    /// every governed query checks its token before publishing.
+    ///
+    /// Outside any fault domain there is no query to contain the failure,
+    /// and serving placeholder bytes would silently corrupt whatever read
+    /// them — so this panics, preserving the historical fail-loud
+    /// behaviour for non-query access paths.
+    fn pin(&self, page_no: u64) -> Arc<Vec<u8>> {
+        match self.try_pin(page_no) {
+            Ok(page) => page,
+            Err(e) => {
+                if gfcl_common::govern::report_io_fault(&e.to_string()) {
+                    Arc::new(vec![0u8; PAGE_SIZE])
+                } else {
+                    // lint: allow(no fault domain installed: placeholder
+                    // bytes would silently corrupt a non-query reader, so
+                    // failing loud is the only safe option here)
+                    panic!("unrecoverable storage fault outside any query fault domain: {e}")
+                }
+            }
+        }
+    }
 
     /// Account `n_pages` data pages that a pruned scan proved it never
     /// needs to fault (zone-map pruning turned into I/O skipping).
@@ -329,10 +362,18 @@ pub mod mem {
     }
 
     impl PageStore for MemStore {
-        fn pin(&self, page_no: u64) -> Arc<Vec<u8>> {
+        fn try_pin(&self, page_no: u64) -> Result<Arc<Vec<u8>>> {
             // lint: allow(test-support store: poisoned-lock re-panic is
             // correct, and page counts stay far below usize::MAX)
-            Arc::clone(&self.pages.lock().unwrap()[page_no as usize])
+            let pages = self.pages.lock().unwrap();
+            // lint: allow(test-support store; counts far below usize::MAX)
+            match pages.get(page_no as usize) {
+                Some(p) => Ok(Arc::clone(p)),
+                None => Err(gfcl_common::Error::Storage(format!(
+                    "page {page_no} beyond the {} pages of the in-memory store",
+                    pages.len()
+                ))),
+            }
         }
         fn note_skipped(&self, n_pages: u64) {
             self.skipped.fetch_add(n_pages, Ordering::Relaxed);

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::govern::CancelReason;
+
 /// All errors surfaced by the `gfcl` crates.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Error {
@@ -20,6 +22,12 @@ pub enum Error {
     Storage(String),
     /// Invalid argument to a storage structure or builder.
     Invalid(String),
+    /// The query's fault domain was tripped before it completed: an
+    /// explicit cancellation or an exceeded time/memory budget.
+    /// `elapsed_ms` and `peak_bytes` describe the query at the moment the
+    /// trip was observed (both `0` when the reporting site had no timing
+    /// or accounting context).
+    Canceled { reason: CancelReason, elapsed_ms: u64, peak_bytes: u64 },
 }
 
 impl fmt::Display for Error {
@@ -36,6 +44,11 @@ impl fmt::Display for Error {
             Error::Exec(m) => write!(f, "execution error: {m}"),
             Error::Storage(m) => write!(f, "storage error: {m}"),
             Error::Invalid(m) => write!(f, "invalid argument: {m}"),
+            Error::Canceled { reason, elapsed_ms, peak_bytes } => write!(
+                f,
+                "query canceled ({reason}) after {elapsed_ms} ms, peak tracked memory \
+                 {peak_bytes} bytes"
+            ),
         }
     }
 }

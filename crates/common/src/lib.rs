@@ -10,17 +10,22 @@
 //! * [`MemoryUsage`] — exact heap accounting, used by the memory-reduction
 //!   experiments (Table 2) so reported sizes are measurements.
 //! * [`Error`] / [`Result`] — the error type shared by storage and engines.
+//! * [`govern`] — per-query fault domains: the [`CancelToken`] tripped by
+//!   budgets, users and storage faults, and the thread-local fault scope
+//!   the storage layer reports into.
 //! * [`codec`] — byte-level encode/decode primitives and the FNV-1a
 //!   checksum of the on-disk paged format.
 
 pub mod codec;
 pub mod error;
+pub mod govern;
 pub mod ids;
 pub mod mem;
 pub mod types;
 
 pub use codec::{fnv1a_64, Reader, Writer};
 pub use error::{Error, Result};
+pub use govern::{fault_scope, report_io_fault, CancelReason, CancelToken, FaultScope};
 pub use ids::{Direction, EdgeId, LabelId, VertexId, VertexOffset};
 pub use mem::{human_bytes, MemoryUsage};
 pub use types::{DataType, Value};

@@ -61,6 +61,15 @@ pub fn improves(best: &Value, candidate: &Value, want_min: bool) -> bool {
     }
 }
 
+/// Heap bytes owned by a [`Value`]'s string buffer (zero for everything
+/// else) — the only part of an aggregate state that grows on replace.
+fn string_heap(v: &Value) -> u64 {
+    match v {
+        Value::String(s) => s.capacity() as u64,
+        _ => 0,
+    }
+}
+
 /// Saturating `i128 → i64` conversion (shared by every integer SUM sink).
 pub fn clamp_i128(v: i128) -> i64 {
     if v > i64::MAX as i128 {
@@ -103,48 +112,65 @@ impl AggState {
 
     /// Fold `value`, representing `mult` identical tuples, into the state.
     /// `COUNT(*)` ignores the value; MIN/MAX/DISTINCT ignore `mult`.
-    pub fn update(&mut self, value: &Value, mult: u64) {
+    ///
+    /// Returns the state's heap growth in bytes (only `DISTINCT` sets and
+    /// string-valued MIN/MAX ever grow), which the owning sink charges
+    /// against the query's memory budget.
+    pub fn update(&mut self, value: &Value, mult: u64) -> u64 {
         if mult == 0 {
-            return;
+            return 0;
         }
         match self {
             AggState::Count(n) => {
                 if !value.is_null() {
                     *n += mult;
                 }
+                0
             }
             AggState::Distinct(set) => {
-                if !value.is_null() {
-                    set.insert(OrdValue(value.clone()));
+                if !value.is_null() && set.insert(OrdValue(value.clone())) {
+                    crate::govern::value_bytes(value)
+                } else {
+                    0
                 }
             }
-            AggState::Sum { ints, floats, seen } => match value {
-                Value::Int64(v) | Value::Date(v) => {
-                    *ints += *v as i128 * mult as i128;
-                    *seen += mult;
+            AggState::Sum { ints, floats, seen } => {
+                match value {
+                    Value::Int64(v) | Value::Date(v) => {
+                        *ints += *v as i128 * mult as i128;
+                        *seen += mult;
+                    }
+                    Value::Float64(v) => {
+                        *floats += v * mult as f64;
+                        *seen += mult;
+                    }
+                    _ => {}
                 }
-                Value::Float64(v) => {
-                    *floats += v * mult as f64;
-                    *seen += mult;
-                }
-                _ => {}
-            },
+                0
+            }
             AggState::Best { value: best, want_min } => {
                 if improves(best, value, *want_min) {
+                    let old = string_heap(best);
                     *best = value.clone();
+                    string_heap(best).saturating_sub(old)
+                } else {
+                    0
                 }
             }
-            AggState::Avg { ints, floats, count } => match value {
-                Value::Int64(v) | Value::Date(v) => {
-                    *ints += *v as i128 * mult as i128;
-                    *count += mult;
+            AggState::Avg { ints, floats, count } => {
+                match value {
+                    Value::Int64(v) | Value::Date(v) => {
+                        *ints += *v as i128 * mult as i128;
+                        *count += mult;
+                    }
+                    Value::Float64(v) => {
+                        *floats += v * mult as f64;
+                        *count += mult;
+                    }
+                    _ => {}
                 }
-                Value::Float64(v) => {
-                    *floats += v * mult as f64;
-                    *count += mult;
-                }
-                _ => {}
-            },
+                0
+            }
         }
     }
 
@@ -219,17 +245,26 @@ impl AggState {
 pub struct GroupTable {
     aggs: Vec<PlanAgg>,
     map: BTreeMap<Vec<OrdValue>, Vec<AggState>>,
+    /// Running heap estimate: key bytes + state array per group, plus the
+    /// growth reported by [`AggState::update`] at the feeding sites.
+    bytes: u64,
 }
 
 impl GroupTable {
     /// Empty table for the given aggregate list.
     pub fn new(aggs: &[PlanAgg]) -> GroupTable {
-        GroupTable { aggs: aggs.to_vec(), map: BTreeMap::new() }
+        GroupTable { aggs: aggs.to_vec(), map: BTreeMap::new(), bytes: 0 }
     }
 
     /// The aggregate states of `key`, created on first sight.
     pub fn group(&mut self, key: Vec<Value>) -> &mut Vec<AggState> {
         let key: Vec<OrdValue> = key.into_iter().map(OrdValue).collect();
+        if !self.map.contains_key(&key) {
+            self.bytes += key.iter().map(|k| crate::govern::value_bytes(&k.0)).sum::<u64>()
+                + (self.aggs.len() * std::mem::size_of::<AggState>()) as u64
+                + (std::mem::size_of::<Vec<OrdValue>>() + std::mem::size_of::<Vec<AggState>>())
+                    as u64;
+        }
         let aggs = &self.aggs;
         self.map.entry(key).or_insert_with(|| aggs.iter().map(|a| AggState::new(a.func)).collect())
     }
@@ -238,18 +273,37 @@ impl GroupTable {
     /// is the input of aggregate `i`, `None` for `COUNT(*)` (which counts
     /// the tuple itself — unlike `COUNT(x.p)` with a NULL input).
     pub fn add_tuple(&mut self, key: Vec<Value>, values: &[Option<Value>]) {
-        let states = self.group(key);
-        for (st, v) in states.iter_mut().zip(values) {
-            match v {
-                None => st.add_count(1),
-                Some(v) => st.update(v, 1),
+        let mut grew = 0u64;
+        {
+            let states = self.group(key);
+            for (st, v) in states.iter_mut().zip(values) {
+                match v {
+                    None => st.add_count(1),
+                    Some(v) => grew += st.update(v, 1),
+                }
             }
         }
+        self.bytes += grew;
+    }
+
+    /// The table's heap estimate for memory budgeting. Conservative on
+    /// merge (duplicate keys are counted once per side) — the budget sees
+    /// at least what the table holds.
+    pub fn approx_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Fold in growth observed outside [`GroupTable::add_tuple`] — the
+    /// LBP sink feeds states through [`GroupTable::group`] directly and
+    /// reports the [`AggState::update`] totals here.
+    pub fn add_bytes(&mut self, bytes: u64) {
+        self.bytes += bytes;
     }
 
     /// Merge another table's groups into this one (worker barrier; the
     /// callers merge in worker-index order).
     pub fn merge(&mut self, other: GroupTable) {
+        self.bytes += other.bytes;
         for (key, states) in other.map {
             match self.map.entry(key) {
                 std::collections::btree_map::Entry::Vacant(e) => {

@@ -29,6 +29,7 @@
 //! domain on overflow instead of silently truncating.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use gfcl_common::{DataType, Result, Value};
 use gfcl_storage::{ColumnarGraph, GraphView};
@@ -40,6 +41,7 @@ use crate::exec::{
     compile, enumerate_rows, vector_value, DistinctSink, GroupBySink, Pipeline, ScanCursor,
     TopKSink, SCAN_MORSEL,
 };
+use crate::govern::{fault_scope, row_bytes, CancelToken, MemTracker, QueryBudget, QueryGovernor};
 use crate::plan::{LogicalPlan, PlanReturn};
 use crate::pred::SlotCol;
 
@@ -48,7 +50,10 @@ use crate::pred::SlotCol;
 pub struct ExecOptions {
     /// Number of worker pipelines. `1` (the default) runs the historical
     /// serial path on the calling thread; `n > 1` spawns `n` scoped
-    /// workers that partition the scan morsel-by-morsel.
+    /// workers that partition the scan morsel-by-morsel. Validated at
+    /// execution time: `0` (the sentinel [`ExecOptions::from_env`] stores
+    /// for garbage `GFCL_THREADS` input) is an
+    /// [`Error::Plan`](gfcl_common::Error::Plan) naming the variable.
     pub threads: usize,
     /// Scan morsel size: how many vertices each pipeline claims per pull.
     /// [`SCAN_MORSEL`] (1024) by default — equal to the zone-map block, so
@@ -57,11 +62,28 @@ pub struct ExecOptions {
     /// sentinel [`ExecOptions::from_env`] stores for garbage input) is an
     /// [`Error::Plan`](gfcl_common::Error::Plan).
     pub morsel_size: usize,
+    /// Wall-clock budget in milliseconds (`GFCL_TIME_LIMIT_MS`); `None`
+    /// is unlimited. Checked at morsel boundaries, so an over-budget
+    /// query fails with
+    /// [`Error::Canceled`](gfcl_common::Error::Canceled) within one
+    /// morsel of the limit. `Some(0)` is the invalid-input sentinel,
+    /// rejected at execution time.
+    pub time_limit_ms: Option<u64>,
+    /// Tracked-operator-memory budget in bytes (`GFCL_MEM_LIMIT_MB`,
+    /// converted); `None` is unlimited. Covers the allocating sinks —
+    /// group tables, top-k buffers, distinct sets, result rows — summed
+    /// across workers. `Some(0)` is the invalid-input sentinel.
+    pub mem_limit_bytes: Option<u64>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { threads: 1, morsel_size: SCAN_MORSEL }
+        ExecOptions {
+            threads: 1,
+            morsel_size: SCAN_MORSEL,
+            time_limit_ms: None,
+            mem_limit_bytes: None,
+        }
     }
 }
 
@@ -81,28 +103,75 @@ impl ExecOptions {
         ExecOptions { morsel_size, ..self }
     }
 
-    /// Read the worker count from `GFCL_THREADS` (unset, empty, or
-    /// unparsable ⇒ serial) and the scan morsel size from `GFCL_MORSEL`
-    /// (unset or empty ⇒ 1024). This is how CI drives the whole test
-    /// suite through the parallel path without touching call sites.
+    /// This configuration with a wall-clock budget.
+    pub fn time_limit_ms(self, ms: u64) -> ExecOptions {
+        ExecOptions { time_limit_ms: Some(ms), ..self }
+    }
+
+    /// This configuration with a tracked-memory budget.
+    pub fn mem_limit_bytes(self, bytes: u64) -> ExecOptions {
+        ExecOptions { mem_limit_bytes: Some(bytes), ..self }
+    }
+
+    /// Read the worker count from `GFCL_THREADS`, the scan morsel size
+    /// from `GFCL_MORSEL`, and the query budgets from
+    /// `GFCL_TIME_LIMIT_MS` / `GFCL_MEM_LIMIT_MB` (unset or empty ⇒ the
+    /// default for each). This is how CI drives the whole test suite
+    /// through the parallel path without touching call sites.
     ///
-    /// A `GFCL_MORSEL` value that is not a positive integer is *not*
-    /// silently defaulted: it is recorded as the invalid sentinel `0`,
-    /// which every execution rejects with a plan error naming the
-    /// variable — a typo in the tuning knob must not quietly change the
-    /// measured geometry.
+    /// A set-but-invalid value (unparsable, or zero where a positive
+    /// integer is required) is *not* silently defaulted: it is recorded
+    /// as that option's invalid sentinel (`0` for `threads` and
+    /// `morsel_size`, `Some(0)` for the budgets), which every execution
+    /// rejects with a plan error naming the variable — a typo in a tuning
+    /// or budget knob must not quietly change what was measured or
+    /// enforced.
     pub fn from_env() -> ExecOptions {
-        let threads = std::env::var("GFCL_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .unwrap_or(1);
-        let morsel_size = match std::env::var("GFCL_MORSEL") {
-            Err(_) => SCAN_MORSEL,
-            Ok(s) if s.trim().is_empty() => SCAN_MORSEL,
-            // Garbage (unparsable or zero) becomes the invalid sentinel.
-            Ok(s) => s.trim().parse::<usize>().unwrap_or(0),
+        // Unset/empty → None; set → Some(parsed positive) or Some(0).
+        let positive = |name: &str| -> Option<u64> {
+            match std::env::var(name) {
+                Err(_) => None,
+                Ok(s) if s.trim().is_empty() => None,
+                Ok(s) => Some(s.trim().parse::<u64>().ok().filter(|&v| v > 0).unwrap_or(0)),
+            }
         };
-        ExecOptions::with_threads(threads).morsel(morsel_size)
+        let threads = positive("GFCL_THREADS").unwrap_or(1) as usize;
+        let morsel_size = positive("GFCL_MORSEL").unwrap_or(SCAN_MORSEL as u64) as usize;
+        let time_limit_ms = positive("GFCL_TIME_LIMIT_MS");
+        let mem_limit_bytes =
+            positive("GFCL_MEM_LIMIT_MB").map(|mb| mb.saturating_mul(1024 * 1024));
+        ExecOptions { threads, morsel_size, time_limit_ms, mem_limit_bytes }
+    }
+
+    /// Reject the invalid-input sentinels [`ExecOptions::from_env`]
+    /// records, naming the environment variable that produced each.
+    fn validate(&self) -> Result<()> {
+        let bad = |what: &str| {
+            Err(gfcl_common::Error::Plan(format!(
+                "{what} must be a positive integer (check ExecOptions / the environment)"
+            )))
+        };
+        if self.threads == 0 {
+            return bad("worker count (GFCL_THREADS)");
+        }
+        if self.morsel_size == 0 {
+            return bad("scan morsel size (GFCL_MORSEL)");
+        }
+        if self.time_limit_ms == Some(0) {
+            return bad("time limit (GFCL_TIME_LIMIT_MS)");
+        }
+        if self.mem_limit_bytes == Some(0) {
+            return bad("memory limit (GFCL_MEM_LIMIT_MB)");
+        }
+        Ok(())
+    }
+
+    /// The declarative budget slice of these options.
+    pub fn budget(&self) -> QueryBudget {
+        QueryBudget {
+            time_limit: self.time_limit_ms.map(Duration::from_millis),
+            mem_limit_bytes: self.mem_limit_bytes,
+        }
     }
 }
 
@@ -147,22 +216,38 @@ pub fn execute_view(
     plan: &LogicalPlan,
     opts: &ExecOptions,
 ) -> Result<QueryOutput> {
-    if opts.morsel_size == 0 {
-        return Err(gfcl_common::Error::Plan(
-            "scan morsel size must be a positive integer (check ExecOptions::morsel_size / \
-             the GFCL_MORSEL environment variable)"
-                .into(),
-        ));
-    }
-    let threads = opts.threads.max(1);
-    let cursor = Arc::new(ScanCursor::for_plan_view(view, plan, opts.morsel_size as u64)?);
+    execute_view_governed(view, plan, opts, None)
+}
+
+/// [`execute_view`] under an externally-owned [`CancelToken`] (the
+/// engine's cancellation handle). The query runs inside its own fault
+/// domain: the token, `opts`' budgets, and any storage fault reported by
+/// a page read on a worker thread all trip the same per-query governor,
+/// which every worker observes at its next morsel boundary.
+pub fn execute_view_governed(
+    view: GraphView<'_>,
+    plan: &LogicalPlan,
+    opts: &ExecOptions,
+    token: Option<Arc<CancelToken>>,
+) -> Result<QueryOutput> {
+    opts.validate()?;
+    let token = token.unwrap_or_default();
+    // A handle canceled before the query even started still applies —
+    // but a stale trip from a *previous* query on a reused engine token
+    // is the engine's to clear (Engine::reset), not ours to ignore.
+    token.check()?;
+    let gov = Arc::new(QueryGovernor::new(token, opts.budget()));
+    let cursor = Arc::new(
+        ScanCursor::for_plan_view(view, plan, opts.morsel_size as u64)?.governed(Arc::clone(&gov)),
+    );
     // Never spawn more workers than there are morsels to hand out.
     let max_useful = (cursor.total() as usize).div_ceil(opts.morsel_size).max(1);
-    let threads = threads.min(max_useful);
+    let threads = opts.threads.min(max_useful);
 
     if threads == 1 {
+        let _scope = fault_scope(gov.token());
         let mut pipeline = compile(view, plan, &cursor)?;
-        let partial = drive(view, plan, &mut pipeline)?;
+        let partial = drive(view, plan, &mut pipeline, &gov)?;
         return finish(plan, vec![partial]);
     }
 
@@ -170,9 +255,14 @@ pub fn execute_view(
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let cursor = Arc::clone(&cursor);
+                let gov = Arc::clone(&gov);
                 scope.spawn(move || {
+                    // Per-worker fault domain: a page-read failure on this
+                    // thread trips the shared token, and every sibling
+                    // stops at its next morsel boundary.
+                    let _scope = fault_scope(gov.token());
                     let mut pipeline = compile(view, plan, &cursor)?;
-                    drive(view, plan, &mut pipeline)
+                    drive(view, plan, &mut pipeline, &gov)
                 })
             })
             .collect();
@@ -186,14 +276,28 @@ pub fn execute_view(
 }
 
 /// Drain one pipeline into a [`Partial`] sink.
-fn drive(view: GraphView<'_>, plan: &LogicalPlan, pipe: &mut Pipeline<'_>) -> Result<Partial> {
+///
+/// Fault-domain contract: the governor is checked after every pipeline
+/// state (and inside the scan's claim loop, which covers morsels the
+/// zone maps prune without producing a state), and once more after the
+/// loop drains — a partial is never published from a tripped query, so a
+/// zeroed placeholder page served to an I/O-faulted worker can never
+/// leak into results.
+fn drive(
+    view: GraphView<'_>,
+    plan: &LogicalPlan,
+    pipe: &mut Pipeline<'_>,
+    gov: &QueryGovernor,
+) -> Result<Partial> {
     use crate::chunk::ValueVector;
     match &plan.ret {
         PlanReturn::CountStar => {
             let mut count: u64 = 0;
             while pipe.next_state(view)? {
+                gov.checkpoint()?;
                 count += pipe.chunk.tuple_count();
             }
+            gov.checkpoint()?;
             Ok(Partial::Count(count))
         }
         PlanReturn::Sum(slot) => {
@@ -201,6 +305,7 @@ fn drive(view: GraphView<'_>, plan: &LogicalPlan, pipe: &mut Pipeline<'_>) -> Re
             let mut sum_i: i128 = 0;
             let mut sum_f: f64 = 0.0;
             while pipe.next_state(view)? {
+                gov.checkpoint()?;
                 let group = &pipe.chunk.groups[r.group];
                 let mult = pipe.chunk.tuple_count_excluding(r.group);
                 let mut add = |idx: usize| match &group.vectors[r.vec] {
@@ -220,6 +325,7 @@ fn drive(view: GraphView<'_>, plan: &LogicalPlan, pipe: &mut Pipeline<'_>) -> Re
                     }
                 }
             }
+            gov.checkpoint()?;
             Ok(Partial::Sum { ints: sum_i, floats: sum_f })
         }
         PlanReturn::Min(slot) | PlanReturn::Max(slot) => {
@@ -228,6 +334,7 @@ fn drive(view: GraphView<'_>, plan: &LogicalPlan, pipe: &mut Pipeline<'_>) -> Re
             let r_col = pipe.slot_cols[*slot];
             let mut best: Value = Value::Null;
             while pipe.next_state(view)? {
+                gov.checkpoint()?;
                 let group = &pipe.chunk.groups[r.group];
                 let mut consider = |idx: usize| {
                     let v = vector_value(&group.vectors[r.vec], idx, r_col);
@@ -243,36 +350,56 @@ fn drive(view: GraphView<'_>, plan: &LogicalPlan, pipe: &mut Pipeline<'_>) -> Re
                     }
                 }
             }
+            gov.checkpoint()?;
             Ok(Partial::Best(best))
         }
         PlanReturn::Props(slots) if plan.distinct => {
             let mut sink = DistinctSink::new(pipe, slots);
+            let mut mem = MemTracker::new(gov);
             while pipe.next_state(view)? {
                 sink.absorb(&pipe.chunk);
+                mem.update(sink.bytes);
+                gov.checkpoint()?;
             }
+            gov.checkpoint()?;
             Ok(Partial::Distinct(sink.set))
         }
         PlanReturn::Props(slots) if agg::needs_row_finish(plan) => {
             let mut sink = TopKSink::new(pipe, plan, slots);
+            let mut mem = MemTracker::new(gov);
             while pipe.next_state(view)? {
                 sink.absorb(&pipe.chunk);
+                mem.update(sink.bytes);
+                gov.checkpoint()?;
             }
+            gov.checkpoint()?;
             Ok(Partial::Rows(sink.rows))
         }
         PlanReturn::Props(slots) => {
             let refs: Vec<(VecRef, SlotCol)> =
                 slots.iter().map(|&s| (pipe.slot_refs[s], pipe.slot_cols[s])).collect();
             let mut rows: Vec<Vec<Value>> = Vec::new();
+            let mut mem = MemTracker::new(gov);
+            let mut bytes: u64 = 0;
             while pipe.next_state(view)? {
+                let before = rows.len();
                 enumerate_rows(&pipe.chunk, &refs, &mut rows);
+                bytes += rows[before..].iter().map(|r| row_bytes(r)).sum::<u64>();
+                mem.update(bytes);
+                gov.checkpoint()?;
             }
+            gov.checkpoint()?;
             Ok(Partial::Rows(rows))
         }
         PlanReturn::GroupBy { keys, aggs } => {
             let mut sink = GroupBySink::new(pipe, keys, aggs);
+            let mut mem = MemTracker::new(gov);
             while pipe.next_state(view)? {
                 sink.absorb(&pipe.chunk);
+                mem.update(sink.approx_bytes());
+                gov.checkpoint()?;
             }
+            gov.checkpoint()?;
             Ok(Partial::Grouped(sink.finish()))
         }
     }

@@ -12,6 +12,7 @@ use gfcl_common::{Result, Value};
 use gfcl_storage::{Catalog, ColumnarGraph, DeltaSnapshot, GraphSnapshot, GraphView};
 
 use crate::driver::{self, ExecOptions};
+use crate::govern::CancelToken;
 use crate::plan::{plan, LogicalPlan};
 use crate::query::PatternQuery;
 
@@ -130,6 +131,16 @@ pub trait Engine {
         let p = plan(q, self.catalog())?;
         Ok(crate::optimize::render_explain(&p, self.catalog()))
     }
+
+    /// The engine's cancellation handle, when it supports cooperative
+    /// cancellation: `cancel(CancelReason::User)` from any thread stops
+    /// in-flight and future queries at their next morsel boundary with
+    /// [`Error::Canceled`](gfcl_common::Error::Canceled); `reset()`
+    /// re-arms the engine. `None` (the default) means the engine runs
+    /// queries to completion.
+    fn cancel_handle(&self) -> Option<Arc<CancelToken>> {
+        None
+    }
 }
 
 /// GF-CL: columnar storage + list-based processor (the paper's system),
@@ -140,6 +151,10 @@ pub struct GfClEngine {
     /// snapshot; `None` runs the historical clean-graph path.
     delta: Option<Arc<DeltaSnapshot>>,
     opts: ExecOptions,
+    /// The engine's cancellation handle: shared with every query this
+    /// engine runs, handed out by [`Engine::cancel_handle`]. A trip
+    /// sticks until [`CancelToken::reset`].
+    cancel: Arc<CancelToken>,
 }
 
 impl GfClEngine {
@@ -152,7 +167,7 @@ impl GfClEngine {
 
     /// Engine with explicit execution options.
     pub fn with_options(graph: Arc<ColumnarGraph>, opts: ExecOptions) -> Self {
-        GfClEngine { graph, delta: None, opts }
+        GfClEngine { graph, delta: None, opts, cancel: Arc::new(CancelToken::new()) }
     }
 
     /// Engine over one MVCC snapshot of a mutable [`gfcl_storage::GraphStore`]:
@@ -169,6 +184,7 @@ impl GfClEngine {
             graph: Arc::clone(snapshot.base()),
             delta: (!delta.is_empty()).then(|| Arc::clone(delta)),
             opts,
+            cancel: Arc::new(CancelToken::new()),
         }
     }
 
@@ -196,10 +212,14 @@ impl Engine for GfClEngine {
     }
 
     fn run_plan(&self, plan: &LogicalPlan) -> Result<QueryOutput> {
-        driver::execute_view(self.view(), plan, &self.opts)
+        driver::execute_view_governed(self.view(), plan, &self.opts, Some(Arc::clone(&self.cancel)))
     }
 
     fn run_plan_with(&self, plan: &LogicalPlan, opts: &ExecOptions) -> Result<QueryOutput> {
-        driver::execute_view(self.view(), plan, opts)
+        driver::execute_view_governed(self.view(), plan, opts, Some(Arc::clone(&self.cancel)))
+    }
+
+    fn cancel_handle(&self) -> Option<Arc<CancelToken>> {
+        Some(Arc::clone(&self.cancel))
     }
 }

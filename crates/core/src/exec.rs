@@ -72,6 +72,10 @@ pub struct ScanCursor {
     /// Morsel size the scan operator claims per pull (tunable via
     /// [`ExecOptions::morsel_size`]; [`SCAN_MORSEL`] by default).
     morsel: u64,
+    /// The owning query's governor, when one is installed: scans check it
+    /// once per claimed morsel, which bounds how far a canceled query can
+    /// run past its trip point.
+    governor: Option<Arc<crate::govern::QueryGovernor>>,
 }
 
 impl ScanCursor {
@@ -83,7 +87,24 @@ impl ScanCursor {
     /// A cursor over `total` scan positions claiming `morsel` at a time.
     pub fn with_morsel(total: u64, morsel: u64) -> ScanCursor {
         debug_assert!(morsel > 0);
-        ScanCursor { next: AtomicU64::new(0), total, morsel }
+        ScanCursor { next: AtomicU64::new(0), total, morsel, governor: None }
+    }
+
+    /// Attach the owning query's governor; every worker pulling from this
+    /// cursor then observes budget trips at morsel granularity.
+    pub fn governed(mut self, gov: Arc<crate::govern::QueryGovernor>) -> ScanCursor {
+        self.governor = Some(gov);
+        self
+    }
+
+    /// The morsel-boundary budget/cancellation check. A no-op `Ok(())`
+    /// for ungoverned cursors (unit tests, embedded uses).
+    #[inline]
+    pub fn checkpoint(&self) -> Result<()> {
+        match &self.governor {
+            Some(gov) => gov.checkpoint(),
+            None => Ok(()),
+        }
     }
 
     /// Cursor sized for `plan`'s scan step (`ScanPk` is a single morsel).
@@ -276,6 +297,10 @@ fn pull(ops: &mut [Op<'_>], view: GraphView<'_>, chunk: &mut Chunk) -> Result<bo
             let Some((start, end)) = cursor.claim(cursor.morsel()) else {
                 return Ok(false);
             };
+            // Morsel-boundary fault-domain check: a canceled/over-budget
+            // query stops here even when zone maps prune every morsel
+            // (the `continue` below never reaches the driver loop).
+            cursor.checkpoint()?;
             pins.clear();
             let n = (end - start) as usize;
             // Evaluate the pushed predicates morsel-wide: one zone-map
@@ -1442,6 +1467,9 @@ pub(crate) struct GroupBySink<'g> {
     contrib: Vec<u64>,
     /// Scratch: key values of the current state.
     key_buf: Vec<Value>,
+    /// Heap growth of the pending run not yet folded into the table's
+    /// estimate (flushed together with the run itself).
+    pending_bytes: u64,
 }
 
 impl<'g> GroupBySink<'g> {
@@ -1463,6 +1491,7 @@ impl<'g> GroupBySink<'g> {
             pending: Vec::new(),
             contrib: Vec::new(),
             key_buf: Vec::new(),
+            pending_bytes: 0,
         }
     }
 
@@ -1474,6 +1503,14 @@ impl<'g> GroupBySink<'g> {
                 a.merge(b);
             }
         }
+        self.table.add_bytes(self.pending_bytes);
+        self.pending_bytes = 0;
+    }
+
+    /// The sink's current heap estimate (table plus pending run), polled
+    /// by the driver after each absorbed state.
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        self.table.approx_bytes() + self.pending_bytes
     }
 
     /// Fold one chunk state into the sink.
@@ -1507,11 +1544,13 @@ impl<'g> GroupBySink<'g> {
             }
             let (agg_refs, key_groups, contrib, pending) =
                 (&self.agg_refs, &self.key_groups, &self.contrib, &mut self.pending);
+            let mut grew = 0u64;
             for (state, input) in pending.iter_mut().zip(agg_refs) {
-                fold_agg(state, input, chunk, key_groups, contrib, mult_nonkey, |gi| {
+                grew += fold_agg(state, input, chunk, key_groups, contrib, mult_nonkey, |gi| {
                     chunk.groups[gi].cur_idx.max(0) as usize
                 });
             }
+            self.pending_bytes += grew;
             return;
         }
 
@@ -1533,10 +1572,14 @@ impl<'g> GroupBySink<'g> {
                     vector_value(&chunk.groups[r.group].vectors[r.vec], pos_in(r.group), *col)
                 })
                 .collect();
-            let states = table.group(key);
-            for (state, input) in states.iter_mut().zip(agg_refs) {
-                fold_agg(state, input, chunk, key_groups, contrib, mult_nonkey, pos_in);
+            let mut grew = 0u64;
+            {
+                let states = table.group(key);
+                for (state, input) in states.iter_mut().zip(agg_refs) {
+                    grew += fold_agg(state, input, chunk, key_groups, contrib, mult_nonkey, pos_in);
+                }
             }
+            table.add_bytes(grew);
         });
     }
 
@@ -1549,7 +1592,8 @@ impl<'g> GroupBySink<'g> {
 
 /// Fold one aggregate input of one chunk state into `state`.
 /// `pos_in` resolves the current position of a *key* group; `mult_nonkey`
-/// is the tuple count contributed by all non-key groups.
+/// is the tuple count contributed by all non-key groups. Returns the
+/// state's heap growth (see [`AggState::update`]) for memory budgeting.
 fn fold_agg(
     state: &mut AggState,
     input: &Option<(VecRef, SlotCol<'_>)>,
@@ -1558,16 +1602,19 @@ fn fold_agg(
     contrib: &[u64],
     mult_nonkey: u64,
     pos_in: impl Fn(usize) -> usize,
-) {
+) -> u64 {
     match input {
         // COUNT(*): pure multiplicity arithmetic, no values read.
-        None => state.add_count(mult_nonkey),
+        None => {
+            state.add_count(mult_nonkey);
+            0
+        }
         Some((r, col)) => {
             let vec = &chunk.groups[r.group].vectors[r.vec];
             if key_groups.contains(&r.group) {
                 // The input sits in a key group: one value per combo,
                 // weighted by the other groups.
-                state.update(&vector_value(vec, pos_in(r.group), *col), mult_nonkey);
+                state.update(&vector_value(vec, pos_in(r.group), *col), mult_nonkey)
             } else {
                 // The input sits in an extension group: fold its selected
                 // values with the multiplicity of every group but itself —
@@ -1575,11 +1622,13 @@ fn fold_agg(
                 let excl = mult_nonkey / contrib[r.group];
                 let gr = &chunk.groups[r.group];
                 if gr.is_flat() {
-                    state.update(&vector_value(vec, gr.cur_idx as usize, *col), excl);
+                    state.update(&vector_value(vec, gr.cur_idx as usize, *col), excl)
                 } else {
+                    let mut grew = 0u64;
                     for i in gr.iter_selected() {
-                        state.update(&vector_value(vec, i, *col), excl);
+                        grew += state.update(&vector_value(vec, i, *col), excl);
                     }
+                    grew
                 }
             }
         }
@@ -1596,6 +1645,9 @@ pub(crate) struct TopKSink<'g> {
     order_by: Vec<(usize, bool)>,
     limit: Option<usize>,
     pub(crate) rows: Vec<Vec<Value>>,
+    /// Heap estimate of `rows`, kept incrementally (recomputed only on
+    /// the rare prune), polled by the driver for memory budgeting.
+    pub(crate) bytes: u64,
 }
 
 impl<'g> TopKSink<'g> {
@@ -1605,15 +1657,19 @@ impl<'g> TopKSink<'g> {
             order_by: plan.order_by.clone(),
             limit: plan.limit,
             rows: Vec::new(),
+            bytes: 0,
         }
     }
 
     pub(crate) fn absorb(&mut self, chunk: &Chunk) {
+        let before = self.rows.len();
         enumerate_rows(chunk, &self.refs, &mut self.rows);
+        self.bytes += self.rows[before..].iter().map(|r| crate::govern::row_bytes(r)).sum::<u64>();
         if let Some(k) = self.limit {
             if self.rows.len() >= (4 * k).max(4096) {
                 self.rows.sort_unstable_by(|a, b| crate::agg::cmp_rows(a, b, &self.order_by));
                 self.rows.truncate(k);
+                self.bytes = self.rows.iter().map(|r| crate::govern::row_bytes(r)).sum();
             }
         }
     }
@@ -1628,6 +1684,9 @@ pub(crate) struct DistinctSink<'g> {
     /// Distinct groups referenced by the projection, sorted.
     ref_groups: Vec<usize>,
     pub(crate) set: std::collections::BTreeSet<Vec<OrdValue>>,
+    /// Heap estimate of `set`, grown on every fresh insertion, polled by
+    /// the driver for memory budgeting.
+    pub(crate) bytes: u64,
 }
 
 impl<'g> DistinctSink<'g> {
@@ -1636,7 +1695,7 @@ impl<'g> DistinctSink<'g> {
         let mut ref_groups: Vec<usize> = refs.iter().map(|(r, _)| r.group).collect();
         ref_groups.sort_unstable();
         ref_groups.dedup();
-        DistinctSink { refs, ref_groups, set: std::collections::BTreeSet::new() }
+        DistinctSink { refs, ref_groups, set: std::collections::BTreeSet::new(), bytes: 0 }
     }
 
     pub(crate) fn absorb(&mut self, chunk: &Chunk) {
@@ -1644,6 +1703,7 @@ impl<'g> DistinctSink<'g> {
             return;
         }
         let (refs, ref_groups, set) = (&self.refs, &self.ref_groups, &mut self.set);
+        let mut grew = 0u64;
         for_each_combo(chunk, ref_groups, |pos| {
             let row: Vec<OrdValue> = refs
                 .iter()
@@ -1654,8 +1714,12 @@ impl<'g> DistinctSink<'g> {
                     OrdValue(vector_value(&chunk.groups[r.group].vectors[r.vec], i, *col))
                 })
                 .collect();
-            set.insert(row);
+            let row_heap: u64 = row.iter().map(|v| crate::govern::value_bytes(&v.0)).sum();
+            if set.insert(row) {
+                grew += row_heap + std::mem::size_of::<Vec<OrdValue>>() as u64;
+            }
         });
+        self.bytes += grew;
     }
 }
 

@@ -19,6 +19,9 @@
 //! * [`driver`] — the morsel-driven pipeline driver: [`ExecOptions`],
 //!   parallel workers over a shared scan cursor, and the factorized
 //!   aggregation sinks with their partial-state merge;
+//! * [`govern`] — per-query fault domains: the [`govern::QueryGovernor`]
+//!   enforcing time/memory budgets and cooperative cancellation at morsel
+//!   boundaries, over the shared token storage faults report into;
 //! * [`engine`] — the [`Engine`] trait and [`GfClEngine`];
 //! * [`verify`] — the structural plan verifier: every plan is checked as a
 //!   dataflow typecheck (def-before-use, schema/type flow, unflat-span,
@@ -29,6 +32,7 @@ pub mod chunk;
 pub mod driver;
 pub mod engine;
 pub mod exec;
+pub mod govern;
 pub mod optimize;
 pub mod plan;
 pub mod pred;
@@ -37,6 +41,7 @@ pub mod verify;
 
 pub use driver::ExecOptions;
 pub use engine::{Engine, GfClEngine, QueryOutput};
+pub use govern::{CancelReason, CancelToken, QueryBudget, QueryGovernor};
 pub use optimize::render_explain;
 pub use plan::{
     plan as plan_query, plan_with as plan_query_with, LogicalPlan, OrderSource, PlanOptions,
@@ -54,4 +59,6 @@ const _: () = {
     assert_send_sync::<QueryOutput>();
     assert_send_sync::<ExecOptions>();
     assert_send_sync::<exec::ScanCursor>();
+    assert_send_sync::<QueryGovernor>();
+    assert_send_sync::<CancelToken>();
 };

@@ -1,7 +1,10 @@
-//! Environment knobs of the pushdown path: the `GFCL_NO_PUSHDOWN` escape
-//! hatch and `GFCL_MORSEL` validation. These mutate process environment
-//! variables, so each knob gets exactly one `#[test]` (tests in one binary
-//! run concurrently; distinct variables don't interfere).
+//! Environment knobs of the executor: the `GFCL_NO_PUSHDOWN` escape
+//! hatch plus the validated `GFCL_MORSEL` / `GFCL_THREADS` /
+//! `GFCL_TIME_LIMIT_MS` / `GFCL_MEM_LIMIT_MB` pattern (garbage errors at
+//! execution naming the variable, it never silently runs a default).
+//! These mutate process environment variables, so each knob gets exactly
+//! one `#[test]` (tests in one binary run concurrently; distinct
+//! variables don't interfere).
 
 use std::sync::Arc;
 
@@ -46,6 +49,82 @@ fn gfcl_no_pushdown_disables_the_rewrite() {
     // The programmatic escape hatch matches the env one.
     let p = plan_with(&filtered_query(), &catalog, &PlanOptions::no_pushdown()).unwrap();
     assert_eq!(pushed_len(&p), 0);
+}
+
+#[test]
+fn gfcl_threads_is_validated() {
+    let graph =
+        Arc::new(ColumnarGraph::build(&RawGraph::example(), StorageConfig::default()).unwrap());
+
+    // Garbage (including explicit zero) becomes the invalid sentinel and
+    // is rejected at execution time naming the knob — it must not
+    // silently fall back to serial.
+    for garbage in ["many", "0", "-2", "1.5"] {
+        std::env::set_var("GFCL_THREADS", garbage);
+        let opts = ExecOptions::from_env();
+        std::env::remove_var("GFCL_THREADS");
+        assert_eq!(opts.threads, 0, "{garbage:?} must map to the invalid sentinel");
+        let engine = GfClEngine::with_options(Arc::clone(&graph), opts);
+        let err = engine.execute(&filtered_query()).unwrap_err();
+        assert!(matches!(err, gfcl_common::Error::Plan(_)), "{err:?}");
+        assert!(err.to_string().contains("GFCL_THREADS"), "{err}");
+    }
+
+    // A valid value is honored; unset falls back to serial.
+    std::env::set_var("GFCL_THREADS", "3");
+    let opts = ExecOptions::from_env();
+    std::env::remove_var("GFCL_THREADS");
+    assert_eq!(opts.threads, 3);
+    assert_eq!(ExecOptions::from_env().threads, 1);
+}
+
+#[test]
+fn gfcl_time_limit_is_validated() {
+    let graph =
+        Arc::new(ColumnarGraph::build(&RawGraph::example(), StorageConfig::default()).unwrap());
+
+    for garbage in ["soon", "0", "-1"] {
+        std::env::set_var("GFCL_TIME_LIMIT_MS", garbage);
+        let opts = ExecOptions::from_env();
+        std::env::remove_var("GFCL_TIME_LIMIT_MS");
+        assert_eq!(opts.time_limit_ms, Some(0), "{garbage:?} must map to the invalid sentinel");
+        let engine = GfClEngine::with_options(Arc::clone(&graph), opts);
+        let err = engine.execute(&filtered_query()).unwrap_err();
+        assert!(err.to_string().contains("GFCL_TIME_LIMIT_MS"), "{err}");
+    }
+
+    // A generous limit doesn't disturb a small query; unset means none.
+    std::env::set_var("GFCL_TIME_LIMIT_MS", "60000");
+    let opts = ExecOptions::from_env();
+    std::env::remove_var("GFCL_TIME_LIMIT_MS");
+    assert_eq!(opts.time_limit_ms, Some(60_000));
+    let engine = GfClEngine::with_options(Arc::clone(&graph), opts);
+    assert!(engine.execute(&filtered_query()).is_ok());
+    assert_eq!(ExecOptions::from_env().time_limit_ms, None);
+}
+
+#[test]
+fn gfcl_mem_limit_is_validated() {
+    let graph =
+        Arc::new(ColumnarGraph::build(&RawGraph::example(), StorageConfig::default()).unwrap());
+
+    for garbage in ["lots", "0", "-5"] {
+        std::env::set_var("GFCL_MEM_LIMIT_MB", garbage);
+        let opts = ExecOptions::from_env();
+        std::env::remove_var("GFCL_MEM_LIMIT_MB");
+        assert_eq!(opts.mem_limit_bytes, Some(0), "{garbage:?} must map to the invalid sentinel");
+        let engine = GfClEngine::with_options(Arc::clone(&graph), opts);
+        let err = engine.execute(&filtered_query()).unwrap_err();
+        assert!(err.to_string().contains("GFCL_MEM_LIMIT_MB"), "{err}");
+    }
+
+    std::env::set_var("GFCL_MEM_LIMIT_MB", "512");
+    let opts = ExecOptions::from_env();
+    std::env::remove_var("GFCL_MEM_LIMIT_MB");
+    assert_eq!(opts.mem_limit_bytes, Some(512 * 1024 * 1024));
+    let engine = GfClEngine::with_options(Arc::clone(&graph), opts);
+    assert!(engine.execute(&filtered_query()).is_ok());
+    assert_eq!(ExecOptions::from_env().mem_limit_bytes, None);
 }
 
 #[test]

@@ -144,7 +144,25 @@ impl ColumnarGraph {
     /// overrides). All structural configuration comes from the file — only
     /// the pool size is taken from `config`. Any malformed, truncated or
     /// corrupted input yields [`Error::Storage`], never a panic.
+    ///
+    /// When any `GFCL_FAULT_*` variable is set, post-open page reads go
+    /// through a seeded [`FaultConfig`](crate::chaos::FaultConfig)
+    /// injector (the chaos tier); see [`ColumnarGraph::open_with_faults`].
     pub fn open(path: impl AsRef<Path>, config: StorageConfig) -> Result<ColumnarGraph> {
+        Self::open_with_faults(path, config, crate::chaos::FaultConfig::from_env()?)
+    }
+
+    /// [`ColumnarGraph::open`] with an explicit fault-injection
+    /// configuration for the post-open read path (`None` disables
+    /// injection). Header, checksum-array and metadata reads are *not*
+    /// injected: the chaos tier targets the demand-paged read path, where
+    /// an I/O fault must surface as a per-query error rather than a
+    /// failed open.
+    pub fn open_with_faults(
+        path: impl AsRef<Path>,
+        config: StorageConfig,
+        faults: Option<crate::chaos::FaultConfig>,
+    ) -> Result<ColumnarGraph> {
         let file = File::open(path.as_ref()).map_err(|e| io_err("open graph file", e))?;
         let file_len = file.metadata().map_err(|e| io_err("stat graph file", e))?.len();
         if file_len < PAGE_SIZE as u64 {
@@ -213,8 +231,14 @@ impl ColumnarGraph {
             return Err(Error::Storage("metadata checksum mismatch".into()));
         }
 
-        let capacity = BufferPool::capacity_from_env(config.buffer_pool_pages);
-        let pool = Arc::new(BufferPool::new(file, capacity, 1, checksums));
+        let capacity = BufferPool::capacity_from_env(config.buffer_pool_pages)?;
+        let pool = match faults {
+            Some(cfg) if !cfg.is_disabled() => {
+                let store = crate::chaos::FailingStore::new(file, cfg);
+                Arc::new(BufferPool::with_page_file(Box::new(store), capacity, 1, checksums))
+            }
+            _ => Arc::new(BufferPool::new(file, capacity, 1, checksums)),
+        };
         let mut graph =
             ColumnarGraph::decode_meta(&mut Reader::new(&meta), &PoolSource(Arc::clone(&pool)))?;
         graph.set_pool(pool);
@@ -255,7 +279,10 @@ mod tests {
         assert!(m1.resident < m0.resident);
         // GFCL_BUFFER_MB (set by CI's persistence job) overrides the
         // config capacity, so assert the env-resolved value.
-        assert_eq!(back.buffer_pool().unwrap().capacity(), BufferPool::capacity_from_env(2));
+        assert_eq!(
+            back.buffer_pool().unwrap().capacity(),
+            BufferPool::capacity_from_env(2).unwrap()
+        );
 
         // Catalog, counts, properties, adjacency, pk lookups all agree.
         assert_eq!(back.catalog().vertex_label_count(), g.catalog().vertex_label_count());

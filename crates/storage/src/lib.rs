@@ -15,6 +15,7 @@
 //! * [`row_graph`] — the interpreted-attribute-layout [`RowGraph`] (GF-RV).
 
 pub mod catalog;
+pub mod chaos;
 pub mod columnar_graph;
 pub mod config;
 pub mod csr;
@@ -32,13 +33,14 @@ pub mod store;
 pub mod wal;
 
 pub use catalog::{Cardinality, Catalog, EdgeLabelDef, PropertyDef, VertexLabelDef};
+pub use chaos::{FailingStore, FaultConfig};
 pub use columnar_graph::{AdjIndex, ColumnarGraph, EdgePropRead, MemoryBreakdown};
 pub use config::{EdgePropLayout, StorageConfig};
 pub use csr::{Csr, CsrOptions};
 pub use delta::{DeltaEdge, DeltaSnapshot, DeltaStore, EdgeTarget, ResolvedOp, StrExt};
 pub use edge_store::EdgePropStore;
 pub use mutation::{MutableAdjacency, MutablePage, OffsetRecycler};
-pub use pager::{BufferPool, PoolStats, DEFAULT_POOL_PAGES};
+pub use pager::{BufferPool, PageFile, PoolStats, DEFAULT_POOL_PAGES, MAX_READ_ATTEMPTS};
 pub use pages::PropertyPages;
 pub use raw::{EdgeTable, PropData, RawGraph, VertexTable};
 pub use row_graph::{PropEntry, RowCsr, RowGraph};
@@ -67,6 +69,7 @@ const _: () = {
     assert_send_sync::<EdgePropRead<'_>>();
     assert_send_sync::<Stats>();
     assert_send_sync::<BufferPool>();
+    assert_send_sync::<FailingStore>();
     assert_send_sync::<DeltaSnapshot>();
     assert_send_sync::<DeltaStore>();
     assert_send_sync::<GraphStore>();

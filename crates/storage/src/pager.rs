@@ -13,17 +13,48 @@
 //! Every fault verifies the page's FNV-1a checksum against the checksum
 //! array loaded at open time. Structural problems are caught by
 //! [`open`](crate::ColumnarGraph::open) and surface as
-//! [`Error::Storage`](gfcl_common::Error); a checksum mismatch *after* a
-//! successful open means the file changed underneath us, and panics.
+//! [`Error::Storage`](gfcl_common::Error). Post-open faults are **error
+//! propagation, not panics**: a failed read or checksum mismatch is
+//! retried up to [`MAX_READ_ATTEMPTS`] times with bounded, deterministic
+//! jittered backoff (transient device errors and torn reads heal here),
+//! and a fault that survives the retries surfaces as
+//! [`Error::Storage`](gfcl_common::Error) through [`PageStore::try_pin`] —
+//! the infallible [`PageStore::pin`] wrapper then cancels exactly the
+//! owning query via its installed fault domain
+//! ([`gfcl_common::govern`]). Failed pages are never cached, so queries on
+//! healthy pages keep running.
+//!
+//! Reads go through the [`PageFile`] seam rather than [`File`] directly,
+//! which is what lets the chaos tier ([`crate::chaos`]) inject read errors
+//! and bit flips *below* checksum verification — injected corruption is
+//! caught exactly the way real corruption would be.
 
 use std::collections::HashMap;
 use std::fs::File;
 use std::os::unix::fs::FileExt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use gfcl_columnar::{PageStore, PAGE_SIZE};
-use gfcl_common::fnv1a_64;
+use gfcl_common::{fnv1a_64, Error, Result};
+
+/// How often one page read is attempted before the fault propagates to
+/// the owning query: the first read plus two retries.
+pub const MAX_READ_ATTEMPTS: u32 = 3;
+
+/// The raw page-granular read interface under the pool. Production code
+/// uses [`File`]; the chaos tier wraps it with a fault injector.
+pub trait PageFile: Send + Sync {
+    /// Read exactly `buf.len()` bytes at byte `offset`.
+    fn read_page_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()>;
+}
+
+impl PageFile for File {
+    fn read_page_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        self.read_exact_at(buf, offset)
+    }
+}
 
 /// Default pool capacity when neither [`crate::StorageConfig`] nor the
 /// `GFCL_BUFFER_MB` environment variable says otherwise: 64 MiB of pages.
@@ -58,7 +89,7 @@ struct PoolInner {
 
 /// A clock-eviction buffer pool over one storage file.
 pub struct BufferPool {
-    file: File,
+    file: Box<dyn PageFile>,
     capacity: usize,
     /// Page number of the first checksummed data page; `checksums[i]`
     /// covers page `first_data_page + i`.
@@ -84,6 +115,17 @@ impl std::fmt::Debug for BufferPool {
 impl BufferPool {
     /// A pool of at most `capacity` resident pages over `file`.
     pub fn new(file: File, capacity: usize, first_data_page: u64, checksums: Vec<u64>) -> Self {
+        BufferPool::with_page_file(Box::new(file), capacity, first_data_page, checksums)
+    }
+
+    /// [`BufferPool::new`] over any [`PageFile`] — the seam the chaos
+    /// tier's fault injector plugs into.
+    pub fn with_page_file(
+        file: Box<dyn PageFile>,
+        capacity: usize,
+        first_data_page: u64,
+        checksums: Vec<u64>,
+    ) -> Self {
         let capacity = capacity.max(1);
         BufferPool {
             file,
@@ -99,11 +141,20 @@ impl BufferPool {
     }
 
     /// Pool capacity from the `GFCL_BUFFER_MB` environment variable, or
-    /// `default_pages` when unset/unparsable. The floor is one page.
-    pub fn capacity_from_env(default_pages: usize) -> usize {
-        match std::env::var("GFCL_BUFFER_MB").ok().and_then(|s| s.parse::<usize>().ok()) {
-            Some(mb) => (mb * 1024 * 1024 / PAGE_SIZE).max(1),
-            None => default_pages.max(1),
+    /// `default_pages` when the variable is unset or empty. The floor is
+    /// one page. A set-but-unparsable value is an error naming the
+    /// variable — a typo in the sizing knob must not silently run the
+    /// default geometry.
+    pub fn capacity_from_env(default_pages: usize) -> Result<usize> {
+        match std::env::var("GFCL_BUFFER_MB") {
+            Err(_) => Ok(default_pages.max(1)),
+            Ok(s) if s.trim().is_empty() => Ok(default_pages.max(1)),
+            Ok(s) => match s.trim().parse::<usize>() {
+                Ok(mb) => Ok((mb * 1024 * 1024 / PAGE_SIZE).max(1)),
+                Err(_) => Err(Error::Invalid(format!(
+                    "GFCL_BUFFER_MB must be a non-negative integer number of MiB, got {s:?}"
+                ))),
+            },
         }
     }
 
@@ -134,31 +185,64 @@ impl BufferPool {
         }
     }
 
-    /// Read and checksum-verify one page from disk.
-    fn fault(&self, page_no: u64) -> Vec<u8> {
+    /// Deterministic jittered backoff before retry `attempt` (1-based):
+    /// an exponential base of 200 µs · 2^(attempt−1) plus a jitter in
+    /// `[0, base)` hashed from the page number and attempt, so concurrent
+    /// workers retrying neighbouring pages don't re-hit the device in
+    /// lockstep. Worst-case total sleep per page is under 1.2 ms — cheap
+    /// enough that healthy retries are invisible and failing ones don't
+    /// stall the query noticeably.
+    fn retry_backoff(page_no: u64, attempt: u32) -> Duration {
+        let base_us = 200u64 << (attempt - 1);
+        let mut key = [0u8; 12];
+        key[..8].copy_from_slice(&page_no.to_le_bytes());
+        key[8..].copy_from_slice(&attempt.to_le_bytes());
+        let jitter_us = fnv1a_64(&key) % base_us;
+        Duration::from_micros(base_us + jitter_us)
+    }
+
+    /// One read + checksum-verify attempt. The error string names the
+    /// page and the exact mismatch so retries that keep failing produce
+    /// an actionable message.
+    fn read_verified(&self, page_no: u64, expected: u64) -> std::result::Result<Vec<u8>, String> {
         let mut buf = vec![0u8; PAGE_SIZE];
-        // Post-open I/O failure panics by policy — see the module doc;
-        // open-time validation returns Err instead.
-        self.file.read_exact_at(&mut buf, page_no * PAGE_SIZE as u64).unwrap_or_else(|e| {
-            panic!("storage read failed at page {page_no}: {e}") // lint: allow(post-open policy)
-        });
-        let idx = page_no.checked_sub(self.first_data_page).map(|i| i as usize);
-        match idx.and_then(|i| self.checksums.get(i)) {
-            Some(&expected) => {
-                let got = fnv1a_64(&buf);
-                // lint: allow(checksum-mismatch panic after a successful
-                // open is the documented corruption policy; the message
-                // names the page and both checksums)
-                assert!(
-                    got == expected,
-                    "storage file corrupted: page {page_no} checksum {got:#018x} != {expected:#018x}"
-                );
-            }
-            // lint: allow(a fault outside the checksummed region means a
-            // corrupt SegRef survived open-time validation; same policy)
-            None => panic!("page {page_no} outside the checksummed data region"),
+        self.file
+            .read_page_at(&mut buf, page_no * PAGE_SIZE as u64)
+            .map_err(|e| format!("read failed: {e}"))?;
+        let got = fnv1a_64(&buf);
+        if got != expected {
+            return Err(format!("checksum {got:#018x} != {expected:#018x}"));
         }
-        buf
+        Ok(buf)
+    }
+
+    /// Read and checksum-verify one page from disk, retrying transient
+    /// failures with bounded jittered backoff. A fault that survives
+    /// [`MAX_READ_ATTEMPTS`] attempts — or lands outside the checksummed
+    /// data region, which no retry can fix — is an [`Error::Storage`]
+    /// scoped to the query that asked for the page.
+    fn fault(&self, page_no: u64) -> Result<Vec<u8>> {
+        let idx = page_no.checked_sub(self.first_data_page).map(|i| i as usize);
+        let Some(&expected) = idx.and_then(|i| self.checksums.get(i)) else {
+            // Structural, not transient: a corrupt SegRef survived
+            // open-time validation. Fail immediately, no retries.
+            return Err(Error::Storage(format!(
+                "page {page_no} outside the checksummed data region"
+            )));
+        };
+        let mut last = String::new();
+        for attempt in 0..MAX_READ_ATTEMPTS {
+            if attempt > 0 {
+                std::thread::sleep(Self::retry_backoff(page_no, attempt));
+            }
+            match self.read_verified(page_no, expected) {
+                Ok(buf) => return Ok(buf),
+                Err(e) => last = e,
+            }
+        }
+        Err(Error::Storage(format!(
+            "page {page_no} unreadable after {MAX_READ_ATTEMPTS} attempts: {last}"
+        )))
     }
 
     /// Evict until at most `capacity` frames remain, skipping pinned frames
@@ -166,12 +250,15 @@ impl BufferPool {
     /// chance. Gives up if every frame is pinned — the pool then runs
     /// over capacity rather than deadlocking.
     fn evict_to_capacity(&self, inner: &mut PoolInner) {
-        let mut sweeps = 0usize;
+        // `stuck` counts consecutive non-evicting steps and resets on
+        // every eviction, so reclaiming N frames is never cut short by a
+        // shrinking budget — only a ring where two full passes (clear
+        // second chances, then evict) make no progress is truly stuck.
+        let mut stuck = 0usize;
         while inner.frames.len() > self.capacity && !inner.ring.is_empty() {
-            if sweeps > 2 * inner.ring.len() {
+            if stuck > 2 * inner.ring.len() {
                 return; // everything pinned or referenced twice over
             }
-            sweeps += 1;
             if inner.hand >= inner.ring.len() {
                 inner.hand = 0;
             }
@@ -181,37 +268,55 @@ impl BufferPool {
             let frame = inner.frames.get_mut(&page_no).expect("ring/frames out of sync");
             if Arc::strong_count(&frame.data) > 1 {
                 inner.hand += 1; // pinned
+                stuck += 1;
             } else if frame.referenced {
                 frame.referenced = false;
                 inner.hand += 1; // second chance
+                stuck += 1;
             } else {
                 inner.frames.remove(&page_no);
                 inner.ring.swap_remove(inner.hand);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                stuck = 0;
             }
         }
     }
 }
 
 impl PageStore for BufferPool {
-    fn pin(&self, page_no: u64) -> Arc<Vec<u8>> {
-        // lint: allow(a poisoned pool lock means another worker panicked
-        // mid-fault; the pool is unrecoverable and re-panicking is policy)
+    fn try_pin(&self, page_no: u64) -> Result<Arc<Vec<u8>>> {
+        {
+            // lint: allow(a poisoned pool lock means another worker
+            // panicked mid-insert; the pool is unrecoverable and
+            // re-panicking is policy)
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(frame) = inner.frames.get_mut(&page_no) {
+                frame.referenced = true;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&frame.data));
+            }
+        }
+        // Fault *outside* the lock: the retry/backoff path may sleep, and
+        // holding the pool lock through it would stall every query on
+        // healthy pages behind one bad page. The cost is that two workers
+        // racing on the same boundary page may both read it; the loser's
+        // copy is dropped below.
+        let data = Arc::new(self.fault(page_no)?);
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        // lint: allow(same poisoned-lock policy as above)
         let mut inner = self.inner.lock().unwrap();
         if let Some(frame) = inner.frames.get_mut(&page_no) {
+            // Another worker faulted it concurrently; keep its frame so
+            // both pins share one copy and eviction sees one refcount.
             frame.referenced = true;
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(&frame.data);
+            return Ok(Arc::clone(&frame.data));
         }
-        // Fault while holding the lock: simple, and correct for the
-        // morsel-parallel access pattern (distinct morsels touch distinct
-        // pages; the rare shared boundary page is read once).
-        let data = Arc::new(self.fault(page_no));
-        self.faults.fetch_add(1, Ordering::Relaxed);
         inner.frames.insert(page_no, Frame { data: Arc::clone(&data), referenced: true });
         inner.ring.push(page_no);
         self.evict_to_capacity(&mut inner);
-        data
+        Ok(data)
+        // Note: a failed fault inserted nothing — a poisoned page is
+        // re-attempted (and may heal) on the next query that needs it.
     }
 
     fn note_skipped(&self, n_pages: u64) {
@@ -302,14 +407,59 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "checksum")]
-    fn corrupted_page_panics_at_fault() {
+    fn corrupted_page_is_a_storage_error_not_a_panic() {
         let (f, mut sums, path) = page_file("corrupt", 2);
         sums[1] ^= 0xdead; // claim a different checksum than what's on disk
         let pool = BufferPool::new(f, 4, 0, sums);
-        pool.pin(0); // fine
+        pool.try_pin(0).unwrap(); // fine
+        let err = pool.try_pin(1).unwrap_err();
+        assert!(matches!(err, Error::Storage(_)), "{err:?}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+        assert!(err.to_string().contains("3 attempts"), "retries exhausted: {err}");
+        // The poisoned page was not cached; healthy pages still serve.
+        assert_eq!(pool.occupancy(), 1);
+        assert_eq!(pool.try_pin(0).unwrap()[3], 0);
         std::fs::remove_file(&path).ok();
-        pool.pin(1); // mismatch
+    }
+
+    #[test]
+    fn out_of_region_page_is_a_storage_error() {
+        let (f, sums, path) = page_file("region", 2);
+        let pool = BufferPool::new(f, 4, 1, sums); // data region starts at page 1
+        let err = pool.try_pin(0).unwrap_err();
+        assert!(err.to_string().contains("outside the checksummed data region"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn infallible_pin_reports_into_the_installed_fault_domain() {
+        use gfcl_common::govern::{fault_scope, CancelReason, CancelToken};
+        let (f, mut sums, path) = page_file("domain", 2);
+        sums[1] ^= 1;
+        let pool = BufferPool::new(f, 4, 0, sums);
+        let token = Arc::new(CancelToken::new());
+        let page = {
+            let _scope = fault_scope(&token);
+            pool.pin(1)
+        };
+        assert_eq!(page.len(), PAGE_SIZE, "placeholder page returned");
+        assert!(page.iter().all(|&b| b == 0));
+        assert_eq!(token.reason(), Some(CancelReason::Io));
+        assert!(token.io_detail().unwrap().contains("page 1"), "{:?}", token.io_detail());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        for attempt in 1..MAX_READ_ATTEMPTS {
+            let d = BufferPool::retry_backoff(42, attempt);
+            assert_eq!(d, BufferPool::retry_backoff(42, attempt), "deterministic");
+            let base = 200u64 << (attempt - 1);
+            assert!(d >= Duration::from_micros(base));
+            assert!(d < Duration::from_micros(2 * base));
+        }
+        // Jitter spreads distinct pages within one attempt.
+        assert_ne!(BufferPool::retry_backoff(1, 1), BufferPool::retry_backoff(2, 1));
     }
 
     #[test]
@@ -326,7 +476,80 @@ mod tests {
     fn env_capacity_floor_is_one_page() {
         // Not setting the env var here (tests run in parallel); just check
         // the default path and the floor.
-        assert_eq!(BufferPool::capacity_from_env(0), 1);
-        assert_eq!(BufferPool::capacity_from_env(17), 17);
+        assert_eq!(BufferPool::capacity_from_env(0).unwrap(), 1);
+        assert_eq!(BufferPool::capacity_from_env(17).unwrap(), 17);
+    }
+
+    #[test]
+    fn eviction_resumes_after_pins_drop() {
+        let (f, sums, path) = page_file("pinrelease", 6);
+        let pool = BufferPool::new(f, 2, 0, sums);
+        // Pin everything: the pool must run over capacity, evicting nothing.
+        let guards: Vec<_> = (0..5).map(|p| pool.pin(p)).collect();
+        assert_eq!(pool.occupancy(), 5);
+        assert_eq!(pool.stats().evictions, 0, "pinned frames are unevictable");
+        // Release the pins; the next fault must reclaim down to capacity.
+        drop(guards);
+        pool.pin(5);
+        assert!(
+            pool.occupancy() <= 2,
+            "eviction resumed after pins dropped, occupancy {}",
+            pool.occupancy()
+        );
+        assert!(pool.stats().evictions >= 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_count_every_event_exactly() {
+        let (f, sums, path) = page_file("stats", 4);
+        let pool = BufferPool::new(f, 2, 0, sums);
+        pool.pin(0); // fault
+        pool.pin(0); // hit
+        pool.pin(1); // fault
+        pool.pin(0); // hit
+        pool.pin(2); // fault + one eviction (capacity 2)
+        pool.note_skipped(5);
+        let s = pool.stats();
+        assert_eq!(s.faults, 3);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.pages_skipped, 5);
+        assert_eq!(pool.occupancy(), 2);
+        assert_eq!(pool.occupancy_bytes(), 2 * PAGE_SIZE);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_read_errors_heal_within_the_retry_budget() {
+        /// Fails the first `fail_first` reads of every page, then serves
+        /// the real bytes — a deterministic stand-in for a transient
+        /// device error.
+        struct Flaky {
+            inner: File,
+            fail_first: u32,
+            seen: Mutex<HashMap<u64, u32>>,
+        }
+        impl PageFile for Flaky {
+            fn read_page_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+                // lint: allow(test-support; poisoned lock re-panic is fine)
+                let mut seen = self.seen.lock().unwrap();
+                let n = seen.entry(offset).or_insert(0);
+                if *n < self.fail_first {
+                    *n += 1;
+                    return Err(std::io::Error::other("injected transient error"));
+                }
+                self.inner.read_page_at(buf, offset)
+            }
+        }
+
+        let (f, sums, path) = page_file("flaky", 2);
+        let flaky =
+            Flaky { inner: f, fail_first: MAX_READ_ATTEMPTS - 1, seen: Mutex::new(HashMap::new()) };
+        let pool = BufferPool::with_page_file(Box::new(flaky), 4, 0, sums);
+        let page = pool.try_pin(1).unwrap();
+        assert_eq!(page[10], 1, "healed read serves real bytes");
+        assert_eq!(pool.stats().faults, 1);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -503,6 +503,17 @@ impl GraphStore {
         lock(&self.inner).delta.mutation_count()
     }
 
+    /// Fault-injection hook for the crash/chaos tiers: the next WAL
+    /// append writes `cut` bytes of its record and then fails as if the
+    /// disk errored (fsync-failure stand-in). One-shot; no-op on an
+    /// in-memory store. Not part of the public API surface.
+    #[doc(hidden)]
+    pub fn inject_wal_append_failure(&self, cut: usize) {
+        if let Some(wal) = lock(&self.inner).wal.as_mut() {
+            wal.inject_append_failure(cut);
+        }
+    }
+
     /// Begin a write transaction. Blocks while another writer (or a
     /// merge) is active; readers are never blocked.
     pub fn begin_write(&self) -> WriteTxn<'_> {

@@ -98,9 +98,9 @@ pub struct WalWriter {
     /// bytes, so further appends are refused (a valid record after garbage
     /// would turn the tear into unrecoverable mid-file corruption).
     poisoned: bool,
-    /// Test hook: write only this many bytes of the next record, then
-    /// report an injected I/O error.
-    #[cfg(test)]
+    /// Chaos hook: write only this many bytes of the next record, then
+    /// report an injected I/O error (set via
+    /// [`WalWriter::inject_append_failure`]).
     fail_append_after: Option<usize>,
 }
 
@@ -121,7 +121,6 @@ impl WalWriter {
             path: path.to_path_buf(),
             end: HEADER_LEN as u64,
             poisoned: false,
-            #[cfg(test)]
             fail_append_after: None,
         })
     }
@@ -136,7 +135,6 @@ impl WalWriter {
             path: path.to_path_buf(),
             end,
             poisoned: false,
-            #[cfg(test)]
             fail_append_after: None,
         })
     }
@@ -179,8 +177,16 @@ impl WalWriter {
         }
     }
 
+    /// Fault-injection hook for the crash/chaos tiers: the next append
+    /// writes only `cut` bytes of its record, then fails as if the disk
+    /// errored mid-write (an fsync-failure stand-in). One-shot. Not part
+    /// of the public API surface.
+    #[doc(hidden)]
+    pub fn inject_append_failure(&mut self, cut: usize) {
+        self.fail_append_after = Some(cut);
+    }
+
     fn write_and_sync(&mut self, record: &[u8]) -> std::io::Result<()> {
-        #[cfg(test)]
         if let Some(cut) = self.fail_append_after.take() {
             let cut = cut.min(record.len());
             self.file.write_all(&record[..cut])?;

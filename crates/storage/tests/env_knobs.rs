@@ -1,0 +1,67 @@
+//! Storage-layer environment knobs: `GFCL_BUFFER_MB` pool sizing and the
+//! `GFCL_FAULT_*` injection rates follow the validated pattern — a
+//! set-but-unparsable value is a clean error naming the variable, never a
+//! silent fallback. Each variable gets exactly one `#[test]` because
+//! tests in one binary run concurrently and share the process
+//! environment.
+
+use gfcl_storage::{BufferPool, ColumnarGraph, FaultConfig, RawGraph, StorageConfig};
+
+fn saved_example(name: &str) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("gfcl_envknob_{}_{name}.gfcl", std::process::id()));
+    let g = ColumnarGraph::build(&RawGraph::example(), StorageConfig::default()).unwrap();
+    g.save(&path).unwrap();
+    path
+}
+
+#[test]
+fn gfcl_buffer_mb_is_validated() {
+    let path = saved_example("buffer");
+
+    for garbage in ["big", "-1", "2.5"] {
+        std::env::set_var("GFCL_BUFFER_MB", garbage);
+        let cap = BufferPool::capacity_from_env(8);
+        let opened = ColumnarGraph::open(&path, StorageConfig::default());
+        std::env::remove_var("GFCL_BUFFER_MB");
+        let err = cap.expect_err("garbage sizing must not run the default geometry");
+        assert!(err.to_string().contains("GFCL_BUFFER_MB"), "{err}");
+        assert!(opened.is_err(), "open must refuse a graph under a garbage pool size");
+    }
+
+    // A valid value is honored (floor one page); unset uses the default.
+    std::env::set_var("GFCL_BUFFER_MB", "1");
+    let cap = BufferPool::capacity_from_env(8).unwrap();
+    let opened = ColumnarGraph::open(&path, StorageConfig::default());
+    std::env::remove_var("GFCL_BUFFER_MB");
+    assert_eq!(cap, (1024 * 1024) / gfcl_columnar::PAGE_SIZE);
+    assert!(opened.is_ok());
+    assert_eq!(BufferPool::capacity_from_env(8).unwrap(), 8);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn gfcl_fault_rates_are_validated() {
+    let path = saved_example("faults");
+
+    std::env::set_var("GFCL_FAULT_TRANSIENT_PPM", "sometimes");
+    let cfg = FaultConfig::from_env();
+    let opened = ColumnarGraph::open(&path, StorageConfig::default());
+    std::env::remove_var("GFCL_FAULT_TRANSIENT_PPM");
+    let err = cfg.expect_err("garbage rates must not silently disable injection");
+    assert!(err.to_string().contains("GFCL_FAULT_TRANSIENT_PPM"), "{err}");
+    assert!(opened.is_err(), "open must refuse to run with a mistyped fault rate");
+
+    // A set seed alone arms the injector with all rates zero — openable
+    // and by definition transparent.
+    std::env::set_var("GFCL_FAULT_SEED", "42");
+    let cfg = FaultConfig::from_env().unwrap().expect("a set seed arms the injector");
+    let opened = ColumnarGraph::open(&path, StorageConfig::default());
+    std::env::remove_var("GFCL_FAULT_SEED");
+    assert_eq!(cfg.seed, 42);
+    assert!(cfg.is_disabled());
+    assert!(opened.is_ok());
+
+    std::fs::remove_file(&path).ok();
+}

@@ -52,7 +52,10 @@ fn assert_persistence_equivalent(raw: &RawGraph, name: &str, queries: &[(String,
     let pool = reopened.buffer_pool().expect("reopened graph has a pool");
     // CI's persistence job sets GFCL_BUFFER_MB, which overrides the
     // per-test capacity — assert whatever the env resolution says.
-    assert_eq!(pool.capacity(), gfcl_storage::BufferPool::capacity_from_env(TINY_POOL_PAGES));
+    assert_eq!(
+        pool.capacity(),
+        gfcl_storage::BufferPool::capacity_from_env(TINY_POOL_PAGES).unwrap()
+    );
     assert!(
         reopened.memory_breakdown().pageable > 0,
         "{name}: reopened graph should serve value arrays from disk"

@@ -254,6 +254,47 @@
 //! in-flight transaction, never committed state. See `ARCHITECTURE.md`,
 //! "Mutations, WAL & snapshots".
 //!
+//! ## Limits & cancellation
+//!
+//! Every query runs inside its own **fault domain**: a shared
+//! [`CancelToken`] checked at morsel boundaries, optional time/memory
+//! budgets ([`ExecOptions`] fields or `GFCL_TIME_LIMIT_MS` /
+//! `GFCL_MEM_LIMIT_MB`), and I/O error containment — a page that fails
+//! its checksum after bounded retries fails *that query* with
+//! [`Error::Storage`](Error) while queries on healthy pages keep
+//! running. User cancellation and exceeded budgets surface as
+//! [`Error::Canceled`](Error) carrying the reason, elapsed time, and the
+//! memory high-water mark:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gfcl::{CancelReason, ColumnarGraph, Engine, Error, GfClEngine, RawGraph,
+//!            StorageConfig};
+//! use gfcl::query::PatternQuery;
+//!
+//! let raw = RawGraph::example();
+//! let graph = Arc::new(ColumnarGraph::build(&raw, StorageConfig::default()).unwrap());
+//! let engine = GfClEngine::new(graph);
+//! let q = PatternQuery::builder().node("a", "PERSON").returns_count().build();
+//!
+//! // The cancellation handle is shared with every query the engine runs;
+//! // cancel it (e.g. from another thread) and in-flight queries stop at
+//! // their next morsel boundary.
+//! let handle = engine.cancel_handle().expect("GF-CL supports cancellation");
+//! handle.cancel(CancelReason::User);
+//! match engine.execute(&q) {
+//!     Err(Error::Canceled { reason: CancelReason::User, .. }) => {}
+//!     other => panic!("expected a canceled query, got {other:?}"),
+//! }
+//!
+//! // reset() re-arms the engine; the same query then runs normally.
+//! handle.reset();
+//! assert_eq!(engine.execute(&q).unwrap().as_count(), Some(4));
+//! ```
+//!
+//! See `ARCHITECTURE.md`, "Fault domains & resource governance" for the
+//! check points, accounting sites, and the storage retry policy.
+//!
 //! ## Text queries
 //!
 //! Queries can also be written as text in a small Cypher-like language and
@@ -319,8 +360,8 @@ pub use gfcl_common::{
 /// plans, grouped aggregation ([`Agg`], `group_by`/`order_by`/`limit`), and
 /// execution options for morsel-driven parallelism.
 pub use gfcl_core::{
-    Agg, AggFunc, Engine, ExecOptions, GfClEngine, LogicalPlan, OrderSource, PatternQuery,
-    QueryOutput, SortDir,
+    Agg, AggFunc, CancelReason, CancelToken, Engine, ExecOptions, GfClEngine, LogicalPlan,
+    OrderSource, PatternQuery, QueryBudget, QueryOutput, SortDir,
 };
 /// The storage layer: catalogs (with build-time [`storage::Stats`]), the
 /// [`RawGraph`] interchange format, and the columnar / row graph builds.
